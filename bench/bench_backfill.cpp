@@ -1,0 +1,66 @@
+// On-demand index activation cost (the paper's versatility claim, Sec. 5):
+// attaching a NEW authenticated index at chain height H requires certifying
+// its update for every historical block — one lightweight index Ecall per
+// block — after which it is as cheap to maintain as a genesis-attached index.
+// This bench measures activation cost vs. chain height for both index
+// families.
+#include "bench/bench_util.h"
+#include "query/historical_index.h"
+#include "query/keyword_index.h"
+
+using namespace dcert;
+using namespace dcert::bench;
+
+int main() {
+  PrintHeader("Backfill", "on-demand index activation cost vs chain height");
+  PrintParams("KVStore blocks of 20 txs; index attached after the chain exists; "
+              "one index Ecall per historical block");
+
+  std::printf("%8s | %16s %10s | %16s %10s\n", "height", "historical ms",
+              "ms/block", "keyword ms", "ms/block");
+  std::printf("---------+-----------------------------+-----------------------------\n");
+
+  for (std::uint64_t height : {25u, 50u, 100u, 200u}) {
+    Rig rig(workloads::Workload::kKvStore, /*accounts=*/32, /*instances=*/1,
+            sgxsim::CostModelParams{}, /*difficulty=*/2, /*kv_keys=*/100);
+    for (std::uint64_t h = 0; h < height; ++h) {
+      chain::Block blk = rig.MineNext(20);
+      auto cert = rig.ci->ProcessBlock(blk);
+      if (!cert.ok()) {
+        std::fprintf(stderr, "cert failed: %s\n", cert.message().c_str());
+        return 1;
+      }
+    }
+
+    Stopwatch hist_watch;
+    auto hist_cert = rig.ci->AttachIndexWithBackfill(
+        std::make_shared<query::HistoricalIndex>("hist-late"));
+    double hist_ms = hist_watch.ElapsedMs();
+    if (!hist_cert.ok()) {
+      std::fprintf(stderr, "historical backfill failed: %s\n",
+                   hist_cert.message().c_str());
+      return 1;
+    }
+
+    Stopwatch kw_watch;
+    auto kw_cert = rig.ci->AttachIndexWithBackfill(
+        std::make_shared<query::KeywordIndex>("kw-late"));
+    double kw_ms = kw_watch.ElapsedMs();
+    if (!kw_cert.ok()) {
+      std::fprintf(stderr, "keyword backfill failed: %s\n",
+                   kw_cert.message().c_str());
+      return 1;
+    }
+
+    std::printf("%8llu | %16.1f %10.2f | %16.1f %10.2f\n",
+                static_cast<unsigned long long>(height), hist_ms,
+                hist_ms / static_cast<double>(height), kw_ms,
+                kw_ms / static_cast<double>(height));
+  }
+
+  std::printf(
+      "\nactivation cost is linear in the chain height with a small per-block\n"
+      "constant (one index Ecall); afterwards the index updates incrementally\n"
+      "like any genesis-attached index.\n");
+  return 0;
+}

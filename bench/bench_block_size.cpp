@@ -1,0 +1,50 @@
+// Figure 9 — impact of block size (number of transactions) on block
+// certificate construction for the two macro workloads, KVStore (KV) and
+// SmallBank (SB), with the same outside/inside breakdown as Fig. 8. The
+// paper's observation: every component grows with block size because the
+// read/write sets and their Merkle proofs grow with the transaction count.
+#include "bench/bench_util.h"
+
+using namespace dcert;
+using namespace dcert::bench;
+
+int main() {
+  PrintHeader("Fig. 9", "impact of block size on certificate construction");
+  PrintParams("block size {50,100,200,400} txs, 8 blocks per point, "
+              "100 sender accounts, KV: 500 tuples");
+
+  const std::vector<std::size_t> block_sizes = {50, 100, 200, 400};
+  const workloads::Workload kinds[] = {workloads::Workload::kKvStore,
+                                       workloads::Workload::kSmallBank};
+
+  std::printf("%4s %6s | %9s %9s | %11s %12s | %9s\n", "wl", "txs", "rw-set",
+              "proofs", "in-encl raw", "in-encl SGX", "total ms");
+  std::printf("------------+---------------------+--------------------------+----------\n");
+
+  for (workloads::Workload kind : kinds) {
+    for (std::size_t block_size : block_sizes) {
+      Rig rig(kind, /*accounts=*/100, /*instances=*/4);
+      const int kBlocks = 8;
+      std::vector<double> rwset_ms, proof_ms, wall_ms, modeled_ms, total_ms;
+      for (int i = 0; i < kBlocks; ++i) {
+        chain::Block blk = rig.MineNext(block_size);
+        auto cert = rig.ci->ProcessBlock(blk);
+        if (!cert.ok()) {
+          std::fprintf(stderr, "cert failed: %s\n", cert.message().c_str());
+          return 1;
+        }
+        const core::CertTiming& t = rig.ci->LastTiming();
+        rwset_ms.push_back(static_cast<double>(t.rwset_ns) / 1e6);
+        proof_ms.push_back(static_cast<double>(t.proof_ns) / 1e6);
+        wall_ms.push_back(static_cast<double>(t.enclave_wall_ns) / 1e6);
+        modeled_ms.push_back(static_cast<double>(t.enclave_modeled_ns) / 1e6);
+        total_ms.push_back(t.TotalMs(/*modeled=*/true));
+      }
+      std::printf("%4s %6zu | %9.2f %9.2f | %11.2f %12.2f | %9.2f\n",
+                  workloads::Name(kind).c_str(), block_size, Mean(rwset_ms),
+                  Mean(proof_ms), Mean(wall_ms), Mean(modeled_ms), Mean(total_ms));
+    }
+    std::printf("------------+---------------------+--------------------------+----------\n");
+  }
+  return 0;
+}

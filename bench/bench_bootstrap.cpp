@@ -1,0 +1,81 @@
+// Figure 7 — bootstrapping cost of a traditional light client vs DCert's
+// superlight client, as the chain grows.
+//  7a: storage size (light = all headers, superlight = latest header + cert)
+//  7b: chain validation time for a freshly joining client.
+//
+// Scale note (EXPERIMENTS.md): the paper plots up to 100k blocks; here the
+// recursive certificate chain is built for 10k real blocks and the light-
+// client series extends to the same range. The trends — linear vs constant —
+// are scale-independent, and the table extrapolates the light client's
+// storage to Ethereum scale for reference.
+#include "bench/bench_util.h"
+
+using namespace dcert;
+using namespace dcert::bench;
+
+int main() {
+  PrintHeader("Fig. 7", "bootstrapping cost: light client vs superlight client");
+  PrintParams("chain length 2k..10k blocks (empty blocks, difficulty 4), "
+              "one certificate per block (recursive)");
+
+  Rig rig(workloads::Workload::kDoNothing, /*accounts=*/2, /*instances=*/1);
+  chain::LightClient light(rig.miner_node->GetBlock(0).header);
+
+  const std::vector<std::uint64_t> checkpoints = {2000, 4000, 6000, 8000, 10000};
+
+  std::printf("%8s | %15s %18s | %16s %19s\n", "blocks", "light bytes",
+              "light validate ms", "superlight bytes", "superlight val. ms");
+  std::printf("---------+------------------------------------+-------------------------------------\n");
+
+  chain::Block latest;
+  core::BlockCertificate latest_cert;
+  std::uint64_t mined = 0;
+  for (std::uint64_t checkpoint : checkpoints) {
+    while (mined < checkpoint) {
+      chain::Block blk = rig.MineNext(0);
+      auto cert = rig.ci->ProcessBlock(blk);
+      if (!cert.ok()) {
+        std::fprintf(stderr, "cert failed at %llu: %s\n",
+                     static_cast<unsigned long long>(mined),
+                     cert.message().c_str());
+        return 1;
+      }
+      if (!light.SyncHeader(blk.header).ok()) return 1;
+      latest = blk;
+      latest_cert = cert.value();
+      ++mined;
+    }
+
+    // 7b left series: full header-chain validation (what a joining light
+    // client must do), averaged over 3 runs.
+    std::vector<double> light_ms;
+    for (int r = 0; r < 3; ++r) {
+      Stopwatch w;
+      if (!light.ValidateAll().ok()) return 1;
+      light_ms.push_back(w.ElapsedMs());
+    }
+
+    // 7b right series: a fresh superlight client validates the single
+    // (header, certificate) pair. Averaged over 20 runs.
+    std::vector<double> super_ms;
+    std::size_t super_bytes = 0;
+    for (int r = 0; r < 20; ++r) {
+      core::SuperlightClient fresh(core::ExpectedEnclaveMeasurement());
+      Stopwatch w;
+      if (!fresh.ValidateAndAccept(latest.header, latest_cert).ok()) return 1;
+      super_ms.push_back(w.ElapsedMs());
+      super_bytes = fresh.StorageBytes();
+    }
+
+    std::printf("%8llu | %15zu %18.2f | %16zu %19.3f\n",
+                static_cast<unsigned long long>(checkpoint), light.StorageBytes(),
+                Mean(light_ms), super_bytes, Mean(super_ms));
+  }
+
+  std::printf(
+      "\nextrapolation: at Ethereum scale (15.6M blocks, Sep'22) the light\n"
+      "client stores %.2f GB of headers; the superlight client still stores\n"
+      "the same constant few KB.\n",
+      15.6e6 * static_cast<double>(chain::HeaderByteSize()) / 1e9);
+  return 0;
+}

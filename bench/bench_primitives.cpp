@@ -1,0 +1,166 @@
+// Micro-benchmarks (google-benchmark) for the primitives underpinning the
+// figure benchmarks: hashing, signatures, the authenticated structures, and
+// the simulated Ecall dispatch. Useful for regression-tracking the constants
+// behind Figs. 7-11.
+#include <benchmark/benchmark.h>
+
+#include "chain/state.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "mht/mbtree.h"
+#include "mht/merkle_tree.h"
+#include "mht/mpt.h"
+#include "mht/skiplist.h"
+#include "mht/smt.h"
+#include "sgxsim/enclave.h"
+
+namespace {
+
+using namespace dcert;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  auto sk = crypto::SecretKey::FromSeed(StrBytes("bench"));
+  Hash256 digest = crypto::Sha256::Digest(StrBytes("message"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sk.Sign(digest));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  auto sk = crypto::SecretKey::FromSeed(StrBytes("bench"));
+  Hash256 digest = crypto::Sha256::Digest(StrBytes("message"));
+  auto sig = sk.Sign(digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Verify(sk.Public(), digest, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+mht::SparseMerkleTree BuildSmt(int n) {
+  mht::SparseMerkleTree smt;
+  for (int i = 0; i < n; ++i) {
+    Hash256 key = crypto::Sha256::Digest(StrBytes("key" + std::to_string(i)));
+    smt.Update(key, crypto::Sha256::Digest(StrBytes("val" + std::to_string(i))));
+  }
+  return smt;
+}
+
+void BM_SmtUpdate(benchmark::State& state) {
+  mht::SparseMerkleTree smt = BuildSmt(static_cast<int>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    Hash256 key = crypto::Sha256::Digest(StrBytes("key" + std::to_string(i % state.range(0))));
+    smt.Update(key, crypto::Sha256::Digest(StrBytes("new" + std::to_string(i))));
+    ++i;
+  }
+}
+BENCHMARK(BM_SmtUpdate)->Arg(1000)->Arg(10000);
+
+void BM_SmtMultiproof(benchmark::State& state) {
+  mht::SparseMerkleTree smt = BuildSmt(10000);
+  std::vector<Hash256> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    keys.push_back(crypto::Sha256::Digest(StrBytes("key" + std::to_string(i))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smt.ProveKeys(keys));
+  }
+}
+BENCHMARK(BM_SmtMultiproof)->Arg(10)->Arg(100);
+
+void BM_SmtStatelessUpdate(benchmark::State& state) {
+  // The enclave's verify+update path over a proof of `n` keys.
+  mht::SparseMerkleTree smt = BuildSmt(10000);
+  std::vector<Hash256> keys;
+  std::map<Hash256, Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    Hash256 key = crypto::Sha256::Digest(StrBytes("key" + std::to_string(i)));
+    keys.push_back(key);
+    leaves[key] = crypto::Sha256::Digest(StrBytes("val" + std::to_string(i)));
+  }
+  mht::SmtMultiProof proof = smt.ProveKeys(keys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mht::SparseMerkleTree::ComputeRootFromProof(proof, leaves));
+  }
+}
+BENCHMARK(BM_SmtStatelessUpdate)->Arg(10)->Arg(100);
+
+void BM_MbTreeAppend(benchmark::State& state) {
+  mht::MbTree tree;
+  std::uint64_t k = 1;
+  for (auto _ : state) {
+    tree.Insert(k++, StrBytes("value"));
+  }
+}
+BENCHMARK(BM_MbTreeAppend);
+
+void BM_MbTreeRangeQuery(benchmark::State& state) {
+  mht::MbTree tree;
+  for (std::uint64_t k = 1; k <= 10000; ++k) tree.Insert(k, StrBytes("v"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.RangeQueryWithProof(5000, 5050));
+  }
+}
+BENCHMARK(BM_MbTreeRangeQuery);
+
+void BM_SkipListQueryNear(benchmark::State& state) {
+  mht::AuthSkipList list;
+  for (std::uint64_t t = 1; t <= 10000; ++t) list.Append(t, StrBytes("v"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.QueryWithProof(9900, 9950));
+  }
+}
+BENCHMARK(BM_SkipListQueryNear);
+
+void BM_SkipListQueryFar(benchmark::State& state) {
+  mht::AuthSkipList list;
+  for (std::uint64_t t = 1; t <= 10000; ++t) list.Append(t, StrBytes("v"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.QueryWithProof(100, 150));
+  }
+}
+BENCHMARK(BM_SkipListQueryFar);
+
+void BM_MptPut(benchmark::State& state) {
+  mht::MptTrie trie;
+  int i = 0;
+  for (auto _ : state) {
+    Hash256 key = crypto::Sha256::Digest(StrBytes("acct" + std::to_string(i++)));
+    trie.Put(key, crypto::Sha256::Digest(StrBytes("root")));
+  }
+}
+BENCHMARK(BM_MptPut);
+
+void BM_MerkleTreeBuild(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(crypto::Sha256::Digest(StrBytes("tx" + std::to_string(i))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mht::MerkleTree::ComputeRoot(leaves));
+  }
+}
+BENCHMARK(BM_MerkleTreeBuild)->Arg(100)->Arg(1000);
+
+void BM_EcallDispatch(benchmark::State& state) {
+  sgxsim::Enclave enclave("bench", "1.0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enclave.Ecall(64, [] { return 1; }));
+  }
+}
+BENCHMARK(BM_EcallDispatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

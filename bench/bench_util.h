@@ -1,0 +1,93 @@
+// Shared plumbing for the figure-reproduction benchmarks: a mining+CI rig,
+// table formatting, and the Table-1 parameter banner. Each bench binary
+// regenerates one figure of the paper (see EXPERIMENTS.md for the mapping
+// and the scale-down factors relative to the paper's testbed).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "chain/node.h"
+#include "common/timing.h"
+#include "dcert/issuer.h"
+#include "dcert/superlight.h"
+#include "workloads/workloads.h"
+
+namespace dcert::bench {
+
+inline void PrintHeader(const std::string& figure, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintParams(const std::string& params) {
+  std::printf("parameters: %s\n\n", params.c_str());
+}
+
+/// A self-contained chain + CI + workload-generator rig.
+struct Rig {
+  chain::ChainConfig config;
+  std::shared_ptr<const chain::ContractRegistry> registry;
+  std::unique_ptr<core::CertificateIssuer> ci;
+  std::unique_ptr<chain::FullNode> miner_node;
+  std::unique_ptr<chain::Miner> miner;
+  std::unique_ptr<workloads::AccountPool> pool;
+  std::unique_ptr<workloads::WorkloadGenerator> gen;
+
+  Rig(workloads::Workload kind, std::size_t accounts, std::uint64_t instances,
+      sgxsim::CostModelParams cost_model = {}, std::uint32_t difficulty = 4,
+      std::uint64_t kv_keys = 500, std::uint64_t cpu_iterations = 256,
+      std::uint64_t io_keys_per_tx = 32) {
+    config.difficulty_bits = difficulty;
+    registry = workloads::MakeBlockbenchRegistry(instances);
+    ci = std::make_unique<core::CertificateIssuer>(config, registry, cost_model);
+    miner_node = std::make_unique<chain::FullNode>(config, registry);
+    miner = std::make_unique<chain::Miner>(*miner_node);
+    pool = std::make_unique<workloads::AccountPool>(accounts, 42);
+    workloads::WorkloadGenerator::Params params;
+    params.kind = kind;
+    params.instances_per_workload = instances;
+    params.kv_keys = kv_keys;
+    params.cpu_iterations = cpu_iterations;
+    params.io_keys_per_tx = io_keys_per_tx;
+    gen = std::make_unique<workloads::WorkloadGenerator>(params, *pool);
+  }
+
+  /// Mines a block of `txs` transactions and appends it to the miner's node
+  /// (NOT to the CI — the caller decides how the CI processes it).
+  chain::Block MineNext(std::size_t txs) {
+    auto block = miner->MineBlock(gen->NextBlockTxs(txs),
+                                  1700000000 + miner_node->Height() * 15);
+    if (!block.ok()) throw std::runtime_error("mining: " + block.message());
+    if (Status st = miner_node->SubmitBlock(block.value()); !st) {
+      throw std::runtime_error("submit: " + st.message());
+    }
+    return std::move(block.value());
+  }
+
+  /// Mines a block from explicitly provided transactions.
+  chain::Block MineTxs(std::vector<chain::Transaction> txs) {
+    auto block = miner->MineBlock(std::move(txs),
+                                  1700000000 + miner_node->Height() * 15);
+    if (!block.ok()) throw std::runtime_error("mining: " + block.message());
+    if (Status st = miner_node->SubmitBlock(block.value()); !st) {
+      throw std::runtime_error("submit: " + st.message());
+    }
+    return std::move(block.value());
+  }
+};
+
+/// Mean over a vector of doubles.
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace dcert::bench

@@ -1,0 +1,76 @@
+// The full DCert certification workflow (paper Fig. 2) over a simulated
+// network: a miner proposes SmallBank blocks every (virtual) 15 seconds; a
+// plain full node and an SGX-enabled Certificate Issuer validate them; the
+// CI broadcasts certificates; two superlight clients follow the chain from
+// certificates alone. Messages are serialized and arrive with randomized
+// latency, so blocks and certificates can be reordered in flight.
+#include <cstdio>
+
+#include "net/actors.h"
+
+using namespace dcert;
+
+int main() {
+  chain::ChainConfig config;
+  config.difficulty_bits = 6;
+  auto registry = workloads::MakeBlockbenchRegistry(2);
+
+  net::SimNetwork network(/*seed=*/2022, /*min_latency_us=*/10'000,
+                          /*max_latency_us=*/900'000);
+
+  workloads::WorkloadGenerator::Params gen_params;
+  gen_params.kind = workloads::Workload::kSmallBank;
+  gen_params.instances_per_workload = 2;
+
+  net::MinerActor miner("miner-0", config, registry, gen_params,
+                        /*accounts=*/16, /*txs_per_block=*/15,
+                        /*block_interval_us=*/15'000'000);
+  net::FullNodeActor full_node("fullnode-0", config, registry);
+  net::CiActor ci("ci-0", config, registry);
+  net::SuperlightActor alice("client-alice");
+  net::SuperlightActor bob("client-bob");
+
+  network.AddActor(&miner);
+  network.AddActor(&full_node);
+  network.AddActor(&ci);
+  network.AddActor(&alice);
+  network.AddActor(&bob);
+
+  // Ten minutes of virtual time ≈ 40 blocks at a 15 s interval.
+  const net::SimTime end = network.Run(/*until=*/600'000'000);
+
+  std::printf("simulated %.0f s of network time\n", static_cast<double>(end) / 1e6);
+  std::printf("miner proposed:        %llu blocks\n",
+              static_cast<unsigned long long>(miner.BlocksProposed()));
+  std::printf("full node height:      %llu (rejected %llu)\n",
+              static_cast<unsigned long long>(full_node.Node().Height()),
+              static_cast<unsigned long long>(full_node.RejectedBlocks()));
+  std::printf("CI certificates:       %llu\n",
+              static_cast<unsigned long long>(ci.CertsIssued()));
+  std::printf("alice height:          %llu (accepted %llu, stale %llu, invalid %llu)\n",
+              static_cast<unsigned long long>(alice.Client().Height()),
+              static_cast<unsigned long long>(alice.Accepted()),
+              static_cast<unsigned long long>(alice.RejectedStale()),
+              static_cast<unsigned long long>(alice.RejectedInvalid()));
+  std::printf("bob height:            %llu, storage %zu bytes\n",
+              static_cast<unsigned long long>(bob.Client().Height()),
+              bob.Client().StorageBytes());
+  const net::NetStats& stats = network.Stats();
+  std::printf("network: %llu messages, %.1f KB total\n",
+              static_cast<unsigned long long>(stats.messages_delivered),
+              static_cast<double>(stats.bytes_delivered) / 1024.0);
+  for (const auto& [topic, count] : stats.messages_by_topic) {
+    std::printf("  topic %-6s : %llu\n", topic.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  // Sanity: the clients follow the chain despite reordering and never accept
+  // anything invalid.
+  const bool healthy = alice.RejectedInvalid() == 0 && bob.RejectedInvalid() == 0 &&
+                       alice.Client().Height() > 0 &&
+                       alice.Client().Height() <= ci.Issuer().Node().Height();
+  std::printf("\n%s\n", healthy ? "workflow healthy: clients tracked the chain "
+                                  "from certificates alone"
+                                : "WORKFLOW UNHEALTHY");
+  return healthy ? 0 : 1;
+}

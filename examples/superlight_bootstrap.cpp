@@ -1,0 +1,75 @@
+// Bootstrapping comparison (the intuition behind the paper's Fig. 7):
+// a freshly joining traditional light client must download and validate
+// every header, while a DCert superlight client fetches one header + one
+// certificate. This example grows a header chain and reports both clients'
+// storage and (re)validation cost as the chain grows.
+#include <cstdio>
+
+#include "chain/node.h"
+#include "common/timing.h"
+#include "dcert/issuer.h"
+#include "dcert/superlight.h"
+#include "workloads/workloads.h"
+
+using namespace dcert;
+
+int main() {
+  chain::ChainConfig config;
+  config.difficulty_bits = 4;  // cheap mining: this example is about headers
+  auto registry = workloads::MakeBlockbenchRegistry(1);
+
+  core::CertificateIssuer ci(config, registry);
+  chain::FullNode miner_node(config, registry);
+  chain::Miner miner(miner_node);
+  workloads::AccountPool accounts(4, 5);
+  workloads::WorkloadGenerator::Params params;
+  params.kind = workloads::Workload::kDoNothing;
+  params.instances_per_workload = 1;
+  workloads::WorkloadGenerator gen(params, accounts);
+
+  chain::LightClient light(miner_node.GetBlock(0).header);
+  core::SuperlightClient superlight(core::ExpectedEnclaveMeasurement());
+
+  std::printf("%10s | %14s %14s | %14s %14s\n", "height", "light bytes",
+              "light ms", "superlt bytes", "superlt ms");
+
+  const int kCheckpoints[] = {100, 200, 400, 800, 1600};
+  int mined = 0;
+  chain::Block latest;
+  core::BlockCertificate latest_cert;
+  for (int checkpoint : kCheckpoints) {
+    while (mined < checkpoint) {
+      auto block = miner.MineBlock(gen.NextBlockTxs(1), 1000 + mined);
+      if (!block.ok() || !miner_node.SubmitBlock(block.value())) return 1;
+      auto cert = ci.ProcessBlock(block.value());
+      if (!cert.ok()) {
+        std::fprintf(stderr, "cert failed: %s\n", cert.message().c_str());
+        return 1;
+      }
+      if (!light.SyncHeader(block.value().header).ok()) return 1;
+      latest = block.value();
+      latest_cert = cert.value();
+      ++mined;
+    }
+
+    // Traditional light client: full header-chain re-validation (bootstrap).
+    Stopwatch light_watch;
+    if (!light.ValidateAll().ok()) return 1;
+    double light_ms = light_watch.ElapsedMs();
+
+    // Superlight client: validate the latest header + certificate only.
+    core::SuperlightClient fresh(core::ExpectedEnclaveMeasurement());
+    Stopwatch super_watch;
+    if (!fresh.ValidateAndAccept(latest.header, latest_cert).ok()) return 1;
+    double super_ms = super_watch.ElapsedMs();
+
+    std::printf("%10d | %14zu %14.2f | %14zu %14.3f\n", checkpoint,
+                light.StorageBytes(), light_ms, fresh.StorageBytes(), super_ms);
+    (void)superlight;
+  }
+
+  std::printf(
+      "\nThe light client's cost grows linearly with the chain; the\n"
+      "superlight client's storage and validation stay constant.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Block structure (paper Fig. 1): headers carry the previous-block hash, the
+// consensus proof, and the state and transaction Merkle roots; bodies carry
+// the signed transactions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "crypto/signature.h"
+
+namespace dcert::chain {
+
+struct BlockHeader {
+  Hash256 prev_hash;                 // H_prev_blk
+  std::uint64_t height = 0;
+  std::uint64_t timestamp = 0;
+  std::uint64_t consensus_nonce = 0; // the PoW part of pi_cons
+  std::uint32_t difficulty_bits = 0; // required leading zero bits of the hash
+  Hash256 state_root;                // H_state
+  Hash256 tx_root;                   // H_tx
+
+  Bytes Serialize() const;
+  static Result<BlockHeader> Deserialize(ByteView data);
+  /// Header digest — the chain link and the value DCert certificates sign.
+  Hash256 Hash() const;
+
+  bool operator==(const BlockHeader&) const = default;
+};
+
+/// A signed transaction: `sender` invokes `contract_id` with `calldata`.
+struct Transaction {
+  crypto::PublicKey sender;
+  std::uint64_t nonce = 0;
+  std::uint64_t contract_id = 0;
+  std::vector<std::uint64_t> calldata;
+  crypto::Signature signature;
+
+  /// Builds and signs a transaction.
+  static Transaction Create(const crypto::SecretKey& sender_key,
+                            std::uint64_t nonce, std::uint64_t contract_id,
+                            std::vector<std::uint64_t> calldata);
+
+  Bytes SigningPayload() const;
+  Bytes Serialize() const;
+  static Result<Transaction> Deserialize(ByteView data);
+  Hash256 Hash() const;
+
+  /// The validity check miners, full nodes, and the enclave all run.
+  Status VerifySignature() const;
+
+  /// The caller word the VM sees (low 64 bits of the sender key hash).
+  std::uint64_t CallerWord() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> txs;
+
+  /// Merkle root over the transaction hashes (H_tx).
+  static Hash256 ComputeTxRoot(const std::vector<Transaction>& txs);
+
+  Bytes Serialize() const;
+  static Result<Block> Deserialize(ByteView data);
+
+  /// Total serialized size — what a full node stores per block.
+  std::size_t ByteSize() const { return Serialize().size(); }
+};
+
+/// Fixed serialized size of a header (all fields are fixed width).
+std::size_t HeaderByteSize();
+
+}  // namespace dcert::chain

@@ -1,0 +1,63 @@
+// Append-only file-backed block store: how a full node or CI persists the
+// chain across restarts. One file, length-prefixed CRC-checked records, an
+// in-memory offset index built by a scan on open. A torn tail (crash during
+// the last append) is detected and truncated away on reopen.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/node.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcert::chain {
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte buffer.
+std::uint32_t Crc32(ByteView data);
+
+class BlockStore {
+ public:
+  ~BlockStore();
+  BlockStore(BlockStore&&) noexcept;
+  BlockStore& operator=(BlockStore&&) noexcept;
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  /// Opens (creating if absent) the store at `path`. Scans existing records,
+  /// verifying magic + CRC; a corrupt or torn tail is truncated (records
+  /// before it stay readable) and reported in the result's recovered flag.
+  static Result<BlockStore> Open(const std::string& path);
+
+  /// Appends a block. The block's height must equal Count() (blocks are
+  /// stored densely from genesis).
+  Status Append(const Block& block);
+
+  /// Reads the block at `height` back from the file.
+  Result<Block> Get(std::uint64_t height) const;
+
+  /// Number of stored blocks.
+  std::uint64_t Count() const { return offsets_.size(); }
+
+  /// True when Open() had to truncate a torn/corrupt tail.
+  bool RecoveredFromTornTail() const { return recovered_; }
+
+  const std::string& Path() const { return path_; }
+
+ private:
+  BlockStore(std::string path, std::vector<std::uint64_t> offsets, bool recovered);
+
+  std::string path_;
+  std::vector<std::uint64_t> offsets_;  // file offset of each record header
+  bool recovered_ = false;
+};
+
+/// Rebuilds a full node by replaying every stored block (genesis must match
+/// the config). Returns the node at the stored tip.
+Result<FullNode> ReplayFromStore(const BlockStore& store, ChainConfig config,
+                                 std::shared_ptr<const ContractRegistry> registry);
+
+}  // namespace dcert::chain

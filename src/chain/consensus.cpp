@@ -1,0 +1,40 @@
+#include "chain/consensus.h"
+
+#include <stdexcept>
+
+namespace dcert::chain {
+
+namespace {
+
+bool HasLeadingZeroBits(const Hash256& h, std::uint32_t bits) {
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    if (h.Bit(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void MineNonce(BlockHeader& header) {
+  if (header.difficulty_bits > 24) {
+    throw std::invalid_argument("MineNonce: difficulty too high for simulation");
+  }
+  header.consensus_nonce = 0;
+  while (!HasLeadingZeroBits(header.Hash(), header.difficulty_bits)) {
+    ++header.consensus_nonce;
+  }
+}
+
+Status VerifyConsensus(const BlockHeader& header) {
+  if (!HasLeadingZeroBits(header.Hash(), header.difficulty_bits)) {
+    return Status::Error("consensus proof does not meet the difficulty target");
+  }
+  return Status::Ok();
+}
+
+bool SatisfiesChainSelection(std::uint64_t current_best_height,
+                             const BlockHeader& candidate) {
+  return candidate.height > current_best_height;
+}
+
+}  // namespace dcert::chain

@@ -1,0 +1,24 @@
+// Simulated Proof-of-Work consensus. The proof pi_cons is a nonce making the
+// header hash start with `difficulty_bits` zero bits; low difficulties keep
+// experiments laptop-scale while exercising the same verify path as Bitcoin-
+// style chains (Alg. 2 line 15 / Alg. 3's chain-rule check).
+#pragma once
+
+#include "chain/block.h"
+#include "common/status.h"
+
+namespace dcert::chain {
+
+/// Mines the nonce in place. Difficulty must be small enough to terminate
+/// quickly (<= 24 bits enforced to protect tests from configuration typos).
+void MineNonce(BlockHeader& header);
+
+/// verify_cons: the consensus-proof check.
+Status VerifyConsensus(const BlockHeader& header);
+
+/// The chain-selection rule (longest chain): does `candidate` extend or beat
+/// the currently selected height? Used by superlight clients (Alg. 3 line 8).
+bool SatisfiesChainSelection(std::uint64_t current_best_height,
+                             const BlockHeader& candidate);
+
+}  // namespace dcert::chain

@@ -1,0 +1,141 @@
+#include "chain/node.h"
+
+#include <stdexcept>
+
+#include "mht/smt.h"
+
+namespace dcert::chain {
+
+Block MakeGenesisBlock(const ChainConfig& config) {
+  Block genesis;
+  genesis.header.prev_hash = Hash256();
+  genesis.header.height = 0;
+  genesis.header.timestamp = config.genesis_timestamp;
+  genesis.header.difficulty_bits = config.difficulty_bits;
+  genesis.header.state_root = mht::SparseMerkleTree().Root();
+  genesis.header.tx_root = Block::ComputeTxRoot({});
+  MineNonce(genesis.header);
+  return genesis;
+}
+
+FullNode::FullNode(ChainConfig config,
+                   std::shared_ptr<const ContractRegistry> registry)
+    : config_(config), registry_(std::move(registry)) {
+  if (!registry_) {
+    throw std::invalid_argument("FullNode: registry must not be null");
+  }
+  blocks_.push_back(MakeGenesisBlock(config_));
+}
+
+Status FullNode::SubmitBlock(const Block& block) {
+  const BlockHeader& hdr = block.header;
+  const BlockHeader& tip = Tip().header;
+  if (hdr.prev_hash != tip.Hash()) {
+    return Status::Error("block does not extend the current tip");
+  }
+  if (hdr.height != tip.height + 1) {
+    return Status::Error("block height is not tip height + 1");
+  }
+  if (hdr.difficulty_bits != config_.difficulty_bits) {
+    return Status::Error("unexpected difficulty");
+  }
+  if (Status st = VerifyConsensus(hdr); !st) return st;
+  if (hdr.tx_root != Block::ComputeTxRoot(block.txs)) {
+    return Status::Error("transaction root mismatch");
+  }
+
+  auto executed = ExecuteBlockTxs(block.txs, *registry_, state_);
+  if (!executed) return executed.status().WithContext("block execution");
+
+  // Predict the post-state root statelessly before touching the StateDB.
+  const StateMap& writes = executed.value().writes;
+  std::vector<StateKey> touched;
+  touched.reserve(writes.size());
+  std::map<Hash256, Hash256> new_leaves;
+  for (const auto& [key, value] : writes) {
+    touched.push_back(key);
+    new_leaves[key] = StateValueHash(value);
+  }
+  Hash256 predicted_root =
+      writes.empty() ? state_.Root()
+                     : mht::SparseMerkleTree::ComputeRootFromProof(
+                           state_.ProveKeys(touched), new_leaves);
+  if (predicted_root != hdr.state_root) {
+    return Status::Error("state root mismatch after re-execution");
+  }
+
+  state_.ApplyWrites(writes);
+  blocks_.push_back(block);
+  return Status::Ok();
+}
+
+std::size_t FullNode::StorageBytes() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.ByteSize();
+  return total;
+}
+
+Result<Block> Miner::MineBlock(std::vector<Transaction> txs,
+                               std::uint64_t timestamp) const {
+  using R = Result<Block>;
+  auto executed = ExecuteBlockTxs(txs, node_->Registry(), node_->State());
+  if (!executed) return R(executed.status().WithContext("mining execution"));
+
+  const StateMap& writes = executed.value().writes;
+  Hash256 new_root = node_->State().Root();
+  if (!writes.empty()) {
+    std::vector<StateKey> touched;
+    std::map<Hash256, Hash256> new_leaves;
+    for (const auto& [key, value] : writes) {
+      touched.push_back(key);
+      new_leaves[key] = StateValueHash(value);
+    }
+    new_root = mht::SparseMerkleTree::ComputeRootFromProof(
+        node_->State().ProveKeys(touched), new_leaves);
+  }
+
+  Block block;
+  block.header.prev_hash = node_->Tip().header.Hash();
+  block.header.height = node_->Height() + 1;
+  block.header.timestamp = timestamp;
+  block.header.difficulty_bits = node_->Config().difficulty_bits;
+  block.header.state_root = new_root;
+  block.header.tx_root = Block::ComputeTxRoot(txs);
+  block.txs = std::move(txs);
+  MineNonce(block.header);
+  return block;
+}
+
+LightClient::LightClient(const BlockHeader& genesis_header) {
+  headers_.push_back(genesis_header);
+}
+
+Status LightClient::CheckLink(const BlockHeader& prev, const BlockHeader& next) {
+  if (next.prev_hash != prev.Hash()) {
+    return Status::Error("header does not link to the previous header");
+  }
+  if (next.height != prev.height + 1) {
+    return Status::Error("non-consecutive header height");
+  }
+  return VerifyConsensus(next);
+}
+
+Status LightClient::SyncHeader(const BlockHeader& header) {
+  if (Status st = CheckLink(headers_.back(), header); !st) return st;
+  headers_.push_back(header);
+  return Status::Ok();
+}
+
+Status LightClient::ValidateAll() const {
+  if (Status st = VerifyConsensus(headers_.front()); !st) {
+    return st.WithContext("genesis");
+  }
+  for (std::size_t i = 1; i < headers_.size(); ++i) {
+    if (Status st = CheckLink(headers_[i - 1], headers_[i]); !st) {
+      return st.WithContext("header " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dcert::chain

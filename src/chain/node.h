@@ -1,0 +1,92 @@
+// Node roles: full node (validate + store everything), miner (propose
+// blocks), and the *traditional* light client that DCert's superlight client
+// is benchmarked against (Fig. 7) — it stores and validates every header.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/consensus.h"
+#include "chain/executor.h"
+#include "chain/state.h"
+#include "common/status.h"
+
+namespace dcert::chain {
+
+struct ChainConfig {
+  std::uint32_t difficulty_bits = 8;
+  std::uint64_t genesis_timestamp = 1'700'000'000;
+};
+
+/// Deterministic genesis block (height 0, empty state, no transactions).
+Block MakeGenesisBlock(const ChainConfig& config);
+
+class FullNode {
+ public:
+  FullNode(ChainConfig config, std::shared_ptr<const ContractRegistry> registry);
+
+  const ChainConfig& Config() const { return config_; }
+  const ContractRegistry& Registry() const { return *registry_; }
+
+  const Block& Tip() const { return blocks_.back(); }
+  std::uint64_t Height() const { return Tip().header.height; }
+  const Block& GetBlock(std::uint64_t height) const { return blocks_.at(height); }
+  const StateDB& State() const { return state_; }
+
+  /// Full validation: header linkage, consensus proof, tx root, re-execution,
+  /// and state-root check — then append.
+  Status SubmitBlock(const Block& block);
+
+  /// Bytes a full node stores for the whole chain (headers + bodies).
+  std::size_t StorageBytes() const;
+
+ private:
+  ChainConfig config_;
+  std::shared_ptr<const ContractRegistry> registry_;
+  std::vector<Block> blocks_;
+  StateDB state_;
+};
+
+/// Builds valid blocks on top of a full node's current tip without mutating
+/// its state (the produced block is then submitted to the network).
+class Miner {
+ public:
+  explicit Miner(const FullNode& node) : node_(&node) {}
+
+  /// Executes `txs` against the node's tip state, derives the new state root
+  /// statelessly, assembles the header, and mines the consensus nonce.
+  /// Fails when the transactions are invalid on this state.
+  Result<Block> MineBlock(std::vector<Transaction> txs,
+                          std::uint64_t timestamp) const;
+
+ private:
+  const FullNode* node_;
+};
+
+/// Traditional light client: keeps every header, validates linkage +
+/// consensus. The Fig. 7 baseline.
+class LightClient {
+ public:
+  explicit LightClient(const BlockHeader& genesis_header);
+
+  /// Validates and appends the next header.
+  Status SyncHeader(const BlockHeader& header);
+
+  std::uint64_t Height() const { return headers_.back().height; }
+  std::size_t HeaderCount() const { return headers_.size(); }
+
+  /// Storage footprint: all headers (what Fig. 7a plots).
+  std::size_t StorageBytes() const { return headers_.size() * HeaderByteSize(); }
+
+  /// Re-validates the whole stored chain — the bootstrap work a freshly
+  /// joined light client performs (what Fig. 7b times).
+  Status ValidateAll() const;
+
+ private:
+  static Status CheckLink(const BlockHeader& prev, const BlockHeader& next);
+
+  std::vector<BlockHeader> headers_;
+};
+
+}  // namespace dcert::chain

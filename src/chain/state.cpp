@@ -1,0 +1,58 @@
+#include "chain/state.h"
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+#include "vm/rwset_storage.h"
+
+namespace dcert::chain {
+
+StateKey SlotKey(std::uint64_t contract_id, std::uint64_t slot) {
+  Encoder enc;
+  enc.Str("slot");
+  enc.U64(contract_id);
+  enc.U64(slot);
+  return crypto::Sha256::Digest(enc.bytes());
+}
+
+StateKey NonceKey(const crypto::PublicKey& sender) {
+  Encoder enc;
+  enc.Str("nonce");
+  enc.Raw(sender.Serialize());
+  return crypto::Sha256::Digest(enc.bytes());
+}
+
+Hash256 StateValueHash(std::uint64_t value) {
+  if (value == 0) return Hash256();
+  Encoder enc;
+  enc.U64(value);
+  return crypto::Sha256::Digest(enc.bytes());
+}
+
+std::uint64_t StateDB::Load(const StateKey& key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? 0 : it->second;
+}
+
+void StateDB::Store(const StateKey& key, std::uint64_t value) {
+  if (value == 0) {
+    values_.erase(key);
+  } else {
+    values_[key] = value;
+  }
+  smt_.Update(key, StateValueHash(value));
+}
+
+void StateDB::ApplyWrites(const StateMap& writes) {
+  for (const auto& [key, value] : writes) Store(key, value);
+}
+
+std::uint64_t ReadSetReader::Load(const StateKey& key) const {
+  auto it = read_set_->find(key);
+  if (it == read_set_->end()) {
+    // Reuse the VM's sentinel exception type for "proof incomplete".
+    throw vm::ReadOutsideReadSet(Hash256Hasher{}(key));
+  }
+  return it->second;
+}
+
+}  // namespace dcert::chain

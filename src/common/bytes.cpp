@@ -1,0 +1,79 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace dcert {
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+Hash256 Hash256::FromBytes(ByteView bytes) {
+  if (bytes.size() != kSize) {
+    throw std::invalid_argument("Hash256::FromBytes: need exactly 32 bytes");
+  }
+  std::array<std::uint8_t, kSize> data;
+  std::memcpy(data.data(), bytes.data(), kSize);
+  return Hash256(data);
+}
+
+Hash256 Hash256::FromHex(std::string_view hex) {
+  Bytes raw = dcert::FromHex(hex);
+  return FromBytes(raw);
+}
+
+bool Hash256::IsZero() const {
+  for (std::uint8_t b : data_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+std::string Hash256::ToHex() const { return dcert::ToHex(View()); }
+
+std::string ToHex(ByteView bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("FromHex: odd-length hex string");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("FromHex: invalid hex digit");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void Append(Bytes& dst, ByteView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+void Append(Bytes& dst, const Hash256& h) { Append(dst, h.View()); }
+
+Bytes StrBytes(std::string_view s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s.data()),
+               reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+}  // namespace dcert

@@ -1,0 +1,83 @@
+// Basic byte-buffer and 256-bit digest types shared by every DCert module.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcert {
+
+/// Raw byte buffer used for wire formats, proofs, and values.
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// A 256-bit digest (SHA-256 output). Value type with total ordering so it can
+/// key ordered and unordered containers alike.
+class Hash256 {
+ public:
+  static constexpr std::size_t kSize = 32;
+
+  constexpr Hash256() : data_{} {}
+  explicit Hash256(const std::array<std::uint8_t, kSize>& data) : data_(data) {}
+
+  /// Builds a digest from exactly 32 bytes; throws std::invalid_argument otherwise.
+  static Hash256 FromBytes(ByteView bytes);
+
+  /// Parses a 64-character hex string; throws std::invalid_argument on bad input.
+  static Hash256 FromHex(std::string_view hex);
+
+  const std::array<std::uint8_t, kSize>& data() const { return data_; }
+  std::uint8_t* begin() { return data_.data(); }
+  std::uint8_t* end() { return data_.data() + kSize; }
+  const std::uint8_t* begin() const { return data_.data(); }
+  const std::uint8_t* end() const { return data_.data() + kSize; }
+  std::size_t size() const { return kSize; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+  std::uint8_t& operator[](std::size_t i) { return data_[i]; }
+
+  /// True iff every byte is zero (the conventional "null digest").
+  bool IsZero() const;
+
+  /// Returns the i-th bit, most-significant first (bit 0 = MSB of byte 0).
+  /// Used to navigate binary Merkle tries keyed by digest bits.
+  bool Bit(std::size_t i) const {
+    return (data_[i / 8] >> (7 - (i % 8))) & 1u;
+  }
+
+  std::string ToHex() const;
+  Bytes ToBytes() const { return Bytes(data_.begin(), data_.end()); }
+  ByteView View() const { return ByteView(data_.data(), kSize); }
+
+  auto operator<=>(const Hash256&) const = default;
+
+ private:
+  std::array<std::uint8_t, kSize> data_;
+};
+
+/// FNV-1a style mixing over the first 8 bytes; digests are uniformly random so
+/// truncation is a perfectly good hash for containers.
+struct Hash256Hasher {
+  std::size_t operator()(const Hash256& h) const {
+    std::uint64_t v;
+    std::memcpy(&v, h.data().data(), sizeof(v));
+    return static_cast<std::size_t>(v);
+  }
+};
+
+/// Hex helpers for logs and test vectors.
+std::string ToHex(ByteView bytes);
+Bytes FromHex(std::string_view hex);
+
+/// Appends `src` to `dst` (concatenation helper for preimages).
+void Append(Bytes& dst, ByteView src);
+void Append(Bytes& dst, const Hash256& h);
+
+/// Converts a string literal into bytes (no terminator).
+Bytes StrBytes(std::string_view s);
+
+}  // namespace dcert

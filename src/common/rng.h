@@ -1,0 +1,28 @@
+// Deterministic pseudo-random generator (xoshiro256**) for workload generation
+// and tests. Deterministic seeding keeps every experiment reproducible; it is
+// NOT used for key material (crypto derives nonces by hashing).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dcert {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t NextU64();
+  /// Uniform in [0, bound) for bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t NextRange(std::uint64_t lo, std::uint64_t hi);
+  double NextDouble();  // [0, 1)
+  Bytes NextBytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dcert

@@ -1,0 +1,87 @@
+// Lightweight Status/Result types for *expected* failures (verification of
+// untrusted inputs: certificates, proofs, blocks). Programming errors and
+// malformed internal state still throw exceptions, per the Core Guidelines.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dcert {
+
+/// Outcome of verifying untrusted data. Conversion to bool tests success so
+/// call sites read naturally: `if (!VerifyCert(...)) ...`.
+class Status {
+ public:
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return message_.empty(); }
+  explicit operator bool() const { return ok(); }
+  const std::string& message() const { return message_; }
+
+  /// Prepends context to an error, leaving OK untouched.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Error(context + ": " + message_);
+  }
+
+ private:
+  Status() = default;
+  explicit Status(std::string message) : message_(std::move(message)) {
+    if (message_.empty()) message_ = "(unspecified error)";
+  }
+
+  std::string message_;  // empty == OK
+};
+
+/// A value or an error message. `value()` throws std::logic_error if accessed
+/// on an error — that is a caller bug, not an expected failure.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(storage_).ok()) {
+      throw std::logic_error("Result constructed from OK status without a value");
+    }
+  }
+  static Result Error(std::string message) {
+    return Result(Status::Error(std::move(message)));
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    Check();
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    Check();
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    Check();
+    return std::get<T>(std::move(storage_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(storage_);
+  }
+  const std::string& message() const { return std::get<Status>(storage_).message(); }
+
+ private:
+  void Check() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(storage_).message());
+    }
+  }
+
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace dcert

@@ -1,0 +1,51 @@
+// Wall-clock stopwatch and duration accumulators for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dcert {
+
+/// Monotonic stopwatch; Elapsed* reads do not stop it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  std::uint64_t ElapsedNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+  double ElapsedUs() const { return static_cast<double>(ElapsedNs()) / 1e3; }
+  double ElapsedMs() const { return static_cast<double>(ElapsedNs()) / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates durations across repeated measurements of one phase.
+class DurationAccumulator {
+ public:
+  void AddNs(std::uint64_t ns) {
+    total_ns_ += ns;
+    ++count_;
+  }
+  std::uint64_t total_ns() const { return total_ns_; }
+  std::uint64_t count() const { return count_; }
+  double MeanMs() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(total_ns_) / 1e6 / count_;
+  }
+  void Reset() {
+    total_ns_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace dcert

@@ -1,0 +1,209 @@
+#include "crypto/secp256k1.h"
+
+#include <stdexcept>
+
+namespace dcert::crypto {
+
+namespace {
+
+// p = 2^256 - 2^32 - 977
+const U256 kP = U256::FromHex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kPc = U256::FromHex("1000003d1");
+// n = group order
+const U256 kN = U256::FromHex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+const U256 kNc = U256::FromHex("14551231950b75fc4402da1732fc9bebf");
+
+const ModArith& FpArith() {
+  static const ModArith fp(kP, kPc);
+  return fp;
+}
+
+const ModArith& FnArith() {
+  static const ModArith fn(kN, kNc);
+  return fn;
+}
+
+const AffinePoint kG = {
+    U256::FromHex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"),
+    U256::FromHex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"),
+    false};
+
+}  // namespace
+
+const ModArith& Secp256k1Params::Fp() const { return FpArith(); }
+const ModArith& Secp256k1Params::Fn() const { return FnArith(); }
+const U256& Secp256k1Params::P() const { return kP; }
+const U256& Secp256k1Params::N() const { return kN; }
+
+const Secp256k1Params& Curve() {
+  static const Secp256k1Params params;
+  return params;
+}
+
+const AffinePoint& Generator() { return kG; }
+
+Bytes AffinePoint::Serialize() const {
+  if (infinity) throw std::logic_error("AffinePoint::Serialize: infinity");
+  Bytes out = x.ToBytesBE();
+  Bytes ybytes = y.ToBytesBE();
+  out.insert(out.end(), ybytes.begin(), ybytes.end());
+  return out;
+}
+
+std::optional<AffinePoint> AffinePoint::Deserialize(ByteView bytes64) {
+  if (bytes64.size() != 64) return std::nullopt;
+  AffinePoint p;
+  p.x = U256::FromBytesBE(bytes64.subspan(0, 32));
+  p.y = U256::FromBytesBE(bytes64.subspan(32, 32));
+  p.infinity = false;
+  if (p.x >= kP || p.y >= kP) return std::nullopt;
+  if (!p.IsOnCurve()) return std::nullopt;
+  return p;
+}
+
+bool AffinePoint::IsOnCurve() const {
+  if (infinity) return false;
+  const ModArith& fp = FpArith();
+  U256 lhs = fp.Sqr(y);
+  U256 rhs = fp.Add(fp.Mul(fp.Sqr(x), x), U256(7));
+  return lhs == rhs;
+}
+
+JacobianPoint JacobianPoint::Infinity() { return {U256(1), U256(1), U256(0)}; }
+
+JacobianPoint JacobianPoint::FromAffine(const AffinePoint& p) {
+  if (p.infinity) return Infinity();
+  return {p.x, p.y, U256(1)};
+}
+
+AffinePoint JacobianPoint::ToAffine() const {
+  if (IsInfinity()) return {U256(0), U256(0), true};
+  const ModArith& fp = FpArith();
+  U256 zinv = fp.Inv(z);
+  U256 zinv2 = fp.Sqr(zinv);
+  U256 zinv3 = fp.Mul(zinv2, zinv);
+  return {fp.Mul(x, zinv2), fp.Mul(y, zinv3), false};
+}
+
+JacobianPoint Double(const JacobianPoint& p) {
+  if (p.IsInfinity() || p.y.IsZero()) return JacobianPoint::Infinity();
+  const ModArith& fp = FpArith();
+  // Standard dbl-2009-l formulas (a = 0 curve).
+  U256 a = fp.Sqr(p.x);
+  U256 b = fp.Sqr(p.y);
+  U256 c = fp.Sqr(b);
+  U256 d = fp.Sub(fp.Sqr(fp.Add(p.x, b)), fp.Add(a, c));
+  d = fp.Add(d, d);
+  U256 e = fp.Add(fp.Add(a, a), a);
+  U256 f = fp.Sqr(e);
+  U256 x3 = fp.Sub(f, fp.Add(d, d));
+  U256 c8 = fp.Add(c, c);
+  c8 = fp.Add(c8, c8);
+  c8 = fp.Add(c8, c8);
+  U256 y3 = fp.Sub(fp.Mul(e, fp.Sub(d, x3)), c8);
+  U256 z3 = fp.Mul(fp.Add(p.y, p.y), p.z);
+  return {x3, y3, z3};
+}
+
+JacobianPoint AddJacobian(const JacobianPoint& p, const JacobianPoint& q) {
+  if (p.IsInfinity()) return q;
+  if (q.IsInfinity()) return p;
+  const ModArith& fp = FpArith();
+  U256 z1z1 = fp.Sqr(p.z);
+  U256 z2z2 = fp.Sqr(q.z);
+  U256 u1 = fp.Mul(p.x, z2z2);
+  U256 u2 = fp.Mul(q.x, z1z1);
+  U256 s1 = fp.Mul(fp.Mul(p.y, z2z2), q.z);
+  U256 s2 = fp.Mul(fp.Mul(q.y, z1z1), p.z);
+  if (u1 == u2) {
+    if (s1 == s2) return Double(p);
+    return JacobianPoint::Infinity();
+  }
+  U256 h = fp.Sub(u2, u1);
+  U256 i = fp.Sqr(fp.Add(h, h));
+  U256 j = fp.Mul(h, i);
+  U256 r = fp.Sub(s2, s1);
+  r = fp.Add(r, r);
+  U256 v = fp.Mul(u1, i);
+  U256 x3 = fp.Sub(fp.Sub(fp.Sqr(r), j), fp.Add(v, v));
+  U256 s1j = fp.Mul(s1, j);
+  U256 y3 = fp.Sub(fp.Mul(r, fp.Sub(v, x3)), fp.Add(s1j, s1j));
+  U256 z3 = fp.Mul(fp.Sub(fp.Sub(fp.Sqr(fp.Add(p.z, q.z)), z1z1), z2z2), h);
+  return {x3, y3, z3};
+}
+
+JacobianPoint AddMixed(const JacobianPoint& p, const AffinePoint& q) {
+  if (q.infinity) return p;
+  return AddJacobian(p, JacobianPoint::FromAffine(q));
+}
+
+namespace {
+
+/// 4-bit fixed-window table: entry i holds i*P (entry 0 unused).
+using WindowTable = std::array<JacobianPoint, 16>;
+
+WindowTable BuildWindowTable(const AffinePoint& p) {
+  WindowTable table;
+  table[0] = JacobianPoint::Infinity();
+  table[1] = JacobianPoint::FromAffine(p);
+  for (int i = 2; i < 16; ++i) table[i] = AddMixed(table[i - 1], p);
+  return table;
+}
+
+const WindowTable& GeneratorTable() {
+  static const WindowTable table = BuildWindowTable(kG);
+  return table;
+}
+
+/// Nibble w (0 = least significant) of a 256-bit scalar.
+inline unsigned Nibble(const U256& k, int w) {
+  return static_cast<unsigned>(
+      (k.limbs[static_cast<std::size_t>(w / 16)] >> ((w % 16) * 4)) & 0xf);
+}
+
+/// Shared windowed ladder for a*G' + b*P' with precomputed tables; either
+/// table pointer may be null to skip that term.
+JacobianPoint WindowedMul(const U256* a, const WindowTable* ta, const U256* b,
+                          const WindowTable* tb) {
+  JacobianPoint acc = JacobianPoint::Infinity();
+  for (int w = 63; w >= 0; --w) {
+    if (w != 63) {
+      acc = Double(acc);
+      acc = Double(acc);
+      acc = Double(acc);
+      acc = Double(acc);
+    }
+    if (a != nullptr) {
+      unsigned nib = Nibble(*a, w);
+      if (nib != 0) acc = AddJacobian(acc, (*ta)[nib]);
+    }
+    if (b != nullptr) {
+      unsigned nib = Nibble(*b, w);
+      if (nib != 0) acc = AddJacobian(acc, (*tb)[nib]);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+JacobianPoint ScalarMul(const U256& k, const AffinePoint& p) {
+  if (p.infinity || k.IsZero()) return JacobianPoint::Infinity();
+  WindowTable table = BuildWindowTable(p);
+  return WindowedMul(&k, &table, nullptr, nullptr);
+}
+
+JacobianPoint ScalarMulBase(const U256& k) {
+  if (k.IsZero()) return JacobianPoint::Infinity();
+  return WindowedMul(&k, &GeneratorTable(), nullptr, nullptr);
+}
+
+JacobianPoint DoubleScalarMul(const U256& a, const U256& b, const AffinePoint& p) {
+  if (p.infinity || b.IsZero()) return ScalarMulBase(a);
+  WindowTable table_p = BuildWindowTable(p);
+  return WindowedMul(&a, &GeneratorTable(), &b, &table_p);
+}
+
+}  // namespace dcert::crypto

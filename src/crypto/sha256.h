@@ -1,0 +1,41 @@
+// From-scratch SHA-256 (FIPS 180-4) plus HMAC-SHA256. Every digest in DCert —
+// block headers, Merkle nodes, certificate digests, signature challenges — goes
+// through this implementation, so it is tested against the NIST vectors.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace dcert::crypto {
+
+/// Incremental SHA-256 context; supports streaming updates.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(ByteView data);
+  /// Finalizes and returns the digest; the context must be Reset() before reuse.
+  Hash256 Finalize();
+
+  /// One-shot convenience.
+  static Hash256 Digest(ByteView data);
+  /// Digest of the concatenation a || b (the Merkle-node idiom H(l || r)).
+  static Hash256 Digest2(ByteView a, ByteView b);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t bit_count_;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+  bool finalized_;
+};
+
+/// HMAC-SHA256 (RFC 2104); used for deterministic signature nonces and the
+/// simulated enclave sealing MAC.
+Hash256 HmacSha256(ByteView key, ByteView message);
+
+}  // namespace dcert::crypto

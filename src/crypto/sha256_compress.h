@@ -1,0 +1,30 @@
+// Internal: SHA-256 compression-function dispatch. The portable scalar
+// implementation always exists; on x86-64 CPUs with the SHA extensions a
+// hardware path is selected at runtime (verified against the same NIST
+// vectors by the test suite).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcert::crypto::internal {
+
+/// Compresses `n` consecutive 64-byte blocks into `state`.
+using CompressFn = void (*)(std::uint32_t state[8], const std::uint8_t* blocks,
+                            std::size_t n);
+
+void CompressScalar(std::uint32_t state[8], const std::uint8_t* blocks,
+                    std::size_t n);
+
+/// Hardware (SHA-NI) path; only callable when ShaNiSupported() is true.
+void CompressShaNi(std::uint32_t state[8], const std::uint8_t* blocks,
+                   std::size_t n);
+bool ShaNiSupported();
+
+/// Best available implementation for this CPU (resolved once).
+CompressFn GetCompressFn();
+
+/// Round constants, shared by both implementations.
+extern const std::uint32_t kSha256K[64];
+
+}  // namespace dcert::crypto::internal

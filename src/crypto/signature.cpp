@@ -1,0 +1,121 @@
+#include "crypto/signature.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace dcert::crypto {
+
+namespace {
+
+// Tagged hash (BIP340 style): H(H(tag) || H(tag) || payload) gives domain
+// separation between the challenge hash and every other SHA-256 use.
+Hash256 TaggedHash(std::string_view tag, ByteView payload) {
+  Hash256 tag_hash = Sha256::Digest(StrBytes(tag));
+  Sha256 ctx;
+  ctx.Update(tag_hash.View());
+  ctx.Update(tag_hash.View());
+  ctx.Update(payload);
+  return ctx.Finalize();
+}
+
+U256 ChallengeScalar(const U256& rx, const PublicKey& pk, const Hash256& digest) {
+  Bytes payload = rx.ToBytesBE();
+  Bytes pk_bytes = pk.Serialize();
+  payload.insert(payload.end(), pk_bytes.begin(), pk_bytes.end());
+  Append(payload, digest);
+  Hash256 e = TaggedHash("DCert/challenge", payload);
+  return Curve().Fn().Reduce(U256::FromHash(e));
+}
+
+}  // namespace
+
+Bytes Signature::Serialize() const {
+  Bytes out = r.ToBytesBE();
+  Bytes sb = s.ToBytesBE();
+  out.insert(out.end(), sb.begin(), sb.end());
+  return out;
+}
+
+std::optional<Signature> Signature::Deserialize(ByteView bytes64) {
+  if (bytes64.size() != 64) return std::nullopt;
+  Signature sig;
+  sig.r = U256::FromBytesBE(bytes64.subspan(0, 32));
+  sig.s = U256::FromBytesBE(bytes64.subspan(32, 32));
+  if (sig.r >= Curve().P() || sig.s >= Curve().N()) return std::nullopt;
+  return sig;
+}
+
+std::optional<PublicKey> PublicKey::Deserialize(ByteView bytes64) {
+  auto point = AffinePoint::Deserialize(bytes64);
+  if (!point) return std::nullopt;
+  return PublicKey{*point};
+}
+
+SecretKey SecretKey::FromSeed(ByteView seed) {
+  const ModArith& fn = Curve().Fn();
+  // Hash the seed with an incrementing counter until we land in [1, n).
+  for (std::uint32_t counter = 0;; ++counter) {
+    Bytes material(seed.begin(), seed.end());
+    for (int i = 0; i < 4; ++i) {
+      material.push_back(static_cast<std::uint8_t>(counter >> (8 * i)));
+    }
+    Hash256 h = TaggedHash("DCert/keygen", material);
+    U256 candidate = fn.Reduce(U256::FromHash(h));
+    if (candidate.IsZero()) continue;
+    AffinePoint pub = ScalarMulBase(candidate).ToAffine();
+    return SecretKey(candidate, PublicKey{pub});
+  }
+}
+
+SecretKey SecretKey::FromScalarBytes(ByteView scalar32) {
+  if (scalar32.size() != 32) {
+    throw std::invalid_argument("SecretKey::FromScalarBytes: need 32 bytes");
+  }
+  U256 scalar = U256::FromBytesBE(scalar32);
+  if (scalar.IsZero() || !(scalar < Curve().N())) {
+    throw std::invalid_argument("SecretKey::FromScalarBytes: scalar out of range");
+  }
+  AffinePoint pub = ScalarMulBase(scalar).ToAffine();
+  return SecretKey(scalar, PublicKey{pub});
+}
+
+Signature SecretKey::Sign(const Hash256& digest32) const {
+  const ModArith& fn = Curve().Fn();
+  // Deterministic nonce: HMAC(sk, digest || counter), retried on k == 0.
+  Bytes sk_bytes = scalar_.ToBytesBE();
+  for (std::uint32_t counter = 0;; ++counter) {
+    Bytes message = digest32.ToBytes();
+    for (int i = 0; i < 4; ++i) {
+      message.push_back(static_cast<std::uint8_t>(counter >> (8 * i)));
+    }
+    U256 k = fn.Reduce(U256::FromHash(HmacSha256(sk_bytes, message)));
+    if (k.IsZero()) continue;
+
+    AffinePoint r_point = ScalarMulBase(k).ToAffine();
+    // Normalize to an even-Y nonce point so verification needs no Y byte.
+    if (r_point.y.IsOdd()) {
+      k = fn.Neg(k);
+      r_point.y = Curve().Fp().Neg(r_point.y);
+    }
+
+    U256 e = ChallengeScalar(r_point.x, public_key_, digest32);
+    U256 s = fn.Add(k, fn.Mul(e, scalar_));
+    return Signature{r_point.x, s};
+  }
+}
+
+bool Verify(const PublicKey& pk, const Hash256& digest32, const Signature& sig) {
+  const ModArith& fn = Curve().Fn();
+  if (sig.r >= Curve().P() || sig.s >= Curve().N()) return false;
+  if (pk.point.infinity || !pk.point.IsOnCurve()) return false;
+
+  U256 e = ChallengeScalar(sig.r, pk, digest32);
+  // R' = s*G - e*P; accept iff R' is affine with even Y and X == sig.r.
+  JacobianPoint r_prime = DoubleScalarMul(sig.s, fn.Neg(e), pk.point);
+  if (r_prime.IsInfinity()) return false;
+  AffinePoint r_affine = r_prime.ToAffine();
+  return !r_affine.y.IsOdd() && r_affine.x == sig.r;
+}
+
+}  // namespace dcert::crypto

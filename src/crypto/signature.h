@@ -1,0 +1,68 @@
+// Schnorr signatures over secp256k1 (BIP340-flavoured: even-Y nonces, tagged
+// challenge hash, 64-byte signatures). This is the scheme the simulated
+// enclave uses for block certificates and the IAS simulation uses for
+// attestation reports.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/secp256k1.h"
+
+namespace dcert::crypto {
+
+/// 64-byte signature: R.x (32) || s (32), both big-endian.
+struct Signature {
+  U256 r;
+  U256 s;
+
+  Bytes Serialize() const;
+  static std::optional<Signature> Deserialize(ByteView bytes64);
+  bool operator==(const Signature&) const = default;
+};
+
+/// Public key = affine curve point, serialized uncompressed (64 bytes).
+struct PublicKey {
+  AffinePoint point;
+
+  Bytes Serialize() const { return point.Serialize(); }
+  static std::optional<PublicKey> Deserialize(ByteView bytes64);
+  bool operator==(const PublicKey&) const = default;
+};
+
+/// Secret key. Keeps the scalar private; signing is the only operation.
+class SecretKey {
+ public:
+  /// Deterministically derives a valid key from arbitrary seed bytes.
+  static SecretKey FromSeed(ByteView seed);
+
+  /// Reconstructs a key from its 32-byte big-endian scalar (e.g. unsealed
+  /// from enclave storage). Throws std::invalid_argument when the scalar is
+  /// zero or not below the group order.
+  static SecretKey FromScalarBytes(ByteView scalar32);
+
+  /// Big-endian scalar bytes for sealing. Handle with the same care as the
+  /// key itself.
+  Bytes ScalarBytes() const { return scalar_.ToBytesBE(); }
+
+  const PublicKey& Public() const { return public_key_; }
+
+  /// Signs a 32-byte message digest. Nonces are derived deterministically
+  /// (HMAC of key and message), so signing is reproducible and needs no RNG.
+  Signature Sign(const Hash256& digest32) const;
+
+  /// Exposed for the enclave sealing tests only.
+  const U256& scalar() const { return scalar_; }
+
+ private:
+  SecretKey(U256 scalar, PublicKey pk)
+      : scalar_(scalar), public_key_(std::move(pk)) {}
+
+  U256 scalar_;
+  PublicKey public_key_;
+};
+
+/// Verifies a signature on a 32-byte digest. Constant work (two scalar mults).
+bool Verify(const PublicKey& pk, const Hash256& digest32, const Signature& sig);
+
+}  // namespace dcert::crypto

@@ -1,0 +1,266 @@
+#include "crypto/u256.h"
+
+#include <stdexcept>
+
+namespace dcert::crypto {
+
+namespace {
+
+// 64x64 -> 128 multiply using the compiler's native support.
+inline void Mul64(std::uint64_t a, std::uint64_t b, std::uint64_t& lo,
+                  std::uint64_t& hi) {
+  unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  lo = static_cast<std::uint64_t>(p);
+  hi = static_cast<std::uint64_t>(p >> 64);
+}
+
+inline std::uint64_t AddWithCarry(std::uint64_t a, std::uint64_t b,
+                                  std::uint64_t& carry) {
+  unsigned __int128 s = static_cast<unsigned __int128>(a) + b + carry;
+  carry = static_cast<std::uint64_t>(s >> 64);
+  return static_cast<std::uint64_t>(s);
+}
+
+}  // namespace
+
+U256 U256::FromBytesBE(ByteView bytes32) {
+  if (bytes32.size() != 32) {
+    throw std::invalid_argument("U256::FromBytesBE: need 32 bytes");
+  }
+  U256 out;
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v = (v << 8) | bytes32[static_cast<std::size_t>((3 - limb) * 8 + b)];
+    }
+    out.limbs[static_cast<std::size_t>(limb)] = v;
+  }
+  return out;
+}
+
+U256 U256::FromHex(std::string_view hex) {
+  if (hex.size() > 64) throw std::invalid_argument("U256::FromHex: too long");
+  std::string padded(64 - hex.size(), '0');
+  padded += std::string(hex);
+  return FromBytesBE(dcert::FromHex(padded));
+}
+
+Bytes U256::ToBytesBE() const {
+  Bytes out(32);
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = limbs[static_cast<std::size_t>(limb)];
+    for (int b = 0; b < 8; ++b) {
+      out[static_cast<std::size_t>((3 - limb) * 8 + (7 - b))] =
+          static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+  return out;
+}
+
+Hash256 U256::ToHash() const { return Hash256::FromBytes(ToBytesBE()); }
+
+std::string U256::ToHex() const { return dcert::ToHex(ToBytesBE()); }
+
+U256 Add(const U256& a, const U256& b, std::uint64_t& carry_out) {
+  U256 out;
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    out.limbs[static_cast<std::size_t>(i)] =
+        AddWithCarry(a.limbs[static_cast<std::size_t>(i)],
+                     b.limbs[static_cast<std::size_t>(i)], carry);
+  }
+  carry_out = carry;
+  return out;
+}
+
+U256 Sub(const U256& a, const U256& b, std::uint64_t& borrow_out) {
+  U256 out;
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 d = static_cast<unsigned __int128>(a.limbs[static_cast<std::size_t>(i)]) -
+                          b.limbs[static_cast<std::size_t>(i)] - borrow;
+    out.limbs[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(d);
+    borrow = static_cast<std::uint64_t>((d >> 64) & 1);
+  }
+  borrow_out = borrow;
+  return out;
+}
+
+U512 Mul(const U256& a, const U256& b) {
+  U512 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      std::uint64_t lo, hi;
+      Mul64(a.limbs[static_cast<std::size_t>(i)], b.limbs[static_cast<std::size_t>(j)],
+            lo, hi);
+      // out[i+j] += lo + carry; propagate into hi.
+      std::uint64_t c1 = 0;
+      out.limbs[static_cast<std::size_t>(i + j)] =
+          AddWithCarry(out.limbs[static_cast<std::size_t>(i + j)], lo, c1);
+      std::uint64_t c2 = 0;
+      out.limbs[static_cast<std::size_t>(i + j)] =
+          AddWithCarry(out.limbs[static_cast<std::size_t>(i + j)], carry, c2);
+      carry = hi + c1 + c2;  // hi < 2^64-1 so this cannot overflow
+    }
+    // Propagate the final carry upward.
+    std::size_t k = static_cast<std::size_t>(i) + 4;
+    while (carry != 0) {
+      std::uint64_t c = 0;
+      out.limbs[k] = AddWithCarry(out.limbs[k], carry, c);
+      carry = c;
+      ++k;
+    }
+  }
+  return out;
+}
+
+U256 Shr(const U256& a, unsigned s) {
+  if (s >= 256) return U256();
+  U256 out;
+  unsigned limb_shift = s / 64;
+  unsigned bit_shift = s % 64;
+  for (unsigned i = 0; i + limb_shift < 4; ++i) {
+    std::uint64_t v = a.limbs[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < 4) {
+      v |= a.limbs[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    out.limbs[i] = v;
+  }
+  return out;
+}
+
+ModArith::ModArith(const U256& modulus, const U256& c) : modulus_(modulus), c_(c) {
+  std::uint64_t carry = 0;
+  U256 check = dcert::crypto::Add(modulus, c, carry);
+  if (!check.IsZero() || carry != 1) {
+    throw std::invalid_argument("ModArith: modulus must equal 2^256 - c");
+  }
+}
+
+U256 ModArith::Reduce(const U256& a) const {
+  if (a < modulus_) return a;
+  std::uint64_t borrow = 0;
+  U256 r = dcert::crypto::Sub(a, modulus_, borrow);
+  return r;  // a < 2^256 < 2m, so one subtraction suffices
+}
+
+U256 ModArith::Reduce512(const U512& a) const {
+  // Fast path for single-limb c (secp256k1's field prime): two fold rounds
+  // with 256x64 multiplies instead of full 256x256 products.
+  if ((c_.limbs[1] | c_.limbs[2] | c_.limbs[3]) == 0) {
+    const std::uint64_t c = c_.limbs[0];
+    // t = lo + hi*c, a 5-limb value.
+    std::uint64_t t[5];
+    std::uint64_t carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t mul_lo, mul_hi;
+      Mul64(a.limbs[static_cast<std::size_t>(i) + 4], c, mul_lo, mul_hi);
+      unsigned __int128 s = static_cast<unsigned __int128>(
+                                a.limbs[static_cast<std::size_t>(i)]) +
+                            mul_lo + carry;
+      t[i] = static_cast<std::uint64_t>(s);
+      carry = mul_hi + static_cast<std::uint64_t>(s >> 64);  // cannot overflow
+    }
+    t[4] = carry;
+    // Second fold: t[4]*c is at most ~97 bits, added into the low limbs.
+    std::uint64_t fold_lo, fold_hi;
+    Mul64(t[4], c, fold_lo, fold_hi);
+    unsigned __int128 s = static_cast<unsigned __int128>(t[0]) + fold_lo;
+    U256 r;
+    r.limbs[0] = static_cast<std::uint64_t>(s);
+    s = (s >> 64) + t[1] + fold_hi;
+    r.limbs[1] = static_cast<std::uint64_t>(s);
+    s = (s >> 64) + t[2];
+    r.limbs[2] = static_cast<std::uint64_t>(s);
+    s = (s >> 64) + t[3];
+    r.limbs[3] = static_cast<std::uint64_t>(s);
+    std::uint64_t overflow = static_cast<std::uint64_t>(s >> 64);
+    // A final (rare) fold of the single overflow bit, then normalize.
+    while (overflow != 0) {
+      // overflow * 2^256 ≡ overflow * c.
+      std::uint64_t c2 = 0;
+      std::uint64_t of_lo, of_hi;
+      Mul64(overflow, c, of_lo, of_hi);
+      U256 fold2(of_lo, of_hi, 0, 0);
+      r = dcert::crypto::Add(r, fold2, c2);
+      overflow = c2;
+    }
+    while (r >= modulus_) {
+      std::uint64_t borrow = 0;
+      r = dcert::crypto::Sub(r, modulus_, borrow);
+    }
+    return r;
+  }
+  // x = hi*2^256 + lo ≡ hi*c + lo (mod 2^256 - c). Each fold shrinks hi by
+  // at least 64 bits (c < 2^192), so a few iterations reach hi == 0.
+  U256 lo = a.Lo();
+  U256 hi = a.Hi();
+  while (!hi.IsZero()) {
+    U512 fold = dcert::crypto::Mul(hi, c_);
+    std::uint64_t carry = 0;
+    U256 new_lo = dcert::crypto::Add(lo, fold.Lo(), carry);
+    U256 new_hi = fold.Hi();
+    if (carry) {
+      std::uint64_t c2 = 0;
+      new_hi = dcert::crypto::Add(new_hi, U256(1), c2);
+    }
+    lo = new_lo;
+    hi = new_hi;
+  }
+  // lo may still be in [m, 2^256): subtract until in range (at most twice).
+  while (lo >= modulus_) {
+    std::uint64_t borrow = 0;
+    lo = dcert::crypto::Sub(lo, modulus_, borrow);
+  }
+  return lo;
+}
+
+U256 ModArith::Add(const U256& a, const U256& b) const {
+  std::uint64_t carry = 0;
+  U256 s = dcert::crypto::Add(a, b, carry);
+  if (carry || s >= modulus_) {
+    std::uint64_t borrow = 0;
+    s = dcert::crypto::Sub(s, modulus_, borrow);
+  }
+  return s;
+}
+
+U256 ModArith::Sub(const U256& a, const U256& b) const {
+  std::uint64_t borrow = 0;
+  U256 d = dcert::crypto::Sub(a, b, borrow);
+  if (borrow) {
+    std::uint64_t carry = 0;
+    d = dcert::crypto::Add(d, modulus_, carry);
+  }
+  return d;
+}
+
+U256 ModArith::Mul(const U256& a, const U256& b) const {
+  return Reduce512(dcert::crypto::Mul(a, b));
+}
+
+U256 ModArith::Neg(const U256& a) const {
+  if (a.IsZero()) return a;
+  std::uint64_t borrow = 0;
+  return dcert::crypto::Sub(modulus_, a, borrow);
+}
+
+U256 ModArith::Pow(const U256& a, const U256& e) const {
+  U256 result(1);
+  U256 base = Reduce(a);
+  for (int i = 255; i >= 0; --i) {
+    result = Sqr(result);
+    if (e.Bit(i)) result = Mul(result, base);
+  }
+  return result;
+}
+
+U256 ModArith::Inv(const U256& a) const {
+  if (a.IsZero()) throw std::invalid_argument("ModArith::Inv: zero has no inverse");
+  std::uint64_t borrow = 0;
+  U256 e = dcert::crypto::Sub(modulus_, U256(2), borrow);
+  return Pow(a, e);
+}
+
+}  // namespace dcert::crypto

@@ -1,0 +1,94 @@
+// 256-bit unsigned integer arithmetic with the modular routines needed for
+// secp256k1. Both secp256k1 moduli (the field prime p and the group order n)
+// have the shape 2^256 - c with small-ish c, so reduction is done by folding
+// the high limbs back in (no division anywhere).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace dcert::crypto {
+
+/// Little-endian 4x64-bit unsigned integer.
+struct U256 {
+  std::array<std::uint64_t, 4> limbs{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : limbs{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2, std::uint64_t l3)
+      : limbs{l0, l1, l2, l3} {}
+
+  static U256 FromBytesBE(ByteView bytes32);
+  static U256 FromHash(const Hash256& h) { return FromBytesBE(h.View()); }
+  static U256 FromHex(std::string_view hex);
+
+  Bytes ToBytesBE() const;
+  Hash256 ToHash() const;
+  std::string ToHex() const;
+
+  bool IsZero() const { return (limbs[0] | limbs[1] | limbs[2] | limbs[3]) == 0; }
+  bool IsOdd() const { return limbs[0] & 1; }
+  bool Bit(int i) const { return (limbs[i / 64] >> (i % 64)) & 1; }
+
+  auto operator<=>(const U256& o) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limbs[i] != o.limbs[i]) return limbs[i] <=> o.limbs[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  bool operator==(const U256&) const = default;
+};
+
+/// 512-bit product of two U256 (little-endian 8 limbs).
+struct U512 {
+  std::array<std::uint64_t, 8> limbs{};
+  U256 Lo() const { return U256(limbs[0], limbs[1], limbs[2], limbs[3]); }
+  U256 Hi() const { return U256(limbs[4], limbs[5], limbs[6], limbs[7]); }
+  bool HiIsZero() const { return (limbs[4] | limbs[5] | limbs[6] | limbs[7]) == 0; }
+};
+
+/// a + b; carry_out receives the overflow bit.
+U256 Add(const U256& a, const U256& b, std::uint64_t& carry_out);
+/// a - b; borrow_out receives the underflow bit.
+U256 Sub(const U256& a, const U256& b, std::uint64_t& borrow_out);
+/// Full 256x256 -> 512 school-book multiplication.
+U512 Mul(const U256& a, const U256& b);
+/// Logical shift right by s (< 256).
+U256 Shr(const U256& a, unsigned s);
+
+/// Modulus of the shape 2^256 - c. Provides the complete modular toolkit used
+/// by the curve arithmetic: reduction, add/sub/mul, exponentiation, inversion.
+class ModArith {
+ public:
+  /// `c` must satisfy modulus == 2^256 - c with c < 2^192 (true for both
+  /// secp256k1 moduli).
+  ModArith(const U256& modulus, const U256& c);
+
+  const U256& modulus() const { return modulus_; }
+
+  /// Reduces an arbitrary 256-bit value into [0, m).
+  U256 Reduce(const U256& a) const;
+  /// Reduces a 512-bit value into [0, m) by repeated folding hi*c + lo.
+  U256 Reduce512(const U512& a) const;
+
+  U256 Add(const U256& a, const U256& b) const;
+  U256 Sub(const U256& a, const U256& b) const;
+  U256 Mul(const U256& a, const U256& b) const;
+  U256 Sqr(const U256& a) const { return Mul(a, a); }
+  U256 Neg(const U256& a) const;
+  /// a^e mod m by square-and-multiply.
+  U256 Pow(const U256& a, const U256& e) const;
+  /// Multiplicative inverse via Fermat (modulus must be prime).
+  U256 Inv(const U256& a) const;
+
+ private:
+  U256 modulus_;
+  U256 c_;
+};
+
+}  // namespace dcert::crypto

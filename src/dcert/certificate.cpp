@@ -1,0 +1,66 @@
+#include "dcert/certificate.h"
+
+#include "crypto/sha256.h"
+
+namespace dcert::core {
+
+Bytes BlockCertificate::Serialize() const {
+  Encoder enc;
+  enc.Raw(pk_enc.Serialize());
+  enc.Blob(report.Serialize());
+  enc.HashField(digest);
+  enc.Raw(sig.Serialize());
+  return enc.Take();
+}
+
+Result<BlockCertificate> BlockCertificate::Deserialize(ByteView data) {
+  using R = Result<BlockCertificate>;
+  try {
+    Decoder dec(data);
+    BlockCertificate cert;
+    Bytes pk_bytes = dec.Raw(64);
+    auto pk = crypto::PublicKey::Deserialize(pk_bytes);
+    if (!pk) return R::Error("BlockCertificate: invalid enclave key");
+    cert.pk_enc = *pk;
+    Bytes report_bytes = dec.Blob();
+    auto report = sgxsim::AttestationReport::Deserialize(report_bytes);
+    if (!report) return R(report.status());
+    cert.report = report.value();
+    cert.digest = dec.HashField();
+    Bytes sig_bytes = dec.Raw(64);
+    dec.ExpectEnd();
+    auto sig = crypto::Signature::Deserialize(sig_bytes);
+    if (!sig) return R::Error("BlockCertificate: invalid signature encoding");
+    cert.sig = *sig;
+    return cert;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("BlockCertificate: ") + e.what());
+  }
+}
+
+Hash256 IndexCertDigest(const Hash256& header_hash, const Hash256& index_digest) {
+  return crypto::Sha256::Digest2(header_hash.View(), index_digest.View());
+}
+
+Hash256 KeyBindingReportData(const crypto::PublicKey& pk_enc) {
+  return crypto::Sha256::Digest(pk_enc.Serialize());
+}
+
+Status VerifyCertificateEnvelope(const BlockCertificate& cert,
+                                 const Hash256& expected_measurement) {
+  if (Status st = sgxsim::AttestationService::VerifyReport(cert.report); !st) {
+    return st;
+  }
+  if (cert.report.quote.measurement != expected_measurement) {
+    return Status::Error("certificate enclave measurement mismatch");
+  }
+  if (cert.report.quote.report_data != KeyBindingReportData(cert.pk_enc)) {
+    return Status::Error("enclave key does not match the attestation report");
+  }
+  if (!crypto::Verify(cert.pk_enc, cert.digest, cert.sig)) {
+    return Status::Error("certificate signature invalid");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dcert::core

@@ -1,0 +1,35 @@
+// Trusted index-update verification interface. An authenticated index type
+// plugs into the enclave by providing deterministic code that, given the
+// previous index digest, an untrusted auxiliary proof, and the (already
+// verified) block, recomputes the new index digest (Alg. 4 lines 8-10 /
+// Alg. 5 lines 11-13). Implementations must be pure: no ambient state, only
+// the arguments — they run inside the enclave.
+#pragma once
+
+#include <string>
+
+#include "chain/block.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcert::core {
+
+class IndexUpdateVerifier {
+ public:
+  virtual ~IndexUpdateVerifier() = default;
+
+  /// Stable identifier baked into certificates' index binding.
+  virtual std::string TypeName() const = 0;
+
+  /// Digest of the empty index (H_genesis^idx).
+  virtual Hash256 GenesisDigest() const = 0;
+
+  /// Extracts this index's write data from `blk` (get_index_write_data),
+  /// verifies `aux_proof` against `old_digest`, applies the writes, and
+  /// returns the new digest. Fails on any inconsistency.
+  virtual Result<Hash256> ApplyUpdate(const Hash256& old_digest,
+                                      ByteView aux_proof,
+                                      const chain::Block& blk) const = 0;
+};
+
+}  // namespace dcert::core

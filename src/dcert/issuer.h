@@ -1,0 +1,170 @@
+// The SGX-enabled Certificate Issuer (CI): a full node that pre-processes
+// blocks outside the enclave (Alg. 1 lines 2-3), drives the trusted program
+// through Ecalls, assembles certificates, and — for verifiable queries —
+// certifies attached authenticated indexes with the augmented (Alg. 4) or
+// hierarchical (Alg. 5) scheme.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/node.h"
+#include "common/status.h"
+#include "dcert/certificate.h"
+#include "dcert/enclave_program.h"
+#include "dcert/index_verifier.h"
+#include "sgxsim/enclave.h"
+
+namespace dcert::core {
+
+/// Host-side handle for an authenticated index the CI certifies. The live
+/// index (usually co-maintained with an SP) captures pre-state auxiliary
+/// proofs while applying each block: successive appends within one block
+/// depend on each other, so proof capture and application are one pass.
+/// If the enclave later rejects the update the CI instance is considered
+/// failed (a production CI would snapshot and roll back).
+class CertifiedIndexHost {
+ public:
+  virtual ~CertifiedIndexHost() = default;
+  virtual std::string Id() const = 0;
+  virtual const IndexUpdateVerifier& Verifier() const = 0;
+  /// Digest of the live index (post-apply once ApplyBlockCapturingAux ran).
+  virtual Hash256 CurrentDigest() const = 0;
+  /// Applies `blk` to the live index and returns the auxiliary proof
+  /// material (captured against the pre-state) for the enclave.
+  virtual Bytes ApplyBlockCapturingAux(const chain::Block& blk) = 0;
+};
+
+/// Per-block certificate construction cost breakdown (Figs. 8-10).
+struct CertTiming {
+  std::uint64_t rwset_ns = 0;            // outside: execution + r/w set gen
+  std::uint64_t proof_ns = 0;            // outside: Merkle proof generation
+  std::uint64_t index_aux_ns = 0;        // outside: index aux proof generation
+  std::uint64_t enclave_wall_ns = 0;     // inside: raw wall time
+  std::uint64_t enclave_modeled_ns = 0;  // inside: with modelled SGX overheads
+  std::uint64_t ecalls = 0;
+
+  double OutsideMs() const {
+    return static_cast<double>(rwset_ns + proof_ns + index_aux_ns) / 1e6;
+  }
+  double TotalMs(bool modeled) const {
+    return OutsideMs() +
+           static_cast<double>(modeled ? enclave_modeled_ns : enclave_wall_ns) / 1e6;
+  }
+};
+
+class CertificateIssuer {
+ public:
+  CertificateIssuer(chain::ChainConfig config,
+                    std::shared_ptr<const chain::ContractRegistry> registry,
+                    sgxsim::CostModelParams cost_model = {},
+                    std::string key_seed = "dcert-ci-key");
+
+  chain::FullNode& Node() { return node_; }
+  const chain::FullNode& Node() const { return node_; }
+  const sgxsim::Enclave& EnclaveHandle() const { return enclave_; }
+  sgxsim::Enclave& EnclaveHandle() { return enclave_; }
+  const sgxsim::AttestationReport& Report() const { return report_; }
+  const crypto::PublicKey& EnclaveKey() const { return program_.PublicKey(); }
+
+  /// Certificate for the current tip (nullopt while the tip is genesis).
+  const std::optional<BlockCertificate>& LatestCert() const { return latest_cert_; }
+
+  /// gen_cert (Alg. 1): constructs the block certificate for `blk` (which
+  /// must extend this CI's tip) and then appends the block to the local full
+  /// node. Fills LastTiming().
+  Result<BlockCertificate> ProcessBlock(const chain::Block& blk);
+
+  /// Batched certification: one Ecall certifies the whole span (which must
+  /// extend the tip contiguously); only the last block receives a
+  /// certificate. Amortizes enclave transitions and signing across the span
+  /// at the cost of per-block certification latency (see bench_batching).
+  Result<BlockCertificate> ProcessBlockBatch(
+      const std::vector<chain::Block>& blocks);
+
+  /// Adopts a block certified by *another* CI (decentralization: any CI
+  /// running the same measured enclave can extend the chain). Fully
+  /// validates the block locally, checks that `cert` is a valid certificate
+  /// for it from the pinned enclave program, appends, and uses `cert` as the
+  /// recursive predecessor for this CI's own future certificates.
+  Status AcceptBlockWithCert(const chain::Block& blk,
+                             const BlockCertificate& cert);
+
+  /// Registers an authenticated index for certification. All indexes are
+  /// updated/certified by the ProcessBlock*Indexes entry points. Must be
+  /// called while the chain is at genesis; for later attachment use
+  /// AttachIndexWithBackfill.
+  void AttachIndex(std::shared_ptr<CertifiedIndexHost> index);
+
+  /// On-demand index activation (the paper's versatility claim): attaches a
+  /// *fresh* index at any chain height by replaying every stored block
+  /// through the enclave, producing the full recursive chain of index
+  /// certificates up to the current tip. Requires the tip to already carry a
+  /// block certificate (or be genesis). Returns the index certificate at the
+  /// tip. Cost: one index Ecall per historical block (measured by
+  /// bench_backfill).
+  Result<IndexCertificate> AttachIndexWithBackfill(
+      std::shared_ptr<CertifiedIndexHost> index);
+
+  std::size_t IndexCount() const { return indexes_.size(); }
+
+  /// Augmented scheme (Alg. 4): one Ecall *per index*, each re-verifying the
+  /// block. No standalone block certificate is produced.
+  Result<std::vector<IndexCertificate>> ProcessBlockAugmented(
+      const chain::Block& blk);
+
+  /// Hierarchical scheme (Alg. 5): one gen_cert Ecall for the block, then
+  /// one lightweight Ecall per index. Returns the index certificates; the
+  /// block certificate is available via LatestCert().
+  Result<std::vector<IndexCertificate>> ProcessBlockHierarchical(
+      const chain::Block& blk);
+
+  /// Latest certificate for an attached index (by id).
+  const std::optional<IndexCertificate>& LatestIndexCert(
+      const std::string& id) const;
+
+  const CertTiming& LastTiming() const { return timing_; }
+
+ private:
+  struct IndexSlot {
+    std::shared_ptr<CertifiedIndexHost> host;
+    Hash256 digest;  // certified digest as of the CI's tip
+    std::optional<IndexCertificate> cert;
+  };
+
+  struct Prepared {
+    StateUpdateProof proof;
+    std::uint64_t input_bytes = 0;
+  };
+
+  /// Outside-enclave pre-processing (Alg. 1 lines 2-3), timed.
+  Result<Prepared> Prepare(const chain::Block& blk);
+  BlockCertificate AssembleCert(const Hash256& digest,
+                                const crypto::Signature& sig) const;
+  Status CheckExtendsTip(const chain::Block& blk) const;
+  /// Appends the block to the local full node.
+  Status Commit(const chain::Block& blk);
+
+  chain::ChainConfig config_;
+  sgxsim::Enclave enclave_;
+  CertEnclaveProgram program_;
+  sgxsim::AttestationReport report_;
+  /// Runs one index Ecall (Alg. 5 inner loop) for `slot` over `blk`, which
+  /// must carry `block_cert`. Updates the slot and the timing counters.
+  Status CertifyIndexStep(IndexSlot& slot, const chain::Block& blk,
+                          const chain::BlockHeader& prev_hdr,
+                          const BlockCertificate& block_cert);
+
+  chain::FullNode node_;
+  std::optional<BlockCertificate> latest_cert_;
+  /// Block certificates by height-1 (kept so late-attached indexes can be
+  /// backfilled); empty while running in augmented-only mode.
+  std::vector<BlockCertificate> block_certs_;
+  std::vector<IndexSlot> indexes_;
+  CertTiming timing_;
+};
+
+}  // namespace dcert::core

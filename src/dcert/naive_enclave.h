@@ -1,0 +1,84 @@
+// The strawman design the paper rejects in Sec. 4.1: keep the ENTIRE chain
+// state resident inside the enclave and update it there, instead of the
+// stateless Merkle-proof-based replay. Correct, but the resident state
+// competes with the 93 MB EPC — once the state outgrows it, every Ecall pays
+// paging (encrypt/evict) costs proportional to the overflow. This module
+// exists for the ablation benchmark (bench_ablation) that reproduces the
+// paper's design argument quantitatively.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "chain/block.h"
+#include "chain/executor.h"
+#include "chain/node.h"
+#include "chain/state.h"
+#include "common/status.h"
+#include "dcert/certificate.h"
+#include "dcert/enclave_program.h"
+#include "dcert/issuer.h"
+#include "sgxsim/enclave.h"
+
+namespace dcert::core {
+
+/// Identity of the naive enclave program (distinct measurement).
+inline constexpr const char* kNaiveEnclaveProgramName = "dcert-naive-enclave";
+Hash256 NaiveEnclaveMeasurement();
+
+class NaiveCertEnclaveProgram {
+ public:
+  NaiveCertEnclaveProgram(EnclaveConfig config,
+                          std::shared_ptr<const chain::ContractRegistry> registry,
+                          ByteView key_seed);
+
+  const crypto::PublicKey& PublicKey() const { return signing_key_.Public(); }
+  sgxsim::Quote MakeKeyQuote(const sgxsim::Enclave& enclave) const;
+
+  /// Validates and certifies `blk` entirely in-enclave: header metadata,
+  /// consensus, tx root, execution against the resident state, state-root
+  /// check — then applies the writes to the resident state and signs.
+  Result<crypto::Signature> SigGen(const chain::BlockHeader& prev_hdr,
+                                   const std::optional<BlockCertificate>& prev_cert,
+                                   const chain::Block& blk);
+
+  /// Estimated bytes of enclave memory the resident state occupies — what
+  /// each Ecall's working set is charged against the EPC. ~256 B per key:
+  /// 40 B key+value, ~112 B compact SMT node, map/allocator overhead.
+  std::size_t ResidentStateBytes() const { return state_.Size() * 256; }
+
+  const chain::StateDB& State() const { return state_; }
+
+ private:
+  EnclaveConfig config_;
+  std::shared_ptr<const chain::ContractRegistry> registry_;
+  crypto::SecretKey signing_key_;
+  Hash256 own_measurement_;
+  chain::StateDB state_;  // the resident state — the whole point
+};
+
+/// Convenience harness pairing the naive program with an enclave container,
+/// charging each Ecall for the resident working set.
+class NaiveCertificateIssuer {
+ public:
+  NaiveCertificateIssuer(chain::ChainConfig config,
+                         std::shared_ptr<const chain::ContractRegistry> registry,
+                         sgxsim::CostModelParams cost_model = {});
+
+  Result<BlockCertificate> ProcessBlock(const chain::Block& blk);
+  NaiveCertEnclaveProgram& Program() { return program_; }
+  sgxsim::Enclave& EnclaveHandle() { return enclave_; }
+  const CertTiming& LastTiming() const { return timing_; }
+  chain::FullNode& Node() { return node_; }
+
+ private:
+  chain::ChainConfig config_;
+  sgxsim::Enclave enclave_;
+  NaiveCertEnclaveProgram program_;
+  sgxsim::AttestationReport report_;
+  chain::FullNode node_;
+  std::optional<BlockCertificate> latest_cert_;
+  CertTiming timing_;
+};
+
+}  // namespace dcert::core

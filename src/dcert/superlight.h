@@ -1,0 +1,71 @@
+// The superlight client (Alg. 3): keeps only the latest block header and its
+// certificate; validating a new pair costs constant time regardless of chain
+// length, and the attestation report is checked once per enclave identity.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "chain/block.h"
+#include "common/status.h"
+#include "dcert/certificate.h"
+
+namespace dcert::core {
+
+class SuperlightClient {
+ public:
+  /// `expected_measurement` pins the certificate-construction enclave the
+  /// client trusts (usually ExpectedEnclaveMeasurement()).
+  explicit SuperlightClient(Hash256 expected_measurement);
+
+  /// validate_chain (Alg. 3): verifies the certificate envelope (IAS report
+  /// cached per pk_enc), the digest binding dig = H(hdr), and the chain
+  /// selection rule (height must beat the current best). On success the pair
+  /// replaces the stored state.
+  Status ValidateAndAccept(const chain::BlockHeader& hdr,
+                           const BlockCertificate& cert);
+
+  /// Accepts an index certificate for `index_id`, checking it binds
+  /// `idx_digest` to a header the client has already accepted (same height
+  /// and hash as the stored latest, or validated alongside).
+  Status AcceptIndexCert(const chain::BlockHeader& hdr,
+                         const IndexCertificate& cert, const Hash256& idx_digest,
+                         const std::string& index_id);
+
+  bool HasState() const { return latest_.has_value(); }
+  std::uint64_t Height() const;
+  const chain::BlockHeader& LatestHeader() const;
+  const BlockCertificate& LatestCert() const;
+
+  /// Latest certified digest for an index, if any.
+  std::optional<Hash256> CertifiedIndexDigest(const std::string& index_id) const;
+
+  /// Everything the client persists: latest header + certificate (+ index
+  /// certificates). The Fig. 7a constant.
+  std::size_t StorageBytes() const;
+
+  /// Number of full attestation-report verifications performed (the cache
+  /// means this stays at one per enclave key, Sec. 4.3).
+  std::uint64_t ReportVerifications() const { return report_verifications_; }
+
+ private:
+  Status VerifyEnvelopeCached(const BlockCertificate& cert);
+
+  Hash256 expected_measurement_;
+  std::optional<chain::BlockHeader> latest_;
+  std::optional<BlockCertificate> latest_cert_;
+
+  struct IndexState {
+    chain::BlockHeader header;
+    IndexCertificate cert;
+    Hash256 digest;
+  };
+  std::map<std::string, IndexState> index_state_;
+
+  /// Enclave keys whose report already verified (quote digest -> ok).
+  std::map<Hash256, bool> attested_keys_;
+  std::uint64_t report_verifications_ = 0;
+};
+
+}  // namespace dcert::core

@@ -1,0 +1,233 @@
+#include "mht/inverted_index.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+#include "mht/node_hash.h"
+
+namespace dcert::mht {
+
+Hash256 InvertedIndex::KeywordKey(const std::string& keyword) {
+  return crypto::Sha256::Digest(StrBytes(keyword));
+}
+
+Hash256 InvertedIndex::ChainExtend(const Hash256& digest, TxLocator loc) {
+  Encoder enc;
+  enc.HashField(digest);
+  enc.U64(loc.block);
+  enc.U32(loc.tx_index);
+  return TaggedDigest(NodeTag::kChainStep, enc.bytes());
+}
+
+Hash256 InvertedIndex::ChainDigest(const std::vector<TxLocator>& postings) {
+  Hash256 digest;  // zero = empty bucket
+  for (const TxLocator& loc : postings) digest = ChainExtend(digest, loc);
+  return digest;
+}
+
+void InvertedIndex::Add(const std::string& keyword, TxLocator loc) {
+  auto& bucket = buckets_[keyword];
+  if (!bucket.empty() && !(bucket.back() < loc)) {
+    throw std::invalid_argument("InvertedIndex::Add: locators must ascend");
+  }
+  bucket.push_back(loc);
+  Hash256& digest = bucket_digests_[keyword];
+  digest = ChainExtend(digest, loc);
+  smt_.Update(KeywordKey(keyword), digest);
+}
+
+KeywordQueryProof InvertedIndex::QueryConjunctive(
+    const std::vector<std::string>& keywords) const {
+  KeywordQueryProof proof;
+  std::vector<Hash256> keys;
+  keys.reserve(keywords.size());
+  for (const std::string& kw : keywords) {
+    keys.push_back(KeywordKey(kw));
+    auto it = buckets_.find(kw);
+    proof.postings[kw] =
+        it != buckets_.end() ? it->second : std::vector<TxLocator>{};
+  }
+  proof.smt_proof = smt_.ProveKeys(keys);
+  return proof;
+}
+
+Result<std::vector<TxLocator>> InvertedIndex::VerifyConjunctive(
+    const Hash256& root, const std::vector<std::string>& keywords,
+    const KeywordQueryProof& proof) {
+  using R = Result<std::vector<TxLocator>>;
+  if (keywords.empty()) return R::Error("empty keyword list");
+  // Every queried keyword must be covered by the proof, and nothing else.
+  if (proof.postings.size() !=
+      std::set<std::string>(keywords.begin(), keywords.end()).size()) {
+    return R::Error("proof keyword set does not match the query");
+  }
+  std::map<Hash256, Hash256> leaves;
+  for (const std::string& kw : keywords) {
+    auto it = proof.postings.find(kw);
+    if (it == proof.postings.end()) {
+      return R::Error("missing posting list for keyword: " + kw);
+    }
+    // Ascending-order check guards against replayed/duplicated locators.
+    for (std::size_t i = 1; i < it->second.size(); ++i) {
+      if (!(it->second[i - 1] < it->second[i])) {
+        return R::Error("posting list not ascending for keyword: " + kw);
+      }
+    }
+    leaves[KeywordKey(kw)] = ChainDigest(it->second);
+  }
+  if (SparseMerkleTree::ComputeRootFromProof(proof.smt_proof, leaves) != root) {
+    return R::Error("keyword buckets do not match the certified index root");
+  }
+  // Intersect the (verified complete) posting lists.
+  std::vector<TxLocator> acc = proof.postings.at(keywords.front());
+  for (std::size_t i = 1; i < keywords.size() && !acc.empty(); ++i) {
+    const auto& other = proof.postings.at(keywords[i]);
+    std::vector<TxLocator> merged;
+    std::set_intersection(acc.begin(), acc.end(), other.begin(), other.end(),
+                          std::back_inserter(merged));
+    acc = std::move(merged);
+  }
+  return acc;
+}
+
+InvertedIndex::UpdateProof InvertedIndex::ProveUpdate(const WriteData& writes) const {
+  UpdateProof proof;
+  std::vector<Hash256> keys;
+  for (const auto& [kw, locs] : writes) {
+    Hash256 key = KeywordKey(kw);
+    keys.push_back(key);
+    auto it = bucket_digests_.find(kw);
+    proof.old_buckets[key] =
+        it != bucket_digests_.end() ? it->second : Hash256();
+  }
+  proof.smt_proof = smt_.ProveKeys(keys);
+  return proof;
+}
+
+Result<Hash256> InvertedIndex::ApplyUpdate(const Hash256& old_root,
+                                           const UpdateProof& proof,
+                                           const WriteData& writes) {
+  using R = Result<Hash256>;
+  if (proof.old_buckets.size() != writes.size()) {
+    return R::Error("update proof does not cover the write set");
+  }
+  std::map<Hash256, Hash256> new_leaves;
+  for (const auto& [kw, locs] : writes) {
+    if (locs.empty()) return R::Error("empty write list for keyword: " + kw);
+    Hash256 key = KeywordKey(kw);
+    auto it = proof.old_buckets.find(key);
+    if (it == proof.old_buckets.end()) {
+      return R::Error("update proof missing keyword: " + kw);
+    }
+    Hash256 digest = it->second;
+    for (const TxLocator& loc : locs) digest = ChainExtend(digest, loc);
+    new_leaves[key] = digest;
+  }
+  // Verify the claimed pre-update buckets, then fold in the new digests.
+  if (SparseMerkleTree::ComputeRootFromProof(proof.smt_proof, proof.old_buckets) !=
+      old_root) {
+    return R::Error("old bucket digests do not match the old index root");
+  }
+  return SparseMerkleTree::ComputeRootFromProof(proof.smt_proof, new_leaves);
+}
+
+void InvertedIndex::ApplyWrites(const WriteData& writes) {
+  for (const auto& [kw, locs] : writes) {
+    for (const TxLocator& loc : locs) Add(kw, loc);
+  }
+}
+
+namespace {
+
+void EncodeLocators(Encoder& enc, const std::vector<TxLocator>& locs) {
+  enc.U32(static_cast<std::uint32_t>(locs.size()));
+  for (const TxLocator& loc : locs) {
+    enc.U64(loc.block);
+    enc.U32(loc.tx_index);
+  }
+}
+
+std::vector<TxLocator> DecodeLocators(Decoder& dec) {
+  std::uint32_t n = dec.U32();
+  std::vector<TxLocator> locs;
+  locs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TxLocator loc;
+    loc.block = dec.U64();
+    loc.tx_index = dec.U32();
+    locs.push_back(loc);
+  }
+  return locs;
+}
+
+}  // namespace
+
+Bytes KeywordQueryProof::Serialize() const {
+  Encoder enc;
+  enc.U32(static_cast<std::uint32_t>(postings.size()));
+  for (const auto& [kw, locs] : postings) {
+    enc.Str(kw);
+    EncodeLocators(enc, locs);
+  }
+  enc.Blob(smt_proof.Serialize());
+  return enc.Take();
+}
+
+Result<KeywordQueryProof> KeywordQueryProof::Deserialize(ByteView data) {
+  try {
+    Decoder dec(data);
+    KeywordQueryProof proof;
+    std::uint32_t n = dec.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::string kw = dec.Str();
+      proof.postings[kw] = DecodeLocators(dec);
+    }
+    Bytes smt = dec.Blob();
+    dec.ExpectEnd();
+    auto parsed = SmtMultiProof::Deserialize(smt);
+    if (!parsed) return Result<KeywordQueryProof>(parsed.status());
+    proof.smt_proof = std::move(parsed.value());
+    return proof;
+  } catch (const DecodeError& e) {
+    return Result<KeywordQueryProof>::Error(std::string("KeywordQueryProof: ") +
+                                            e.what());
+  }
+}
+
+Bytes InvertedIndex::UpdateProof::Serialize() const {
+  Encoder enc;
+  enc.U32(static_cast<std::uint32_t>(old_buckets.size()));
+  for (const auto& [key, digest] : old_buckets) {
+    enc.HashField(key);
+    enc.HashField(digest);
+  }
+  enc.Blob(smt_proof.Serialize());
+  return enc.Take();
+}
+
+Result<InvertedIndex::UpdateProof> InvertedIndex::UpdateProof::Deserialize(
+    ByteView data) {
+  using R = Result<InvertedIndex::UpdateProof>;
+  try {
+    Decoder dec(data);
+    UpdateProof proof;
+    std::uint32_t n = dec.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Hash256 key = dec.HashField();
+      Hash256 digest = dec.HashField();
+      proof.old_buckets.emplace(key, digest);
+    }
+    Bytes smt = dec.Blob();
+    dec.ExpectEnd();
+    auto parsed = SmtMultiProof::Deserialize(smt);
+    if (!parsed) return R(parsed.status());
+    proof.smt_proof = std::move(parsed.value());
+    return proof;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("InvertedIndex::UpdateProof: ") + e.what());
+  }
+}
+
+}  // namespace dcert::mht

@@ -1,0 +1,358 @@
+#include "mht/mpt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mht/node_hash.h"
+
+namespace dcert::mht {
+
+namespace {
+
+std::uint8_t Nibble(const Hash256& key, std::size_t i) {
+  std::uint8_t byte = key[i / 2];
+  return (i % 2 == 0) ? (byte >> 4) : (byte & 0x0f);
+}
+
+std::vector<std::uint8_t> SuffixFrom(const Hash256& key, std::size_t depth) {
+  std::vector<std::uint8_t> out;
+  out.reserve(MptTrie::kPathNibbles - depth);
+  for (std::size_t i = depth; i < MptTrie::kPathNibbles; ++i) {
+    out.push_back(Nibble(key, i));
+  }
+  return out;
+}
+
+Hash256 LeafHash(const std::vector<std::uint8_t>& suffix, const Hash256& value_hash) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(suffix.size()));
+  for (std::uint8_t nib : suffix) enc.U8(nib);
+  enc.HashField(value_hash);
+  return TaggedDigest(NodeTag::kMptLeaf, enc.bytes());
+}
+
+Hash256 BranchHash(const std::array<Hash256, 16>& children) {
+  Encoder enc;
+  for (const Hash256& c : children) enc.HashField(c);
+  return TaggedDigest(NodeTag::kMptBranch, enc.bytes());
+}
+
+}  // namespace
+
+struct MptTrie::Node {
+  bool is_leaf = true;
+  // Leaf payload.
+  std::vector<std::uint8_t> suffix;
+  Hash256 value_hash;
+  // Branch payload.
+  std::array<std::unique_ptr<Node>, 16> children;
+
+  Hash256 hash;
+
+  void Recompute() {
+    if (is_leaf) {
+      hash = LeafHash(suffix, value_hash);
+      return;
+    }
+    std::array<Hash256, 16> child_hashes;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (children[i]) child_hashes[i] = children[i]->hash;
+    }
+    hash = BranchHash(child_hashes);
+  }
+};
+
+MptTrie::MptTrie() = default;
+MptTrie::~MptTrie() = default;
+MptTrie::MptTrie(MptTrie&&) noexcept = default;
+MptTrie& MptTrie::operator=(MptTrie&&) noexcept = default;
+
+Hash256 MptTrie::Root() const { return root_ ? root_->hash : EmptyRoot(); }
+
+namespace {
+
+std::unique_ptr<MptTrie::Node> PutRec(std::unique_ptr<MptTrie::Node> node,
+                                      std::size_t depth, const Hash256& key,
+                                      const Hash256& value_hash, std::size_t& size) {
+  using Node = MptTrie::Node;
+  if (!node) {
+    auto leaf = std::make_unique<Node>();
+    leaf->is_leaf = true;
+    leaf->suffix = SuffixFrom(key, depth);
+    leaf->value_hash = value_hash;
+    leaf->Recompute();
+    ++size;
+    return leaf;
+  }
+  if (node->is_leaf) {
+    std::vector<std::uint8_t> new_suffix = SuffixFrom(key, depth);
+    if (node->suffix == new_suffix) {
+      node->value_hash = value_hash;
+      node->Recompute();
+      return node;
+    }
+    // Split: one branch per shared nibble, then both leaves diverge.
+    std::size_t common = 0;
+    while (common < new_suffix.size() && node->suffix[common] == new_suffix[common]) {
+      ++common;
+    }
+    // Build from the divergence upward.
+    auto old_leaf = std::move(node);
+    std::uint8_t old_nib = old_leaf->suffix[common];
+    std::uint8_t new_nib = new_suffix[common];
+    old_leaf->suffix.erase(old_leaf->suffix.begin(),
+                           old_leaf->suffix.begin() +
+                               static_cast<std::ptrdiff_t>(common) + 1);
+    old_leaf->Recompute();
+    auto new_leaf = std::make_unique<Node>();
+    new_leaf->is_leaf = true;
+    new_leaf->suffix.assign(new_suffix.begin() +
+                                static_cast<std::ptrdiff_t>(common) + 1,
+                            new_suffix.end());
+    new_leaf->value_hash = value_hash;
+    new_leaf->Recompute();
+    ++size;
+
+    auto branch = std::make_unique<Node>();
+    branch->is_leaf = false;
+    branch->children[old_nib] = std::move(old_leaf);
+    branch->children[new_nib] = std::move(new_leaf);
+    branch->Recompute();
+    for (std::size_t i = common; i > 0; --i) {
+      auto outer = std::make_unique<Node>();
+      outer->is_leaf = false;
+      outer->children[new_suffix[i - 1]] = std::move(branch);
+      outer->Recompute();
+      branch = std::move(outer);
+    }
+    return branch;
+  }
+  std::uint8_t nib = Nibble(key, depth);
+  node->children[nib] =
+      PutRec(std::move(node->children[nib]), depth + 1, key, value_hash, size);
+  node->Recompute();
+  return node;
+}
+
+}  // namespace
+
+void MptTrie::Put(const Hash256& key, const Hash256& value_hash) {
+  if (value_hash.IsZero()) {
+    throw std::invalid_argument("MptTrie::Put: zero value hash is reserved");
+  }
+  root_ = PutRec(std::move(root_), 0, key, value_hash, size_);
+}
+
+std::optional<Hash256> MptTrie::Get(const Hash256& key) const {
+  const Node* node = root_.get();
+  std::size_t depth = 0;
+  while (node != nullptr && !node->is_leaf) {
+    node = node->children[Nibble(key, depth)].get();
+    ++depth;
+  }
+  if (node == nullptr) return std::nullopt;
+  if (node->suffix != SuffixFrom(key, depth)) return std::nullopt;
+  return node->value_hash;
+}
+
+MptProof MptTrie::Prove(const Hash256& key) const {
+  MptProof proof;
+  const Node* node = root_.get();
+  std::size_t depth = 0;
+  while (node != nullptr && !node->is_leaf) {
+    std::uint8_t on_path = Nibble(key, depth);
+    MptProof::BranchStep step;
+    for (std::uint8_t i = 0; i < 16; ++i) {
+      if (i != on_path && node->children[i]) {
+        step.children.emplace_back(i, node->children[i]->hash);
+      }
+    }
+    proof.steps.push_back(std::move(step));
+    node = node->children[on_path].get();
+    ++depth;
+  }
+  if (node != nullptr) {
+    proof.has_leaf = true;
+    proof.leaf_suffix = node->suffix;
+    proof.leaf_value_hash = node->value_hash;
+  }
+  return proof;
+}
+
+namespace {
+
+/// Folds a terminal subtree hash upward through the proof's branch steps,
+/// inserting it at the key's on-path slot of each branch. Returns the root.
+Result<Hash256> FoldSteps(const MptProof& proof, const Hash256& key,
+                          Hash256 terminal) {
+  for (std::size_t i = proof.steps.size(); i > 0; --i) {
+    const auto& step = proof.steps[i - 1];
+    std::uint8_t on_path = Nibble(key, i - 1);
+    std::array<Hash256, 16> children;
+    std::uint8_t prev = 0;
+    bool first = true;
+    for (const auto& [nib, hash] : step.children) {
+      if (nib >= 16) return Result<Hash256>::Error("MPT proof: nibble out of range");
+      if (!first && nib <= prev) {
+        return Result<Hash256>::Error("MPT proof: children not ascending");
+      }
+      first = false;
+      prev = nib;
+      if (nib == on_path) {
+        return Result<Hash256>::Error("MPT proof: on-path child listed explicitly");
+      }
+      if (hash.IsZero()) {
+        return Result<Hash256>::Error("MPT proof: zero hash for present child");
+      }
+      children[nib] = hash;
+    }
+    children[on_path] = terminal;
+    terminal = BranchHash(children);
+  }
+  return terminal;
+}
+
+/// Shared validation: checks structural sanity and that the proof
+/// reconstructs `root`. Returns the depth of the terminal position.
+Status CheckProof(const Hash256& root, const Hash256& key, const MptProof& proof) {
+  if (proof.steps.size() > MptTrie::kPathNibbles) {
+    return Status::Error("MPT proof: too many steps");
+  }
+  if (proof.has_leaf) {
+    if (proof.leaf_suffix.size() != MptTrie::kPathNibbles - proof.steps.size()) {
+      return Status::Error("MPT proof: leaf suffix length mismatch");
+    }
+    for (std::uint8_t nib : proof.leaf_suffix) {
+      if (nib >= 16) return Status::Error("MPT proof: leaf nibble out of range");
+    }
+    if (proof.leaf_value_hash.IsZero()) {
+      return Status::Error("MPT proof: zero leaf value hash");
+    }
+  } else if (proof.steps.empty()) {
+    // Absence in the empty trie.
+    if (root != MptTrie::EmptyRoot()) {
+      return Status::Error("MPT proof: empty proof for non-empty trie");
+    }
+    return Status::Ok();
+  }
+  Hash256 terminal;  // zero = absent slot
+  if (proof.has_leaf) terminal = LeafHash(proof.leaf_suffix, proof.leaf_value_hash);
+  Result<Hash256> computed = FoldSteps(proof, key, terminal);
+  if (!computed) return computed.status();
+  if (computed.value() != root) {
+    return Status::Error("MPT proof does not reconstruct the root");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::optional<Hash256>> MptTrie::VerifyGet(const Hash256& root,
+                                                  const Hash256& key,
+                                                  const MptProof& proof) {
+  using R = Result<std::optional<Hash256>>;
+  Status st = CheckProof(root, key, proof);
+  if (!st) return R(st);
+  if (!proof.has_leaf) return std::optional<Hash256>{};
+  if (proof.leaf_suffix == SuffixFrom(key, proof.steps.size())) {
+    return std::optional<Hash256>{proof.leaf_value_hash};
+  }
+  return std::optional<Hash256>{};  // mismatching leaf proves absence
+}
+
+Result<Hash256> MptTrie::ApplyPut(const Hash256& old_root, const Hash256& key,
+                                  const MptProof& proof,
+                                  const Hash256& new_value_hash) {
+  using R = Result<Hash256>;
+  if (new_value_hash.IsZero()) return R::Error("MPT ApplyPut: zero value hash");
+  Status st = CheckProof(old_root, key, proof);
+  if (!st) return R(st);
+
+  const std::size_t depth = proof.steps.size();
+  std::vector<std::uint8_t> key_suffix = SuffixFrom(key, depth);
+  Hash256 terminal;
+  if (!proof.has_leaf) {
+    // Empty slot (or empty trie): a fresh leaf with the remaining suffix.
+    terminal = LeafHash(key_suffix, new_value_hash);
+  } else if (proof.leaf_suffix == key_suffix) {
+    // Overwrite in place.
+    terminal = LeafHash(key_suffix, new_value_hash);
+  } else {
+    // Mismatching leaf: mirror Put's split — branches over the shared
+    // nibbles, then both leaves with trimmed suffixes.
+    std::size_t common = 0;
+    while (common < key_suffix.size() &&
+           proof.leaf_suffix[common] == key_suffix[common]) {
+      ++common;
+    }
+    std::vector<std::uint8_t> old_trimmed(
+        proof.leaf_suffix.begin() + static_cast<std::ptrdiff_t>(common) + 1,
+        proof.leaf_suffix.end());
+    std::vector<std::uint8_t> new_trimmed(
+        key_suffix.begin() + static_cast<std::ptrdiff_t>(common) + 1,
+        key_suffix.end());
+    std::array<Hash256, 16> split_children;
+    split_children[proof.leaf_suffix[common]] =
+        LeafHash(old_trimmed, proof.leaf_value_hash);
+    split_children[key_suffix[common]] = LeafHash(new_trimmed, new_value_hash);
+    terminal = BranchHash(split_children);
+    for (std::size_t i = common; i > 0; --i) {
+      std::array<Hash256, 16> chain;
+      chain[key_suffix[i - 1]] = terminal;
+      terminal = BranchHash(chain);
+    }
+  }
+  return FoldSteps(proof, key, terminal);
+}
+
+Bytes MptProof::Serialize() const {
+  Encoder enc;
+  enc.U32(static_cast<std::uint32_t>(steps.size()));
+  for (const auto& step : steps) {
+    enc.U8(static_cast<std::uint8_t>(step.children.size()));
+    for (const auto& [nib, hash] : step.children) {
+      enc.U8(nib);
+      enc.HashField(hash);
+    }
+  }
+  enc.Bool(has_leaf);
+  if (has_leaf) {
+    enc.U8(static_cast<std::uint8_t>(leaf_suffix.size()));
+    for (std::uint8_t nib : leaf_suffix) enc.U8(nib);
+    enc.HashField(leaf_value_hash);
+  }
+  return enc.Take();
+}
+
+Result<MptProof> MptProof::Deserialize(ByteView data) {
+  try {
+    Decoder dec(data);
+    MptProof proof;
+    std::uint32_t n_steps = dec.U32();
+    if (n_steps > MptTrie::kPathNibbles) {
+      return Result<MptProof>::Error("MptProof: too many steps");
+    }
+    for (std::uint32_t i = 0; i < n_steps; ++i) {
+      BranchStep step;
+      std::uint8_t n_children = dec.U8();
+      for (std::uint8_t j = 0; j < n_children; ++j) {
+        std::uint8_t nib = dec.U8();
+        Hash256 h = dec.HashField();
+        step.children.emplace_back(nib, h);
+      }
+      proof.steps.push_back(std::move(step));
+    }
+    proof.has_leaf = dec.Bool();
+    if (proof.has_leaf) {
+      std::uint8_t len = dec.U8();
+      for (std::uint8_t i = 0; i < len; ++i) proof.leaf_suffix.push_back(dec.U8());
+      proof.leaf_value_hash = dec.HashField();
+    }
+    dec.ExpectEnd();
+    return proof;
+  } catch (const DecodeError& e) {
+    return Result<MptProof>::Error(std::string("MptProof: ") + e.what());
+  }
+}
+
+}  // namespace dcert::mht

@@ -1,0 +1,94 @@
+// Merkle Patricia Trie (radix-16) over 32-byte keys — the upper level of
+// DCert's two-level historical index (paper Fig. 5), mapping hashed account
+// addresses to the root of that account's lower MB-tree.
+//
+// Simplified relative to Ethereum's MPT: no extension nodes (branch chains
+// cover shared prefixes) and values live only in leaves, which is sufficient
+// because all keys have equal length. Supports authenticated reads
+// (presence and absence) and stateless in-enclave updates via ApplyPut.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace dcert::mht {
+
+/// Path proof for one key: the branch nodes from the root downward (sparse
+/// off-path children only) plus the terminal — a leaf (matching = presence,
+/// mismatching = absence) or nothing (absence via an empty child slot).
+struct MptProof {
+  struct BranchStep {
+    /// Off-path children as (nibble index, hash); the on-path child is
+    /// reconstructed by the verifier and must not appear here.
+    std::vector<std::pair<std::uint8_t, Hash256>> children;
+  };
+
+  std::vector<BranchStep> steps;
+  bool has_leaf = false;
+  std::vector<std::uint8_t> leaf_suffix;  // remaining nibbles below the steps
+  Hash256 leaf_value_hash;
+
+  Bytes Serialize() const;
+  static Result<MptProof> Deserialize(ByteView data);
+  std::size_t ByteSize() const { return Serialize().size(); }
+};
+
+class MptTrie {
+ public:
+  MptTrie();
+  ~MptTrie();
+  MptTrie(MptTrie&&) noexcept;
+  MptTrie& operator=(MptTrie&&) noexcept;
+  MptTrie(const MptTrie&) = delete;
+  MptTrie& operator=(const MptTrie&) = delete;
+
+  /// Inserts or overwrites. Value hashes must be non-zero (no deletions —
+  /// accounts are never removed from the historical index).
+  void Put(const Hash256& key, const Hash256& value_hash);
+
+  /// Stored value hash, or nullopt when absent.
+  std::optional<Hash256> Get(const Hash256& key) const;
+
+  Hash256 Root() const;
+  std::size_t Size() const { return size_; }
+
+  /// Builds a presence/absence proof for `key`.
+  MptProof Prove(const Hash256& key) const;
+
+  /// Verifies a proof against a trusted root. Returns the proven value hash,
+  /// or nullopt when the proof establishes absence.
+  static Result<std::optional<Hash256>> VerifyGet(const Hash256& root,
+                                                  const Hash256& key,
+                                                  const MptProof& proof);
+
+  /// Stateless update: verifies `proof` (a pre-state proof for `key`) against
+  /// `old_root`, then returns the root after Put(key, new_value_hash).
+  /// Deterministically mirrors Put, so the result equals Root() after the
+  /// equivalent in-tree update. Used inside the enclave for index
+  /// certification (Alg. 4 line 10 / Alg. 5 line 13).
+  static Result<Hash256> ApplyPut(const Hash256& old_root, const Hash256& key,
+                                  const MptProof& proof,
+                                  const Hash256& new_value_hash);
+
+  /// The empty trie commits to the zero hash.
+  static Hash256 EmptyRoot() { return Hash256(); }
+
+  /// Number of nibbles in a full key path.
+  static constexpr std::size_t kPathNibbles = 64;
+
+  /// Exposed for the implementation's free helper functions only.
+  struct Node;
+
+ private:
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dcert::mht

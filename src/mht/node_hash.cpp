@@ -1,0 +1,22 @@
+#include "mht/node_hash.h"
+
+namespace dcert::mht {
+
+Hash256 TaggedDigest(NodeTag tag, ByteView payload) {
+  crypto::Sha256 ctx;
+  std::uint8_t t = static_cast<std::uint8_t>(tag);
+  ctx.Update(ByteView(&t, 1));
+  ctx.Update(payload);
+  return ctx.Finalize();
+}
+
+Hash256 TaggedDigest2(NodeTag tag, const Hash256& left, const Hash256& right) {
+  crypto::Sha256 ctx;
+  std::uint8_t t = static_cast<std::uint8_t>(tag);
+  ctx.Update(ByteView(&t, 1));
+  ctx.Update(left.View());
+  ctx.Update(right.View());
+  return ctx.Finalize();
+}
+
+}  // namespace dcert::mht

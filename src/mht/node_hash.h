@@ -1,0 +1,32 @@
+// Domain-separated hashing conventions shared by every authenticated data
+// structure in DCert. Each node kind gets its own tag byte so that a leaf of
+// one structure can never be confused with an internal node of another.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace dcert::mht {
+
+enum class NodeTag : std::uint8_t {
+  kMerkleLeaf = 0x00,      // binary MHT leaf
+  kMerkleInternal = 0x01,  // binary MHT internal node
+  kSmtLeaf = 0x02,         // sparse Merkle tree leaf
+  kSmtInternal = 0x03,     // sparse Merkle tree internal node
+  kMbLeaf = 0x04,          // Merkle B-tree leaf node
+  kMbInternal = 0x05,      // Merkle B-tree internal node
+  kMptLeaf = 0x06,         // Merkle Patricia trie leaf
+  kMptBranch = 0x07,       // Merkle Patricia trie branch
+  kSkipNode = 0x08,        // authenticated skip list node
+  kChainStep = 0x09,       // hash-chain bucket step (inverted index)
+};
+
+/// H(tag || payload).
+Hash256 TaggedDigest(NodeTag tag, ByteView payload);
+
+/// H(tag || left || right) — the two-child internal node idiom.
+Hash256 TaggedDigest2(NodeTag tag, const Hash256& left, const Hash256& right);
+
+}  // namespace dcert::mht

@@ -1,0 +1,278 @@
+#include "mht/skiplist.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+#include "mht/node_hash.h"
+
+namespace dcert::mht {
+
+int AuthSkipList::HeightOf(std::uint64_t index) {
+  int h = 1 + std::countr_zero(index + 1);
+  return h > kMaxLevel ? kMaxLevel : h;
+}
+
+Hash256 SkipNodeRecord::NodeHash() const {
+  Encoder enc;
+  enc.U64(index);
+  enc.U64(timestamp);
+  enc.HashField(value_hash);
+  for (std::size_t l = 0; l < AuthSkipList::kMaxLevel; ++l) {
+    enc.HashField(l < ptr_hashes.size() ? ptr_hashes[l] : Hash256());
+    enc.U64(l < ptr_ts.size() ? ptr_ts[l] : 0);
+  }
+  return TaggedDigest(NodeTag::kSkipNode, enc.bytes());
+}
+
+void SkipNodeRecord::Encode(Encoder& enc) const {
+  enc.U64(index);
+  enc.U64(timestamp);
+  enc.HashField(value_hash);
+  enc.Bool(value.has_value());
+  if (value) enc.Blob(*value);
+  for (std::size_t l = 0; l < AuthSkipList::kMaxLevel; ++l) {
+    enc.HashField(l < ptr_hashes.size() ? ptr_hashes[l] : Hash256());
+    enc.U64(l < ptr_ts.size() ? ptr_ts[l] : 0);
+  }
+}
+
+SkipNodeRecord SkipNodeRecord::Decode(Decoder& dec) {
+  SkipNodeRecord rec;
+  rec.index = dec.U64();
+  rec.timestamp = dec.U64();
+  rec.value_hash = dec.HashField();
+  if (dec.Bool()) rec.value = dec.Blob();
+  rec.ptr_hashes.resize(AuthSkipList::kMaxLevel);
+  rec.ptr_ts.resize(AuthSkipList::kMaxLevel);
+  for (std::size_t l = 0; l < AuthSkipList::kMaxLevel; ++l) {
+    rec.ptr_hashes[l] = dec.HashField();
+    rec.ptr_ts[l] = dec.U64();
+  }
+  return rec;
+}
+
+SkipNodeRecord AuthSkipList::RecordOf(std::size_t index) const {
+  const Node& n = nodes_.at(index);
+  SkipNodeRecord rec;
+  rec.index = index;
+  rec.timestamp = n.timestamp;
+  rec.value_hash = n.value_hash;
+  rec.ptr_hashes.assign(n.ptr_hashes.begin(), n.ptr_hashes.end());
+  rec.ptr_ts.assign(n.ptr_ts.begin(), n.ptr_ts.end());
+  return rec;
+}
+
+void AuthSkipList::Append(std::uint64_t timestamp, Bytes value) {
+  if (!nodes_.empty() && timestamp < nodes_.back().timestamp) {
+    throw std::invalid_argument("AuthSkipList::Append: timestamps must not decrease");
+  }
+  Node node;
+  node.timestamp = timestamp;
+  node.value_hash = crypto::Sha256::Digest(value);
+  node.value = std::move(value);
+  node.ptr_index.fill(-1);
+  if (!nodes_.empty()) {
+    const std::size_t head = nodes_.size() - 1;
+    const Node& prev = nodes_[head];
+    const int prev_height = HeightOf(head);
+    for (int l = 0; l < kMaxLevel; ++l) {
+      if (prev_height > l) {
+        node.ptr_hashes[static_cast<std::size_t>(l)] = prev.hash;
+        node.ptr_ts[static_cast<std::size_t>(l)] = prev.timestamp;
+        node.ptr_index[static_cast<std::size_t>(l)] =
+            static_cast<std::int64_t>(head);
+      } else {
+        node.ptr_hashes[static_cast<std::size_t>(l)] =
+            prev.ptr_hashes[static_cast<std::size_t>(l)];
+        node.ptr_ts[static_cast<std::size_t>(l)] =
+            prev.ptr_ts[static_cast<std::size_t>(l)];
+        node.ptr_index[static_cast<std::size_t>(l)] =
+            prev.ptr_index[static_cast<std::size_t>(l)];
+      }
+    }
+  }
+  nodes_.push_back(std::move(node));
+  // Hash via the record form so in-memory and stateless appends agree.
+  nodes_.back().hash = RecordOf(nodes_.size() - 1).NodeHash();
+}
+
+Hash256 AuthSkipList::Digest() const {
+  return nodes_.empty() ? Hash256() : nodes_.back().hash;
+}
+
+SkipNodeRecord AuthSkipList::HeadRecord() const {
+  if (nodes_.empty()) {
+    throw std::logic_error("AuthSkipList::HeadRecord: empty list");
+  }
+  return RecordOf(nodes_.size() - 1);
+}
+
+SkipRangeProof AuthSkipList::QueryWithProof(std::uint64_t lo,
+                                            std::uint64_t hi) const {
+  SkipRangeProof proof;
+  if (nodes_.empty()) return proof;
+  std::int64_t cur = static_cast<std::int64_t>(nodes_.size()) - 1;
+  // Phase 1: seek the newest node with ts <= hi, jumping over newer nodes.
+  while (cur >= 0 && nodes_[static_cast<std::size_t>(cur)].timestamp > hi) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    proof.visited.push_back(RecordOf(static_cast<std::size_t>(cur)));
+    std::int64_t next = -1;
+    for (int l = kMaxLevel - 1; l >= 1; --l) {
+      std::size_t li = static_cast<std::size_t>(l);
+      if (n.ptr_index[li] >= 0 && n.ptr_ts[li] > hi) {
+        next = n.ptr_index[li];
+        break;
+      }
+    }
+    if (next < 0) next = n.ptr_index[0];
+    cur = next;
+  }
+  // If the landing node is already older than the window, include it as a
+  // sentinel: the verifier follows the jump there and its timestamp proves
+  // the window is empty below.
+  if (cur >= 0 && nodes_[static_cast<std::size_t>(cur)].timestamp < lo) {
+    proof.visited.push_back(RecordOf(static_cast<std::size_t>(cur)));
+    return proof;
+  }
+  // Phase 2: collect versions back to lo, one level-0 step at a time.
+  while (cur >= 0 && nodes_[static_cast<std::size_t>(cur)].timestamp >= lo) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    SkipNodeRecord rec = RecordOf(static_cast<std::size_t>(cur));
+    rec.value = n.value;
+    proof.visited.push_back(std::move(rec));
+    cur = n.ptr_index[0];
+  }
+  return proof;
+}
+
+Result<std::vector<SkipEntry>> AuthSkipList::VerifyQuery(
+    const Hash256& digest, std::uint64_t lo, std::uint64_t hi,
+    const SkipRangeProof& proof) {
+  using R = Result<std::vector<SkipEntry>>;
+  std::vector<SkipEntry> results;
+  if (digest.IsZero()) {
+    if (!proof.visited.empty()) return R::Error("proof for an empty list");
+    return results;
+  }
+  if (proof.visited.empty()) return R::Error("missing traversal");
+
+  Hash256 expected = digest;
+  std::uint64_t expected_ts = 0;
+  bool first = true;
+  std::size_t i = 0;
+  while (true) {
+    if (i >= proof.visited.size()) return R::Error("traversal truncated");
+    const SkipNodeRecord& rec = proof.visited[i];
+    if (rec.ptr_hashes.size() != kMaxLevel || rec.ptr_ts.size() != kMaxLevel) {
+      return R::Error("malformed node record");
+    }
+    if (rec.NodeHash() != expected) return R::Error("node hash mismatch");
+    if (!first && rec.timestamp != expected_ts) {
+      return R::Error("pointee timestamp mismatch");
+    }
+    first = false;
+    ++i;
+
+    if (rec.timestamp > hi) {
+      // Still seeking: replay the canonical jump rule.
+      int jump = 0;
+      for (int l = kMaxLevel - 1; l >= 1; --l) {
+        std::size_t li = static_cast<std::size_t>(l);
+        if (!rec.ptr_hashes[li].IsZero() && rec.ptr_ts[li] > hi) {
+          jump = l;
+          break;
+        }
+      }
+      std::size_t ji = static_cast<std::size_t>(jump);
+      if (rec.ptr_hashes[ji].IsZero()) break;  // list exhausted, all newer than hi
+      expected = rec.ptr_hashes[ji];
+      expected_ts = rec.ptr_ts[ji];
+      continue;
+    }
+    if (rec.timestamp < lo) {
+      // Traversal may stop at the first node older than the window; the
+      // prover should not have included it, but tolerate a single sentinel.
+      break;
+    }
+    // In range: the value must be present and match its bound hash.
+    if (!rec.value.has_value()) return R::Error("in-range node missing value");
+    if (crypto::Sha256::Digest(*rec.value) != rec.value_hash) {
+      return R::Error("value does not match bound hash");
+    }
+    results.push_back({rec.timestamp, *rec.value});
+    if (rec.ptr_hashes[0].IsZero()) break;  // reached the genesis version
+    expected = rec.ptr_hashes[0];
+    expected_ts = rec.ptr_ts[0];
+    if (expected_ts < lo) break;  // next node is outside the window
+  }
+  if (i != proof.visited.size()) return R::Error("extra records in proof");
+  std::reverse(results.begin(), results.end());
+  return results;
+}
+
+Result<Hash256> AuthSkipList::ApplyAppend(const Hash256& old_digest,
+                                          const std::optional<SkipNodeRecord>& head,
+                                          std::uint64_t timestamp,
+                                          const Hash256& value_hash) {
+  using R = Result<Hash256>;
+  SkipNodeRecord rec;
+  rec.value_hash = value_hash;
+  rec.timestamp = timestamp;
+  rec.ptr_hashes.resize(kMaxLevel);
+  rec.ptr_ts.resize(kMaxLevel);
+  if (!head.has_value()) {
+    if (!old_digest.IsZero()) {
+      return R::Error("append without head record on a non-empty list");
+    }
+    rec.index = 0;
+    return rec.NodeHash();
+  }
+  if (head->ptr_hashes.size() != kMaxLevel || head->ptr_ts.size() != kMaxLevel) {
+    return R::Error("malformed head record");
+  }
+  if (head->NodeHash() != old_digest) {
+    return R::Error("head record does not match the old digest");
+  }
+  if (timestamp < head->timestamp) {
+    return R::Error("appended timestamp must not decrease");
+  }
+  rec.index = head->index + 1;
+  const int head_height = HeightOf(head->index);
+  for (int l = 0; l < kMaxLevel; ++l) {
+    std::size_t li = static_cast<std::size_t>(l);
+    if (head_height > l) {
+      rec.ptr_hashes[li] = old_digest;
+      rec.ptr_ts[li] = head->timestamp;
+    } else {
+      rec.ptr_hashes[li] = head->ptr_hashes[li];
+      rec.ptr_ts[li] = head->ptr_ts[li];
+    }
+  }
+  return rec.NodeHash();
+}
+
+Bytes SkipRangeProof::Serialize() const {
+  Encoder enc;
+  enc.U32(static_cast<std::uint32_t>(visited.size()));
+  for (const auto& rec : visited) rec.Encode(enc);
+  return enc.Take();
+}
+
+Result<SkipRangeProof> SkipRangeProof::Deserialize(ByteView data) {
+  try {
+    Decoder dec(data);
+    SkipRangeProof proof;
+    std::uint32_t n = dec.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      proof.visited.push_back(SkipNodeRecord::Decode(dec));
+    }
+    dec.ExpectEnd();
+    return proof;
+  } catch (const DecodeError& e) {
+    return Result<SkipRangeProof>::Error(std::string("SkipRangeProof: ") + e.what());
+  }
+}
+
+}  // namespace dcert::mht

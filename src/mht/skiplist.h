@@ -1,0 +1,112 @@
+// Authenticated deterministic skip list — the LineageChain-style index used
+// as the baseline in the paper's Fig. 11. An append-only list of time-stamped
+// versions; tower heights are a deterministic function of the append index,
+// and every node's hash binds its full pointer tower (hash + timestamp per
+// level), so queries walking old-ward from the head are verifiable.
+//
+// Timestamps must be appended in non-decreasing order (they are block
+// heights), which is also what makes jump-completeness checkable: any node
+// skipped by a pointer is newer than the pointer's target, so a target with
+// ts > hi proves everything skipped is > hi too.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace dcert::mht {
+
+/// One queried version (same shape as MbEntry, duplicated to keep the two
+/// index families independent).
+struct SkipEntry {
+  std::uint64_t timestamp = 0;
+  Bytes value;
+
+  bool operator==(const SkipEntry&) const = default;
+};
+
+/// Wire form of one node as revealed in a proof. The node hash is
+/// H(index || ts || value_hash || ptr_hashes || ptr_timestamps), so every
+/// field except `value` is bound by the hash.
+struct SkipNodeRecord {
+  std::uint64_t index = 0;
+  std::uint64_t timestamp = 0;
+  Hash256 value_hash;
+  std::optional<Bytes> value;  // present for in-range results
+  std::vector<Hash256> ptr_hashes;      // kMaxLevel entries; zero = null
+  std::vector<std::uint64_t> ptr_ts;    // timestamp of each pointee
+
+  Hash256 NodeHash() const;
+  void Encode(Encoder& enc) const;
+  static SkipNodeRecord Decode(Decoder& dec);
+};
+
+/// Proof for a time-window query: the visited nodes in traversal order
+/// (newest first), starting at the head.
+struct SkipRangeProof {
+  std::vector<SkipNodeRecord> visited;
+
+  Bytes Serialize() const;
+  static Result<SkipRangeProof> Deserialize(ByteView data);
+  std::size_t ByteSize() const { return Serialize().size(); }
+};
+
+class AuthSkipList {
+ public:
+  static constexpr int kMaxLevel = 24;
+
+  /// Height of the tower for append index i: 1 + trailing zeros of (i+1),
+  /// capped. Deterministic, so both prover and enclave can recompute it.
+  static int HeightOf(std::uint64_t index);
+
+  /// Appends a version; timestamps must be non-decreasing.
+  void Append(std::uint64_t timestamp, Bytes value);
+
+  /// Digest = hash of the head node (zero for the empty list).
+  Hash256 Digest() const;
+  std::size_t Size() const { return nodes_.size(); }
+
+  /// All versions with timestamp in [lo, hi], newest-first traversal proof.
+  SkipRangeProof QueryWithProof(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Verifies the proof against a trusted digest; returns matching versions
+  /// in ascending timestamp order.
+  static Result<std::vector<SkipEntry>> VerifyQuery(const Hash256& digest,
+                                                    std::uint64_t lo,
+                                                    std::uint64_t hi,
+                                                    const SkipRangeProof& proof);
+
+  /// Record of the current head (needed by the stateless append). Must not
+  /// be called on an empty list.
+  SkipNodeRecord HeadRecord() const;
+
+  /// Stateless append for the enclave: given the old digest and the head's
+  /// record, computes the digest after appending (timestamp, value_hash).
+  /// For the first element pass an empty `head` and a zero `old_digest`.
+  static Result<Hash256> ApplyAppend(const Hash256& old_digest,
+                                     const std::optional<SkipNodeRecord>& head,
+                                     std::uint64_t timestamp,
+                                     const Hash256& value_hash);
+
+ private:
+  struct Node {
+    std::uint64_t timestamp = 0;
+    Bytes value;
+    Hash256 value_hash;
+    Hash256 hash;
+    std::array<Hash256, kMaxLevel> ptr_hashes{};
+    std::array<std::uint64_t, kMaxLevel> ptr_ts{};
+    std::array<std::int64_t, kMaxLevel> ptr_index{};  // -1 = null
+  };
+
+  SkipNodeRecord RecordOf(std::size_t index) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dcert::mht

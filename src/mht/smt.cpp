@@ -1,0 +1,342 @@
+#include "mht/smt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mht/node_hash.h"
+
+namespace dcert::mht {
+
+namespace {
+
+constexpr int kDepth = SparseMerkleTree::kDepth;
+
+/// Returns `h` with every bit from position `level` onward cleared, i.e. the
+/// canonical encoding of the length-`level` path prefix.
+Hash256 PrefixAt(const Hash256& h, int level) {
+  Hash256 out = h;
+  int full_bytes = level / 8;
+  int rem_bits = level % 8;
+  if (full_bytes < 32) {
+    if (rem_bits != 0) {
+      out[static_cast<std::size_t>(full_bytes)] &=
+          static_cast<std::uint8_t>(0xff << (8 - rem_bits));
+      ++full_bytes;
+    }
+    for (int i = full_bytes; i < 32; ++i) out[static_cast<std::size_t>(i)] = 0;
+  }
+  return out;
+}
+
+/// Flips bit `level-1` of a level-`level` prefix (the partner node's prefix).
+Hash256 FlipBit(const Hash256& prefix, int bit) {
+  Hash256 out = prefix;
+  out[static_cast<std::size_t>(bit / 8)] ^=
+      static_cast<std::uint8_t>(0x80 >> (bit % 8));
+  return out;
+}
+
+/// True iff two keys address the same leaf slot (same first kDepth bits).
+bool SamePath(const Hash256& a, const Hash256& b) {
+  return PrefixAt(a, kDepth) == PrefixAt(b, kDepth);
+}
+
+/// First bit position in [from, kDepth) where the keys' paths differ, or -1.
+int FirstDiffBit(const Hash256& a, const Hash256& b, int from) {
+  for (int i = from; i < kDepth; ++i) {
+    if (a.Bit(static_cast<std::size_t>(i)) != b.Bit(static_cast<std::size_t>(i))) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+struct SparseMerkleTree::Node {
+  Hash256 hash;  // SMT-equivalent hash of this subtree at its level
+  bool is_leaf = false;
+  // Leaf payload (singleton subtree).
+  Hash256 key;
+  Hash256 value_hash;
+  // Branch children (either may be null = all-default subtree).
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+};
+
+SparseMerkleTree::SparseMerkleTree() = default;
+SparseMerkleTree::~SparseMerkleTree() = default;
+SparseMerkleTree::SparseMerkleTree(SparseMerkleTree&&) noexcept = default;
+SparseMerkleTree& SparseMerkleTree::operator=(SparseMerkleTree&&) noexcept = default;
+
+const Hash256& SparseMerkleTree::DefaultHash(int level) {
+  static const std::vector<Hash256> defaults = [] {
+    std::vector<Hash256> d(static_cast<std::size_t>(kDepth) + 1);
+    d[kDepth] = TaggedDigest(NodeTag::kSmtLeaf, {});
+    for (int l = kDepth - 1; l >= 0; --l) {
+      d[static_cast<std::size_t>(l)] =
+          TaggedDigest2(NodeTag::kSmtInternal, d[static_cast<std::size_t>(l) + 1],
+                        d[static_cast<std::size_t>(l) + 1]);
+    }
+    return d;
+  }();
+  if (level < 0 || level > kDepth) {
+    throw std::out_of_range("SparseMerkleTree::DefaultHash: bad level");
+  }
+  return defaults[static_cast<std::size_t>(level)];
+}
+
+Hash256 SparseMerkleTree::LeafNodeHash(const Hash256& key, const Hash256& value_hash) {
+  Bytes payload = key.ToBytes();
+  Append(payload, value_hash);
+  return TaggedDigest(NodeTag::kSmtLeaf, payload);
+}
+
+namespace {
+
+/// SMT hash of a singleton subtree holding (key, vh), rooted at `level`.
+Hash256 FoldLeaf(const Hash256& key, const Hash256& vh, int level) {
+  Hash256 h = SparseMerkleTree::LeafNodeHash(key, vh);
+  for (int l = kDepth - 1; l >= level; --l) {
+    const Hash256& def = SparseMerkleTree::DefaultHash(l + 1);
+    h = key.Bit(static_cast<std::size_t>(l))
+            ? TaggedDigest2(NodeTag::kSmtInternal, def, h)
+            : TaggedDigest2(NodeTag::kSmtInternal, h, def);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::InsertRec(
+    std::unique_ptr<Node> node, int level, const Hash256& key,
+    const Hash256& value_hash) {
+  if (!node) {
+    auto leaf = std::make_unique<Node>();
+    leaf->is_leaf = true;
+    leaf->key = key;
+    leaf->value_hash = value_hash;
+    leaf->hash = FoldLeaf(key, value_hash, level);
+    ++size_;
+    return leaf;
+  }
+  if (node->is_leaf) {
+    if (SamePath(node->key, key)) {
+      node->key = key;
+      node->value_hash = value_hash;
+      node->hash = FoldLeaf(key, value_hash, level);
+      return node;
+    }
+    // Split the singleton: push the existing leaf one level down and insert
+    // the new key into the same branch.
+    auto branch = std::make_unique<Node>();
+    bool old_bit = node->key.Bit(static_cast<std::size_t>(level));
+    node->hash = FoldLeaf(node->key, node->value_hash, level + 1);
+    (old_bit ? branch->right : branch->left) = std::move(node);
+    bool new_bit = key.Bit(static_cast<std::size_t>(level));
+    auto& slot = new_bit ? branch->right : branch->left;
+    slot = InsertRec(std::move(slot), level + 1, key, value_hash);
+    const Hash256& lh = branch->left ? branch->left->hash : DefaultHash(level + 1);
+    const Hash256& rh = branch->right ? branch->right->hash : DefaultHash(level + 1);
+    branch->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+    return branch;
+  }
+  auto& child = key.Bit(static_cast<std::size_t>(level)) ? node->right : node->left;
+  child = InsertRec(std::move(child), level + 1, key, value_hash);
+  const Hash256& lh = node->left ? node->left->hash : DefaultHash(level + 1);
+  const Hash256& rh = node->right ? node->right->hash : DefaultHash(level + 1);
+  node->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+  return node;
+}
+
+std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::RemoveRec(
+    std::unique_ptr<Node> node, int level, const Hash256& key, bool& removed) {
+  if (!node) return nullptr;
+  if (node->is_leaf) {
+    if (SamePath(node->key, key)) {
+      removed = true;
+      --size_;
+      return nullptr;
+    }
+    return node;
+  }
+  auto& child = key.Bit(static_cast<std::size_t>(level)) ? node->right : node->left;
+  child = RemoveRec(std::move(child), level + 1, key, removed);
+  if (!removed) return node;
+  // Collapse a branch whose only remaining child is a leaf — hash-neutral
+  // (fold of a leaf at level equals the branch hash with a default sibling),
+  // but it keeps storage proportional to the key count.
+  Node* only = nullptr;
+  if (node->left && !node->right) only = node->left.get();
+  if (node->right && !node->left) only = node->right.get();
+  if (only != nullptr && only->is_leaf) {
+    auto lifted = node->left ? std::move(node->left) : std::move(node->right);
+    lifted->hash = FoldLeaf(lifted->key, lifted->value_hash, level);
+    return lifted;
+  }
+  if (!node->left && !node->right) return nullptr;  // cannot happen, but safe
+  const Hash256& lh = node->left ? node->left->hash : DefaultHash(level + 1);
+  const Hash256& rh = node->right ? node->right->hash : DefaultHash(level + 1);
+  node->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+  return node;
+}
+
+void SparseMerkleTree::Update(const Hash256& key, const Hash256& value_hash) {
+  if (value_hash.IsZero()) {
+    bool removed = false;
+    root_ = RemoveRec(std::move(root_), 0, key, removed);
+    return;
+  }
+  root_ = InsertRec(std::move(root_), 0, key, value_hash);
+}
+
+Hash256 SparseMerkleTree::Get(const Hash256& key) const {
+  const Node* node = root_.get();
+  int level = 0;
+  while (node != nullptr && !node->is_leaf) {
+    node = key.Bit(static_cast<std::size_t>(level)) ? node->right.get()
+                                                    : node->left.get();
+    ++level;
+  }
+  if (node != nullptr && SamePath(node->key, key)) return node->value_hash;
+  return Hash256();
+}
+
+Hash256 SparseMerkleTree::Root() const {
+  return root_ ? root_->hash : DefaultHash(0);
+}
+
+SmtMultiProof SparseMerkleTree::ProveKeys(const std::vector<Hash256>& keys) const {
+  // Sort + dedupe by path so "is this sibling covered by another proof key"
+  // is a binary search.
+  std::vector<Hash256> paths;
+  paths.reserve(keys.size());
+  for (const Hash256& k : keys) paths.push_back(PrefixAt(k, kDepth));
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  auto covered = [&paths](const SmtNodeId& id) {
+    auto it = std::lower_bound(paths.begin(), paths.end(), id.prefix);
+    return it != paths.end() && PrefixAt(*it, id.level) == id.prefix;
+  };
+
+  SmtMultiProof proof;
+  for (const Hash256& key : keys) {
+    const Node* node = root_.get();
+    int level = 0;
+    while (node != nullptr) {
+      if (node->is_leaf) {
+        if (SamePath(node->key, key)) break;  // siblings below are all default
+        int diff = FirstDiffBit(node->key, key, level);
+        if (diff < 0) break;
+        // The resident leaf's subtree becomes the sibling at the divergence.
+        SmtNodeId id{static_cast<std::uint16_t>(diff + 1),
+                     PrefixAt(node->key, diff + 1)};
+        if (!covered(id)) {
+          proof.siblings.emplace(id, FoldLeaf(node->key, node->value_hash, diff + 1));
+        }
+        break;
+      }
+      bool bit = key.Bit(static_cast<std::size_t>(level));
+      const Node* sibling = bit ? node->left.get() : node->right.get();
+      if (sibling != nullptr) {
+        SmtNodeId id{static_cast<std::uint16_t>(level + 1),
+                     FlipBit(PrefixAt(key, level + 1), level)};
+        if (!covered(id)) proof.siblings.emplace(id, sibling->hash);
+      }
+      node = bit ? node->right.get() : node->left.get();
+      ++level;
+    }
+  }
+  return proof;
+}
+
+Hash256 SparseMerkleTree::ComputeRootFromProof(
+    const SmtMultiProof& proof, const std::map<Hash256, Hash256>& leaves) {
+  // Frontier: sorted (canonical prefix, subtree hash) pairs at the current
+  // level, merged in place level by level. Entries computed from the
+  // caller's leaves always take precedence over proof entries, so a
+  // malicious proof cannot override a covered subtree.
+  std::vector<std::pair<Hash256, Hash256>> frontier;
+  frontier.reserve(leaves.size());
+  for (const auto& [key, vh] : leaves) {
+    frontier.emplace_back(PrefixAt(key, kDepth),
+                          vh.IsZero() ? DefaultHash(kDepth) : LeafNodeHash(key, vh));
+  }
+  // leaves is an ordered map and PrefixAt preserves order, except that two
+  // keys sharing a path collapse; dedupe defensively.
+  frontier.erase(std::unique(frontier.begin(), frontier.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first == b.first;
+                             }),
+                 frontier.end());
+  if (frontier.empty()) return DefaultHash(0);
+
+  std::vector<std::pair<Hash256, Hash256>> next;
+  for (int level = kDepth; level > 0; --level) {
+    next.clear();
+    next.reserve(frontier.size());
+    const int bit_index = level - 1;
+    for (std::size_t i = 0; i < frontier.size();) {
+      const Hash256& prefix = frontier[i].first;
+      bool bit = prefix.Bit(static_cast<std::size_t>(bit_index));
+      Hash256 parent = PrefixAt(prefix, bit_index);
+
+      Hash256 left, right;
+      if (!bit && i + 1 < frontier.size() &&
+          frontier[i + 1].first == FlipBit(prefix, bit_index)) {
+        // Both children are on the frontier (keys diverging here).
+        left = frontier[i].second;
+        right = frontier[i + 1].second;
+        i += 2;
+      } else {
+        Hash256 partner = FlipBit(prefix, bit_index);
+        auto sib = proof.siblings.find(
+            SmtNodeId{static_cast<std::uint16_t>(level), partner});
+        const Hash256& sibling_hash =
+            sib != proof.siblings.end() ? sib->second : DefaultHash(level);
+        left = bit ? sibling_hash : frontier[i].second;
+        right = bit ? frontier[i].second : sibling_hash;
+        i += 1;
+      }
+      next.emplace_back(parent, TaggedDigest2(NodeTag::kSmtInternal, left, right));
+    }
+    frontier.swap(next);
+  }
+  return frontier.front().second;
+}
+
+Bytes SmtMultiProof::Serialize() const {
+  Encoder enc;
+  enc.U32(static_cast<std::uint32_t>(siblings.size()));
+  for (const auto& [id, hash] : siblings) {
+    enc.U16(id.level);
+    enc.HashField(id.prefix);
+    enc.HashField(hash);
+  }
+  return enc.Take();
+}
+
+Result<SmtMultiProof> SmtMultiProof::Deserialize(ByteView data) {
+  try {
+    Decoder dec(data);
+    SmtMultiProof proof;
+    std::uint32_t n = dec.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      SmtNodeId id;
+      id.level = dec.U16();
+      id.prefix = dec.HashField();
+      Hash256 h = dec.HashField();
+      if (id.level > SparseMerkleTree::kDepth) {
+        return Result<SmtMultiProof>::Error("SmtMultiProof: level out of range");
+      }
+      proof.siblings.emplace(id, h);
+    }
+    dec.ExpectEnd();
+    return proof;
+  } catch (const DecodeError& e) {
+    return Result<SmtMultiProof>::Error(std::string("SmtMultiProof: ") + e.what());
+  }
+}
+
+}  // namespace dcert::mht

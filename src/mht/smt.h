@@ -1,0 +1,107 @@
+// Sparse Merkle Tree over hashed keys — the commitment used for the chain's
+// global state (H_state in the block header, the binary tree of the paper's
+// Fig. 1/Fig. 4).
+//
+// The tree is conceptually a full binary tree of depth kDepth whose leaf slots
+// are addressed by the first kDepth bits of the (hashed) key; empty subtrees
+// hash to precomputed defaults. The in-memory representation is
+// path-compressed (singleton subtrees are stored as a single leaf node), so
+// storage is O(#keys) while hashes remain identical to the full-depth model.
+//
+// Two halves of the paper's protocol live here:
+//  * the untrusted CI calls ProveKeys() to build the update proof π_i over the
+//    read/write key set (Alg. 1 line 3), and
+//  * the trusted enclave calls ComputeRootFromProof() twice — once with the
+//    old leaf values to implement verify_mht (Alg. 2 line 17/22) and once with
+//    the written values to implement update (Alg. 2 line 23) — without ever
+//    holding the full state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace dcert::mht {
+
+/// Identifies one node of the conceptual full-depth tree: the node at `level`
+/// whose path from the root is the first `level` bits of `prefix` (remaining
+/// bits zero). Level 0 is the root, level kDepth the leaves.
+struct SmtNodeId {
+  std::uint16_t level = 0;
+  Hash256 prefix;
+
+  auto operator<=>(const SmtNodeId&) const = default;
+};
+
+/// Sibling hashes needed to recompute the root for a covered key set.
+/// Entries equal to the level's default hash are omitted.
+struct SmtMultiProof {
+  std::map<SmtNodeId, Hash256> siblings;
+
+  Bytes Serialize() const;
+  static Result<SmtMultiProof> Deserialize(ByteView data);
+  std::size_t ByteSize() const { return siblings.size() * (2 + 32 + 32) + 4; }
+};
+
+class SparseMerkleTree {
+ public:
+  /// Path depth in bits. 160 key-prefix bits keep second-preimage resistance
+  /// at the usual 160-bit level while costing 60% of the full-depth hashing.
+  static constexpr int kDepth = 160;
+
+  SparseMerkleTree();
+  ~SparseMerkleTree();
+  SparseMerkleTree(SparseMerkleTree&&) noexcept;
+  SparseMerkleTree& operator=(SparseMerkleTree&&) noexcept;
+  SparseMerkleTree(const SparseMerkleTree&) = delete;
+  SparseMerkleTree& operator=(const SparseMerkleTree&) = delete;
+
+  /// Sets the value hash stored under `key`. A zero value hash deletes the
+  /// key (an empty slot and a zero-valued slot are the same thing).
+  void Update(const Hash256& key, const Hash256& value_hash);
+
+  /// Returns the stored value hash, or the zero hash when absent.
+  Hash256 Get(const Hash256& key) const;
+
+  Hash256 Root() const;
+  std::size_t Size() const { return size_; }
+
+  /// Builds a multiproof covering every key in `keys` (present or absent —
+  /// absence is provable). Duplicates are fine.
+  SmtMultiProof ProveKeys(const std::vector<Hash256>& keys) const;
+
+  /// Stateless root recomputation: given a multiproof and the claimed leaf
+  /// values for the covered keys (zero hash = absent), recomputes the root.
+  /// Used by the enclave both to *verify* claimed values against a trusted
+  /// root and to *update* the root after overwriting some of the leaves.
+  /// The proof must cover exactly the keys of `leaves` (missing siblings make
+  /// the computed root wrong, which the caller's comparison then catches).
+  static Hash256 ComputeRootFromProof(
+      const SmtMultiProof& proof, const std::map<Hash256, Hash256>& leaves);
+
+  /// Default (all-empty) subtree hash at `level` in [0, kDepth].
+  static const Hash256& DefaultHash(int level);
+
+  /// Hash of an occupied leaf slot; binds the full key, not just the path.
+  static Hash256 LeafNodeHash(const Hash256& key, const Hash256& value_hash);
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct BranchNode;
+
+  std::unique_ptr<Node> InsertRec(std::unique_ptr<Node> node, int level,
+                                  const Hash256& key, const Hash256& value_hash);
+  std::unique_ptr<Node> RemoveRec(std::unique_ptr<Node> node, int level,
+                                  const Hash256& key, bool& removed);
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dcert::mht

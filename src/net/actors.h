@@ -1,0 +1,161 @@
+// DCert network roles as simulation actors (the paper's Fig. 2 workflow):
+//  MinerActor      — proposes blocks on a timer, broadcasts them (step 1);
+//  FullNodeActor   — validates and stores every block;
+//  CiActor         — SGX-enabled full node: certifies each block and
+//                    broadcasts the certificate (steps 2-3);
+//  SuperlightActor — validates the chain from (header, certificate) pairs
+//                    alone (step 4).
+// Every payload crosses the simulated wire in serialized form, and blocks
+// may arrive out of order (actors reorder by height).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "chain/node.h"
+#include "dcert/issuer.h"
+#include "dcert/superlight.h"
+#include "net/simnet.h"
+#include "query/historical_index.h"
+#include "workloads/workloads.h"
+
+namespace dcert::net {
+
+inline constexpr const char* kTopicBlock = "block";
+inline constexpr const char* kTopicCert = "cert";
+inline constexpr const char* kTopicQuery = "query";
+inline constexpr const char* kTopicQueryReply = "query-reply";
+
+/// Wire helpers for the cert topic: header || certificate.
+Bytes EncodeCertAnnouncement(const chain::BlockHeader& hdr,
+                             const core::BlockCertificate& cert);
+Result<std::pair<chain::BlockHeader, core::BlockCertificate>>
+DecodeCertAnnouncement(ByteView payload);
+
+class MinerActor final : public Actor {
+ public:
+  MinerActor(std::string name, chain::ChainConfig config,
+             std::shared_ptr<const chain::ContractRegistry> registry,
+             workloads::WorkloadGenerator::Params gen_params,
+             std::size_t accounts, std::size_t txs_per_block,
+             SimTime block_interval_us);
+
+  std::string Name() const override { return name_; }
+  void OnStart(SimNetwork& net) override;
+  void OnMessage(SimNetwork& net, const Message& msg) override;
+  void OnTimer(SimNetwork& net, std::uint64_t timer_id) override;
+
+  std::uint64_t BlocksProposed() const { return node_.Height(); }
+
+ private:
+  std::string name_;
+  chain::FullNode node_;
+  chain::Miner miner_;
+  workloads::AccountPool pool_;
+  workloads::WorkloadGenerator gen_;
+  std::size_t txs_per_block_;
+  SimTime interval_us_;
+};
+
+/// Reorders incoming blocks by height and applies them to a full node.
+class FullNodeActor final : public Actor {
+ public:
+  FullNodeActor(std::string name, chain::ChainConfig config,
+                std::shared_ptr<const chain::ContractRegistry> registry);
+
+  std::string Name() const override { return name_; }
+  void OnMessage(SimNetwork& net, const Message& msg) override;
+
+  const chain::FullNode& Node() const { return node_; }
+  std::uint64_t RejectedBlocks() const { return rejected_; }
+
+ private:
+  void Drain();
+
+  std::string name_;
+  chain::FullNode node_;
+  std::map<std::uint64_t, chain::Block> pending_;
+  std::uint64_t rejected_ = 0;
+};
+
+class CiActor final : public Actor {
+ public:
+  CiActor(std::string name, chain::ChainConfig config,
+          std::shared_ptr<const chain::ContractRegistry> registry);
+
+  std::string Name() const override { return name_; }
+  void OnMessage(SimNetwork& net, const Message& msg) override;
+
+  const core::CertificateIssuer& Issuer() const { return ci_; }
+  std::uint64_t CertsIssued() const { return certs_issued_; }
+
+ private:
+  void Drain(SimNetwork& net);
+
+  std::string name_;
+  core::CertificateIssuer ci_;
+  std::map<std::uint64_t, chain::Block> pending_;
+  std::uint64_t certs_issued_ = 0;
+};
+
+/// Query Service Provider: maintains the historical index from observed
+/// blocks (reordered by height) and answers window queries over the wire.
+/// Note: in this single-CI simulation the SP's index digests are certified
+/// through the CI the client follows; the SP itself stays untrusted.
+class SpActor final : public Actor {
+ public:
+  explicit SpActor(std::string name);
+
+  std::string Name() const override { return name_; }
+  void OnMessage(SimNetwork& net, const Message& msg) override;
+
+  std::uint64_t QueriesServed() const { return queries_served_; }
+  /// The live index (shared with a CI via AttachIndex in test setups).
+  const std::shared_ptr<query::HistoricalIndex>& Index() const { return index_; }
+
+ private:
+  void Drain();
+
+  std::string name_;
+  std::shared_ptr<query::HistoricalIndex> index_;
+  std::map<std::uint64_t, chain::Block> pending_;
+  std::uint64_t next_height_ = 1;
+  std::uint64_t queries_served_ = 0;
+};
+
+/// Wire forms for the query protocol.
+Bytes EncodeHistoricalQuery(std::uint64_t request_id, std::uint64_t account,
+                            std::uint64_t from_height, std::uint64_t to_height);
+struct HistoricalQueryRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t account = 0;
+  std::uint64_t from_height = 0;
+  std::uint64_t to_height = 0;
+};
+Result<HistoricalQueryRequest> DecodeHistoricalQuery(ByteView payload);
+Bytes EncodeHistoricalReply(std::uint64_t request_id,
+                            const query::HistoricalQueryProof& proof);
+Result<std::pair<std::uint64_t, query::HistoricalQueryProof>>
+DecodeHistoricalReply(ByteView payload);
+
+class SuperlightActor final : public Actor {
+ public:
+  explicit SuperlightActor(std::string name);
+
+  std::string Name() const override { return name_; }
+  void OnMessage(SimNetwork& net, const Message& msg) override;
+
+  const core::SuperlightClient& Client() const { return client_; }
+  std::uint64_t Accepted() const { return accepted_; }
+  std::uint64_t RejectedStale() const { return rejected_stale_; }
+  std::uint64_t RejectedInvalid() const { return rejected_invalid_; }
+
+ private:
+  std::string name_;
+  core::SuperlightClient client_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_stale_ = 0;
+  std::uint64_t rejected_invalid_ = 0;
+};
+
+}  // namespace dcert::net

@@ -1,0 +1,87 @@
+#include "net/simnet.h"
+
+#include <stdexcept>
+
+namespace dcert::net {
+
+SimNetwork::SimNetwork(std::uint64_t seed, SimTime min_latency_us,
+                       SimTime max_latency_us)
+    : rng_(seed), min_latency_(min_latency_us), max_latency_(max_latency_us) {
+  if (min_latency_ > max_latency_) {
+    throw std::invalid_argument("SimNetwork: min latency above max");
+  }
+}
+
+void SimNetwork::AddActor(Actor* actor) {
+  if (actor == nullptr) throw std::invalid_argument("SimNetwork: null actor");
+  if (by_name_.count(actor->Name()) != 0) {
+    throw std::invalid_argument("SimNetwork: duplicate actor name " +
+                                actor->Name());
+  }
+  actors_.push_back(actor);
+  by_name_[actor->Name()] = actor;
+}
+
+Actor* SimNetwork::FindActor(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+void SimNetwork::Send(const std::string& from, const std::string& to,
+                      const std::string& topic, Bytes payload) {
+  if (FindActor(to) == nullptr) {
+    throw std::invalid_argument("SimNetwork::Send: unknown recipient " + to);
+  }
+  Event ev;
+  ev.at = now_ + rng_.NextRange(min_latency_, max_latency_);
+  ev.seq = next_seq_++;
+  ev.is_timer = false;
+  ev.msg = Message{from, to, topic, std::move(payload)};
+  queue_.push(std::move(ev));
+}
+
+void SimNetwork::Broadcast(const std::string& from, const std::string& topic,
+                           const Bytes& payload) {
+  for (Actor* actor : actors_) {
+    if (actor->Name() == from) continue;
+    Send(from, actor->Name(), topic, payload);
+  }
+}
+
+void SimNetwork::ScheduleTimer(const std::string& actor, SimTime delay_us,
+                               std::uint64_t timer_id) {
+  if (FindActor(actor) == nullptr) {
+    throw std::invalid_argument("SimNetwork::ScheduleTimer: unknown actor " +
+                                actor);
+  }
+  Event ev;
+  ev.at = now_ + delay_us;
+  ev.seq = next_seq_++;
+  ev.is_timer = true;
+  ev.timer_id = timer_id;
+  ev.msg.to = actor;
+  queue_.push(std::move(ev));
+}
+
+SimTime SimNetwork::Run(SimTime until) {
+  for (Actor* actor : actors_) actor->OnStart(*this);
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    Actor* target = FindActor(ev.msg.to);
+    if (target == nullptr) continue;  // actor may have been external
+    if (ev.is_timer) {
+      target->OnTimer(*this, ev.timer_id);
+    } else {
+      ++stats_.messages_delivered;
+      stats_.bytes_delivered += ev.msg.payload.size();
+      ++stats_.messages_by_topic[ev.msg.topic];
+      target->OnMessage(*this, ev.msg);
+    }
+  }
+  if (queue_.empty() && now_ < until) now_ = until;
+  return now_;
+}
+
+}  // namespace dcert::net

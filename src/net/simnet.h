@@ -1,0 +1,109 @@
+// Discrete-event network simulator: actors exchange serialized messages over
+// links with randomized latency, driven by a virtual clock. Used to run the
+// paper's certification workflow (Sec. 3.3) end to end — miner proposes,
+// full nodes validate, the CI certifies and broadcasts, superlight clients
+// validate — with every payload crossing the "wire" in serialized form.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace dcert::net {
+
+using SimTime = std::uint64_t;  // microseconds of virtual time
+
+struct Message {
+  std::string from;
+  std::string to;
+  std::string topic;
+  Bytes payload;
+};
+
+class SimNetwork;
+
+/// A network participant. Actors never share memory — all coordination goes
+/// through serialized messages and timers.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual std::string Name() const = 0;
+  /// Called once when the simulation starts.
+  virtual void OnStart(SimNetwork& net) { (void)net; }
+  /// Called for each delivered message.
+  virtual void OnMessage(SimNetwork& net, const Message& msg) = 0;
+  /// Called when a timer set via ScheduleTimer fires.
+  virtual void OnTimer(SimNetwork& net, std::uint64_t timer_id) {
+    (void)net;
+    (void)timer_id;
+  }
+};
+
+struct NetStats {
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::map<std::string, std::uint64_t> messages_by_topic;
+};
+
+class SimNetwork {
+ public:
+  /// Latency per link is uniform in [min_latency_us, max_latency_us].
+  SimNetwork(std::uint64_t seed, SimTime min_latency_us = 5'000,
+             SimTime max_latency_us = 50'000);
+
+  /// Registers an actor; the network does not take ownership.
+  void AddActor(Actor* actor);
+
+  /// Point-to-point send (delivered after a random link latency).
+  void Send(const std::string& from, const std::string& to,
+            const std::string& topic, Bytes payload);
+
+  /// Sends to every actor except the sender.
+  void Broadcast(const std::string& from, const std::string& topic,
+                 const Bytes& payload);
+
+  /// Schedules `OnTimer(timer_id)` on `actor` after `delay_us`.
+  void ScheduleTimer(const std::string& actor, SimTime delay_us,
+                     std::uint64_t timer_id);
+
+  /// Runs the event loop until the queue drains or virtual time passes
+  /// `until`. Returns the final virtual time.
+  SimTime Run(SimTime until);
+
+  SimTime Now() const { return now_; }
+  const NetStats& Stats() const { return stats_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tiebreaker for equal timestamps
+    bool is_timer;
+    std::uint64_t timer_id;
+    Message msg;  // for timers only `msg.to` is meaningful
+
+    bool operator>(const Event& other) const {
+      return std::tie(at, seq) > std::tie(other.at, other.seq);
+    }
+  };
+
+  Actor* FindActor(const std::string& name) const;
+
+  Rng rng_;
+  SimTime min_latency_;
+  SimTime max_latency_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Actor*> actors_;
+  std::map<std::string, Actor*> by_name_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  NetStats stats_;
+};
+
+}  // namespace dcert::net

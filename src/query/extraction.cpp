@@ -1,0 +1,82 @@
+#include "query/extraction.h"
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+#include "workloads/workloads.h"
+
+namespace dcert::query {
+
+namespace {
+
+constexpr std::uint64_t kVersionTxBits = 20;
+
+bool IsKvPut(const chain::Transaction& tx) {
+  const std::uint64_t kv_base =
+      workloads::ContractId(workloads::Workload::kKvStore, 0);
+  return tx.contract_id >= kv_base && tx.contract_id < kv_base + 1000 &&
+         tx.calldata.size() == 3 && tx.calldata[0] == 0;
+}
+
+}  // namespace
+
+std::uint64_t MakeVersion(std::uint64_t height, std::uint32_t tx_index) {
+  return (height << kVersionTxBits) | (tx_index & ((1u << kVersionTxBits) - 1));
+}
+
+std::uint64_t VersionHeight(std::uint64_t version) {
+  return version >> kVersionTxBits;
+}
+
+std::pair<std::uint64_t, std::uint64_t> VersionWindow(std::uint64_t from_height,
+                                                      std::uint64_t to_height) {
+  return {MakeVersion(from_height, 0),
+          MakeVersion(to_height + 1, 0) - 1};
+}
+
+Hash256 HistAccountKey(std::uint64_t account_word) {
+  Encoder enc;
+  enc.Str("hist-account");
+  enc.U64(account_word);
+  return crypto::Sha256::Digest(enc.bytes());
+}
+
+Bytes HistValueBytes(std::uint64_t value_word) {
+  Encoder enc;
+  enc.U64(value_word);
+  return enc.Take();
+}
+
+std::uint64_t HistValueWord(const Bytes& value) {
+  Decoder dec(value);
+  return dec.U64();
+}
+
+std::vector<HistEntry> ExtractHistoricalWrites(const chain::Block& blk) {
+  std::vector<HistEntry> entries;
+  for (std::size_t i = 0; i < blk.txs.size(); ++i) {
+    const chain::Transaction& tx = blk.txs[i];
+    if (!IsKvPut(tx)) continue;
+    HistEntry e;
+    e.account_word = tx.calldata[1];
+    e.account_key = HistAccountKey(e.account_word);
+    e.version = MakeVersion(blk.header.height, static_cast<std::uint32_t>(i));
+    e.value_word = tx.calldata[2];
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+mht::InvertedIndex::WriteData ExtractKeywordWrites(const chain::Block& blk) {
+  mht::InvertedIndex::WriteData writes;
+  for (std::size_t i = 0; i < blk.txs.size(); ++i) {
+    const chain::Transaction& tx = blk.txs[i];
+    mht::TxLocator loc{blk.header.height, static_cast<std::uint32_t>(i)};
+    writes["c" + std::to_string(tx.contract_id)].push_back(loc);
+    if (!tx.calldata.empty()) {
+      writes["op" + std::to_string(tx.calldata[0])].push_back(loc);
+    }
+  }
+  return writes;
+}
+
+}  // namespace dcert::query

@@ -1,0 +1,49 @@
+// Deterministic index write-data extraction (the paper's
+// get_index_write_data). Both the untrusted SP/CI (to update live indexes)
+// and the trusted enclave verifiers (to validate those updates) derive the
+// write data from the block's transactions with these functions, so the two
+// sides agree by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block.h"
+#include "common/bytes.h"
+#include "mht/inverted_index.h"
+
+namespace dcert::query {
+
+/// One historical version produced by a block: KVStore put transactions
+/// (contract ids 3000-3999, calldata {0, key, value}) create a version of
+/// "account" `key` at a unique, monotonically increasing version number
+/// derived from (block height, tx index).
+struct HistEntry {
+  Hash256 account_key;       // index key: H("hist-account" || key word)
+  std::uint64_t account_word = 0;
+  std::uint64_t version = 0;
+  std::uint64_t value_word = 0;
+};
+
+/// Version number: block height in the high bits, tx index in the low 20.
+std::uint64_t MakeVersion(std::uint64_t height, std::uint32_t tx_index);
+std::uint64_t VersionHeight(std::uint64_t version);
+
+/// Version window covering whole blocks [from_height, to_height].
+std::pair<std::uint64_t, std::uint64_t> VersionWindow(std::uint64_t from_height,
+                                                      std::uint64_t to_height);
+
+Hash256 HistAccountKey(std::uint64_t account_word);
+
+/// Encoded value stored in the historical indexes (8-byte LE word).
+Bytes HistValueBytes(std::uint64_t value_word);
+std::uint64_t HistValueWord(const Bytes& value);
+
+std::vector<HistEntry> ExtractHistoricalWrites(const chain::Block& blk);
+
+/// Keyword extraction: every transaction is tagged "c<contract_id>" and,
+/// when calldata is non-empty, "op<calldata[0]>" — supporting conjunctive
+/// queries like "all operations of kind 0 on contract 3000".
+mht::InvertedIndex::WriteData ExtractKeywordWrites(const chain::Block& blk);
+
+}  // namespace dcert::query

@@ -1,0 +1,25 @@
+#include "query/keyword_index.h"
+
+namespace dcert::query {
+
+Result<Hash256> KeywordIndexVerifier::ApplyUpdate(const Hash256& old_digest,
+                                                  ByteView aux_proof,
+                                                  const chain::Block& blk) const {
+  using R = Result<Hash256>;
+  mht::InvertedIndex::WriteData writes = ExtractKeywordWrites(blk);
+  auto proof = mht::InvertedIndex::UpdateProof::Deserialize(aux_proof);
+  if (!proof) return R(proof.status());
+  if (writes.empty()) return old_digest;  // block with no transactions
+  return mht::InvertedIndex::ApplyUpdate(old_digest, proof.value(), writes);
+}
+
+KeywordIndex::KeywordIndex(std::string id) : id_(std::move(id)) {}
+
+Bytes KeywordIndex::ApplyBlockCapturingAux(const chain::Block& blk) {
+  mht::InvertedIndex::WriteData writes = ExtractKeywordWrites(blk);
+  auto proof = index_.ProveUpdate(writes);
+  index_.ApplyWrites(writes);
+  return proof.Serialize();
+}
+
+}  // namespace dcert::query

@@ -1,0 +1,55 @@
+// Certified keyword index (paper Fig. 5, right): an authenticated inverted
+// index over transactions supporting conjunctive keyword queries, certified
+// on demand by the CI like any other index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dcert/index_verifier.h"
+#include "dcert/issuer.h"
+#include "mht/inverted_index.h"
+#include "query/extraction.h"
+
+namespace dcert::query {
+
+class KeywordIndexVerifier final : public core::IndexUpdateVerifier {
+ public:
+  std::string TypeName() const override { return "keyword-inverted"; }
+  Hash256 GenesisDigest() const override {
+    return mht::SparseMerkleTree().Root();
+  }
+  Result<Hash256> ApplyUpdate(const Hash256& old_digest, ByteView aux_proof,
+                              const chain::Block& blk) const override;
+};
+
+class KeywordIndex final : public core::CertifiedIndexHost {
+ public:
+  explicit KeywordIndex(std::string id = "keyword");
+
+  std::string Id() const override { return id_; }
+  const core::IndexUpdateVerifier& Verifier() const override { return verifier_; }
+  Hash256 CurrentDigest() const override { return index_.Root(); }
+  Bytes ApplyBlockCapturingAux(const chain::Block& blk) override;
+
+  /// Conjunctive query: transactions matching all keywords, plus the proof.
+  mht::KeywordQueryProof Query(const std::vector<std::string>& keywords) const {
+    return index_.QueryConjunctive(keywords);
+  }
+
+  static Result<std::vector<mht::TxLocator>> VerifyQuery(
+      const Hash256& certified_digest, const std::vector<std::string>& keywords,
+      const mht::KeywordQueryProof& proof) {
+    return mht::InvertedIndex::VerifyConjunctive(certified_digest, keywords, proof);
+  }
+
+ private:
+  std::string id_;
+  KeywordIndexVerifier verifier_;
+  mht::InvertedIndex index_;
+};
+
+}  // namespace dcert::query

@@ -1,0 +1,190 @@
+#include "query/lineage_index.h"
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+
+namespace dcert::query {
+
+namespace {
+
+/// Aux step: MPT pre-state path + the head record the stateless skip-list
+/// append consumes (absent for the account's first version).
+struct AppendStep {
+  mht::MptProof mpt_proof;
+  bool has_head = false;
+  mht::SkipNodeRecord head;
+};
+
+Bytes SerializeSteps(const std::vector<AppendStep>& steps) {
+  Encoder enc;
+  enc.U32(static_cast<std::uint32_t>(steps.size()));
+  for (const AppendStep& s : steps) {
+    enc.Blob(s.mpt_proof.Serialize());
+    enc.Bool(s.has_head);
+    if (s.has_head) s.head.Encode(enc);
+  }
+  return enc.Take();
+}
+
+Result<std::vector<AppendStep>> DeserializeSteps(ByteView data) {
+  using R = Result<std::vector<AppendStep>>;
+  try {
+    Decoder dec(data);
+    std::uint32_t n = dec.U32();
+    std::vector<AppendStep> steps;
+    steps.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      AppendStep step;
+      Bytes mpt_bytes = dec.Blob();
+      auto mpt = mht::MptProof::Deserialize(mpt_bytes);
+      if (!mpt) return R(mpt.status());
+      step.mpt_proof = std::move(mpt.value());
+      step.has_head = dec.Bool();
+      if (step.has_head) step.head = mht::SkipNodeRecord::Decode(dec);
+      steps.push_back(std::move(step));
+    }
+    dec.ExpectEnd();
+    return steps;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("lineage aux proof: ") + e.what());
+  }
+}
+
+}  // namespace
+
+Result<Hash256> LineageIndexVerifier::ApplyUpdate(const Hash256& old_digest,
+                                                  ByteView aux_proof,
+                                                  const chain::Block& blk) const {
+  using R = Result<Hash256>;
+  std::vector<HistEntry> entries = ExtractHistoricalWrites(blk);
+  auto steps = DeserializeSteps(aux_proof);
+  if (!steps) return R(steps.status());
+  if (steps.value().size() != entries.size()) {
+    return R::Error("lineage aux proof does not cover the block's writes");
+  }
+
+  Hash256 digest = old_digest;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const HistEntry& e = entries[i];
+    const AppendStep& step = steps.value()[i];
+    auto lower = mht::MptTrie::VerifyGet(digest, e.account_key, step.mpt_proof);
+    if (!lower) return R(lower.status().WithContext("upper MPT"));
+    Hash256 lower_digest = lower.value().value_or(Hash256());
+    std::optional<mht::SkipNodeRecord> head;
+    if (step.has_head) head = step.head;
+    Hash256 value_hash = crypto::Sha256::Digest(HistValueBytes(e.value_word));
+    auto new_lower =
+        mht::AuthSkipList::ApplyAppend(lower_digest, head, e.version, value_hash);
+    if (!new_lower) return R(new_lower.status().WithContext("lower skip list"));
+    auto new_digest = mht::MptTrie::ApplyPut(digest, e.account_key, step.mpt_proof,
+                                             new_lower.value());
+    if (!new_digest) return R(new_digest.status().WithContext("upper MPT put"));
+    digest = new_digest.value();
+  }
+  return digest;
+}
+
+LineageIndex::LineageIndex(std::string id) : id_(std::move(id)) {}
+
+Bytes LineageIndex::ApplyBlockCapturingAux(const chain::Block& blk) {
+  std::vector<AppendStep> steps;
+  for (const HistEntry& e : ExtractHistoricalWrites(blk)) {
+    AppendStep step;
+    step.mpt_proof = mpt_.Prove(e.account_key);
+    mht::AuthSkipList& list = lists_[e.account_key];
+    if (list.Size() > 0) {
+      step.has_head = true;
+      step.head = list.HeadRecord();
+    }
+    list.Append(e.version, HistValueBytes(e.value_word));
+    mpt_.Put(e.account_key, list.Digest());
+    steps.push_back(std::move(step));
+  }
+  return SerializeSteps(steps);
+}
+
+LineageQueryProof LineageIndex::Query(std::uint64_t account_word,
+                                      std::uint64_t from_height,
+                                      std::uint64_t to_height) const {
+  LineageQueryProof proof;
+  Hash256 key = HistAccountKey(account_word);
+  proof.account_proof = mpt_.Prove(key);
+  auto it = lists_.find(key);
+  proof.account_present = it != lists_.end();
+  if (proof.account_present) {
+    proof.lower_digest = it->second.Digest();
+    auto [lo, hi] = VersionWindow(from_height, to_height);
+    proof.range_proof = it->second.QueryWithProof(lo, hi);
+  }
+  return proof;
+}
+
+Result<std::vector<HistoricalVersion>> LineageIndex::VerifyQuery(
+    const Hash256& certified_digest, std::uint64_t account_word,
+    std::uint64_t from_height, std::uint64_t to_height,
+    const LineageQueryProof& proof) {
+  using R = Result<std::vector<HistoricalVersion>>;
+  Hash256 key = HistAccountKey(account_word);
+  auto lower = mht::MptTrie::VerifyGet(certified_digest, key, proof.account_proof);
+  if (!lower) return R(lower.status().WithContext("account proof"));
+  if (!lower.value().has_value()) {
+    if (proof.account_present) {
+      return R::Error("proof claims a present account the MPT disproves");
+    }
+    return std::vector<HistoricalVersion>{};
+  }
+  if (!proof.account_present || proof.lower_digest != *lower.value()) {
+    return R::Error("skip-list digest does not match the certified MPT value");
+  }
+  auto [lo, hi] = VersionWindow(from_height, to_height);
+  auto entries = mht::AuthSkipList::VerifyQuery(proof.lower_digest, lo, hi,
+                                                proof.range_proof);
+  if (!entries) return R(entries.status().WithContext("version window"));
+  std::vector<HistoricalVersion> versions;
+  versions.reserve(entries.value().size());
+  for (const mht::SkipEntry& e : entries.value()) {
+    HistoricalVersion v;
+    v.version = e.timestamp;
+    v.block_height = VersionHeight(e.timestamp);
+    v.value = HistValueWord(e.value);
+    versions.push_back(v);
+  }
+  return versions;
+}
+
+Bytes LineageQueryProof::Serialize() const {
+  Encoder enc;
+  enc.Blob(account_proof.Serialize());
+  enc.Bool(account_present);
+  if (account_present) {
+    enc.HashField(lower_digest);
+    enc.Blob(range_proof.Serialize());
+  }
+  return enc.Take();
+}
+
+Result<LineageQueryProof> LineageQueryProof::Deserialize(ByteView data) {
+  using R = Result<LineageQueryProof>;
+  try {
+    Decoder dec(data);
+    LineageQueryProof proof;
+    Bytes account_bytes = dec.Blob();
+    auto account = mht::MptProof::Deserialize(account_bytes);
+    if (!account) return R(account.status());
+    proof.account_proof = std::move(account.value());
+    proof.account_present = dec.Bool();
+    if (proof.account_present) {
+      proof.lower_digest = dec.HashField();
+      Bytes range_bytes = dec.Blob();
+      auto range = mht::SkipRangeProof::Deserialize(range_bytes);
+      if (!range) return R(range.status());
+      proof.range_proof = std::move(range.value());
+    }
+    dec.ExpectEnd();
+    return proof;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("LineageQueryProof: ") + e.what());
+  }
+}
+
+}  // namespace dcert::query

@@ -1,0 +1,67 @@
+// LineageChain-style historical index (Ruan et al., PVLDB'19) — the baseline
+// of the paper's Fig. 11. Same two-level shape as the DCert index, but the
+// per-account lower structure is an authenticated deterministic *skip list*
+// searched from the newest version backwards, so query cost and proof size
+// grow with the window's distance from the chain tip.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dcert/index_verifier.h"
+#include "dcert/issuer.h"
+#include "mht/mpt.h"
+#include "mht/skiplist.h"
+#include "query/extraction.h"
+#include "query/historical_index.h"  // HistoricalVersion
+
+namespace dcert::query {
+
+struct LineageQueryProof {
+  mht::MptProof account_proof;
+  bool account_present = false;
+  Hash256 lower_digest;
+  mht::SkipRangeProof range_proof;
+
+  Bytes Serialize() const;
+  static Result<LineageQueryProof> Deserialize(ByteView data);
+  std::size_t ByteSize() const { return Serialize().size(); }
+};
+
+class LineageIndexVerifier final : public core::IndexUpdateVerifier {
+ public:
+  std::string TypeName() const override { return "lineage-mpt-skiplist"; }
+  Hash256 GenesisDigest() const override { return mht::MptTrie::EmptyRoot(); }
+  Result<Hash256> ApplyUpdate(const Hash256& old_digest, ByteView aux_proof,
+                              const chain::Block& blk) const override;
+};
+
+class LineageIndex final : public core::CertifiedIndexHost {
+ public:
+  explicit LineageIndex(std::string id = "lineage");
+
+  std::string Id() const override { return id_; }
+  const core::IndexUpdateVerifier& Verifier() const override { return verifier_; }
+  Hash256 CurrentDigest() const override { return mpt_.Root(); }
+  Bytes ApplyBlockCapturingAux(const chain::Block& blk) override;
+
+  LineageQueryProof Query(std::uint64_t account_word, std::uint64_t from_height,
+                          std::uint64_t to_height) const;
+
+  static Result<std::vector<HistoricalVersion>> VerifyQuery(
+      const Hash256& certified_digest, std::uint64_t account_word,
+      std::uint64_t from_height, std::uint64_t to_height,
+      const LineageQueryProof& proof);
+
+ private:
+  std::string id_;
+  LineageIndexVerifier verifier_;
+  mht::MptTrie mpt_;
+  std::map<Hash256, mht::AuthSkipList> lists_;
+};
+
+}  // namespace dcert::query

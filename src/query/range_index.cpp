@@ -1,0 +1,166 @@
+#include "query/range_index.h"
+
+#include <algorithm>
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+#include "workloads/workloads.h"
+
+namespace dcert::query {
+
+namespace {
+
+/// Key range covering every payment with amount in [lo, hi]. Amounts are
+/// capped at 32 bits by the composite key layout.
+std::pair<std::uint64_t, std::uint64_t> AmountWindow(std::uint64_t lo,
+                                                     std::uint64_t hi) {
+  constexpr std::uint64_t kMaxAmount = 0xFFFFFFFFull;
+  lo = std::min<std::uint64_t>(lo, kMaxAmount);
+  hi = std::min<std::uint64_t>(hi, kMaxAmount);
+  return {lo << 32, (hi << 32) | 0xFFFFFFFFull};
+}
+
+}  // namespace
+
+Bytes PaymentRecord::Serialize() const {
+  // The amount leads so MbValueWord(value) == amount and the MB-tree's sum
+  // aggregate is the payment volume.
+  Encoder enc;
+  enc.U64(amount);
+  enc.U64(src);
+  enc.U64(dst);
+  enc.U64(block_height);
+  enc.U32(tx_index);
+  return enc.Take();
+}
+
+Result<PaymentRecord> PaymentRecord::Deserialize(ByteView data) {
+  using R = Result<PaymentRecord>;
+  try {
+    Decoder dec(data);
+    PaymentRecord rec;
+    rec.amount = dec.U64();
+    rec.src = dec.U64();
+    rec.dst = dec.U64();
+    rec.block_height = dec.U64();
+    rec.tx_index = dec.U32();
+    dec.ExpectEnd();
+    return rec;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("PaymentRecord: ") + e.what());
+  }
+}
+
+std::uint64_t PaymentKey(std::uint64_t amount, std::uint64_t height,
+                         std::uint32_t tx_index) {
+  const std::uint64_t seq = ((height << 12) | (tx_index & 0xFFF)) & 0xFFFFFFFFull;
+  return (std::min<std::uint64_t>(amount, 0xFFFFFFFFull) << 32) | seq;
+}
+
+std::vector<PaymentRecord> ExtractPayments(const chain::Block& blk) {
+  const std::uint64_t sb_base =
+      workloads::ContractId(workloads::Workload::kSmallBank, 0);
+  std::vector<PaymentRecord> payments;
+  for (std::size_t i = 0; i < blk.txs.size(); ++i) {
+    const chain::Transaction& tx = blk.txs[i];
+    if (tx.contract_id < sb_base || tx.contract_id >= sb_base + 1000) continue;
+    if (tx.calldata.size() != 4 || tx.calldata[0] != 3) continue;
+    PaymentRecord rec;
+    rec.src = tx.calldata[1];
+    rec.dst = tx.calldata[2];
+    rec.amount = tx.calldata[3];
+    rec.block_height = blk.header.height;
+    rec.tx_index = static_cast<std::uint32_t>(i);
+    payments.push_back(rec);
+  }
+  return payments;
+}
+
+Result<Hash256> RangeIndexVerifier::ApplyUpdate(const Hash256& old_digest,
+                                                ByteView aux_proof,
+                                                const chain::Block& blk) const {
+  using R = Result<Hash256>;
+  std::vector<PaymentRecord> payments = ExtractPayments(blk);
+  // Aux = one insert-path proof per payment, in order.
+  try {
+    Decoder dec(aux_proof);
+    std::uint32_t n = dec.U32();
+    if (n != payments.size()) {
+      return R::Error("range-index aux proof does not cover the block's payments");
+    }
+    Hash256 digest = old_digest;
+    for (const PaymentRecord& rec : payments) {
+      Bytes proof_bytes = dec.Blob();
+      auto proof = mht::MbAppendProof::Deserialize(proof_bytes);
+      if (!proof) return R(proof.status());
+      Bytes value = rec.Serialize();
+      auto next = mht::MbTree::ApplyInsert(
+          digest, proof.value(),
+          PaymentKey(rec.amount, rec.block_height, rec.tx_index),
+          crypto::Sha256::Digest(value), mht::MbValueWord(value));
+      if (!next) return R(next.status().WithContext("payment insert"));
+      digest = next.value();
+    }
+    dec.ExpectEnd();
+    return digest;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("range-index aux proof: ") + e.what());
+  }
+}
+
+RangeIndex::RangeIndex(std::string id) : id_(std::move(id)) {}
+
+Bytes RangeIndex::ApplyBlockCapturingAux(const chain::Block& blk) {
+  std::vector<PaymentRecord> payments = ExtractPayments(blk);
+  Encoder enc;
+  enc.U32(static_cast<std::uint32_t>(payments.size()));
+  for (const PaymentRecord& rec : payments) {
+    std::uint64_t key = PaymentKey(rec.amount, rec.block_height, rec.tx_index);
+    enc.Blob(tree_.ProveInsert(key).Serialize());
+    tree_.Insert(key, rec.Serialize());
+  }
+  return enc.Take();
+}
+
+mht::MbRangeProof RangeIndex::Query(std::uint64_t lo_amount,
+                                    std::uint64_t hi_amount) const {
+  auto [lo, hi] = AmountWindow(lo_amount, hi_amount);
+  return tree_.RangeQueryWithProof(lo, hi);
+}
+
+Result<std::vector<PaymentRecord>> RangeIndex::VerifyQuery(
+    const Hash256& certified_digest, std::uint64_t lo_amount,
+    std::uint64_t hi_amount, const mht::MbRangeProof& proof) {
+  using R = Result<std::vector<PaymentRecord>>;
+  auto [lo, hi] = AmountWindow(lo_amount, hi_amount);
+  auto entries = mht::MbTree::VerifyRange(certified_digest, lo, hi, proof);
+  if (!entries) return R(entries.status());
+  std::vector<PaymentRecord> payments;
+  payments.reserve(entries.value().size());
+  for (const mht::MbEntry& e : entries.value()) {
+    auto rec = PaymentRecord::Deserialize(e.value);
+    if (!rec) return R(rec.status());
+    // The composite key must agree with the record it carries.
+    if (PaymentKey(rec.value().amount, rec.value().block_height,
+                   rec.value().tx_index) != e.key) {
+      return R::Error("payment record does not match its index key");
+    }
+    payments.push_back(rec.value());
+  }
+  return payments;
+}
+
+mht::MbRangeProof RangeIndex::AggregateQuery(std::uint64_t lo_amount,
+                                             std::uint64_t hi_amount) const {
+  auto [lo, hi] = AmountWindow(lo_amount, hi_amount);
+  return tree_.AggregateQueryWithProof(lo, hi);
+}
+
+Result<mht::MbAggregate> RangeIndex::VerifyAggregate(
+    const Hash256& certified_digest, std::uint64_t lo_amount,
+    std::uint64_t hi_amount, const mht::MbRangeProof& proof) {
+  auto [lo, hi] = AmountWindow(lo_amount, hi_amount);
+  return mht::MbTree::VerifyAggregate(certified_digest, lo, hi, proof);
+}
+
+}  // namespace dcert::query

@@ -1,0 +1,89 @@
+// Certified amount-range index over SmallBank payments — a vChain-style [33]
+// boolean range query family ("find all payments with amount in [a, b]"),
+// demonstrating DCert's on-demand versatility with a third index type.
+//
+// One global aggregate-annotated MB-tree keyed by a composite of
+// (amount, occurrence): payments arrive in arbitrary amount order, so
+// certified updates use the general stateless insert (MbTree::ApplyInsert).
+// Range queries return the matching payments with completeness; aggregate
+// queries return (count, total volume) in O(log n) proof bytes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dcert/index_verifier.h"
+#include "dcert/issuer.h"
+#include "mht/mbtree.h"
+
+namespace dcert::query {
+
+/// One indexed payment.
+struct PaymentRecord {
+  std::uint64_t amount = 0;
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::uint64_t block_height = 0;
+  std::uint32_t tx_index = 0;
+
+  Bytes Serialize() const;
+  static Result<PaymentRecord> Deserialize(ByteView data);
+  bool operator==(const PaymentRecord&) const = default;
+};
+
+/// Composite MB-tree key: amount in the high 32 bits, a per-payment sequence
+/// (height << 12 | tx index, truncated) below — unique while heights stay
+/// under 2^20 and blocks under 2^12 transactions (experiment scale; the key
+/// layout is a documented simulation bound).
+std::uint64_t PaymentKey(std::uint64_t amount, std::uint64_t height,
+                         std::uint32_t tx_index);
+
+/// Extraction (deterministic, shared by SP and enclave): every successful-
+/// shape SmallBank sendPayment transaction (contract 4000-4999, calldata
+/// {3, src, dst, amount}). Note: reverted payments are indexed too — the
+/// extraction is syntactic; provenance systems typically index attempts.
+std::vector<PaymentRecord> ExtractPayments(const chain::Block& blk);
+
+class RangeIndexVerifier final : public core::IndexUpdateVerifier {
+ public:
+  std::string TypeName() const override { return "payment-range-mbtree"; }
+  Hash256 GenesisDigest() const override { return mht::MbTree::EmptyRoot(); }
+  Result<Hash256> ApplyUpdate(const Hash256& old_digest, ByteView aux_proof,
+                              const chain::Block& blk) const override;
+};
+
+class RangeIndex final : public core::CertifiedIndexHost {
+ public:
+  explicit RangeIndex(std::string id = "payment-range");
+
+  std::string Id() const override { return id_; }
+  const core::IndexUpdateVerifier& Verifier() const override { return verifier_; }
+  Hash256 CurrentDigest() const override { return tree_.Root(); }
+  Bytes ApplyBlockCapturingAux(const chain::Block& blk) override;
+
+  /// All payments with amount in [lo, hi], with completeness.
+  mht::MbRangeProof Query(std::uint64_t lo_amount, std::uint64_t hi_amount) const;
+  static Result<std::vector<PaymentRecord>> VerifyQuery(
+      const Hash256& certified_digest, std::uint64_t lo_amount,
+      std::uint64_t hi_amount, const mht::MbRangeProof& proof);
+
+  /// (number of payments, total volume) with amount in [lo, hi].
+  mht::MbRangeProof AggregateQuery(std::uint64_t lo_amount,
+                                   std::uint64_t hi_amount) const;
+  static Result<mht::MbAggregate> VerifyAggregate(const Hash256& certified_digest,
+                                                  std::uint64_t lo_amount,
+                                                  std::uint64_t hi_amount,
+                                                  const mht::MbRangeProof& proof);
+
+  std::size_t PaymentCount() const { return tree_.Size(); }
+
+ private:
+  std::string id_;
+  RangeIndexVerifier verifier_;
+  mht::MbTree tree_;
+};
+
+}  // namespace dcert::query

@@ -1,0 +1,111 @@
+#include "query/state_query.h"
+
+#include <set>
+
+namespace dcert::query {
+
+StateQueryProof ProveState(const chain::StateDB& db, const chain::StateKey& key) {
+  StateQueryProof proof;
+  proof.value = db.Load(key);
+  proof.smt_proof = db.ProveKeys({key});
+  return proof;
+}
+
+MultiStateQueryProof ProveStates(const chain::StateDB& db,
+                                 const std::vector<chain::StateKey>& keys) {
+  MultiStateQueryProof proof;
+  for (const chain::StateKey& key : keys) proof.values[key] = db.Load(key);
+  proof.smt_proof = db.ProveKeys(keys);
+  return proof;
+}
+
+Result<std::uint64_t> VerifyState(const Hash256& certified_state_root,
+                                  const chain::StateKey& key,
+                                  const StateQueryProof& proof) {
+  using R = Result<std::uint64_t>;
+  std::map<Hash256, Hash256> leaves{{key, chain::StateValueHash(proof.value)}};
+  if (mht::SparseMerkleTree::ComputeRootFromProof(proof.smt_proof, leaves) !=
+      certified_state_root) {
+    return R::Error("state proof does not match the certified state root");
+  }
+  return proof.value;
+}
+
+Status VerifyStates(const Hash256& certified_state_root,
+                    const std::vector<chain::StateKey>& keys,
+                    const MultiStateQueryProof& proof) {
+  std::set<chain::StateKey> wanted(keys.begin(), keys.end());
+  if (proof.values.size() != wanted.size()) {
+    return Status::Error("state proof covers a different key set");
+  }
+  std::map<Hash256, Hash256> leaves;
+  for (const auto& [key, value] : proof.values) {
+    if (wanted.count(key) == 0) {
+      return Status::Error("state proof contains an unrequested key");
+    }
+    leaves[key] = chain::StateValueHash(value);
+  }
+  if (mht::SparseMerkleTree::ComputeRootFromProof(proof.smt_proof, leaves) !=
+      certified_state_root) {
+    return Status::Error("state proof does not match the certified state root");
+  }
+  return Status::Ok();
+}
+
+Bytes StateQueryProof::Serialize() const {
+  Encoder enc;
+  enc.U64(value);
+  enc.Blob(smt_proof.Serialize());
+  return enc.Take();
+}
+
+Result<StateQueryProof> StateQueryProof::Deserialize(ByteView data) {
+  using R = Result<StateQueryProof>;
+  try {
+    Decoder dec(data);
+    StateQueryProof proof;
+    proof.value = dec.U64();
+    Bytes smt = dec.Blob();
+    dec.ExpectEnd();
+    auto parsed = mht::SmtMultiProof::Deserialize(smt);
+    if (!parsed) return R(parsed.status());
+    proof.smt_proof = std::move(parsed.value());
+    return proof;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("StateQueryProof: ") + e.what());
+  }
+}
+
+Bytes MultiStateQueryProof::Serialize() const {
+  Encoder enc;
+  enc.U32(static_cast<std::uint32_t>(values.size()));
+  for (const auto& [key, value] : values) {
+    enc.HashField(key);
+    enc.U64(value);
+  }
+  enc.Blob(smt_proof.Serialize());
+  return enc.Take();
+}
+
+Result<MultiStateQueryProof> MultiStateQueryProof::Deserialize(ByteView data) {
+  using R = Result<MultiStateQueryProof>;
+  try {
+    Decoder dec(data);
+    MultiStateQueryProof proof;
+    std::uint32_t n = dec.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Hash256 key = dec.HashField();
+      proof.values[key] = dec.U64();
+    }
+    Bytes smt = dec.Blob();
+    dec.ExpectEnd();
+    auto parsed = mht::SmtMultiProof::Deserialize(smt);
+    if (!parsed) return R(parsed.status());
+    proof.smt_proof = std::move(parsed.value());
+    return proof;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("MultiStateQueryProof: ") + e.what());
+  }
+}
+
+}  // namespace dcert::query

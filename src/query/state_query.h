@@ -1,0 +1,50 @@
+// Verifiable current-state queries: a superlight client holding the latest
+// certified header can ask any untrusted full node for a state value (an
+// account balance, a contract slot) and verify the answer against the
+// header's H_state — the light-client workhorse the block certificate makes
+// trustworthy end to end (certificate ⇒ header ⇒ state root ⇒ SMT proof ⇒
+// value).
+#pragma once
+
+#include "chain/state.h"
+#include "common/bytes.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "mht/smt.h"
+
+namespace dcert::query {
+
+struct StateQueryProof {
+  std::uint64_t value = 0;  // claimed value (0 = unset)
+  mht::SmtMultiProof smt_proof;
+
+  Bytes Serialize() const;
+  static Result<StateQueryProof> Deserialize(ByteView data);
+  std::size_t ByteSize() const { return Serialize().size(); }
+};
+
+/// Full-node side: proves the current value of `key`.
+StateQueryProof ProveState(const chain::StateDB& db, const chain::StateKey& key);
+
+/// Batched variant covering several keys with one multiproof.
+struct MultiStateQueryProof {
+  chain::StateMap values;
+  mht::SmtMultiProof smt_proof;
+
+  Bytes Serialize() const;
+  static Result<MultiStateQueryProof> Deserialize(ByteView data);
+};
+MultiStateQueryProof ProveStates(const chain::StateDB& db,
+                                 const std::vector<chain::StateKey>& keys);
+
+/// Client side: verifies the claimed value against a certified state root.
+Result<std::uint64_t> VerifyState(const Hash256& certified_state_root,
+                                  const chain::StateKey& key,
+                                  const StateQueryProof& proof);
+
+/// Client side, batched: all claimed values must be covered and consistent.
+Status VerifyStates(const Hash256& certified_state_root,
+                    const std::vector<chain::StateKey>& keys,
+                    const MultiStateQueryProof& proof);
+
+}  // namespace dcert::query

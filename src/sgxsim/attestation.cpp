@@ -1,0 +1,70 @@
+#include "sgxsim/attestation.h"
+
+#include "crypto/sha256.h"
+
+namespace dcert::sgxsim {
+
+namespace {
+
+const crypto::SecretKey& IasKey() {
+  // Fixed, public seed: the simulation equivalent of Intel's root of trust.
+  static const crypto::SecretKey key =
+      crypto::SecretKey::FromSeed(StrBytes("dcert-simulated-intel-attestation-service"));
+  return key;
+}
+
+}  // namespace
+
+Bytes Quote::Serialize() const {
+  Encoder enc;
+  enc.HashField(measurement);
+  enc.HashField(report_data);
+  return enc.Take();
+}
+
+Hash256 Quote::Digest() const { return crypto::Sha256::Digest(Serialize()); }
+
+Bytes AttestationReport::Serialize() const {
+  Encoder enc;
+  enc.Raw(quote.Serialize());
+  enc.Raw(ias_signature.Serialize());
+  return enc.Take();
+}
+
+Result<AttestationReport> AttestationReport::Deserialize(ByteView data) {
+  using R = Result<AttestationReport>;
+  try {
+    Decoder dec(data);
+    AttestationReport report;
+    report.quote.measurement = dec.HashField();
+    report.quote.report_data = dec.HashField();
+    Bytes sig_bytes = dec.Raw(64);
+    dec.ExpectEnd();
+    auto sig = crypto::Signature::Deserialize(sig_bytes);
+    if (!sig) return R::Error("AttestationReport: malformed signature");
+    report.ias_signature = *sig;
+    return report;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("AttestationReport: ") + e.what());
+  }
+}
+
+const crypto::PublicKey& AttestationService::IasPublicKey() {
+  return IasKey().Public();
+}
+
+AttestationReport AttestationService::Attest(const Quote& quote) {
+  AttestationReport report;
+  report.quote = quote;
+  report.ias_signature = IasKey().Sign(quote.Digest());
+  return report;
+}
+
+Status AttestationService::VerifyReport(const AttestationReport& report) {
+  if (!crypto::Verify(IasPublicKey(), report.quote.Digest(), report.ias_signature)) {
+    return Status::Error("attestation report is not signed by the IAS");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dcert::sgxsim

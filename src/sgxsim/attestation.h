@@ -1,0 +1,54 @@
+// Remote attestation simulation: quotes and the simulated Intel Attestation
+// Service (IAS). A quote binds the enclave's measurement to report data (in
+// DCert: the hash of the enclave-generated public key); the IAS verifies the
+// quote's hardware signature and returns a report signed with the IAS key,
+// which everyone can check against the well-known IAS public key.
+//
+// Substitution note: the real IAS trust root is Intel's certificate chain;
+// here the IAS key pair is derived from a fixed seed, which plays the role
+// of "baked into every client binary".
+#pragma once
+
+#include "common/bytes.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "crypto/signature.h"
+
+namespace dcert::sgxsim {
+
+/// What the "hardware" emits from inside the enclave.
+struct Quote {
+  Hash256 measurement;
+  Hash256 report_data;
+
+  Bytes Serialize() const;
+  Hash256 Digest() const;
+  bool operator==(const Quote&) const = default;
+};
+
+/// IAS-signed attestation report (the `rep` of the paper's certificates).
+struct AttestationReport {
+  Quote quote;
+  crypto::Signature ias_signature;
+
+  Bytes Serialize() const;
+  static Result<AttestationReport> Deserialize(ByteView data);
+  bool operator==(const AttestationReport&) const = default;
+};
+
+/// Simulated Intel Attestation Service.
+class AttestationService {
+ public:
+  /// The well-known IAS verification key.
+  static const crypto::PublicKey& IasPublicKey();
+
+  /// Verifies a quote (in this simulation, quotes carry no separate hardware
+  /// signature — the service is the trust root) and signs a report.
+  static AttestationReport Attest(const Quote& quote);
+
+  /// Checks that `report` is genuinely IAS-signed. This is the "rep is
+  /// signed by the IAS" assertion in Algorithms 2-5.
+  static Status VerifyReport(const AttestationReport& report);
+};
+
+}  // namespace dcert::sgxsim

@@ -1,0 +1,94 @@
+#include "sgxsim/enclave.h"
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+
+namespace dcert::sgxsim {
+
+Hash256 ComputeMeasurement(const std::string& program_name,
+                           const std::string& version) {
+  Encoder enc;
+  enc.Str("dcert-enclave-measurement");
+  enc.Str(program_name);
+  enc.Str(version);
+  return crypto::Sha256::Digest(enc.bytes());
+}
+
+Enclave::Enclave(std::string program_name, std::string version,
+                 CostModelParams params)
+    : program_name_(std::move(program_name)),
+      version_(std::move(version)),
+      measurement_(ComputeMeasurement(program_name_, version_)),
+      costs_(params) {}
+
+Hash256 Enclave::SealingKey() const {
+  Encoder enc;
+  enc.Str("dcert-sealing-key");
+  enc.HashField(measurement_);
+  return crypto::Sha256::Digest(enc.bytes());
+}
+
+namespace {
+
+/// Expands a key + nonce into a SHA-256-based keystream of length n.
+Bytes Keystream(const Hash256& key, const Hash256& nonce, std::size_t n) {
+  Bytes out;
+  out.reserve(n + 32);
+  std::uint64_t counter = 0;
+  while (out.size() < n) {
+    Encoder enc;
+    enc.HashField(key);
+    enc.HashField(nonce);
+    enc.U64(counter++);
+    Hash256 block = crypto::Sha256::Digest(enc.bytes());
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  out.resize(n);
+  return out;
+}
+
+}  // namespace
+
+Bytes Enclave::Seal(ByteView plaintext) const {
+  Hash256 key = SealingKey();
+  // Deterministic nonce from the plaintext keeps the simulation reproducible;
+  // a real enclave would use RDRAND.
+  Hash256 nonce = crypto::Sha256::Digest2(StrBytes("seal-nonce"), plaintext);
+  Bytes stream = Keystream(key, nonce, plaintext.size());
+  Bytes ciphertext(plaintext.size());
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    ciphertext[i] = plaintext[i] ^ stream[i];
+  }
+  Encoder enc;
+  enc.HashField(nonce);
+  enc.Blob(ciphertext);
+  Hash256 mac = crypto::HmacSha256(key.View(), enc.bytes());
+  enc.HashField(mac);
+  return enc.Take();
+}
+
+Result<Bytes> Enclave::Unseal(ByteView sealed) const {
+  using R = Result<Bytes>;
+  try {
+    Decoder dec(sealed);
+    Hash256 nonce = dec.HashField();
+    Bytes ciphertext = dec.Blob();
+    Hash256 mac = dec.HashField();
+    dec.ExpectEnd();
+
+    Hash256 key = SealingKey();
+    Encoder authed;
+    authed.HashField(nonce);
+    authed.Blob(ciphertext);
+    if (crypto::HmacSha256(key.View(), authed.bytes()) != mac) {
+      return R::Error("sealed blob MAC mismatch (wrong enclave identity?)");
+    }
+    Bytes stream = Keystream(key, nonce, ciphertext.size());
+    for (std::size_t i = 0; i < ciphertext.size(); ++i) ciphertext[i] ^= stream[i];
+    return ciphertext;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("Unseal: ") + e.what());
+  }
+}
+
+}  // namespace dcert::sgxsim

@@ -1,0 +1,76 @@
+// The enclave container: hosts a trusted program, dispatches Ecalls with
+// transition/paging cost accounting, exposes the measured identity, and
+// offers sealed storage bound to the measurement.
+//
+// The isolation boundary is simulated at the API level: trusted code receives
+// only what crosses the Ecall (its arguments), mirroring how an SGX build
+// would marshal buffers into the enclave. Keeping the trusted program
+// self-contained (src/dcert/enclave_program.*) preserves portability to a
+// real SGX SDK build.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/timing.h"
+#include "sgxsim/attestation.h"
+#include "sgxsim/cost_model.h"
+
+namespace dcert::sgxsim {
+
+/// Computes the measurement (MRENCLAVE analogue) of a named trusted program.
+/// Identical program name + version => identical measurement, which is what
+/// lets a verifier pin the expected enclave code.
+Hash256 ComputeMeasurement(const std::string& program_name,
+                           const std::string& version);
+
+class Enclave {
+ public:
+  Enclave(std::string program_name, std::string version,
+          CostModelParams params = {});
+
+  const Hash256& Measurement() const { return measurement_; }
+  CostAccounting& Costs() { return costs_; }
+  const CostAccounting& Costs() const { return costs_; }
+
+  /// Runs trusted code with Ecall accounting. `input_bytes` is the size of
+  /// the marshalled inputs (drives the EPC paging model). Returns whatever
+  /// the trusted callable returns.
+  template <typename F>
+  auto Ecall(std::uint64_t input_bytes, F&& trusted_fn)
+      -> decltype(std::forward<F>(trusted_fn)()) {
+    Stopwatch watch;
+    if constexpr (std::is_void_v<decltype(std::forward<F>(trusted_fn)())>) {
+      std::forward<F>(trusted_fn)();
+      costs_.RecordEcall(watch.ElapsedNs(), input_bytes);
+    } else {
+      auto result = std::forward<F>(trusted_fn)();
+      costs_.RecordEcall(watch.ElapsedNs(), input_bytes);
+      return result;
+    }
+  }
+
+  /// Produces a hardware quote for this enclave binding `report_data`.
+  Quote MakeQuote(const Hash256& report_data) const {
+    return Quote{measurement_, report_data};
+  }
+
+  /// Sealed storage: encrypt-then-MAC is simulated with an XOR keystream and
+  /// HMAC, both keyed by a measurement-derived sealing key. Unseal fails for
+  /// data sealed by a different measurement (different program identity).
+  Bytes Seal(ByteView plaintext) const;
+  Result<Bytes> Unseal(ByteView sealed) const;
+
+ private:
+  Hash256 SealingKey() const;
+
+  std::string program_name_;
+  std::string version_;
+  Hash256 measurement_;
+  CostAccounting costs_;
+};
+
+}  // namespace dcert::sgxsim

@@ -1,0 +1,86 @@
+// StorageView implementations used by the certificate engine:
+//  * RwSetRecorder wraps a backing key-value map, records first-reads into
+//    the read set and buffers writes (the CI's comp_data_set, Alg. 1 line 2);
+//  * ReadSetStorage serves reads ONLY from a verified read set — how the
+//    enclave replays transactions without touching untrusted state
+//    (Alg. 2 lines 18-21). A read outside the set aborts the replay.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "vm/vm.h"
+
+namespace dcert::vm {
+
+/// The chain layer resolves contract-scoped slot keys into these flat 64-bit
+/// keys before execution; within one contract execution keys are local.
+using SlotMap = std::map<std::uint64_t, std::uint64_t>;
+
+/// Records the read/write sets of an execution over a backing slot map.
+/// Reads observe earlier writes of the same execution (read-your-writes).
+class RwSetRecorder final : public StorageView {
+ public:
+  explicit RwSetRecorder(const SlotMap& backing) : backing_(&backing) {}
+
+  std::uint64_t Load(std::uint64_t key) override {
+    if (auto it = writes_.find(key); it != writes_.end()) return it->second;
+    auto backing_it = backing_->find(key);
+    std::uint64_t value = backing_it == backing_->end() ? 0 : backing_it->second;
+    reads_.emplace(key, value);  // first read wins; later reads agree anyway
+    return value;
+  }
+
+  void Store(std::uint64_t key, std::uint64_t value) override {
+    writes_[key] = value;
+  }
+
+  /// Key -> observed pre-state value (0 = unset).
+  const SlotMap& reads() const { return reads_; }
+  /// Key -> final written value.
+  const SlotMap& writes() const { return writes_; }
+
+  void DiscardWrites() { writes_.clear(); }
+
+ private:
+  const SlotMap* backing_;
+  SlotMap reads_;
+  SlotMap writes_;
+};
+
+/// Thrown when trusted replay reads a slot that is not in the verified read
+/// set — the update proof was incomplete, so certification must abort.
+class ReadOutsideReadSet : public std::runtime_error {
+ public:
+  explicit ReadOutsideReadSet(std::uint64_t key)
+      : std::runtime_error("read of slot " + std::to_string(key) +
+                           " outside the verified read set") {}
+};
+
+/// Enclave-side storage: reads come from the verified read set (plus this
+/// replay's own writes); writes are buffered for the state-root update.
+class ReadSetStorage final : public StorageView {
+ public:
+  explicit ReadSetStorage(const SlotMap& read_set) : read_set_(&read_set) {}
+
+  std::uint64_t Load(std::uint64_t key) override {
+    if (auto it = writes_.find(key); it != writes_.end()) return it->second;
+    auto read_it = read_set_->find(key);
+    if (read_it == read_set_->end()) throw ReadOutsideReadSet(key);
+    return read_it->second;
+  }
+
+  void Store(std::uint64_t key, std::uint64_t value) override {
+    writes_[key] = value;
+  }
+
+  const SlotMap& writes() const { return writes_; }
+  void DiscardWrites() { writes_.clear(); }
+
+ private:
+  const SlotMap* read_set_;
+  SlotMap writes_;
+};
+
+}  // namespace dcert::vm

@@ -1,0 +1,282 @@
+#include "vm/vm.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+
+namespace dcert::vm {
+
+namespace {
+
+/// Opcodes that carry an 8-byte immediate.
+bool HasImmediate(Op op) {
+  switch (op) {
+    case Op::kPush:
+    case Op::kDup:
+    case Op::kSwap:
+    case Op::kJump:
+    case Op::kJumpI:
+    case Op::kArg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::unordered_map<std::string, Op>& Mnemonics() {
+  static const std::unordered_map<std::string, Op> table = {
+      {"stop", Op::kStop},     {"push", Op::kPush},   {"pop", Op::kPop},
+      {"dup", Op::kDup},       {"swap", Op::kSwap},   {"add", Op::kAdd},
+      {"sub", Op::kSub},       {"mul", Op::kMul},     {"div", Op::kDiv},
+      {"mod", Op::kMod},       {"lt", Op::kLt},       {"gt", Op::kGt},
+      {"eq", Op::kEq},         {"and", Op::kAnd},     {"or", Op::kOr},
+      {"xor", Op::kXor},       {"not", Op::kNot},     {"jump", Op::kJump},
+      {"jumpi", Op::kJumpI},   {"sload", Op::kSload}, {"sstore", Op::kSstore},
+      {"caller", Op::kCaller}, {"arg", Op::kArg},     {"argc", Op::kArgc},
+      {"hash", Op::kHash},     {"revert", Op::kRevert},
+  };
+  return table;
+}
+
+void EmitU64(Bytes& code, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) code.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t ReadU64(const Bytes& code, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(code[pos + static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Program Assemble(const std::string& source) {
+  struct PendingLabel {
+    std::string name;
+    std::size_t patch_pos;
+    int line;
+  };
+  Bytes code;
+  std::unordered_map<std::string, std::uint64_t> labels;
+  std::vector<PendingLabel> pending;
+
+  std::istringstream stream(source);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    if (auto pos = line.find(';'); pos != std::string::npos) line.resize(pos);
+    std::istringstream tokens(line);
+    std::string word;
+    if (!(tokens >> word)) continue;
+
+    if (word.back() == ':') {
+      word.pop_back();
+      if (word.empty() || labels.count(word) != 0) {
+        throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                    ": bad or duplicate label");
+      }
+      labels[word] = code.size();
+      if (!(tokens >> word)) continue;  // label-only line
+    }
+
+    auto it = Mnemonics().find(word);
+    if (it == Mnemonics().end()) {
+      throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                  ": unknown mnemonic '" + word + "'");
+    }
+    Op op = it->second;
+    code.push_back(static_cast<std::uint8_t>(op));
+    if (HasImmediate(op)) {
+      std::string operand;
+      if (!(tokens >> operand)) {
+        throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                    ": missing operand");
+      }
+      if (operand[0] == '@') {
+        pending.push_back({operand.substr(1), code.size(), line_no});
+        EmitU64(code, 0);
+      } else {
+        try {
+          EmitU64(code, std::stoull(operand, nullptr, 0));
+        } catch (const std::exception&) {
+          throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                      ": bad numeric operand '" + operand + "'");
+        }
+      }
+    }
+    std::string extra;
+    if (tokens >> extra) {
+      throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                  ": trailing tokens");
+    }
+  }
+
+  for (const PendingLabel& p : pending) {
+    auto it = labels.find(p.name);
+    if (it == labels.end()) {
+      throw std::invalid_argument("asm line " + std::to_string(p.line) +
+                                  ": undefined label '@" + p.name + "'");
+    }
+    std::uint64_t target = it->second;
+    for (int i = 0; i < 8; ++i) {
+      code[p.patch_pos + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(target >> (8 * i));
+    }
+  }
+  return Program{std::move(code)};
+}
+
+ExecResult Execute(const Program& program, const ExecContext& ctx,
+                   StorageView& storage) {
+  ExecResult result;
+  std::vector<std::uint64_t>& stack = result.stack;
+  const Bytes& code = program.code;
+  std::size_t pc = 0;
+
+  auto fail = [&result](const std::string& why) {
+    result.success = false;
+    result.error = why;
+    return result;
+  };
+
+  while (true) {
+    if (result.steps++ >= ctx.step_limit) return fail("step limit exceeded");
+    if (pc >= code.size()) return fail("program counter out of bounds");
+    Op op = static_cast<Op>(code[pc]);
+    std::uint64_t imm = 0;
+    std::size_t next = pc + 1;
+    if (HasImmediate(op)) {
+      if (code.size() - next < 8) return fail("truncated immediate");
+      imm = ReadU64(code, next);
+      next += 8;
+    }
+
+    auto need = [&stack](std::size_t n) { return stack.size() >= n; };
+    auto pop = [&stack] {
+      std::uint64_t v = stack.back();
+      stack.pop_back();
+      return v;
+    };
+
+    switch (op) {
+      case Op::kStop:
+        result.success = true;
+        return result;
+      case Op::kRevert:
+        result.success = false;
+        return result;
+      case Op::kPush:
+        stack.push_back(imm);
+        break;
+      case Op::kPop:
+        if (!need(1)) return fail("stack underflow");
+        stack.pop_back();
+        break;
+      case Op::kDup:
+        if (!need(static_cast<std::size_t>(imm) + 1)) return fail("dup underflow");
+        stack.push_back(stack[stack.size() - 1 - static_cast<std::size_t>(imm)]);
+        break;
+      case Op::kSwap: {
+        if (imm == 0 || !need(static_cast<std::size_t>(imm) + 1)) {
+          return fail("swap underflow");
+        }
+        std::swap(stack.back(), stack[stack.size() - 1 - static_cast<std::size_t>(imm)]);
+        break;
+      }
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kLt:
+      case Op::kGt:
+      case Op::kEq:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kHash: {
+        if (!need(2)) return fail("stack underflow");
+        std::uint64_t b = pop();
+        std::uint64_t a = pop();
+        std::uint64_t r = 0;
+        switch (op) {
+          case Op::kAdd: r = a + b; break;
+          case Op::kSub: r = a - b; break;
+          case Op::kMul: r = a * b; break;
+          case Op::kDiv: r = b == 0 ? 0 : a / b; break;
+          case Op::kMod: r = b == 0 ? 0 : a % b; break;
+          case Op::kLt: r = a < b ? 1 : 0; break;
+          case Op::kGt: r = a > b ? 1 : 0; break;
+          case Op::kEq: r = a == b ? 1 : 0; break;
+          case Op::kAnd: r = a & b; break;
+          case Op::kOr: r = a | b; break;
+          case Op::kXor: r = a ^ b; break;
+          case Op::kHash: {
+            Encoder enc;
+            enc.U64(a);
+            enc.U64(b);
+            Hash256 h = crypto::Sha256::Digest(enc.bytes());
+            for (int i = 0; i < 8; ++i) r = (r << 8) | h[static_cast<std::size_t>(i)];
+            break;
+          }
+          default: break;
+        }
+        stack.push_back(r);
+        break;
+      }
+      case Op::kNot:
+        if (!need(1)) return fail("stack underflow");
+        stack.back() = ~stack.back();
+        break;
+      case Op::kJump:
+        if (imm >= code.size()) return fail("jump target out of bounds");
+        pc = static_cast<std::size_t>(imm);
+        continue;
+      case Op::kJumpI: {
+        if (!need(1)) return fail("stack underflow");
+        std::uint64_t cond = pop();
+        if (cond != 0) {
+          if (imm >= code.size()) return fail("jump target out of bounds");
+          pc = static_cast<std::size_t>(imm);
+          continue;
+        }
+        break;
+      }
+      case Op::kSload: {
+        if (!need(1)) return fail("stack underflow");
+        std::uint64_t key = pop();
+        stack.push_back(storage.Load(key));
+        break;
+      }
+      case Op::kSstore: {
+        if (!need(2)) return fail("stack underflow");
+        std::uint64_t value = pop();
+        std::uint64_t key = pop();
+        storage.Store(key, value);
+        break;
+      }
+      case Op::kCaller:
+        stack.push_back(ctx.caller);
+        break;
+      case Op::kArg:
+        stack.push_back(imm < ctx.calldata.size()
+                            ? ctx.calldata[static_cast<std::size_t>(imm)]
+                            : 0);
+        break;
+      case Op::kArgc:
+        stack.push_back(ctx.calldata.size());
+        break;
+      default:
+        return fail("invalid opcode");
+    }
+    pc = next;
+  }
+}
+
+}  // namespace dcert::vm

@@ -1,0 +1,91 @@
+// Stack-machine bytecode VM — the transaction execution engine (the paper
+// uses the Rust EVM; see DESIGN.md for the substitution). Contracts are
+// bytecode programs operating on 64-bit words with a per-contract key-value
+// storage. Execution is deterministic and captures the read and write sets
+// the certificate engine needs (Alg. 1 line 2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcert::vm {
+
+/// Instruction set. One byte per opcode; PUSH carries an 8-byte immediate.
+enum class Op : std::uint8_t {
+  kStop = 0x00,    // halt successfully
+  kPush = 0x01,    // push u64 immediate
+  kPop = 0x02,     // discard top
+  kDup = 0x03,     // imm n: duplicate the n-th element from the top (0 = top)
+  kSwap = 0x04,    // imm n: swap top with the n-th element below it
+  kAdd = 0x10,     // a b -> a+b (wrapping)
+  kSub = 0x11,     // a b -> a-b (wrapping)
+  kMul = 0x12,     // a b -> a*b (wrapping)
+  kDiv = 0x13,     // a b -> a/b (0 on division by zero)
+  kMod = 0x14,     // a b -> a%b (0 on modulo by zero)
+  kLt = 0x15,      // a b -> a<b
+  kGt = 0x16,      // a b -> a>b
+  kEq = 0x17,      // a b -> a==b
+  kAnd = 0x18,     // bitwise
+  kOr = 0x19,
+  kXor = 0x1a,
+  kNot = 0x1b,     // bitwise complement
+  kJump = 0x20,    // imm target: unconditional jump
+  kJumpI = 0x21,   // imm target: jump when popped condition != 0
+  kSload = 0x30,   // key -> value (0 when unset)
+  kSstore = 0x31,  // key value ->
+  kCaller = 0x40,  // -> low 64 bits of the sender address
+  kArg = 0x41,     // imm i: -> i-th calldata word (0 when absent)
+  kArgc = 0x42,    // -> number of calldata words
+  kHash = 0x43,    // a b -> low 64 bits of H(a || b) (cheap in-VM hashing)
+  kRevert = 0xfe,  // abort, discarding writes
+};
+
+/// A compiled program.
+struct Program {
+  Bytes code;
+
+  bool operator==(const Program&) const = default;
+};
+
+/// Assembles mnemonic text into bytecode. One instruction per line; labels
+/// are `name:` definitions and `@name` references; `;` starts a comment.
+/// Throws std::invalid_argument with a line-numbered message on bad input.
+Program Assemble(const std::string& source);
+
+/// Storage interface the VM executes against. Keys are 64-bit words scoped
+/// by contract (the binding to global state keys happens in the chain layer).
+class StorageView {
+ public:
+  virtual ~StorageView() = default;
+  /// Reads a storage slot; 0 when unset. Implementations record read sets.
+  virtual std::uint64_t Load(std::uint64_t key) = 0;
+  /// Writes a storage slot. Implementations buffer writes.
+  virtual void Store(std::uint64_t key, std::uint64_t value) = 0;
+};
+
+/// Execution outcome.
+struct ExecResult {
+  bool success = false;       // false = revert or error
+  std::string error;          // empty on success or plain revert
+  std::uint64_t steps = 0;    // instructions executed
+  std::vector<std::uint64_t> stack;  // final stack (top = back), for tests
+};
+
+struct ExecContext {
+  std::uint64_t caller = 0;                // sender identity word
+  std::vector<std::uint64_t> calldata;     // input words
+  std::uint64_t step_limit = 1'000'000;    // gas analogue
+};
+
+/// Executes `program` against `storage`. Never throws on malformed bytecode —
+/// execution errors surface as !success (the chain treats them as reverts).
+ExecResult Execute(const Program& program, const ExecContext& ctx,
+                   StorageView& storage);
+
+}  // namespace dcert::vm

@@ -1,0 +1,383 @@
+#include "workloads/workloads.h"
+
+#include <stdexcept>
+
+#include "common/serialize.h"
+
+namespace dcert::workloads {
+
+namespace {
+
+// DoNothing: consensus/plumbing cost only.
+constexpr const char* kDoNothingAsm = R"(
+  stop
+)";
+
+// CPUHeavy: arg0 iterations of a hash-mixing loop — pure compute, no state.
+// Stack discipline: [i, acc] at loop entry.
+constexpr const char* kCpuHeavyAsm = R"(
+  push 0        ; i
+  push 12345    ; acc
+loop:
+  dup 1         ; i acc i
+  hash          ; i acc'
+  swap 1        ; acc' i
+  push 1
+  add           ; acc' i+1
+  dup 0
+  arg 0
+  lt            ; acc' i+1 (i+1 < n)
+  jumpi @cont
+  stop
+cont:
+  swap 1        ; i+1 acc'
+  jump @loop
+)";
+
+// IOHeavy: arg0 = op (0 write burst, 1 scan burst), arg1 = start key,
+// arg2 = key count.
+constexpr const char* kIoHeavyAsm = R"(
+  arg 0
+  push 1
+  eq
+  jumpi @scan
+  push 0        ; i
+wloop:
+  dup 0
+  arg 2
+  lt
+  jumpi @wbody
+  stop
+wbody:
+  dup 0         ; i i
+  arg 1
+  add           ; i key
+  dup 0         ; i key key
+  push 31
+  mul
+  push 7
+  add           ; i key value
+  sstore        ; i
+  push 1
+  add
+  jump @wloop
+scan:
+  push 0        ; i
+sloop:
+  dup 0
+  arg 2
+  lt
+  jumpi @sbody
+  stop
+sbody:
+  dup 0
+  arg 1
+  add
+  sload
+  pop
+  push 1
+  add
+  jump @sloop
+)";
+
+// KVStore: arg0 = op (0 put, 1 get), arg1 = key, arg2 = value.
+constexpr const char* kKvStoreAsm = R"(
+  arg 0
+  push 1
+  eq
+  jumpi @get
+  arg 1
+  arg 2
+  sstore
+  stop
+get:
+  arg 1
+  sload
+  pop
+  stop
+)";
+
+// SmallBank. Slots: savings(acct) = acct*2, checking(acct) = acct*2 + 1.
+// arg0 = op: 0 getBalance(acct), 1 depositChecking(acct, amt),
+// 2 transactSavings(acct, amt), 3 sendPayment(src, dst, amt),
+// 4 writeCheck(acct, amt), 5 amalgamate(src, dst).
+constexpr const char* kSmallBankAsm = R"(
+  arg 0
+  push 0
+  eq
+  jumpi @getbal
+  arg 0
+  push 1
+  eq
+  jumpi @deposit
+  arg 0
+  push 2
+  eq
+  jumpi @savings
+  arg 0
+  push 3
+  eq
+  jumpi @payment
+  arg 0
+  push 4
+  eq
+  jumpi @check
+  arg 0
+  push 5
+  eq
+  jumpi @amalg
+  revert
+
+getbal:
+  arg 1
+  push 2
+  mul
+  sload          ; sav
+  arg 1
+  push 2
+  mul
+  push 1
+  add
+  sload          ; sav chk
+  add
+  pop
+  stop
+
+deposit:
+  arg 1
+  push 2
+  mul
+  push 1
+  add            ; slot
+  dup 0
+  sload          ; slot bal
+  arg 2
+  add
+  sstore
+  stop
+
+savings:
+  arg 1
+  push 2
+  mul            ; slot
+  dup 0
+  sload
+  arg 2
+  add
+  sstore
+  stop
+
+payment:
+  arg 1
+  push 2
+  mul
+  push 1
+  add            ; srcslot
+  dup 0
+  sload          ; srcslot bal
+  dup 0
+  arg 3
+  lt             ; srcslot bal (bal < amt)
+  jumpi @fail
+  arg 3
+  sub
+  sstore
+  arg 2
+  push 2
+  mul
+  push 1
+  add            ; dstslot
+  dup 0
+  sload
+  arg 3
+  add
+  sstore
+  stop
+
+check:
+  arg 1
+  push 2
+  mul
+  push 1
+  add
+  dup 0
+  sload
+  dup 0
+  arg 2
+  lt
+  jumpi @fail
+  arg 2
+  sub
+  sstore
+  stop
+
+amalg:
+  arg 1
+  push 2
+  mul
+  sload          ; sav
+  arg 1
+  push 2
+  mul
+  push 1
+  add
+  sload          ; sav chk
+  add            ; total
+  arg 2
+  push 2
+  mul
+  push 1
+  add            ; total dslot
+  dup 0
+  sload          ; total dslot dbal
+  dup 2
+  add            ; total dslot dbal+total
+  sstore         ; total
+  pop
+  arg 1
+  push 2
+  mul
+  push 0
+  sstore
+  arg 1
+  push 2
+  mul
+  push 1
+  add
+  push 0
+  sstore
+  stop
+
+fail:
+  revert
+)";
+
+const char* SourceFor(Workload kind) {
+  switch (kind) {
+    case Workload::kDoNothing: return kDoNothingAsm;
+    case Workload::kCpuHeavy: return kCpuHeavyAsm;
+    case Workload::kIoHeavy: return kIoHeavyAsm;
+    case Workload::kKvStore: return kKvStoreAsm;
+    case Workload::kSmallBank: return kSmallBankAsm;
+  }
+  throw std::invalid_argument("unknown workload");
+}
+
+}  // namespace
+
+std::string Name(Workload kind) {
+  switch (kind) {
+    case Workload::kDoNothing: return "DN";
+    case Workload::kCpuHeavy: return "CPU";
+    case Workload::kIoHeavy: return "IO";
+    case Workload::kKvStore: return "KV";
+    case Workload::kSmallBank: return "SB";
+  }
+  throw std::invalid_argument("unknown workload");
+}
+
+const vm::Program& ProgramFor(Workload kind) {
+  static const vm::Program programs[] = {
+      vm::Assemble(SourceFor(Workload::kDoNothing)),
+      vm::Assemble(SourceFor(Workload::kCpuHeavy)),
+      vm::Assemble(SourceFor(Workload::kIoHeavy)),
+      vm::Assemble(SourceFor(Workload::kKvStore)),
+      vm::Assemble(SourceFor(Workload::kSmallBank)),
+  };
+  return programs[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t ContractId(Workload kind, std::uint64_t instance) {
+  return static_cast<std::uint64_t>(kind) * 1000 + instance;
+}
+
+std::shared_ptr<chain::ContractRegistry> MakeBlockbenchRegistry(
+    std::uint64_t instances_per_workload) {
+  auto registry = std::make_shared<chain::ContractRegistry>();
+  for (Workload kind : kAllWorkloads) {
+    for (std::uint64_t k = 0; k < instances_per_workload; ++k) {
+      registry->Install(ContractId(kind, k), ProgramFor(kind));
+    }
+  }
+  return registry;
+}
+
+AccountPool::AccountPool(std::size_t count, std::uint64_t seed) {
+  keys_.reserve(count);
+  nonces_.assign(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    Encoder enc;
+    enc.Str("dcert-account");
+    enc.U64(seed);
+    enc.U64(i);
+    keys_.push_back(crypto::SecretKey::FromSeed(enc.bytes()));
+  }
+}
+
+chain::Transaction AccountPool::MakeTx(std::size_t sender,
+                                       std::uint64_t contract_id,
+                                       std::vector<std::uint64_t> calldata) {
+  if (sender >= keys_.size()) {
+    throw std::out_of_range("AccountPool::MakeTx: sender index out of range");
+  }
+  chain::Transaction tx = chain::Transaction::Create(
+      keys_[sender], nonces_[sender], contract_id, std::move(calldata));
+  ++nonces_[sender];
+  return tx;
+}
+
+WorkloadGenerator::WorkloadGenerator(Params params, AccountPool& pool)
+    : params_(params), pool_(&pool), rng_(params.seed) {}
+
+chain::Transaction WorkloadGenerator::NextTx() {
+  const std::size_t sender = rng_.NextBelow(pool_->size());
+  const std::uint64_t instance = rng_.NextBelow(params_.instances_per_workload);
+  const std::uint64_t contract = ContractId(params_.kind, instance);
+  std::vector<std::uint64_t> calldata;
+
+  switch (params_.kind) {
+    case Workload::kDoNothing:
+      break;
+    case Workload::kCpuHeavy:
+      calldata = {params_.cpu_iterations};
+      break;
+    case Workload::kIoHeavy: {
+      std::uint64_t op = rng_.NextBelow(2);
+      std::uint64_t start = rng_.NextBelow(params_.io_key_space);
+      calldata = {op, start, params_.io_keys_per_tx};
+      break;
+    }
+    case Workload::kKvStore: {
+      std::uint64_t op = rng_.NextBelow(2);
+      std::uint64_t key = rng_.NextBelow(params_.kv_keys);
+      std::uint64_t value = rng_.NextU64() | 1;  // non-zero
+      calldata = {op, key, value};
+      break;
+    }
+    case Workload::kSmallBank: {
+      std::uint64_t op = rng_.NextBelow(6);
+      std::uint64_t a = rng_.NextBelow(params_.sb_accounts);
+      std::uint64_t b = rng_.NextBelow(params_.sb_accounts);
+      std::uint64_t amount = rng_.NextRange(1, 100);
+      switch (op) {
+        case 0: calldata = {0, a}; break;
+        case 1: calldata = {1, a, amount}; break;
+        case 2: calldata = {2, a, amount}; break;
+        case 3: calldata = {3, a, b, amount}; break;
+        case 4: calldata = {4, a, amount}; break;
+        default: calldata = {5, a, b}; break;
+      }
+      break;
+    }
+  }
+  return pool_->MakeTx(sender, contract, std::move(calldata));
+}
+
+std::vector<chain::Transaction> WorkloadGenerator::NextBlockTxs(std::size_t count) {
+  std::vector<chain::Transaction> txs;
+  txs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) txs.push_back(NextTx());
+  return txs;
+}
+
+}  // namespace dcert::workloads

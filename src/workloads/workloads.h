@@ -1,0 +1,89 @@
+// Blockbench workloads (Dinh et al., SIGMOD'17) — the paper's benchmark
+// suite (Sec. 7.2): micro-benchmarks DoNothing (DN), CPUHeavy (CPU),
+// IOHeavy (IO) and macro-benchmarks KVStore (KV), SmallBank (SB), all
+// compiled to this repo's VM bytecode.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/executor.h"
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "vm/vm.h"
+
+namespace dcert::workloads {
+
+enum class Workload { kDoNothing, kCpuHeavy, kIoHeavy, kKvStore, kSmallBank };
+
+inline constexpr Workload kAllWorkloads[] = {
+    Workload::kDoNothing, Workload::kCpuHeavy, Workload::kIoHeavy,
+    Workload::kKvStore, Workload::kSmallBank};
+
+/// Short display name used in the paper's figures (DN/CPU/IO/KV/SB).
+std::string Name(Workload kind);
+
+/// The compiled contract for a workload.
+const vm::Program& ProgramFor(Workload kind);
+
+/// Contract-id scheme: workload w, instance k lives at w*1000 + k.
+std::uint64_t ContractId(Workload kind, std::uint64_t instance);
+
+/// Builds a registry with `instances_per_workload` copies of each workload
+/// contract (the paper deploys 500 contracts total = 100 per workload).
+std::shared_ptr<chain::ContractRegistry> MakeBlockbenchRegistry(
+    std::uint64_t instances_per_workload);
+
+/// A pool of funded sender accounts with tracked nonces. Key generation is
+/// deterministic in the seed so experiments are reproducible.
+class AccountPool {
+ public:
+  AccountPool(std::size_t count, std::uint64_t seed);
+
+  std::size_t size() const { return keys_.size(); }
+  const crypto::PublicKey& PublicKeyAt(std::size_t i) const {
+    return keys_[i].Public();
+  }
+
+  /// Signs a transaction from account `i` and advances its nonce.
+  chain::Transaction MakeTx(std::size_t sender, std::uint64_t contract_id,
+                            std::vector<std::uint64_t> calldata);
+
+ private:
+  std::vector<crypto::SecretKey> keys_;
+  std::vector<std::uint64_t> nonces_;
+};
+
+/// Generates a deterministic stream of workload transactions with random
+/// senders, contract instances, and operation mixes.
+class WorkloadGenerator {
+ public:
+  struct Params {
+    Workload kind = Workload::kKvStore;
+    std::uint64_t seed = 1;
+    std::uint64_t instances_per_workload = 4;
+    /// KVStore key universe (the paper creates 500 tuples).
+    std::uint64_t kv_keys = 500;
+    /// CPUHeavy loop iterations per transaction.
+    std::uint64_t cpu_iterations = 256;
+    /// IOHeavy keys written/scanned per transaction.
+    std::uint64_t io_keys_per_tx = 32;
+    std::uint64_t io_key_space = 10'000;
+    /// SmallBank account universe.
+    std::uint64_t sb_accounts = 500;
+  };
+
+  WorkloadGenerator(Params params, AccountPool& pool);
+
+  chain::Transaction NextTx();
+  std::vector<chain::Transaction> NextBlockTxs(std::size_t count);
+
+ private:
+  Params params_;
+  AccountPool* pool_;
+  Rng rng_;
+};
+
+}  // namespace dcert::workloads

@@ -1,0 +1,238 @@
+// Authenticated aggregation: MB-tree (count, sum) windows and the historical
+// index's aggregate queries.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dcert/issuer.h"
+#include "mht/mbtree.h"
+#include "query/historical_index.h"
+#include "workloads/workloads.h"
+
+namespace dcert::mht {
+namespace {
+
+Bytes WordValue(std::uint64_t w) {
+  Encoder enc;
+  enc.U64(w);
+  return enc.Take();
+}
+
+TEST(MbAggregateTest, ValueWordIsLe64Prefix) {
+  EXPECT_EQ(MbValueWord(WordValue(0x1122334455667788ull)), 0x1122334455667788ull);
+  EXPECT_EQ(MbValueWord({}), 0u);
+  EXPECT_EQ(MbValueWord({0x05}), 5u);  // short values zero-extend
+  Bytes long_value = WordValue(7);
+  long_value.push_back(0xff);  // trailing bytes beyond 8 are ignored
+  EXPECT_EQ(MbValueWord(long_value), 7u);
+}
+
+TEST(MbAggregateTest, TotalAggregateTracksInserts) {
+  MbTree tree;
+  EXPECT_EQ(tree.TotalAggregate(), MbAggregate{});
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    tree.Insert(k, WordValue(k * 10));
+    expected_sum += k * 10;
+  }
+  EXPECT_EQ(tree.TotalAggregate().count, 100u);
+  EXPECT_EQ(tree.TotalAggregate().sum, expected_sum);
+}
+
+TEST(MbAggregateTest, WindowAggregateVerifies) {
+  MbTree tree;
+  for (std::uint64_t k = 1; k <= 200; ++k) tree.Insert(k, WordValue(k));
+  MbRangeProof proof = tree.AggregateQueryWithProof(50, 149);
+  auto agg = MbTree::VerifyAggregate(tree.Root(), 50, 149, proof);
+  ASSERT_TRUE(agg.ok()) << agg.message();
+  EXPECT_EQ(agg.value().count, 100u);
+  EXPECT_EQ(agg.value().sum, (50ull + 149ull) * 100 / 2);
+}
+
+TEST(MbAggregateTest, AggregateProofIsSmallerThanRangeProof) {
+  // Fully covered subtrees stay pruned, so a wide window's aggregate proof is
+  // much smaller than the equivalent range proof.
+  MbTree tree;
+  for (std::uint64_t k = 1; k <= 2000; ++k) tree.Insert(k, WordValue(k));
+  std::size_t agg_size = tree.AggregateQueryWithProof(100, 1900).Serialize().size();
+  std::size_t range_size = tree.RangeQueryWithProof(100, 1900).Serialize().size();
+  EXPECT_LT(agg_size * 10, range_size);
+}
+
+TEST(MbAggregateTest, EmptyWindowAndEmptyTree) {
+  MbTree tree;
+  auto empty_tree = MbTree::VerifyAggregate(tree.Root(), 1, 10,
+                                            tree.AggregateQueryWithProof(1, 10));
+  ASSERT_TRUE(empty_tree.ok());
+  EXPECT_EQ(empty_tree.value(), MbAggregate{});
+
+  for (std::uint64_t k = 10; k <= 20; ++k) tree.Insert(k, WordValue(k));
+  auto empty_window = MbTree::VerifyAggregate(
+      tree.Root(), 100, 200, tree.AggregateQueryWithProof(100, 200));
+  ASSERT_TRUE(empty_window.ok()) << empty_window.message();
+  EXPECT_EQ(empty_window.value(), MbAggregate{});
+}
+
+TEST(MbAggregateTest, TamperedAggregateRejected) {
+  MbTree tree;
+  for (std::uint64_t k = 1; k <= 300; ++k) tree.Insert(k, WordValue(k));
+  MbRangeProof proof = tree.AggregateQueryWithProof(50, 250);
+
+  // Inflating a pruned stub's sum breaks the parent hash.
+  std::function<bool(MbProofNode*)> inflate = [&](MbProofNode* node) {
+    if (node->is_leaf) return false;
+    for (auto& c : node->children) {
+      if (!c.node && c.min >= 50 && c.max <= 250) {
+        c.agg.sum += 1000;
+        return true;
+      }
+      if (c.node && inflate(c.node.get())) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(inflate(proof.root.get()));
+  EXPECT_FALSE(MbTree::VerifyAggregate(tree.Root(), 50, 250, proof).ok());
+}
+
+TEST(MbAggregateTest, LyingValueWordRejectedWhenValueShown) {
+  MbTree tree;
+  for (std::uint64_t k = 1; k <= 50; ++k) tree.Insert(k, WordValue(k));
+  MbRangeProof proof = tree.AggregateQueryWithProof(10, 12);
+  // Find an in-range entry (value shown) and lie about its word.
+  std::function<bool(MbProofNode*)> lie = [&](MbProofNode* node) {
+    if (node->is_leaf) {
+      for (auto& e : node->entries) {
+        if (e.value) {
+          e.value_word += 5;
+          return true;
+        }
+      }
+      return false;
+    }
+    for (auto& c : node->children) {
+      if (c.node && lie(c.node.get())) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(lie(proof.root.get()));
+  EXPECT_FALSE(MbTree::VerifyAggregate(tree.Root(), 10, 12, proof).ok());
+}
+
+TEST(MbAggregateTest, StraddlingPrunedSubtreeRejected) {
+  MbTree tree;
+  for (std::uint64_t k = 1; k <= 500; ++k) tree.Insert(k, WordValue(k));
+  MbRangeProof proof = tree.AggregateQueryWithProof(100, 400);
+  // Prune an expanded (straddling) child: incompleteness must be caught.
+  std::function<bool(MbProofNode*)> prune = [&](MbProofNode* node) {
+    if (node->is_leaf) return false;
+    for (auto& c : node->children) {
+      if (c.node) {
+        c.node.reset();
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(prune(proof.root.get()));
+  EXPECT_FALSE(MbTree::VerifyAggregate(tree.Root(), 100, 400, proof).ok());
+}
+
+// Property sweep: random windows agree with a brute-force oracle.
+class MbAggregateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MbAggregateSweep, MatchesBruteForce) {
+  Rng rng(GetParam());
+  MbTree tree;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> oracle;  // (key, word)
+  std::uint64_t key = 0;
+  for (int i = 0; i < 400; ++i) {
+    key += rng.NextRange(1, 5);
+    std::uint64_t word = rng.NextBelow(1000);
+    tree.Insert(key, WordValue(word));
+    oracle.emplace_back(key, word);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    std::uint64_t lo = rng.NextBelow(key + 10);
+    std::uint64_t hi = rng.NextRange(lo, key + 10);
+    auto agg = MbTree::VerifyAggregate(tree.Root(), lo, hi,
+                                       tree.AggregateQueryWithProof(lo, hi));
+    ASSERT_TRUE(agg.ok()) << "[" << lo << "," << hi << "]: " << agg.message();
+    MbAggregate expected;
+    for (const auto& [k, w] : oracle) {
+      if (k >= lo && k <= hi) {
+        expected.count += 1;
+        expected.sum += w;
+      }
+    }
+    EXPECT_EQ(agg.value(), expected) << "[" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MbAggregateSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dcert::mht
+
+namespace dcert::query {
+namespace {
+
+TEST(HistoricalAggregateTest, CertifiedAggregateOverWindow) {
+  // Build a certified chain of KV puts, then verify SUM/COUNT of an
+  // account's versions against the certified index digest.
+  chain::ChainConfig config;
+  config.difficulty_bits = 2;
+  auto registry = workloads::MakeBlockbenchRegistry(1);
+  core::CertificateIssuer ci(config, registry);
+  auto index = std::make_shared<HistoricalIndex>();
+  ci.AttachIndex(index);
+  chain::FullNode node(config, registry);
+  chain::Miner miner(node);
+  workloads::AccountPool pool(4, 501);
+  std::uint64_t kv = workloads::ContractId(workloads::Workload::kKvStore, 0);
+
+  // Account 7 receives a known sequence of values.
+  std::vector<std::uint64_t> values{100, 250, 30, 45, 600, 75, 10, 999};
+  std::map<std::uint64_t, std::uint64_t> sums_by_height;  // cumulative check
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::vector<chain::Transaction> txs{
+        pool.MakeTx(0, kv, {0, 7, values[i]}),
+        pool.MakeTx(1, kv, {0, 8, 1}),  // noise on another account
+    };
+    auto block = miner.MineBlock(std::move(txs), 100 + i);
+    ASSERT_TRUE(block.ok());
+    ASSERT_TRUE(node.SubmitBlock(block.value()).ok());
+    ASSERT_TRUE(ci.ProcessBlockHierarchical(block.value()).ok());
+  }
+  Hash256 digest = index->CurrentDigest();
+
+  // Whole-history aggregate of account 7.
+  auto all = HistoricalIndex::VerifyAggregateQuery(
+      digest, 7, 1, 8, index->AggregateQuery(7, 1, 8));
+  ASSERT_TRUE(all.ok()) << all.message();
+  EXPECT_EQ(all.value().count, values.size());
+  std::uint64_t total = 0;
+  for (std::uint64_t v : values) total += v;
+  EXPECT_EQ(all.value().sum, total);
+
+  // Sub-window [3, 5] = blocks 3..5 = values[2..4].
+  auto window = HistoricalIndex::VerifyAggregateQuery(
+      digest, 7, 3, 5, index->AggregateQuery(7, 3, 5));
+  ASSERT_TRUE(window.ok()) << window.message();
+  EXPECT_EQ(window.value().count, 3u);
+  EXPECT_EQ(window.value().sum, values[2] + values[3] + values[4]);
+
+  // Unknown account: provably zero.
+  auto none = HistoricalIndex::VerifyAggregateQuery(
+      digest, 4242, 1, 8, index->AggregateQuery(4242, 1, 8));
+  ASSERT_TRUE(none.ok()) << none.message();
+  EXPECT_EQ(none.value(), mht::MbAggregate{});
+
+  // Wrong digest rejected.
+  Hash256 wrong = digest;
+  wrong[0] ^= 1;
+  EXPECT_FALSE(HistoricalIndex::VerifyAggregateQuery(
+                   wrong, 7, 1, 8, index->AggregateQuery(7, 1, 8))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dcert::query

@@ -1,0 +1,176 @@
+// On-demand index activation (AttachIndexWithBackfill) and the naive
+// full-state-in-enclave baseline.
+#include <gtest/gtest.h>
+
+#include "dcert/issuer.h"
+#include "dcert/naive_enclave.h"
+#include "dcert/superlight.h"
+#include "query/historical_index.h"
+#include "query/keyword_index.h"
+#include "workloads/workloads.h"
+
+namespace dcert::core {
+namespace {
+
+using workloads::AccountPool;
+using workloads::Workload;
+using workloads::WorkloadGenerator;
+
+struct Rig {
+  chain::ChainConfig config;
+  std::shared_ptr<const chain::ContractRegistry> registry;
+  std::unique_ptr<CertificateIssuer> ci;
+  std::unique_ptr<chain::FullNode> miner_node;
+  std::unique_ptr<chain::Miner> miner;
+  AccountPool pool{4, 55};
+  std::unique_ptr<WorkloadGenerator> gen;
+
+  Rig() {
+    config.difficulty_bits = 2;
+    registry = workloads::MakeBlockbenchRegistry(1);
+    ci = std::make_unique<CertificateIssuer>(config, registry);
+    miner_node = std::make_unique<chain::FullNode>(config, registry);
+    miner = std::make_unique<chain::Miner>(*miner_node);
+    WorkloadGenerator::Params params;
+    params.kind = Workload::kKvStore;
+    params.instances_per_workload = 1;
+    params.kv_keys = 8;
+    gen = std::make_unique<WorkloadGenerator>(params, pool);
+  }
+
+  chain::Block NextBlock(std::size_t txs = 5) {
+    auto block = miner->MineBlock(gen->NextBlockTxs(txs), 100 + miner_node->Height());
+    if (!block.ok()) throw std::runtime_error(block.message());
+    if (!miner_node->SubmitBlock(block.value())) throw std::runtime_error("submit");
+    return block.value();
+  }
+};
+
+TEST(BackfillTest, MidChainAttachMatchesFromGenesisAttach) {
+  // Reference CI: index attached at genesis.
+  Rig reference;
+  auto ref_index = std::make_shared<query::HistoricalIndex>("ref");
+  reference.ci->AttachIndex(ref_index);
+
+  // Late CI: same chain, index attached after 6 blocks.
+  Rig late;
+
+  std::vector<chain::Block> blocks;
+  for (int i = 0; i < 6; ++i) blocks.push_back(reference.NextBlock());
+  for (const auto& blk : blocks) {
+    ASSERT_TRUE(reference.ci->ProcessBlockHierarchical(blk).ok());
+    ASSERT_TRUE(late.ci->ProcessBlock(blk).ok());
+  }
+
+  auto late_index = std::make_shared<query::HistoricalIndex>("late");
+  auto tip_cert = late.ci->AttachIndexWithBackfill(late_index);
+  ASSERT_TRUE(tip_cert.ok()) << tip_cert.message();
+
+  // Identical digests: the backfilled index certified the same history.
+  EXPECT_EQ(late_index->CurrentDigest(), ref_index->CurrentDigest());
+  EXPECT_EQ(late.ci->IndexCount(), 1u);
+  // One index Ecall per historical block.
+  EXPECT_EQ(late.ci->LastTiming().ecalls, 6u);
+
+  // The tip certificate validates on a superlight client.
+  SuperlightClient client(ExpectedEnclaveMeasurement());
+  ASSERT_TRUE(client
+                  .ValidateAndAccept(blocks.back().header, *late.ci->LatestCert())
+                  .ok());
+  EXPECT_TRUE(client
+                  .AcceptIndexCert(blocks.back().header, tip_cert.value(),
+                                   late_index->CurrentDigest(), "late")
+                  .ok());
+
+  // And the CI continues certifying both chain and index afterwards.
+  chain::Block next = reference.NextBlock();
+  ASSERT_TRUE(reference.ci->ProcessBlockHierarchical(next).ok());
+  auto certs = late.ci->ProcessBlockHierarchical(next);
+  ASSERT_TRUE(certs.ok()) << certs.message();
+  EXPECT_EQ(late_index->CurrentDigest(), ref_index->CurrentDigest());
+}
+
+TEST(BackfillTest, GenesisChainRejected) {
+  Rig rig;
+  auto index = std::make_shared<query::HistoricalIndex>();
+  EXPECT_FALSE(rig.ci->AttachIndexWithBackfill(index).ok());
+}
+
+TEST(BackfillTest, KeywordIndexBackfills) {
+  Rig rig;
+  std::vector<chain::Block> blocks;
+  for (int i = 0; i < 4; ++i) {
+    chain::Block blk = rig.NextBlock();
+    ASSERT_TRUE(rig.ci->ProcessBlock(blk).ok());
+    blocks.push_back(blk);
+  }
+  auto kw = std::make_shared<query::KeywordIndex>("kw-late");
+  auto cert = rig.ci->AttachIndexWithBackfill(kw);
+  ASSERT_TRUE(cert.ok()) << cert.message();
+
+  // The backfilled index answers queries over the pre-attachment history.
+  auto proof = kw->Query({"c3000"});
+  auto result = query::KeywordIndex::VerifyQuery(kw->CurrentDigest(), {"c3000"},
+                                                 proof);
+  ASSERT_TRUE(result.ok()) << result.message();
+  std::size_t total_txs = 0;
+  for (const auto& blk : blocks) total_txs += blk.txs.size();
+  EXPECT_EQ(result.value().size(), total_txs);
+}
+
+TEST(NaiveEnclaveTest, CertifiesAndValidates) {
+  Rig rig;
+  NaiveCertificateIssuer naive(rig.config, rig.registry);
+  SuperlightClient client(NaiveEnclaveMeasurement());
+  for (int i = 0; i < 4; ++i) {
+    chain::Block blk = rig.NextBlock();
+    auto cert = naive.ProcessBlock(blk);
+    ASSERT_TRUE(cert.ok()) << cert.message();
+    ASSERT_TRUE(client.ValidateAndAccept(blk.header, cert.value()).ok());
+  }
+  EXPECT_EQ(client.Height(), 4u);
+}
+
+TEST(NaiveEnclaveTest, DistinctMeasurementFromStatelessProgram) {
+  EXPECT_NE(NaiveEnclaveMeasurement(), ExpectedEnclaveMeasurement());
+  // A client pinning the stateless enclave rejects naive certificates.
+  Rig rig;
+  NaiveCertificateIssuer naive(rig.config, rig.registry);
+  chain::Block blk = rig.NextBlock();
+  auto cert = naive.ProcessBlock(blk);
+  ASSERT_TRUE(cert.ok());
+  SuperlightClient strict(ExpectedEnclaveMeasurement());
+  EXPECT_FALSE(strict.ValidateAndAccept(blk.header, cert.value()).ok());
+}
+
+TEST(NaiveEnclaveTest, RejectsTamperedBlocks) {
+  Rig rig;
+  NaiveCertificateIssuer naive(rig.config, rig.registry);
+  chain::Block blk = rig.NextBlock();
+  chain::Block forged = blk;
+  forged.header.state_root[0] ^= 1;
+  chain::MineNonce(forged.header);
+  EXPECT_FALSE(naive.ProcessBlock(forged).ok());
+  EXPECT_TRUE(naive.ProcessBlock(blk).ok());
+}
+
+TEST(NaiveEnclaveTest, EpcPressureGrowsWithState) {
+  // With a tiny EPC, the naive issuer's modelled time reflects paging while
+  // the block content stays the same.
+  Rig rig;
+  sgxsim::CostModelParams tiny;
+  tiny.epc_limit_bytes = 1 << 10;  // 1 KB — any real state overflows
+  NaiveCertificateIssuer naive(rig.config, rig.registry, tiny);
+  std::vector<std::uint64_t> modeled;
+  for (int i = 0; i < 5; ++i) {
+    chain::Block blk = rig.NextBlock(8);
+    ASSERT_TRUE(naive.ProcessBlock(blk).ok());
+    modeled.push_back(naive.LastTiming().enclave_modeled_ns);
+  }
+  // State grows monotonically => paging charge grows.
+  EXPECT_GT(naive.Program().ResidentStateBytes(), tiny.epc_limit_bytes);
+  EXPECT_GT(modeled.back(), modeled.front());
+}
+
+}  // namespace
+}  // namespace dcert::core

@@ -1,0 +1,171 @@
+// Authenticated inverted index: conjunctive queries and certified updates.
+#include "mht/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace dcert::mht {
+namespace {
+
+TxLocator Loc(std::uint64_t block, std::uint32_t tx) { return {block, tx}; }
+
+InvertedIndex BuildSample() {
+  InvertedIndex idx;
+  idx.Add("stock", Loc(1, 0));
+  idx.Add("bank", Loc(1, 0));
+  idx.Add("stock", Loc(2, 1));
+  idx.Add("bank", Loc(3, 0));
+  idx.Add("stock", Loc(3, 0));
+  idx.Add("gold", Loc(4, 2));
+  return idx;
+}
+
+TEST(InvertedIndexTest, AddRejectsOutOfOrderLocators) {
+  InvertedIndex idx;
+  idx.Add("kw", Loc(5, 0));
+  EXPECT_THROW(idx.Add("kw", Loc(4, 0)), std::invalid_argument);
+  EXPECT_THROW(idx.Add("kw", Loc(5, 0)), std::invalid_argument);  // duplicate
+  idx.Add("kw", Loc(5, 1));  // same block, later tx is fine
+}
+
+TEST(InvertedIndexTest, ChainDigestIsFoldOfExtend) {
+  std::vector<TxLocator> locs{Loc(1, 0), Loc(2, 3), Loc(9, 1)};
+  Hash256 digest;
+  for (auto l : locs) digest = InvertedIndex::ChainExtend(digest, l);
+  EXPECT_EQ(InvertedIndex::ChainDigest(locs), digest);
+  EXPECT_TRUE(InvertedIndex::ChainDigest({}).IsZero());
+}
+
+TEST(InvertedIndexTest, SingleKeywordQuery) {
+  InvertedIndex idx = BuildSample();
+  auto proof = idx.QueryConjunctive({"stock"});
+  auto results = InvertedIndex::VerifyConjunctive(idx.Root(), {"stock"}, proof);
+  ASSERT_TRUE(results.ok()) << results.message();
+  EXPECT_EQ(results.value(), (std::vector<TxLocator>{Loc(1, 0), Loc(2, 1), Loc(3, 0)}));
+}
+
+TEST(InvertedIndexTest, ConjunctiveQueryIntersects) {
+  InvertedIndex idx = BuildSample();
+  auto proof = idx.QueryConjunctive({"stock", "bank"});
+  auto results = InvertedIndex::VerifyConjunctive(idx.Root(), {"stock", "bank"}, proof);
+  ASSERT_TRUE(results.ok()) << results.message();
+  EXPECT_EQ(results.value(), (std::vector<TxLocator>{Loc(1, 0), Loc(3, 0)}));
+}
+
+TEST(InvertedIndexTest, UnknownKeywordGivesEmptyIntersection) {
+  InvertedIndex idx = BuildSample();
+  auto proof = idx.QueryConjunctive({"stock", "unknown"});
+  auto results =
+      InvertedIndex::VerifyConjunctive(idx.Root(), {"stock", "unknown"}, proof);
+  ASSERT_TRUE(results.ok()) << results.message();
+  EXPECT_TRUE(results.value().empty());
+}
+
+TEST(InvertedIndexTest, EmptyKeywordListRejected) {
+  InvertedIndex idx = BuildSample();
+  KeywordQueryProof proof;
+  EXPECT_FALSE(InvertedIndex::VerifyConjunctive(idx.Root(), {}, proof).ok());
+}
+
+TEST(InvertedIndexTest, TamperedPostingListRejected) {
+  InvertedIndex idx = BuildSample();
+  auto proof = idx.QueryConjunctive({"stock"});
+  proof.postings["stock"].pop_back();  // hide a result
+  EXPECT_FALSE(InvertedIndex::VerifyConjunctive(idx.Root(), {"stock"}, proof).ok());
+}
+
+TEST(InvertedIndexTest, InjectedPostingRejected) {
+  InvertedIndex idx = BuildSample();
+  auto proof = idx.QueryConjunctive({"gold"});
+  proof.postings["gold"].push_back(Loc(99, 0));  // fabricate a result
+  EXPECT_FALSE(InvertedIndex::VerifyConjunctive(idx.Root(), {"gold"}, proof).ok());
+}
+
+TEST(InvertedIndexTest, MissingKeywordInProofRejected) {
+  InvertedIndex idx = BuildSample();
+  auto proof = idx.QueryConjunctive({"stock"});
+  EXPECT_FALSE(
+      InvertedIndex::VerifyConjunctive(idx.Root(), {"stock", "bank"}, proof).ok());
+}
+
+TEST(InvertedIndexTest, WrongRootRejected) {
+  InvertedIndex idx = BuildSample();
+  auto proof = idx.QueryConjunctive({"stock"});
+  Hash256 wrong = idx.Root();
+  wrong[0] ^= 1;
+  EXPECT_FALSE(InvertedIndex::VerifyConjunctive(wrong, {"stock"}, proof).ok());
+}
+
+TEST(InvertedIndexTest, CertifiedUpdateMatchesLiveIndex) {
+  InvertedIndex idx = BuildSample();
+  Hash256 old_root = idx.Root();
+
+  InvertedIndex::WriteData writes;
+  writes["stock"] = {Loc(5, 0), Loc(5, 2)};
+  writes["silver"] = {Loc(5, 1)};  // brand-new keyword
+
+  auto update_proof = idx.ProveUpdate(writes);
+  auto predicted = InvertedIndex::ApplyUpdate(old_root, update_proof, writes);
+  ASSERT_TRUE(predicted.ok()) << predicted.message();
+
+  idx.ApplyWrites(writes);
+  EXPECT_EQ(predicted.value(), idx.Root());
+}
+
+TEST(InvertedIndexTest, ApplyUpdateRejectsWrongOldRoot) {
+  InvertedIndex idx = BuildSample();
+  InvertedIndex::WriteData writes;
+  writes["stock"] = {Loc(5, 0)};
+  auto proof = idx.ProveUpdate(writes);
+  Hash256 wrong = idx.Root();
+  wrong[4] ^= 1;
+  EXPECT_FALSE(InvertedIndex::ApplyUpdate(wrong, proof, writes).ok());
+}
+
+TEST(InvertedIndexTest, ApplyUpdateRejectsTamperedOldBucket) {
+  InvertedIndex idx = BuildSample();
+  InvertedIndex::WriteData writes;
+  writes["stock"] = {Loc(5, 0)};
+  auto proof = idx.ProveUpdate(writes);
+  ASSERT_FALSE(proof.old_buckets.empty());
+  proof.old_buckets.begin()->second[0] ^= 1;
+  EXPECT_FALSE(InvertedIndex::ApplyUpdate(idx.Root(), proof, writes).ok());
+}
+
+TEST(InvertedIndexTest, ApplyUpdateRejectsEmptyWriteList) {
+  InvertedIndex idx = BuildSample();
+  InvertedIndex::WriteData writes;
+  writes["stock"] = {};
+  auto proof = idx.ProveUpdate(writes);
+  EXPECT_FALSE(InvertedIndex::ApplyUpdate(idx.Root(), proof, writes).ok());
+}
+
+TEST(InvertedIndexTest, QueryProofSerializationRoundTrip) {
+  InvertedIndex idx = BuildSample();
+  auto proof = idx.QueryConjunctive({"stock", "bank"});
+  Bytes wire = proof.Serialize();
+  auto decoded = KeywordQueryProof::Deserialize(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  auto results = InvertedIndex::VerifyConjunctive(idx.Root(), {"stock", "bank"},
+                                                  decoded.value());
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value().size(), 2u);
+
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(KeywordQueryProof::Deserialize(truncated).ok());
+}
+
+TEST(InvertedIndexTest, UpdateProofSerializationRoundTrip) {
+  InvertedIndex idx = BuildSample();
+  InvertedIndex::WriteData writes;
+  writes["stock"] = {Loc(7, 0)};
+  auto proof = idx.ProveUpdate(writes);
+  auto decoded = InvertedIndex::UpdateProof::Deserialize(proof.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  auto applied = InvertedIndex::ApplyUpdate(idx.Root(), decoded.value(), writes);
+  ASSERT_TRUE(applied.ok()) << applied.message();
+  idx.ApplyWrites(writes);
+  EXPECT_EQ(applied.value(), idx.Root());
+}
+
+}  // namespace
+}  // namespace dcert::mht

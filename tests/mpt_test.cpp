@@ -1,0 +1,196 @@
+// Merkle Patricia Trie: presence/absence proofs and stateless puts.
+#include "mht/mpt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+
+namespace dcert::mht {
+namespace {
+
+Hash256 Key(const std::string& s) { return crypto::Sha256::Digest(StrBytes(s)); }
+Hash256 Val(const std::string& s) {
+  return crypto::Sha256::Digest(StrBytes("val:" + s));
+}
+
+TEST(MptTest, EmptyTrie) {
+  MptTrie trie;
+  EXPECT_EQ(trie.Root(), MptTrie::EmptyRoot());
+  EXPECT_FALSE(trie.Get(Key("a")).has_value());
+
+  MptProof proof = trie.Prove(Key("a"));
+  auto verified = MptTrie::VerifyGet(trie.Root(), Key("a"), proof);
+  ASSERT_TRUE(verified.ok()) << verified.message();
+  EXPECT_FALSE(verified.value().has_value());
+}
+
+TEST(MptTest, PutGetRoundTrip) {
+  MptTrie trie;
+  trie.Put(Key("alice"), Val("1"));
+  trie.Put(Key("bob"), Val("2"));
+  EXPECT_EQ(trie.Get(Key("alice")), Val("1"));
+  EXPECT_EQ(trie.Get(Key("bob")), Val("2"));
+  EXPECT_FALSE(trie.Get(Key("carol")).has_value());
+  EXPECT_EQ(trie.Size(), 2u);
+}
+
+TEST(MptTest, OverwriteValue) {
+  MptTrie trie;
+  trie.Put(Key("k"), Val("old"));
+  Hash256 r1 = trie.Root();
+  trie.Put(Key("k"), Val("new"));
+  EXPECT_NE(trie.Root(), r1);
+  EXPECT_EQ(trie.Get(Key("k")), Val("new"));
+  EXPECT_EQ(trie.Size(), 1u);
+}
+
+TEST(MptTest, ZeroValueRejected) {
+  MptTrie trie;
+  EXPECT_THROW(trie.Put(Key("k"), Hash256()), std::invalid_argument);
+}
+
+TEST(MptTest, RootInsertionOrderIndependent) {
+  std::vector<std::string> names{"a", "b", "c", "dd", "ee", "ff", "g1", "g2"};
+  MptTrie forward, backward;
+  for (const auto& n : names) forward.Put(Key(n), Val(n));
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    backward.Put(Key(*it), Val(*it));
+  }
+  EXPECT_EQ(forward.Root(), backward.Root());
+}
+
+TEST(MptTest, PresenceProof) {
+  MptTrie trie;
+  for (int i = 0; i < 50; ++i) trie.Put(Key("acct" + std::to_string(i)), Val("v" + std::to_string(i)));
+  MptProof proof = trie.Prove(Key("acct7"));
+  auto verified = MptTrie::VerifyGet(trie.Root(), Key("acct7"), proof);
+  ASSERT_TRUE(verified.ok()) << verified.message();
+  ASSERT_TRUE(verified.value().has_value());
+  EXPECT_EQ(*verified.value(), Val("v7"));
+}
+
+TEST(MptTest, AbsenceProof) {
+  MptTrie trie;
+  for (int i = 0; i < 50; ++i) trie.Put(Key("acct" + std::to_string(i)), Val("v" + std::to_string(i)));
+  MptProof proof = trie.Prove(Key("nobody"));
+  auto verified = MptTrie::VerifyGet(trie.Root(), Key("nobody"), proof);
+  ASSERT_TRUE(verified.ok()) << verified.message();
+  EXPECT_FALSE(verified.value().has_value());
+}
+
+TEST(MptTest, ProofWrongKeyRejected) {
+  MptTrie trie;
+  for (int i = 0; i < 20; ++i) trie.Put(Key("k" + std::to_string(i)), Val("v" + std::to_string(i)));
+  MptProof proof = trie.Prove(Key("k3"));
+  // Verifying against a different key either fails or proves absence, never
+  // yields k3's value bound to the wrong key.
+  auto other = MptTrie::VerifyGet(trie.Root(), Key("k4"), proof);
+  if (other.ok()) {
+    EXPECT_NE(other.value(), std::optional<Hash256>(Val("v3")));
+  }
+}
+
+TEST(MptTest, TamperedProofRejected) {
+  MptTrie trie;
+  for (int i = 0; i < 20; ++i) trie.Put(Key("k" + std::to_string(i)), Val("v" + std::to_string(i)));
+  MptProof proof = trie.Prove(Key("k3"));
+  ASSERT_TRUE(proof.has_leaf);
+  proof.leaf_value_hash[0] ^= 1;
+  EXPECT_FALSE(MptTrie::VerifyGet(trie.Root(), Key("k3"), proof).ok());
+}
+
+TEST(MptTest, TamperedSiblingRejected) {
+  MptTrie trie;
+  for (int i = 0; i < 20; ++i) trie.Put(Key("k" + std::to_string(i)), Val("v" + std::to_string(i)));
+  MptProof proof = trie.Prove(Key("k3"));
+  ASSERT_FALSE(proof.steps.empty());
+  bool mutated = false;
+  for (auto& step : proof.steps) {
+    if (!step.children.empty()) {
+      step.children[0].second[0] ^= 1;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  EXPECT_FALSE(MptTrie::VerifyGet(trie.Root(), Key("k3"), proof).ok());
+}
+
+TEST(MptTest, ApplyPutMatchesInTreePut) {
+  MptTrie trie;
+  Hash256 root = MptTrie::EmptyRoot();
+  Rng rng(99);
+  for (int i = 0; i < 120; ++i) {
+    // Mix fresh keys and overwrites.
+    std::string name = "acct" + std::to_string(rng.NextBelow(60));
+    Hash256 key = Key(name);
+    Hash256 vh = Val(name + "#" + std::to_string(i));
+    MptProof proof = trie.Prove(key);
+    auto predicted = MptTrie::ApplyPut(root, key, proof, vh);
+    ASSERT_TRUE(predicted.ok()) << "i=" << i << ": " << predicted.message();
+    trie.Put(key, vh);
+    ASSERT_EQ(predicted.value(), trie.Root()) << "i=" << i;
+    root = predicted.value();
+  }
+}
+
+TEST(MptTest, ApplyPutRejectsWrongOldRoot) {
+  MptTrie trie;
+  trie.Put(Key("a"), Val("a"));
+  MptProof proof = trie.Prove(Key("b"));
+  Hash256 wrong = trie.Root();
+  wrong[1] ^= 1;
+  EXPECT_FALSE(MptTrie::ApplyPut(wrong, Key("b"), proof, Val("b")).ok());
+}
+
+TEST(MptTest, ApplyPutRejectsZeroValue) {
+  MptTrie trie;
+  trie.Put(Key("a"), Val("a"));
+  MptProof proof = trie.Prove(Key("b"));
+  EXPECT_FALSE(MptTrie::ApplyPut(trie.Root(), Key("b"), proof, Hash256()).ok());
+}
+
+TEST(MptTest, ProofSerializationRoundTrip) {
+  MptTrie trie;
+  for (int i = 0; i < 30; ++i) trie.Put(Key("k" + std::to_string(i)), Val("v" + std::to_string(i)));
+  MptProof proof = trie.Prove(Key("k11"));
+  Bytes wire = proof.Serialize();
+  auto decoded = MptProof::Deserialize(wire);
+  ASSERT_TRUE(decoded.ok());
+  auto verified = MptTrie::VerifyGet(trie.Root(), Key("k11"), decoded.value());
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(verified.value(), std::optional<Hash256>(Val("v11")));
+
+  Bytes truncated(wire.begin(), wire.end() - 2);
+  EXPECT_FALSE(MptProof::Deserialize(truncated).ok());
+}
+
+// Property sweep: tries of growing size — every key provable, absent keys
+// provably absent, all proofs bound to the root.
+class MptSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MptSweep, AllKeysProvable) {
+  const int n = GetParam();
+  MptTrie trie;
+  for (int i = 0; i < n; ++i) {
+    trie.Put(Key("key" + std::to_string(i)), Val("v" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    Hash256 k = Key("key" + std::to_string(i));
+    auto verified = MptTrie::VerifyGet(trie.Root(), k, trie.Prove(k));
+    ASSERT_TRUE(verified.ok()) << "n=" << n << " i=" << i << ": " << verified.message();
+    EXPECT_EQ(verified.value(), std::optional<Hash256>(Val("v" + std::to_string(i))));
+  }
+  for (int i = 0; i < 10; ++i) {
+    Hash256 k = Key("missing" + std::to_string(i));
+    auto verified = MptTrie::VerifyGet(trie.Root(), k, trie.Prove(k));
+    ASSERT_TRUE(verified.ok());
+    EXPECT_FALSE(verified.value().has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MptSweep, ::testing::Values(1, 2, 3, 5, 16, 17, 100, 500));
+
+}  // namespace
+}  // namespace dcert::mht

@@ -1,0 +1,199 @@
+// Decentralization scenarios: multiple CIs extending one certificate chain,
+// clients switching CIs, forks under the chain-selection rule, and CI
+// restart from a sealed signing key.
+#include <gtest/gtest.h>
+
+#include "dcert/enclave_program.h"
+#include "dcert/issuer.h"
+#include "dcert/superlight.h"
+#include "workloads/workloads.h"
+
+namespace dcert::core {
+namespace {
+
+using workloads::AccountPool;
+using workloads::Workload;
+using workloads::WorkloadGenerator;
+
+struct MultiRig {
+  chain::ChainConfig config;
+  std::shared_ptr<const chain::ContractRegistry> registry;
+  std::unique_ptr<chain::FullNode> miner_node;
+  std::unique_ptr<chain::Miner> miner;
+  AccountPool pool{4, 66};
+  std::unique_ptr<WorkloadGenerator> gen;
+
+  MultiRig() {
+    config.difficulty_bits = 2;
+    registry = workloads::MakeBlockbenchRegistry(1);
+    miner_node = std::make_unique<chain::FullNode>(config, registry);
+    miner = std::make_unique<chain::Miner>(*miner_node);
+    WorkloadGenerator::Params params;
+    params.kind = Workload::kKvStore;
+    params.instances_per_workload = 1;
+    gen = std::make_unique<WorkloadGenerator>(params, pool);
+  }
+
+  chain::Block NextBlock() {
+    auto block = miner->MineBlock(gen->NextBlockTxs(4), 100 + miner_node->Height());
+    if (!block.ok()) throw std::runtime_error(block.message());
+    if (!miner_node->SubmitBlock(block.value())) throw std::runtime_error("submit");
+    return block.value();
+  }
+};
+
+TEST(MultiCiTest, TwoCisAlternateOnOneCertificateChain) {
+  MultiRig rig;
+  CertificateIssuer ci_a(rig.config, rig.registry, {}, "ci-a-key");
+  CertificateIssuer ci_b(rig.config, rig.registry, {}, "ci-b-key");
+  ASSERT_NE(ci_a.EnclaveKey(), ci_b.EnclaveKey());
+
+  SuperlightClient client(ExpectedEnclaveMeasurement());
+  for (int i = 0; i < 6; ++i) {
+    chain::Block blk = rig.NextBlock();
+    CertificateIssuer& active = (i % 2 == 0) ? ci_a : ci_b;
+    CertificateIssuer& passive = (i % 2 == 0) ? ci_b : ci_a;
+    auto cert = active.ProcessBlock(blk);
+    ASSERT_TRUE(cert.ok()) << "block " << i << ": " << cert.message();
+    // The passive CI adopts the foreign certificate and continues from it.
+    ASSERT_TRUE(passive.AcceptBlockWithCert(blk, cert.value()).ok()) << i;
+    // The client accepts certificates from either CI (same measurement).
+    ASSERT_TRUE(client.ValidateAndAccept(blk.header, cert.value()).ok()) << i;
+  }
+  EXPECT_EQ(client.Height(), 6u);
+  // Switching CIs re-verifies the attestation report once per enclave key
+  // (Sec. 4.3: "only if the superlight client switches to ... another CI").
+  EXPECT_EQ(client.ReportVerifications(), 2u);
+}
+
+TEST(MultiCiTest, AcceptBlockWithCertRejectsBadInputs) {
+  MultiRig rig;
+  CertificateIssuer ci_a(rig.config, rig.registry, {}, "ci-a-key");
+  CertificateIssuer ci_b(rig.config, rig.registry, {}, "ci-b-key");
+  chain::Block blk = rig.NextBlock();
+  auto cert = ci_a.ProcessBlock(blk);
+  ASSERT_TRUE(cert.ok());
+
+  // Certificate for a different block.
+  chain::Block blk2 = rig.NextBlock();
+  EXPECT_FALSE(ci_b.AcceptBlockWithCert(blk2, cert.value()).ok());
+
+  // Tampered signature.
+  BlockCertificate bad = cert.value();
+  bad.sig.s = crypto::Curve().Fn().Add(bad.sig.s, crypto::U256(1));
+  EXPECT_FALSE(ci_b.AcceptBlockWithCert(blk, bad).ok());
+
+  // Valid adoption still works afterwards.
+  EXPECT_TRUE(ci_b.AcceptBlockWithCert(blk, cert.value()).ok());
+}
+
+TEST(MultiCiTest, ForkResolutionByChainSelection) {
+  // Two competing forks certified by two CIs; the client converges on the
+  // longest chain regardless of arrival order.
+  MultiRig shared;
+  chain::Block common = shared.NextBlock();
+
+  // Fork A: 1 extra block; fork B: 2 extra blocks.
+  CertificateIssuer ci_a(shared.config, shared.registry, {}, "fork-a");
+  CertificateIssuer ci_b(shared.config, shared.registry, {}, "fork-b");
+  auto cert_common_a = ci_a.ProcessBlock(common);
+  auto cert_common_b = ci_b.ProcessBlock(common);
+  ASSERT_TRUE(cert_common_a.ok() && cert_common_b.ok());
+
+  // Build fork A on a dedicated miner node.
+  chain::FullNode node_a(shared.config, shared.registry);
+  ASSERT_TRUE(node_a.SubmitBlock(common).ok());
+  chain::Miner miner_a(node_a);
+  AccountPool pool_a(2, 700);
+  WorkloadGenerator::Params pa;
+  pa.kind = Workload::kDoNothing;
+  pa.instances_per_workload = 1;
+  WorkloadGenerator gen_a(pa, pool_a);
+  auto a1 = miner_a.MineBlock(gen_a.NextBlockTxs(1), 500);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(node_a.SubmitBlock(a1.value()).ok());
+  auto cert_a1 = ci_a.ProcessBlock(a1.value());
+  ASSERT_TRUE(cert_a1.ok()) << cert_a1.message();
+
+  // Fork B: two blocks, different contents.
+  chain::FullNode node_b(shared.config, shared.registry);
+  ASSERT_TRUE(node_b.SubmitBlock(common).ok());
+  chain::Miner miner_b(node_b);
+  AccountPool pool_b(2, 800);
+  WorkloadGenerator gen_b(pa, pool_b);
+  auto b1 = miner_b.MineBlock(gen_b.NextBlockTxs(2), 600);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(node_b.SubmitBlock(b1.value()).ok());
+  auto cert_b1 = ci_b.ProcessBlock(b1.value());
+  ASSERT_TRUE(cert_b1.ok());
+  auto b2 = miner_b.MineBlock(gen_b.NextBlockTxs(1), 601);
+  ASSERT_TRUE(b2.ok());
+  ASSERT_TRUE(node_b.SubmitBlock(b2.value()).ok());
+  auto cert_b2 = ci_b.ProcessBlock(b2.value());
+  ASSERT_TRUE(cert_b2.ok());
+
+  // Forks really diverge at the same height.
+  ASSERT_NE(a1.value().header.Hash(), b1.value().header.Hash());
+  ASSERT_EQ(a1.value().header.height, b1.value().header.height);
+
+  // Client sees fork B's tip first, then fork A's shorter tip: A is rejected
+  // by the longest-chain rule even though its certificate is valid.
+  SuperlightClient client(ExpectedEnclaveMeasurement());
+  ASSERT_TRUE(client.ValidateAndAccept(b2.value().header, cert_b2.value()).ok());
+  EXPECT_FALSE(client.ValidateAndAccept(a1.value().header, cert_a1.value()).ok());
+  EXPECT_EQ(client.Height(), 3u);
+  EXPECT_EQ(client.LatestHeader().Hash(), b2.value().header.Hash());
+
+  // Opposite order: the client upgrades from the short fork to the long one.
+  SuperlightClient late(ExpectedEnclaveMeasurement());
+  ASSERT_TRUE(late.ValidateAndAccept(a1.value().header, cert_a1.value()).ok());
+  ASSERT_TRUE(late.ValidateAndAccept(b2.value().header, cert_b2.value()).ok());
+  EXPECT_EQ(late.LatestHeader().Hash(), b2.value().header.Hash());
+}
+
+TEST(SealedKeyTest, RestartResumesWithSamePk) {
+  MultiRig rig;
+  EnclaveConfig ec;
+  ec.genesis_hash = chain::MakeGenesisBlock(rig.config).header.Hash();
+  ec.registry_digest = rig.registry->Digest();
+  ec.difficulty_bits = rig.config.difficulty_bits;
+
+  sgxsim::Enclave enclave(kEnclaveProgramName, kEnclaveProgramVersion);
+  CertEnclaveProgram original(ec, rig.registry, StrBytes("persistent-key"));
+  Bytes sealed = original.SealSigningKey(enclave);
+
+  // "Restart": a fresh enclave instance of the same program unseals the key.
+  sgxsim::Enclave restarted(kEnclaveProgramName, kEnclaveProgramVersion);
+  auto resumed = CertEnclaveProgram::RestoreFromSealed(ec, rig.registry,
+                                                       restarted, sealed);
+  ASSERT_TRUE(resumed.ok()) << resumed.message();
+  EXPECT_EQ(resumed.value().PublicKey(), original.PublicKey());
+
+  // A different program version (different measurement) cannot unseal.
+  sgxsim::Enclave other(kEnclaveProgramName, "2.0.0");
+  EXPECT_FALSE(
+      CertEnclaveProgram::RestoreFromSealed(ec, rig.registry, other, sealed).ok());
+
+  // Tampered blob rejected.
+  Bytes tampered = sealed;
+  tampered[tampered.size() / 2] ^= 1;
+  EXPECT_FALSE(
+      CertEnclaveProgram::RestoreFromSealed(ec, rig.registry, restarted, tampered)
+          .ok());
+}
+
+TEST(SealedKeyTest, ScalarRoundTripAndValidation) {
+  auto key = crypto::SecretKey::FromSeed(StrBytes("roundtrip"));
+  auto restored = crypto::SecretKey::FromScalarBytes(key.ScalarBytes());
+  EXPECT_EQ(restored.Public(), key.Public());
+
+  Bytes zero(32, 0);
+  EXPECT_THROW(crypto::SecretKey::FromScalarBytes(zero), std::invalid_argument);
+  Bytes too_big = crypto::Curve().N().ToBytesBE();
+  EXPECT_THROW(crypto::SecretKey::FromScalarBytes(too_big), std::invalid_argument);
+  Bytes short_buf(31, 1);
+  EXPECT_THROW(crypto::SecretKey::FromScalarBytes(short_buf), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcert::core

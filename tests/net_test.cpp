@@ -1,0 +1,235 @@
+// Network simulator + DCert workflow actors.
+#include <gtest/gtest.h>
+
+#include "net/actors.h"
+#include "net/simnet.h"
+
+namespace dcert::net {
+namespace {
+
+/// Minimal test actor: records deliveries, can echo.
+class Recorder final : public Actor {
+ public:
+  explicit Recorder(std::string name) : name_(std::move(name)) {}
+  std::string Name() const override { return name_; }
+  void OnMessage(SimNetwork& net, const Message& msg) override {
+    (void)net;
+    received.push_back(msg);
+    receive_times.push_back(net.Now());
+  }
+  void OnTimer(SimNetwork& net, std::uint64_t timer_id) override {
+    (void)net;
+    timers.push_back(timer_id);
+  }
+
+  std::vector<Message> received;
+  std::vector<SimTime> receive_times;
+  std::vector<std::uint64_t> timers;
+
+ private:
+  std::string name_;
+};
+
+TEST(SimNetTest, DeliversWithLatencyBounds) {
+  SimNetwork net(1, 100, 200);
+  Recorder a("a"), b("b");
+  net.AddActor(&a);
+  net.AddActor(&b);
+  net.Send("a", "b", "t", StrBytes("hello"));
+  net.Run(10'000);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].payload, StrBytes("hello"));
+  EXPECT_GE(b.receive_times[0], 100u);
+  EXPECT_LE(b.receive_times[0], 200u);
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(SimNetTest, BroadcastReachesEveryoneButSender) {
+  SimNetwork net(2, 10, 20);
+  Recorder a("a"), b("b"), c("c");
+  net.AddActor(&a);
+  net.AddActor(&b);
+  net.AddActor(&c);
+  net.Broadcast("a", "t", StrBytes("x"));
+  net.Run(1'000);
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(net.Stats().messages_delivered, 2u);
+}
+
+TEST(SimNetTest, TimersFireInOrder) {
+  SimNetwork net(3);
+  Recorder a("a");
+  net.AddActor(&a);
+  net.ScheduleTimer("a", 300, 3);
+  net.ScheduleTimer("a", 100, 1);
+  net.ScheduleTimer("a", 200, 2);
+  net.Run(1'000);
+  EXPECT_EQ(a.timers, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(SimNetTest, RunStopsAtDeadline) {
+  SimNetwork net(4, 50, 50);
+  Recorder a("a"), b("b");
+  net.AddActor(&a);
+  net.AddActor(&b);
+  net.Send("a", "b", "t", StrBytes("early"));
+  net.ScheduleTimer("a", 5'000, 9);
+  SimTime end = net.Run(1'000);
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(a.timers.empty());  // beyond the deadline
+  EXPECT_LE(end, 1'000u);
+}
+
+TEST(SimNetTest, RejectsBadConfig) {
+  EXPECT_THROW(SimNetwork(1, 100, 50), std::invalid_argument);
+  SimNetwork net(1);
+  Recorder a("a");
+  net.AddActor(&a);
+  Recorder a2("a");
+  EXPECT_THROW(net.AddActor(&a2), std::invalid_argument);
+  EXPECT_THROW(net.AddActor(nullptr), std::invalid_argument);
+  EXPECT_THROW(net.Send("a", "nobody", "t", {}), std::invalid_argument);
+  EXPECT_THROW(net.ScheduleTimer("nobody", 1, 1), std::invalid_argument);
+}
+
+TEST(CertAnnouncementTest, RoundTripAndGarbage) {
+  chain::BlockHeader hdr;
+  hdr.height = 5;
+  core::BlockCertificate cert;
+  cert.pk_enc = crypto::SecretKey::FromSeed(StrBytes("k")).Public();
+  cert.digest = hdr.Hash();
+  Bytes wire = EncodeCertAnnouncement(hdr, cert);
+  auto decoded = DecodeCertAnnouncement(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_EQ(decoded.value().first, hdr);
+  EXPECT_EQ(decoded.value().second.digest, cert.digest);
+
+  Bytes truncated(wire.begin(), wire.end() - 5);
+  EXPECT_FALSE(DecodeCertAnnouncement(truncated).ok());
+}
+
+TEST(WorkflowTest, EndToEndOverLossyOrderingNetwork) {
+  chain::ChainConfig config;
+  config.difficulty_bits = 2;
+  auto registry = workloads::MakeBlockbenchRegistry(1);
+
+  // Latency spread exceeding the block interval guarantees reordering.
+  SimNetwork net(7, 1'000, 4'000'000);
+  workloads::WorkloadGenerator::Params params;
+  params.kind = workloads::Workload::kKvStore;
+  params.instances_per_workload = 1;
+
+  MinerActor miner("miner", config, registry, params, 4, 4, 1'000'000);
+  FullNodeActor full_node("full", config, registry);
+  CiActor ci("ci", config, registry);
+  SuperlightActor client("client");
+  net.AddActor(&miner);
+  net.AddActor(&full_node);
+  net.AddActor(&ci);
+  net.AddActor(&client);
+
+  net.Run(30'000'000);  // 30 virtual seconds ≈ 30 blocks
+
+  EXPECT_GT(miner.BlocksProposed(), 10u);
+  // Everything the full node and CI could order, they accepted.
+  EXPECT_EQ(full_node.RejectedBlocks(), 0u);
+  EXPECT_GT(ci.CertsIssued(), 10u);
+  // The client followed the chain purely from certificates; anything it
+  // declined was stale (reordered), never invalid.
+  EXPECT_GT(client.Client().Height(), 0u);
+  EXPECT_LE(client.Client().Height(), ci.Issuer().Node().Height());
+  EXPECT_EQ(client.RejectedInvalid(), 0u);
+  // Reordering means the client may skip heights, so it accepts at most one
+  // certificate per height it ends up at.
+  EXPECT_GE(client.Accepted(), 1u);
+  EXPECT_LE(client.Accepted(), client.Client().Height());
+  // Certificates verified the IAS report only once.
+  EXPECT_EQ(client.Client().ReportVerifications(), 1u);
+}
+
+TEST(WorkflowTest, QueryProtocolOverTheWire) {
+  // Miner + SP + a querying client: the SP builds the historical index from
+  // (possibly reordered) block gossip and serves window queries over the
+  // network; the client verifies the serialized proof against the index
+  // digest. (Digest certification itself is covered by query_test — here the
+  // digest stands in for a certified one.)
+  chain::ChainConfig config;
+  config.difficulty_bits = 2;
+  auto registry = workloads::MakeBlockbenchRegistry(1);
+  SimNetwork net(11, 1'000, 500'000);
+  workloads::WorkloadGenerator::Params params;
+  params.kind = workloads::Workload::kKvStore;
+  params.instances_per_workload = 1;
+  params.kv_keys = 5;
+
+  MinerActor miner("miner", config, registry, params, 4, 4, 1'000'000);
+  SpActor sp("sp");
+
+  // A lightweight inline client actor issuing one query and verifying the
+  // reply.
+  struct QueryClient final : Actor {
+    std::string Name() const override { return "qclient"; }
+    void OnStart(SimNetwork& n) override {
+      n.ScheduleTimer("qclient", 12'000'000, 1);  // query after ~10 blocks
+    }
+    void OnTimer(SimNetwork& n, std::uint64_t) override {
+      n.Send("qclient", "sp", kTopicQuery, EncodeHistoricalQuery(42, 1, 1, 8));
+    }
+    void OnMessage(SimNetwork& n, const Message& msg) override {
+      (void)n;
+      if (msg.topic != kTopicQueryReply) return;
+      auto reply = DecodeHistoricalReply(msg.payload);
+      ASSERT_TRUE(reply.ok()) << reply.message();
+      EXPECT_EQ(reply.value().first, 42u);
+      received_proof = true;
+      proof = std::move(reply.value().second);
+    }
+    bool received_proof = false;
+    query::HistoricalQueryProof proof;
+  } qclient;
+
+  net.AddActor(&miner);
+  net.AddActor(&sp);
+  net.AddActor(&qclient);
+  net.Run(20'000'000);
+
+  ASSERT_TRUE(qclient.received_proof);
+  EXPECT_EQ(sp.QueriesServed(), 1u);
+  // Verify against the SP's digest (the proof crossed the wire serialized).
+  auto result = query::HistoricalIndex::VerifyQuery(
+      sp.Index()->CurrentDigest(), 1, 1, 8, qclient.proof);
+  // The SP answered with its index state at reply time; it may have indexed
+  // more blocks since, in which case the digest moved — re-query locally to
+  // confirm verifiability of a fresh proof either way.
+  if (!result.ok()) {
+    auto fresh = sp.Index()->Query(1, 1, 8);
+    auto fresh_result = query::HistoricalIndex::VerifyQuery(
+        sp.Index()->CurrentDigest(), 1, 1, 8, fresh);
+    ASSERT_TRUE(fresh_result.ok()) << fresh_result.message();
+  }
+}
+
+TEST(WorkflowTest, ClientIgnoresUncertifiedBlocks) {
+  // A client that only sees raw block announcements never advances — only
+  // certificates move a superlight client.
+  chain::ChainConfig config;
+  config.difficulty_bits = 2;
+  auto registry = workloads::MakeBlockbenchRegistry(1);
+  SimNetwork net(8, 10, 20);
+  workloads::WorkloadGenerator::Params params;
+  params.kind = workloads::Workload::kDoNothing;
+  params.instances_per_workload = 1;
+  MinerActor miner("miner", config, registry, params, 2, 1, 100'000);
+  SuperlightActor client("client");
+  net.AddActor(&miner);
+  net.AddActor(&client);
+  net.Run(2'000'000);
+  EXPECT_GT(miner.BlocksProposed(), 5u);
+  EXPECT_EQ(client.Client().Height(), 0u);
+  EXPECT_FALSE(client.Client().HasState());
+}
+
+}  // namespace
+}  // namespace dcert::net

@@ -1,0 +1,370 @@
+// Verifiable queries: augmented & hierarchical certification, historical
+// index (DCert two-level and LineageChain baseline), keyword index, and the
+// Theorem 2 tamper/incompleteness paths.
+#include <gtest/gtest.h>
+
+#include "dcert/enclave_program.h"
+#include "dcert/issuer.h"
+#include "dcert/superlight.h"
+#include "query/extraction.h"
+#include "query/historical_index.h"
+#include "query/keyword_index.h"
+#include "query/lineage_index.h"
+#include "workloads/workloads.h"
+
+namespace dcert::query {
+namespace {
+
+using core::CertificateIssuer;
+using core::ExpectedEnclaveMeasurement;
+using core::SuperlightClient;
+using workloads::AccountPool;
+using workloads::Workload;
+using workloads::WorkloadGenerator;
+
+/// Drives a chain of KVStore blocks through a CI with attached indexes.
+struct QueryRig {
+  chain::ChainConfig config;
+  std::shared_ptr<const chain::ContractRegistry> registry;
+  std::unique_ptr<CertificateIssuer> ci;
+  std::unique_ptr<chain::FullNode> miner_node;
+  std::unique_ptr<chain::Miner> miner;
+  AccountPool pool{4, 77};
+  std::unique_ptr<WorkloadGenerator> gen;
+  std::shared_ptr<HistoricalIndex> hist = std::make_shared<HistoricalIndex>();
+  std::shared_ptr<LineageIndex> lineage = std::make_shared<LineageIndex>();
+  std::shared_ptr<KeywordIndex> keyword = std::make_shared<KeywordIndex>();
+  std::vector<chain::Block> blocks;
+
+  QueryRig() {
+    config.difficulty_bits = 2;
+    registry = workloads::MakeBlockbenchRegistry(1);
+    ci = std::make_unique<CertificateIssuer>(config, registry);
+    miner_node = std::make_unique<chain::FullNode>(config, registry);
+    miner = std::make_unique<chain::Miner>(*miner_node);
+    WorkloadGenerator::Params params;
+    params.kind = Workload::kKvStore;
+    params.instances_per_workload = 1;
+    params.kv_keys = 10;  // few accounts => many versions each
+    gen = std::make_unique<WorkloadGenerator>(params, pool);
+    ci->AttachIndex(hist);
+    ci->AttachIndex(lineage);
+    ci->AttachIndex(keyword);
+  }
+
+  chain::Block NextBlock(std::size_t txs = 6) {
+    auto block = miner->MineBlock(gen->NextBlockTxs(txs), 1000 + miner_node->Height());
+    if (!block.ok()) throw std::runtime_error(block.message());
+    Status st = miner_node->SubmitBlock(block.value());
+    if (!st) throw std::runtime_error(st.message());
+    blocks.push_back(block.value());
+    return block.value();
+  }
+};
+
+TEST(ExtractionTest, HistoricalWritesFromKvPuts) {
+  QueryRig rig;
+  chain::Block blk = rig.NextBlock(10);
+  std::vector<HistEntry> entries = ExtractHistoricalWrites(blk);
+  // KVStore generator issues puts and gets ~50/50; only puts become entries.
+  std::size_t puts = 0;
+  for (const auto& tx : blk.txs) {
+    if (tx.calldata.size() == 3 && tx.calldata[0] == 0) ++puts;
+  }
+  EXPECT_EQ(entries.size(), puts);
+  for (const HistEntry& e : entries) {
+    EXPECT_EQ(VersionHeight(e.version), blk.header.height);
+    EXPECT_EQ(e.account_key, HistAccountKey(e.account_word));
+  }
+}
+
+TEST(ExtractionTest, VersionWindowCoversWholeBlocks) {
+  auto [lo, hi] = VersionWindow(5, 7);
+  EXPECT_EQ(VersionHeight(lo), 5u);
+  EXPECT_EQ(VersionHeight(hi), 7u);
+  EXPECT_EQ(VersionHeight(hi + 1), 8u);
+  EXPECT_LT(MakeVersion(5, 3), MakeVersion(5, 4));
+  EXPECT_LT(MakeVersion(5, 1000), MakeVersion(6, 0));
+}
+
+TEST(ExtractionTest, KeywordWritesTagContractAndOp) {
+  QueryRig rig;
+  chain::Block blk = rig.NextBlock(5);
+  auto writes = ExtractKeywordWrites(blk);
+  std::size_t total = 0;
+  for (const auto& [kw, locs] : writes) total += locs.size();
+  EXPECT_EQ(total, 2 * blk.txs.size());  // every tx: contract tag + op tag
+  EXPECT_TRUE(writes.count("c3000") == 1);
+}
+
+TEST(HierarchicalCertTest, EndToEndWithThreeIndexes) {
+  QueryRig rig;
+  SuperlightClient client(ExpectedEnclaveMeasurement());
+  for (int i = 0; i < 6; ++i) {
+    chain::Block blk = rig.NextBlock();
+    auto certs = rig.ci->ProcessBlockHierarchical(blk);
+    ASSERT_TRUE(certs.ok()) << "block " << i << ": " << certs.message();
+    ASSERT_EQ(certs.value().size(), 3u);
+    // Block certificate flows to the client as usual.
+    ASSERT_TRUE(rig.ci->LatestCert().has_value());
+    ASSERT_TRUE(client.ValidateAndAccept(blk.header, *rig.ci->LatestCert()).ok());
+    // Index certificates bind the certified digests.
+    ASSERT_TRUE(client
+                    .AcceptIndexCert(blk.header, certs.value()[0],
+                                     rig.hist->CurrentDigest(), rig.hist->Id())
+                    .ok());
+    ASSERT_TRUE(client
+                    .AcceptIndexCert(blk.header, certs.value()[1],
+                                     rig.lineage->CurrentDigest(), rig.lineage->Id())
+                    .ok());
+    ASSERT_TRUE(client
+                    .AcceptIndexCert(blk.header, certs.value()[2],
+                                     rig.keyword->CurrentDigest(), rig.keyword->Id())
+                    .ok());
+  }
+  // One Ecall for the block + three for the indexes per block.
+  EXPECT_EQ(rig.ci->LastTiming().ecalls, 4u);
+}
+
+TEST(AugmentedCertTest, EndToEndWithThreeIndexes) {
+  QueryRig rig;
+  for (int i = 0; i < 4; ++i) {
+    chain::Block blk = rig.NextBlock();
+    auto certs = rig.ci->ProcessBlockAugmented(blk);
+    ASSERT_TRUE(certs.ok()) << "block " << i << ": " << certs.message();
+    ASSERT_EQ(certs.value().size(), 3u);
+  }
+  // Augmented: one (heavy) Ecall per index, no separate block cert.
+  EXPECT_EQ(rig.ci->LastTiming().ecalls, 3u);
+  EXPECT_FALSE(rig.ci->LatestCert().has_value());
+}
+
+TEST(HistoricalQueryTest, WindowQueryVerifies) {
+  QueryRig rig;
+  for (int i = 0; i < 10; ++i) {
+    auto certs = rig.ci->ProcessBlockHierarchical(rig.NextBlock());
+    ASSERT_TRUE(certs.ok()) << certs.message();
+  }
+  Hash256 digest = rig.hist->CurrentDigest();
+
+  // Collect the ground truth from the chain itself.
+  std::map<std::uint64_t, std::vector<HistoricalVersion>> truth;
+  for (const chain::Block& blk : rig.blocks) {
+    for (const HistEntry& e : ExtractHistoricalWrites(blk)) {
+      truth[e.account_word].push_back(
+          {e.version, VersionHeight(e.version), e.value_word});
+    }
+  }
+
+  int verified_nonempty = 0;
+  for (const auto& [account, versions] : truth) {
+    HistoricalQueryProof proof = rig.hist->Query(account, 1, 10);
+    auto result = HistoricalIndex::VerifyQuery(digest, account, 1, 10, proof);
+    ASSERT_TRUE(result.ok()) << "account " << account << ": " << result.message();
+    EXPECT_EQ(result.value(), versions) << "account " << account;
+    if (!versions.empty()) ++verified_nonempty;
+  }
+  EXPECT_GT(verified_nonempty, 0);
+
+  // Unknown account: provably empty.
+  HistoricalQueryProof proof = rig.hist->Query(424242, 1, 10);
+  auto result = HistoricalIndex::VerifyQuery(digest, 424242, 1, 10, proof);
+  ASSERT_TRUE(result.ok()) << result.message();
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(HistoricalQueryTest, SubWindowReturnsOnlyThoseBlocks) {
+  QueryRig rig;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rig.ci->ProcessBlockHierarchical(rig.NextBlock()).ok());
+  }
+  Hash256 digest = rig.hist->CurrentDigest();
+  // Find an account with versions in several blocks.
+  for (std::uint64_t account = 0; account < 10; ++account) {
+    HistoricalQueryProof proof = rig.hist->Query(account, 3, 5);
+    auto result = HistoricalIndex::VerifyQuery(digest, account, 3, 5, proof);
+    ASSERT_TRUE(result.ok()) << result.message();
+    for (const HistoricalVersion& v : result.value()) {
+      EXPECT_GE(v.block_height, 3u);
+      EXPECT_LE(v.block_height, 5u);
+    }
+  }
+}
+
+TEST(HistoricalQueryTest, TamperedProofsRejected) {
+  QueryRig rig;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.ci->ProcessBlockHierarchical(rig.NextBlock()).ok());
+  }
+  Hash256 digest = rig.hist->CurrentDigest();
+  // Find a non-empty account.
+  std::uint64_t account = 0;
+  for (; account < 10; ++account) {
+    auto r = HistoricalIndex::VerifyQuery(digest, account, 1, 5,
+                                          rig.hist->Query(account, 1, 5));
+    if (r.ok() && !r.value().empty()) break;
+  }
+  ASSERT_LT(account, 10u);
+
+  // Lying about the lower root: rejected.
+  HistoricalQueryProof bad_root = rig.hist->Query(account, 1, 5);
+  bad_root.lower_root[0] ^= 1;
+  EXPECT_FALSE(
+      HistoricalIndex::VerifyQuery(digest, account, 1, 5, bad_root).ok());
+
+  // Stale digest (an older certified state) no longer matches.
+  Hash256 wrong_digest = digest;
+  wrong_digest[1] ^= 1;
+  EXPECT_FALSE(HistoricalIndex::VerifyQuery(wrong_digest, account, 1, 5,
+                                            rig.hist->Query(account, 1, 5))
+                   .ok());
+
+  // Proof for the wrong account: rejected.
+  HistoricalQueryProof other = rig.hist->Query(account + 1, 1, 5);
+  EXPECT_FALSE(HistoricalIndex::VerifyQuery(digest, account, 1, 5, other).ok());
+}
+
+TEST(HistoricalQueryTest, ProofSerializationRoundTrip) {
+  QueryRig rig;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rig.ci->ProcessBlockHierarchical(rig.NextBlock()).ok());
+  }
+  Hash256 digest = rig.hist->CurrentDigest();
+  HistoricalQueryProof proof = rig.hist->Query(3, 1, 4);
+  auto decoded = HistoricalQueryProof::Deserialize(proof.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  auto direct = HistoricalIndex::VerifyQuery(digest, 3, 1, 4, proof);
+  auto roundtrip = HistoricalIndex::VerifyQuery(digest, 3, 1, 4, decoded.value());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(roundtrip.ok());
+  EXPECT_EQ(direct.value(), roundtrip.value());
+}
+
+TEST(LineageQueryTest, BaselineAgreesWithDcertIndex) {
+  QueryRig rig;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rig.ci->ProcessBlockHierarchical(rig.NextBlock()).ok());
+  }
+  Hash256 dcert_digest = rig.hist->CurrentDigest();
+  Hash256 lineage_digest = rig.lineage->CurrentDigest();
+
+  for (std::uint64_t account = 0; account < 10; ++account) {
+    auto a = HistoricalIndex::VerifyQuery(dcert_digest, account, 2, 6,
+                                          rig.hist->Query(account, 2, 6));
+    auto b = LineageIndex::VerifyQuery(lineage_digest, account, 2, 6,
+                                       rig.lineage->Query(account, 2, 6));
+    ASSERT_TRUE(a.ok()) << a.message();
+    ASSERT_TRUE(b.ok()) << b.message();
+    EXPECT_EQ(a.value(), b.value()) << "account " << account;
+  }
+}
+
+TEST(LineageQueryTest, TamperedProofRejected) {
+  QueryRig rig;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.ci->ProcessBlockHierarchical(rig.NextBlock()).ok());
+  }
+  Hash256 digest = rig.lineage->CurrentDigest();
+  std::uint64_t account = 0;
+  for (; account < 10; ++account) {
+    auto r = LineageIndex::VerifyQuery(digest, account, 1, 5,
+                                       rig.lineage->Query(account, 1, 5));
+    if (r.ok() && !r.value().empty()) break;
+  }
+  ASSERT_LT(account, 10u);
+  LineageQueryProof proof = rig.lineage->Query(account, 1, 5);
+  ASSERT_FALSE(proof.range_proof.visited.empty());
+  bool mutated = false;
+  for (auto& rec : proof.range_proof.visited) {
+    if (rec.value) {
+      (*rec.value)[0] ^= 1;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  EXPECT_FALSE(LineageIndex::VerifyQuery(digest, account, 1, 5, proof).ok());
+}
+
+TEST(KeywordQueryTest, ConjunctiveQueryVerifies) {
+  QueryRig rig;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.ci->ProcessBlockHierarchical(rig.NextBlock()).ok());
+  }
+  Hash256 digest = rig.keyword->CurrentDigest();
+
+  // "All KV put transactions" = c3000 AND op0.
+  std::vector<std::string> keywords{"c3000", "op0"};
+  auto proof = rig.keyword->Query(keywords);
+  auto result = KeywordIndex::VerifyQuery(digest, keywords, proof);
+  ASSERT_TRUE(result.ok()) << result.message();
+
+  std::size_t expected = 0;
+  for (const chain::Block& blk : rig.blocks) {
+    expected += ExtractHistoricalWrites(blk).size();  // puts == historical entries
+  }
+  EXPECT_EQ(result.value().size(), expected);
+
+  // Hiding a result breaks verification.
+  auto bad = proof;
+  ASSERT_FALSE(bad.postings["op0"].empty());
+  bad.postings["op0"].pop_back();
+  EXPECT_FALSE(KeywordIndex::VerifyQuery(digest, keywords, bad).ok());
+}
+
+TEST(IndexSecurityTest, EnclaveRejectsTamperedIndexUpdate) {
+  // Drive AugmentedSigGen directly with a corrupted aux proof.
+  QueryRig rig;
+  chain::Block b1 = rig.NextBlock();
+  ASSERT_TRUE(rig.ci->ProcessBlockHierarchical(b1).ok());
+  chain::Block b2 = rig.NextBlock();
+
+  core::EnclaveConfig ec;
+  ec.genesis_hash = chain::MakeGenesisBlock(rig.config).header.Hash();
+  ec.registry_digest = rig.registry->Digest();
+  ec.difficulty_bits = rig.config.difficulty_bits;
+  core::CertEnclaveProgram program(ec, rig.registry, StrBytes("test-key"));
+
+  chain::FullNode replay_node(rig.config, rig.registry);
+  ASSERT_TRUE(replay_node.SubmitBlock(b1).ok());
+  auto exec = chain::ExecuteBlockTxs(b2.txs, *rig.registry, replay_node.State());
+  ASSERT_TRUE(exec.ok());
+  core::StateUpdateProof proof = core::BuildStateUpdateProof(
+      exec.value().reads, exec.value().writes, replay_node.State());
+
+  // A fresh historical index replaying b1 then b2 (like an honest SP).
+  HistoricalIndex honest("h2");
+  Bytes aux1 = honest.ApplyBlockCapturingAux(b1);
+  Hash256 digest_after_b1 = honest.CurrentDigest();
+  Bytes aux2 = honest.ApplyBlockCapturingAux(b2);
+
+  HistoricalIndexVerifier verifier;
+  // Honest aux verifies (no prev cert needed when prev digest chain starts
+  // at genesis — use the verifier directly).
+  auto d1 = verifier.ApplyUpdate(verifier.GenesisDigest(), aux1, b1);
+  ASSERT_TRUE(d1.ok()) << d1.message();
+  EXPECT_EQ(d1.value(), digest_after_b1);
+  auto d2 = verifier.ApplyUpdate(d1.value(), aux2, b2);
+  ASSERT_TRUE(d2.ok()) << d2.message();
+  EXPECT_EQ(d2.value(), honest.CurrentDigest());
+
+  // Corrupted aux: rejected.
+  if (!aux2.empty()) {
+    Bytes corrupted = aux2;
+    corrupted[corrupted.size() / 2] ^= 1;
+    auto bad = verifier.ApplyUpdate(d1.value(), corrupted, b2);
+    // Either a parse failure or a digest mismatch downstream — both rejections.
+    if (bad.ok()) {
+      EXPECT_NE(bad.value(), honest.CurrentDigest());
+    }
+  }
+
+  // Aux for the wrong block: rejected.
+  auto wrong_block = verifier.ApplyUpdate(d1.value(), aux1, b2);
+  if (wrong_block.ok()) {
+    EXPECT_NE(wrong_block.value(), honest.CurrentDigest());
+  }
+}
+
+}  // namespace
+}  // namespace dcert::query

@@ -1,0 +1,262 @@
+// General stateless MB-tree inserts and the certified payment-range index.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+#include "dcert/issuer.h"
+#include "mht/mbtree.h"
+#include "query/range_index.h"
+#include "workloads/workloads.h"
+
+namespace dcert::mht {
+namespace {
+
+Bytes Val(std::uint64_t k) { return StrBytes("v-" + std::to_string(k)); }
+
+TEST(MbInsertTest, ApplyInsertMatchesInsertRandomOrder) {
+  Rng rng(77);
+  MbTree tree;
+  Hash256 root = MbTree::EmptyRoot();
+  std::set<std::uint64_t> used;
+  for (int i = 0; i < 300; ++i) {
+    std::uint64_t key;
+    do {
+      key = rng.NextBelow(100'000);
+    } while (!used.insert(key).second);
+    MbAppendProof proof = tree.ProveInsert(key);
+    Bytes value = Val(key);
+    auto predicted = MbTree::ApplyInsert(root, proof, key,
+                                         crypto::Sha256::Digest(value),
+                                         MbValueWord(value));
+    ASSERT_TRUE(predicted.ok()) << "i=" << i << ": " << predicted.message();
+    tree.Insert(key, value);
+    ASSERT_EQ(predicted.value(), tree.Root()) << "i=" << i;
+    root = predicted.value();
+  }
+  EXPECT_EQ(tree.Size(), 300u);
+}
+
+TEST(MbInsertTest, DuplicateKeyRejected) {
+  MbTree tree;
+  tree.Insert(5, Val(5));
+  tree.Insert(9, Val(9));
+  MbAppendProof proof = tree.ProveInsert(5);
+  EXPECT_FALSE(MbTree::ApplyInsert(tree.Root(), proof, 5,
+                                   crypto::Sha256::Digest(Val(5)), 0)
+                   .ok());
+}
+
+TEST(MbInsertTest, WrongPathRejected) {
+  MbTree tree;
+  for (std::uint64_t k = 0; k < 64; ++k) tree.Insert(k * 10, Val(k));
+  // A proof for a different key's path must not validate for this key when
+  // the canonical descent differs.
+  MbAppendProof wrong_path = tree.ProveInsert(5);    // leftmost area
+  auto result = MbTree::ApplyInsert(tree.Root(), wrong_path, 635,
+                                    crypto::Sha256::Digest(Val(635)), 0);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MbInsertTest, TamperedProofRejected) {
+  MbTree tree;
+  for (std::uint64_t k = 0; k < 40; ++k) tree.Insert(k * 3 + 1, Val(k));
+  MbAppendProof proof = tree.ProveInsert(50);
+  ASSERT_FALSE(proof.root->is_leaf);
+  for (auto& c : proof.root->children) {
+    if (!c.node) {
+      c.hash[0] ^= 1;
+      break;
+    }
+  }
+  EXPECT_FALSE(MbTree::ApplyInsert(tree.Root(), proof, 50,
+                                   crypto::Sha256::Digest(Val(50)), 0)
+                   .ok());
+}
+
+TEST(MbInsertTest, InsertIntoEmptyTree) {
+  MbTree tree;
+  MbAppendProof proof = tree.ProveInsert(42);
+  Bytes value = Val(42);
+  auto predicted = MbTree::ApplyInsert(MbTree::EmptyRoot(), proof, 42,
+                                       crypto::Sha256::Digest(value),
+                                       MbValueWord(value));
+  ASSERT_TRUE(predicted.ok()) << predicted.message();
+  tree.Insert(42, value);
+  EXPECT_EQ(predicted.value(), tree.Root());
+}
+
+}  // namespace
+}  // namespace dcert::mht
+
+namespace dcert::query {
+namespace {
+
+using workloads::AccountPool;
+using workloads::ContractId;
+using workloads::Workload;
+
+struct PaymentRig {
+  chain::ChainConfig config;
+  std::shared_ptr<const chain::ContractRegistry> registry;
+  std::unique_ptr<core::CertificateIssuer> ci;
+  std::unique_ptr<chain::FullNode> miner_node;
+  std::unique_ptr<chain::Miner> miner;
+  AccountPool pool{4, 606};
+  std::shared_ptr<RangeIndex> index = std::make_shared<RangeIndex>();
+  std::vector<PaymentRecord> ground_truth;
+
+  PaymentRig() {
+    config.difficulty_bits = 2;
+    registry = workloads::MakeBlockbenchRegistry(1);
+    ci = std::make_unique<core::CertificateIssuer>(config, registry);
+    miner_node = std::make_unique<chain::FullNode>(config, registry);
+    miner = std::make_unique<chain::Miner>(*miner_node);
+    ci->AttachIndex(index);
+  }
+
+  /// One block: fund the sources, then issue payments with given amounts.
+  void RunPaymentBlock(const std::vector<std::uint64_t>& amounts) {
+    std::uint64_t sb = ContractId(Workload::kSmallBank, 0);
+    std::vector<chain::Transaction> txs;
+    for (std::size_t i = 0; i < amounts.size(); ++i) {
+      // Deposit enough first so the payment succeeds.
+      txs.push_back(pool.MakeTx(0, sb, {1, i, amounts[i] + 10}));
+    }
+    const std::size_t first_payment = txs.size();
+    for (std::size_t i = 0; i < amounts.size(); ++i) {
+      txs.push_back(pool.MakeTx(1, sb, {3, i, 99, amounts[i]}));
+    }
+    auto block = miner->MineBlock(std::move(txs), 100 + miner_node->Height());
+    ASSERT_TRUE(block.ok()) << block.message();
+    ASSERT_TRUE(miner_node->SubmitBlock(block.value()).ok());
+    auto certs = ci->ProcessBlockHierarchical(block.value());
+    ASSERT_TRUE(certs.ok()) << certs.message();
+    for (std::size_t i = 0; i < amounts.size(); ++i) {
+      PaymentRecord rec;
+      rec.amount = amounts[i];
+      rec.src = i;
+      rec.dst = 99;
+      rec.block_height = block.value().header.height;
+      rec.tx_index = static_cast<std::uint32_t>(first_payment + i);
+      ground_truth.push_back(rec);
+    }
+  }
+};
+
+TEST(RangeIndexTest, CertifiedRangeQueryReturnsExactPayments) {
+  PaymentRig rig;
+  rig.RunPaymentBlock({50, 120, 75, 300});
+  rig.RunPaymentBlock({10, 85, 200});
+  rig.RunPaymentBlock({60, 60, 999});
+  Hash256 digest = rig.index->CurrentDigest();
+  EXPECT_EQ(rig.index->PaymentCount(), rig.ground_truth.size());
+
+  auto proof = rig.index->Query(50, 100);
+  auto result = RangeIndex::VerifyQuery(digest, 50, 100, proof);
+  ASSERT_TRUE(result.ok()) << result.message();
+  std::multiset<std::uint64_t> got;
+  for (const PaymentRecord& rec : result.value()) {
+    EXPECT_GE(rec.amount, 50u);
+    EXPECT_LE(rec.amount, 100u);
+    got.insert(rec.amount);
+  }
+  std::multiset<std::uint64_t> expected;
+  for (const PaymentRecord& rec : rig.ground_truth) {
+    if (rec.amount >= 50 && rec.amount <= 100) expected.insert(rec.amount);
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(got.size(), 5u);  // 50, 75, 85, 60, 60
+}
+
+TEST(RangeIndexTest, AggregateVolumeVerifies) {
+  PaymentRig rig;
+  rig.RunPaymentBlock({50, 120, 75, 300});
+  rig.RunPaymentBlock({10, 85, 200});
+  Hash256 digest = rig.index->CurrentDigest();
+
+  auto proof = rig.index->AggregateQuery(0, 1'000'000);
+  auto agg = RangeIndex::VerifyAggregate(digest, 0, 1'000'000, proof);
+  ASSERT_TRUE(agg.ok()) << agg.message();
+  std::uint64_t total = 0;
+  for (const PaymentRecord& rec : rig.ground_truth) total += rec.amount;
+  EXPECT_EQ(agg.value().count, rig.ground_truth.size());
+  EXPECT_EQ(agg.value().sum, total);
+
+  auto window = RangeIndex::VerifyAggregate(digest, 100, 400,
+                                            rig.index->AggregateQuery(100, 400));
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window.value().count, 3u);  // 120, 300, 200
+  EXPECT_EQ(window.value().sum, 620u);
+}
+
+TEST(RangeIndexTest, TamperedAndIncompleteResultsRejected) {
+  PaymentRig rig;
+  rig.RunPaymentBlock({50, 120, 75, 300, 90, 42});
+  Hash256 digest = rig.index->CurrentDigest();
+
+  // Drop a result.
+  auto dropped = rig.index->Query(40, 130);
+  std::function<bool(mht::MbProofNode*)> drop = [&](mht::MbProofNode* node) {
+    if (node->is_leaf) {
+      for (std::size_t i = 0; i < node->entries.size(); ++i) {
+        if (node->entries[i].value) {
+          node->entries.erase(node->entries.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+          return true;
+        }
+      }
+      return false;
+    }
+    for (auto& c : node->children) {
+      if (c.node && drop(c.node.get())) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(drop(dropped.root.get()));
+  EXPECT_FALSE(RangeIndex::VerifyQuery(digest, 40, 130, dropped).ok());
+
+  // Wrong digest.
+  Hash256 wrong = digest;
+  wrong[0] ^= 1;
+  EXPECT_FALSE(
+      RangeIndex::VerifyQuery(wrong, 40, 130, rig.index->Query(40, 130)).ok());
+}
+
+TEST(RangeIndexTest, EnclaveRejectsTamperedAux) {
+  // Drive the verifier directly with corrupted aux material.
+  PaymentRig rig;
+  rig.RunPaymentBlock({50, 120});
+
+  RangeIndex honest("h");
+  RangeIndexVerifier verifier;
+  Hash256 digest = verifier.GenesisDigest();
+  // Replay the chain's blocks through a fresh index, checking each step.
+  for (std::uint64_t h = 1; h <= rig.miner_node->Height(); ++h) {
+    const chain::Block& blk = rig.miner_node->GetBlock(h);
+    Bytes aux = honest.ApplyBlockCapturingAux(blk);
+    auto next = verifier.ApplyUpdate(digest, aux, blk);
+    ASSERT_TRUE(next.ok()) << next.message();
+    digest = next.value();
+
+    Bytes corrupted = aux;
+    if (!corrupted.empty()) {
+      corrupted[corrupted.size() / 2] ^= 1;
+      auto bad = verifier.ApplyUpdate(digest, corrupted, blk);
+      if (bad.ok()) {
+        EXPECT_NE(bad.value(), digest);
+      }
+    }
+  }
+  EXPECT_EQ(digest, honest.CurrentDigest());
+  EXPECT_EQ(digest, rig.index->CurrentDigest());
+}
+
+TEST(RangeIndexTest, PaymentKeyLayout) {
+  EXPECT_LT(PaymentKey(5, 1, 0), PaymentKey(6, 0, 0));   // amount dominates
+  EXPECT_LT(PaymentKey(5, 1, 0), PaymentKey(5, 2, 0));   // then height
+  EXPECT_LT(PaymentKey(5, 1, 0), PaymentKey(5, 1, 1));   // then tx index
+  EXPECT_NE(PaymentKey(5, 1, 0), PaymentKey(5, 1, 1));
+}
+
+}  // namespace
+}  // namespace dcert::query

@@ -1,0 +1,144 @@
+// Group-law tests for the secp256k1 implementation.
+#include "crypto/secp256k1.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcert::crypto {
+namespace {
+
+U256 RandomScalar(Rng& rng) {
+  return Curve().Fn().Reduce(
+      U256(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64()));
+}
+
+TEST(Secp256k1Test, GeneratorOnCurve) {
+  EXPECT_TRUE(Generator().IsOnCurve());
+}
+
+TEST(Secp256k1Test, KnownMultiplesOfG) {
+  // 2G from the standard tables.
+  AffinePoint two_g = ScalarMulBase(U256(2)).ToAffine();
+  EXPECT_EQ(two_g.x.ToHex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(two_g.y.ToHex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+  // 3G.
+  AffinePoint three_g = ScalarMulBase(U256(3)).ToAffine();
+  EXPECT_EQ(three_g.x.ToHex(),
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9");
+  EXPECT_EQ(three_g.y.ToHex(),
+            "388f7b0f632de8140fe337e62a37f3566500a99934c2231b6cb9fd7584b8e672");
+}
+
+TEST(Secp256k1Test, OrderTimesGIsInfinity) {
+  EXPECT_TRUE(ScalarMulBase(Curve().N()).IsInfinity());
+  std::uint64_t borrow = 0;
+  U256 n_minus_1 = Sub(Curve().N(), U256(1), borrow);
+  // (n-1)G = -G.
+  AffinePoint neg_g = ScalarMulBase(n_minus_1).ToAffine();
+  EXPECT_EQ(neg_g.x, Generator().x);
+  EXPECT_EQ(neg_g.y, Curve().Fp().Neg(Generator().y));
+}
+
+TEST(Secp256k1Test, AdditionMatchesScalarArithmetic) {
+  // aG + bG == (a+b)G.
+  Rng rng(50);
+  for (int i = 0; i < 10; ++i) {
+    U256 a = RandomScalar(rng);
+    U256 b = RandomScalar(rng);
+    JacobianPoint lhs = AddJacobian(ScalarMulBase(a), ScalarMulBase(b));
+    U256 sum = Curve().Fn().Add(a, b);
+    JacobianPoint rhs = ScalarMulBase(sum);
+    EXPECT_EQ(lhs.ToAffine(), rhs.ToAffine());
+  }
+}
+
+TEST(Secp256k1Test, DoublingMatchesAddition) {
+  Rng rng(51);
+  U256 k = RandomScalar(rng);
+  JacobianPoint p = ScalarMulBase(k);
+  EXPECT_EQ(Double(p).ToAffine(), AddJacobian(p, p).ToAffine());
+}
+
+TEST(Secp256k1Test, AddInverseGivesInfinity) {
+  JacobianPoint g = JacobianPoint::FromAffine(Generator());
+  AffinePoint neg = {Generator().x, Curve().Fp().Neg(Generator().y), false};
+  EXPECT_TRUE(AddMixed(g, neg).IsInfinity());
+}
+
+TEST(Secp256k1Test, InfinityIsIdentity) {
+  JacobianPoint inf = JacobianPoint::Infinity();
+  JacobianPoint g = JacobianPoint::FromAffine(Generator());
+  EXPECT_EQ(AddJacobian(inf, g).ToAffine(), Generator());
+  EXPECT_EQ(AddJacobian(g, inf).ToAffine(), Generator());
+  EXPECT_TRUE(Double(inf).IsInfinity());
+  EXPECT_TRUE(AddJacobian(inf, inf).IsInfinity());
+}
+
+TEST(Secp256k1Test, ScalarMulZeroAndInfinity) {
+  EXPECT_TRUE(ScalarMulBase(U256(0)).IsInfinity());
+  AffinePoint inf{U256(0), U256(0), true};
+  EXPECT_TRUE(ScalarMul(U256(5), inf).IsInfinity());
+}
+
+TEST(Secp256k1Test, ScalarMulAssociativity) {
+  // (a*b)G == a*(bG).
+  Rng rng(52);
+  U256 a = RandomScalar(rng);
+  U256 b = RandomScalar(rng);
+  U256 ab = Curve().Fn().Mul(a, b);
+  AffinePoint lhs = ScalarMulBase(ab).ToAffine();
+  AffinePoint bg = ScalarMulBase(b).ToAffine();
+  AffinePoint rhs = ScalarMul(a, bg).ToAffine();
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Secp256k1Test, DoubleScalarMulMatchesSeparate) {
+  Rng rng(53);
+  for (int i = 0; i < 5; ++i) {
+    U256 a = RandomScalar(rng);
+    U256 b = RandomScalar(rng);
+    U256 k = RandomScalar(rng);
+    AffinePoint p = ScalarMulBase(k).ToAffine();
+    AffinePoint combined = DoubleScalarMul(a, b, p).ToAffine();
+    AffinePoint separate =
+        AddJacobian(ScalarMulBase(a), ScalarMul(b, p)).ToAffine();
+    EXPECT_EQ(combined, separate);
+  }
+}
+
+TEST(Secp256k1Test, SerializeRoundTrip) {
+  Rng rng(54);
+  AffinePoint p = ScalarMulBase(RandomScalar(rng)).ToAffine();
+  Bytes encoded = p.Serialize();
+  ASSERT_EQ(encoded.size(), 64u);
+  auto decoded = AffinePoint::Deserialize(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+}
+
+TEST(Secp256k1Test, DeserializeRejectsOffCurve) {
+  Bytes bad(64, 0x01);
+  EXPECT_FALSE(AffinePoint::Deserialize(bad).has_value());
+  Bytes wrong_size(63, 0);
+  EXPECT_FALSE(AffinePoint::Deserialize(wrong_size).has_value());
+}
+
+TEST(Secp256k1Test, DeserializeRejectsCoordinatesAboveP) {
+  AffinePoint p = Generator();
+  Bytes encoded = p.Serialize();
+  // Overwrite x with p (the field prime) which is >= p and must be rejected.
+  Bytes pbytes = Curve().P().ToBytesBE();
+  std::copy(pbytes.begin(), pbytes.end(), encoded.begin());
+  EXPECT_FALSE(AffinePoint::Deserialize(encoded).has_value());
+}
+
+TEST(Secp256k1Test, SerializeInfinityThrows) {
+  AffinePoint inf{U256(0), U256(0), true};
+  EXPECT_THROW(inf.Serialize(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dcert::crypto

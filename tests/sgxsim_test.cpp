@@ -1,0 +1,134 @@
+// SGX simulator: measurement, attestation, sealing, Ecall cost accounting.
+#include <gtest/gtest.h>
+
+#include "sgxsim/attestation.h"
+#include "sgxsim/cost_model.h"
+#include "sgxsim/enclave.h"
+
+namespace dcert::sgxsim {
+namespace {
+
+TEST(MeasurementTest, DeterministicAndIdentitySensitive) {
+  Hash256 a = ComputeMeasurement("prog", "1.0");
+  EXPECT_EQ(a, ComputeMeasurement("prog", "1.0"));
+  EXPECT_NE(a, ComputeMeasurement("prog", "1.1"));     // version change
+  EXPECT_NE(a, ComputeMeasurement("other", "1.0"));    // program change
+}
+
+TEST(AttestationTest, ReportRoundTrip) {
+  Enclave enclave("prog", "1.0");
+  Quote quote = enclave.MakeQuote(Hash256::FromHex(std::string(64, 'a')));
+  AttestationReport report = AttestationService::Attest(quote);
+  EXPECT_TRUE(AttestationService::VerifyReport(report).ok());
+  EXPECT_EQ(report.quote, quote);
+}
+
+TEST(AttestationTest, ForgedReportRejected) {
+  Enclave enclave("prog", "1.0");
+  AttestationReport report =
+      AttestationService::Attest(enclave.MakeQuote(Hash256()));
+
+  AttestationReport bad_measurement = report;
+  bad_measurement.quote.measurement[0] ^= 1;
+  EXPECT_FALSE(AttestationService::VerifyReport(bad_measurement).ok());
+
+  AttestationReport bad_data = report;
+  bad_data.quote.report_data[0] ^= 1;
+  EXPECT_FALSE(AttestationService::VerifyReport(bad_data).ok());
+
+  AttestationReport bad_sig = report;
+  bad_sig.ias_signature.s = crypto::Curve().Fn().Add(bad_sig.ias_signature.s,
+                                                     crypto::U256(1));
+  EXPECT_FALSE(AttestationService::VerifyReport(bad_sig).ok());
+}
+
+TEST(AttestationTest, SerializationRoundTrip) {
+  Enclave enclave("prog", "2.0");
+  AttestationReport report =
+      AttestationService::Attest(enclave.MakeQuote(Hash256()));
+  auto decoded = AttestationReport::Deserialize(report.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), report);
+  EXPECT_TRUE(AttestationService::VerifyReport(decoded.value()).ok());
+}
+
+TEST(SealingTest, RoundTrip) {
+  Enclave enclave("prog", "1.0");
+  Bytes secret = StrBytes("the enclave signing key");
+  Bytes sealed = enclave.Seal(secret);
+  EXPECT_NE(sealed, secret);
+  auto unsealed = enclave.Unseal(sealed);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(unsealed.value(), secret);
+}
+
+TEST(SealingTest, DifferentMeasurementCannotUnseal) {
+  Enclave a("prog", "1.0");
+  Enclave b("prog", "2.0");
+  Bytes sealed = a.Seal(StrBytes("secret"));
+  EXPECT_FALSE(b.Unseal(sealed).ok());
+}
+
+TEST(SealingTest, TamperedBlobRejected) {
+  Enclave enclave("prog", "1.0");
+  Bytes sealed = enclave.Seal(StrBytes("secret"));
+  sealed[sealed.size() / 2] ^= 1;
+  EXPECT_FALSE(enclave.Unseal(sealed).ok());
+  Bytes truncated(sealed.begin(), sealed.end() - 1);
+  EXPECT_FALSE(enclave.Unseal(truncated).ok());
+}
+
+TEST(EcallTest, AccountingCountsCallsAndBytes) {
+  Enclave enclave("prog", "1.0");
+  int result = enclave.Ecall(1000, [] { return 41 + 1; });
+  EXPECT_EQ(result, 42);
+  enclave.Ecall(2000, [] {});
+  EXPECT_EQ(enclave.Costs().ecalls(), 2u);
+  EXPECT_EQ(enclave.Costs().total_input_bytes(), 3000u);
+}
+
+TEST(CostModelTest, ModeledTimeIncludesTransitions) {
+  CostModelParams params;
+  params.ecall_transition_ns = 10'000;
+  params.in_enclave_slowdown = 2.0;
+  CostAccounting acc(params);
+  acc.RecordEcall(/*wall_ns=*/100'000, /*input_bytes=*/1024);
+  EXPECT_EQ(acc.ModeledEnclaveTimeNs(), 100'000 * 2 + 10'000);
+  EXPECT_EQ(acc.ModeledOverheadNs(), 100'000 + 10'000);
+}
+
+TEST(CostModelTest, PagingKicksInAboveEpcLimit) {
+  CostModelParams params;
+  params.epc_limit_bytes = 4096 * 10;
+  params.paging_ns_per_page = 1000;
+  params.ecall_transition_ns = 0;
+  params.in_enclave_slowdown = 1.0;
+  CostAccounting acc(params);
+  acc.RecordEcall(0, params.epc_limit_bytes + 4096 * 3);
+  EXPECT_EQ(acc.paged_pages(), 3u);
+  EXPECT_EQ(acc.ModeledEnclaveTimeNs(), 3000u);
+
+  acc.RecordEcall(0, params.epc_limit_bytes);  // exactly at the limit: no paging
+  EXPECT_EQ(acc.paged_pages(), 3u);
+}
+
+TEST(CostModelTest, NativeModelAddsNothing) {
+  CostAccounting acc(CostModelParams::Native());
+  acc.RecordEcall(50'000, 1 << 20);
+  EXPECT_EQ(acc.ModeledEnclaveTimeNs(), 50'000u);
+  EXPECT_EQ(acc.ModeledOverheadNs(), 0u);
+}
+
+TEST(CostModelTest, ResetClearsCounters) {
+  CostAccounting acc(CostModelParams{});
+  acc.RecordEcall(1000, 100);
+  acc.RecordOcall();
+  acc.Reset();
+  EXPECT_EQ(acc.ecalls(), 0u);
+  EXPECT_EQ(acc.ocalls(), 0u);
+  EXPECT_EQ(acc.wall_ns(), 0u);
+  EXPECT_EQ(acc.ModeledEnclaveTimeNs(), 0u);
+}
+
+}  // namespace
+}  // namespace dcert::sgxsim

@@ -1,0 +1,117 @@
+// SHA-256 and HMAC-SHA256 against published test vectors (FIPS 180-4 / RFC 4231).
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dcert::crypto {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::Digest({}).ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::Digest(StrBytes("abc")).ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::Digest(StrBytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .ToHex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(StrBytes(chunk));
+  EXPECT_EQ(ctx.Finalize().ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.Update(StrBytes(msg.substr(0, split)));
+    ctx.Update(StrBytes(msg.substr(split)));
+    EXPECT_EQ(ctx.Finalize(), Sha256::Digest(StrBytes(msg))) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // Messages of length 55, 56, 63, 64, 65 exercise every padding branch.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 a;
+    a.Update(StrBytes(msg));
+    Hash256 streamed = a.Finalize();
+    EXPECT_EQ(streamed, Sha256::Digest(StrBytes(msg))) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, Digest2IsConcatenation) {
+  Bytes a = StrBytes("hello ");
+  Bytes b = StrBytes("world");
+  EXPECT_EQ(Sha256::Digest2(a, b), Sha256::Digest(StrBytes("hello world")));
+}
+
+TEST(Sha256Test, FinalizeTwiceThrows) {
+  Sha256 ctx;
+  ctx.Update(StrBytes("x"));
+  ctx.Finalize();
+  EXPECT_THROW(ctx.Finalize(), std::logic_error);
+  EXPECT_THROW(ctx.Update(StrBytes("y")), std::logic_error);
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 ctx;
+  ctx.Update(StrBytes("abc"));
+  ctx.Finalize();
+  ctx.Reset();
+  ctx.Update(StrBytes("abc"));
+  EXPECT_EQ(ctx.Finalize().ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HmacSha256(key, StrBytes("Hi There")).ToHex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(HmacSha256(StrBytes("Jefe"), StrBytes("what do ya want for nothing?")).ToHex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(HmacSha256Test, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(HmacSha256(key, data).ToHex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size gets hashed first.
+TEST(HmacSha256Test, LongKeyIsHashed) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      HmacSha256(key, StrBytes("Test Using Larger Than Block-Size Key - Hash Key First"))
+          .ToHex(),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, DifferentKeysDiffer) {
+  EXPECT_NE(HmacSha256(StrBytes("k1"), StrBytes("m")),
+            HmacSha256(StrBytes("k2"), StrBytes("m")));
+}
+
+}  // namespace
+}  // namespace dcert::crypto

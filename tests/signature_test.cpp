@@ -1,0 +1,126 @@
+// Schnorr signature tests: correctness, determinism, and forgery rejection.
+#include "crypto/signature.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace dcert::crypto {
+namespace {
+
+Hash256 Msg(std::string_view s) { return Sha256::Digest(StrBytes(s)); }
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+  SecretKey sk = SecretKey::FromSeed(StrBytes("seed-1"));
+  Hash256 m = Msg("hello dcert");
+  Signature sig = sk.Sign(m);
+  EXPECT_TRUE(Verify(sk.Public(), m, sig));
+}
+
+TEST(SignatureTest, SigningIsDeterministic) {
+  SecretKey sk = SecretKey::FromSeed(StrBytes("seed-2"));
+  Hash256 m = Msg("msg");
+  EXPECT_EQ(sk.Sign(m), sk.Sign(m));
+}
+
+TEST(SignatureTest, DifferentMessagesDifferentSignatures) {
+  SecretKey sk = SecretKey::FromSeed(StrBytes("seed-3"));
+  EXPECT_NE(sk.Sign(Msg("a")), sk.Sign(Msg("b")));
+}
+
+TEST(SignatureTest, WrongMessageRejected) {
+  SecretKey sk = SecretKey::FromSeed(StrBytes("seed-4"));
+  Signature sig = sk.Sign(Msg("genuine"));
+  EXPECT_FALSE(Verify(sk.Public(), Msg("forged"), sig));
+}
+
+TEST(SignatureTest, WrongKeyRejected) {
+  SecretKey sk1 = SecretKey::FromSeed(StrBytes("seed-5"));
+  SecretKey sk2 = SecretKey::FromSeed(StrBytes("seed-6"));
+  Hash256 m = Msg("msg");
+  EXPECT_FALSE(Verify(sk2.Public(), m, sk1.Sign(m)));
+}
+
+TEST(SignatureTest, TamperedSignatureRejected) {
+  SecretKey sk = SecretKey::FromSeed(StrBytes("seed-7"));
+  Hash256 m = Msg("msg");
+  Signature sig = sk.Sign(m);
+
+  Signature bad_r = sig;
+  bad_r.r = Curve().Fp().Add(bad_r.r, U256(1));
+  EXPECT_FALSE(Verify(sk.Public(), m, bad_r));
+
+  Signature bad_s = sig;
+  bad_s.s = Curve().Fn().Add(bad_s.s, U256(1));
+  EXPECT_FALSE(Verify(sk.Public(), m, bad_s));
+}
+
+TEST(SignatureTest, OutOfRangeComponentsRejected) {
+  SecretKey sk = SecretKey::FromSeed(StrBytes("seed-8"));
+  Hash256 m = Msg("msg");
+  Signature sig = sk.Sign(m);
+
+  Signature huge_r = sig;
+  huge_r.r = Curve().P();  // >= p
+  EXPECT_FALSE(Verify(sk.Public(), m, huge_r));
+
+  Signature huge_s = sig;
+  huge_s.s = Curve().N();  // >= n
+  EXPECT_FALSE(Verify(sk.Public(), m, huge_s));
+}
+
+TEST(SignatureTest, SerializeRoundTrip) {
+  SecretKey sk = SecretKey::FromSeed(StrBytes("seed-9"));
+  Hash256 m = Msg("serialize me");
+  Signature sig = sk.Sign(m);
+  Bytes encoded = sig.Serialize();
+  ASSERT_EQ(encoded.size(), 64u);
+  auto decoded = Signature::Deserialize(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, sig);
+  EXPECT_TRUE(Verify(sk.Public(), m, *decoded));
+}
+
+TEST(SignatureTest, DeserializeRejectsOutOfRange) {
+  Bytes all_ff(64, 0xff);
+  EXPECT_FALSE(Signature::Deserialize(all_ff).has_value());
+  Bytes short_buf(63, 0);
+  EXPECT_FALSE(Signature::Deserialize(short_buf).has_value());
+}
+
+TEST(SignatureTest, PublicKeySerializeRoundTrip) {
+  SecretKey sk = SecretKey::FromSeed(StrBytes("seed-10"));
+  Bytes encoded = sk.Public().Serialize();
+  ASSERT_EQ(encoded.size(), 64u);
+  auto decoded = PublicKey::Deserialize(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, sk.Public());
+}
+
+TEST(SignatureTest, SeedsProduceDistinctKeys) {
+  SecretKey a = SecretKey::FromSeed(StrBytes("alpha"));
+  SecretKey b = SecretKey::FromSeed(StrBytes("beta"));
+  EXPECT_NE(a.Public(), b.Public());
+  // Same seed reproduces the same key.
+  SecretKey a2 = SecretKey::FromSeed(StrBytes("alpha"));
+  EXPECT_EQ(a.Public(), a2.Public());
+}
+
+// Parameterized sweep: many (seed, message) combinations round-trip, and a
+// signature never validates under a different message or key.
+class SignatureSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignatureSweep, RoundTripAndCrossRejection) {
+  int i = GetParam();
+  SecretKey sk = SecretKey::FromSeed(StrBytes("sweep-seed-" + std::to_string(i)));
+  Hash256 m = Msg("sweep-msg-" + std::to_string(i));
+  Signature sig = sk.Sign(m);
+  EXPECT_TRUE(Verify(sk.Public(), m, sig));
+  Hash256 other = Msg("sweep-msg-" + std::to_string(i + 1));
+  EXPECT_FALSE(Verify(sk.Public(), other, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, SignatureSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dcert::crypto

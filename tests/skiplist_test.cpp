@@ -1,0 +1,210 @@
+// Authenticated skip list (LineageChain baseline): queries and appends.
+#include "mht/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/sha256.h"
+
+namespace dcert::mht {
+namespace {
+
+Bytes Val(std::uint64_t ts) { return StrBytes("v@" + std::to_string(ts)); }
+
+AuthSkipList Build(std::uint64_t n) {
+  AuthSkipList list;
+  for (std::uint64_t ts = 1; ts <= n; ++ts) list.Append(ts, Val(ts));
+  return list;
+}
+
+TEST(SkipListTest, HeightDeterministic) {
+  EXPECT_EQ(AuthSkipList::HeightOf(0), 1);   // i+1 = 1
+  EXPECT_EQ(AuthSkipList::HeightOf(1), 2);   // i+1 = 2
+  EXPECT_EQ(AuthSkipList::HeightOf(2), 1);   // i+1 = 3
+  EXPECT_EQ(AuthSkipList::HeightOf(3), 3);   // i+1 = 4
+  EXPECT_EQ(AuthSkipList::HeightOf(7), 4);   // i+1 = 8
+  EXPECT_EQ(AuthSkipList::HeightOf((1ull << 40) - 1), AuthSkipList::kMaxLevel);
+}
+
+TEST(SkipListTest, EmptyList) {
+  AuthSkipList list;
+  EXPECT_TRUE(list.Digest().IsZero());
+  EXPECT_EQ(list.Size(), 0u);
+  SkipRangeProof proof = list.QueryWithProof(1, 10);
+  auto results = AuthSkipList::VerifyQuery(list.Digest(), 1, 10, proof);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results.value().empty());
+  EXPECT_THROW(list.HeadRecord(), std::logic_error);
+}
+
+TEST(SkipListTest, AppendRejectsDecreasingTimestamps) {
+  AuthSkipList list;
+  list.Append(10, Val(10));
+  EXPECT_THROW(list.Append(9, Val(9)), std::invalid_argument);
+  list.Append(10, Val(10));  // equal is fine
+}
+
+TEST(SkipListTest, FullWindowQuery) {
+  AuthSkipList list = Build(20);
+  SkipRangeProof proof = list.QueryWithProof(1, 20);
+  auto results = AuthSkipList::VerifyQuery(list.Digest(), 1, 20, proof);
+  ASSERT_TRUE(results.ok()) << results.message();
+  ASSERT_EQ(results.value().size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(results.value()[i].timestamp, i + 1);
+    EXPECT_EQ(results.value()[i].value, Val(i + 1));
+  }
+}
+
+TEST(SkipListTest, DistantWindowUsesJumps) {
+  AuthSkipList list = Build(1000);
+  SkipRangeProof proof = list.QueryWithProof(100, 105);
+  auto results = AuthSkipList::VerifyQuery(list.Digest(), 100, 105, proof);
+  ASSERT_TRUE(results.ok()) << results.message();
+  ASSERT_EQ(results.value().size(), 6u);
+  EXPECT_EQ(results.value().front().timestamp, 100u);
+  EXPECT_EQ(results.value().back().timestamp, 105u);
+  // The seek phase must use tower jumps, not 900 single steps.
+  EXPECT_LT(proof.visited.size(), 100u);
+}
+
+TEST(SkipListTest, WindowBeyondNewestReturnsEmpty) {
+  AuthSkipList list = Build(10);
+  SkipRangeProof proof = list.QueryWithProof(100, 200);
+  auto results = AuthSkipList::VerifyQuery(list.Digest(), 100, 200, proof);
+  ASSERT_TRUE(results.ok()) << results.message();
+  EXPECT_TRUE(results.value().empty());
+}
+
+TEST(SkipListTest, WindowBeforeOldestReturnsEmpty) {
+  AuthSkipList list;
+  for (std::uint64_t ts = 100; ts <= 110; ++ts) list.Append(ts, Val(ts));
+  SkipRangeProof proof = list.QueryWithProof(1, 50);
+  auto results = AuthSkipList::VerifyQuery(list.Digest(), 1, 50, proof);
+  ASSERT_TRUE(results.ok()) << results.message();
+  EXPECT_TRUE(results.value().empty());
+}
+
+TEST(SkipListTest, TamperedValueRejected) {
+  AuthSkipList list = Build(50);
+  SkipRangeProof proof = list.QueryWithProof(10, 15);
+  bool mutated = false;
+  for (auto& rec : proof.visited) {
+    if (rec.value) {
+      (*rec.value)[0] ^= 1;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  EXPECT_FALSE(AuthSkipList::VerifyQuery(list.Digest(), 10, 15, proof).ok());
+}
+
+TEST(SkipListTest, DroppedResultRejected) {
+  AuthSkipList list = Build(50);
+  SkipRangeProof proof = list.QueryWithProof(10, 15);
+  // Remove one in-range record: the traversal chain breaks.
+  for (std::size_t i = 0; i < proof.visited.size(); ++i) {
+    if (proof.visited[i].value) {
+      proof.visited.erase(proof.visited.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  EXPECT_FALSE(AuthSkipList::VerifyQuery(list.Digest(), 10, 15, proof).ok());
+}
+
+TEST(SkipListTest, WrongDigestRejected) {
+  AuthSkipList list = Build(30);
+  SkipRangeProof proof = list.QueryWithProof(5, 10);
+  Hash256 wrong = list.Digest();
+  wrong[2] ^= 1;
+  EXPECT_FALSE(AuthSkipList::VerifyQuery(wrong, 5, 10, proof).ok());
+}
+
+TEST(SkipListTest, TamperedTimestampRejected) {
+  AuthSkipList list = Build(30);
+  SkipRangeProof proof = list.QueryWithProof(5, 10);
+  ASSERT_FALSE(proof.visited.empty());
+  proof.visited[0].timestamp += 1;
+  EXPECT_FALSE(AuthSkipList::VerifyQuery(list.Digest(), 5, 10, proof).ok());
+}
+
+TEST(SkipListTest, ApplyAppendMatchesInMemoryAppend) {
+  AuthSkipList list;
+  Hash256 digest;  // zero = empty
+  for (std::uint64_t ts = 1; ts <= 64; ++ts) {
+    std::optional<SkipNodeRecord> head;
+    if (list.Size() > 0) head = list.HeadRecord();
+    Bytes value = Val(ts);
+    auto predicted = AuthSkipList::ApplyAppend(digest, head, ts,
+                                               crypto::Sha256::Digest(value));
+    ASSERT_TRUE(predicted.ok()) << "ts=" << ts << ": " << predicted.message();
+    list.Append(ts, value);
+    EXPECT_EQ(predicted.value(), list.Digest()) << "ts=" << ts;
+    digest = predicted.value();
+  }
+}
+
+TEST(SkipListTest, ApplyAppendRejectsBadInputs) {
+  AuthSkipList list = Build(10);
+  SkipNodeRecord head = list.HeadRecord();
+  Hash256 vh = crypto::Sha256::Digest(Val(11));
+  // Wrong digest.
+  Hash256 wrong = list.Digest();
+  wrong[0] ^= 1;
+  EXPECT_FALSE(AuthSkipList::ApplyAppend(wrong, head, 11, vh).ok());
+  // Decreasing timestamp.
+  EXPECT_FALSE(AuthSkipList::ApplyAppend(list.Digest(), head, 5, vh).ok());
+  // Missing head on non-empty list.
+  EXPECT_FALSE(AuthSkipList::ApplyAppend(list.Digest(), std::nullopt, 11, vh).ok());
+  // Tampered head record.
+  SkipNodeRecord bad = head;
+  bad.timestamp += 1;
+  EXPECT_FALSE(AuthSkipList::ApplyAppend(list.Digest(), bad, 11, vh).ok());
+}
+
+TEST(SkipListTest, ProofSerializationRoundTrip) {
+  AuthSkipList list = Build(100);
+  SkipRangeProof proof = list.QueryWithProof(40, 50);
+  Bytes wire = proof.Serialize();
+  auto decoded = SkipRangeProof::Deserialize(wire);
+  ASSERT_TRUE(decoded.ok());
+  auto results = AuthSkipList::VerifyQuery(list.Digest(), 40, 50, decoded.value());
+  ASSERT_TRUE(results.ok()) << results.message();
+  EXPECT_EQ(results.value().size(), 11u);
+
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(SkipRangeProof::Deserialize(truncated).ok());
+}
+
+// Property sweep: random windows over lists of several sizes return exactly
+// the expected timestamps.
+class SkipListSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkipListSweep, RandomWindowsComplete) {
+  const std::uint64_t n = static_cast<std::uint64_t>(GetParam());
+  AuthSkipList list = Build(n);
+  Rng rng(n);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::uint64_t lo = rng.NextRange(0, n + 3);
+    std::uint64_t hi = rng.NextRange(lo, n + 3);
+    auto res = AuthSkipList::VerifyQuery(list.Digest(), lo, hi,
+                                         list.QueryWithProof(lo, hi));
+    ASSERT_TRUE(res.ok()) << "n=" << n << " [" << lo << "," << hi
+                          << "]: " << res.message();
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t t = std::max<std::uint64_t>(lo, 1); t <= std::min(hi, n); ++t) {
+      expected.push_back(t);
+    }
+    ASSERT_EQ(res.value().size(), expected.size()) << "[" << lo << "," << hi << "]";
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(res.value()[i].timestamp, expected[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SkipListSweep,
+                         ::testing::Values(1, 2, 3, 8, 31, 32, 33, 100, 1000));
+
+}  // namespace
+}  // namespace dcert::mht

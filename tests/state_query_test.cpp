@@ -1,0 +1,155 @@
+// Verifiable current-state queries against a certified header.
+#include "query/state_query.h"
+
+#include <gtest/gtest.h>
+
+#include "dcert/issuer.h"
+#include "dcert/superlight.h"
+#include "workloads/workloads.h"
+
+namespace dcert::query {
+namespace {
+
+using workloads::AccountPool;
+using workloads::ContractId;
+using workloads::Workload;
+using workloads::WorkloadGenerator;
+
+struct StateRig {
+  chain::ChainConfig config;
+  std::shared_ptr<const chain::ContractRegistry> registry;
+  std::unique_ptr<core::CertificateIssuer> ci;
+  std::unique_ptr<chain::FullNode> miner_node;
+  std::unique_ptr<chain::Miner> miner;
+  AccountPool pool{4, 404};
+  core::SuperlightClient client{core::ExpectedEnclaveMeasurement()};
+
+  StateRig() {
+    config.difficulty_bits = 2;
+    registry = workloads::MakeBlockbenchRegistry(1);
+    ci = std::make_unique<core::CertificateIssuer>(config, registry);
+    miner_node = std::make_unique<chain::FullNode>(config, registry);
+    miner = std::make_unique<chain::Miner>(*miner_node);
+  }
+
+  void RunBlock(std::vector<chain::Transaction> txs) {
+    auto block = miner->MineBlock(std::move(txs), 100 + miner_node->Height());
+    ASSERT_TRUE(block.ok()) << block.message();
+    ASSERT_TRUE(miner_node->SubmitBlock(block.value()).ok());
+    auto cert = ci->ProcessBlock(block.value());
+    ASSERT_TRUE(cert.ok()) << cert.message();
+    ASSERT_TRUE(client.ValidateAndAccept(block.value().header, cert.value()).ok());
+  }
+};
+
+TEST(StateQueryTest, BalanceQueryAgainstCertifiedHeader) {
+  StateRig rig;
+  std::uint64_t sb = ContractId(Workload::kSmallBank, 0);
+  // Deposit 120 to account 9's checking, then pay 50 to account 2.
+  rig.RunBlock({rig.pool.MakeTx(0, sb, {1, 9, 120})});
+  rig.RunBlock({rig.pool.MakeTx(0, sb, {3, 9, 2, 50})});
+
+  // The untrusted full node proves checking(9) = 70 against the SMT.
+  chain::StateKey key = chain::SlotKey(sb, 9 * 2 + 1);
+  StateQueryProof proof = ProveState(rig.ci->Node().State(), key);
+
+  // The client verifies against its certified latest header.
+  Hash256 certified_root = rig.client.LatestHeader().state_root;
+  auto value = VerifyState(certified_root, key, proof);
+  ASSERT_TRUE(value.ok()) << value.message();
+  EXPECT_EQ(value.value(), 70u);
+}
+
+TEST(StateQueryTest, UnsetKeyProvablyZero) {
+  StateRig rig;
+  rig.RunBlock({});
+  chain::StateKey key = chain::SlotKey(999, 1);
+  StateQueryProof proof = ProveState(rig.ci->Node().State(), key);
+  auto value = VerifyState(rig.client.LatestHeader().state_root, key, proof);
+  ASSERT_TRUE(value.ok()) << value.message();
+  EXPECT_EQ(value.value(), 0u);
+}
+
+TEST(StateQueryTest, LyingNodeRejected) {
+  StateRig rig;
+  std::uint64_t kv = ContractId(Workload::kKvStore, 0);
+  rig.RunBlock({rig.pool.MakeTx(0, kv, {0, 7, 1234})});
+
+  chain::StateKey key = chain::SlotKey(kv, 7);
+  Hash256 root = rig.client.LatestHeader().state_root;
+
+  // Wrong value with a genuine proof: rejected.
+  StateQueryProof lying = ProveState(rig.ci->Node().State(), key);
+  lying.value = 9999;
+  EXPECT_FALSE(VerifyState(root, key, lying).ok());
+
+  // Claiming an existing key is unset: rejected.
+  StateQueryProof absent = ProveState(rig.ci->Node().State(), key);
+  absent.value = 0;
+  EXPECT_FALSE(VerifyState(root, key, absent).ok());
+
+  // Stale proof against a newer certified root: rejected.
+  StateQueryProof stale = ProveState(rig.ci->Node().State(), key);
+  rig.RunBlock({rig.pool.MakeTx(0, kv, {0, 7, 5678})});
+  EXPECT_FALSE(
+      VerifyState(rig.client.LatestHeader().state_root, key, stale).ok());
+  // And the fresh proof for the new value verifies.
+  StateQueryProof fresh = ProveState(rig.ci->Node().State(), key);
+  auto value = VerifyState(rig.client.LatestHeader().state_root, key, fresh);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 5678u);
+}
+
+TEST(StateQueryTest, BatchedQueryRoundTripAndNegatives) {
+  StateRig rig;
+  std::uint64_t kv = ContractId(Workload::kKvStore, 0);
+  rig.RunBlock({rig.pool.MakeTx(0, kv, {0, 1, 11}), rig.pool.MakeTx(1, kv, {0, 2, 22})});
+
+  std::vector<chain::StateKey> keys{chain::SlotKey(kv, 1), chain::SlotKey(kv, 2),
+                                    chain::SlotKey(kv, 3)};
+  MultiStateQueryProof proof = ProveStates(rig.ci->Node().State(), keys);
+  Hash256 root = rig.client.LatestHeader().state_root;
+  EXPECT_TRUE(VerifyStates(root, keys, proof).ok());
+  EXPECT_EQ(proof.values.at(chain::SlotKey(kv, 1)), 11u);
+  EXPECT_EQ(proof.values.at(chain::SlotKey(kv, 3)), 0u);
+
+  // Tampered value in the batch: rejected.
+  MultiStateQueryProof bad = ProveStates(rig.ci->Node().State(), keys);
+  bad.values.begin()->second += 1;
+  EXPECT_FALSE(VerifyStates(root, keys, bad).ok());
+
+  // Missing key: rejected.
+  MultiStateQueryProof missing = ProveStates(rig.ci->Node().State(), keys);
+  missing.values.erase(missing.values.begin());
+  EXPECT_FALSE(VerifyStates(root, keys, missing).ok());
+
+  // Extra unrequested key: rejected.
+  MultiStateQueryProof extra = ProveStates(rig.ci->Node().State(), keys);
+  extra.values[chain::SlotKey(kv, 99)] = 5;
+  EXPECT_FALSE(VerifyStates(root, keys, extra).ok());
+}
+
+TEST(StateQueryTest, ProofSerializationRoundTrip) {
+  StateRig rig;
+  std::uint64_t kv = ContractId(Workload::kKvStore, 0);
+  rig.RunBlock({rig.pool.MakeTx(0, kv, {0, 4, 44})});
+  chain::StateKey key = chain::SlotKey(kv, 4);
+  StateQueryProof proof = ProveState(rig.ci->Node().State(), key);
+  auto decoded = StateQueryProof::Deserialize(proof.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  auto value = VerifyState(rig.client.LatestHeader().state_root, key,
+                           decoded.value());
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 44u);
+
+  std::vector<chain::StateKey> keys{key};
+  MultiStateQueryProof multi = ProveStates(rig.ci->Node().State(), keys);
+  auto multi_decoded = MultiStateQueryProof::Deserialize(multi.Serialize());
+  ASSERT_TRUE(multi_decoded.ok());
+  EXPECT_TRUE(VerifyStates(rig.client.LatestHeader().state_root, keys,
+                           multi_decoded.value())
+                  .ok());
+}
+
+}  // namespace
+}  // namespace dcert::query

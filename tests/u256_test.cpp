@@ -1,0 +1,224 @@
+// Unit + property tests for the 256-bit integer and modular arithmetic.
+#include "crypto/u256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/secp256k1.h"
+
+namespace dcert::crypto {
+namespace {
+
+U256 RandomU256(Rng& rng) {
+  return U256(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+}
+
+TEST(U256Test, HexRoundTrip) {
+  U256 v = U256::FromHex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(v.ToHex(), "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(U256::FromHex("ff"), U256(255));
+  EXPECT_EQ(U256(0).ToHex(), std::string(64, '0'));
+}
+
+TEST(U256Test, BytesBigEndianLayout) {
+  U256 one(1);
+  Bytes b = one.ToBytesBE();
+  EXPECT_EQ(b[31], 1);
+  EXPECT_EQ(b[0], 0);
+  EXPECT_EQ(U256::FromBytesBE(b), one);
+}
+
+TEST(U256Test, ComparisonAcrossLimbs) {
+  U256 lo(0xffffffffffffffffULL, 0, 0, 0);
+  U256 hi(0, 1, 0, 0);
+  EXPECT_LT(lo, hi);
+  EXPECT_GT(hi, lo);
+  EXPECT_EQ(lo, lo);
+}
+
+TEST(U256Test, AddCarryPropagation) {
+  U256 all_ones = U256::FromHex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  std::uint64_t carry = 0;
+  U256 sum = Add(all_ones, U256(1), carry);
+  EXPECT_TRUE(sum.IsZero());
+  EXPECT_EQ(carry, 1u);
+}
+
+TEST(U256Test, SubBorrowPropagation) {
+  std::uint64_t borrow = 0;
+  U256 diff = Sub(U256(0), U256(1), borrow);
+  EXPECT_EQ(borrow, 1u);
+  EXPECT_EQ(diff.ToHex(),
+            "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+}
+
+TEST(U256Test, AddSubInverse) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    U256 a = RandomU256(rng);
+    U256 b = RandomU256(rng);
+    std::uint64_t carry = 0, borrow = 0;
+    U256 sum = Add(a, b, carry);
+    U256 back = Sub(sum, b, borrow);
+    // carry and borrow cancel: (a + b) - b == a exactly mod 2^256.
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);
+  }
+}
+
+TEST(U256Test, MulSmallValues) {
+  U512 p = Mul(U256(6), U256(7));
+  EXPECT_EQ(p.Lo(), U256(42));
+  EXPECT_TRUE(p.HiIsZero());
+}
+
+TEST(U256Test, MulMaxValues) {
+  U256 max = U256::FromHex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  // (2^256-1)^2 = 2^512 - 2^257 + 1 -> lo = 1, hi = 2^256 - 2.
+  U512 p = Mul(max, max);
+  EXPECT_EQ(p.Lo(), U256(1));
+  EXPECT_EQ(p.Hi().ToHex(),
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe");
+}
+
+TEST(U256Test, MulCommutes) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = RandomU256(rng);
+    U256 b = RandomU256(rng);
+    U512 ab = Mul(a, b);
+    U512 ba = Mul(b, a);
+    EXPECT_EQ(ab.limbs, ba.limbs);
+  }
+}
+
+TEST(U256Test, ShrMatchesBitDefinition) {
+  U256 v = U256::FromHex(
+      "8000000000000000000000000000000000000000000000000000000000000001");
+  EXPECT_EQ(Shr(v, 0), v);
+  EXPECT_EQ(Shr(v, 1).ToHex(),
+            "4000000000000000000000000000000000000000000000000000000000000000");
+  EXPECT_EQ(Shr(v, 255), U256(1));
+  EXPECT_TRUE(Shr(v, 256).IsZero());
+}
+
+TEST(U256Test, BitIndexing) {
+  U256 v(0b1010);
+  EXPECT_FALSE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(2));
+  EXPECT_TRUE(v.Bit(3));
+  EXPECT_FALSE(v.Bit(255));
+}
+
+class ModArithTest : public ::testing::Test {
+ protected:
+  const ModArith& fp_ = Curve().Fp();
+  const ModArith& fn_ = Curve().Fn();
+};
+
+TEST_F(ModArithTest, RejectsWrongCofactor) {
+  EXPECT_THROW(ModArith(Curve().P(), U256(1)), std::invalid_argument);
+}
+
+TEST_F(ModArithTest, ReduceIdentityBelowModulus) {
+  EXPECT_EQ(fp_.Reduce(U256(12345)), U256(12345));
+}
+
+TEST_F(ModArithTest, ReduceAboveModulus) {
+  std::uint64_t carry = 0;
+  U256 above = Add(Curve().P(), U256(5), carry);
+  ASSERT_EQ(carry, 0u);
+  EXPECT_EQ(fp_.Reduce(above), U256(5));
+}
+
+TEST_F(ModArithTest, AddWrapsAroundModulus) {
+  std::uint64_t borrow = 0;
+  U256 p_minus_1 = Sub(Curve().P(), U256(1), borrow);
+  EXPECT_EQ(fp_.Add(p_minus_1, U256(1)), U256(0));
+  EXPECT_EQ(fp_.Add(p_minus_1, U256(3)), U256(2));
+}
+
+TEST_F(ModArithTest, SubWrapsBelowZero) {
+  std::uint64_t borrow = 0;
+  U256 p_minus_2 = Sub(Curve().P(), U256(2), borrow);
+  EXPECT_EQ(fp_.Sub(U256(1), U256(3)), p_minus_2);
+}
+
+TEST_F(ModArithTest, NegIsAdditiveInverse) {
+  Rng rng(44);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = fp_.Reduce(RandomU256(rng));
+    EXPECT_TRUE(fp_.Add(a, fp_.Neg(a)).IsZero());
+  }
+  EXPECT_TRUE(fp_.Neg(U256(0)).IsZero());
+}
+
+TEST_F(ModArithTest, MulDistributesOverAdd) {
+  Rng rng(45);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = fp_.Reduce(RandomU256(rng));
+    U256 b = fp_.Reduce(RandomU256(rng));
+    U256 c = fp_.Reduce(RandomU256(rng));
+    EXPECT_EQ(fp_.Mul(a, fp_.Add(b, c)), fp_.Add(fp_.Mul(a, b), fp_.Mul(a, c)));
+  }
+}
+
+TEST_F(ModArithTest, MulAssociates) {
+  Rng rng(46);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = fn_.Reduce(RandomU256(rng));
+    U256 b = fn_.Reduce(RandomU256(rng));
+    U256 c = fn_.Reduce(RandomU256(rng));
+    EXPECT_EQ(fn_.Mul(fn_.Mul(a, b), c), fn_.Mul(a, fn_.Mul(b, c)));
+  }
+}
+
+TEST_F(ModArithTest, InvIsMultiplicativeInverse) {
+  Rng rng(47);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = fp_.Reduce(RandomU256(rng));
+    if (a.IsZero()) continue;
+    EXPECT_EQ(fp_.Mul(a, fp_.Inv(a)), U256(1));
+  }
+  // Also over the (prime) group order.
+  U256 a = fn_.Reduce(RandomU256(rng));
+  EXPECT_EQ(fn_.Mul(a, fn_.Inv(a)), U256(1));
+  EXPECT_THROW(fp_.Inv(U256(0)), std::invalid_argument);
+}
+
+TEST_F(ModArithTest, PowMatchesRepeatedMul) {
+  U256 base(3);
+  U256 acc(1);
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(fp_.Pow(base, U256(static_cast<std::uint64_t>(e))), acc);
+    acc = fp_.Mul(acc, base);
+  }
+}
+
+TEST_F(ModArithTest, FermatLittleTheorem) {
+  // a^(p-1) == 1 mod p for a != 0.
+  Rng rng(48);
+  std::uint64_t borrow = 0;
+  U256 p_minus_1 = Sub(Curve().P(), U256(1), borrow);
+  U256 a = fp_.Reduce(RandomU256(rng));
+  EXPECT_EQ(fp_.Pow(a, p_minus_1), U256(1));
+}
+
+TEST_F(ModArithTest, Reduce512LargeProduct) {
+  // Verify hi*2^256 + lo ≡ Reduce512 by checking (a*b) mod p consistency:
+  // ((a mod p) * (b mod p)) mod p computed two ways.
+  Rng rng(49);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = RandomU256(rng);
+    U256 b = RandomU256(rng);
+    U256 direct = fp_.Reduce512(Mul(a, b));
+    U256 via_reduced = fp_.Mul(fp_.Reduce(a), fp_.Reduce(b));
+    EXPECT_EQ(direct, via_reduced);
+  }
+}
+
+}  // namespace
+}  // namespace dcert::crypto

@@ -1,0 +1,209 @@
+// Bytecode VM: assembler, execution semantics, failure modes, and the
+// read/write-set storage views.
+#include "vm/vm.h"
+
+#include <gtest/gtest.h>
+
+#include "vm/rwset_storage.h"
+
+namespace dcert::vm {
+namespace {
+
+ExecResult RunAsm(const std::string& asm_src, std::vector<std::uint64_t> calldata = {},
+               SlotMap backing = {}, SlotMap* writes_out = nullptr,
+               SlotMap* reads_out = nullptr) {
+  Program program = Assemble(asm_src);
+  RwSetRecorder storage(backing);
+  ExecContext ctx;
+  ctx.calldata = std::move(calldata);
+  ExecResult result = Execute(program, ctx, storage);
+  if (writes_out != nullptr) *writes_out = storage.writes();
+  if (reads_out != nullptr) *reads_out = storage.reads();
+  return result;
+}
+
+TEST(AssemblerTest, EmptyAndComments) {
+  Program p = Assemble("; just a comment\n\n  stop ; trailing\n");
+  EXPECT_EQ(p.code.size(), 1u);
+}
+
+TEST(AssemblerTest, LabelsResolveForwardAndBackward) {
+  ExecResult r = RunAsm(R"(
+    jump @end
+    revert
+  end:
+    stop
+  )");
+  EXPECT_TRUE(r.success) << r.error;
+}
+
+TEST(AssemblerTest, Errors) {
+  EXPECT_THROW(Assemble("frobnicate"), std::invalid_argument);
+  EXPECT_THROW(Assemble("push"), std::invalid_argument);            // missing operand
+  EXPECT_THROW(Assemble("push zz"), std::invalid_argument);         // bad numeric
+  EXPECT_THROW(Assemble("jump @nowhere"), std::invalid_argument);   // undefined label
+  EXPECT_THROW(Assemble("a:\na:\nstop"), std::invalid_argument);    // duplicate label
+  EXPECT_THROW(Assemble("stop extra"), std::invalid_argument);      // trailing token
+}
+
+TEST(VmTest, ArithmeticSemantics) {
+  ExecResult r = RunAsm(R"(
+    push 10
+    push 3
+    sub        ; 7
+    push 4
+    mul        ; 28
+    push 5
+    div        ; 5
+    push 3
+    mod        ; 2
+    stop
+  )");
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.stack.size(), 1u);
+  EXPECT_EQ(r.stack.back(), 2u);
+}
+
+TEST(VmTest, DivisionAndModuloByZeroYieldZero) {
+  ExecResult r = RunAsm("push 7\npush 0\ndiv\npush 9\npush 0\nmod\nadd\nstop");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.stack.back(), 0u);
+}
+
+TEST(VmTest, WrappingArithmetic) {
+  ExecResult r = RunAsm("push 0\npush 1\nsub\nstop");  // 0 - 1 wraps
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.stack.back(), ~std::uint64_t{0});
+}
+
+TEST(VmTest, ComparisonsAndLogic) {
+  ExecResult r = RunAsm(R"(
+    push 3
+    push 5
+    lt         ; 1
+    push 5
+    push 3
+    gt         ; 1
+    and        ; 1
+    push 7
+    push 7
+    eq         ; 1
+    and        ; 1
+    stop
+  )");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.stack.back(), 1u);
+}
+
+TEST(VmTest, DupAndSwap) {
+  ExecResult r = RunAsm(R"(
+    push 1
+    push 2
+    push 3
+    dup 2      ; 1 2 3 1
+    swap 3     ; 1 2 3 1 -> top swaps with 4th below? stack: [1,2,3,1] -> swap3: [1,1,3,2]?
+    stop
+  )");
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.stack.size(), 4u);
+  EXPECT_EQ(r.stack[0], 1u);
+  EXPECT_EQ(r.stack[3], 1u);
+}
+
+TEST(VmTest, StackUnderflowFails) {
+  EXPECT_FALSE(RunAsm("pop\nstop").success);
+  EXPECT_FALSE(RunAsm("add\nstop").success);
+  EXPECT_FALSE(RunAsm("push 1\ndup 1\nstop").success);
+  EXPECT_FALSE(RunAsm("push 1\nswap 1\nstop").success);
+}
+
+TEST(VmTest, RevertDiscardsNothingButSignalsFailure) {
+  SlotMap writes;
+  ExecResult r = RunAsm("push 1\npush 2\nsstore\nrevert", {}, {}, &writes);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.error.empty());  // plain revert, not an execution error
+  // The recorder still holds the buffered write; callers decide to discard.
+  EXPECT_EQ(writes.size(), 1u);
+}
+
+TEST(VmTest, StepLimitEnforced) {
+  Program p = Assemble("loop:\njump @loop");
+  SlotMap backing;
+  RwSetRecorder storage(backing);
+  ExecContext ctx;
+  ctx.step_limit = 1000;
+  ExecResult r = Execute(p, ctx, storage);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.error, "step limit exceeded");
+}
+
+TEST(VmTest, RunningOffCodeEndFails) {
+  ExecResult r = RunAsm("push 1");  // no stop
+  EXPECT_FALSE(r.success);
+}
+
+TEST(VmTest, CallerAndArgs) {
+  Program p = Assemble("caller\narg 0\nadd\narg 5\nadd\nargc\nadd\nstop");
+  SlotMap backing;
+  RwSetRecorder storage(backing);
+  ExecContext ctx;
+  ctx.caller = 100;
+  ctx.calldata = {7, 8};
+  ExecResult r = Execute(p, ctx, storage);
+  ASSERT_TRUE(r.success);
+  // 100 + 7 + 0 (absent arg) + 2 (argc)
+  EXPECT_EQ(r.stack.back(), 109u);
+}
+
+TEST(VmTest, StorageRoundTrip) {
+  SlotMap writes, reads;
+  ExecResult r = RunAsm(R"(
+    push 42
+    push 777
+    sstore       ; slot42 = 777
+    push 42
+    sload
+    push 1
+    add
+    push 43
+    swap 1
+    sstore       ; slot43 = 778
+    stop
+  )", {}, {}, &writes, &reads);
+  ASSERT_TRUE(r.success) << r.error;
+  EXPECT_EQ(writes.at(42), 777u);
+  EXPECT_EQ(writes.at(43), 778u);
+  // The read of slot 42 was served from the write buffer, so no read-set entry.
+  EXPECT_TRUE(reads.empty());
+}
+
+TEST(VmTest, ReadSetRecordsPreState) {
+  SlotMap backing{{5, 50}};
+  SlotMap reads;
+  ExecResult r = RunAsm("push 5\nsload\npop\npush 6\nsload\npop\nstop", {}, backing,
+                     nullptr, &reads);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(reads.at(5), 50u);
+  EXPECT_EQ(reads.at(6), 0u);  // absent keys recorded as 0
+}
+
+TEST(VmTest, HashOpDeterministic) {
+  ExecResult a = RunAsm("push 1\npush 2\nhash\nstop");
+  ExecResult b = RunAsm("push 1\npush 2\nhash\nstop");
+  ExecResult c = RunAsm("push 2\npush 1\nhash\nstop");
+  ASSERT_TRUE(a.success && b.success && c.success);
+  EXPECT_EQ(a.stack.back(), b.stack.back());
+  EXPECT_NE(a.stack.back(), c.stack.back());
+}
+
+TEST(ReadSetStorageTest, ServesOnlyCoveredReads) {
+  SlotMap read_set{{1, 10}};
+  ReadSetStorage storage(read_set);
+  EXPECT_EQ(storage.Load(1), 10u);
+  storage.Store(2, 20);
+  EXPECT_EQ(storage.Load(2), 20u);  // own writes are visible
+  EXPECT_THROW(storage.Load(3), ReadOutsideReadSet);
+}
+
+}  // namespace
+}  // namespace dcert::vm

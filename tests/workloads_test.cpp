@@ -1,0 +1,187 @@
+// Blockbench workload programs: each contract's semantics on our VM.
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "chain/executor.h"
+#include "chain/node.h"
+#include "chain/state.h"
+#include "vm/rwset_storage.h"
+
+namespace dcert::workloads {
+namespace {
+
+vm::ExecResult RunWorkload(Workload kind, std::vector<std::uint64_t> calldata,
+                           vm::SlotMap& backing, vm::SlotMap* writes = nullptr) {
+  vm::RwSetRecorder storage(backing);
+  vm::ExecContext ctx;
+  ctx.calldata = std::move(calldata);
+  vm::ExecResult result = vm::Execute(ProgramFor(kind), ctx, storage);
+  if (result.success) {
+    for (const auto& [k, v] : storage.writes()) backing[k] = v;
+  }
+  if (writes != nullptr) *writes = storage.writes();
+  return result;
+}
+
+TEST(WorkloadsTest, NamesAndContractIds) {
+  EXPECT_EQ(Name(Workload::kDoNothing), "DN");
+  EXPECT_EQ(Name(Workload::kSmallBank), "SB");
+  EXPECT_EQ(ContractId(Workload::kKvStore, 7), 3007u);
+  auto registry = MakeBlockbenchRegistry(3);
+  EXPECT_EQ(registry->Size(), 15u);
+  EXPECT_NE(registry->Find(ContractId(Workload::kCpuHeavy, 2)), nullptr);
+  EXPECT_EQ(registry->Find(ContractId(Workload::kCpuHeavy, 3)), nullptr);
+}
+
+TEST(WorkloadsTest, DoNothingDoesNothing) {
+  vm::SlotMap state;
+  vm::SlotMap writes;
+  vm::ExecResult r = RunWorkload(Workload::kDoNothing, {}, state, &writes);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(writes.empty());
+  EXPECT_LE(r.steps, 2u);
+}
+
+TEST(WorkloadsTest, CpuHeavyScalesWithIterations) {
+  vm::SlotMap state;
+  vm::ExecResult small = RunWorkload(Workload::kCpuHeavy, {10}, state);
+  vm::ExecResult large = RunWorkload(Workload::kCpuHeavy, {100}, state);
+  ASSERT_TRUE(small.success) << small.error;
+  ASSERT_TRUE(large.success) << large.error;
+  EXPECT_GT(large.steps, small.steps * 5);
+  EXPECT_TRUE(state.empty());  // pure compute
+}
+
+TEST(WorkloadsTest, IoHeavyWritesThenScans) {
+  vm::SlotMap state;
+  vm::SlotMap writes;
+  vm::ExecResult w = RunWorkload(Workload::kIoHeavy, {0, 100, 16}, state, &writes);
+  ASSERT_TRUE(w.success) << w.error;
+  EXPECT_EQ(writes.size(), 16u);
+  for (std::uint64_t k = 100; k < 116; ++k) {
+    EXPECT_EQ(state.at(k), k * 31 + 7);
+  }
+  vm::SlotMap scan_writes;
+  vm::ExecResult s = RunWorkload(Workload::kIoHeavy, {1, 100, 16}, state, &scan_writes);
+  ASSERT_TRUE(s.success) << s.error;
+  EXPECT_TRUE(scan_writes.empty());
+}
+
+TEST(WorkloadsTest, KvStorePutGet) {
+  vm::SlotMap state;
+  vm::SlotMap writes;
+  ASSERT_TRUE(RunWorkload(Workload::kKvStore, {0, 5, 777}, state, &writes).success);
+  EXPECT_EQ(writes.at(5), 777u);
+  EXPECT_EQ(state.at(5), 777u);
+  vm::SlotMap get_writes;
+  ASSERT_TRUE(RunWorkload(Workload::kKvStore, {1, 5, 0}, state, &get_writes).success);
+  EXPECT_TRUE(get_writes.empty());
+}
+
+class SmallBankTest : public ::testing::Test {
+ protected:
+  static std::uint64_t Sav(std::uint64_t acct) { return acct * 2; }
+  static std::uint64_t Chk(std::uint64_t acct) { return acct * 2 + 1; }
+  vm::SlotMap state_;
+};
+
+TEST_F(SmallBankTest, DepositAndSavings) {
+  ASSERT_TRUE(RunWorkload(Workload::kSmallBank, {1, 3, 100}, state_).success);
+  EXPECT_EQ(state_.at(Chk(3)), 100u);
+  ASSERT_TRUE(RunWorkload(Workload::kSmallBank, {2, 3, 55}, state_).success);
+  EXPECT_EQ(state_.at(Sav(3)), 55u);
+  ASSERT_TRUE(RunWorkload(Workload::kSmallBank, {1, 3, 10}, state_).success);
+  EXPECT_EQ(state_.at(Chk(3)), 110u);
+}
+
+TEST_F(SmallBankTest, GetBalanceReadsOnly) {
+  state_[Sav(2)] = 40;
+  state_[Chk(2)] = 60;
+  vm::SlotMap writes;
+  ASSERT_TRUE(RunWorkload(Workload::kSmallBank, {0, 2}, state_, &writes).success);
+  EXPECT_TRUE(writes.empty());
+}
+
+TEST_F(SmallBankTest, SendPaymentMovesFunds) {
+  state_[Chk(1)] = 100;
+  ASSERT_TRUE(RunWorkload(Workload::kSmallBank, {3, 1, 2, 30}, state_).success);
+  EXPECT_EQ(state_.at(Chk(1)), 70u);
+  EXPECT_EQ(state_.at(Chk(2)), 30u);
+}
+
+TEST_F(SmallBankTest, SendPaymentInsufficientFundsReverts) {
+  state_[Chk(1)] = 10;
+  vm::ExecResult r = RunWorkload(Workload::kSmallBank, {3, 1, 2, 30}, state_);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(state_.at(Chk(1)), 10u);  // unchanged
+  EXPECT_EQ(state_.count(Chk(2)), 0u);
+}
+
+TEST_F(SmallBankTest, WriteCheckDebits) {
+  state_[Chk(4)] = 100;
+  ASSERT_TRUE(RunWorkload(Workload::kSmallBank, {4, 4, 25}, state_).success);
+  EXPECT_EQ(state_.at(Chk(4)), 75u);
+  EXPECT_FALSE(RunWorkload(Workload::kSmallBank, {4, 4, 1000}, state_).success);
+}
+
+TEST_F(SmallBankTest, AmalgamateMergesIntoDestination) {
+  state_[Sav(1)] = 30;
+  state_[Chk(1)] = 20;
+  state_[Chk(2)] = 5;
+  ASSERT_TRUE(RunWorkload(Workload::kSmallBank, {5, 1, 2}, state_).success);
+  EXPECT_EQ(state_.at(Chk(2)), 55u);
+  EXPECT_EQ(state_[Sav(1)], 0u);
+  EXPECT_EQ(state_[Chk(1)], 0u);
+}
+
+TEST_F(SmallBankTest, UnknownOpReverts) {
+  EXPECT_FALSE(RunWorkload(Workload::kSmallBank, {42, 1}, state_).success);
+}
+
+TEST(AccountPoolTest, DeterministicKeysAndNonces) {
+  AccountPool a(3, 7);
+  AccountPool b(3, 7);
+  AccountPool c(3, 8);
+  EXPECT_EQ(a.PublicKeyAt(0), b.PublicKeyAt(0));
+  EXPECT_NE(a.PublicKeyAt(0), c.PublicKeyAt(0));
+  EXPECT_NE(a.PublicKeyAt(0), a.PublicKeyAt(1));
+
+  chain::Transaction t0 = a.MakeTx(0, 1, {});
+  chain::Transaction t1 = a.MakeTx(0, 1, {});
+  EXPECT_EQ(t0.nonce, 0u);
+  EXPECT_EQ(t1.nonce, 1u);
+  EXPECT_THROW(a.MakeTx(5, 1, {}), std::out_of_range);
+}
+
+// Every workload generates blocks that a full node accepts end-to-end.
+class WorkloadBlockSweep : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadBlockSweep, GeneratedBlocksValidate) {
+  chain::ChainConfig config;
+  config.difficulty_bits = 2;
+  auto registry = MakeBlockbenchRegistry(2);
+  chain::FullNode node(config, registry);
+  chain::Miner miner(node);
+  AccountPool pool(8, 21);
+  WorkloadGenerator::Params params;
+  params.kind = GetParam();
+  params.instances_per_workload = 2;
+  params.cpu_iterations = 50;
+  params.io_keys_per_tx = 8;
+  WorkloadGenerator gen(params, pool);
+
+  for (int i = 0; i < 3; ++i) {
+    auto block = miner.MineBlock(gen.NextBlockTxs(12), 100 + i);
+    ASSERT_TRUE(block.ok()) << Name(GetParam()) << ": " << block.message();
+    ASSERT_TRUE(node.SubmitBlock(block.value()).ok()) << Name(GetParam());
+  }
+  EXPECT_EQ(node.Height(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadBlockSweep,
+                         ::testing::ValuesIn(kAllWorkloads),
+                         [](const auto& info) { return Name(info.param); });
+
+}  // namespace
+}  // namespace dcert::workloads

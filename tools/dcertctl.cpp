@@ -1,0 +1,234 @@
+// dcertctl — command-line companion for poking at a DCert deployment:
+//
+//   dcertctl measure                     print the pinned enclave identity
+//   dcertctl keygen <seed>               derive an enclave-style key pair
+//   dcertctl demo [blocks] [txs]         run the full pipeline, dump the tip cert
+//   dcertctl mine-store <path> <blocks>  mine + certify a chain into a block store
+//   dcertctl verify-store <path>         replay a stored chain, re-certify, verify
+//   dcertctl inspect-cert <hex>          decode + envelope-check a certificate
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "chain/block_store.h"
+#include "chain/node.h"
+#include "dcert/issuer.h"
+#include "dcert/superlight.h"
+#include "sgxsim/attestation.h"
+#include "workloads/workloads.h"
+
+using namespace dcert;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dcertctl <command> [args]\n"
+               "  measure                      print enclave measurement + IAS key\n"
+               "  keygen <seed>                derive a key pair from a seed\n"
+               "  demo [blocks=5] [txs=10]     run mine->certify->validate\n"
+               "  mine-store <path> <blocks>   mine a chain into a block store\n"
+               "  verify-store <path>          replay + re-certify a stored chain\n"
+               "  inspect-cert <hex>           decode and check a certificate\n");
+  return 2;
+}
+
+struct Pipeline {
+  chain::ChainConfig config;
+  std::shared_ptr<const chain::ContractRegistry> registry;
+  core::CertificateIssuer ci;
+  chain::FullNode miner_node;
+  chain::Miner miner;
+  workloads::AccountPool pool;
+  workloads::WorkloadGenerator gen;
+
+  Pipeline()
+      : registry(workloads::MakeBlockbenchRegistry(2)),
+        ci((config.difficulty_bits = 6, config), registry),
+        miner_node(config, registry),
+        miner(miner_node),
+        pool(8, 7),
+        gen(
+            [] {
+              workloads::WorkloadGenerator::Params p;
+              p.kind = workloads::Workload::kSmallBank;
+              p.instances_per_workload = 2;
+              return p;
+            }(),
+            pool) {}
+
+  Result<chain::Block> Mine(std::size_t txs) {
+    auto block = miner.MineBlock(gen.NextBlockTxs(txs),
+                                 1700000000 + miner_node.Height() * 15);
+    if (block.ok()) {
+      if (Status st = miner_node.SubmitBlock(block.value()); !st) {
+        return Result<chain::Block>(st);
+      }
+    }
+    return block;
+  }
+};
+
+int CmdMeasure() {
+  std::printf("enclave program:   %s v%s\n", core::kEnclaveProgramName,
+              core::kEnclaveProgramVersion);
+  std::printf("measurement:       %s\n",
+              core::ExpectedEnclaveMeasurement().ToHex().c_str());
+  std::printf("IAS public key:    %s\n",
+              ToHex(sgxsim::AttestationService::IasPublicKey().Serialize()).c_str());
+  return 0;
+}
+
+int CmdKeygen(const std::string& seed) {
+  auto key = crypto::SecretKey::FromSeed(StrBytes(seed));
+  std::printf("seed:       %s\n", seed.c_str());
+  std::printf("public key: %s\n", ToHex(key.Public().Serialize()).c_str());
+  std::printf("report data (pk binding): %s\n",
+              core::KeyBindingReportData(key.Public()).ToHex().c_str());
+  return 0;
+}
+
+int CmdDemo(int blocks, int txs) {
+  Pipeline p;
+  core::SuperlightClient client(core::ExpectedEnclaveMeasurement());
+  for (int i = 0; i < blocks; ++i) {
+    auto block = p.Mine(static_cast<std::size_t>(txs));
+    if (!block.ok()) {
+      std::fprintf(stderr, "mining failed: %s\n", block.message().c_str());
+      return 1;
+    }
+    auto cert = p.ci.ProcessBlock(block.value());
+    if (!cert.ok()) {
+      std::fprintf(stderr, "certification failed: %s\n", cert.message().c_str());
+      return 1;
+    }
+    if (Status st = client.ValidateAndAccept(block.value().header, cert.value());
+        !st) {
+      std::fprintf(stderr, "client rejected: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::printf("block %2d certified (%.2f ms total, %llu ecall)\n", i + 1,
+                p.ci.LastTiming().TotalMs(true),
+                static_cast<unsigned long long>(p.ci.LastTiming().ecalls));
+  }
+  std::printf("\nclient height %llu, storage %zu bytes\n",
+              static_cast<unsigned long long>(client.Height()),
+              client.StorageBytes());
+  std::printf("tip certificate (hex):\n%s\n",
+              ToHex(client.LatestCert().Serialize()).c_str());
+  return 0;
+}
+
+int CmdMineStore(const std::string& path, int blocks) {
+  auto store = chain::BlockStore::Open(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.message().c_str());
+    return 1;
+  }
+  if (store.value().Count() != 0) {
+    std::fprintf(stderr, "store %s is not empty (%llu blocks)\n", path.c_str(),
+                 static_cast<unsigned long long>(store.value().Count()));
+    return 1;
+  }
+  Pipeline p;
+  if (Status st = store.value().Append(p.miner_node.GetBlock(0)); !st) {
+    std::fprintf(stderr, "%s\n", st.message().c_str());
+    return 1;
+  }
+  for (int i = 0; i < blocks; ++i) {
+    auto block = p.Mine(10);
+    if (!block.ok() || !p.ci.ProcessBlock(block.value()) ||
+        !store.value().Append(block.value())) {
+      std::fprintf(stderr, "failed at block %d\n", i + 1);
+      return 1;
+    }
+  }
+  std::printf("mined + certified %d blocks into %s (tip %s)\n", blocks,
+              path.c_str(),
+              p.miner_node.Tip().header.Hash().ToHex().substr(0, 16).c_str());
+  return 0;
+}
+
+int CmdVerifyStore(const std::string& path) {
+  auto store = chain::BlockStore::Open(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.message().c_str());
+    return 1;
+  }
+  if (store.value().RecoveredFromTornTail()) {
+    std::printf("note: recovered from a torn tail\n");
+  }
+  chain::ChainConfig config;
+  config.difficulty_bits = 6;
+  auto registry = workloads::MakeBlockbenchRegistry(2);
+  auto node = chain::ReplayFromStore(store.value(), config, registry);
+  if (!node.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n", node.message().c_str());
+    return 1;
+  }
+  // Re-certify the replayed chain from scratch and validate the tip.
+  core::CertificateIssuer ci(config, registry);
+  core::SuperlightClient client(core::ExpectedEnclaveMeasurement());
+  for (std::uint64_t h = 1; h < store.value().Count(); ++h) {
+    auto block = store.value().Get(h);
+    auto cert = ci.ProcessBlock(block.value());
+    if (!cert.ok()) {
+      std::fprintf(stderr, "re-certification failed at %llu: %s\n",
+                   static_cast<unsigned long long>(h), cert.message().c_str());
+      return 1;
+    }
+    if (!client.ValidateAndAccept(block.value().header, cert.value())) return 1;
+  }
+  std::printf("replayed %llu blocks, state root %s..., client validated tip %llu\n",
+              static_cast<unsigned long long>(store.value().Count()),
+              node.value().State().Root().ToHex().substr(0, 16).c_str(),
+              static_cast<unsigned long long>(client.Height()));
+  return 0;
+}
+
+int CmdInspectCert(const std::string& hex) {
+  Bytes raw;
+  try {
+    raw = FromHex(hex);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad hex: %s\n", e.what());
+    return 1;
+  }
+  auto cert = core::BlockCertificate::Deserialize(raw);
+  if (!cert.ok()) {
+    std::fprintf(stderr, "decode failed: %s\n", cert.message().c_str());
+    return 1;
+  }
+  const auto& c = cert.value();
+  std::printf("pk_enc:        %s\n", ToHex(c.pk_enc.Serialize()).c_str());
+  std::printf("measurement:   %s\n", c.report.quote.measurement.ToHex().c_str());
+  std::printf("report data:   %s\n", c.report.quote.report_data.ToHex().c_str());
+  std::printf("digest:        %s\n", c.digest.ToHex().c_str());
+  Status envelope =
+      core::VerifyCertificateEnvelope(c, core::ExpectedEnclaveMeasurement());
+  std::printf("envelope:      %s\n",
+              envelope ? "VALID (IAS report, measurement, key binding, signature)"
+                       : envelope.message().c_str());
+  return envelope ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "measure") return CmdMeasure();
+  if (cmd == "keygen" && argc >= 3) return CmdKeygen(argv[2]);
+  if (cmd == "demo") {
+    int blocks = argc >= 3 ? std::atoi(argv[2]) : 5;
+    int txs = argc >= 4 ? std::atoi(argv[3]) : 10;
+    if (blocks <= 0 || txs <= 0) return Usage();
+    return CmdDemo(blocks, txs);
+  }
+  if (cmd == "mine-store" && argc >= 4) {
+    return CmdMineStore(argv[2], std::atoi(argv[3]));
+  }
+  if (cmd == "verify-store" && argc >= 3) return CmdVerifyStore(argv[2]);
+  if (cmd == "inspect-cert" && argc >= 3) return CmdInspectCert(argv[2]);
+  return Usage();
+}
