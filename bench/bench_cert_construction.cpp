@@ -10,7 +10,8 @@
 using namespace dcert;
 using namespace dcert::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ParseJsonPath(argc, argv);
   PrintHeader("Fig. 8", "certificate construction time per workload (breakdown)");
   PrintParams("block size 100 txs, 20 blocks per workload, 100 sender accounts; "
               "CPU: 256 hash iterations/tx, IO: 32 keys/tx, KV: 500 tuples");
@@ -19,6 +20,7 @@ int main() {
               "in-encl raw", "in-encl SGX", "factor", "total ms");
   std::printf("-----+---------------------+----------------------------------+----------\n");
 
+  std::vector<std::string> json_rows;
   for (workloads::Workload kind : workloads::kAllWorkloads) {
     Rig rig(kind, /*accounts=*/100, /*instances=*/4);
     const int kBlocks = 20;
@@ -44,6 +46,26 @@ int main() {
     std::printf("%4s | %9.2f %9.2f | %11.2f %12.2f %6.2fx | %9.2f\n",
                 workloads::Name(kind).c_str(), Mean(rwset_ms), Mean(proof_ms),
                 Mean(wall_ms), Mean(modeled_ms), factor, Mean(total_ms));
+
+    JsonObject row;
+    row.Put("workload", workloads::Name(kind))
+        .PutRaw("rwset_ms", JsonStats(rwset_ms))
+        .PutRaw("proof_ms", JsonStats(proof_ms))
+        .PutRaw("enclave_raw_ms", JsonStats(wall_ms))
+        .PutRaw("enclave_sgx_ms", JsonStats(modeled_ms))
+        .PutRaw("total_ms", JsonStats(total_ms))
+        .Put("sgx_factor", factor);
+    json_rows.push_back(row.Str());
+  }
+
+  if (!json_path.empty()) {
+    JsonObject doc;
+    doc.Put("bench", "bench_cert_construction")
+        .Put("figure", "Fig. 8")
+        .Put("block_txs", 100)
+        .Put("blocks_per_workload", 20)
+        .PutRaw("workloads", JsonArray(json_rows));
+    WriteJsonFile(json_path, doc.Str());
   }
 
   std::printf(

@@ -4,7 +4,10 @@
 // and the scale-down factors relative to the paper's testbed).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
@@ -88,6 +91,113 @@ inline double Mean(const std::vector<double>& xs) {
   double sum = 0.0;
   for (double x : xs) sum += x;
   return sum / static_cast<double>(xs.size());
+}
+
+/// p-th percentile (p in [0,1], nearest-rank with linear interpolation).
+inline double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+inline double Median(const std::vector<double>& xs) { return Percentile(xs, 0.5); }
+inline double P95(const std::vector<double>& xs) { return Percentile(xs, 0.95); }
+
+// ---------------------------------------------------------------------------
+// Machine-readable output: each bench can emit a BENCH_<name>.json next to
+// its table when invoked with `--json <path>` (EXPERIMENTS.md documents the
+// trajectory convention). The writer is a minimal escape-correct builder —
+// enough for flat objects, arrays, and one level of nesting via Raw().
+// ---------------------------------------------------------------------------
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+class JsonObject {
+ public:
+  JsonObject& Put(const std::string& key, const std::string& value) {
+    return PutRaw(key, "\"" + JsonEscape(value) + "\"");
+  }
+  JsonObject& Put(const std::string& key, const char* value) {
+    return Put(key, std::string(value));
+  }
+  JsonObject& Put(const std::string& key, double value) {
+    if (!std::isfinite(value)) return PutRaw(key, "null");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return PutRaw(key, buf);
+  }
+  JsonObject& Put(const std::string& key, std::uint64_t value) {
+    return PutRaw(key, std::to_string(value));
+  }
+  JsonObject& Put(const std::string& key, int value) {
+    return PutRaw(key, std::to_string(value));
+  }
+  /// Inserts `json` (an already-encoded value: object, array, literal).
+  JsonObject& PutRaw(const std::string& key, const std::string& json) {
+    if (!fields_.empty()) fields_ += ",";
+    fields_ += "\"" + JsonEscape(key) + "\":" + json;
+    return *this;
+  }
+  std::string Str() const { return "{" + fields_ + "}"; }
+
+ private:
+  std::string fields_;
+};
+
+inline std::string JsonArray(const std::vector<std::string>& elems) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    if (i != 0) out += ",";
+    out += elems[i];
+  }
+  return out + "]";
+}
+
+/// Encodes {mean, median, p95} of a sample vector as a JSON object.
+inline std::string JsonStats(const std::vector<double>& xs) {
+  JsonObject o;
+  o.Put("mean", Mean(xs)).Put("median", Median(xs)).Put("p95", P95(xs));
+  return o.Str();
+}
+
+/// Returns the path following a `--json` flag, or empty when absent.
+inline std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Writes `json` to `path`; prints a confirmation line. Returns false (with
+/// a stderr message) when the file cannot be written.
+inline bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("json written to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace dcert::bench

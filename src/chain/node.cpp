@@ -49,18 +49,7 @@ Status FullNode::SubmitBlock(const Block& block) {
 
   // Predict the post-state root statelessly before touching the StateDB.
   const StateMap& writes = executed.value().writes;
-  std::vector<StateKey> touched;
-  touched.reserve(writes.size());
-  std::map<Hash256, Hash256> new_leaves;
-  for (const auto& [key, value] : writes) {
-    touched.push_back(key);
-    new_leaves[key] = StateValueHash(value);
-  }
-  Hash256 predicted_root =
-      writes.empty() ? state_.Root()
-                     : mht::SparseMerkleTree::ComputeRootFromProof(
-                           state_.ProveKeys(touched), new_leaves);
-  if (predicted_root != hdr.state_root) {
+  if (PredictRootAfterWrites(state_, writes) != hdr.state_root) {
     return Status::Error("state root mismatch after re-execution");
   }
 
@@ -81,18 +70,7 @@ Result<Block> Miner::MineBlock(std::vector<Transaction> txs,
   auto executed = ExecuteBlockTxs(txs, node_->Registry(), node_->State());
   if (!executed) return R(executed.status().WithContext("mining execution"));
 
-  const StateMap& writes = executed.value().writes;
-  Hash256 new_root = node_->State().Root();
-  if (!writes.empty()) {
-    std::vector<StateKey> touched;
-    std::map<Hash256, Hash256> new_leaves;
-    for (const auto& [key, value] : writes) {
-      touched.push_back(key);
-      new_leaves[key] = StateValueHash(value);
-    }
-    new_root = mht::SparseMerkleTree::ComputeRootFromProof(
-        node_->State().ProveKeys(touched), new_leaves);
-  }
+  Hash256 new_root = PredictRootAfterWrites(node_->State(), executed.value().writes);
 
   Block block;
   block.header.prev_hash = node_->Tip().header.Hash();

@@ -42,8 +42,36 @@ void StateDB::Store(const StateKey& key, std::uint64_t value) {
   smt_.Update(key, StateValueHash(value));
 }
 
+void AppendKeys(const StateMap& map, std::vector<StateKey>& out) {
+  for (const auto& [key, value] : map) out.push_back(key);
+}
+
 void StateDB::ApplyWrites(const StateMap& writes) {
-  for (const auto& [key, value] : writes) Store(key, value);
+  std::map<Hash256, Hash256> leaves;
+  for (const auto& [key, value] : writes) {
+    if (value == 0) {
+      values_.erase(key);
+    } else {
+      values_[key] = value;
+    }
+    leaves[key] = StateValueHash(value);
+  }
+  // One bulk SMT pass (parallel rehash for large write sets) instead of
+  // per-key root recomputation.
+  smt_.UpdateBatch(leaves);
+}
+
+Hash256 PredictRootAfterWrites(const StateDB& db, const StateMap& writes) {
+  if (writes.empty()) return db.Root();
+  std::vector<StateKey> touched;
+  touched.reserve(writes.size());
+  std::map<Hash256, Hash256> new_leaves;
+  for (const auto& [key, value] : writes) {
+    touched.push_back(key);
+    new_leaves[key] = StateValueHash(value);
+  }
+  return mht::SparseMerkleTree::ComputeRootFromProof(db.ProveKeys(touched),
+                                                     new_leaves);
 }
 
 std::uint64_t ReadSetReader::Load(const StateKey& key) const {

@@ -27,6 +27,9 @@ StateKey NonceKey(const crypto::PublicKey& sender);
 /// (absent leaf), so "unset" and "zero" are the same state.
 Hash256 StateValueHash(std::uint64_t value);
 
+/// Appends the keys of `map` to `out` (in map order).
+void AppendKeys(const StateMap& map, std::vector<StateKey>& out);
+
 /// Read-only view of some state (full StateDB, or a verified read set).
 class StateReader {
  public:
@@ -53,6 +56,12 @@ class StateDB final : public StateReader {
   std::unordered_map<StateKey, std::uint64_t, Hash256Hasher> values_;
   mht::SparseMerkleTree smt_;
 };
+
+/// Stateless prediction of the SMT root after applying `writes` to `db`
+/// (proof + recompute, without touching `db`). Exactly what the enclave does
+/// with an update proof, so a full node can cross-check a block's claimed
+/// state root before mutating its StateDB.
+Hash256 PredictRootAfterWrites(const StateDB& db, const StateMap& writes);
 
 /// StateReader over a verified read set (the enclave's view during replay).
 class ReadSetReader final : public StateReader {

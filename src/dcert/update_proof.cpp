@@ -76,9 +76,9 @@ StateUpdateProof BuildStateUpdateProof(const chain::StateMap& reads,
   proof.read_set = reads;
   std::vector<chain::StateKey> touched;
   touched.reserve(reads.size() + writes.size());
-  for (const auto& [key, value] : reads) touched.push_back(key);
+  chain::AppendKeys(reads, touched);
+  chain::AppendKeys(writes, touched);
   for (const auto& [key, value] : writes) {
-    touched.push_back(key);
     if (reads.count(key) == 0) {
       proof.prior_write_values.emplace(key, db.Load(key));
     }

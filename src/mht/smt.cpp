@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "mht/node_hash.h"
 
 namespace dcert::mht {
@@ -56,6 +58,7 @@ int FirstDiffBit(const Hash256& a, const Hash256& b, int from) {
 struct SparseMerkleTree::Node {
   Hash256 hash;  // SMT-equivalent hash of this subtree at its level
   bool is_leaf = false;
+  bool dirty = false;  // hash is stale (deferred-hash bulk update in flight)
   // Leaf payload (singleton subtree).
   Hash256 key;
   Hash256 value_hash;
@@ -110,13 +113,17 @@ Hash256 FoldLeaf(const Hash256& key, const Hash256& vh, int level) {
 
 std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::InsertRec(
     std::unique_ptr<Node> node, int level, const Hash256& key,
-    const Hash256& value_hash) {
+    const Hash256& value_hash, bool defer_hash) {
   if (!node) {
     auto leaf = std::make_unique<Node>();
     leaf->is_leaf = true;
     leaf->key = key;
     leaf->value_hash = value_hash;
-    leaf->hash = FoldLeaf(key, value_hash, level);
+    if (defer_hash) {
+      leaf->dirty = true;
+    } else {
+      leaf->hash = FoldLeaf(key, value_hash, level);
+    }
     ++size_;
     return leaf;
   }
@@ -124,33 +131,52 @@ std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::InsertRec(
     if (SamePath(node->key, key)) {
       node->key = key;
       node->value_hash = value_hash;
-      node->hash = FoldLeaf(key, value_hash, level);
+      if (defer_hash) {
+        node->dirty = true;
+      } else {
+        node->hash = FoldLeaf(key, value_hash, level);
+      }
       return node;
     }
     // Split the singleton: push the existing leaf one level down and insert
     // the new key into the same branch.
     auto branch = std::make_unique<Node>();
     bool old_bit = node->key.Bit(static_cast<std::size_t>(level));
-    node->hash = FoldLeaf(node->key, node->value_hash, level + 1);
+    if (defer_hash) {
+      node->dirty = true;  // leaf folds from a deeper level now
+    } else {
+      node->hash = FoldLeaf(node->key, node->value_hash, level + 1);
+    }
     (old_bit ? branch->right : branch->left) = std::move(node);
     bool new_bit = key.Bit(static_cast<std::size_t>(level));
     auto& slot = new_bit ? branch->right : branch->left;
-    slot = InsertRec(std::move(slot), level + 1, key, value_hash);
-    const Hash256& lh = branch->left ? branch->left->hash : DefaultHash(level + 1);
-    const Hash256& rh = branch->right ? branch->right->hash : DefaultHash(level + 1);
-    branch->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+    slot = InsertRec(std::move(slot), level + 1, key, value_hash, defer_hash);
+    if (defer_hash) {
+      branch->dirty = true;
+    } else {
+      const Hash256& lh =
+          branch->left ? branch->left->hash : DefaultHash(level + 1);
+      const Hash256& rh =
+          branch->right ? branch->right->hash : DefaultHash(level + 1);
+      branch->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+    }
     return branch;
   }
   auto& child = key.Bit(static_cast<std::size_t>(level)) ? node->right : node->left;
-  child = InsertRec(std::move(child), level + 1, key, value_hash);
-  const Hash256& lh = node->left ? node->left->hash : DefaultHash(level + 1);
-  const Hash256& rh = node->right ? node->right->hash : DefaultHash(level + 1);
-  node->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+  child = InsertRec(std::move(child), level + 1, key, value_hash, defer_hash);
+  if (defer_hash) {
+    node->dirty = true;
+  } else {
+    const Hash256& lh = node->left ? node->left->hash : DefaultHash(level + 1);
+    const Hash256& rh = node->right ? node->right->hash : DefaultHash(level + 1);
+    node->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+  }
   return node;
 }
 
 std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::RemoveRec(
-    std::unique_ptr<Node> node, int level, const Hash256& key, bool& removed) {
+    std::unique_ptr<Node> node, int level, const Hash256& key, bool& removed,
+    bool defer_hash) {
   if (!node) return nullptr;
   if (node->is_leaf) {
     if (SamePath(node->key, key)) {
@@ -161,7 +187,7 @@ std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::RemoveRec(
     return node;
   }
   auto& child = key.Bit(static_cast<std::size_t>(level)) ? node->right : node->left;
-  child = RemoveRec(std::move(child), level + 1, key, removed);
+  child = RemoveRec(std::move(child), level + 1, key, removed, defer_hash);
   if (!removed) return node;
   // Collapse a branch whose only remaining child is a leaf — hash-neutral
   // (fold of a leaf at level equals the branch hash with a default sibling),
@@ -171,23 +197,86 @@ std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::RemoveRec(
   if (node->right && !node->left) only = node->right.get();
   if (only != nullptr && only->is_leaf) {
     auto lifted = node->left ? std::move(node->left) : std::move(node->right);
-    lifted->hash = FoldLeaf(lifted->key, lifted->value_hash, level);
+    if (defer_hash) {
+      lifted->dirty = true;  // folds from a shallower level now
+    } else {
+      lifted->hash = FoldLeaf(lifted->key, lifted->value_hash, level);
+    }
     return lifted;
   }
   if (!node->left && !node->right) return nullptr;  // cannot happen, but safe
-  const Hash256& lh = node->left ? node->left->hash : DefaultHash(level + 1);
-  const Hash256& rh = node->right ? node->right->hash : DefaultHash(level + 1);
-  node->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+  if (defer_hash) {
+    node->dirty = true;
+  } else {
+    const Hash256& lh = node->left ? node->left->hash : DefaultHash(level + 1);
+    const Hash256& rh = node->right ? node->right->hash : DefaultHash(level + 1);
+    node->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+  }
   return node;
 }
 
 void SparseMerkleTree::Update(const Hash256& key, const Hash256& value_hash) {
   if (value_hash.IsZero()) {
     bool removed = false;
-    root_ = RemoveRec(std::move(root_), 0, key, removed);
+    root_ = RemoveRec(std::move(root_), 0, key, removed, /*defer_hash=*/false);
     return;
   }
-  root_ = InsertRec(std::move(root_), 0, key, value_hash);
+  root_ = InsertRec(std::move(root_), 0, key, value_hash, /*defer_hash=*/false);
+}
+
+void SparseMerkleTree::RehashRec(Node* node, int level, common::ThreadPool* pool,
+                                 int par_levels) {
+  if (node == nullptr || !node->dirty) return;
+  if (node->is_leaf) {
+    node->hash = FoldLeaf(node->key, node->value_hash, level);
+    node->dirty = false;
+    return;
+  }
+  Node* left = node->left.get();
+  Node* right = node->right.get();
+  const bool both_dirty =
+      left != nullptr && left->dirty && right != nullptr && right->dirty;
+  if (pool != nullptr && par_levels > 0 && both_dirty) {
+    // Sibling subtrees are disjoint; hash them concurrently. The hash of a
+    // subtree is a pure function of its content, so scheduling cannot change
+    // the result.
+    pool->ParallelFor(2, [&](std::size_t i) {
+      RehashRec(i == 0 ? left : right, level + 1, pool, par_levels - 1);
+    });
+  } else {
+    RehashRec(left, level + 1, pool, par_levels);
+    RehashRec(right, level + 1, pool, par_levels);
+  }
+  const Hash256& lh = left != nullptr ? left->hash : DefaultHash(level + 1);
+  const Hash256& rh = right != nullptr ? right->hash : DefaultHash(level + 1);
+  node->hash = TaggedDigest2(NodeTag::kSmtInternal, lh, rh);
+  node->dirty = false;
+}
+
+void SparseMerkleTree::UpdateBatchWith(const std::map<Hash256, Hash256>& entries,
+                                       common::ThreadPool& pool) {
+  for (const auto& [key, value_hash] : entries) {
+    if (value_hash.IsZero()) {
+      bool removed = false;
+      root_ = RemoveRec(std::move(root_), 0, key, removed, /*defer_hash=*/true);
+    } else {
+      root_ = InsertRec(std::move(root_), 0, key, value_hash, /*defer_hash=*/true);
+    }
+  }
+  RehashRec(root_.get(), 0, pool.WorkerCount() > 1 ? &pool : nullptr,
+            /*par_levels=*/4);
+}
+
+void SparseMerkleTree::UpdateBatch(const std::map<Hash256, Hash256>& entries) {
+  // Below this size the deferred pass + task handoff costs more than it
+  // saves; the cutover keeps single-tx blocks on the straight path.
+  constexpr std::size_t kParallelThreshold = 32;
+  if (entries.size() < kParallelThreshold ||
+      common::ThreadPool::Shared().WorkerCount() <= 1) {
+    for (const auto& [key, value_hash] : entries) Update(key, value_hash);
+    return;
+  }
+  UpdateBatchWith(entries, common::ThreadPool::Shared());
 }
 
 Hash256 SparseMerkleTree::Get(const Hash256& key) const {
@@ -206,49 +295,96 @@ Hash256 SparseMerkleTree::Root() const {
   return root_ ? root_->hash : DefaultHash(0);
 }
 
-SmtMultiProof SparseMerkleTree::ProveKeys(const std::vector<Hash256>& keys) const {
-  // Sort + dedupe by path so "is this sibling covered by another proof key"
-  // is a binary search.
+namespace {
+
+/// Sorted, deduped leaf paths of a proof's key set; "is this node id an
+/// ancestor of some proof key" is then a binary search.
+std::vector<Hash256> CanonicalPaths(const std::vector<Hash256>& keys) {
   std::vector<Hash256> paths;
   paths.reserve(keys.size());
   for (const Hash256& k : keys) paths.push_back(PrefixAt(k, kDepth));
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  return paths;
+}
 
-  auto covered = [&paths](const SmtNodeId& id) {
-    auto it = std::lower_bound(paths.begin(), paths.end(), id.prefix);
-    return it != paths.end() && PrefixAt(*it, id.level) == id.prefix;
-  };
+bool CoveredBy(const std::vector<Hash256>& paths, const SmtNodeId& id) {
+  auto it = std::lower_bound(paths.begin(), paths.end(), id.prefix);
+  return it != paths.end() && PrefixAt(*it, id.level) == id.prefix;
+}
 
-  SmtMultiProof proof;
-  for (const Hash256& key : keys) {
-    const Node* node = root_.get();
-    int level = 0;
-    while (node != nullptr) {
-      if (node->is_leaf) {
-        if (SamePath(node->key, key)) break;  // siblings below are all default
-        int diff = FirstDiffBit(node->key, key, level);
-        if (diff < 0) break;
-        // The resident leaf's subtree becomes the sibling at the divergence.
-        SmtNodeId id{static_cast<std::uint16_t>(diff + 1),
-                     PrefixAt(node->key, diff + 1)};
-        if (!covered(id)) {
-          proof.siblings.emplace(id, FoldLeaf(node->key, node->value_hash, diff + 1));
-        }
-        break;
+}  // namespace
+
+void SparseMerkleTree::CollectSiblings(
+    const Hash256& key, const std::vector<Hash256>& paths,
+    std::map<SmtNodeId, Hash256>& sink) const {
+  const Node* node = root_.get();
+  int level = 0;
+  while (node != nullptr) {
+    if (node->is_leaf) {
+      if (SamePath(node->key, key)) break;  // siblings below are all default
+      int diff = FirstDiffBit(node->key, key, level);
+      if (diff < 0) break;
+      // The resident leaf's subtree becomes the sibling at the divergence.
+      SmtNodeId id{static_cast<std::uint16_t>(diff + 1),
+                   PrefixAt(node->key, diff + 1)};
+      if (!CoveredBy(paths, id)) {
+        sink.emplace(id, FoldLeaf(node->key, node->value_hash, diff + 1));
       }
-      bool bit = key.Bit(static_cast<std::size_t>(level));
-      const Node* sibling = bit ? node->left.get() : node->right.get();
-      if (sibling != nullptr) {
-        SmtNodeId id{static_cast<std::uint16_t>(level + 1),
-                     FlipBit(PrefixAt(key, level + 1), level)};
-        if (!covered(id)) proof.siblings.emplace(id, sibling->hash);
-      }
-      node = bit ? node->right.get() : node->left.get();
-      ++level;
+      break;
     }
+    bool bit = key.Bit(static_cast<std::size_t>(level));
+    const Node* sibling = bit ? node->left.get() : node->right.get();
+    if (sibling != nullptr) {
+      SmtNodeId id{static_cast<std::uint16_t>(level + 1),
+                   FlipBit(PrefixAt(key, level + 1), level)};
+      if (!CoveredBy(paths, id)) sink.emplace(id, sibling->hash);
+    }
+    node = bit ? node->right.get() : node->left.get();
+    ++level;
+  }
+}
+
+SmtMultiProof SparseMerkleTree::ProveKeysSerial(
+    const std::vector<Hash256>& keys) const {
+  const std::vector<Hash256> paths = CanonicalPaths(keys);
+  SmtMultiProof proof;
+  for (const Hash256& key : keys) CollectSiblings(key, paths, proof.siblings);
+  return proof;
+}
+
+SmtMultiProof SparseMerkleTree::ProveKeysParallel(
+    const std::vector<Hash256>& keys, common::ThreadPool& pool) const {
+  const std::vector<Hash256> paths = CanonicalPaths(keys);
+  // Chunk the key set across the pool; each chunk descends the (read-only)
+  // tree into its own sibling map. A given node id always maps to the same
+  // hash (it is a function of the tree alone), so merging the chunk maps
+  // yields exactly the serial proof regardless of scheduling.
+  const std::size_t chunks = std::min<std::size_t>(
+      pool.WorkerCount() + 1, (keys.size() + kMinKeysPerChunk - 1) / kMinKeysPerChunk);
+  if (chunks <= 1) return ProveKeysSerial(keys);
+  std::vector<std::map<SmtNodeId, Hash256>> partial(chunks);
+  pool.ParallelFor(chunks, [&](std::size_t c) {
+    const std::size_t begin = keys.size() * c / chunks;
+    const std::size_t end = keys.size() * (c + 1) / chunks;
+    for (std::size_t i = begin; i < end; ++i) {
+      CollectSiblings(keys[i], paths, partial[c]);
+    }
+  });
+  SmtMultiProof proof;
+  proof.siblings = std::move(partial[0]);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    proof.siblings.merge(partial[c]);
   }
   return proof;
+}
+
+SmtMultiProof SparseMerkleTree::ProveKeys(const std::vector<Hash256>& keys) const {
+  if (keys.size() < kMinKeysPerChunk * 2 ||
+      common::ThreadPool::Shared().WorkerCount() <= 1) {
+    return ProveKeysSerial(keys);
+  }
+  return ProveKeysParallel(keys, common::ThreadPool::Shared());
 }
 
 Hash256 SparseMerkleTree::ComputeRootFromProof(

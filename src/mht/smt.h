@@ -26,6 +26,10 @@
 #include "common/serialize.h"
 #include "common/status.h"
 
+namespace dcert::common {
+class ThreadPool;
+}
+
 namespace dcert::mht {
 
 /// Identifies one node of the conceptual full-depth tree: the node at `level`
@@ -65,6 +69,15 @@ class SparseMerkleTree {
   /// key (an empty slot and a zero-valued slot are the same thing).
   void Update(const Hash256& key, const Hash256& value_hash);
 
+  /// Bulk update: applies every (key, value-hash) entry (zero value hash =
+  /// delete), deferring internal-node hashing to one bottom-up pass at the
+  /// end; large batches fan independent dirty subtrees out across `pool`.
+  /// The resulting tree (hashes, structure) is identical to calling Update
+  /// per entry in map order.
+  void UpdateBatch(const std::map<Hash256, Hash256>& entries);
+  void UpdateBatchWith(const std::map<Hash256, Hash256>& entries,
+                       common::ThreadPool& pool);
+
   /// Returns the stored value hash, or the zero hash when absent.
   Hash256 Get(const Hash256& key) const;
 
@@ -72,8 +85,13 @@ class SparseMerkleTree {
   std::size_t Size() const { return size_; }
 
   /// Builds a multiproof covering every key in `keys` (present or absent —
-  /// absence is provable). Duplicates are fine.
+  /// absence is provable). Duplicates are fine. Large key sets are proved in
+  /// parallel over the shared pool; the proof is byte-identical to the
+  /// serial one (sibling sets are merged into one ordered map).
   SmtMultiProof ProveKeys(const std::vector<Hash256>& keys) const;
+  SmtMultiProof ProveKeysSerial(const std::vector<Hash256>& keys) const;
+  SmtMultiProof ProveKeysParallel(const std::vector<Hash256>& keys,
+                                  common::ThreadPool& pool) const;
 
   /// Stateless root recomputation: given a multiproof and the claimed leaf
   /// values for the covered keys (zero hash = absent), recomputes the root.
@@ -95,10 +113,24 @@ class SparseMerkleTree {
   struct LeafNode;
   struct BranchNode;
 
+  /// Smallest per-thread share of a multiproof key set worth a task handoff.
+  static constexpr std::size_t kMinKeysPerChunk = 16;
+
+  /// Appends the proof siblings for one key to `sink` (ids covered by other
+  /// proof keys, per `paths`, are skipped).
+  void CollectSiblings(const Hash256& key, const std::vector<Hash256>& paths,
+                       std::map<SmtNodeId, Hash256>& sink) const;
+
   std::unique_ptr<Node> InsertRec(std::unique_ptr<Node> node, int level,
-                                  const Hash256& key, const Hash256& value_hash);
+                                  const Hash256& key, const Hash256& value_hash,
+                                  bool defer_hash);
   std::unique_ptr<Node> RemoveRec(std::unique_ptr<Node> node, int level,
-                                  const Hash256& key, bool& removed);
+                                  const Hash256& key, bool& removed,
+                                  bool defer_hash);
+  /// Recomputes the hashes of dirty subtrees bottom-up. With a pool, dirty
+  /// sibling subtrees in the top `par_levels` levels run concurrently.
+  static void RehashRec(Node* node, int level, common::ThreadPool* pool,
+                        int par_levels);
 
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;

@@ -1,0 +1,193 @@
+// Determinism proofs for the parallel hot paths: whatever the scheduling,
+// the parallel implementations must produce byte-identical proofs, roots,
+// digests, and certificates to their serial counterparts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "crypto/sha256.h"
+#include "dcert/issuer.h"
+#include "mht/smt.h"
+#include "workloads/workloads.h"
+
+namespace dcert {
+namespace {
+
+Hash256 RandomHash(Rng& rng) { return crypto::Sha256::Digest(rng.NextBytes(16)); }
+
+mht::SparseMerkleTree RandomTree(Rng& rng, std::size_t n,
+                                 std::vector<Hash256>* keys_out = nullptr) {
+  mht::SparseMerkleTree tree;
+  for (std::size_t i = 0; i < n; ++i) {
+    Hash256 key = RandomHash(rng);
+    tree.Update(key, RandomHash(rng));
+    if (keys_out != nullptr) keys_out->push_back(key);
+  }
+  return tree;
+}
+
+TEST(ParallelEquivalenceTest, ProveKeysParallelMatchesSerial) {
+  common::ThreadPool pool(4);
+  Rng rng(7);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Hash256> present;
+    mht::SparseMerkleTree tree = RandomTree(rng, 300, &present);
+    // Mix of present keys (with duplicates) and absent keys.
+    std::vector<Hash256> query;
+    for (int i = 0; i < 200; ++i) {
+      query.push_back(present[rng.NextBelow(present.size())]);
+    }
+    for (int i = 0; i < 50; ++i) query.push_back(RandomHash(rng));
+    query.push_back(query.front());
+
+    mht::SmtMultiProof serial = tree.ProveKeysSerial(query);
+    mht::SmtMultiProof parallel = tree.ProveKeysParallel(query, pool);
+    EXPECT_EQ(serial.Serialize(), parallel.Serialize()) << "round " << round;
+    EXPECT_EQ(serial.Serialize(), tree.ProveKeys(query).Serialize());
+  }
+}
+
+TEST(ParallelEquivalenceTest, ProveKeysParallelEmptyAndTiny) {
+  common::ThreadPool pool(4);
+  Rng rng(8);
+  mht::SparseMerkleTree tree = RandomTree(rng, 10);
+  EXPECT_EQ(tree.ProveKeysParallel({}, pool).Serialize(),
+            tree.ProveKeysSerial({}).Serialize());
+  std::vector<Hash256> one{RandomHash(rng)};
+  EXPECT_EQ(tree.ProveKeysParallel(one, pool).Serialize(),
+            tree.ProveKeysSerial(one).Serialize());
+}
+
+TEST(ParallelEquivalenceTest, UpdateBatchMatchesSerialUpdates) {
+  common::ThreadPool pool(4);
+  Rng rng(9);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Hash256> keys;
+    mht::SparseMerkleTree serial = RandomTree(rng, 200, &keys);
+    // Rebuild an identical tree for the batched run.
+    mht::SparseMerkleTree batched;
+    for (const Hash256& k : keys) batched.Update(k, serial.Get(k));
+    ASSERT_EQ(serial.Root(), batched.Root());
+
+    // A batch mixing overwrites, fresh inserts, and deletions.
+    std::map<Hash256, Hash256> batch;
+    for (int i = 0; i < 100; ++i) {
+      batch[keys[rng.NextBelow(keys.size())]] = RandomHash(rng);  // overwrite
+    }
+    for (int i = 0; i < 100; ++i) batch[RandomHash(rng)] = RandomHash(rng);
+    for (int i = 0; i < 50; ++i) {
+      batch[keys[rng.NextBelow(keys.size())]] = Hash256();  // delete
+    }
+
+    for (const auto& [k, vh] : batch) serial.Update(k, vh);
+    batched.UpdateBatchWith(batch, pool);
+
+    EXPECT_EQ(serial.Root(), batched.Root()) << "round " << round;
+    EXPECT_EQ(serial.Size(), batched.Size());
+    // Structure equality through proofs over every touched key.
+    std::vector<Hash256> touched;
+    for (const auto& [k, vh] : batch) touched.push_back(k);
+    EXPECT_EQ(serial.ProveKeysSerial(touched).Serialize(),
+              batched.ProveKeysSerial(touched).Serialize());
+    // Subsequent single-key updates behave identically on both trees.
+    Hash256 extra_key = RandomHash(rng);
+    Hash256 extra_val = RandomHash(rng);
+    serial.Update(extra_key, extra_val);
+    batched.Update(extra_key, extra_val);
+    EXPECT_EQ(serial.Root(), batched.Root());
+  }
+}
+
+TEST(ParallelEquivalenceTest, UpdateBatchAutoPathMatches) {
+  Rng rng(10);
+  std::vector<Hash256> keys;
+  mht::SparseMerkleTree a = RandomTree(rng, 100, &keys);
+  mht::SparseMerkleTree b;
+  for (const Hash256& k : keys) b.Update(k, a.Get(k));
+
+  std::map<Hash256, Hash256> batch;
+  for (int i = 0; i < 200; ++i) batch[RandomHash(rng)] = RandomHash(rng);
+  for (const auto& [k, vh] : batch) a.Update(k, vh);
+  b.UpdateBatch(batch);
+  EXPECT_EQ(a.Root(), b.Root());
+}
+
+TEST(ParallelEquivalenceTest, PipelinedCertsMatchSerialProcessBlock) {
+  chain::ChainConfig config;
+  config.difficulty_bits = 4;
+  auto registry = workloads::MakeBlockbenchRegistry(2);
+  workloads::AccountPool accounts(20, 42);
+  workloads::WorkloadGenerator::Params params;
+  params.kind = workloads::Workload::kKvStore;
+  params.instances_per_workload = 2;
+  params.kv_keys = 50;
+  workloads::WorkloadGenerator gen(params, accounts);
+
+  chain::FullNode miner_node(config, registry);
+  chain::Miner miner(miner_node);
+  std::vector<chain::Block> blocks;
+  for (int i = 0; i < 8; ++i) {
+    auto blk = miner.MineBlock(gen.NextBlockTxs(10),
+                               1700000000 + miner_node.Height() * 15);
+    ASSERT_TRUE(blk.ok()) << blk.message();
+    ASSERT_TRUE(miner_node.SubmitBlock(blk.value()).ok());
+    blocks.push_back(std::move(blk.value()));
+  }
+
+  core::CertificateIssuer serial_ci(config, registry);
+  core::CertificateIssuer pipe_ci(config, registry);
+
+  std::vector<core::BlockCertificate> serial_certs;
+  for (const chain::Block& blk : blocks) {
+    auto cert = serial_ci.ProcessBlock(blk);
+    ASSERT_TRUE(cert.ok()) << cert.message();
+    serial_certs.push_back(cert.value());
+  }
+
+  auto pipe_certs = pipe_ci.ProcessBlocksPipelined(blocks);
+  ASSERT_TRUE(pipe_certs.ok()) << pipe_certs.message();
+  ASSERT_EQ(pipe_certs.value().size(), serial_certs.size());
+  for (std::size_t i = 0; i < serial_certs.size(); ++i) {
+    EXPECT_EQ(pipe_certs.value()[i].Serialize(), serial_certs[i].Serialize())
+        << "block " << i;
+  }
+
+  // Node state, tip certificate, and timing window agree with serial runs.
+  EXPECT_EQ(pipe_ci.Node().Tip().header.Hash(),
+            serial_ci.Node().Tip().header.Hash());
+  EXPECT_EQ(pipe_ci.Node().State().Root(), serial_ci.Node().State().Root());
+  ASSERT_TRUE(pipe_ci.LatestCert().has_value());
+  EXPECT_EQ(pipe_ci.LatestCert()->Serialize(),
+            serial_ci.LatestCert()->Serialize());
+  EXPECT_EQ(pipe_ci.LastTiming().blocks, blocks.size());
+  EXPECT_EQ(pipe_ci.LastTiming().ecalls, blocks.size());
+  EXPECT_GT(pipe_ci.LastTiming().span_wall_ns, 0u);
+
+  // The pipelined chain keeps extending normally afterwards.
+  auto blk = miner.MineBlock(gen.NextBlockTxs(10),
+                             1700000000 + miner_node.Height() * 15);
+  ASSERT_TRUE(blk.ok());
+  ASSERT_TRUE(miner_node.SubmitBlock(blk.value()).ok());
+  auto tail = pipe_ci.ProcessBlock(blk.value());
+  ASSERT_TRUE(tail.ok()) << tail.message();
+}
+
+TEST(ParallelEquivalenceTest, PipelinedRejectsNonExtendingSpan) {
+  chain::ChainConfig config;
+  config.difficulty_bits = 4;
+  auto registry = workloads::MakeBlockbenchRegistry(1);
+  core::CertificateIssuer ci(config, registry);
+  EXPECT_FALSE(ci.ProcessBlocksPipelined({}).ok());
+
+  chain::Block bogus;  // does not extend the tip
+  bogus.header.height = 5;
+  auto result = ci.ProcessBlocksPipelined({bogus});
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(ci.LatestCert().has_value());
+}
+
+}  // namespace
+}  // namespace dcert

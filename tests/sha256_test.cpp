@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <vector>
+
+#include "crypto/sha256_compress.h"
 
 namespace dcert::crypto {
 namespace {
@@ -111,6 +116,43 @@ TEST(HmacSha256Test, LongKeyIsHashed) {
 TEST(HmacSha256Test, DifferentKeysDiffer) {
   EXPECT_NE(HmacSha256(StrBytes("k1"), StrBytes("m")),
             HmacSha256(StrBytes("k2"), StrBytes("m")));
+}
+
+// Dispatch: on SHA-NI hardware the resolved compress function must be the
+// hardware path (otherwise every digest silently takes the scalar road).
+TEST(Sha256DispatchTest, ResolvesHardwarePathWhenSupported) {
+  if (internal::ShaNiSupported()) {
+    EXPECT_EQ(internal::GetCompressFn(), &internal::CompressShaNi);
+  } else {
+    EXPECT_EQ(internal::GetCompressFn(), &internal::CompressScalar);
+  }
+}
+
+// Both compress implementations must agree on multi-block inputs (the NI
+// path processes blocks in a hardware loop; vectors above only cover it
+// indirectly through whole digests).
+TEST(Sha256DispatchTest, CompressImplementationsAgreeOnMultiBlockInputs) {
+  if (!internal::ShaNiSupported()) {
+    GTEST_SKIP() << "no SHA-NI on this host; scalar path is the only path";
+  }
+  // SHA-256 initial state (FIPS 180-4).
+  const std::uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                                  0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  for (std::size_t nblocks : {1u, 2u, 3u, 7u, 16u}) {
+    std::vector<std::uint8_t> data(64 * nblocks);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>((i * 131 + 7 * nblocks) & 0xff);
+    }
+    std::uint32_t scalar_state[8], ni_state[8];
+    std::copy(std::begin(kInit), std::end(kInit), scalar_state);
+    std::copy(std::begin(kInit), std::end(kInit), ni_state);
+    internal::CompressScalar(scalar_state, data.data(), nblocks);
+    internal::CompressShaNi(ni_state, data.data(), nblocks);
+    for (int w = 0; w < 8; ++w) {
+      EXPECT_EQ(scalar_state[w], ni_state[w])
+          << "word " << w << ", blocks " << nblocks;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: a Release build running the full tier-1 suite, then a
+# ThreadSanitizer build (DCERT_SANITIZE=thread) running the threaded tests
+# that exercise the pipeline/thread-pool/SMT parallel paths.
+#
+# Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== [1/2] Release build + full test suite ==="
+cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${PREFIX}-release" -j "${JOBS}"
+ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}"
+
+echo "=== [2/2] TSan build + threaded tests ==="
+cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=thread
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
+  thread_pool_test parallel_equivalence_test smt_test dcert_test
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  -R 'ThreadPool|ParallelEquivalence|Smt'
+
+echo "CI OK"
