@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
         .Put("figure", "Fig. 8")
         .Put("block_txs", 100)
         .Put("blocks_per_workload", 20)
+        .PutRaw("meta", JsonRunMeta())
         .PutRaw("workloads", JsonArray(json_rows));
     WriteJsonFile(json_path, doc.Str());
   }

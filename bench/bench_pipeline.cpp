@@ -139,6 +139,7 @@ int main(int argc, char** argv) {
     JsonObject doc;
     doc.Put("bench", "bench_pipeline")
         .Put("host_cores", static_cast<std::uint64_t>(cores))
+        .PutRaw("meta", JsonRunMeta())
         .PutRaw("workloads", JsonArray(json_rows));
     WriteJsonFile(json_path, doc.Str());
   }

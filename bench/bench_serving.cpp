@@ -1,0 +1,367 @@
+// Serving-side benchmark: an open-loop load generator drives N concurrent
+// client connections against a live SpServer (loopback by default, --transport
+// tcp for real sockets) with a repeated-query workload, once with the response
+// cache disabled and once enabled. Requests are scheduled at a fixed offered
+// rate (--rps) and assigned round-robin to the connections; a connection that
+// falls behind issues its next request immediately, so measured latency is
+// taken from the *scheduled* send time (coordinated-omission corrected).
+// Reports throughput, p50/p95/p99 latency, shed rate (admission-control busy
+// replies), and cache hit rate, and emits BENCH_serving.json with --json.
+//
+// The offered rate deliberately oversubscribes a small host so the comparison
+// measures service capacity, not the generator: with the cache off every
+// query regenerates its proof; with it on, repeated queries are served from
+// the sharded LRU until a new certified block invalidates it.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "query/extraction.h"
+#include "query/historical_index.h"
+#include "svc/sp_client.h"
+#include "svc/sp_server.h"
+#include "svc/tcp_transport.h"
+
+using namespace dcert;
+using namespace dcert::bench;
+
+namespace {
+
+struct Options {
+  std::size_t clients = 8;
+  std::size_t requests = 4000;
+  double rps = 100000.0;  // offered load (shared across all clients)
+  std::string transport = "loopback";
+  int blocks = 20;
+  std::size_t txs = 40;
+  std::string json_path;
+};
+
+std::uint64_t ParseU64Flag(int argc, char** argv, const std::string& name,
+                           std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == "--" + name) return std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  return fallback;
+}
+
+std::string ParseStrFlag(int argc, char** argv, const std::string& name,
+                         const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == "--" + name) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// One pre-mined certified chain: blocks plus their announcements, shared by
+/// the cache-off and cache-on runs so both serve identical content.
+struct ServingFixture {
+  std::vector<svc::AnnounceRequest> announcements;
+  std::vector<svc::QueryRequest> query_pool;  // repeated-query workload
+
+  explicit ServingFixture(const Options& opt) {
+    chain::ChainConfig config;
+    config.difficulty_bits = 2;
+    auto registry = workloads::MakeBlockbenchRegistry(1);
+    core::CertificateIssuer ci(config, registry);
+    auto hist = std::make_shared<query::HistoricalIndex>("historical");
+    ci.AttachIndex(hist);
+    chain::FullNode miner_node(config, registry);
+    chain::Miner miner(miner_node);
+    workloads::AccountPool pool(4, 77);
+    workloads::WorkloadGenerator::Params params;
+    params.kind = workloads::Workload::kKvStore;
+    params.instances_per_workload = 1;
+    params.kv_keys = 10;  // few accounts => many versions each => repeats
+    workloads::WorkloadGenerator gen(params, pool);
+
+    std::map<std::uint64_t, std::uint64_t> versions_per_account;
+    for (int i = 0; i < opt.blocks; ++i) {
+      auto block = miner.MineBlock(gen.NextBlockTxs(opt.txs),
+                                   1700000000 + miner_node.Height() * 15);
+      if (!block.ok()) throw std::runtime_error("mine: " + block.message());
+      if (Status st = miner_node.SubmitBlock(block.value()); !st) {
+        throw std::runtime_error("submit: " + st.message());
+      }
+      auto icerts = ci.ProcessBlockHierarchical(block.value());
+      if (!icerts.ok()) {
+        throw std::runtime_error("certify: " + icerts.message());
+      }
+      svc::AnnounceRequest ann;
+      ann.block = block.value();
+      ann.block_cert = *ci.LatestCert();
+      ann.index_digest = hist->CurrentDigest();
+      ann.index_cert = icerts.value()[0];
+      announcements.push_back(std::move(ann));
+      for (const query::HistEntry& e :
+           query::ExtractHistoricalWrites(block.value())) {
+        ++versions_per_account[e.account_word];
+      }
+    }
+
+    // A small pool of distinct queries over the hottest accounts; the load
+    // generator samples from it, so every query repeats many times.
+    const std::uint64_t tip = announcements.back().block.header.height;
+    for (const auto& [account, writes] : versions_per_account) {
+      if (query_pool.size() >= 24) break;
+      query_pool.push_back(
+          {svc::Op::kHistorical, account, 1, tip});
+      query_pool.push_back(
+          {svc::Op::kHistorical, account, tip / 2 + 1, tip});
+      query_pool.push_back(
+          {svc::Op::kAggregate, account, 1, tip});
+    }
+    if (query_pool.empty()) {
+      throw std::runtime_error("workload produced no historical writes");
+    }
+  }
+};
+
+struct RunResult {
+  double wall_s = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t failed = 0;
+  double throughput = 0.0;  // OK replies per second
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double shed_rate = 0.0;
+  svc::SpServerStats server;
+
+  std::string Json() const {
+    JsonObject o;
+    o.Put("wall_s", wall_s)
+        .Put("ok", ok)
+        .Put("busy", busy)
+        .Put("failed", failed)
+        .Put("throughput_rps", throughput)
+        .Put("p50_ms", p50_ms)
+        .Put("p95_ms", p95_ms)
+        .Put("p99_ms", p99_ms)
+        .Put("shed_rate", shed_rate)
+        .Put("cache_hits", server.cache.hits)
+        .Put("cache_misses", server.cache.misses)
+        .Put("cache_hit_rate", server.cache.HitRate())
+        .Put("served", server.served)
+        .Put("shed", server.shed)
+        .Put("errors", server.errors);
+    return o.Str();
+  }
+};
+
+RunResult RunLoad(const Options& opt, const ServingFixture& fixture,
+                  bool cache_enabled) {
+  svc::SpServerConfig config;
+  config.workers = 4;
+  // Admission bound below the client count so saturation is visible as
+  // shedding, not just queueing: half the connections may be in flight.
+  config.max_queue = std::max<std::size_t>(1, opt.clients / 2);
+  config.enable_cache = cache_enabled;
+  svc::SpServer server(config);
+
+  svc::LoopbackTransport loopback;
+  svc::TcpServerTransport tcp(0);
+  const bool use_tcp = opt.transport == "tcp";
+  Status st = use_tcp ? server.Serve(tcp) : server.Serve(loopback);
+  if (!st) throw std::runtime_error("serve: " + st.message());
+
+  for (const auto& ann : fixture.announcements) {
+    if (Status ast = server.Announce(ann); !ast) {
+      throw std::runtime_error("announce: " + ast.message());
+    }
+  }
+
+  // One connection per client thread.
+  std::vector<std::unique_ptr<svc::ClientTransport>> conns;
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    if (use_tcp) {
+      auto conn = svc::TcpClientTransport::Connect("127.0.0.1", tcp.Port());
+      if (!conn.ok()) throw std::runtime_error(conn.message());
+      conns.push_back(std::move(conn.value()));
+    } else {
+      conns.push_back(loopback.Connect());
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now() + std::chrono::milliseconds(10);
+  const double interval_s = 1.0 / opt.rps;
+  std::vector<std::vector<double>> ok_latencies(opt.clients);
+  std::vector<std::uint64_t> oks(opt.clients, 0), busys(opt.clients, 0),
+      fails(opt.clients, 0);
+  std::atomic<Clock::duration::rep> last_done{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c] {
+      svc::SpClient client(std::move(conns[c]));
+      Rng rng(0x5eed + c);
+      for (std::size_t i = c; i < opt.requests; i += opt.clients) {
+        const auto scheduled =
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(interval_s *
+                                                   static_cast<double>(i)));
+        std::this_thread::sleep_until(scheduled);
+        const svc::QueryRequest& q = fixture.query_pool[rng.NextRange(
+            0, fixture.query_pool.size() - 1)];
+        auto result =
+            q.op == svc::Op::kHistorical
+                ? client.Historical(q.account, q.from_height, q.to_height)
+                : client.Aggregate(q.account, q.from_height, q.to_height);
+        const auto done = Clock::now();
+        if (result.ok()) {
+          ++oks[c];
+          ok_latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(done - scheduled)
+                  .count());
+        } else if (client.LastReplyBusy()) {
+          ++busys[c];
+        } else {
+          ++fails[c];
+        }
+        auto rep = (done - t0).count();
+        auto prev = last_done.load();
+        while (rep > prev && !last_done.compare_exchange_weak(prev, rep)) {
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  RunResult r;
+  std::vector<double> latencies;
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    r.ok += oks[c];
+    r.busy += busys[c];
+    r.failed += fails[c];
+    latencies.insert(latencies.end(), ok_latencies[c].begin(),
+                     ok_latencies[c].end());
+  }
+  r.wall_s = std::chrono::duration<double>(
+                 Clock::duration(last_done.load()))
+                 .count();
+  if (r.wall_s <= 0.0) r.wall_s = 1e-9;
+  r.throughput = static_cast<double>(r.ok) / r.wall_s;
+  r.p50_ms = Percentile(latencies, 0.50);
+  r.p95_ms = Percentile(latencies, 0.95);
+  r.p99_ms = Percentile(latencies, 0.99);
+  r.shed_rate = static_cast<double>(r.busy) /
+                static_cast<double>(opt.requests == 0 ? 1 : opt.requests);
+  r.server = server.Stats();
+  server.Shutdown();
+  return r;
+}
+
+/// End-to-end integrity spot check: fetch the tip over the wire, validate it
+/// like a superlight client, and verify one served proof against the
+/// certified digest.
+void VerifyServedReplies(const Options& opt, const ServingFixture& fixture) {
+  svc::SpServerConfig config;
+  svc::SpServer server(config);
+  svc::LoopbackTransport loopback;
+  if (Status st = server.Serve(loopback); !st) {
+    throw std::runtime_error(st.message());
+  }
+  for (const auto& ann : fixture.announcements) {
+    if (Status st = server.Announce(ann); !st) {
+      throw std::runtime_error(st.message());
+    }
+  }
+  svc::SpClient client(loopback.Connect());
+  auto tip = client.FetchTip();
+  if (!tip.ok()) throw std::runtime_error(tip.message());
+  core::SuperlightClient light(core::ExpectedEnclaveMeasurement());
+  if (Status st = light.ValidateAndAccept(tip.value().header,
+                                          tip.value().block_cert);
+      !st) {
+    throw std::runtime_error("tip rejected: " + st.message());
+  }
+  if (Status st =
+          light.AcceptIndexCert(tip.value().header, tip.value().index_cert,
+                                tip.value().index_digest, "historical");
+      !st) {
+    throw std::runtime_error("index cert rejected: " + st.message());
+  }
+  const svc::QueryRequest& q = fixture.query_pool.front();
+  auto reply = client.Historical(q.account, q.from_height, q.to_height);
+  if (!reply.ok()) throw std::runtime_error(reply.message());
+  auto verified = query::HistoricalIndex::VerifyQuery(
+      *light.CertifiedIndexDigest("historical"), q.account, q.from_height,
+      q.to_height, reply.value().proof);
+  if (!verified.ok()) {
+    throw std::runtime_error("served proof failed client-side verification: " +
+                             verified.message());
+  }
+  (void)opt;
+  server.Shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.json_path = ParseJsonPath(argc, argv);
+  opt.clients = ParseU64Flag(argc, argv, "clients", opt.clients);
+  opt.requests = ParseU64Flag(argc, argv, "requests", opt.requests);
+  opt.rps = static_cast<double>(
+      ParseU64Flag(argc, argv, "rps", static_cast<std::uint64_t>(opt.rps)));
+  opt.transport = ParseStrFlag(argc, argv, "transport", opt.transport);
+  opt.blocks = static_cast<int>(ParseU64Flag(argc, argv, "blocks",
+                                             static_cast<std::uint64_t>(opt.blocks)));
+  opt.txs = ParseU64Flag(argc, argv, "txs", opt.txs);
+  if (opt.clients == 0 || opt.requests == 0 || opt.rps <= 0.0 ||
+      (opt.transport != "loopback" && opt.transport != "tcp")) {
+    std::fprintf(stderr,
+                 "usage: bench_serving [--clients N] [--requests N] [--rps R]\n"
+                 "                     [--transport loopback|tcp] [--blocks B]\n"
+                 "                     [--txs T] [--json path]\n");
+    return 2;
+  }
+
+  PrintHeader("Serving", "SP server under concurrent client load");
+  PrintParams(std::to_string(opt.clients) + " clients, " +
+              std::to_string(opt.requests) + " requests offered at " +
+              std::to_string(static_cast<std::uint64_t>(opt.rps)) +
+              " rps over " + opt.transport + "; chain: " +
+              std::to_string(opt.blocks) + " blocks x " +
+              std::to_string(opt.txs) + " txs (KVStore); host cores: " +
+              std::to_string(std::thread::hardware_concurrency()));
+
+  ServingFixture fixture(opt);
+  VerifyServedReplies(opt, fixture);
+  std::printf("served replies verify client-side against the certified tip\n\n");
+
+  RunResult off = RunLoad(opt, fixture, /*cache_enabled=*/false);
+  RunResult on = RunLoad(opt, fixture, /*cache_enabled=*/true);
+
+  std::printf("%9s | %9s %8s %8s %8s | %7s %8s\n", "cache", "tput r/s",
+              "p50 ms", "p95 ms", "p99 ms", "shed", "hit rate");
+  std::printf("----------+------------------------------------------+------------------\n");
+  for (const auto* r : {&off, &on}) {
+    std::printf("%9s | %9.0f %8.2f %8.2f %8.2f | %6.1f%% %7.1f%%\n",
+                r == &off ? "disabled" : "enabled", r->throughput, r->p50_ms,
+                r->p95_ms, r->p99_ms, 100.0 * r->shed_rate,
+                100.0 * r->server.cache.HitRate());
+  }
+  const double speedup = off.throughput > 0 ? on.throughput / off.throughput : 0;
+  std::printf("\ncache speedup: %.2fx (OK-reply throughput, same offered load)\n",
+              speedup);
+
+  if (!opt.json_path.empty()) {
+    JsonObject doc;
+    doc.Put("bench", "bench_serving")
+        .PutRaw("meta", JsonRunMeta())
+        .Put("transport", opt.transport)
+        .Put("clients", static_cast<std::uint64_t>(opt.clients))
+        .Put("requests", static_cast<std::uint64_t>(opt.requests))
+        .Put("offered_rps", opt.rps)
+        .Put("blocks", static_cast<std::uint64_t>(opt.blocks))
+        .Put("txs_per_block", static_cast<std::uint64_t>(opt.txs))
+        .PutRaw("cache_disabled", off.Json())
+        .PutRaw("cache_enabled", on.Json())
+        .Put("cache_speedup", speedup);
+    WriteJsonFile(opt.json_path, doc.Str());
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chain/node.h"
@@ -174,6 +175,30 @@ inline std::string JsonArray(const std::vector<std::string>& elems) {
 inline std::string JsonStats(const std::vector<double>& xs) {
   JsonObject o;
   o.Put("mean", Mean(xs)).Put("median", Median(xs)).Put("p95", P95(xs));
+  return o.Str();
+}
+
+/// Run metadata attached to every BENCH_*.json document (as a "meta" object)
+/// so entries in the perf trajectory are attributable to a machine/config:
+/// core count, build type, sanitizer, and the git SHA the binary was built
+/// from (configure-time; "unknown" outside a git checkout).
+inline std::string JsonRunMeta() {
+  JsonObject o;
+  o.Put("host_cores",
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+#ifdef DCERT_BUILD_TYPE
+  o.Put("build_type", DCERT_BUILD_TYPE);
+#else
+  o.Put("build_type", "unknown");
+#endif
+#ifdef DCERT_GIT_SHA
+  o.Put("git_sha", DCERT_GIT_SHA);
+#else
+  o.Put("git_sha", "unknown");
+#endif
+#ifdef DCERT_SANITIZE_NAME
+  if (DCERT_SANITIZE_NAME[0] != '\0') o.Put("sanitizer", DCERT_SANITIZE_NAME);
+#endif
   return o.Str();
 }
 

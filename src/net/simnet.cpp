@@ -30,7 +30,8 @@ Actor* SimNetwork::FindActor(const std::string& name) const {
 void SimNetwork::Send(const std::string& from, const std::string& to,
                       const std::string& topic, Bytes payload) {
   if (FindActor(to) == nullptr) {
-    throw std::invalid_argument("SimNetwork::Send: unknown recipient " + to);
+    ++stats_.messages_dropped;  // recipient may be external to the simulation
+    return;
   }
   Event ev;
   ev.at = now_ + rng_.NextRange(min_latency_, max_latency_);
@@ -70,7 +71,12 @@ SimTime SimNetwork::Run(SimTime until) {
     queue_.pop();
     now_ = ev.at;
     Actor* target = FindActor(ev.msg.to);
-    if (target == nullptr) continue;  // actor may have been external
+    if (target == nullptr) {
+      // Same policy as Send: unknown targets drop (defensive — reachable
+      // only if an actor vanished between enqueue and delivery).
+      if (!ev.is_timer) ++stats_.messages_dropped;
+      continue;
+    }
     if (ev.is_timer) {
       target->OnTimer(*this, ev.timer_id);
     } else {

@@ -49,6 +49,9 @@ class Actor {
 struct NetStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t bytes_delivered = 0;
+  /// Sends addressed to a recipient this network does not know (e.g. an
+  /// external/departed actor). Dropped silently, never delivered.
+  std::uint64_t messages_dropped = 0;
   std::map<std::string, std::uint64_t> messages_by_topic;
 };
 
@@ -61,7 +64,9 @@ class SimNetwork {
   /// Registers an actor; the network does not take ownership.
   void AddActor(Actor* actor);
 
-  /// Point-to-point send (delivered after a random link latency).
+  /// Point-to-point send (delivered after a random link latency). A send to
+  /// an unknown recipient is not an error — the target may be external to
+  /// this simulation — it just counts into NetStats::messages_dropped.
   void Send(const std::string& from, const std::string& to,
             const std::string& topic, Bytes payload);
 

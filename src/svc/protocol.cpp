@@ -1,0 +1,207 @@
+#include "svc/protocol.h"
+
+#include "common/serialize.h"
+
+namespace dcert::svc {
+
+namespace {
+
+bool ValidOp(std::uint8_t op) {
+  return op >= static_cast<std::uint8_t>(Op::kTipFetch) &&
+         op <= static_cast<std::uint8_t>(Op::kAnnounce);
+}
+
+}  // namespace
+
+Bytes EncodeTipFetchRequest() {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Op::kTipFetch));
+  return enc.Take();
+}
+
+Bytes EncodeQueryRequest(const QueryRequest& req) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(req.op));
+  enc.U64(req.account);
+  enc.U64(req.from_height);
+  enc.U64(req.to_height);
+  return enc.Take();
+}
+
+Bytes EncodeAnnounceRequest(const AnnounceRequest& req) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Op::kAnnounce));
+  enc.Blob(req.block.Serialize());
+  enc.Blob(req.block_cert.Serialize());
+  enc.HashField(req.index_digest);
+  enc.Blob(req.index_cert.Serialize());
+  return enc.Take();
+}
+
+Result<Op> PeekOp(ByteView frame) {
+  if (frame.empty() || !ValidOp(frame[0])) {
+    return Result<Op>::Error("request: unknown op");
+  }
+  return static_cast<Op>(frame[0]);
+}
+
+Result<QueryRequest> DecodeQueryRequest(ByteView frame) {
+  using R = Result<QueryRequest>;
+  try {
+    Decoder dec(frame);
+    QueryRequest req;
+    const std::uint8_t op = dec.U8();
+    if (op != static_cast<std::uint8_t>(Op::kHistorical) &&
+        op != static_cast<std::uint8_t>(Op::kAggregate)) {
+      return R::Error("query request: wrong op");
+    }
+    req.op = static_cast<Op>(op);
+    req.account = dec.U64();
+    req.from_height = dec.U64();
+    req.to_height = dec.U64();
+    dec.ExpectEnd();
+    return req;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("query request: ") + e.what());
+  }
+}
+
+Result<AnnounceRequest> DecodeAnnounceRequest(ByteView frame) {
+  using R = Result<AnnounceRequest>;
+  try {
+    Decoder dec(frame);
+    if (dec.U8() != static_cast<std::uint8_t>(Op::kAnnounce)) {
+      return R::Error("announce request: wrong op");
+    }
+    Bytes block_bytes = dec.Blob();
+    Bytes bcert_bytes = dec.Blob();
+    Hash256 digest = dec.HashField();
+    Bytes icert_bytes = dec.Blob();
+    dec.ExpectEnd();
+    auto block = chain::Block::Deserialize(block_bytes);
+    if (!block) return R(block.status());
+    auto bcert = core::BlockCertificate::Deserialize(bcert_bytes);
+    if (!bcert) return R(bcert.status());
+    auto icert = core::IndexCertificate::Deserialize(icert_bytes);
+    if (!icert) return R(icert.status());
+    AnnounceRequest req;
+    req.block = std::move(block.value());
+    req.block_cert = std::move(bcert.value());
+    req.index_digest = digest;
+    req.index_cert = std::move(icert.value());
+    return req;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("announce request: ") + e.what());
+  }
+}
+
+Bytes EncodeStatusReply(Code code, const std::string& message) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(code));
+  enc.Str(message);
+  return enc.Take();
+}
+
+Bytes EncodeTipReply(const TipInfo& tip) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Code::kOk));
+  enc.Blob(tip.header.Serialize());
+  enc.Blob(tip.block_cert.Serialize());
+  enc.HashField(tip.index_digest);
+  enc.Blob(tip.index_cert.Serialize());
+  return enc.Take();
+}
+
+Bytes EncodeQueryReply(std::uint64_t tip_height,
+                       const query::HistoricalQueryProof& proof) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Code::kOk));
+  enc.U64(tip_height);
+  enc.Blob(proof.Serialize());
+  return enc.Take();
+}
+
+Bytes EncodeAckReply(std::uint64_t tip_height) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Code::kOk));
+  enc.U64(tip_height);
+  return enc.Take();
+}
+
+Result<ReplyEnvelope> DecodeReplyEnvelope(ByteView frame) {
+  using R = Result<ReplyEnvelope>;
+  try {
+    Decoder dec(frame);
+    ReplyEnvelope env;
+    const std::uint8_t code = dec.U8();
+    if (code > static_cast<std::uint8_t>(Code::kError)) {
+      return R::Error("reply: unknown status code");
+    }
+    env.code = static_cast<Code>(code);
+    if (env.code == Code::kOk) {
+      env.body = dec.Raw(dec.Remaining());
+    } else {
+      env.message = dec.Str();
+      dec.ExpectEnd();
+    }
+    return env;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("reply: ") + e.what());
+  }
+}
+
+Result<TipInfo> DecodeTipBody(ByteView body) {
+  using R = Result<TipInfo>;
+  try {
+    Decoder dec(body);
+    Bytes hdr_bytes = dec.Blob();
+    Bytes bcert_bytes = dec.Blob();
+    Hash256 digest = dec.HashField();
+    Bytes icert_bytes = dec.Blob();
+    dec.ExpectEnd();
+    auto hdr = chain::BlockHeader::Deserialize(hdr_bytes);
+    if (!hdr) return R(hdr.status());
+    auto bcert = core::BlockCertificate::Deserialize(bcert_bytes);
+    if (!bcert) return R(bcert.status());
+    auto icert = core::IndexCertificate::Deserialize(icert_bytes);
+    if (!icert) return R(icert.status());
+    TipInfo tip;
+    tip.header = hdr.value();
+    tip.block_cert = std::move(bcert.value());
+    tip.index_digest = digest;
+    tip.index_cert = std::move(icert.value());
+    return tip;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("tip reply: ") + e.what());
+  }
+}
+
+Result<std::pair<std::uint64_t, query::HistoricalQueryProof>> DecodeQueryBody(
+    ByteView body) {
+  using R = Result<std::pair<std::uint64_t, query::HistoricalQueryProof>>;
+  try {
+    Decoder dec(body);
+    std::uint64_t tip_height = dec.U64();
+    Bytes proof_bytes = dec.Blob();
+    dec.ExpectEnd();
+    auto proof = query::HistoricalQueryProof::Deserialize(proof_bytes);
+    if (!proof) return R(proof.status());
+    return std::make_pair(tip_height, std::move(proof.value()));
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("query reply: ") + e.what());
+  }
+}
+
+Result<std::uint64_t> DecodeAckBody(ByteView body) {
+  using R = Result<std::uint64_t>;
+  try {
+    Decoder dec(body);
+    std::uint64_t tip_height = dec.U64();
+    dec.ExpectEnd();
+    return tip_height;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("ack reply: ") + e.what());
+  }
+}
+
+}  // namespace dcert::svc

@@ -1,0 +1,86 @@
+// Request/reply envelope for the SP serving protocol. A request frame is
+// `u8 op || body`; a reply frame is `u8 code || body` where an OK body is
+// op-specific and a busy/error body is a human-readable message. The query
+// bodies reuse the net/actors.h wire shapes where they exist; announcements
+// carry the full block plus the CI's block and index certificates so the
+// server can validate them exactly as a client would before serving them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chain/block.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dcert/certificate.h"
+#include "query/historical_index.h"
+
+namespace dcert::svc {
+
+enum class Op : std::uint8_t {
+  kTipFetch = 1,    // -> TipReply
+  kHistorical = 2,  // window query -> QueryReply
+  kAggregate = 3,   // count/sum query -> QueryReply
+  kAnnounce = 4,    // certified block announcement -> AckReply
+};
+
+enum class Code : std::uint8_t {
+  kOk = 0,
+  kBusy = 1,   // admission control shed the request; retry later
+  kError = 2,  // malformed request or server-side failure
+};
+
+/// Everything a superlight client needs to trust replies from this server:
+/// the certified tip header, its block certificate, and the certified
+/// historical-index digest with its index certificate.
+struct TipInfo {
+  chain::BlockHeader header;
+  core::BlockCertificate block_cert;
+  Hash256 index_digest;
+  core::IndexCertificate index_cert;
+};
+
+struct QueryRequest {
+  Op op = Op::kHistorical;
+  std::uint64_t account = 0;
+  std::uint64_t from_height = 0;
+  std::uint64_t to_height = 0;
+};
+
+struct AnnounceRequest {
+  chain::Block block;
+  core::BlockCertificate block_cert;
+  Hash256 index_digest;
+  core::IndexCertificate index_cert;
+};
+
+/// A decoded reply envelope; `body` is the op-specific OK payload.
+struct ReplyEnvelope {
+  Code code = Code::kError;
+  std::string message;  // busy/error only
+  Bytes body;           // ok only
+};
+
+// Requests.
+Bytes EncodeTipFetchRequest();
+Bytes EncodeQueryRequest(const QueryRequest& req);
+Bytes EncodeAnnounceRequest(const AnnounceRequest& req);
+/// The op byte of a request frame (without consuming the body).
+Result<Op> PeekOp(ByteView frame);
+Result<QueryRequest> DecodeQueryRequest(ByteView frame);
+Result<AnnounceRequest> DecodeAnnounceRequest(ByteView frame);
+
+// Replies.
+Bytes EncodeStatusReply(Code code, const std::string& message);
+Bytes EncodeTipReply(const TipInfo& tip);
+/// `tip_height` tells the client which tip the proof was generated against.
+Bytes EncodeQueryReply(std::uint64_t tip_height,
+                       const query::HistoricalQueryProof& proof);
+Bytes EncodeAckReply(std::uint64_t tip_height);
+Result<ReplyEnvelope> DecodeReplyEnvelope(ByteView frame);
+Result<TipInfo> DecodeTipBody(ByteView body);
+Result<std::pair<std::uint64_t, query::HistoricalQueryProof>> DecodeQueryBody(
+    ByteView body);
+Result<std::uint64_t> DecodeAckBody(ByteView body);
+
+}  // namespace dcert::svc

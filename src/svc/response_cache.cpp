@@ -1,0 +1,83 @@
+#include "svc/response_cache.h"
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+
+namespace dcert::svc {
+
+ResponseCache::ResponseCache(std::size_t shards,
+                             std::size_t capacity_per_shard)
+    : capacity_per_shard_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Hash256 ResponseCache::Key(Op op, std::uint64_t account,
+                           std::uint64_t from_height, std::uint64_t to_height,
+                           std::uint64_t tip_height) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(op));
+  enc.U64(account);
+  enc.U64(from_height);
+  enc.U64(to_height);
+  enc.U64(tip_height);
+  return crypto::Sha256::Digest(enc.bytes());
+}
+
+ResponseCache::Shard& ResponseCache::ShardFor(const Hash256& key) {
+  return *shards_[Hash256Hasher{}(key) % shards_.size()];
+}
+
+std::optional<Bytes> ResponseCache::Lookup(const Hash256& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResponseCache::Insert(const Hash256& key, Bytes reply) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {  // racing miss computed the same reply
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    it->second->second = std::move(reply);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(reply));
+  shard.map[key] = shard.lru.begin();
+  if (shard.lru.size() > capacity_per_shard_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResponseCache::InvalidateAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CacheStats ResponseCache::Stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dcert::svc

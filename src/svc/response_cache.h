@@ -1,0 +1,73 @@
+// Sharded LRU cache for encoded query replies, keyed by
+// (op, account, window, tip height). Proof generation dominates the serving
+// cost of repeated queries, so the SP caches whole reply frames; when a new
+// certified block arrives every cached proof refers to a stale tip, so the
+// server invalidates the cache wholesale (keys embed the tip height, making
+// stale hits impossible even without the flush — the flush just returns the
+// memory). Shards keep lock contention bounded under concurrent clients.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "svc/protocol.h"
+
+namespace dcert::svc {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  // whole-cache flushes
+
+  double HitRate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ResponseCache {
+ public:
+  /// `capacity_per_shard` entries kept per shard, LRU-evicted.
+  ResponseCache(std::size_t shards, std::size_t capacity_per_shard);
+
+  /// Cache key for a query against a given certified tip.
+  static Hash256 Key(Op op, std::uint64_t account, std::uint64_t from_height,
+                     std::uint64_t to_height, std::uint64_t tip_height);
+
+  /// Returns the cached reply frame and promotes it to most-recently-used.
+  std::optional<Bytes> Lookup(const Hash256& key);
+  void Insert(const Hash256& key, Bytes reply);
+  /// Drops every entry (a new certified block arrived).
+  void InvalidateAll();
+
+  CacheStats Stats() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::list<std::pair<Hash256, Bytes>> lru;  // front = most recent
+    std::unordered_map<Hash256, std::list<std::pair<Hash256, Bytes>>::iterator,
+                       Hash256Hasher>
+        map;
+  };
+
+  Shard& ShardFor(const Hash256& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t capacity_per_shard_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace dcert::svc

@@ -1,0 +1,57 @@
+#include "svc/sp_client.h"
+
+namespace dcert::svc {
+
+Result<Bytes> SpClient::Roundtrip(const Bytes& request) {
+  last_busy_ = false;
+  auto raw = conn_->Call(request);
+  if (!raw.ok()) return raw;
+  auto env = DecodeReplyEnvelope(raw.value());
+  if (!env.ok()) return Result<Bytes>(env.status());
+  if (env.value().code == Code::kBusy) {
+    last_busy_ = true;
+    return Result<Bytes>::Error("busy: " + env.value().message);
+  }
+  if (env.value().code == Code::kError) {
+    return Result<Bytes>::Error("server: " + env.value().message);
+  }
+  return std::move(env.value().body);
+}
+
+Result<TipInfo> SpClient::FetchTip() {
+  auto body = Roundtrip(EncodeTipFetchRequest());
+  if (!body.ok()) return Result<TipInfo>(body.status());
+  return DecodeTipBody(body.value());
+}
+
+Result<SpClient::QueryResult> SpClient::Historical(std::uint64_t account,
+                                                   std::uint64_t from_height,
+                                                   std::uint64_t to_height) {
+  using R = Result<QueryResult>;
+  QueryRequest req{Op::kHistorical, account, from_height, to_height};
+  auto body = Roundtrip(EncodeQueryRequest(req));
+  if (!body.ok()) return R(body.status());
+  auto decoded = DecodeQueryBody(body.value());
+  if (!decoded.ok()) return R(decoded.status());
+  return QueryResult{decoded.value().first, std::move(decoded.value().second)};
+}
+
+Result<SpClient::QueryResult> SpClient::Aggregate(std::uint64_t account,
+                                                  std::uint64_t from_height,
+                                                  std::uint64_t to_height) {
+  using R = Result<QueryResult>;
+  QueryRequest req{Op::kAggregate, account, from_height, to_height};
+  auto body = Roundtrip(EncodeQueryRequest(req));
+  if (!body.ok()) return R(body.status());
+  auto decoded = DecodeQueryBody(body.value());
+  if (!decoded.ok()) return R(decoded.status());
+  return QueryResult{decoded.value().first, std::move(decoded.value().second)};
+}
+
+Result<std::uint64_t> SpClient::Announce(const AnnounceRequest& req) {
+  auto body = Roundtrip(EncodeAnnounceRequest(req));
+  if (!body.ok()) return Result<std::uint64_t>(body.status());
+  return DecodeAckBody(body.value());
+}
+
+}  // namespace dcert::svc

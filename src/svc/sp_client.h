@@ -1,0 +1,48 @@
+// Client-side wrapper over a ClientTransport connection: encodes requests,
+// decodes reply envelopes, and surfaces the server's busy signal distinctly
+// from hard errors so callers (the load generator, retry loops) can tell
+// shedding from failure. Verification of the returned proofs stays with the
+// caller via the existing HistoricalIndex::VerifyQuery / SuperlightClient
+// checks — the transport and the SP are untrusted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "svc/protocol.h"
+#include "svc/transport.h"
+
+namespace dcert::svc {
+
+class SpClient {
+ public:
+  explicit SpClient(std::unique_ptr<ClientTransport> conn)
+      : conn_(std::move(conn)) {}
+
+  struct QueryResult {
+    std::uint64_t tip_height = 0;
+    query::HistoricalQueryProof proof;
+  };
+
+  Result<TipInfo> FetchTip();
+  Result<QueryResult> Historical(std::uint64_t account,
+                                 std::uint64_t from_height,
+                                 std::uint64_t to_height);
+  Result<QueryResult> Aggregate(std::uint64_t account,
+                                std::uint64_t from_height,
+                                std::uint64_t to_height);
+  Result<std::uint64_t> Announce(const AnnounceRequest& req);
+
+  /// True when the last failed call was shed by admission control (kBusy)
+  /// rather than a transport/protocol error.
+  bool LastReplyBusy() const { return last_busy_; }
+
+ private:
+  /// One round trip; returns the OK body or an error (setting last_busy_).
+  Result<Bytes> Roundtrip(const Bytes& request);
+
+  std::unique_ptr<ClientTransport> conn_;
+  bool last_busy_ = false;
+};
+
+}  // namespace dcert::svc

@@ -1,0 +1,231 @@
+#include "svc/sp_server.h"
+
+#include <chrono>
+#include <thread>
+
+namespace dcert::svc {
+
+namespace {
+
+/// Out-of-order announcements wait here at most; beyond it the announcer is
+/// either malicious or hopelessly ahead, so shed the request.
+constexpr std::size_t kMaxPendingAnnouncements = 1024;
+
+}  // namespace
+
+SpServer::SpServer(SpServerConfig config)
+    : config_(config),
+      pool_(config.workers),
+      cache_(config.cache_shards, config.cache_capacity_per_shard),
+      index_("historical") {}
+
+SpServer::~SpServer() { Shutdown(); }
+
+Status SpServer::Serve(ServerTransport& transport) {
+  transport_ = &transport;
+  return transport.Start([this](Bytes request, Respond respond) {
+    HandleFrame(std::move(request), std::move(respond));
+  });
+}
+
+void SpServer::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lk(admit_mu_);
+    draining_ = true;
+    drain_cv_.wait(lk, [this] { return in_flight_ == 0; });
+  }
+  if (transport_ != nullptr) {
+    transport_->Stop();
+    transport_ = nullptr;
+  }
+}
+
+void SpServer::HandleFrame(Bytes request, Respond respond) {
+  {
+    std::lock_guard<std::mutex> lk(admit_mu_);
+    if (draining_ || in_flight_ >= config_.max_queue) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      respond(EncodeStatusReply(Code::kBusy,
+                                draining_ ? "draining" : "overloaded"));
+      return;
+    }
+    ++in_flight_;
+  }
+  pool_.Submit(
+      [this, request = std::move(request), respond = std::move(respond)] {
+        Bytes reply = Process(request);
+        respond(std::move(reply));
+        std::lock_guard<std::mutex> lk(admit_mu_);
+        --in_flight_;
+        if (in_flight_ == 0) drain_cv_.notify_all();
+      });
+}
+
+Bytes SpServer::Process(const Bytes& request) {
+  if (config_.debug_process_delay_ms != 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.debug_process_delay_ms));
+  }
+  auto op = PeekOp(request);
+  if (!op.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeStatusReply(Code::kError, op.message());
+  }
+  switch (op.value()) {
+    case Op::kTipFetch:
+      return ProcessTipFetch();
+    case Op::kHistorical:
+    case Op::kAggregate: {
+      auto req = DecodeQueryRequest(request);
+      if (!req.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return EncodeStatusReply(Code::kError, req.message());
+      }
+      return ProcessQuery(req.value());
+    }
+    case Op::kAnnounce: {
+      auto req = DecodeAnnounceRequest(request);
+      if (!req.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return EncodeStatusReply(Code::kError, req.message());
+      }
+      Status st = Announce(req.value());
+      if (!st) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return EncodeStatusReply(Code::kError, st.message());
+      }
+      served_.fetch_add(1, std::memory_order_relaxed);
+      std::shared_lock<std::shared_mutex> lk(state_mu_);
+      return EncodeAckReply(tip_ ? tip_->header.height : 0);
+    }
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return EncodeStatusReply(Code::kError, "unhandled op");
+}
+
+Bytes SpServer::ProcessTipFetch() {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  if (!tip_) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeStatusReply(Code::kError, "no certified tip yet");
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return EncodeTipReply(*tip_);
+}
+
+Bytes SpServer::ProcessQuery(const QueryRequest& req) {
+  // Shared lock spans the tip read and the proof generation so the proof is
+  // always consistent with the tip height stamped into the reply.
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  if (!tip_) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return EncodeStatusReply(Code::kError, "no certified tip yet");
+  }
+  const std::uint64_t tip_height = tip_->header.height;
+  Hash256 key;
+  if (config_.enable_cache) {
+    key = ResponseCache::Key(req.op, req.account, req.from_height,
+                             req.to_height, tip_height);
+    if (auto hit = cache_.Lookup(key)) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+      return std::move(*hit);
+    }
+  }
+  query::HistoricalQueryProof proof =
+      req.op == Op::kHistorical
+          ? index_.Query(req.account, req.from_height, req.to_height)
+          : index_.AggregateQuery(req.account, req.from_height, req.to_height);
+  Bytes reply = EncodeQueryReply(tip_height, proof);
+  if (config_.enable_cache) cache_.Insert(key, reply);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return reply;
+}
+
+Status SpServer::Announce(const AnnounceRequest& req) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  return AnnounceLocked(req);
+}
+
+Status SpServer::AnnounceLocked(const AnnounceRequest& req) {
+  const chain::BlockHeader& hdr = req.block.header;
+  auto reject = [this](Status st) {
+    announce_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  };
+  if (hdr.height < next_height_) {
+    return reject(Status::Error("announce: stale height " +
+                                std::to_string(hdr.height)));
+  }
+  // Validate the certificates like a superlight client would: the block
+  // certificate must sign this exact header, the index certificate must bind
+  // the claimed digest to it, both from the pinned enclave.
+  if (req.block_cert.digest != hdr.Hash()) {
+    return reject(Status::Error("announce: block cert does not sign header"));
+  }
+  if (Status st = core::VerifyCertificateEnvelope(req.block_cert,
+                                                  config_.expected_measurement);
+      !st) {
+    return reject(st.WithContext("announce: block cert"));
+  }
+  if (req.index_cert.digest !=
+      core::IndexCertDigest(hdr.Hash(), req.index_digest)) {
+    return reject(Status::Error("announce: index cert does not bind digest"));
+  }
+  if (Status st = core::VerifyCertificateEnvelope(req.index_cert,
+                                                  config_.expected_measurement);
+      !st) {
+    return reject(st.WithContext("announce: index cert"));
+  }
+  if (pending_.size() >= kMaxPendingAnnouncements) {
+    return reject(Status::Error("announce: too many out-of-order blocks"));
+  }
+  pending_[hdr.height] = req;
+
+  bool applied_any = false;
+  while (true) {
+    auto it = pending_.find(next_height_);
+    if (it == pending_.end()) break;
+    const AnnounceRequest& r = it->second;
+    if (tip_ && r.block.header.prev_hash != tip_->header.Hash()) {
+      pending_.erase(it);
+      return reject(Status::Error("announce: block does not extend tip"));
+    }
+    index_.ApplyBlockCapturingAux(r.block);
+    if (index_.CurrentDigest() != r.index_digest) {
+      // The CI certified a different index content than this block produces
+      // — the announcement stream is inconsistent; the live index is now
+      // unusable for certified serving.
+      pending_.erase(it);
+      return reject(
+          Status::Error("announce: index digest mismatch after apply"));
+    }
+    TipInfo tip;
+    tip.header = r.block.header;
+    tip.block_cert = r.block_cert;
+    tip.index_digest = r.index_digest;
+    tip.index_cert = r.index_cert;
+    tip_ = std::move(tip);
+    pending_.erase(it);
+    ++next_height_;
+    blocks_applied_.fetch_add(1, std::memory_order_relaxed);
+    applied_any = true;
+  }
+  // Every cached proof refers to an older tip once a block applies.
+  if (applied_any) cache_.InvalidateAll();
+  return Status::Ok();
+}
+
+SpServerStats SpServer::Stats() const {
+  SpServerStats s;
+  s.served = served_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.blocks_applied = blocks_applied_.load(std::memory_order_relaxed);
+  s.announce_rejected = announce_rejected_.load(std::memory_order_relaxed);
+  s.cache = cache_.Stats();
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  s.tip_height = tip_ ? tip_->header.height : 0;
+  return s;
+}
+
+}  // namespace dcert::svc

@@ -1,0 +1,119 @@
+// Multi-threaded Query Service Provider (the paper's SP, Sec. 5) behind a
+// Transport: framed requests — historical/aggregate queries, certified-block
+// announcements, tip fetches — are admission-controlled on the transport
+// thread and dispatched onto a common::ThreadPool. The server maintains its
+// own live HistoricalIndex from announced blocks (validating the CI's block
+// and index certificates exactly as a superlight client would, so a tampered
+// announcement never enters the index), serves authenticated proofs under a
+// reader/writer lock, and caches encoded replies in a sharded LRU keyed by
+// (query, tip height) that is flushed whenever a new certified block lands.
+//
+// Admission control: at most `max_queue` requests may be admitted
+// (queued + executing) at once; beyond that the transport thread replies
+// kBusy immediately without touching the pool (load shedding). Shutdown()
+// first stops admitting (new requests shed), then waits for the admitted
+// ones to finish (graceful drain), then stops the transport.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+
+#include "common/thread_pool.h"
+#include "dcert/enclave_program.h"
+#include "query/historical_index.h"
+#include "svc/protocol.h"
+#include "svc/response_cache.h"
+#include "svc/transport.h"
+
+namespace dcert::svc {
+
+struct SpServerConfig {
+  /// Worker threads the server's common::ThreadPool runs requests on.
+  std::size_t workers = 4;
+  /// Admitted-request bound (queued + executing); above it requests shed.
+  std::size_t max_queue = 64;
+  bool enable_cache = true;
+  std::size_t cache_shards = 8;
+  std::size_t cache_capacity_per_shard = 256;
+  /// Enclave identity announcements must be certified by.
+  Hash256 expected_measurement = core::ExpectedEnclaveMeasurement();
+  /// Test hook: artificial per-request processing delay, to make admission
+  /// control and drain observable in fast unit tests.
+  std::uint64_t debug_process_delay_ms = 0;
+};
+
+struct SpServerStats {
+  std::uint64_t served = 0;             // OK replies
+  std::uint64_t shed = 0;               // kBusy replies from admission control
+  std::uint64_t errors = 0;             // kError replies
+  std::uint64_t blocks_applied = 0;     // announcements accepted into the index
+  std::uint64_t announce_rejected = 0;  // announcements failing validation
+  std::uint64_t tip_height = 0;
+  CacheStats cache;
+};
+
+class SpServer {
+ public:
+  explicit SpServer(SpServerConfig config);
+  ~SpServer();
+  SpServer(const SpServer&) = delete;
+  SpServer& operator=(const SpServer&) = delete;
+
+  /// Registers this server's handler with `transport` and starts serving.
+  /// The transport must outlive the server (or Shutdown must run first).
+  Status Serve(ServerTransport& transport);
+
+  /// Graceful shutdown: shed new requests, drain in-flight ones, stop the
+  /// transport. Idempotent; also runs from the destructor.
+  void Shutdown();
+
+  /// In-process announcement path (setup rigs, benches). Same validation as
+  /// announcements arriving over the wire.
+  Status Announce(const AnnounceRequest& req);
+
+  SpServerStats Stats() const;
+
+ private:
+  /// Transport-thread entry: admission control + pool dispatch.
+  void HandleFrame(Bytes request, Respond respond);
+  /// Pool-thread entry: decode, serve, encode.
+  Bytes Process(const Bytes& request);
+  Bytes ProcessQuery(const QueryRequest& req);
+  Bytes ProcessTipFetch();
+  /// Applies announcements contiguously (out-of-order ones wait in
+  /// pending_); caller must hold state_mu_ exclusively.
+  Status AnnounceLocked(const AnnounceRequest& req);
+
+  SpServerConfig config_;
+  common::ThreadPool pool_;
+  ResponseCache cache_;
+  ServerTransport* transport_ = nullptr;
+
+  // Admission control.
+  mutable std::mutex admit_mu_;
+  std::condition_variable drain_cv_;
+  std::size_t in_flight_ = 0;
+  bool draining_ = false;
+
+  // Serving state: the live index plus the certified tip it reflects.
+  mutable std::shared_mutex state_mu_;
+  query::HistoricalIndex index_;
+  std::map<std::uint64_t, AnnounceRequest> pending_;  // by height
+  std::optional<TipInfo> tip_;
+  std::uint64_t next_height_ = 1;
+
+  // Counters (monotonic, read via Stats()).
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> blocks_applied_{0};
+  std::atomic<std::uint64_t> announce_rejected_{0};
+};
+
+}  // namespace dcert::svc

@@ -1,0 +1,209 @@
+#include "svc/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dcert::svc {
+
+namespace {
+
+/// Writes all of `data` to `fd`; false on any error (peer gone, fd closed).
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t r = ::recv(fd, data, n, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;  // EOF or error
+    }
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, ByteView payload) {
+  std::uint8_t len[4];
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  len[0] = static_cast<std::uint8_t>(n);
+  len[1] = static_cast<std::uint8_t>(n >> 8);
+  len[2] = static_cast<std::uint8_t>(n >> 16);
+  len[3] = static_cast<std::uint8_t>(n >> 24);
+  return WriteAll(fd, len, 4) && WriteAll(fd, payload.data(), payload.size());
+}
+
+/// Reads one frame; false on EOF/error/oversized frame.
+bool ReadFrame(int fd, Bytes& out) {
+  std::uint8_t len[4];
+  if (!ReadAll(fd, len, 4)) return false;
+  const std::uint32_t n = static_cast<std::uint32_t>(len[0]) |
+                          (static_cast<std::uint32_t>(len[1]) << 8) |
+                          (static_cast<std::uint32_t>(len[2]) << 16) |
+                          (static_cast<std::uint32_t>(len[3]) << 24);
+  if (n > kMaxFrameBytes) return false;
+  out.resize(n);
+  return n == 0 || ReadAll(fd, out.data(), n);
+}
+
+}  // namespace
+
+TcpServerTransport::~TcpServerTransport() { Stop(); }
+
+Status TcpServerTransport::Start(FrameHandler handler) {
+  if (started_) return Status::Error("tcp server: already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Error(std::string("tcp server: socket: ") +
+                         std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Error(std::string("tcp server: bind: ") +
+                         std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Error(std::string("tcp server: listen: ") +
+                         std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  handler_ = std::move(handler);
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void TcpServerTransport::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by Stop
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void TcpServerTransport::ReaderLoop(std::shared_ptr<Conn> conn) {
+  Bytes frame;
+  while (ReadFrame(conn->fd, frame)) {
+    // The respond closure shares ownership of the connection so replies
+    // written after the reader exits (or after Stop) stay memory-safe; the
+    // open flag under write_mu makes them silent no-ops instead.
+    Respond respond = [conn](Bytes reply) {
+      std::lock_guard<std::mutex> lk(conn->write_mu);
+      if (conn->open) WriteFrame(conn->fd, reply);
+    };
+    handler_(std::move(frame), std::move(respond));
+    frame = Bytes();
+  }
+}
+
+void TcpServerTransport::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Conn>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns.swap(conns_);
+    readers.swap(readers_);
+  }
+  for (auto& conn : conns) {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    conn->open = false;
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& conn : conns) ::close(conn->fd);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+Result<std::unique_ptr<ClientTransport>> TcpClientTransport::Connect(
+    const std::string& host, std::uint16_t port) {
+  using R = Result<std::unique_ptr<ClientTransport>>;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return R::Error(std::string("tcp client: socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return R::Error("tcp client: bad host address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return R::Error(std::string("tcp client: connect: ") +
+                    std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return R(std::unique_ptr<ClientTransport>(new TcpClientTransport(fd)));
+}
+
+TcpClientTransport::~TcpClientTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Bytes> TcpClientTransport::Call(ByteView request) {
+  if (!WriteFrame(fd_, request)) {
+    return Result<Bytes>::Error("tcp client: write failed (server gone?)");
+  }
+  Bytes reply;
+  if (!ReadFrame(fd_, reply)) {
+    return Result<Bytes>::Error("tcp client: read failed (server gone?)");
+  }
+  return reply;
+}
+
+}  // namespace dcert::svc

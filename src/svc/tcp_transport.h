@@ -1,0 +1,68 @@
+// Real-socket implementation of the svc transport: length-prefixed frames
+// (u32 little-endian length, then the payload) over TCP on 127.0.0.1. The
+// server runs one accept thread plus one reader thread per connection;
+// replies may be written from any thread (the SpServer's pool workers), so
+// each connection serializes writes with a mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/transport.h"
+
+namespace dcert::svc {
+
+/// Hard cap on a single frame; anything larger is a protocol violation (our
+/// proofs are tens of KB) and closes the connection.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+class TcpServerTransport final : public ServerTransport {
+ public:
+  /// `port` 0 binds an ephemeral port (read it back via Port()).
+  explicit TcpServerTransport(std::uint16_t port) : port_(port) {}
+  ~TcpServerTransport() override;
+
+  Status Start(FrameHandler handler) override;
+  void Stop() override;
+
+  /// The bound port; valid after a successful Start.
+  std::uint16_t Port() const { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    bool open = true;  // guarded by write_mu
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Conn> conn);
+
+  std::uint16_t port_;
+  int listen_fd_ = -1;
+  FrameHandler handler_;
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> readers_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+class TcpClientTransport final : public ClientTransport {
+ public:
+  static Result<std::unique_ptr<ClientTransport>> Connect(
+      const std::string& host, std::uint16_t port);
+  ~TcpClientTransport() override;
+
+  Result<Bytes> Call(ByteView request) override;
+
+ private:
+  explicit TcpClientTransport(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+}  // namespace dcert::svc

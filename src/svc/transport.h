@@ -1,0 +1,73 @@
+// Transport abstraction for the concurrent query-serving subsystem: the same
+// SpServer code runs over an in-process loopback (deterministic unit tests)
+// and over real TCP sockets (length-prefixed frames), because the server only
+// ever sees opaque request frames and a respond callback.
+//
+// Threading contract: the transport invokes the handler from its own threads
+// (one per connection for TCP, the calling client thread for loopback); the
+// handler may invoke `respond` inline or later from any thread, exactly once
+// per request. After Stop() returns, late responds become no-ops.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcert::svc {
+
+/// Delivers the reply frame for one request. Callable from any thread, at
+/// most once.
+using Respond = std::function<void(Bytes reply)>;
+
+/// Invoked by the transport for each inbound request frame.
+using FrameHandler = std::function<void(Bytes request, Respond respond)>;
+
+/// Server side of a transport: accepts request frames and routes them to the
+/// registered handler.
+class ServerTransport {
+ public:
+  virtual ~ServerTransport() = default;
+  /// Starts serving; `handler` may be invoked concurrently from multiple
+  /// transport threads.
+  virtual Status Start(FrameHandler handler) = 0;
+  /// Stops accepting requests. Safe to call twice. The server is expected to
+  /// have drained in-flight work before calling this (SpServer::Shutdown
+  /// does), so replies are delivered before connections close.
+  virtual void Stop() = 0;
+};
+
+/// One logical client connection: blocking request/response round trips.
+/// A connection serves one outstanding call at a time; use one connection
+/// per client thread.
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+  virtual Result<Bytes> Call(ByteView request) = 0;
+};
+
+/// In-process transport: client Calls invoke the server handler directly on
+/// the calling thread and block on a future for the reply. Concurrency comes
+/// from the callers — N client threads mean N concurrent handler invocations,
+/// exactly like N TCP connections.
+class LoopbackTransport final : public ServerTransport {
+ public:
+  Status Start(FrameHandler handler) override;
+  void Stop() override;
+
+  /// Opens a client connection bound to this transport. The connection stays
+  /// valid after Stop (calls then fail with an error status).
+  std::unique_ptr<ClientTransport> Connect();
+
+ private:
+  struct Core {
+    std::mutex mu;
+    FrameHandler handler;
+    bool running = false;
+  };
+  std::shared_ptr<Core> core_ = std::make_shared<Core>();
+};
+
+}  // namespace dcert::svc

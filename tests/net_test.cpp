@@ -90,8 +90,25 @@ TEST(SimNetTest, RejectsBadConfig) {
   Recorder a2("a");
   EXPECT_THROW(net.AddActor(&a2), std::invalid_argument);
   EXPECT_THROW(net.AddActor(nullptr), std::invalid_argument);
-  EXPECT_THROW(net.Send("a", "nobody", "t", {}), std::invalid_argument);
   EXPECT_THROW(net.ScheduleTimer("nobody", 1, 1), std::invalid_argument);
+}
+
+TEST(SimNetTest, UnknownRecipientDropsInsteadOfThrowing) {
+  SimNetwork net(5, 10, 20);
+  Recorder a("a"), b("b");
+  net.AddActor(&a);
+  net.AddActor(&b);
+  // A send to an unknown recipient is tolerated (the target may be external
+  // to the simulation) and accounted as a drop, consistent with Run's
+  // missing-target policy.
+  net.Send("a", "nobody", "t", StrBytes("lost"));
+  net.Send("a", "b", "t", StrBytes("kept"));
+  net.Broadcast("a", "t2", StrBytes("wide"));
+  net.Run(1'000);
+  EXPECT_EQ(net.Stats().messages_dropped, 1u);
+  EXPECT_EQ(net.Stats().messages_delivered, 2u);  // "kept" + broadcast to b
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_TRUE(a.received.empty());
 }
 
 TEST(CertAnnouncementTest, RoundTripAndGarbage) {

@@ -1,0 +1,433 @@
+// Concurrent query-serving subsystem: SpServer behind the loopback and TCP
+// transports — concurrent clients, response-cache invalidation on new
+// certified blocks, admission-control shedding, graceful drain, and
+// client-side rejection of tampered replies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "chain/node.h"
+#include "common/rng.h"
+#include "dcert/issuer.h"
+#include "dcert/superlight.h"
+#include "query/extraction.h"
+#include "query/historical_index.h"
+#include "svc/response_cache.h"
+#include "svc/sp_client.h"
+#include "svc/sp_server.h"
+#include "svc/tcp_transport.h"
+#include "workloads/workloads.h"
+
+namespace dcert::svc {
+namespace {
+
+/// A small certified chain (blocks + announcements) shared by the tests, plus
+/// one account known to have historical writes.
+struct CertifiedChain {
+  std::vector<AnnounceRequest> announcements;
+  std::uint64_t hot_account = 0;
+  std::uint64_t tip_height = 0;
+
+  explicit CertifiedChain(int blocks, std::size_t txs = 6) {
+    chain::ChainConfig config;
+    config.difficulty_bits = 2;
+    auto registry = workloads::MakeBlockbenchRegistry(1);
+    core::CertificateIssuer ci(config, registry);
+    auto hist = std::make_shared<query::HistoricalIndex>("historical");
+    ci.AttachIndex(hist);
+    chain::FullNode node(config, registry);
+    chain::Miner miner(node);
+    workloads::AccountPool pool(4, 77);
+    workloads::WorkloadGenerator::Params params;
+    params.kind = workloads::Workload::kKvStore;
+    params.instances_per_workload = 1;
+    params.kv_keys = 8;
+    workloads::WorkloadGenerator gen(params, pool);
+
+    for (int i = 0; i < blocks; ++i) {
+      auto block =
+          miner.MineBlock(gen.NextBlockTxs(txs), 1700000000 + node.Height() * 15);
+      if (!block.ok()) throw std::runtime_error("mine: " + block.message());
+      if (Status st = node.SubmitBlock(block.value()); !st) {
+        throw std::runtime_error("submit: " + st.message());
+      }
+      auto icerts = ci.ProcessBlockHierarchical(block.value());
+      if (!icerts.ok()) throw std::runtime_error("certify: " + icerts.message());
+      AnnounceRequest ann;
+      ann.block = block.value();
+      ann.block_cert = *ci.LatestCert();
+      ann.index_digest = hist->CurrentDigest();
+      ann.index_cert = icerts.value()[0];
+      announcements.push_back(std::move(ann));
+      if (hot_account == 0) {
+        auto writes = query::ExtractHistoricalWrites(block.value());
+        if (!writes.empty()) hot_account = writes.front().account_word;
+      }
+    }
+    if (hot_account == 0) {
+      throw std::runtime_error("workload produced no historical writes");
+    }
+    tip_height = announcements.back().block.header.height;
+  }
+};
+
+const CertifiedChain& Chain() {
+  static CertifiedChain chain(4);
+  return chain;
+}
+
+/// Announces every block of `chain` into `server`, expecting success.
+void AnnounceAll(SpServer& server, const CertifiedChain& chain) {
+  for (const auto& ann : chain.announcements) {
+    Status st = server.Announce(ann);
+    ASSERT_TRUE(st.ok()) << st.message();
+  }
+}
+
+/// Fetches the tip through `client` and validates it exactly as a superlight
+/// client: block certificate, then the index certificate binding. Returns the
+/// certified historical digest replies must verify against.
+Hash256 TrustedDigest(SpClient& client) {
+  auto tip = client.FetchTip();
+  EXPECT_TRUE(tip.ok()) << tip.message();
+  core::SuperlightClient light(core::ExpectedEnclaveMeasurement());
+  Status accept = light.ValidateAndAccept(tip.value().header, tip.value().block_cert);
+  EXPECT_TRUE(accept.ok()) << accept.message();
+  Status index = light.AcceptIndexCert(tip.value().header, tip.value().index_cert,
+                                       tip.value().index_digest, "historical");
+  EXPECT_TRUE(index.ok()) << index.message();
+  auto digest = light.CertifiedIndexDigest("historical");
+  EXPECT_TRUE(digest.has_value());
+  return digest.value_or(Hash256{});
+}
+
+TEST(SvcResponseCacheTest, HitsMissesEvictionsInvalidations) {
+  ResponseCache cache(/*shards=*/2, /*capacity_per_shard=*/2);
+  const Hash256 k1 = ResponseCache::Key(Op::kHistorical, 1, 1, 10, 10);
+  const Hash256 k2 = ResponseCache::Key(Op::kHistorical, 2, 1, 10, 10);
+  EXPECT_NE(k1, k2);
+  // Same query at a different tip is a different key — stale hits impossible.
+  EXPECT_NE(k1, ResponseCache::Key(Op::kHistorical, 1, 1, 10, 11));
+
+  EXPECT_FALSE(cache.Lookup(k1).has_value());
+  cache.Insert(k1, Bytes{0xaa});
+  auto hit = cache.Lookup(k1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit.value(), Bytes{0xaa});
+  EXPECT_EQ(cache.Stats().hits, 1u);
+  EXPECT_EQ(cache.Stats().misses, 1u);
+
+  // Overfill every shard; evictions must kick in and stats must add up.
+  for (std::uint64_t a = 10; a < 30; ++a) {
+    cache.Insert(ResponseCache::Key(Op::kAggregate, a, 1, 10, 10), Bytes{1});
+  }
+  EXPECT_GT(cache.Stats().evictions, 0u);
+
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.Stats().invalidations, 1u);
+  EXPECT_FALSE(cache.Lookup(k2).has_value());
+}
+
+TEST(SvcLoopbackTest, ConcurrentClientsGetVerifiableProofs) {
+  const CertifiedChain& chain = Chain();
+  SpServer server(SpServerConfig{});
+  LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+  AnnounceAll(server, chain);
+
+  SpClient tip_client(loopback.Connect());
+  const Hash256 digest = TrustedDigest(tip_client);
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 20;
+  std::atomic<int> verified{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SpClient client(loopback.Connect());
+      Rng rng(0x7e57 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t from = rng.NextRange(1, chain.tip_height);
+        if (rng.NextRange(0, 1) == 0) {
+          auto r = client.Historical(chain.hot_account, from, chain.tip_height);
+          if (!r.ok()) continue;
+          auto v = query::HistoricalIndex::VerifyQuery(
+              digest, chain.hot_account, from, chain.tip_height,
+              r.value().proof);
+          if (v.ok()) ++verified;
+        } else {
+          auto r = client.Aggregate(chain.hot_account, from, chain.tip_height);
+          if (!r.ok()) continue;
+          auto v = query::HistoricalIndex::VerifyAggregateQuery(
+              digest, chain.hot_account, from, chain.tip_height,
+              r.value().proof);
+          if (v.ok()) ++verified;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Default admission bound (64) exceeds the concurrency, so nothing sheds
+  // and every reply must have verified.
+  EXPECT_EQ(verified.load(), kThreads * kPerThread);
+  SpServerStats stats = server.Stats();
+  EXPECT_GE(stats.served, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.tip_height, chain.tip_height);
+  server.Shutdown();
+}
+
+TEST(SvcLoopbackTest, CacheInvalidatedOnNewCertifiedBlock) {
+  const CertifiedChain& chain = Chain();
+  SpServer server(SpServerConfig{});
+  LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+  // Hold the last block back so we can land it mid-test.
+  for (std::size_t i = 0; i + 1 < chain.announcements.size(); ++i) {
+    ASSERT_TRUE(server.Announce(chain.announcements[i]).ok());
+  }
+
+  SpClient client(loopback.Connect());
+  const std::uint64_t old_tip = chain.tip_height - 1;
+  ASSERT_TRUE(client.Historical(chain.hot_account, 1, old_tip).ok());
+  ASSERT_TRUE(client.Historical(chain.hot_account, 1, old_tip).ok());
+  SpServerStats before = server.Stats();
+  EXPECT_EQ(before.cache.misses, 1u);
+  EXPECT_EQ(before.cache.hits, 1u);
+
+  // New certified block: cache flushed, and the same query now regenerates
+  // its proof against the new tip (a miss again).
+  ASSERT_TRUE(server.Announce(chain.announcements.back()).ok());
+  auto after_block = client.Historical(chain.hot_account, 1, old_tip);
+  ASSERT_TRUE(after_block.ok());
+  EXPECT_EQ(after_block.value().tip_height, chain.tip_height);
+  SpServerStats after = server.Stats();
+  EXPECT_GT(after.cache.invalidations, before.cache.invalidations);
+  EXPECT_EQ(after.cache.misses, 2u);
+  EXPECT_EQ(after.tip_height, chain.tip_height);
+  server.Shutdown();
+}
+
+TEST(SvcLoopbackTest, AdmissionControlShedsWithBusy) {
+  const CertifiedChain& chain = Chain();
+  SpServerConfig config;
+  config.workers = 1;
+  config.max_queue = 1;  // one admitted request at a time
+  config.debug_process_delay_ms = 100;
+  SpServer server(config);
+  LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+  AnnounceAll(server, chain);
+
+  constexpr int kThreads = 4;
+  std::atomic<int> ok{0}, busy{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      SpClient client(loopback.Connect());
+      auto r = client.Historical(chain.hot_account, 1, chain.tip_height);
+      if (r.ok()) {
+        ++ok;
+      } else if (client.LastReplyBusy()) {
+        ++busy;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // With a single slot and a 100ms service time, the concurrent burst cannot
+  // all be admitted: at least one OK and at least one shed-with-busy.
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_GE(busy.load(), 1);
+  EXPECT_EQ(ok.load() + busy.load(), kThreads);
+  EXPECT_GE(server.Stats().shed, static_cast<std::uint64_t>(busy.load()));
+  server.Shutdown();
+}
+
+TEST(SvcLoopbackTest, GracefulDrainCompletesInFlightRequests) {
+  const CertifiedChain& chain = Chain();
+  SpServerConfig config;
+  config.debug_process_delay_ms = 150;
+  SpServer server(config);
+  LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+  AnnounceAll(server, chain);
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> in_flight_ok{false};
+  std::thread requester([&] {
+    SpClient client(loopback.Connect());
+    started = true;
+    auto r = client.Historical(chain.hot_account, 1, chain.tip_height);
+    in_flight_ok = r.ok();
+  });
+  // Let the request get admitted, then drain while it is still processing
+  // (the 150ms service time leaves plenty of overlap).
+  while (!started.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  server.Shutdown();
+  requester.join();
+  EXPECT_TRUE(in_flight_ok.load()) << "drain must complete admitted requests";
+
+  // After shutdown the transport is stopped: new calls fail, not hang.
+  SpClient late(loopback.Connect());
+  auto r = late.Historical(chain.hot_account, 1, chain.tip_height);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SvcLoopbackTest, OutOfOrderAnnouncementsApplyContiguously) {
+  const CertifiedChain& chain = Chain();
+  SpServer server(SpServerConfig{});
+  LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+
+  // Height 2 before height 1: buffered, nothing applied yet.
+  ASSERT_TRUE(server.Announce(chain.announcements[1]).ok());
+  EXPECT_EQ(server.Stats().blocks_applied, 0u);
+  EXPECT_EQ(server.Stats().tip_height, 0u);
+
+  // Height 1 lands: both apply contiguously.
+  ASSERT_TRUE(server.Announce(chain.announcements[0]).ok());
+  EXPECT_EQ(server.Stats().blocks_applied, 2u);
+  EXPECT_EQ(server.Stats().tip_height, 2u);
+  server.Shutdown();
+}
+
+TEST(SvcLoopbackTest, TamperedAnnouncementRejected) {
+  const CertifiedChain& chain = Chain();
+  SpServer server(SpServerConfig{});
+  LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+
+  // A forged index digest must not pass the index-certificate binding.
+  AnnounceRequest forged = chain.announcements.front();
+  forged.index_digest[0] ^= 0x01;
+  EXPECT_FALSE(server.Announce(forged).ok());
+
+  // A tampered block body must not pass the block-certificate digest check.
+  AnnounceRequest tampered = chain.announcements.front();
+  tampered.block.header.timestamp += 1;
+  EXPECT_FALSE(server.Announce(tampered).ok());
+
+  SpServerStats stats = server.Stats();
+  EXPECT_EQ(stats.announce_rejected, 2u);
+  EXPECT_EQ(stats.blocks_applied, 0u);
+  server.Shutdown();
+}
+
+TEST(SvcTcpTest, EndToEndOverRealSocketsVerifies) {
+  const CertifiedChain& chain = Chain();
+  SpServer server(SpServerConfig{});
+  TcpServerTransport tcp(/*port=*/0);
+  ASSERT_TRUE(server.Serve(tcp).ok());
+  AnnounceAll(server, chain);
+
+  auto conn = TcpClientTransport::Connect("127.0.0.1", tcp.Port());
+  ASSERT_TRUE(conn.ok()) << conn.message();
+  SpClient client(std::move(conn.value()));
+  const Hash256 digest = TrustedDigest(client);
+
+  auto hist = client.Historical(chain.hot_account, 1, chain.tip_height);
+  ASSERT_TRUE(hist.ok()) << hist.message();
+  auto versions = query::HistoricalIndex::VerifyQuery(
+      digest, chain.hot_account, 1, chain.tip_height, hist.value().proof);
+  ASSERT_TRUE(versions.ok()) << versions.message();
+  EXPECT_FALSE(versions.value().empty());
+
+  auto agg = client.Aggregate(chain.hot_account, 1, chain.tip_height);
+  ASSERT_TRUE(agg.ok()) << agg.message();
+  auto total = query::HistoricalIndex::VerifyAggregateQuery(
+      digest, chain.hot_account, 1, chain.tip_height, agg.value().proof);
+  ASSERT_TRUE(total.ok()) << total.message();
+  EXPECT_EQ(total.value().count, versions.value().size());
+  server.Shutdown();
+}
+
+TEST(SvcTcpTest, TamperedReplyRejectedByClientVerification) {
+  const CertifiedChain& chain = Chain();
+  SpServer server(SpServerConfig{});
+  TcpServerTransport tcp(/*port=*/0);
+  ASSERT_TRUE(server.Serve(tcp).ok());
+  AnnounceAll(server, chain);
+
+  auto tip_conn = TcpClientTransport::Connect("127.0.0.1", tcp.Port());
+  ASSERT_TRUE(tip_conn.ok());
+  SpClient tip_client(std::move(tip_conn.value()));
+  const Hash256 digest = TrustedDigest(tip_client);
+
+  // Raw round trip so we can corrupt the reply the way a malicious SP (or
+  // network) would before it reaches the verifier.
+  auto conn = TcpClientTransport::Connect("127.0.0.1", tcp.Port());
+  ASSERT_TRUE(conn.ok());
+  QueryRequest q{Op::kHistorical, chain.hot_account, 1, chain.tip_height};
+  auto raw = conn.value()->Call(EncodeQueryRequest(q));
+  ASSERT_TRUE(raw.ok()) << raw.message();
+  ASSERT_GT(raw.value().size(), 16u);
+
+  // Every single-byte corruption of the proof must be caught: either the
+  // reply no longer decodes, or verification against the certified digest
+  // fails. Flip a few positions spread across the frame.
+  for (std::size_t pos : {raw.value().size() / 4, raw.value().size() / 2,
+                          raw.value().size() - 2}) {
+    Bytes tampered = raw.value();
+    tampered[pos] ^= 0x01;
+    auto envelope = DecodeReplyEnvelope(tampered);
+    if (!envelope.ok() || envelope.value().code != Code::kOk) continue;
+    auto body = DecodeQueryBody(envelope.value().body);
+    if (!body.ok()) continue;
+    auto verified = query::HistoricalIndex::VerifyQuery(
+        digest, q.account, q.from_height, q.to_height, body.value().second);
+    EXPECT_FALSE(verified.ok())
+        << "tampered byte " << pos << " verified against the certified digest";
+  }
+
+  // Sanity: the untampered reply does verify.
+  auto envelope = DecodeReplyEnvelope(raw.value());
+  ASSERT_TRUE(envelope.ok());
+  ASSERT_EQ(envelope.value().code, Code::kOk);
+  auto body = DecodeQueryBody(envelope.value().body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_TRUE(query::HistoricalIndex::VerifyQuery(digest, q.account,
+                                                  q.from_height, q.to_height,
+                                                  body.value().second)
+                  .ok());
+  server.Shutdown();
+}
+
+TEST(SvcConcurrencyTest, AnnouncementsRaceQueriesSafely) {
+  // Queries under shared locks race block applications under the exclusive
+  // lock; run under TSan this is the data-race canary for the subsystem.
+  const CertifiedChain& chain = Chain();
+  SpServer server(SpServerConfig{});
+  LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+  ASSERT_TRUE(server.Announce(chain.announcements.front()).ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      SpClient client(loopback.Connect());
+      while (!stop.load()) {
+        auto r = client.Historical(chain.hot_account, 1, chain.tip_height);
+        // Replies may race the tip forward but must never fail outright.
+        ASSERT_TRUE(r.ok()) << r.message();
+      }
+    });
+  }
+  for (std::size_t i = 1; i < chain.announcements.size(); ++i) {
+    ASSERT_TRUE(server.Announce(chain.announcements[i]).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(server.Stats().tip_height, chain.tip_height);
+  EXPECT_GT(server.Stats().cache.invalidations, 0u);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace dcert::svc

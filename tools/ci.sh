@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: a Release build running the full tier-1 suite, then a
 # ThreadSanitizer build (DCERT_SANITIZE=thread) running the threaded tests
-# that exercise the pipeline/thread-pool/SMT parallel paths.
+# that exercise the pipeline/thread-pool/SMT parallel paths and the serving
+# subsystem, then an AddressSanitizer build (DCERT_SANITIZE=address) running
+# the server/transport tests (socket and buffer handling).
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -10,16 +12,23 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== [1/2] Release build + full test suite ==="
+echo "=== [1/3] Release build + full test suite ==="
 cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}-release" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}"
 
-echo "=== [2/2] TSan build + threaded tests ==="
+echo "=== [2/3] TSan build + threaded tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
-  thread_pool_test parallel_equivalence_test smt_test dcert_test
+  thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelEquivalence|Smt'
+  -R 'ThreadPool|ParallelEquivalence|Smt|Svc'
+
+echo "=== [3/3] ASan build + serving/transport tests ==="
+cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=address
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target \
+  svc_test net_test thread_pool_test
+ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
+  -R 'Svc|SimNet|ThreadPool'
 
 echo "CI OK"

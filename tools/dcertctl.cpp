@@ -6,6 +6,8 @@
 //   dcertctl mine-store <path> <blocks>  mine + certify a chain into a block store
 //   dcertctl verify-store <path>         replay a stored chain, re-certify, verify
 //   dcertctl inspect-cert <hex>          decode + envelope-check a certificate
+//   dcertctl serve <port> [blocks] [txs] mine + certify a chain, serve it over TCP
+//   dcertctl query <host:port> ...       query a running server, verify replies
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -14,7 +16,11 @@
 #include "chain/node.h"
 #include "dcert/issuer.h"
 #include "dcert/superlight.h"
+#include "query/historical_index.h"
 #include "sgxsim/attestation.h"
+#include "svc/sp_client.h"
+#include "svc/sp_server.h"
+#include "svc/tcp_transport.h"
 #include "workloads/workloads.h"
 
 using namespace dcert;
@@ -29,7 +35,15 @@ int Usage() {
                "  demo [blocks=5] [txs=10]     run mine->certify->validate\n"
                "  mine-store <path> <blocks>   mine a chain into a block store\n"
                "  verify-store <path>          replay + re-certify a stored chain\n"
-               "  inspect-cert <hex>           decode and check a certificate\n");
+               "  inspect-cert <hex>           decode and check a certificate\n"
+               "  serve <port> [blocks=20] [txs=8]\n"
+               "                               mine + certify a chain, serve it over TCP\n"
+               "                               (port 0 = ephemeral; Ctrl-D stops)\n"
+               "  query <host:port> tip        fetch + validate the served tip\n"
+               "  query <host:port> hist <account> <from> <to>\n"
+               "                               verified historical window query\n"
+               "  query <host:port> agg <account> <from> <to>\n"
+               "                               verified count/sum aggregate query\n");
   return 2;
 }
 
@@ -212,6 +226,172 @@ int CmdInspectCert(const std::string& hex) {
   return envelope ? 0 : 1;
 }
 
+int CmdServe(int port, int blocks, int txs) {
+  // Mine + certify a fresh chain with an attached historical index, feed the
+  // certified blocks to an SpServer, then serve it over real TCP until stdin
+  // closes. `dcertctl query` is the matching client.
+  chain::ChainConfig config;
+  config.difficulty_bits = 2;
+  auto registry = workloads::MakeBlockbenchRegistry(1);
+  core::CertificateIssuer ci(config, registry);
+  auto hist = std::make_shared<query::HistoricalIndex>("historical");
+  ci.AttachIndex(hist);
+  chain::FullNode miner_node(config, registry);
+  chain::Miner miner(miner_node);
+  workloads::AccountPool pool(4, 77);
+  workloads::WorkloadGenerator::Params params;
+  params.kind = workloads::Workload::kKvStore;
+  params.instances_per_workload = 1;
+  params.kv_keys = 10;
+  workloads::WorkloadGenerator gen(params, pool);
+
+  svc::SpServer server(svc::SpServerConfig{});
+  for (int i = 0; i < blocks; ++i) {
+    auto block = miner.MineBlock(gen.NextBlockTxs(static_cast<std::size_t>(txs)),
+                                 1700000000 + miner_node.Height() * 15);
+    if (!block.ok() || !miner_node.SubmitBlock(block.value())) {
+      std::fprintf(stderr, "mining failed at block %d\n", i + 1);
+      return 1;
+    }
+    auto icerts = ci.ProcessBlockHierarchical(block.value());
+    if (!icerts.ok()) {
+      std::fprintf(stderr, "certification failed: %s\n", icerts.message().c_str());
+      return 1;
+    }
+    svc::AnnounceRequest ann;
+    ann.block = block.value();
+    ann.block_cert = *ci.LatestCert();
+    ann.index_digest = hist->CurrentDigest();
+    ann.index_cert = icerts.value()[0];
+    if (Status st = server.Announce(ann); !st) {
+      std::fprintf(stderr, "announce failed: %s\n", st.message().c_str());
+      return 1;
+    }
+  }
+
+  svc::TcpServerTransport transport(static_cast<std::uint16_t>(port));
+  if (Status st = server.Serve(transport); !st) {
+    std::fprintf(stderr, "%s\n", st.message().c_str());
+    return 1;
+  }
+  std::printf("serving %d certified blocks on 127.0.0.1:%u\n", blocks,
+              transport.Port());
+  std::printf("try: dcertctl query 127.0.0.1:%u tip   (Ctrl-D here stops)\n",
+              transport.Port());
+  std::fflush(stdout);
+  while (std::getchar() != EOF) {
+  }
+  server.Shutdown();
+  std::printf("drained and stopped\n");
+  return 0;
+}
+
+int CmdQuery(const std::string& target, int argc, char** argv) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "target must be host:port, got %s\n", target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port in %s\n", target.c_str());
+    return 2;
+  }
+  auto conn = svc::TcpClientTransport::Connect(
+      host, static_cast<std::uint16_t>(port));
+  if (!conn.ok()) {
+    std::fprintf(stderr, "%s\n", conn.message().c_str());
+    return 1;
+  }
+  svc::SpClient client(std::move(conn.value()));
+
+  // Every subcommand starts from a validated tip: certificate envelope,
+  // header binding, and index certificate all check out or we stop.
+  auto tip = client.FetchTip();
+  if (!tip.ok()) {
+    std::fprintf(stderr, "tip fetch failed: %s\n", tip.message().c_str());
+    return 1;
+  }
+  core::SuperlightClient light(core::ExpectedEnclaveMeasurement());
+  if (Status st = light.ValidateAndAccept(tip.value().header,
+                                          tip.value().block_cert);
+      !st) {
+    std::fprintf(stderr, "tip certificate rejected: %s\n", st.message().c_str());
+    return 1;
+  }
+  if (Status st =
+          light.AcceptIndexCert(tip.value().header, tip.value().index_cert,
+                                tip.value().index_digest, "historical");
+      !st) {
+    std::fprintf(stderr, "index certificate rejected: %s\n",
+                 st.message().c_str());
+    return 1;
+  }
+  const Hash256 digest = *light.CertifiedIndexDigest("historical");
+
+  const std::string what = argc >= 4 ? argv[3] : "tip";
+  if (what == "tip") {
+    std::printf("tip height:    %llu\n",
+                static_cast<unsigned long long>(tip.value().header.height));
+    std::printf("header hash:   %s\n",
+                tip.value().header.Hash().ToHex().c_str());
+    std::printf("index digest:  %s\n", digest.ToHex().c_str());
+    std::printf("certificates:  VALID (block + index, measurement pinned)\n");
+    return 0;
+  }
+  if ((what == "hist" || what == "agg") && argc >= 7) {
+    const std::uint64_t account = std::strtoull(argv[4], nullptr, 10);
+    const std::uint64_t from = std::strtoull(argv[5], nullptr, 10);
+    const std::uint64_t to = std::strtoull(argv[6], nullptr, 10);
+    if (what == "hist") {
+      auto reply = client.Historical(account, from, to);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", reply.message().c_str());
+        return 1;
+      }
+      auto versions = query::HistoricalIndex::VerifyQuery(
+          digest, account, from, to, reply.value().proof);
+      if (!versions.ok()) {
+        std::fprintf(stderr, "PROOF REJECTED: %s\n", versions.message().c_str());
+        return 1;
+      }
+      std::printf("account %llu, blocks [%llu, %llu]: %zu version(s), "
+                  "proof VERIFIED against certified digest\n",
+                  static_cast<unsigned long long>(account),
+                  static_cast<unsigned long long>(from),
+                  static_cast<unsigned long long>(to),
+                  versions.value().size());
+      for (const auto& v : versions.value()) {
+        std::printf("  block %6llu  value %llu\n",
+                    static_cast<unsigned long long>(v.block_height),
+                    static_cast<unsigned long long>(v.value));
+      }
+      return 0;
+    }
+    auto reply = client.Aggregate(account, from, to);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", reply.message().c_str());
+      return 1;
+    }
+    auto agg = query::HistoricalIndex::VerifyAggregateQuery(
+        digest, account, from, to, reply.value().proof);
+    if (!agg.ok()) {
+      std::fprintf(stderr, "PROOF REJECTED: %s\n", agg.message().c_str());
+      return 1;
+    }
+    std::printf("account %llu, blocks [%llu, %llu]: count=%llu sum=%llu, "
+                "proof VERIFIED against certified digest\n",
+                static_cast<unsigned long long>(account),
+                static_cast<unsigned long long>(from),
+                static_cast<unsigned long long>(to),
+                static_cast<unsigned long long>(agg.value().count),
+                static_cast<unsigned long long>(agg.value().sum));
+    return 0;
+  }
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,5 +410,13 @@ int main(int argc, char** argv) {
   }
   if (cmd == "verify-store" && argc >= 3) return CmdVerifyStore(argv[2]);
   if (cmd == "inspect-cert" && argc >= 3) return CmdInspectCert(argv[2]);
+  if (cmd == "serve" && argc >= 3) {
+    int port = std::atoi(argv[2]);
+    int blocks = argc >= 4 ? std::atoi(argv[3]) : 20;
+    int txs = argc >= 5 ? std::atoi(argv[4]) : 8;
+    if (port < 0 || port > 65535 || blocks <= 0 || txs <= 0) return Usage();
+    return CmdServe(port, blocks, txs);
+  }
+  if (cmd == "query" && argc >= 3) return CmdQuery(argv[2], argc, argv);
   return Usage();
 }
