@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "query/extraction.h"
 #include "query/historical_index.h"
+#include "svc/fault_transport.h"
 #include "svc/sp_client.h"
 #include "svc/sp_server.h"
 #include "svc/tcp_transport.h"
@@ -36,8 +37,28 @@ struct Options {
   std::string transport = "loopback";
   int blocks = 20;
   std::size_t txs = 40;
+  // --fault-rate F runs the load through the seeded FaultInjectingTransport
+  // (drop/delay/corrupt at F, truncate/duplicate at F/2, refused dials at F)
+  // with retrying clients, measuring the robustness layer under adversity.
+  double fault_rate = 0.0;
+  std::uint64_t seed = 0xD0C5;
   std::string json_path;
 };
+
+/// One knob fans out over the individual fault kinds so a soak exercises all
+/// of them; recorded verbatim in the JSON meta for reproducibility.
+svc::FaultConfig MakeFaultConfig(const Options& opt, std::uint64_t stream) {
+  svc::FaultConfig fc;
+  fc.drop_rate = opt.fault_rate;
+  fc.delay_rate = opt.fault_rate;
+  fc.delay_ms_max = 3;
+  fc.truncate_rate = opt.fault_rate / 2;
+  fc.duplicate_rate = opt.fault_rate / 2;
+  fc.corrupt_rate = opt.fault_rate;
+  fc.refuse_connect_rate = opt.fault_rate;
+  fc.seed = opt.seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  return fc;
+}
 
 std::uint64_t ParseU64Flag(int argc, char** argv, const std::string& name,
                            std::uint64_t fallback) {
@@ -51,6 +72,14 @@ std::string ParseStrFlag(int argc, char** argv, const std::string& name,
                          const std::string& fallback) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (argv[i] == "--" + name) return argv[i + 1];
+  }
+  return fallback;
+}
+
+double ParseDoubleFlag(int argc, char** argv, const std::string& name,
+                       double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == "--" + name) return std::strtod(argv[i + 1], nullptr);
   }
   return fallback;
 }
@@ -128,6 +157,12 @@ struct RunResult {
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   double shed_rate = 0.0;
   svc::SpServerStats server;
+  // Aggregated across all client threads; zero unless faults/retries fire.
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t giveups = 0;
+  std::uint64_t faults_injected = 0;
 
   std::string Json() const {
     JsonObject o;
@@ -145,7 +180,12 @@ struct RunResult {
         .Put("cache_hit_rate", server.cache.HitRate())
         .Put("served", server.served)
         .Put("shed", server.shed)
-        .Put("errors", server.errors);
+        .Put("errors", server.errors)
+        .Put("client_retries", retries)
+        .Put("client_reconnects", reconnects)
+        .Put("client_timeouts", timeouts)
+        .Put("client_giveups", giveups)
+        .Put("faults_injected", faults_injected);
     return o.Str();
   }
 };
@@ -172,17 +212,10 @@ RunResult RunLoad(const Options& opt, const ServingFixture& fixture,
     }
   }
 
-  // One connection per client thread.
-  std::vector<std::unique_ptr<svc::ClientTransport>> conns;
-  for (std::size_t c = 0; c < opt.clients; ++c) {
-    if (use_tcp) {
-      auto conn = svc::TcpClientTransport::Connect("127.0.0.1", tcp.Port());
-      if (!conn.ok()) throw std::runtime_error(conn.message());
-      conns.push_back(std::move(conn.value()));
-    } else {
-      conns.push_back(loopback.Connect());
-    }
-  }
+  // One connection per client thread, dialed lazily through a Connector so
+  // the fault decorator can refuse dials and the retrying client can redial.
+  auto fault_counters = std::make_shared<svc::FaultCounters>();
+  const std::uint16_t tcp_port = tcp.Port();
 
   using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now() + std::chrono::milliseconds(10);
@@ -190,12 +223,35 @@ RunResult RunLoad(const Options& opt, const ServingFixture& fixture,
   std::vector<std::vector<double>> ok_latencies(opt.clients);
   std::vector<std::uint64_t> oks(opt.clients, 0), busys(opt.clients, 0),
       fails(opt.clients, 0);
+  std::vector<svc::SpClientStats> client_stats(opt.clients);
   std::atomic<Clock::duration::rep> last_done{0};
 
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < opt.clients; ++c) {
     threads.emplace_back([&, c] {
-      svc::SpClient client(std::move(conns[c]));
+      svc::Connector dial;
+      if (use_tcp) {
+        dial = [tcp_port] {
+          return svc::TcpClientTransport::Connect("127.0.0.1", tcp_port);
+        };
+      } else {
+        dial = [&loopback] {
+          return Result<std::unique_ptr<svc::ClientTransport>>(
+              loopback.Connect());
+        };
+      }
+      svc::RetryPolicy policy;  // defaults: one-shot, PR 2 behavior
+      if (opt.fault_rate > 0.0) {
+        dial = svc::FaultyConnector(std::move(dial), MakeFaultConfig(opt, c),
+                                    fault_counters);
+        policy.max_attempts = 10;
+        policy.call_deadline = std::chrono::seconds(5);
+        policy.initial_backoff = std::chrono::milliseconds(1);
+        policy.max_backoff = std::chrono::milliseconds(16);
+        policy.retry_budget = std::chrono::seconds(20);
+        policy.jitter_seed = opt.seed + c;
+      }
+      svc::SpClient client(std::move(dial), policy);
       Rng rng(0x5eed + c);
       for (std::size_t i = c; i < opt.requests; i += opt.clients) {
         const auto scheduled =
@@ -225,6 +281,7 @@ RunResult RunLoad(const Options& opt, const ServingFixture& fixture,
         while (rep > prev && !last_done.compare_exchange_weak(prev, rep)) {
         }
       }
+      client_stats[c] = client.Stats();
     });
   }
   for (auto& t : threads) t.join();
@@ -235,9 +292,14 @@ RunResult RunLoad(const Options& opt, const ServingFixture& fixture,
     r.ok += oks[c];
     r.busy += busys[c];
     r.failed += fails[c];
+    r.retries += client_stats[c].retries;
+    r.reconnects += client_stats[c].reconnects;
+    r.timeouts += client_stats[c].timeouts;
+    r.giveups += client_stats[c].giveups;
     latencies.insert(latencies.end(), ok_latencies[c].begin(),
                      ok_latencies[c].end());
   }
+  r.faults_injected = fault_counters->Total();
   r.wall_s = std::chrono::duration<double>(
                  Clock::duration(last_done.load()))
                  .count();
@@ -310,12 +372,16 @@ int main(int argc, char** argv) {
   opt.blocks = static_cast<int>(ParseU64Flag(argc, argv, "blocks",
                                              static_cast<std::uint64_t>(opt.blocks)));
   opt.txs = ParseU64Flag(argc, argv, "txs", opt.txs);
+  opt.fault_rate = ParseDoubleFlag(argc, argv, "fault-rate", opt.fault_rate);
+  opt.seed = ParseU64Flag(argc, argv, "seed", opt.seed);
   if (opt.clients == 0 || opt.requests == 0 || opt.rps <= 0.0 ||
+      opt.fault_rate < 0.0 || opt.fault_rate >= 1.0 ||
       (opt.transport != "loopback" && opt.transport != "tcp")) {
     std::fprintf(stderr,
                  "usage: bench_serving [--clients N] [--requests N] [--rps R]\n"
                  "                     [--transport loopback|tcp] [--blocks B]\n"
-                 "                     [--txs T] [--json path]\n");
+                 "                     [--txs T] [--fault-rate F] [--seed S]\n"
+                 "                     [--json path]\n");
     return 2;
   }
 
@@ -325,7 +391,9 @@ int main(int argc, char** argv) {
               std::to_string(static_cast<std::uint64_t>(opt.rps)) +
               " rps over " + opt.transport + "; chain: " +
               std::to_string(opt.blocks) + " blocks x " +
-              std::to_string(opt.txs) + " txs (KVStore); host cores: " +
+              std::to_string(opt.txs) + " txs (KVStore); fault rate " +
+              std::to_string(opt.fault_rate) + " (seed " +
+              std::to_string(opt.seed) + "); host cores: " +
               std::to_string(std::thread::hardware_concurrency()));
 
   ServingFixture fixture(opt);
@@ -347,6 +415,16 @@ int main(int argc, char** argv) {
   const double speedup = off.throughput > 0 ? on.throughput / off.throughput : 0;
   std::printf("\ncache speedup: %.2fx (OK-reply throughput, same offered load)\n",
               speedup);
+  if (opt.fault_rate > 0.0) {
+    std::printf("faults injected: %llu (retries %llu, reconnects %llu, "
+                "timeouts %llu, giveups %llu)\n",
+                static_cast<unsigned long long>(off.faults_injected +
+                                                on.faults_injected),
+                static_cast<unsigned long long>(off.retries + on.retries),
+                static_cast<unsigned long long>(off.reconnects + on.reconnects),
+                static_cast<unsigned long long>(off.timeouts + on.timeouts),
+                static_cast<unsigned long long>(off.giveups + on.giveups));
+  }
 
   if (!opt.json_path.empty()) {
     JsonObject doc;
@@ -358,6 +436,8 @@ int main(int argc, char** argv) {
         .Put("offered_rps", opt.rps)
         .Put("blocks", static_cast<std::uint64_t>(opt.blocks))
         .Put("txs_per_block", static_cast<std::uint64_t>(opt.txs))
+        .Put("fault_rate", opt.fault_rate)
+        .Put("seed", opt.seed)
         .PutRaw("cache_disabled", off.Json())
         .PutRaw("cache_enabled", on.Json())
         .Put("cache_speedup", speedup);

@@ -55,6 +55,12 @@ double Rng::NextDouble() {
   return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
 }
 
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
 Bytes Rng::NextBytes(std::size_t n) {
   Bytes out(n);
   std::size_t i = 0;

@@ -19,6 +19,9 @@ class Rng {
   /// Uniform in [lo, hi] inclusive.
   std::uint64_t NextRange(std::uint64_t lo, std::uint64_t hi);
   double NextDouble();  // [0, 1)
+  /// True with probability `p` (clamped to [0, 1]); p <= 0 never draws, so
+  /// zero-rate fault configs cost nothing and do not perturb the stream.
+  bool Chance(double p);
   Bytes NextBytes(std::size_t n);
 
  private:

@@ -1,0 +1,102 @@
+#include "svc/fault_transport.h"
+
+#include <thread>
+
+namespace dcert::svc {
+
+namespace {
+
+/// Decorrelates per-stream fault sequences without making them independent
+/// of the master seed (splitmix-style mix).
+std::uint64_t StreamSeed(std::uint64_t seed, std::uint64_t stream_id) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Bump(const std::shared_ptr<FaultCounters>& counters,
+          std::atomic<std::uint64_t> FaultCounters::*field) {
+  if (counters) (counters.get()->*field).fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<ClientTransport> inner, const FaultConfig& config,
+    std::uint64_t stream_id, std::shared_ptr<FaultCounters> counters)
+    : inner_(std::move(inner)),
+      config_(config),
+      rng_(StreamSeed(config.seed, stream_id)),
+      counters_(std::move(counters)) {}
+
+Result<Bytes> FaultInjectingTransport::Call(ByteView request,
+                                            std::chrono::milliseconds deadline) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (rng_.Chance(config_.drop_rate)) {
+    // A dropped frame is indistinguishable from a stalled server: the client
+    // would wait out its deadline. Surface the timeout immediately rather
+    // than burning real wall clock on it.
+    Bump(counters_, &FaultCounters::drops);
+    return Result<Bytes>(TimeoutError("fault: request dropped"));
+  }
+  if (rng_.Chance(config_.delay_rate)) {
+    Bump(counters_, &FaultCounters::delays);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(rng_.NextRange(1, config_.delay_ms_max)));
+  }
+  const int sends = rng_.Chance(config_.duplicate_rate) ? 2 : 1;
+  if (sends == 2) Bump(counters_, &FaultCounters::duplicates);
+  Result<Bytes> reply = Result<Bytes>::Error("fault: no attempt");
+  for (int i = 0; i < sends; ++i) {
+    reply = inner_->Call(request, deadline);
+    if (!reply.ok()) return reply;
+  }
+  Bytes body = std::move(reply.value());
+  if (!body.empty() && rng_.Chance(config_.truncate_rate)) {
+    // A mid-frame disconnect delivers a prefix; the decoder must reject it.
+    Bump(counters_, &FaultCounters::truncations);
+    body.resize(rng_.NextBelow(body.size()));
+  }
+  if (!body.empty() && rng_.Chance(config_.corrupt_rate)) {
+    // One flipped bit anywhere: either decoding fails or the proof no longer
+    // verifies against the certified digest — never silently accepted.
+    Bump(counters_, &FaultCounters::corruptions);
+    body[rng_.NextBelow(body.size())] ^=
+        static_cast<std::uint8_t>(1u << rng_.NextBelow(8));
+  }
+  return body;
+}
+
+Connector FaultyConnector(Connector dial, FaultConfig config,
+                          std::shared_ptr<FaultCounters> counters) {
+  // The rng and stream counter live behind a shared_ptr so the returned
+  // std::function stays copyable; dials may come from any thread.
+  struct State {
+    std::mutex mu;
+    Rng rng;
+    std::uint64_t next_stream = 0;
+    explicit State(std::uint64_t seed) : rng(StreamSeed(seed, ~0ULL)) {}
+  };
+  auto state = std::make_shared<State>(config.seed);
+  return [dial = std::move(dial), config, counters, state]()
+             -> Result<std::unique_ptr<ClientTransport>> {
+    std::uint64_t stream_id;
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      stream_id = state->next_stream++;
+      if (state->rng.Chance(config.refuse_connect_rate)) {
+        Bump(counters, &FaultCounters::refused_connects);
+        return Result<std::unique_ptr<ClientTransport>>(
+            ConnectionError("fault: connect refused"));
+      }
+    }
+    auto inner = dial();
+    if (!inner.ok()) return inner;
+    return Result<std::unique_ptr<ClientTransport>>(
+        std::make_unique<FaultInjectingTransport>(std::move(inner.value()),
+                                                  config, stream_id, counters));
+  };
+}
+
+}  // namespace dcert::svc

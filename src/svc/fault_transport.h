@@ -1,0 +1,76 @@
+// Deterministic fault-injecting decorator around a ClientTransport: the
+// standard harness for exercising the retry/deadline/verification machinery
+// against the failure modes an untrusted SP or a hostile network produces —
+// lost requests, latency spikes, truncated or bit-flipped replies, duplicated
+// deliveries, and refused dials. Every fault draws from a seeded Rng, so a
+// soak run is a pure function of (seed, workload) and failures reproduce.
+//
+// Faults are injected at the call boundary, which is where a client observes
+// them anyway: a dropped frame *is* a timeout, a mid-frame disconnect *is* a
+// short read. Truncation and corruption deliver the damaged bytes so the
+// decode + proof-verification layers above get exercised, not bypassed.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.h"
+#include "svc/transport.h"
+
+namespace dcert::svc {
+
+struct FaultConfig {
+  double drop_rate = 0.0;       // swallow the request; surfaces as a timeout
+  double delay_rate = 0.0;      // add latency before the round trip
+  double truncate_rate = 0.0;   // deliver only a prefix of the reply
+  double duplicate_rate = 0.0;  // send the request twice, keep the 2nd reply
+  double corrupt_rate = 0.0;    // flip one bit of the reply
+  double refuse_connect_rate = 0.0;  // FaultyConnector refuses the dial
+  std::uint64_t delay_ms_max = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Shared across every transport a FaultyConnector hands out, so a test can
+/// assert the soak actually injected faults.
+struct FaultCounters {
+  std::atomic<std::uint64_t> drops{0};
+  std::atomic<std::uint64_t> delays{0};
+  std::atomic<std::uint64_t> truncations{0};
+  std::atomic<std::uint64_t> duplicates{0};
+  std::atomic<std::uint64_t> corruptions{0};
+  std::atomic<std::uint64_t> refused_connects{0};
+
+  std::uint64_t Total() const {
+    return drops.load() + delays.load() + truncations.load() +
+           duplicates.load() + corruptions.load() + refused_connects.load();
+  }
+};
+
+class FaultInjectingTransport final : public ClientTransport {
+ public:
+  /// `stream_id` decorrelates the fault sequence of concurrent connections
+  /// sharing one config; counters may be null.
+  FaultInjectingTransport(std::unique_ptr<ClientTransport> inner,
+                          const FaultConfig& config, std::uint64_t stream_id = 0,
+                          std::shared_ptr<FaultCounters> counters = nullptr);
+
+  using ClientTransport::Call;
+  Result<Bytes> Call(ByteView request,
+                     std::chrono::milliseconds deadline) override;
+
+ private:
+  std::unique_ptr<ClientTransport> inner_;
+  FaultConfig config_;
+  std::mutex mu_;  // connections are per-thread by contract; stay safe anyway
+  Rng rng_;
+  std::shared_ptr<FaultCounters> counters_;
+};
+
+/// Wraps `dial` so every connection it produces is fault-injected (with a
+/// fresh stream id per dial) and dials themselves fail with
+/// `refuse_connect_rate`, mimicking a flapping or overloaded listener.
+Connector FaultyConnector(Connector dial, FaultConfig config,
+                          std::shared_ptr<FaultCounters> counters = nullptr);
+
+}  // namespace dcert::svc

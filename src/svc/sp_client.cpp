@@ -1,57 +1,169 @@
 #include "svc/sp_client.h"
 
+#include <algorithm>
+#include <optional>
+#include <thread>
+
 namespace dcert::svc {
 
-Result<Bytes> SpClient::Roundtrip(const Bytes& request) {
-  last_busy_ = false;
-  auto raw = conn_->Call(request);
-  if (!raw.ok()) return raw;
-  auto env = DecodeReplyEnvelope(raw.value());
-  if (!env.ok()) return Result<Bytes>(env.status());
-  if (env.value().code == Code::kBusy) {
-    last_busy_ = true;
-    return Result<Bytes>::Error("busy: " + env.value().message);
+namespace {
+
+using Ms = std::chrono::milliseconds;
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+Status SpClient::EnsureConnected() {
+  if (conn_) return Status::Ok();
+  if (!connector_) {
+    return ConnectionError("sp client: connection broken and no reconnect path");
   }
-  if (env.value().code == Code::kError) {
-    return Result<Bytes>::Error("server: " + env.value().message);
+  auto dialed = connector_();
+  if (!dialed.ok()) return dialed.status();
+  conn_ = std::move(dialed.value());
+  if (ever_connected_) ++stats_.reconnects;  // the first dial is not a *re*dial
+  ever_connected_ = true;
+  return Status::Ok();
+}
+
+Result<Bytes> SpClient::Roundtrip(const Bytes& request,
+                                  const BodyDecoder& decode_body) {
+  ++stats_.calls;
+  const int max_attempts = std::max(1, policy_.max_attempts);
+  const auto budget_end = Clock::now() + policy_.retry_budget;
+  Ms backoff = policy_.initial_backoff;
+  Status last_error = Status::Error("sp client: no attempts made");
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Bounded exponential backoff, jittered into [backoff/2, backoff] so
+      // concurrent clients retrying the same incident spread out.
+      const auto base = std::max<std::int64_t>(1, backoff.count());
+      const Ms sleep(base / 2 + static_cast<std::int64_t>(jitter_rng_.NextBelow(
+                                    static_cast<std::uint64_t>(base / 2 + 1))));
+      if (Clock::now() + sleep >= budget_end) break;  // budget spent: give up
+      std::this_thread::sleep_for(sleep);
+      stats_.backoff_ms_total += static_cast<std::uint64_t>(sleep.count());
+      backoff = std::min(policy_.max_backoff,
+                         Ms(static_cast<std::int64_t>(
+                             static_cast<double>(backoff.count()) *
+                             policy_.backoff_multiplier)));
+      ++stats_.retries;
+    }
+    ++stats_.attempts;
+    last_busy_ = false;
+
+    if (Status st = EnsureConnected(); !st) {
+      last_error = st;
+      if (IsTransientTransportError(st)) {
+        ++stats_.transport_errors;
+        continue;  // refused/failed dial: back off and redial
+      }
+      break;  // no reconnect path, or a permanent dial failure
+    }
+
+    auto raw = conn_->Call(request, policy_.call_deadline);
+    if (!raw.ok()) {
+      last_error = raw.status();
+      if (IsTimeoutError(last_error)) {
+        ++stats_.timeouts;
+      } else {
+        ++stats_.transport_errors;
+      }
+      if (IsTransientTransportError(last_error)) {
+        conn_.reset();  // the stream may be desynced; redial next attempt
+        continue;
+      }
+      break;  // e.g. oversized request: retrying cannot help
+    }
+
+    auto env = DecodeReplyEnvelope(raw.value());
+    if (!env.ok()) {
+      // Garbage from an untrusted SP or a corrupting network; the stream
+      // cannot be trusted to be frame-aligned anymore, so redial.
+      ++stats_.transport_errors;
+      last_error = ConnectionError("sp client: undecodable reply: " +
+                                   env.message());
+      conn_.reset();
+      continue;
+    }
+    if (env.value().code == Code::kBusy) {
+      ++stats_.busy_replies;
+      last_busy_ = true;
+      last_error = Status::Error("busy: " + env.value().message);
+      continue;  // the connection is fine; the server shed us — back off
+    }
+    if (env.value().code == Code::kError) {
+      return Result<Bytes>::Error("server: " + env.value().message);
+    }
+    if (decode_body) {
+      if (Status st = decode_body(env.value().body); !st) {
+        // An OK envelope with an undecodable body is a corrupted reply, not
+        // a server decision: treat it like any transport fault.
+        ++stats_.transport_errors;
+        last_error = ConnectionError("sp client: corrupted reply body: " +
+                                     st.message());
+        conn_.reset();
+        continue;
+      }
+    }
+    last_busy_ = false;
+    return std::move(env.value().body);
   }
-  return std::move(env.value().body);
+  ++stats_.giveups;
+  return Result<Bytes>(last_error);
 }
 
 Result<TipInfo> SpClient::FetchTip() {
-  auto body = Roundtrip(EncodeTipFetchRequest());
+  std::optional<TipInfo> tip;
+  auto body = Roundtrip(EncodeTipFetchRequest(), [&tip](const Bytes& b) {
+    auto decoded = DecodeTipBody(b);
+    if (!decoded.ok()) return decoded.status();
+    tip = std::move(decoded.value());
+    return Status::Ok();
+  });
   if (!body.ok()) return Result<TipInfo>(body.status());
-  return DecodeTipBody(body.value());
+  return std::move(*tip);
+}
+
+Result<SpClient::QueryResult> SpClient::Query(Op op, std::uint64_t account,
+                                              std::uint64_t from_height,
+                                              std::uint64_t to_height) {
+  using R = Result<QueryResult>;
+  QueryRequest req{op, account, from_height, to_height};
+  std::optional<QueryResult> out;
+  auto body = Roundtrip(EncodeQueryRequest(req), [&out](const Bytes& b) {
+    auto decoded = DecodeQueryBody(b);
+    if (!decoded.ok()) return decoded.status();
+    out = QueryResult{decoded.value().first, std::move(decoded.value().second)};
+    return Status::Ok();
+  });
+  if (!body.ok()) return R(body.status());
+  return std::move(*out);
 }
 
 Result<SpClient::QueryResult> SpClient::Historical(std::uint64_t account,
                                                    std::uint64_t from_height,
                                                    std::uint64_t to_height) {
-  using R = Result<QueryResult>;
-  QueryRequest req{Op::kHistorical, account, from_height, to_height};
-  auto body = Roundtrip(EncodeQueryRequest(req));
-  if (!body.ok()) return R(body.status());
-  auto decoded = DecodeQueryBody(body.value());
-  if (!decoded.ok()) return R(decoded.status());
-  return QueryResult{decoded.value().first, std::move(decoded.value().second)};
+  return Query(Op::kHistorical, account, from_height, to_height);
 }
 
 Result<SpClient::QueryResult> SpClient::Aggregate(std::uint64_t account,
                                                   std::uint64_t from_height,
                                                   std::uint64_t to_height) {
-  using R = Result<QueryResult>;
-  QueryRequest req{Op::kAggregate, account, from_height, to_height};
-  auto body = Roundtrip(EncodeQueryRequest(req));
-  if (!body.ok()) return R(body.status());
-  auto decoded = DecodeQueryBody(body.value());
-  if (!decoded.ok()) return R(decoded.status());
-  return QueryResult{decoded.value().first, std::move(decoded.value().second)};
+  return Query(Op::kAggregate, account, from_height, to_height);
 }
 
 Result<std::uint64_t> SpClient::Announce(const AnnounceRequest& req) {
-  auto body = Roundtrip(EncodeAnnounceRequest(req));
+  std::optional<std::uint64_t> ack;
+  auto body = Roundtrip(EncodeAnnounceRequest(req), [&ack](const Bytes& b) {
+    auto decoded = DecodeAckBody(b);
+    if (!decoded.ok()) return decoded.status();
+    ack = decoded.value();
+    return Status::Ok();
+  });
   if (!body.ok()) return Result<std::uint64_t>(body.status());
-  return DecodeAckBody(body.value());
+  return *ack;
 }
 
 }  // namespace dcert::svc

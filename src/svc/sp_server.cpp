@@ -41,15 +41,22 @@ void SpServer::Shutdown() {
 }
 
 void SpServer::HandleFrame(Bytes request, Respond respond) {
+  const char* shed_reason = nullptr;
   {
     std::lock_guard<std::mutex> lk(admit_mu_);
     if (draining_ || in_flight_ >= config_.max_queue) {
-      shed_.fetch_add(1, std::memory_order_relaxed);
-      respond(EncodeStatusReply(Code::kBusy,
-                                draining_ ? "draining" : "overloaded"));
-      return;
+      shed_reason = draining_ ? "draining" : "overloaded";
+    } else {
+      ++in_flight_;
     }
-    ++in_flight_;
+  }
+  if (shed_reason != nullptr) {
+    // The busy reply is written after admit_mu_ drops: a stuck client's
+    // socket can only stall its own transport thread, never admission for
+    // every other connection.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    respond(EncodeStatusReply(Code::kBusy, shed_reason));
+    return;
   }
   pool_.Submit(
       [this, request = std::move(request), respond = std::move(respond)] {

@@ -1,8 +1,10 @@
 #include "svc/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,7 +15,10 @@ namespace dcert::svc {
 
 namespace {
 
-/// Writes all of `data` to `fd`; false on any error (peer gone, fd closed).
+using Clock = std::chrono::steady_clock;
+
+/// Writes all of `data` to `fd`; false on any error (peer gone, fd closed,
+/// or SO_SNDTIMEO expired). Server-side reply path.
 bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
   while (n > 0) {
     ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
@@ -40,13 +45,20 @@ bool ReadAll(int fd, std::uint8_t* data, std::size_t n) {
   return true;
 }
 
+void EncodeLen(std::uint32_t n, std::uint8_t out[4]) {
+  out[0] = static_cast<std::uint8_t>(n);
+  out[1] = static_cast<std::uint8_t>(n >> 8);
+  out[2] = static_cast<std::uint8_t>(n >> 16);
+  out[3] = static_cast<std::uint8_t>(n >> 24);
+}
+
 bool WriteFrame(int fd, ByteView payload) {
+  // Refuse oversized payloads before any byte hits the wire: the u32 length
+  // prefix would otherwise silently truncate sizes past 2^32, and the peer
+  // enforces kMaxFrameBytes on read anyway.
+  if (payload.size() > kMaxFrameBytes) return false;
   std::uint8_t len[4];
-  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
-  len[0] = static_cast<std::uint8_t>(n);
-  len[1] = static_cast<std::uint8_t>(n >> 8);
-  len[2] = static_cast<std::uint8_t>(n >> 16);
-  len[3] = static_cast<std::uint8_t>(n >> 24);
+  EncodeLen(static_cast<std::uint32_t>(payload.size()), len);
   return WriteAll(fd, len, 4) && WriteAll(fd, payload.data(), payload.size());
 }
 
@@ -61,6 +73,85 @@ bool ReadFrame(int fd, Bytes& out) {
   if (n > kMaxFrameBytes) return false;
   out.resize(n);
   return n == 0 || ReadAll(fd, out.data(), n);
+}
+
+// --- Deadline-bounded client I/O ----------------------------------------
+// The client socket stays in non-blocking mode; each send/recv that would
+// block polls for readiness with the time remaining until the deadline.
+
+enum class IoResult { kOk, kTimeout, kError };
+
+IoResult PollFor(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    const auto now = Clock::now();
+    if (now >= deadline) return IoResult::kTimeout;
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                    now)
+                  .count();
+    if (ms > 60000) ms = 60000;
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, static_cast<int>(ms) + 1);
+    if (rc > 0) return IoResult::kOk;  // ready (or error/hup: I/O reports it)
+    if (rc == 0) continue;             // slice expired; re-check the deadline
+    if (errno == EINTR) continue;
+    return IoResult::kError;
+  }
+}
+
+IoResult SendAll(int fd, const std::uint8_t* data, std::size_t n,
+                 Clock::time_point deadline) {
+  while (n > 0) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w > 0) {
+      data += w;
+      n -= static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      IoResult r = PollFor(fd, POLLOUT, deadline);
+      if (r != IoResult::kOk) return r;
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return IoResult::kError;
+  }
+  return IoResult::kOk;
+}
+
+IoResult RecvAll(int fd, std::uint8_t* data, std::size_t n,
+                 Clock::time_point deadline) {
+  while (n > 0) {
+    ssize_t r = ::recv(fd, data, n, MSG_DONTWAIT);
+    if (r > 0) {
+      data += r;
+      n -= static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return IoResult::kError;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      IoResult w = PollFor(fd, POLLIN, deadline);
+      if (w != IoResult::kOk) return w;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return IoResult::kError;
+  }
+  return IoResult::kOk;
+}
+
+IoResult ReadFrameDeadline(int fd, Bytes& out, Clock::time_point deadline) {
+  std::uint8_t len[4];
+  if (IoResult r = RecvAll(fd, len, 4, deadline); r != IoResult::kOk) return r;
+  const std::uint32_t n = static_cast<std::uint32_t>(len[0]) |
+                          (static_cast<std::uint32_t>(len[1]) << 8) |
+                          (static_cast<std::uint32_t>(len[2]) << 16) |
+                          (static_cast<std::uint32_t>(len[3]) << 24);
+  if (n > kMaxFrameBytes) return IoResult::kError;
+  out.resize(n);
+  if (n == 0) return IoResult::kOk;
+  return RecvAll(fd, out.data(), n, deadline);
 }
 
 }  // namespace
@@ -79,7 +170,7 @@ Status TcpServerTransport::Start(FrameHandler handler) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port_);
+  addr.sin_port = htons(config_.port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
     ::close(listen_fd_);
@@ -107,22 +198,57 @@ Status TcpServerTransport::Start(FrameHandler handler) {
 
 void TcpServerTransport::AcceptLoop() {
   while (!stopping_.load()) {
+    // Reap readers that exited since the last accept so a connection-churn
+    // workload cannot accumulate joinable-but-dead threads.
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      done.swap(finished_);
+    }
+    for (auto& t : done) {
+      if (t.joinable()) t.join();
+    }
+
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listen socket closed by Stop
+      if (stopping_.load()) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion is transient (readers release fds as clients
+        // disconnect): back off briefly instead of killing the server.
+        accept_transient_errors_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;  // listen socket closed by Stop, or a fatal error
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_shared<Conn>();
-    conn->fd = fd;
+    if (config_.write_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = config_.write_timeout_ms / 1000;
+      tv.tv_usec = (config_.write_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     std::lock_guard<std::mutex> lk(conns_mu_);
     if (stopping_.load()) {
       ::close(fd);
       return;
     }
-    conns_.push_back(conn);
-    readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+    if (conns_.size() >= config_.max_connections) {
+      rejected_over_cap_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    Entry entry;
+    entry.conn = conn;
+    entry.reader = std::thread([this, conn] { ReaderLoop(conn); });
+    conns_.emplace(conn->id, std::move(entry));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -134,10 +260,36 @@ void TcpServerTransport::ReaderLoop(std::shared_ptr<Conn> conn) {
     // open flag under write_mu makes them silent no-ops instead.
     Respond respond = [conn](Bytes reply) {
       std::lock_guard<std::mutex> lk(conn->write_mu);
-      if (conn->open) WriteFrame(conn->fd, reply);
+      if (!conn->open) return;
+      if (!WriteFrame(conn->fd, reply)) {
+        // Peer gone or SO_SNDTIMEO expired: poison the connection so the
+        // blocked reader wakes up and reaps it.
+        conn->open = false;
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
     };
     handler_(std::move(frame), std::move(respond));
     frame = Bytes();
+  }
+  // Client EOF, error, or Stop: release the fd here (the reader is the sole
+  // closer, after it has stopped reading) and drop our registry entry so
+  // churn leaves fd and thread counts flat.
+  {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    conn->open = false;
+    if (!conn->fd_closed) {
+      ::close(conn->fd);
+      conn->fd_closed = true;
+    }
+  }
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  auto it = conns_.find(conn->id);
+  if (it != conns_.end()) {
+    // Still registered: move our own thread handle to the finished list for
+    // the accept loop (or Stop) to join. If Stop already took the map, it
+    // owns the handle and will join us directly.
+    finished_.push_back(std::move(it->second.reader));
+    conns_.erase(it);
   }
 }
 
@@ -147,32 +299,48 @@ void TcpServerTransport::Stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::shared_ptr<Conn>> conns;
-  std::vector<std::thread> readers;
+  std::unordered_map<std::uint64_t, Entry> conns;
+  std::vector<std::thread> finished;
   {
     std::lock_guard<std::mutex> lk(conns_mu_);
     conns.swap(conns_);
-    readers.swap(readers_);
+    finished.swap(finished_);
   }
-  for (auto& conn : conns) {
-    std::lock_guard<std::mutex> lk(conn->write_mu);
-    conn->open = false;
-    ::shutdown(conn->fd, SHUT_RDWR);
+  for (auto& [id, entry] : conns) {
+    std::lock_guard<std::mutex> lk(entry.conn->write_mu);
+    entry.conn->open = false;
+    // shutdown (not close) unblocks the reader, which closes the fd itself.
+    if (!entry.conn->fd_closed) ::shutdown(entry.conn->fd, SHUT_RDWR);
   }
-  for (auto& t : readers) {
+  for (auto& [id, entry] : conns) {
+    if (entry.reader.joinable()) entry.reader.join();
+  }
+  for (auto& t : finished) {
     if (t.joinable()) t.join();
   }
-  for (auto& conn : conns) ::close(conn->fd);
   listen_fd_ = -1;
   started_ = false;
 }
 
+TcpServerStats TcpServerTransport::Stats() const {
+  TcpServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected_over_cap = rejected_over_cap_.load(std::memory_order_relaxed);
+  s.accept_transient_errors =
+      accept_transient_errors_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  s.open_connections = conns_.size();
+  return s;
+}
+
 Result<std::unique_ptr<ClientTransport>> TcpClientTransport::Connect(
-    const std::string& host, std::uint16_t port) {
+    const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds connect_timeout) {
   using R = Result<std::unique_ptr<ClientTransport>>;
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return R::Error(std::string("tcp client: socket: ") + std::strerror(errno));
+    return R(ConnectionError(std::string("tcp client: socket: ") +
+                             std::strerror(errno)));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -181,10 +349,31 @@ Result<std::unique_ptr<ClientTransport>> TcpClientTransport::Connect(
     ::close(fd);
     return R::Error("tcp client: bad host address " + host);
   }
+  // Non-blocking connect so a black-holed peer cannot hang the dial; the
+  // socket stays non-blocking for the deadline-bounded Call path.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  const auto deadline = Clock::now() + connect_timeout;
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return R::Error(std::string("tcp client: connect: ") +
-                    std::strerror(errno));
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      return R(ConnectionError(std::string("tcp client: connect: ") +
+                               std::strerror(err)));
+    }
+    IoResult r = PollFor(fd, POLLOUT, deadline);
+    if (r == IoResult::kTimeout) {
+      ::close(fd);
+      return R(TimeoutError("tcp client: connect to " + host + " timed out"));
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (r == IoResult::kError ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+        err != 0) {
+      ::close(fd);
+      return R(ConnectionError(std::string("tcp client: connect: ") +
+                               std::strerror(err != 0 ? err : errno)));
+    }
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -195,13 +384,41 @@ TcpClientTransport::~TcpClientTransport() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<Bytes> TcpClientTransport::Call(ByteView request) {
-  if (!WriteFrame(fd_, request)) {
-    return Result<Bytes>::Error("tcp client: write failed (server gone?)");
+Result<Bytes> TcpClientTransport::Call(ByteView request,
+                                       std::chrono::milliseconds deadline) {
+  if (broken_) {
+    return Result<Bytes>(ConnectionError(
+        "tcp client: connection broken by an earlier timeout/error"));
+  }
+  if (request.size() > kMaxFrameBytes) {
+    // Nothing was written, so the connection stays usable.
+    return Result<Bytes>::Error(
+        "tcp client: request of " + std::to_string(request.size()) +
+        " bytes exceeds the frame cap (" + std::to_string(kMaxFrameBytes) +
+        ")");
+  }
+  const auto dl = Clock::now() + deadline;
+  std::uint8_t len[4];
+  EncodeLen(static_cast<std::uint32_t>(request.size()), len);
+  IoResult r = SendAll(fd_, len, 4, dl);
+  if (r == IoResult::kOk && !request.empty()) {
+    r = SendAll(fd_, request.data(), request.size(), dl);
+  }
+  if (r != IoResult::kOk) {
+    broken_ = true;
+    return Result<Bytes>(
+        r == IoResult::kTimeout
+            ? TimeoutError("tcp client: send did not complete within deadline")
+            : ConnectionError("tcp client: write failed (server gone?)"));
   }
   Bytes reply;
-  if (!ReadFrame(fd_, reply)) {
-    return Result<Bytes>::Error("tcp client: read failed (server gone?)");
+  r = ReadFrameDeadline(fd_, reply, dl);
+  if (r != IoResult::kOk) {
+    broken_ = true;
+    return Result<Bytes>(
+        r == IoResult::kTimeout
+            ? TimeoutError("tcp client: no reply within deadline")
+            : ConnectionError("tcp client: read failed (server gone?)"));
   }
   return reply;
 }

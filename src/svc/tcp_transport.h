@@ -3,12 +3,20 @@
 // server runs one accept thread plus one reader thread per connection;
 // replies may be written from any thread (the SpServer's pool workers), so
 // each connection serializes writes with a mutex.
+//
+// Connection lifecycle: a reader that hits EOF/error closes its fd and
+// removes its registry entry itself; the accept loop reaps finished reader
+// threads before each accept, so connection churn leaves fd and thread
+// counts flat without waiting for Stop(). Accepts beyond `max_connections`
+// are closed immediately, and transient accept failures (EMFILE, ENFILE,
+// ECONNABORTED, ENOBUFS) back off briefly instead of killing the server.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "svc/transport.h"
@@ -16,13 +24,35 @@
 namespace dcert::svc {
 
 /// Hard cap on a single frame; anything larger is a protocol violation (our
-/// proofs are tens of KB) and closes the connection.
+/// proofs are tens of KB) and closes the connection. Enforced on both the
+/// read side and the send side (an oversized payload is refused before any
+/// byte hits the wire, so it cannot silently truncate to size mod 2^32).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+struct TcpServerConfig {
+  /// 0 binds an ephemeral port (read it back via Port()).
+  std::uint16_t port = 0;
+  /// Concurrent-connection cap: accepts beyond it are closed immediately
+  /// (accepting first clears the kernel backlog slot).
+  std::size_t max_connections = 256;
+  /// SO_SNDTIMEO on accepted sockets: bounds how long a reply write to a
+  /// stuck client can pin a pool worker. A timed-out write poisons the
+  /// connection so its reader reaps it.
+  int write_timeout_ms = 10000;
+};
+
+struct TcpServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_over_cap = 0;
+  std::uint64_t accept_transient_errors = 0;  // survived, not fatal
+  std::size_t open_connections = 0;
+};
 
 class TcpServerTransport final : public ServerTransport {
  public:
-  /// `port` 0 binds an ephemeral port (read it back via Port()).
-  explicit TcpServerTransport(std::uint16_t port) : port_(port) {}
+  explicit TcpServerTransport(std::uint16_t port)
+      : TcpServerTransport(TcpServerConfig{port}) {}
+  explicit TcpServerTransport(TcpServerConfig config) : config_(config) {}
   ~TcpServerTransport() override;
 
   Status Start(FrameHandler handler) override;
@@ -31,38 +61,59 @@ class TcpServerTransport final : public ServerTransport {
   /// The bound port; valid after a successful Start.
   std::uint16_t Port() const { return port_; }
 
+  TcpServerStats Stats() const;
+
  private:
   struct Conn {
+    std::uint64_t id = 0;
     int fd = -1;
     std::mutex write_mu;
-    bool open = true;  // guarded by write_mu
+    bool open = true;        // guarded by write_mu; false => no more writes
+    bool fd_closed = false;  // guarded by write_mu; the reader closes once
+  };
+  struct Entry {
+    std::shared_ptr<Conn> conn;
+    std::thread reader;
   };
 
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Conn> conn);
 
-  std::uint16_t port_;
+  TcpServerConfig config_;
+  std::uint16_t port_ = 0;
   int listen_fd_ = -1;
   FrameHandler handler_;
   std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Conn>> conns_;
-  std::vector<std::thread> readers_;
+  mutable std::mutex conns_mu_;
+  std::unordered_map<std::uint64_t, Entry> conns_;
+  std::vector<std::thread> finished_;  // exited readers awaiting join
+  std::uint64_t next_conn_id_ = 1;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_over_cap_{0};
+  std::atomic<std::uint64_t> accept_transient_errors_{0};
 };
 
 class TcpClientTransport final : public ClientTransport {
  public:
   static Result<std::unique_ptr<ClientTransport>> Connect(
-      const std::string& host, std::uint16_t port);
+      const std::string& host, std::uint16_t port,
+      std::chrono::milliseconds connect_timeout =
+          std::chrono::milliseconds(5000));
   ~TcpClientTransport() override;
 
-  Result<Bytes> Call(ByteView request) override;
+  using ClientTransport::Call;
+  Result<Bytes> Call(ByteView request,
+                     std::chrono::milliseconds deadline) override;
 
  private:
   explicit TcpClientTransport(int fd) : fd_(fd) {}
   int fd_;
+  // After a timeout or I/O error the frame stream may be desynced (a late
+  // reply to request N would answer request N+1), so the connection refuses
+  // further calls with a connection error and the caller redials.
+  bool broken_ = false;
 };
 
 }  // namespace dcert::svc

@@ -1,6 +1,5 @@
 #include "svc/transport.h"
 
-#include <chrono>
 #include <future>
 
 namespace dcert::svc {
@@ -24,12 +23,14 @@ std::unique_ptr<ClientTransport> LoopbackTransport::Connect() {
    public:
     explicit Conn(std::shared_ptr<Core> core) : core_(std::move(core)) {}
 
-    Result<Bytes> Call(ByteView request) override {
+    using ClientTransport::Call;
+    Result<Bytes> Call(ByteView request,
+                       std::chrono::milliseconds deadline) override {
       FrameHandler handler;
       {
         std::lock_guard<std::mutex> lk(core_->mu);
         if (!core_->running) {
-          return Result<Bytes>::Error("loopback: transport stopped");
+          return Result<Bytes>(ConnectionError("loopback: transport stopped"));
         }
         handler = core_->handler;  // copy so Stop can't race the invocation
       }
@@ -38,10 +39,10 @@ std::unique_ptr<ClientTransport> LoopbackTransport::Connect() {
       handler(Bytes(request.begin(), request.end()),
               [promise](Bytes reply) { promise->set_value(std::move(reply)); });
       // The server always responds (shed requests get an immediate busy
-      // frame); the timeout is a backstop against a buggy handler.
-      if (future.wait_for(std::chrono::seconds(60)) !=
-          std::future_status::ready) {
-        return Result<Bytes>::Error("loopback: reply timeout");
+      // frame); the deadline is a backstop against a buggy or stalled
+      // handler, surfaced like any slow server would be over TCP.
+      if (future.wait_for(deadline) != std::future_status::ready) {
+        return Result<Bytes>(TimeoutError("loopback: no reply within deadline"));
       }
       return future.get();
     }

@@ -7,16 +7,59 @@
 // (one per connection for TCP, the calling client thread for loopback); the
 // handler may invoke `respond` inline or later from any thread, exactly once
 // per request. After Stop() returns, late responds become no-ops.
+//
+// Failure contract: every blocking client operation is bounded by a deadline,
+// and transport-level failures are tagged as *timeout* or *connection* errors
+// (see the taxonomy below) so retry policies can tell transient faults from
+// permanent ones without parsing prose.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "common/bytes.h"
 #include "common/status.h"
 
 namespace dcert::svc {
+
+/// Deadline applied when a caller does not pass one explicitly.
+inline constexpr std::chrono::milliseconds kDefaultCallDeadline{30000};
+
+// --- Transport error taxonomy -------------------------------------------
+// Status carries only a message, so transports tag the two *transient*
+// failure classes with fixed prefixes. Everything else (malformed request,
+// server-reported error) is permanent: retrying cannot help.
+
+inline constexpr const char kTimeoutErrorPrefix[] = "transport timeout";
+inline constexpr const char kConnectionErrorPrefix[] = "transport connection";
+
+/// The operation did not complete within its deadline (slow/stalled peer).
+inline Status TimeoutError(const std::string& detail) {
+  return Status::Error(std::string(kTimeoutErrorPrefix) + ": " + detail);
+}
+
+/// The connection is unusable (peer gone, refused, or stream desynced).
+inline Status ConnectionError(const std::string& detail) {
+  return Status::Error(std::string(kConnectionErrorPrefix) + ": " + detail);
+}
+
+inline bool IsTimeoutError(const Status& s) {
+  return s.message().rfind(kTimeoutErrorPrefix, 0) == 0;
+}
+
+inline bool IsConnectionError(const Status& s) {
+  return s.message().rfind(kConnectionErrorPrefix, 0) == 0;
+}
+
+/// Transient transport failures worth retrying (possibly on a fresh
+/// connection); permanent failures — protocol violations, server-side
+/// errors — are excluded on purpose.
+inline bool IsTransientTransportError(const Status& s) {
+  return IsTimeoutError(s) || IsConnectionError(s);
+}
 
 /// Delivers the reply frame for one request. Callable from any thread, at
 /// most once.
@@ -45,8 +88,20 @@ class ServerTransport {
 class ClientTransport {
  public:
   virtual ~ClientTransport() = default;
-  virtual Result<Bytes> Call(ByteView request) = 0;
+  /// Round trip bounded by `deadline`. On a timeout the frame stream may be
+  /// desynced (a late reply would be misattributed), so implementations mark
+  /// the connection broken and subsequent calls fail fast with a connection
+  /// error — callers reconnect rather than reuse.
+  virtual Result<Bytes> Call(ByteView request,
+                             std::chrono::milliseconds deadline) = 0;
+  Result<Bytes> Call(ByteView request) {
+    return Call(request, kDefaultCallDeadline);
+  }
 };
+
+/// Dials a fresh connection; retrying clients use this to reconnect after a
+/// broken stream and tests/benches wrap it to inject connect-time faults.
+using Connector = std::function<Result<std::unique_ptr<ClientTransport>>()>;
 
 /// In-process transport: client Calls invoke the server handler directly on
 /// the calling thread and block on a future for the reply. Concurrency comes

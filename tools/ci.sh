@@ -5,6 +5,12 @@
 # subsystem, then an AddressSanitizer build (DCERT_SANITIZE=address) running
 # the server/transport tests (socket and buffer handling).
 #
+# The Svc selection deliberately includes SvcFaultTest (the seeded
+# fault-injection soak and busy-shedding retry tests) and SvcTcpTest
+# (deadline, churn, and connection-cap tests): both sanitizers run the
+# retry/reconnect and reader-lifecycle paths, where the races and
+# use-after-close bugs would live.
+#
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
 
@@ -22,7 +28,7 @@ cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZ
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
   thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelEquivalence|Smt|Svc'
+  -R 'ThreadPool|ParallelEquivalence|Smt|Svc'   # Svc matches SvcFaultTest/SvcTcpTest
 
 echo "=== [3/3] ASan build + serving/transport tests ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=address

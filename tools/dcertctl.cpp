@@ -269,13 +269,16 @@ int CmdServe(int port, int blocks, int txs) {
     }
   }
 
-  svc::TcpServerTransport transport(static_cast<std::uint16_t>(port));
+  svc::TcpServerConfig tcp_config;
+  tcp_config.port = static_cast<std::uint16_t>(port);
+  svc::TcpServerTransport transport(tcp_config);
   if (Status st = server.Serve(transport); !st) {
     std::fprintf(stderr, "%s\n", st.message().c_str());
     return 1;
   }
-  std::printf("serving %d certified blocks on 127.0.0.1:%u\n", blocks,
-              transport.Port());
+  std::printf("serving %d certified blocks on 127.0.0.1:%u (max %zu "
+              "connections, dead peers reaped)\n",
+              blocks, transport.Port(), tcp_config.max_connections);
   std::printf("try: dcertctl query 127.0.0.1:%u tip   (Ctrl-D here stops)\n",
               transport.Port());
   std::fflush(stdout);
@@ -298,19 +301,32 @@ int CmdQuery(const std::string& target, int argc, char** argv) {
     std::fprintf(stderr, "bad port in %s\n", target.c_str());
     return 2;
   }
-  auto conn = svc::TcpClientTransport::Connect(
-      host, static_cast<std::uint16_t>(port));
-  if (!conn.ok()) {
-    std::fprintf(stderr, "%s\n", conn.message().c_str());
-    return 1;
-  }
-  svc::SpClient client(std::move(conn.value()));
+  // A CLI talking to a possibly slow or flaky server: bounded per-call
+  // deadlines, a few backoff retries, and automatic redial on broken
+  // streams, so a wedged SP yields an error instead of a hung terminal.
+  svc::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.call_deadline = std::chrono::seconds(5);
+  policy.initial_backoff = std::chrono::milliseconds(50);
+  policy.max_backoff = std::chrono::milliseconds(800);
+  policy.retry_budget = std::chrono::seconds(15);
+  svc::SpClient client(
+      [host, port] {
+        return svc::TcpClientTransport::Connect(
+            host, static_cast<std::uint16_t>(port));
+      },
+      policy);
 
   // Every subcommand starts from a validated tip: certificate envelope,
   // header binding, and index certificate all check out or we stop.
   auto tip = client.FetchTip();
   if (!tip.ok()) {
     std::fprintf(stderr, "tip fetch failed: %s\n", tip.message().c_str());
+    if (client.Stats().retries > 0) {
+      std::fprintf(stderr, "(gave up after %llu retries, %llu reconnects)\n",
+                   static_cast<unsigned long long>(client.Stats().retries),
+                   static_cast<unsigned long long>(client.Stats().reconnects));
+    }
     return 1;
   }
   core::SuperlightClient light(core::ExpectedEnclaveMeasurement());
