@@ -12,6 +12,7 @@ using namespace dcert::bench;
 
 int main(int argc, char** argv) {
   const std::string json_path = ParseJsonPath(argc, argv);
+  const MetricsDelta metrics_delta;
   PrintHeader("Fig. 8", "certificate construction time per workload (breakdown)");
   PrintParams("block size 100 txs, 20 blocks per workload, 100 sender accounts; "
               "CPU: 256 hash iterations/tx, IO: 32 keys/tx, KV: 500 tuples");
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
         .Put("block_txs", 100)
         .Put("blocks_per_workload", 20)
         .PutRaw("meta", JsonRunMeta())
+        .PutRaw("metrics", metrics_delta.Json())
         .PutRaw("workloads", JsonArray(json_rows));
     WriteJsonFile(json_path, doc.Str());
   }

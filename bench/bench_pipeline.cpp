@@ -48,6 +48,7 @@ void FillStageTotals(const core::CertTiming& t, RunStats& s) {
 
 int main(int argc, char** argv) {
   const std::string json_path = ParseJsonPath(argc, argv);
+  const MetricsDelta metrics_delta;
   const unsigned cores = std::thread::hardware_concurrency();
   PrintHeader("Pipeline", "pipelined vs serial certificate construction");
   PrintParams("block size 100 txs, 30 blocks per workload, 100 sender accounts; "
@@ -140,6 +141,7 @@ int main(int argc, char** argv) {
     doc.Put("bench", "bench_pipeline")
         .Put("host_cores", static_cast<std::uint64_t>(cores))
         .PutRaw("meta", JsonRunMeta())
+        .PutRaw("metrics", metrics_delta.Json())
         .PutRaw("workloads", JsonArray(json_rows));
     WriteJsonFile(json_path, doc.Str());
   }

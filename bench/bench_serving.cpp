@@ -42,6 +42,10 @@ struct Options {
   // with retrying clients, measuring the robustness layer under adversity.
   double fault_rate = 0.0;
   std::uint64_t seed = 0xD0C5;
+  // --obs-ab reruns the cache-enabled load with the metrics registry globally
+  // disabled and re-enabled, reporting the observability overhead (the
+  // acceptance budget is ≤5% throughput cost under this bench's load).
+  bool obs_ab = false;
   std::string json_path;
 };
 
@@ -82,6 +86,13 @@ double ParseDoubleFlag(int argc, char** argv, const std::string& name,
     if (argv[i] == "--" + name) return std::strtod(argv[i + 1], nullptr);
   }
   return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == "--" + name) return true;
+  }
+  return false;
 }
 
 /// One pre-mined certified chain: blocks plus their announcements, shared by
@@ -374,6 +385,7 @@ int main(int argc, char** argv) {
   opt.txs = ParseU64Flag(argc, argv, "txs", opt.txs);
   opt.fault_rate = ParseDoubleFlag(argc, argv, "fault-rate", opt.fault_rate);
   opt.seed = ParseU64Flag(argc, argv, "seed", opt.seed);
+  opt.obs_ab = HasFlag(argc, argv, "obs-ab");
   if (opt.clients == 0 || opt.requests == 0 || opt.rps <= 0.0 ||
       opt.fault_rate < 0.0 || opt.fault_rate >= 1.0 ||
       (opt.transport != "loopback" && opt.transport != "tcp")) {
@@ -381,9 +393,10 @@ int main(int argc, char** argv) {
                  "usage: bench_serving [--clients N] [--requests N] [--rps R]\n"
                  "                     [--transport loopback|tcp] [--blocks B]\n"
                  "                     [--txs T] [--fault-rate F] [--seed S]\n"
-                 "                     [--json path]\n");
+                 "                     [--obs-ab] [--json path]\n");
     return 2;
   }
+  const MetricsDelta metrics_delta;
 
   PrintHeader("Serving", "SP server under concurrent client load");
   PrintParams(std::to_string(opt.clients) + " clients, " +
@@ -426,6 +439,41 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(off.giveups + on.giveups));
   }
 
+  // Observability A/B: the same cache-enabled load with the registry's global
+  // kill-switch off (Add/Record are branch-only no-ops) vs. on. Run-to-run
+  // variance of the oversubscribed load is several percent, so a single pair
+  // is noise: interleave three pairs and compare median throughputs.
+  std::string obs_ab_json;
+  if (opt.obs_ab) {
+    constexpr int kTrials = 3;
+    std::vector<double> plain_tput, instr_tput;
+    RunResult plain_last, instr_last;
+    for (int t = 0; t < kTrials; ++t) {
+      obs::SetEnabled(false);
+      plain_last = RunLoad(opt, fixture, /*cache_enabled=*/true);
+      plain_tput.push_back(plain_last.throughput);
+      obs::SetEnabled(true);
+      instr_last = RunLoad(opt, fixture, /*cache_enabled=*/true);
+      instr_tput.push_back(instr_last.throughput);
+    }
+    const double plain_med = Median(plain_tput);
+    const double instr_med = Median(instr_tput);
+    const double overhead_pct =
+        plain_med > 0 ? 100.0 * (plain_med - instr_med) / plain_med : 0.0;
+    std::printf("\nobservability A/B (cache enabled, median of %d interleaved "
+                "pairs): obs-off %.0f r/s, obs-on %.0f r/s, overhead %.2f%% "
+                "(budget 5%%)\n",
+                kTrials, plain_med, instr_med, overhead_pct);
+    JsonObject ab;
+    ab.Put("trials", kTrials)
+        .Put("obs_disabled_tput_median", plain_med)
+        .Put("obs_enabled_tput_median", instr_med)
+        .PutRaw("obs_disabled", plain_last.Json())
+        .PutRaw("obs_enabled", instr_last.Json())
+        .Put("overhead_pct", overhead_pct);
+    obs_ab_json = ab.Str();
+  }
+
   if (!opt.json_path.empty()) {
     JsonObject doc;
     doc.Put("bench", "bench_serving")
@@ -441,6 +489,8 @@ int main(int argc, char** argv) {
         .PutRaw("cache_disabled", off.Json())
         .PutRaw("cache_enabled", on.Json())
         .Put("cache_speedup", speedup);
+    if (!obs_ab_json.empty()) doc.PutRaw("obs_ab", obs_ab_json);
+    doc.PutRaw("metrics", metrics_delta.Json());
     WriteJsonFile(opt.json_path, doc.Str());
   }
   return 0;

@@ -19,6 +19,8 @@
 #include "common/timing.h"
 #include "dcert/issuer.h"
 #include "dcert/superlight.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "workloads/workloads.h"
 
 namespace dcert::bench {
@@ -196,11 +198,34 @@ inline std::string JsonRunMeta() {
 #else
   o.Put("git_sha", "unknown");
 #endif
+  // Sanitizer state is always recorded (not just when one is on): perf
+  // numbers from a TSan/ASan build are not comparable to plain builds, and
+  // an explicit `"sanitized": false` distinguishes "clean build" from "old
+  // binary that predates the field".
 #ifdef DCERT_SANITIZE_NAME
+  o.PutRaw("sanitized", DCERT_SANITIZE_NAME[0] != '\0' ? "true" : "false");
   if (DCERT_SANITIZE_NAME[0] != '\0') o.Put("sanitizer", DCERT_SANITIZE_NAME);
+#else
+  o.PutRaw("sanitized", "false");
 #endif
   return o.Str();
 }
+
+/// Captures a registry snapshot at construction; Json() renders everything
+/// recorded since then (counter deltas, histogram summary deltas) so each
+/// BENCH_*.json carries the observability view of its own run — embed with
+/// `doc.PutRaw("metrics", delta.Json())`.
+class MetricsDelta {
+ public:
+  MetricsDelta() : base_(obs::MetricsRegistry::Global().Snapshot()) {}
+  std::string Json() const {
+    return obs::ToJson(
+        obs::MetricsRegistry::Global().Snapshot().DeltaFrom(base_));
+  }
+
+ private:
+  obs::MetricsSnapshot base_;
+};
 
 /// Returns the path following a `--json` flag, or empty when absent.
 inline std::string ParseJsonPath(int argc, char** argv) {

@@ -1,7 +1,12 @@
 #include "chain/block_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "chain/node.h"
@@ -125,13 +130,46 @@ Status BlockStore::Append(const Block& block) {
   AppendU32(record, Crc32(payload));
   dcert::Append(record, ByteView(payload.data(), payload.size()));
 
-  std::ofstream out(path_, std::ios::binary | std::ios::app);
-  out.seekp(0, std::ios::end);
-  const std::uint64_t offset = static_cast<std::uint64_t>(out.tellp());
-  out.write(reinterpret_cast<const char*>(record.data()),
-            static_cast<std::streamsize>(record.size()));
-  out.flush();
-  if (!out) return Status::Error("BlockStore: write failed");
+  // POSIX append path so every step — open, write, optional fsync, close —
+  // reports its errno instead of collapsing into one failbit. The record is
+  // only indexed once all of it durably reached the file API.
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::Error(std::string("BlockStore: open for append: ") +
+                         std::strerror(errno));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Error(std::string("BlockStore: seek to end: ") +
+                         std::strerror(err));
+  }
+  const std::uint64_t offset = static_cast<std::uint64_t>(end);
+  const std::uint8_t* p = record.data();
+  std::size_t remaining = record.size();
+  while (remaining > 0) {
+    const ssize_t w = ::write(fd, p, remaining);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status::Error(std::string("BlockStore: write: ") +
+                           std::strerror(err));
+    }
+    p += w;
+    remaining -= static_cast<std::size_t>(w);
+  }
+  if (fsync_on_append_ && ::fsync(fd) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Error(std::string("BlockStore: fsync: ") +
+                         std::strerror(err));
+  }
+  if (::close(fd) < 0) {
+    return Status::Error(std::string("BlockStore: close after append: ") +
+                         std::strerror(errno));
+  }
   offsets_.push_back(offset);
   return Status::Ok();
 }

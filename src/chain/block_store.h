@@ -32,8 +32,16 @@ class BlockStore {
   /// before it stay readable) and reported in the result's recovered flag.
   static Result<BlockStore> Open(const std::string& path);
 
+  /// When on, every Append fsyncs the file before reporting success, so a
+  /// power loss cannot lose an acknowledged block (a torn in-flight record
+  /// is still possible and handled by recovery on reopen). Off by default:
+  /// experiment stores favor throughput.
+  void SetFsyncOnAppend(bool on) { fsync_on_append_ = on; }
+  bool FsyncOnAppend() const { return fsync_on_append_; }
+
   /// Appends a block. The block's height must equal Count() (blocks are
-  /// stored densely from genesis).
+  /// stored densely from genesis). Every I/O step — open, write, flush, and
+  /// the optional fsync — is error-checked; on failure nothing is indexed.
   Status Append(const Block& block);
 
   /// Reads the block at `height` back from the file.
@@ -53,6 +61,7 @@ class BlockStore {
   std::string path_;
   std::vector<std::uint64_t> offsets_;  // file offset of each record header
   bool recovered_ = false;
+  bool fsync_on_append_ = false;
 };
 
 /// Rebuilds a full node by replaying every stored block (genesis must match

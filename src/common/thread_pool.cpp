@@ -6,7 +6,27 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace dcert::common {
+
+namespace {
+
+/// Aggregate queue-depth/throughput metrics across every pool in the process
+/// (gauges add/sub, so per-pool contributions compose).
+struct PoolMetrics {
+  std::shared_ptr<obs::Gauge> queue_depth;
+  std::shared_ptr<obs::Counter> tasks_executed;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = new PoolMetrics{
+        obs::MetricsRegistry::Global().GetGauge("common.pool.queue_depth"),
+        obs::MetricsRegistry::Global().GetCounter("common.pool.tasks_executed")};
+    return *m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -33,6 +53,7 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
   }
+  PoolMetrics::Get().queue_depth->Add(1);
   cv_.notify_one();
 }
 
@@ -46,7 +67,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    PoolMetrics::Get().queue_depth->Sub(1);
     task();
+    PoolMetrics::Get().tasks_executed->Add(1);
   }
 }
 
@@ -58,7 +81,9 @@ bool ThreadPool::RunOneTask() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
+  PoolMetrics::Get().queue_depth->Sub(1);
   task();
+  PoolMetrics::Get().tasks_executed->Add(1);
   return true;
 }
 

@@ -2,7 +2,30 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace dcert::net {
+
+namespace {
+
+/// Process-wide mirrors of simulated-network traffic across every SimNetwork
+/// (NetStats stays the exact per-simulation view).
+struct SimMetrics {
+  std::shared_ptr<obs::Counter> messages_delivered;
+  std::shared_ptr<obs::Counter> bytes_delivered;
+  std::shared_ptr<obs::Counter> messages_dropped;
+
+  static SimMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static SimMetrics* m = new SimMetrics{
+        reg.GetCounter("net.sim.messages_delivered"),
+        reg.GetCounter("net.sim.bytes_delivered"),
+        reg.GetCounter("net.sim.messages_dropped")};
+    return *m;
+  }
+};
+
+}  // namespace
 
 SimNetwork::SimNetwork(std::uint64_t seed, SimTime min_latency_us,
                        SimTime max_latency_us)
@@ -31,6 +54,7 @@ void SimNetwork::Send(const std::string& from, const std::string& to,
                       const std::string& topic, Bytes payload) {
   if (FindActor(to) == nullptr) {
     ++stats_.messages_dropped;  // recipient may be external to the simulation
+    SimMetrics::Get().messages_dropped->Add(1);
     return;
   }
   Event ev;
@@ -74,7 +98,10 @@ SimTime SimNetwork::Run(SimTime until) {
     if (target == nullptr) {
       // Same policy as Send: unknown targets drop (defensive — reachable
       // only if an actor vanished between enqueue and delivery).
-      if (!ev.is_timer) ++stats_.messages_dropped;
+      if (!ev.is_timer) {
+        ++stats_.messages_dropped;
+        SimMetrics::Get().messages_dropped->Add(1);
+      }
       continue;
     }
     if (ev.is_timer) {
@@ -83,6 +110,9 @@ SimTime SimNetwork::Run(SimTime until) {
       ++stats_.messages_delivered;
       stats_.bytes_delivered += ev.msg.payload.size();
       ++stats_.messages_by_topic[ev.msg.topic];
+      auto& sm = SimMetrics::Get();
+      sm.messages_delivered->Add(1);
+      sm.bytes_delivered->Add(ev.msg.payload.size());
       target->OnMessage(*this, ev.msg);
     }
   }

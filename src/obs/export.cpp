@@ -1,0 +1,156 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dcert::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "dcert_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+bool IsNanosMetric(const std::string& name) {
+  return name.size() > 3 && name.rfind("_ns") == name.size() - 3;
+}
+
+}  // namespace
+
+std::string ToJson(const MetricsSnapshot& snap) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"min\":" + std::to_string(h.min);
+    out += ",\"max\":" + std::to_string(h.max);
+    out += ",\"mean\":" + Num(h.Mean());
+    out += ",\"p50\":" + Num(h.Quantile(0.50));
+    out += ",\"p95\":" + Num(h.Quantile(0.95));
+    out += ",\"p99\":" + Num(h.Quantile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cum = 0;
+    for (const auto& [bound, n] : h.buckets) {
+      cum += n;
+      out += p + "_bucket{le=\"" + std::to_string(bound) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += p + "_sum " + std::to_string(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string RenderTable(const MetricsSnapshot& snap) {
+  std::string out;
+  char line[256];
+  if (!snap.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, v] : snap.counters) {
+      std::snprintf(line, sizeof(line), "  %-40s %20" PRIu64 "\n", name.c_str(),
+                    v);
+      out += line;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, v] : snap.gauges) {
+      std::snprintf(line, sizeof(line), "  %-40s %20" PRId64 "\n", name.c_str(),
+                    v);
+      out += line;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "histograms:\n";
+    std::snprintf(line, sizeof(line), "  %-40s %10s %10s %10s %10s %10s %10s\n",
+                  "", "count", "mean", "p50", "p95", "p99", "max");
+    out += line;
+    for (const auto& [name, h] : snap.histograms) {
+      if (IsNanosMetric(name)) {
+        // Latency histograms render in milliseconds.
+        std::snprintf(line, sizeof(line),
+                      "  %-40s %10" PRIu64 " %8.3fms %8.3fms %8.3fms %8.3fms "
+                      "%8.3fms\n",
+                      name.c_str(), h.count, h.Mean() / 1e6,
+                      h.Quantile(0.50) / 1e6, h.Quantile(0.95) / 1e6,
+                      h.Quantile(0.99) / 1e6, static_cast<double>(h.max) / 1e6);
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "  %-40s %10" PRIu64 " %10.0f %10.0f %10.0f %10.0f "
+                      "%10" PRIu64 "\n",
+                      name.c_str(), h.count, h.Mean(), h.Quantile(0.50),
+                      h.Quantile(0.95), h.Quantile(0.99), h.max);
+      }
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace dcert::obs

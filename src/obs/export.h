@@ -1,0 +1,25 @@
+// Renderers for a MetricsSnapshot: JSON (bench artifacts, `dcertctl stats
+// --json`), Prometheus text exposition (`--prom`, scrape-ready), and a
+// human-readable table (the default `dcertctl stats` output).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dcert::obs {
+
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+/// mean,p50,p95,p99}}} — summary form; bucket detail stays wire/table-side.
+std::string ToJson(const MetricsSnapshot& snap);
+
+/// Prometheus text exposition format v0.0.4: counters/gauges as-is,
+/// histograms as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+/// Metric names are sanitized (non-alphanumerics become '_').
+std::string ToPrometheusText(const MetricsSnapshot& snap);
+
+/// Aligned human-readable table; histogram rows show count/mean/p50/p95/p99/
+/// max, rendered in ms for metrics named `*_ns`.
+std::string RenderTable(const MetricsSnapshot& snap);
+
+}  // namespace dcert::obs

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace dcert::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<std::size_t> g_next_thread{0};
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::size_t SlotCount() {
+  static const std::size_t n = [] {
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 4;
+    std::size_t p = 1;
+    while (p < hw && p < 32) p <<= 1;
+    return p;
+  }();
+  return n;
+}
+
+std::size_t ThisThreadSlot() {
+  thread_local const std::size_t slot =
+      g_next_thread.fetch_add(1, std::memory_order_relaxed) & (SlotCount() - 1);
+  return slot;
+}
+
+Histogram::Histogram() {
+  slots_.reserve(SlotCount());
+  for (std::size_t i = 0; i < SlotCount(); ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  std::vector<std::uint64_t> merged(kBucketCount, 0);
+  for (const auto& slot : slots_) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      merged[i] += slot->counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += slot->sum.load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (merged[i] == 0) continue;
+    snap.count += merged[i];
+    snap.buckets.emplace_back(BucketUpperBound(i), merged[i]);
+  }
+  if (snap.count != 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (0-based), then interpolate linearly inside
+  // the containing bucket. The lower edge comes from the bucket geometry
+  // (the previous *entry* in the sparse list may be a far-away bucket), and
+  // samples sit mid-step so a lone sample reports mid-bucket, not the edge.
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t cum = 0;
+  for (const auto& [bound, n] : buckets) {
+    if (rank < static_cast<double>(cum + n)) {
+      const std::size_t idx = Histogram::BucketIndex(bound);
+      const double lo =
+          idx == 0 ? 0.0
+                   : static_cast<double>(Histogram::BucketUpperBound(idx - 1));
+      const double frac = std::clamp(
+          (rank - static_cast<double>(cum) + 0.5) / static_cast<double>(n), 0.0,
+          1.0);
+      const double v = lo + (static_cast<double>(bound) - lo) * frac;
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    cum += n;
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaFrom(const HistogramSnapshot& base) const {
+  HistogramSnapshot out;
+  out.min = min;
+  out.max = max;
+  out.sum = sum - std::min(sum, base.sum);
+  std::map<std::uint64_t, std::uint64_t> base_counts(base.buckets.begin(),
+                                                     base.buckets.end());
+  for (const auto& [bound, n] : buckets) {
+    auto it = base_counts.find(bound);
+    const std::uint64_t prior = it == base_counts.end() ? 0 : it->second;
+    if (n > prior) {
+      out.buckets.emplace_back(bound, n - prior);
+      out.count += n - prior;
+    }
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaFrom(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : counters) {
+    auto it = base.counters.find(name);
+    const std::uint64_t prior = it == base.counters.end() ? 0 : it->second;
+    out.counters[name] = v - std::min(v, prior);
+  }
+  out.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    auto it = base.histograms.find(name);
+    out.histograms[name] =
+        it == base.histograms.end() ? h : h.DeltaFrom(it->second);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked on purpose
+  return *registry;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_shared<Counter>();
+  return slot;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_shared<Gauge>();
+  return slot;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_shared<Histogram>();
+  return slot;
+}
+
+void MetricsRegistry::Register(const std::string& name, std::shared_ptr<Counter> c) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_[name] = std::move(c);
+}
+
+void MetricsRegistry::Register(const std::string& name, std::shared_ptr<Gauge> g) {
+  std::lock_guard<std::mutex> lk(mu_);
+  gauges_[name] = std::move(g);
+}
+
+void MetricsRegistry::Register(const std::string& name, std::shared_ptr<Histogram> h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  histograms_[name] = std::move(h);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->Snapshot();
+  return snap;
+}
+
+}  // namespace dcert::obs

@@ -1,0 +1,220 @@
+// Process-wide low-overhead metrics: sharded counters, gauges, and log-linear
+// histograms behind a named registry, feeding the live `dcertctl stats`
+// endpoint, the Prometheus/JSON exporters, and the bench JSON cost breakdowns.
+//
+// Hot-path design:
+//  * Writes are lock-free: each thread hashes to one of a fixed power-of-two
+//    set of cache-line-padded slots and does a relaxed fetch_add there, so
+//    concurrent recorders never contend on one line (no false sharing).
+//  * Reads merge: Value()/Snapshot() sum the slots. Totals are exact for
+//    quiesced recorders and monotonically catch up under concurrent writes
+//    (relaxed loads may miss in-flight increments, never invent them).
+//  * A process-wide kill switch (SetEnabled) turns every Record/Add into a
+//    single relaxed load + branch, which is what the overhead canary measures
+//    instrumented serving against.
+//
+// Ownership: metric objects are shared_ptr-owned. Components own their
+// instance metrics (so per-instance accessors like CacheStats stay exact) and
+// register them into a MetricsRegistry — by default the Global() one — where
+// re-registering a name replaces the previous owner ("latest instance wins",
+// which is the right semantics for a serving process with one live server).
+//
+// This library is deliberately std-only so the lowest layers (common, sgxsim)
+// can link it without cycles.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcert::obs {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Number of write slots every sharded metric carries (power of two, sized to
+/// the hardware at first use, capped so idle histograms stay small).
+std::size_t SlotCount();
+
+/// This thread's slot index in [0, SlotCount()). Threads are striped over the
+/// slots round-robin at first use.
+std::size_t ThisThreadSlot();
+
+/// Global recording switch. When false, Add/Record are branch-only no-ops
+/// (reads still work). Used by the overhead canary and the bench A/B mode.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+struct alignas(kCacheLineBytes) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Monotonic counter with per-thread-slot sharding.
+class Counter {
+ public:
+  Counter() : slots_(SlotCount()) {}
+
+  void Add(std::uint64_t n = 1) {
+    if (!Enabled()) return;
+    slots_[ThisThreadSlot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::vector<PaddedU64> slots_;
+};
+
+/// Signed gauge (queue depths, resident bytes). Set/Add/Sub are single
+/// relaxed atomics: gauges are low-frequency compared to counters, and Set
+/// semantics do not shard.
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    if (!Enabled()) return;
+    value_.v.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t n = 1) {
+    if (!Enabled()) return;
+    value_.v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Sub(std::int64_t n = 1) { Add(-n); }
+  std::int64_t Value() const { return value_.v.load(std::memory_order_relaxed); }
+
+ private:
+  struct alignas(kCacheLineBytes) PaddedI64 {
+    std::atomic<std::int64_t> v{0};
+  };
+  PaddedI64 value_;
+};
+
+/// Read-side copy of one histogram: exact count/sum, sparse per-bucket
+/// counts, and quantile estimation by interpolation inside the bucket.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  /// (inclusive upper bound, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Value at quantile q in [0,1], interpolated within the containing bucket.
+  double Quantile(double q) const;
+  /// Bucket-wise (this - base); min/max stay this snapshot's (they are
+  /// since-construction extremes, not differentiable).
+  HistogramSnapshot DeltaFrom(const HistogramSnapshot& base) const;
+};
+
+/// Log-linear histogram of non-negative 64-bit samples (latencies in ns,
+/// sizes in bytes): exact buckets for values < 8, then 8 linear subdivisions
+/// per power of two (~12.5% relative resolution) up to 2^64-1. Recording is
+/// a slot-sharded relaxed fetch_add; min/max use a rarely-taken CAS loop.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;
+  static constexpr std::size_t kBucketCount = kSub + (64 - kSubBits) * kSub;
+
+  Histogram();
+
+  void Record(std::uint64_t v) {
+    if (!Enabled()) return;
+    Slot& s = *slots_[ThisThreadSlot()];
+    s.counts[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  static std::size_t BucketIndex(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const int exp = 63 - std::countl_zero(v);
+    const std::uint64_t sub = (v >> (exp - kSubBits)) - kSub;
+    return kSub + static_cast<std::size_t>(exp - kSubBits) * kSub +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Largest value mapping to bucket `idx` (inclusive).
+  static std::uint64_t BucketUpperBound(std::size_t idx) {
+    if (idx < kSub) return idx;
+    const std::size_t rel = idx - kSub;
+    const int exp = kSubBits + static_cast<int>(rel / kSub);
+    const std::uint64_t sub = rel % kSub;
+    const std::uint64_t width = std::uint64_t{1} << (exp - kSubBits);
+    // Wraps to 2^64-1 for the very top bucket, which is the intended bound.
+    return (std::uint64_t{1} << exp) + sub * width + width - 1;
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct Slot {
+    std::vector<std::atomic<std::uint64_t>> counts;
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> sum{0};
+    Slot() : counts(kBucketCount) {}
+  };
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of every registered metric; values never change after
+/// the call (snapshot-vs-live isolation).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Per-name (this - base) for counters and histograms; gauges keep this
+  /// snapshot's value (deltas of levels are not meaningful). Names missing
+  /// from `base` are treated as starting at zero.
+  MetricsSnapshot DeltaFrom(const MetricsSnapshot& base) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every layer records into by default.
+  static MetricsRegistry& Global();
+
+  /// Get-or-create: returns the metric registered under `name`, creating it
+  /// on first use. The registry and the caller share ownership.
+  std::shared_ptr<Counter> GetCounter(const std::string& name);
+  std::shared_ptr<Gauge> GetGauge(const std::string& name);
+  std::shared_ptr<Histogram> GetHistogram(const std::string& name);
+
+  /// Registers a caller-owned metric, replacing any previous holder of the
+  /// name (latest instance wins — see the header comment on ownership).
+  void Register(const std::string& name, std::shared_ptr<Counter> c);
+  void Register(const std::string& name, std::shared_ptr<Gauge> g);
+  void Register(const std::string& name, std::shared_ptr<Histogram> h);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // registration + snapshot walk only, never records
+  std::map<std::string, std::shared_ptr<Counter>> counters_;
+  std::map<std::string, std::shared_ptr<Gauge>> gauges_;
+  std::map<std::string, std::shared_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dcert::obs

@@ -1,0 +1,101 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <mutex>
+
+namespace dcert::obs {
+
+struct TraceLog::Ring {
+  std::mutex mu;
+  std::array<TraceEvent, kRingCapacity> events;
+  std::size_t next = 0;   // write cursor
+  std::size_t count = 0;  // valid entries (saturates at capacity)
+  std::atomic<bool> leased{false};
+};
+
+namespace {
+
+/// Returns the leased ring to the free pool at thread exit. Data written so
+/// far stays readable; a later thread reusing the ring appends after it.
+struct RingLease {
+  std::shared_ptr<TraceLog::Ring> ring;
+  ~RingLease() {
+    if (ring) ring->leased.store(false, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* log = new TraceLog();  // leaked on purpose
+  return *log;
+}
+
+std::uint64_t TraceLog::NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
+          .count());
+}
+
+std::shared_ptr<TraceLog::Ring> TraceLog::LeaseRing() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& ring : rings_) {
+    bool expected = false;
+    if (ring->leased.compare_exchange_strong(expected, true,
+                                             std::memory_order_acquire)) {
+      return ring;
+    }
+  }
+  if (rings_.size() >= kMaxRings) return nullptr;
+  auto ring = std::make_shared<Ring>();
+  ring->leased.store(true, std::memory_order_relaxed);
+  rings_.push_back(ring);
+  return ring;
+}
+
+void TraceLog::Record(const char* name, std::uint64_t start_ns,
+                      std::uint64_t dur_ns) {
+  thread_local RingLease lease{Global().LeaseRing()};
+  if (!lease.ring) return;  // over kMaxRings: drop the event, keep going
+  Ring& ring = *lease.ring;
+  std::lock_guard<std::mutex> lk(ring.mu);
+  ring.events[ring.next] = TraceEvent{name, start_ns, dur_ns};
+  ring.next = (ring.next + 1) % kRingCapacity;
+  if (ring.count < kRingCapacity) ++ring.count;
+}
+
+std::vector<TraceEvent> TraceLog::Recent(std::size_t max_events) const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lk(ring->mu);
+    for (std::size_t i = 0; i < ring->count; ++i) out.push_back(ring->events[i]);
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns < b.start_ns;
+  });
+  if (out.size() > max_events) {
+    out.erase(out.begin(), out.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  return out;
+}
+
+std::uint64_t TraceSpan::Finish() {
+  if (finished_) return dur_ns_;
+  finished_ = true;
+  dur_ns_ = TraceLog::NowNs() - start_ns_;
+  if (!Enabled()) return dur_ns_;
+  if (hist_ != nullptr) hist_->Record(dur_ns_);
+  TraceLog::Global().Record(name_, start_ns_, dur_ns_);
+  return dur_ns_;
+}
+
+}  // namespace dcert::obs

@@ -1,0 +1,83 @@
+// RAII scoped timers feeding named histograms, plus a per-thread ring buffer
+// of recent span events for "what was this process just doing" forensics
+// (dumped by tests and debug tooling; the wire stats endpoint serves the
+// histograms, not the raw events).
+//
+// Span names must be string literals (or otherwise outlive the process): the
+// ring stores the pointer, not a copy, to keep the hot path allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dcert::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  // monotonic, since process start
+  std::uint64_t dur_ns = 0;
+};
+
+/// Process-wide collection of per-thread span rings. Each recording thread
+/// leases a fixed-capacity ring (returned to a free list at thread exit, so
+/// connection-churn workloads do not grow the set without bound); writes take
+/// only that ring's uncontended mutex.
+class TraceLog {
+ public:
+  static constexpr std::size_t kRingCapacity = 512;
+  /// Rings are reused after thread exit; past this many simultaneously live
+  /// recording threads, extra threads skip ring recording (histograms still
+  /// record).
+  static constexpr std::size_t kMaxRings = 256;
+
+  /// One thread's span storage; opaque outside trace.cpp (public only so the
+  /// thread-exit lease in trace.cpp can name it).
+  struct Ring;
+
+  static TraceLog& Global();
+
+  /// Monotonic nanoseconds since process start (first call).
+  static std::uint64_t NowNs();
+
+  /// Appends one event to the calling thread's ring.
+  void Record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  /// Most recent events across all rings, ascending by start time, at most
+  /// `max_events` (the newest are kept).
+  std::vector<TraceEvent> Recent(std::size_t max_events = kRingCapacity) const;
+
+ private:
+  std::shared_ptr<Ring> LeaseRing();
+
+  mutable std::mutex mu_;  // guards rings_ membership, not ring contents
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+/// Scoped timer: records elapsed ns into `hist` (when given) and into the
+/// calling thread's trace ring on destruction or Finish().
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Histogram* hist = nullptr)
+      : name_(name), hist_(hist), start_ns_(TraceLog::NowNs()) {}
+  TraceSpan(const char* name, const std::shared_ptr<Histogram>& hist)
+      : TraceSpan(name, hist.get()) {}
+  ~TraceSpan() { Finish(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early; idempotent. Returns the duration in ns.
+  std::uint64_t Finish();
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  std::uint64_t start_ns_;
+  bool finished_ = false;
+  std::uint64_t dur_ns_ = 0;
+};
+
+}  // namespace dcert::obs

@@ -17,9 +17,38 @@
 // Benchmarks report raw and modelled figures side by side.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+
+#include "obs/metrics.h"
 
 namespace dcert::sgxsim {
+
+/// Process-wide observability mirrors of enclave activity, aggregated across
+/// every Enclave instance. The per-instance CostAccounting below remains the
+/// exact, resettable view benchmarks reason about; these registry metrics are
+/// monotonic and feed the live stats endpoint.
+struct GlobalSgxMetrics {
+  std::shared_ptr<obs::Counter> ecalls;
+  std::shared_ptr<obs::Counter> ocalls;
+  std::shared_ptr<obs::Counter> ecall_input_bytes;
+  std::shared_ptr<obs::Counter> epc_pages_evicted;
+  std::shared_ptr<obs::Gauge> epc_bytes_resident;  // last Ecall's working set
+  std::shared_ptr<obs::Histogram> ecall_wall_ns;
+
+  static GlobalSgxMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static GlobalSgxMetrics* m = new GlobalSgxMetrics{
+        reg.GetCounter("sgx.ecalls"),
+        reg.GetCounter("sgx.ocalls"),
+        reg.GetCounter("sgx.ecall_input_bytes"),
+        reg.GetCounter("sgx.epc.pages_evicted"),
+        reg.GetGauge("sgx.epc.bytes_resident"),
+        reg.GetHistogram("sgx.ecall_wall_ns")};
+    return *m;
+  }
+};
 
 struct CostModelParams {
   std::uint64_t ecall_transition_ns = 12'000;
@@ -52,12 +81,24 @@ class CostAccounting {
     ++ecalls_;
     wall_ns_ += wall_ns;
     total_input_bytes_ += input_bytes;
+    std::uint64_t evicted_pages = 0;
     if (input_bytes > params_.epc_limit_bytes) {
       std::uint64_t excess = input_bytes - params_.epc_limit_bytes;
-      paged_pages_ += (excess + 4095) / 4096;
+      evicted_pages = (excess + 4095) / 4096;
+      paged_pages_ += evicted_pages;
     }
+    auto& gm = GlobalSgxMetrics::Get();
+    gm.ecalls->Add(1);
+    gm.ecall_input_bytes->Add(input_bytes);
+    gm.ecall_wall_ns->Record(wall_ns);
+    gm.epc_bytes_resident->Set(static_cast<std::int64_t>(
+        std::min(input_bytes, params_.epc_limit_bytes)));
+    if (evicted_pages != 0) gm.epc_pages_evicted->Add(evicted_pages);
   }
-  void RecordOcall() { ++ocalls_; }
+  void RecordOcall() {
+    ++ocalls_;
+    GlobalSgxMetrics::Get().ocalls->Add(1);
+  }
 
   std::uint64_t ecalls() const { return ecalls_; }
   std::uint64_t ocalls() const { return ocalls_; }

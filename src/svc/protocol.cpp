@@ -8,14 +8,25 @@ namespace {
 
 bool ValidOp(std::uint8_t op) {
   return op >= static_cast<std::uint8_t>(Op::kTipFetch) &&
-         op <= static_cast<std::uint8_t>(Op::kAnnounce);
+         op <= static_cast<std::uint8_t>(Op::kStats);
 }
+
+/// Caps on the decoded snapshot so a malicious stats reply cannot balloon
+/// client memory (a real snapshot has tens of metrics).
+constexpr std::size_t kMaxStatsMetrics = 4096;
+constexpr std::size_t kMaxStatsBuckets = 8192;
 
 }  // namespace
 
 Bytes EncodeTipFetchRequest() {
   Encoder enc;
   enc.U8(static_cast<std::uint8_t>(Op::kTipFetch));
+  return enc.Take();
+}
+
+Bytes EncodeStatsRequest() {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Op::kStats));
   return enc.Take();
 }
 
@@ -201,6 +212,85 @@ Result<std::uint64_t> DecodeAckBody(ByteView body) {
     return tip_height;
   } catch (const DecodeError& e) {
     return R::Error(std::string("ack reply: ") + e.what());
+  }
+}
+
+Bytes EncodeStatsReply(const obs::MetricsSnapshot& snap) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Code::kOk));
+  enc.U32(static_cast<std::uint32_t>(snap.counters.size()));
+  for (const auto& [name, v] : snap.counters) {
+    enc.Str(name);
+    enc.U64(v);
+  }
+  enc.U32(static_cast<std::uint32_t>(snap.gauges.size()));
+  for (const auto& [name, v] : snap.gauges) {
+    enc.Str(name);
+    enc.U64(static_cast<std::uint64_t>(v));  // two's complement round trip
+  }
+  enc.U32(static_cast<std::uint32_t>(snap.histograms.size()));
+  for (const auto& [name, h] : snap.histograms) {
+    enc.Str(name);
+    enc.U64(h.count);
+    enc.U64(h.sum);
+    enc.U64(h.min);
+    enc.U64(h.max);
+    enc.U32(static_cast<std::uint32_t>(h.buckets.size()));
+    for (const auto& [bound, n] : h.buckets) {
+      enc.U64(bound);
+      enc.U64(n);
+    }
+  }
+  return enc.Take();
+}
+
+Result<obs::MetricsSnapshot> DecodeStatsBody(ByteView body) {
+  using R = Result<obs::MetricsSnapshot>;
+  try {
+    Decoder dec(body);
+    obs::MetricsSnapshot snap;
+    const std::uint32_t n_counters = dec.U32();
+    if (n_counters > kMaxStatsMetrics) return R::Error("stats reply: too many counters");
+    for (std::uint32_t i = 0; i < n_counters; ++i) {
+      std::string name = dec.Str();
+      snap.counters[std::move(name)] = dec.U64();
+    }
+    const std::uint32_t n_gauges = dec.U32();
+    if (n_gauges > kMaxStatsMetrics) return R::Error("stats reply: too many gauges");
+    for (std::uint32_t i = 0; i < n_gauges; ++i) {
+      std::string name = dec.Str();
+      snap.gauges[std::move(name)] = static_cast<std::int64_t>(dec.U64());
+    }
+    const std::uint32_t n_hists = dec.U32();
+    if (n_hists > kMaxStatsMetrics) return R::Error("stats reply: too many histograms");
+    for (std::uint32_t i = 0; i < n_hists; ++i) {
+      std::string name = dec.Str();
+      obs::HistogramSnapshot h;
+      h.count = dec.U64();
+      h.sum = dec.U64();
+      h.min = dec.U64();
+      h.max = dec.U64();
+      const std::uint32_t n_buckets = dec.U32();
+      if (n_buckets > kMaxStatsBuckets) {
+        return R::Error("stats reply: too many histogram buckets");
+      }
+      std::uint64_t prev_bound = 0;
+      h.buckets.reserve(n_buckets);
+      for (std::uint32_t b = 0; b < n_buckets; ++b) {
+        const std::uint64_t bound = dec.U64();
+        const std::uint64_t count = dec.U64();
+        if (b != 0 && bound <= prev_bound) {
+          return R::Error("stats reply: histogram buckets not ascending");
+        }
+        prev_bound = bound;
+        h.buckets.emplace_back(bound, count);
+      }
+      snap.histograms[std::move(name)] = std::move(h);
+    }
+    dec.ExpectEnd();
+    return snap;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("stats reply: ") + e.what());
   }
 }
 

@@ -13,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "dcert/certificate.h"
+#include "obs/metrics.h"
 #include "query/historical_index.h"
 
 namespace dcert::svc {
@@ -22,6 +23,7 @@ enum class Op : std::uint8_t {
   kHistorical = 2,  // window query -> QueryReply
   kAggregate = 3,   // count/sum query -> QueryReply
   kAnnounce = 4,    // certified block announcement -> AckReply
+  kStats = 5,       // live metrics snapshot -> StatsReply
 };
 
 enum class Code : std::uint8_t {
@@ -63,6 +65,7 @@ struct ReplyEnvelope {
 
 // Requests.
 Bytes EncodeTipFetchRequest();
+Bytes EncodeStatsRequest();
 Bytes EncodeQueryRequest(const QueryRequest& req);
 Bytes EncodeAnnounceRequest(const AnnounceRequest& req);
 /// The op byte of a request frame (without consuming the body).
@@ -82,5 +85,11 @@ Result<TipInfo> DecodeTipBody(ByteView body);
 Result<std::pair<std::uint64_t, query::HistoricalQueryProof>> DecodeQueryBody(
     ByteView body);
 Result<std::uint64_t> DecodeAckBody(ByteView body);
+
+/// Metrics snapshots cross the wire as counters/gauges plus full sparse
+/// histogram buckets, so the client can compute any percentile (and render
+/// Prometheus text) without the server choosing quantiles for it.
+Bytes EncodeStatsReply(const obs::MetricsSnapshot& snap);
+Result<obs::MetricsSnapshot> DecodeStatsBody(ByteView body);
 
 }  // namespace dcert::svc

@@ -7,12 +7,21 @@ namespace dcert::svc {
 
 ResponseCache::ResponseCache(std::size_t shards,
                              std::size_t capacity_per_shard)
-    : capacity_per_shard_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+    : capacity_per_shard_(capacity_per_shard == 0 ? 1 : capacity_per_shard),
+      hits_(std::make_shared<obs::Counter>()),
+      misses_(std::make_shared<obs::Counter>()),
+      evictions_(std::make_shared<obs::Counter>()),
+      invalidations_(std::make_shared<obs::Counter>()) {
   if (shards == 0) shards = 1;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Register("svc.cache.hits", hits_);
+  reg.Register("svc.cache.misses", misses_);
+  reg.Register("svc.cache.evictions", evictions_);
+  reg.Register("svc.cache.invalidations", invalidations_);
 }
 
 Hash256 ResponseCache::Key(Op op, std::uint64_t account,
@@ -36,11 +45,11 @@ std::optional<Bytes> ResponseCache::Lookup(const Hash256& key) {
   std::lock_guard<std::mutex> lk(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->Add(1);
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_->Add(1);
   return it->second->second;
 }
 
@@ -58,7 +67,7 @@ void ResponseCache::Insert(const Hash256& key, Bytes reply) {
   if (shard.lru.size() > capacity_per_shard_) {
     shard.map.erase(shard.lru.back().first);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->Add(1);
   }
 }
 
@@ -68,15 +77,15 @@ void ResponseCache::InvalidateAll() {
     shard->lru.clear();
     shard->map.clear();
   }
-  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  invalidations_->Add(1);
 }
 
 CacheStats ResponseCache::Stats() const {
   CacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.hits = hits_->Value();
+  s.misses = misses_->Value();
+  s.evictions = evictions_->Value();
+  s.invalidations = invalidations_->Value();
   return s;
 }
 

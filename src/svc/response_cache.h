@@ -7,7 +7,6 @@
 // memory). Shards keep lock contention bounded under concurrent clients.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -17,6 +16,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 #include "svc/protocol.h"
 
 namespace dcert::svc {
@@ -49,6 +49,8 @@ class ResponseCache {
   /// Drops every entry (a new certified block arrived).
   void InvalidateAll();
 
+  /// Thin view over this instance's registry-backed counters (`svc.cache.*`
+  /// in the metrics registry; exact for this cache instance).
   CacheStats Stats() const;
 
  private:
@@ -64,10 +66,12 @@ class ResponseCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t capacity_per_shard_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> invalidations_{0};
+  // Instance-owned sharded counters, also registered in the global metrics
+  // registry (latest cache instance wins the `svc.cache.*` names there).
+  std::shared_ptr<obs::Counter> hits_;
+  std::shared_ptr<obs::Counter> misses_;
+  std::shared_ptr<obs::Counter> evictions_;
+  std::shared_ptr<obs::Counter> invalidations_;
 };
 
 }  // namespace dcert::svc

@@ -11,6 +11,31 @@ namespace {
 using Ms = std::chrono::milliseconds;
 using Clock = std::chrono::steady_clock;
 
+/// Process-wide mirrors of retry-path activity across every SpClient (the
+/// per-instance SpClientStats stays the exact view tests assert on).
+struct ClientMetrics {
+  std::shared_ptr<obs::Counter> attempts;
+  std::shared_ptr<obs::Counter> retries;
+  std::shared_ptr<obs::Counter> reconnects;
+  std::shared_ptr<obs::Counter> timeouts;
+  std::shared_ptr<obs::Counter> transport_errors;
+  std::shared_ptr<obs::Counter> busy_replies;
+  std::shared_ptr<obs::Counter> giveups;
+
+  static ClientMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static ClientMetrics* m = new ClientMetrics{
+        reg.GetCounter("svc.client.attempts"),
+        reg.GetCounter("svc.client.retries"),
+        reg.GetCounter("svc.client.reconnects"),
+        reg.GetCounter("svc.client.timeouts"),
+        reg.GetCounter("svc.client.transport_errors"),
+        reg.GetCounter("svc.client.busy_replies"),
+        reg.GetCounter("svc.client.giveups")};
+    return *m;
+  }
+};
+
 }  // namespace
 
 Status SpClient::EnsureConnected() {
@@ -21,7 +46,10 @@ Status SpClient::EnsureConnected() {
   auto dialed = connector_();
   if (!dialed.ok()) return dialed.status();
   conn_ = std::move(dialed.value());
-  if (ever_connected_) ++stats_.reconnects;  // the first dial is not a *re*dial
+  if (ever_connected_) {  // the first dial is not a *re*dial
+    ++stats_.reconnects;
+    ClientMetrics::Get().reconnects->Add(1);
+  }
   ever_connected_ = true;
   return Status::Ok();
 }
@@ -49,14 +77,17 @@ Result<Bytes> SpClient::Roundtrip(const Bytes& request,
                              static_cast<double>(backoff.count()) *
                              policy_.backoff_multiplier)));
       ++stats_.retries;
+      ClientMetrics::Get().retries->Add(1);
     }
     ++stats_.attempts;
+    ClientMetrics::Get().attempts->Add(1);
     last_busy_ = false;
 
     if (Status st = EnsureConnected(); !st) {
       last_error = st;
       if (IsTransientTransportError(st)) {
         ++stats_.transport_errors;
+        ClientMetrics::Get().transport_errors->Add(1);
         continue;  // refused/failed dial: back off and redial
       }
       break;  // no reconnect path, or a permanent dial failure
@@ -67,8 +98,10 @@ Result<Bytes> SpClient::Roundtrip(const Bytes& request,
       last_error = raw.status();
       if (IsTimeoutError(last_error)) {
         ++stats_.timeouts;
+        ClientMetrics::Get().timeouts->Add(1);
       } else {
         ++stats_.transport_errors;
+        ClientMetrics::Get().transport_errors->Add(1);
       }
       if (IsTransientTransportError(last_error)) {
         conn_.reset();  // the stream may be desynced; redial next attempt
@@ -82,6 +115,7 @@ Result<Bytes> SpClient::Roundtrip(const Bytes& request,
       // Garbage from an untrusted SP or a corrupting network; the stream
       // cannot be trusted to be frame-aligned anymore, so redial.
       ++stats_.transport_errors;
+      ClientMetrics::Get().transport_errors->Add(1);
       last_error = ConnectionError("sp client: undecodable reply: " +
                                    env.message());
       conn_.reset();
@@ -89,6 +123,7 @@ Result<Bytes> SpClient::Roundtrip(const Bytes& request,
     }
     if (env.value().code == Code::kBusy) {
       ++stats_.busy_replies;
+      ClientMetrics::Get().busy_replies->Add(1);
       last_busy_ = true;
       last_error = Status::Error("busy: " + env.value().message);
       continue;  // the connection is fine; the server shed us — back off
@@ -101,6 +136,7 @@ Result<Bytes> SpClient::Roundtrip(const Bytes& request,
         // An OK envelope with an undecodable body is a corrupted reply, not
         // a server decision: treat it like any transport fault.
         ++stats_.transport_errors;
+        ClientMetrics::Get().transport_errors->Add(1);
         last_error = ConnectionError("sp client: corrupted reply body: " +
                                      st.message());
         conn_.reset();
@@ -111,6 +147,7 @@ Result<Bytes> SpClient::Roundtrip(const Bytes& request,
     return std::move(env.value().body);
   }
   ++stats_.giveups;
+  ClientMetrics::Get().giveups->Add(1);
   return Result<Bytes>(last_error);
 }
 
@@ -124,6 +161,18 @@ Result<TipInfo> SpClient::FetchTip() {
   });
   if (!body.ok()) return Result<TipInfo>(body.status());
   return std::move(*tip);
+}
+
+Result<obs::MetricsSnapshot> SpClient::FetchStats() {
+  std::optional<obs::MetricsSnapshot> snap;
+  auto body = Roundtrip(EncodeStatsRequest(), [&snap](const Bytes& b) {
+    auto decoded = DecodeStatsBody(b);
+    if (!decoded.ok()) return decoded.status();
+    snap = std::move(decoded.value());
+    return Status::Ok();
+  });
+  if (!body.ok()) return Result<obs::MetricsSnapshot>(body.status());
+  return std::move(*snap);
 }
 
 Result<SpClient::QueryResult> SpClient::Query(Op op, std::uint64_t account,

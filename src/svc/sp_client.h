@@ -77,6 +77,8 @@ class SpClient {
   };
 
   Result<TipInfo> FetchTip();
+  /// Live metrics snapshot from the server's registry (Op::kStats).
+  Result<obs::MetricsSnapshot> FetchStats();
   Result<QueryResult> Historical(std::uint64_t account,
                                  std::uint64_t from_height,
                                  std::uint64_t to_height);

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace dcert::svc {
 
 namespace {
@@ -17,7 +19,31 @@ SpServer::SpServer(SpServerConfig config)
     : config_(config),
       pool_(config.workers),
       cache_(config.cache_shards, config.cache_capacity_per_shard),
-      index_("historical") {}
+      index_("historical"),
+      served_(std::make_shared<obs::Counter>()),
+      shed_(std::make_shared<obs::Counter>()),
+      errors_(std::make_shared<obs::Counter>()),
+      blocks_applied_(std::make_shared<obs::Counter>()),
+      announce_rejected_(std::make_shared<obs::Counter>()),
+      inflight_gauge_(std::make_shared<obs::Gauge>()),
+      lat_tip_ns_(std::make_shared<obs::Histogram>()),
+      lat_historical_ns_(std::make_shared<obs::Histogram>()),
+      lat_aggregate_ns_(std::make_shared<obs::Histogram>()),
+      lat_announce_ns_(std::make_shared<obs::Histogram>()),
+      lat_stats_ns_(std::make_shared<obs::Histogram>()) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Register("svc.server.served", served_);
+  reg.Register("svc.server.shed", shed_);
+  reg.Register("svc.server.errors", errors_);
+  reg.Register("svc.server.blocks_applied", blocks_applied_);
+  reg.Register("svc.server.announce_rejected", announce_rejected_);
+  reg.Register("svc.server.inflight", inflight_gauge_);
+  reg.Register("svc.latency.tip_ns", lat_tip_ns_);
+  reg.Register("svc.latency.historical_ns", lat_historical_ns_);
+  reg.Register("svc.latency.aggregate_ns", lat_aggregate_ns_);
+  reg.Register("svc.latency.announce_ns", lat_announce_ns_);
+  reg.Register("svc.latency.stats_ns", lat_stats_ns_);
+}
 
 SpServer::~SpServer() { Shutdown(); }
 
@@ -54,14 +80,18 @@ void SpServer::HandleFrame(Bytes request, Respond respond) {
     // The busy reply is written after admit_mu_ drops: a stuck client's
     // socket can only stall its own transport thread, never admission for
     // every other connection.
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_->Add(1);
     respond(EncodeStatusReply(Code::kBusy, shed_reason));
     return;
   }
+  // in_flight_ under admit_mu_ stays the source of truth for admission and
+  // drain; the gauge is a lock-free mirror for the live stats endpoint.
+  inflight_gauge_->Add(1);
   pool_.Submit(
       [this, request = std::move(request), respond = std::move(respond)] {
         Bytes reply = Process(request);
         respond(std::move(reply));
+        inflight_gauge_->Sub(1);
         std::lock_guard<std::mutex> lk(admit_mu_);
         --in_flight_;
         if (in_flight_ == 0) drain_cv_.notify_all();
@@ -75,48 +105,60 @@ Bytes SpServer::Process(const Bytes& request) {
   }
   auto op = PeekOp(request);
   if (!op.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Add(1);
     return EncodeStatusReply(Code::kError, op.message());
   }
   switch (op.value()) {
-    case Op::kTipFetch:
+    case Op::kTipFetch: {
+      obs::TraceSpan span("svc.tip_fetch", lat_tip_ns_);
       return ProcessTipFetch();
+    }
     case Op::kHistorical:
     case Op::kAggregate: {
       auto req = DecodeQueryRequest(request);
       if (!req.ok()) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_->Add(1);
         return EncodeStatusReply(Code::kError, req.message());
       }
+      obs::TraceSpan span(
+          req.value().op == Op::kHistorical ? "svc.historical" : "svc.aggregate",
+          req.value().op == Op::kHistorical ? lat_historical_ns_
+                                            : lat_aggregate_ns_);
       return ProcessQuery(req.value());
     }
     case Op::kAnnounce: {
       auto req = DecodeAnnounceRequest(request);
       if (!req.ok()) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_->Add(1);
         return EncodeStatusReply(Code::kError, req.message());
       }
+      obs::TraceSpan span("svc.announce", lat_announce_ns_);
       Status st = Announce(req.value());
       if (!st) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_->Add(1);
         return EncodeStatusReply(Code::kError, st.message());
       }
-      served_.fetch_add(1, std::memory_order_relaxed);
+      served_->Add(1);
       std::shared_lock<std::shared_mutex> lk(state_mu_);
       return EncodeAckReply(tip_ ? tip_->header.height : 0);
     }
+    case Op::kStats: {
+      obs::TraceSpan span("svc.stats", lat_stats_ns_);
+      served_->Add(1);
+      return EncodeStatsReply(obs::MetricsRegistry::Global().Snapshot());
+    }
   }
-  errors_.fetch_add(1, std::memory_order_relaxed);
+  errors_->Add(1);
   return EncodeStatusReply(Code::kError, "unhandled op");
 }
 
 Bytes SpServer::ProcessTipFetch() {
   std::shared_lock<std::shared_mutex> lk(state_mu_);
   if (!tip_) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Add(1);
     return EncodeStatusReply(Code::kError, "no certified tip yet");
   }
-  served_.fetch_add(1, std::memory_order_relaxed);
+  served_->Add(1);
   return EncodeTipReply(*tip_);
 }
 
@@ -125,7 +167,7 @@ Bytes SpServer::ProcessQuery(const QueryRequest& req) {
   // always consistent with the tip height stamped into the reply.
   std::shared_lock<std::shared_mutex> lk(state_mu_);
   if (!tip_) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Add(1);
     return EncodeStatusReply(Code::kError, "no certified tip yet");
   }
   const std::uint64_t tip_height = tip_->header.height;
@@ -134,7 +176,7 @@ Bytes SpServer::ProcessQuery(const QueryRequest& req) {
     key = ResponseCache::Key(req.op, req.account, req.from_height,
                              req.to_height, tip_height);
     if (auto hit = cache_.Lookup(key)) {
-      served_.fetch_add(1, std::memory_order_relaxed);
+      served_->Add(1);
       return std::move(*hit);
     }
   }
@@ -144,7 +186,7 @@ Bytes SpServer::ProcessQuery(const QueryRequest& req) {
           : index_.AggregateQuery(req.account, req.from_height, req.to_height);
   Bytes reply = EncodeQueryReply(tip_height, proof);
   if (config_.enable_cache) cache_.Insert(key, reply);
-  served_.fetch_add(1, std::memory_order_relaxed);
+  served_->Add(1);
   return reply;
 }
 
@@ -156,7 +198,7 @@ Status SpServer::Announce(const AnnounceRequest& req) {
 Status SpServer::AnnounceLocked(const AnnounceRequest& req) {
   const chain::BlockHeader& hdr = req.block.header;
   auto reject = [this](Status st) {
-    announce_rejected_.fetch_add(1, std::memory_order_relaxed);
+    announce_rejected_->Add(1);
     return st;
   };
   if (hdr.height < next_height_) {
@@ -214,7 +256,7 @@ Status SpServer::AnnounceLocked(const AnnounceRequest& req) {
     tip_ = std::move(tip);
     pending_.erase(it);
     ++next_height_;
-    blocks_applied_.fetch_add(1, std::memory_order_relaxed);
+    blocks_applied_->Add(1);
     applied_any = true;
   }
   // Every cached proof refers to an older tip once a block applies.
@@ -224,11 +266,11 @@ Status SpServer::AnnounceLocked(const AnnounceRequest& req) {
 
 SpServerStats SpServer::Stats() const {
   SpServerStats s;
-  s.served = served_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.errors = errors_.load(std::memory_order_relaxed);
-  s.blocks_applied = blocks_applied_.load(std::memory_order_relaxed);
-  s.announce_rejected = announce_rejected_.load(std::memory_order_relaxed);
+  s.served = served_->Value();
+  s.shed = shed_->Value();
+  s.errors = errors_->Value();
+  s.blocks_applied = blocks_applied_->Value();
+  s.announce_rejected = announce_rejected_->Value();
   s.cache = cache_.Stats();
   std::shared_lock<std::shared_mutex> lk(state_mu_);
   s.tip_height = tip_ ? tip_->header.height : 0;

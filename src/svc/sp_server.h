@@ -15,7 +15,6 @@
 // ones to finish (graceful drain), then stops the transport.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -26,6 +25,7 @@
 
 #include "common/thread_pool.h"
 #include "dcert/enclave_program.h"
+#include "obs/metrics.h"
 #include "query/historical_index.h"
 #include "svc/protocol.h"
 #include "svc/response_cache.h"
@@ -108,12 +108,20 @@ class SpServer {
   std::optional<TipInfo> tip_;
   std::uint64_t next_height_ = 1;
 
-  // Counters (monotonic, read via Stats()).
-  std::atomic<std::uint64_t> served_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> blocks_applied_{0};
-  std::atomic<std::uint64_t> announce_rejected_{0};
+  // Instance-owned registry-backed metrics (monotonic, read via Stats());
+  // registered under `svc.server.*` / `svc.latency.*`, latest instance wins
+  // the names on the live stats endpoint.
+  std::shared_ptr<obs::Counter> served_;
+  std::shared_ptr<obs::Counter> shed_;
+  std::shared_ptr<obs::Counter> errors_;
+  std::shared_ptr<obs::Counter> blocks_applied_;
+  std::shared_ptr<obs::Counter> announce_rejected_;
+  std::shared_ptr<obs::Gauge> inflight_gauge_;  // mirrors in_flight_
+  std::shared_ptr<obs::Histogram> lat_tip_ns_;
+  std::shared_ptr<obs::Histogram> lat_historical_ns_;
+  std::shared_ptr<obs::Histogram> lat_aggregate_ns_;
+  std::shared_ptr<obs::Histogram> lat_announce_ns_;
+  std::shared_ptr<obs::Histogram> lat_stats_ns_;
 };
 
 }  // namespace dcert::svc

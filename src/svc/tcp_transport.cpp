@@ -11,11 +11,39 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace dcert::svc {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Process-wide wire-level counters across every TCP transport (server and
+/// client sides share them; frame counts include the 4-byte length prefix in
+/// the byte totals).
+struct NetMetrics {
+  std::shared_ptr<obs::Counter> frames_in;
+  std::shared_ptr<obs::Counter> frames_out;
+  std::shared_ptr<obs::Counter> bytes_in;
+  std::shared_ptr<obs::Counter> bytes_out;
+  std::shared_ptr<obs::Counter> accepted;
+  std::shared_ptr<obs::Counter> rejected_over_cap;
+  std::shared_ptr<obs::Counter> dials;
+
+  static NetMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static NetMetrics* m = new NetMetrics{
+        reg.GetCounter("net.tcp.frames_in"),
+        reg.GetCounter("net.tcp.frames_out"),
+        reg.GetCounter("net.tcp.bytes_in"),
+        reg.GetCounter("net.tcp.bytes_out"),
+        reg.GetCounter("net.tcp.accepted"),
+        reg.GetCounter("net.tcp.rejected_over_cap"),
+        reg.GetCounter("net.tcp.dials")};
+    return *m;
+  }
+};
 
 /// Writes all of `data` to `fd`; false on any error (peer gone, fd closed,
 /// or SO_SNDTIMEO expired). Server-side reply path.
@@ -59,7 +87,13 @@ bool WriteFrame(int fd, ByteView payload) {
   if (payload.size() > kMaxFrameBytes) return false;
   std::uint8_t len[4];
   EncodeLen(static_cast<std::uint32_t>(payload.size()), len);
-  return WriteAll(fd, len, 4) && WriteAll(fd, payload.data(), payload.size());
+  if (!WriteAll(fd, len, 4) || !WriteAll(fd, payload.data(), payload.size())) {
+    return false;
+  }
+  auto& nm = NetMetrics::Get();
+  nm.frames_out->Add(1);
+  nm.bytes_out->Add(4 + payload.size());
+  return true;
 }
 
 /// Reads one frame; false on EOF/error/oversized frame.
@@ -72,7 +106,11 @@ bool ReadFrame(int fd, Bytes& out) {
                           (static_cast<std::uint32_t>(len[3]) << 24);
   if (n > kMaxFrameBytes) return false;
   out.resize(n);
-  return n == 0 || ReadAll(fd, out.data(), n);
+  if (n != 0 && !ReadAll(fd, out.data(), n)) return false;
+  auto& nm = NetMetrics::Get();
+  nm.frames_in->Add(1);
+  nm.bytes_in->Add(4 + n);
+  return true;
 }
 
 // --- Deadline-bounded client I/O ----------------------------------------
@@ -150,8 +188,15 @@ IoResult ReadFrameDeadline(int fd, Bytes& out, Clock::time_point deadline) {
                           (static_cast<std::uint32_t>(len[3]) << 24);
   if (n > kMaxFrameBytes) return IoResult::kError;
   out.resize(n);
-  if (n == 0) return IoResult::kOk;
-  return RecvAll(fd, out.data(), n, deadline);
+  if (n != 0) {
+    if (IoResult r = RecvAll(fd, out.data(), n, deadline); r != IoResult::kOk) {
+      return r;
+    }
+  }
+  auto& nm = NetMetrics::Get();
+  nm.frames_in->Add(1);
+  nm.bytes_in->Add(4 + n);
+  return IoResult::kOk;
 }
 
 }  // namespace
@@ -238,6 +283,7 @@ void TcpServerTransport::AcceptLoop() {
     }
     if (conns_.size() >= config_.max_connections) {
       rejected_over_cap_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::Get().rejected_over_cap->Add(1);
       ::close(fd);
       continue;
     }
@@ -249,6 +295,7 @@ void TcpServerTransport::AcceptLoop() {
     entry.reader = std::thread([this, conn] { ReaderLoop(conn); });
     conns_.emplace(conn->id, std::move(entry));
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::Get().accepted->Add(1);
   }
 }
 
@@ -377,6 +424,7 @@ Result<std::unique_ptr<ClientTransport>> TcpClientTransport::Connect(
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  NetMetrics::Get().dials->Add(1);
   return R(std::unique_ptr<ClientTransport>(new TcpClientTransport(fd)));
 }
 
@@ -410,6 +458,11 @@ Result<Bytes> TcpClientTransport::Call(ByteView request,
         r == IoResult::kTimeout
             ? TimeoutError("tcp client: send did not complete within deadline")
             : ConnectionError("tcp client: write failed (server gone?)"));
+  }
+  {
+    auto& nm = NetMetrics::Get();
+    nm.frames_out->Add(1);
+    nm.bytes_out->Add(4 + request.size());
   }
   Bytes reply;
   r = ReadFrameDeadline(fd_, reply, dl);

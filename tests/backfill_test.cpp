@@ -155,21 +155,33 @@ TEST(NaiveEnclaveTest, RejectsTamperedBlocks) {
 }
 
 TEST(NaiveEnclaveTest, EpcPressureGrowsWithState) {
-  // With a tiny EPC, the naive issuer's modelled time reflects paging while
-  // the block content stays the same.
+  // With a tiny EPC, the naive issuer's paging charge reflects the growing
+  // resident state while the block content stays the same. Assert on the
+  // deterministic paged-page count, not the wall-clock-derived modelled time
+  // (a scheduler hiccup on one block dwarfs the paging delta).
   Rig rig;
+  // A wide key space so most writes create fresh state entries and the
+  // resident state grows by whole pages every block.
+  WorkloadGenerator::Params wide;
+  wide.kind = Workload::kKvStore;
+  wide.instances_per_workload = 1;
+  wide.kv_keys = 4096;
+  rig.gen = std::make_unique<WorkloadGenerator>(wide, rig.pool);
   sgxsim::CostModelParams tiny;
   tiny.epc_limit_bytes = 1 << 10;  // 1 KB — any real state overflows
   NaiveCertificateIssuer naive(rig.config, rig.registry, tiny);
-  std::vector<std::uint64_t> modeled;
+  std::vector<std::uint64_t> paged;
+  std::uint64_t prev_pages = naive.EnclaveHandle().Costs().paged_pages();
   for (int i = 0; i < 5; ++i) {
-    chain::Block blk = rig.NextBlock(8);
+    chain::Block blk = rig.NextBlock(64);
     ASSERT_TRUE(naive.ProcessBlock(blk).ok());
-    modeled.push_back(naive.LastTiming().enclave_modeled_ns);
+    const std::uint64_t now = naive.EnclaveHandle().Costs().paged_pages();
+    paged.push_back(now - prev_pages);
+    prev_pages = now;
   }
-  // State grows monotonically => paging charge grows.
+  // State grows monotonically => per-block paging charge grows.
   EXPECT_GT(naive.Program().ResidentStateBytes(), tiny.epc_limit_bytes);
-  EXPECT_GT(modeled.back(), modeled.front());
+  EXPECT_GT(paged.back(), paged.front());
 }
 
 }  // namespace

@@ -1,0 +1,297 @@
+// Observability library: sharded counter/gauge/histogram correctness under
+// concurrent hammering (the TSan leg runs this), log-linear bucket geometry
+// at the boundaries, snapshot-vs-live isolation, registry ownership
+// semantics, trace spans, and the exporters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dcert::obs {
+namespace {
+
+/// Tests that flip the global switch must restore it no matter how they exit,
+/// or every later test in the binary silently records nothing.
+struct EnabledGuard {
+  bool prev = Enabled();
+  ~EnabledGuard() { SetEnabled(prev); }
+};
+
+TEST(Counter, ConcurrentHammerIsExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAddSub) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(3);
+  EXPECT_EQ(g.Value(), 12);
+  g.Set(-4);
+  EXPECT_EQ(g.Value(), -4);
+}
+
+TEST(Histogram, ConcurrentHammerCountAndSumAreExact) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(snap.count, kTotal);
+  EXPECT_EQ(snap.sum, kTotal * (kTotal - 1) / 2);  // sum of 0..kTotal-1
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, kTotal - 1);
+  std::uint64_t bucket_total = 0;
+  for (const auto& [bound, n] : snap.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+TEST(Histogram, BucketIndexBoundaries) {
+  // Values below kSub get exact buckets.
+  for (std::uint64_t v = 0; v < Histogram::kSub; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+  }
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kSub), Histogram::kSub);
+  // The top of u64 lands in the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBucketCount - 1);
+  // Index is monotone non-decreasing around every power of two, and in
+  // range everywhere.
+  for (int exp = 0; exp < 64; ++exp) {
+    const std::uint64_t p = std::uint64_t{1} << exp;
+    const std::size_t below = Histogram::BucketIndex(p - 1);
+    const std::size_t at = Histogram::BucketIndex(p);
+    const std::size_t above = Histogram::BucketIndex(p + 1);
+    EXPECT_LE(below, at) << "p=" << p;
+    EXPECT_LE(at, above) << "p=" << p;
+    EXPECT_LT(above, Histogram::kBucketCount);
+  }
+}
+
+TEST(Histogram, BucketUpperBoundRoundTrips) {
+  // Every bucket's inclusive upper bound maps back to that bucket, and the
+  // next representable value maps to the next bucket.
+  for (std::size_t idx = 0; idx < Histogram::kBucketCount; ++idx) {
+    const std::uint64_t bound = Histogram::BucketUpperBound(idx);
+    EXPECT_EQ(Histogram::BucketIndex(bound), idx) << "bound=" << bound;
+    if (bound != std::numeric_limits<std::uint64_t>::max()) {
+      EXPECT_EQ(Histogram::BucketIndex(bound + 1), idx + 1);
+    }
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBucketCount - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Histogram, QuantileSingleSample) {
+  Histogram h;
+  h.Record(60000);
+  const HistogramSnapshot snap = h.Snapshot();
+  // One sample: every quantile is that sample (clamped to [min, max]).
+  EXPECT_EQ(snap.Quantile(0.0), 60000.0);
+  EXPECT_EQ(snap.Quantile(0.5), 60000.0);
+  EXPECT_EQ(snap.Quantile(1.0), 60000.0);
+}
+
+TEST(Histogram, QuantileUniformWithinBucketResolution) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  // Log-linear buckets give ~12.5% relative resolution; allow 15%.
+  EXPECT_NEAR(snap.Quantile(0.5), 500.0, 75.0);
+  EXPECT_NEAR(snap.Quantile(0.95), 950.0, 145.0);
+  EXPECT_GE(snap.Quantile(1.0), snap.Quantile(0.5));
+  EXPECT_EQ(snap.Quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, EmptySnapshot) {
+  Histogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_EQ(snap.Mean(), 0.0);
+  EXPECT_TRUE(snap.buckets.empty());
+}
+
+TEST(Registry, SnapshotIsIsolatedFromLaterWrites) {
+  MetricsRegistry reg;
+  auto c = reg.GetCounter("test.counter");
+  auto h = reg.GetHistogram("test.hist");
+  c->Add(5);
+  h->Record(100);
+  const MetricsSnapshot before = reg.Snapshot();
+  c->Add(95);
+  h->Record(200);
+  EXPECT_EQ(before.counters.at("test.counter"), 5u);
+  EXPECT_EQ(before.histograms.at("test.hist").count, 1u);
+  const MetricsSnapshot after = reg.Snapshot();
+  EXPECT_EQ(after.counters.at("test.counter"), 100u);
+  EXPECT_EQ(after.histograms.at("test.hist").count, 2u);
+}
+
+TEST(Registry, GetReturnsSameInstanceAndRegisterReplaces) {
+  MetricsRegistry reg;
+  auto a = reg.GetCounter("same.name");
+  auto b = reg.GetCounter("same.name");
+  EXPECT_EQ(a.get(), b.get());
+  // Latest-wins: registering a fresh instance replaces the snapshot source.
+  a->Add(7);
+  auto fresh = std::make_shared<Counter>();
+  fresh->Add(1);
+  reg.Register("same.name", fresh);
+  EXPECT_EQ(reg.Snapshot().counters.at("same.name"), 1u);
+  EXPECT_EQ(a->Value(), 7u);  // old instance still owned by the holder
+}
+
+TEST(Registry, DeltaFromSubtractsPerName) {
+  MetricsRegistry reg;
+  auto c = reg.GetCounter("delta.counter");
+  auto h = reg.GetHistogram("delta.hist");
+  c->Add(10);
+  h->Record(50);
+  const MetricsSnapshot base = reg.Snapshot();
+  c->Add(32);
+  h->Record(60);
+  h->Record(70);
+  const MetricsSnapshot delta = reg.Snapshot().DeltaFrom(base);
+  EXPECT_EQ(delta.counters.at("delta.counter"), 32u);
+  EXPECT_EQ(delta.histograms.at("delta.hist").count, 2u);
+  EXPECT_EQ(delta.histograms.at("delta.hist").sum, 130u);
+}
+
+TEST(Enabled, KillSwitchMakesWritesNoOps) {
+  EnabledGuard guard;
+  Counter c;
+  Histogram h;
+  SetEnabled(false);
+  c.Add(5);
+  h.Record(123);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  SetEnabled(true);
+  c.Add(5);
+  h.Record(123);
+  EXPECT_EQ(c.Value(), 5u);
+  EXPECT_EQ(h.Snapshot().count, 1u);
+}
+
+TEST(Trace, SpanRecordsIntoHistogramAndRing) {
+  auto h = std::make_shared<Histogram>();
+  {
+    TraceSpan span("obs_test.span", h);
+  }
+  EXPECT_EQ(h->Snapshot().count, 1u);
+  const auto recent = TraceLog::Global().Recent();
+  bool found = false;
+  for (const auto& e : recent) {
+    if (e.name != nullptr && std::string(e.name) == "obs_test.span") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, FinishIsIdempotent) {
+  auto h = std::make_shared<Histogram>();
+  TraceSpan span("obs_test.finish", h);
+  const std::uint64_t d1 = span.Finish();
+  const std::uint64_t d2 = span.Finish();
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(h->Snapshot().count, 1u);
+}
+
+TEST(Trace, ConcurrentSpansAreSafe) {
+  auto h = std::make_shared<Histogram>();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("obs_test.concurrent", h);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h->Snapshot().count,
+            static_cast<std::uint64_t>(kThreads) * kSpansPerThread);
+}
+
+TEST(Export, JsonAndPrometheusContainMetric) {
+  MetricsRegistry reg;
+  reg.GetCounter("export.requests")->Add(3);
+  reg.GetGauge("export.depth")->Set(-2);
+  reg.GetHistogram("export.lat_ns")->Record(1000);
+  const MetricsSnapshot snap = reg.Snapshot();
+
+  const std::string json = ToJson(snap);
+  EXPECT_NE(json.find("\"export.requests\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"export.depth\":-2"), std::string::npos) << json;
+  EXPECT_NE(json.find("export.lat_ns"), std::string::npos);
+
+  const std::string prom = ToPrometheusText(snap);
+  EXPECT_NE(prom.find("dcert_export_requests 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("dcert_export_depth -2"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("dcert_export_lat_ns_count 1"), std::string::npos) << prom;
+
+  const std::string table = RenderTable(snap);
+  EXPECT_NE(table.find("export.requests"), std::string::npos);
+}
+
+/// The overhead canary: instrumented counter increments must stay within an
+/// order of magnitude of plain relaxed atomics. Deliberately generous — this
+/// pins "no lock sneaked onto the hot path", not a microbenchmark number; the
+/// real ≤5% serving budget is measured by bench_serving --obs-ab.
+TEST(Overhead, CounterAddStaysCheap) {
+  EnabledGuard guard;
+  SetEnabled(true);
+  constexpr std::uint64_t kIters = 2000000;
+  Counter c;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kIters; ++i) c.Add(1);
+  const auto instrumented = std::chrono::steady_clock::now() - t0;
+
+  std::atomic<std::uint64_t> plain{0};
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    plain.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto baseline = std::chrono::steady_clock::now() - t1;
+
+  ASSERT_EQ(c.Value(), kIters);
+  ASSERT_EQ(plain.load(), kIters);
+  // 10x headroom absorbs scheduler noise in sanitizer/CI builds.
+  EXPECT_LT(instrumented.count(), baseline.count() * 10 + 10000000)
+      << "instrumented " << instrumented.count() << "ns vs baseline "
+      << baseline.count() << "ns";
+}
+
+}  // namespace
+}  // namespace dcert::obs

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # CI entry point: a Release build running the full tier-1 suite, then a
 # ThreadSanitizer build (DCERT_SANITIZE=thread) running the threaded tests
-# that exercise the pipeline/thread-pool/SMT parallel paths and the serving
-# subsystem, then an AddressSanitizer build (DCERT_SANITIZE=address) running
-# the server/transport tests (socket and buffer handling).
+# that exercise the pipeline/thread-pool/SMT parallel paths, the serving
+# subsystem, and the obs metrics hammering, then an AddressSanitizer build
+# (DCERT_SANITIZE=address) running the server/transport/obs tests (socket
+# and buffer handling).
 #
 # The Svc selection deliberately includes SvcFaultTest (the seeded
 # fault-injection soak and busy-shedding retry tests) and SvcTcpTest
 # (deadline, churn, and connection-cap tests): both sanitizers run the
 # retry/reconnect and reader-lifecycle paths, where the races and
-# use-after-close bugs would live.
+# use-after-close bugs would live. The obs tests hammer the sharded
+# counters/histograms from many threads — the TSan leg is what certifies
+# the lock-free recording paths.
+#
+# Every ctest invocation carries a per-test --timeout so a hung soak or a
+# deadlocked reader fails the run instead of wedging CI.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -17,24 +23,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+TEST_TIMEOUT=300  # seconds per test; the slowest soak is ~10s on a dev box
 
 echo "=== [1/3] Release build + full test suite ==="
 cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}-release" -j "${JOBS}"
-ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}"
+ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}" \
+  --timeout "${TEST_TIMEOUT}"
 
 echo "=== [2/3] TSan build + threaded tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
-  thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test
+  thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test obs_test
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelEquivalence|Smt|Svc'   # Svc matches SvcFaultTest/SvcTcpTest
+  --timeout "${TEST_TIMEOUT}" \
+  -R 'ThreadPool|ParallelEquivalence|Smt|Svc|Counter|Gauge|Histogram|Registry|Trace|Enabled'
+  # Svc matches SvcFaultTest/SvcTcpTest/SvcStatsTest; the obs suites cover
+  # the concurrent counter/histogram/trace hammering.
 
 echo "=== [3/3] ASan build + serving/transport tests ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target \
-  svc_test net_test thread_pool_test
+  svc_test net_test thread_pool_test obs_test
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
-  -R 'Svc|SimNet|ThreadPool'
+  --timeout "${TEST_TIMEOUT}" \
+  -R 'Svc|SimNet|ThreadPool|Counter|Gauge|Histogram|Registry|Trace|Enabled|Export|Overhead'
 
 echo "CI OK"

@@ -8,14 +8,17 @@
 //   dcertctl inspect-cert <hex>          decode + envelope-check a certificate
 //   dcertctl serve <port> [blocks] [txs] mine + certify a chain, serve it over TCP
 //   dcertctl query <host:port> ...       query a running server, verify replies
+//   dcertctl stats <host:port>           live metrics snapshot from a server
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "chain/block_store.h"
 #include "chain/node.h"
 #include "dcert/issuer.h"
 #include "dcert/superlight.h"
+#include "obs/export.h"
 #include "query/historical_index.h"
 #include "sgxsim/attestation.h"
 #include "svc/sp_client.h"
@@ -26,6 +29,29 @@
 using namespace dcert;
 
 namespace {
+
+/// Strict decimal parse of a whole argument; rejects empty strings, signs,
+/// trailing garbage, and overflow (std::atoi would silently accept "12abc"
+/// and map garbage to 0).
+std::optional<std::uint64_t> ParseU64(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+    if (v > (~std::uint64_t{0} - digit) / 10) return std::nullopt;  // overflow
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+std::optional<int> ParseInt(const char* s, int min, int max) {
+  auto v = ParseU64(s);
+  if (!v || *v > static_cast<std::uint64_t>(max)) return std::nullopt;
+  const int n = static_cast<int>(*v);
+  if (n < min) return std::nullopt;
+  return n;
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -43,8 +69,35 @@ int Usage() {
                "  query <host:port> hist <account> <from> <to>\n"
                "                               verified historical window query\n"
                "  query <host:port> agg <account> <from> <to>\n"
-               "                               verified count/sum aggregate query\n");
+               "                               verified count/sum aggregate query\n"
+               "  stats <host:port> [--json|--prom]\n"
+               "                               live metrics snapshot (latency\n"
+               "                               percentiles, cache, shed/retry,\n"
+               "                               pool, sgx) from a running server\n");
   return 2;
+}
+
+/// Splits host:port with a strict port parse; nullopt on malformed targets.
+std::optional<std::pair<std::string, std::uint16_t>> ParseTarget(
+    const std::string& target) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  auto port = ParseInt(target.c_str() + colon + 1, 1, 65535);
+  if (!port) return std::nullopt;
+  return std::make_pair(target.substr(0, colon),
+                        static_cast<std::uint16_t>(*port));
+}
+
+/// Retry policy for interactive commands against a possibly flaky server:
+/// bounded deadlines, a few jittered retries, redial on broken streams.
+svc::RetryPolicy CliRetryPolicy() {
+  svc::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.call_deadline = std::chrono::seconds(5);
+  policy.initial_backoff = std::chrono::milliseconds(50);
+  policy.max_backoff = std::chrono::milliseconds(800);
+  policy.retry_budget = std::chrono::seconds(15);
+  return policy;
 }
 
 struct Pipeline {
@@ -289,33 +342,73 @@ int CmdServe(int port, int blocks, int txs) {
   return 0;
 }
 
-int CmdQuery(const std::string& target, int argc, char** argv) {
-  const std::size_t colon = target.rfind(':');
-  if (colon == std::string::npos) {
+int CmdStats(const std::string& target, const std::string& format) {
+  auto parsed = ParseTarget(target);
+  if (!parsed) {
     std::fprintf(stderr, "target must be host:port, got %s\n", target.c_str());
-    return 2;
+    return Usage();
   }
-  const std::string host = target.substr(0, colon);
-  const int port = std::atoi(target.c_str() + colon + 1);
-  if (port <= 0 || port > 65535) {
-    std::fprintf(stderr, "bad port in %s\n", target.c_str());
-    return 2;
+  if (!format.empty() && format != "--json" && format != "--prom") {
+    std::fprintf(stderr, "unknown stats flag %s\n", format.c_str());
+    return Usage();
   }
+  const auto [host, port] = *parsed;
+  svc::SpClient client(
+      [host = host, port = port] {
+        return svc::TcpClientTransport::Connect(host, port);
+      },
+      CliRetryPolicy());
+  auto snap = client.FetchStats();
+  if (!snap.ok()) {
+    std::fprintf(stderr, "stats fetch failed: %s\n", snap.message().c_str());
+    return 1;
+  }
+  std::string out;
+  if (format == "--json") {
+    out = obs::ToJson(snap.value());
+    out += '\n';
+  } else if (format == "--prom") {
+    out = obs::ToPrometheusText(snap.value());
+  } else {
+    out = obs::RenderTable(snap.value());
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+int CmdQuery(const std::string& target, int argc, char** argv) {
+  auto parsed = ParseTarget(target);
+  if (!parsed) {
+    std::fprintf(stderr, "target must be host:port, got %s\n", target.c_str());
+    return Usage();
+  }
+  // Validate the subcommand and its numeric arguments before any network
+  // I/O, so a typo exits with usage instead of burning the retry budget
+  // against a server that would never be asked anything sensible.
+  const std::string what = argc >= 4 ? argv[3] : "tip";
+  std::uint64_t account = 0, from = 0, to = 0;
+  if (what == "hist" || what == "agg") {
+    if (argc < 7) return Usage();
+    const auto account_arg = ParseU64(argv[4]);
+    const auto from_arg = ParseU64(argv[5]);
+    const auto to_arg = ParseU64(argv[6]);
+    if (!account_arg || !from_arg || !to_arg) return Usage();
+    account = *account_arg;
+    from = *from_arg;
+    to = *to_arg;
+  } else if (what != "tip") {
+    return Usage();
+  }
+
+  const auto [host, port] = *parsed;
   // A CLI talking to a possibly slow or flaky server: bounded per-call
   // deadlines, a few backoff retries, and automatic redial on broken
   // streams, so a wedged SP yields an error instead of a hung terminal.
-  svc::RetryPolicy policy;
-  policy.max_attempts = 5;
-  policy.call_deadline = std::chrono::seconds(5);
-  policy.initial_backoff = std::chrono::milliseconds(50);
-  policy.max_backoff = std::chrono::milliseconds(800);
-  policy.retry_budget = std::chrono::seconds(15);
   svc::SpClient client(
-      [host, port] {
-        return svc::TcpClientTransport::Connect(
-            host, static_cast<std::uint16_t>(port));
+      [host = host, port = port] {
+        return svc::TcpClientTransport::Connect(host, port);
       },
-      policy);
+      CliRetryPolicy());
 
   // Every subcommand starts from a validated tip: certificate envelope,
   // header binding, and index certificate all check out or we stop.
@@ -346,7 +439,6 @@ int CmdQuery(const std::string& target, int argc, char** argv) {
   }
   const Hash256 digest = *light.CertifiedIndexDigest("historical");
 
-  const std::string what = argc >= 4 ? argv[3] : "tip";
   if (what == "tip") {
     std::printf("tip height:    %llu\n",
                 static_cast<unsigned long long>(tip.value().header.height));
@@ -356,56 +448,50 @@ int CmdQuery(const std::string& target, int argc, char** argv) {
     std::printf("certificates:  VALID (block + index, measurement pinned)\n");
     return 0;
   }
-  if ((what == "hist" || what == "agg") && argc >= 7) {
-    const std::uint64_t account = std::strtoull(argv[4], nullptr, 10);
-    const std::uint64_t from = std::strtoull(argv[5], nullptr, 10);
-    const std::uint64_t to = std::strtoull(argv[6], nullptr, 10);
-    if (what == "hist") {
-      auto reply = client.Historical(account, from, to);
-      if (!reply.ok()) {
-        std::fprintf(stderr, "query failed: %s\n", reply.message().c_str());
-        return 1;
-      }
-      auto versions = query::HistoricalIndex::VerifyQuery(
-          digest, account, from, to, reply.value().proof);
-      if (!versions.ok()) {
-        std::fprintf(stderr, "PROOF REJECTED: %s\n", versions.message().c_str());
-        return 1;
-      }
-      std::printf("account %llu, blocks [%llu, %llu]: %zu version(s), "
-                  "proof VERIFIED against certified digest\n",
-                  static_cast<unsigned long long>(account),
-                  static_cast<unsigned long long>(from),
-                  static_cast<unsigned long long>(to),
-                  versions.value().size());
-      for (const auto& v : versions.value()) {
-        std::printf("  block %6llu  value %llu\n",
-                    static_cast<unsigned long long>(v.block_height),
-                    static_cast<unsigned long long>(v.value));
-      }
-      return 0;
-    }
-    auto reply = client.Aggregate(account, from, to);
+  if (what == "hist") {
+    auto reply = client.Historical(account, from, to);
     if (!reply.ok()) {
       std::fprintf(stderr, "query failed: %s\n", reply.message().c_str());
       return 1;
     }
-    auto agg = query::HistoricalIndex::VerifyAggregateQuery(
+    auto versions = query::HistoricalIndex::VerifyQuery(
         digest, account, from, to, reply.value().proof);
-    if (!agg.ok()) {
-      std::fprintf(stderr, "PROOF REJECTED: %s\n", agg.message().c_str());
+    if (!versions.ok()) {
+      std::fprintf(stderr, "PROOF REJECTED: %s\n", versions.message().c_str());
       return 1;
     }
-    std::printf("account %llu, blocks [%llu, %llu]: count=%llu sum=%llu, "
+    std::printf("account %llu, blocks [%llu, %llu]: %zu version(s), "
                 "proof VERIFIED against certified digest\n",
                 static_cast<unsigned long long>(account),
                 static_cast<unsigned long long>(from),
                 static_cast<unsigned long long>(to),
-                static_cast<unsigned long long>(agg.value().count),
-                static_cast<unsigned long long>(agg.value().sum));
+                versions.value().size());
+    for (const auto& v : versions.value()) {
+      std::printf("  block %6llu  value %llu\n",
+                  static_cast<unsigned long long>(v.block_height),
+                  static_cast<unsigned long long>(v.value));
+    }
     return 0;
   }
-  return Usage();
+  auto reply = client.Aggregate(account, from, to);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", reply.message().c_str());
+    return 1;
+  }
+  auto agg = query::HistoricalIndex::VerifyAggregateQuery(
+      digest, account, from, to, reply.value().proof);
+  if (!agg.ok()) {
+    std::fprintf(stderr, "PROOF REJECTED: %s\n", agg.message().c_str());
+    return 1;
+  }
+  std::printf("account %llu, blocks [%llu, %llu]: count=%llu sum=%llu, "
+              "proof VERIFIED against certified digest\n",
+              static_cast<unsigned long long>(account),
+              static_cast<unsigned long long>(from),
+              static_cast<unsigned long long>(to),
+              static_cast<unsigned long long>(agg.value().count),
+              static_cast<unsigned long long>(agg.value().sum));
+  return 0;
 }
 
 }  // namespace
@@ -416,23 +502,32 @@ int main(int argc, char** argv) {
   if (cmd == "measure") return CmdMeasure();
   if (cmd == "keygen" && argc >= 3) return CmdKeygen(argv[2]);
   if (cmd == "demo") {
-    int blocks = argc >= 3 ? std::atoi(argv[2]) : 5;
-    int txs = argc >= 4 ? std::atoi(argv[3]) : 10;
-    if (blocks <= 0 || txs <= 0) return Usage();
-    return CmdDemo(blocks, txs);
+    const auto blocks = argc >= 3 ? ParseInt(argv[2], 1, 1 << 20)
+                                  : std::optional<int>(5);
+    const auto txs = argc >= 4 ? ParseInt(argv[3], 1, 1 << 20)
+                               : std::optional<int>(10);
+    if (!blocks || !txs) return Usage();
+    return CmdDemo(*blocks, *txs);
   }
   if (cmd == "mine-store" && argc >= 4) {
-    return CmdMineStore(argv[2], std::atoi(argv[3]));
+    const auto blocks = ParseInt(argv[3], 1, 1 << 20);
+    if (!blocks) return Usage();
+    return CmdMineStore(argv[2], *blocks);
   }
   if (cmd == "verify-store" && argc >= 3) return CmdVerifyStore(argv[2]);
   if (cmd == "inspect-cert" && argc >= 3) return CmdInspectCert(argv[2]);
   if (cmd == "serve" && argc >= 3) {
-    int port = std::atoi(argv[2]);
-    int blocks = argc >= 4 ? std::atoi(argv[3]) : 20;
-    int txs = argc >= 5 ? std::atoi(argv[4]) : 8;
-    if (port < 0 || port > 65535 || blocks <= 0 || txs <= 0) return Usage();
-    return CmdServe(port, blocks, txs);
+    const auto port = ParseInt(argv[2], 0, 65535);
+    const auto blocks = argc >= 4 ? ParseInt(argv[3], 1, 1 << 20)
+                                  : std::optional<int>(20);
+    const auto txs = argc >= 5 ? ParseInt(argv[4], 1, 1 << 20)
+                               : std::optional<int>(8);
+    if (!port || !blocks || !txs) return Usage();
+    return CmdServe(*port, *blocks, *txs);
   }
   if (cmd == "query" && argc >= 3) return CmdQuery(argv[2], argc, argv);
+  if (cmd == "stats" && argc >= 3) {
+    return CmdStats(argv[2], argc >= 4 ? argv[3] : "");
+  }
   return Usage();
 }
