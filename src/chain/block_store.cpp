@@ -1,197 +1,38 @@
 #include "chain/block_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <array>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
+#include <utility>
 
 #include "chain/node.h"
-#include "common/serialize.h"
 
 namespace dcert::chain {
 
-namespace {
-
-constexpr std::uint32_t kRecordMagic = 0x44435254;  // "DCRT"
-constexpr std::size_t kRecordHeaderSize = 12;       // magic + length + crc
-
-const std::array<std::uint32_t, 256>& CrcTable() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-std::uint32_t ReadU32At(std::ifstream& in, std::uint64_t offset) {
-  in.seekg(static_cast<std::streamoff>(offset));
-  std::uint8_t buf[4];
-  in.read(reinterpret_cast<char*>(buf), 4);
-  if (!in) return 0;
-  return static_cast<std::uint32_t>(buf[0]) | (static_cast<std::uint32_t>(buf[1]) << 8) |
-         (static_cast<std::uint32_t>(buf[2]) << 16) |
-         (static_cast<std::uint32_t>(buf[3]) << 24);
-}
-
-void AppendU32(Bytes& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-}  // namespace
-
-std::uint32_t Crc32(ByteView data) {
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::uint8_t b : data) c = CrcTable()[(c ^ b) & 0xFF] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
-
-BlockStore::BlockStore(std::string path, std::vector<std::uint64_t> offsets,
-                       bool recovered)
-    : path_(std::move(path)), offsets_(std::move(offsets)), recovered_(recovered) {}
-
-BlockStore::~BlockStore() = default;
-BlockStore::BlockStore(BlockStore&&) noexcept = default;
-BlockStore& BlockStore::operator=(BlockStore&&) noexcept = default;
-
 Result<BlockStore> BlockStore::Open(const std::string& path) {
   using R = Result<BlockStore>;
-  // Ensure the file exists.
-  {
-    std::ofstream touch(path, std::ios::binary | std::ios::app);
-    if (!touch) return R::Error("BlockStore: cannot open " + path);
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return R::Error("BlockStore: cannot read " + path);
-  in.seekg(0, std::ios::end);
-  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
-
-  std::vector<std::uint64_t> offsets;
-  std::uint64_t pos = 0;
-  bool recovered = false;
-  while (pos + kRecordHeaderSize <= file_size) {
-    std::uint32_t magic = ReadU32At(in, pos);
-    std::uint32_t length = ReadU32At(in, pos + 4);
-    std::uint32_t crc = ReadU32At(in, pos + 8);
-    if (magic != kRecordMagic || pos + kRecordHeaderSize + length > file_size) {
-      recovered = true;
-      break;
-    }
-    Bytes payload(length);
-    in.seekg(static_cast<std::streamoff>(pos + kRecordHeaderSize));
-    in.read(reinterpret_cast<char*>(payload.data()),
-            static_cast<std::streamsize>(length));
-    if (!in || Crc32(payload) != crc) {
-      recovered = true;
-      break;
-    }
-    offsets.push_back(pos);
-    pos += kRecordHeaderSize + length;
-  }
-  if (pos < file_size && !recovered) recovered = true;  // trailing partial header
-  if (recovered) {
-    // Truncate the torn tail so future appends start on a clean boundary.
-    // Rewrite the good prefix (simple and portable; stores in this repo are
-    // experiment-sized).
-    in.close();
-    std::ifstream rd(path, std::ios::binary);
-    Bytes good(pos);
-    rd.read(reinterpret_cast<char*>(good.data()), static_cast<std::streamsize>(pos));
-    rd.close();
-    std::ofstream wr(path, std::ios::binary | std::ios::trunc);
-    wr.write(reinterpret_cast<const char*>(good.data()),
-             static_cast<std::streamsize>(good.size()));
-    if (!wr) return R::Error("BlockStore: failed to truncate torn tail");
-  }
-  return BlockStore(path, std::move(offsets), recovered);
+  common::RecordLog::Options options;
+  options.name = "blocklog";
+  auto log = common::RecordLog::Open(path, std::move(options));
+  if (!log) return R(log.status());
+  return BlockStore(std::move(log.value()));
 }
 
 Status BlockStore::Append(const Block& block) {
-  if (block.header.height != offsets_.size()) {
+  if (block.header.height != log_.Count()) {
     return Status::Error("BlockStore: expected height " +
-                         std::to_string(offsets_.size()) + ", got " +
+                         std::to_string(log_.Count()) + ", got " +
                          std::to_string(block.header.height));
   }
-  Bytes payload = block.Serialize();
-  Bytes record;
-  record.reserve(kRecordHeaderSize + payload.size());
-  AppendU32(record, kRecordMagic);
-  AppendU32(record, static_cast<std::uint32_t>(payload.size()));
-  AppendU32(record, Crc32(payload));
-  dcert::Append(record, ByteView(payload.data(), payload.size()));
-
-  // POSIX append path so every step — open, write, optional fsync, close —
-  // reports its errno instead of collapsing into one failbit. The record is
-  // only indexed once all of it durably reached the file API.
-  const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
-  if (fd < 0) {
-    return Status::Error(std::string("BlockStore: open for append: ") +
-                         std::strerror(errno));
-  }
-  const off_t end = ::lseek(fd, 0, SEEK_END);
-  if (end < 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::Error(std::string("BlockStore: seek to end: ") +
-                         std::strerror(err));
-  }
-  const std::uint64_t offset = static_cast<std::uint64_t>(end);
-  const std::uint8_t* p = record.data();
-  std::size_t remaining = record.size();
-  while (remaining > 0) {
-    const ssize_t w = ::write(fd, p, remaining);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      const int err = errno;
-      ::close(fd);
-      return Status::Error(std::string("BlockStore: write: ") +
-                           std::strerror(err));
-    }
-    p += w;
-    remaining -= static_cast<std::size_t>(w);
-  }
-  if (fsync_on_append_ && ::fsync(fd) < 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::Error(std::string("BlockStore: fsync: ") +
-                         std::strerror(err));
-  }
-  if (::close(fd) < 0) {
-    return Status::Error(std::string("BlockStore: close after append: ") +
-                         std::strerror(errno));
-  }
-  offsets_.push_back(offset);
-  return Status::Ok();
+  return log_.Append(block.Serialize());
 }
 
 Result<Block> BlockStore::Get(std::uint64_t height) const {
   using R = Result<Block>;
-  if (height >= offsets_.size()) {
+  if (height >= log_.Count()) {
     return R::Error("BlockStore: height " + std::to_string(height) +
                     " beyond stored tip");
   }
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) return R::Error("BlockStore: cannot read " + path_);
-  const std::uint64_t pos = offsets_[static_cast<std::size_t>(height)];
-  std::uint32_t length = ReadU32At(in, pos + 4);
-  std::uint32_t crc = ReadU32At(in, pos + 8);
-  Bytes payload(length);
-  in.seekg(static_cast<std::streamoff>(pos + kRecordHeaderSize));
-  in.read(reinterpret_cast<char*>(payload.data()),
-          static_cast<std::streamsize>(length));
-  if (!in) return R::Error("BlockStore: short read");
-  if (Crc32(payload) != crc) return R::Error("BlockStore: CRC mismatch on read");
-  return Block::Deserialize(payload);
+  auto payload = log_.Get(height);
+  if (!payload) return R(payload.status());
+  return Block::Deserialize(payload.value());
 }
 
 Result<FullNode> ReplayFromStore(const BlockStore& store, ChainConfig config,

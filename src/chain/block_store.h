@@ -1,7 +1,7 @@
 // Append-only file-backed block store: how a full node or CI persists the
-// chain across restarts. One file, length-prefixed CRC-checked records, an
-// in-memory offset index built by a scan on open. A torn tail (crash during
-// the last append) is detected and truncated away on reopen.
+// chain across restarts. A thin height-checked wrapper over common::RecordLog
+// (one file, length-prefixed CRC-checked records, in-memory offset index,
+// torn-tail truncation + fsync on reopen).
 #pragma once
 
 #include <cstdint>
@@ -12,32 +12,34 @@
 #include "chain/block.h"
 #include "chain/node.h"
 #include "common/bytes.h"
+#include "common/record_log.h"
 #include "common/status.h"
 
 namespace dcert::chain {
 
-/// CRC-32 (IEEE 802.3, reflected) over a byte buffer.
-std::uint32_t Crc32(ByteView data);
+/// CRC-32 (IEEE 802.3, reflected) over a byte buffer. Kept as an alias for
+/// the record-log implementation the format moved into.
+inline std::uint32_t Crc32(ByteView data) { return common::Crc32(data); }
 
 class BlockStore {
  public:
-  ~BlockStore();
-  BlockStore(BlockStore&&) noexcept;
-  BlockStore& operator=(BlockStore&&) noexcept;
+  BlockStore(BlockStore&&) noexcept = default;
+  BlockStore& operator=(BlockStore&&) noexcept = default;
   BlockStore(const BlockStore&) = delete;
   BlockStore& operator=(const BlockStore&) = delete;
 
   /// Opens (creating if absent) the store at `path`. Scans existing records,
-  /// verifying magic + CRC; a corrupt or torn tail is truncated (records
-  /// before it stay readable) and reported in the result's recovered flag.
+  /// verifying magic + CRC; a corrupt or torn tail is truncated and fsynced
+  /// (records before it stay readable) and reported in the result's
+  /// recovered flag.
   static Result<BlockStore> Open(const std::string& path);
 
   /// When on, every Append fsyncs the file before reporting success, so a
   /// power loss cannot lose an acknowledged block (a torn in-flight record
   /// is still possible and handled by recovery on reopen). Off by default:
   /// experiment stores favor throughput.
-  void SetFsyncOnAppend(bool on) { fsync_on_append_ = on; }
-  bool FsyncOnAppend() const { return fsync_on_append_; }
+  void SetFsyncOnAppend(bool on) { log_.SetFsyncOnAppend(on); }
+  bool FsyncOnAppend() const { return log_.FsyncOnAppend(); }
 
   /// Appends a block. The block's height must equal Count() (blocks are
   /// stored densely from genesis). Every I/O step — open, write, flush, and
@@ -48,20 +50,20 @@ class BlockStore {
   Result<Block> Get(std::uint64_t height) const;
 
   /// Number of stored blocks.
-  std::uint64_t Count() const { return offsets_.size(); }
+  std::uint64_t Count() const { return log_.Count(); }
+
+  /// Drops blocks [count, Count()) — reconciliation/fsck repair only.
+  Status TruncateTo(std::uint64_t count) { return log_.TruncateTo(count); }
 
   /// True when Open() had to truncate a torn/corrupt tail.
-  bool RecoveredFromTornTail() const { return recovered_; }
+  bool RecoveredFromTornTail() const { return log_.RecoveredFromTornTail(); }
 
-  const std::string& Path() const { return path_; }
+  const std::string& Path() const { return log_.Path(); }
 
  private:
-  BlockStore(std::string path, std::vector<std::uint64_t> offsets, bool recovered);
+  explicit BlockStore(common::RecordLog log) : log_(std::move(log)) {}
 
-  std::string path_;
-  std::vector<std::uint64_t> offsets_;  // file offset of each record header
-  bool recovered_ = false;
-  bool fsync_on_append_ = false;
+  common::RecordLog log_;
 };
 
 /// Rebuilds a full node by replaying every stored block (genesis must match

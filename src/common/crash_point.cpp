@@ -1,0 +1,63 @@
+#include "common/crash_point.h"
+
+namespace dcert::common {
+
+CrashPoints& CrashPoints::Global() {
+  static CrashPoints* instance = new CrashPoints();
+  return *instance;
+}
+
+void CrashPoints::Arm(const std::string& site, std::uint64_t countdown) {
+  std::lock_guard<std::mutex> lock(mu_);
+  site_ = site;
+  countdown_ = countdown == 0 ? 1 : countdown;
+  fired_ = false;
+  hits_.clear();
+  armed_.store(true, std::memory_order_release);
+}
+
+void CrashPoints::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  site_.clear();
+  countdown_ = 0;
+  fired_ = false;
+  hits_.clear();
+}
+
+bool CrashPoints::Fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+bool CrashPoints::FireNow(const char* site) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  bool counted = false;
+  for (auto& [name, count] : hits_) {
+    if (name == site) {
+      ++count;
+      counted = true;
+      break;
+    }
+  }
+  if (!counted) hits_.emplace_back(site, 1);
+  if (fired_ || site_ != site) return false;
+  if (--countdown_ > 0) return false;
+  fired_ = true;
+  // Disarm so recovery code re-entering the same site does not re-fire.
+  armed_.store(false, std::memory_order_release);
+  return true;
+}
+
+void CrashPoints::Throw(const char* site) { throw CrashInjected(site); }
+
+std::uint64_t CrashPoints::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, count] : hits_) {
+    if (name == site) return count;
+  }
+  return 0;
+}
+
+}  // namespace dcert::common

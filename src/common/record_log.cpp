@@ -1,0 +1,294 @@
+#include "common/record_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/crash_point.h"
+
+namespace dcert::common {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x44435254;  // "DCRT"
+constexpr std::size_t kRecordHeaderSize = 12;       // magic + length + crc
+
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void AppendU32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t DecodeU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+Status Errno(const std::string& name, const char* what) {
+  return Status::Error(name + ": " + what + ": " + std::strerror(errno));
+}
+
+/// Full pread; false on error or short read (errno untouched on short read
+/// beyond what pread set).
+bool ReadAt(int fd, std::uint8_t* buf, std::size_t n, std::uint64_t offset) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd, buf + done, n - done,
+                              static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-record
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, buf + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// fsyncs the directory containing `path` so a freshly created file's
+/// directory entry is durable (a crash right after create must not lose the
+/// empty log, or recovery could mistake "log never existed" for "log empty").
+Status FsyncParentDir(const std::string& path, const std::string& name) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return Errno(name, "open parent dir");
+  if (::fsync(dfd) < 0) {
+    const Status st = Errno(name, "fsync parent dir");
+    ::close(dfd);
+    return st;
+  }
+  ::close(dfd);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint32_t Crc32(ByteView data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = CrcTable()[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+RecordLog::RecordLog(std::string path, Options options, int fd,
+                     std::vector<std::uint64_t> offsets, std::uint64_t end_offset,
+                     bool recovered)
+    : path_(std::move(path)),
+      options_(std::move(options)),
+      fd_(fd),
+      offsets_(std::move(offsets)),
+      end_offset_(end_offset),
+      recovered_(recovered) {}
+
+RecordLog::~RecordLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+RecordLog::RecordLog(RecordLog&& other) noexcept
+    : path_(std::move(other.path_)),
+      options_(std::move(other.options_)),
+      fd_(other.fd_),
+      offsets_(std::move(other.offsets_)),
+      end_offset_(other.end_offset_),
+      recovered_(other.recovered_) {
+  other.fd_ = -1;
+}
+
+RecordLog& RecordLog::operator=(RecordLog&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    options_ = std::move(other.options_);
+    fd_ = other.fd_;
+    offsets_ = std::move(other.offsets_);
+    end_offset_ = other.end_offset_;
+    recovered_ = other.recovered_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<RecordLog> RecordLog::Open(const std::string& path, Options options) {
+  using R = Result<RecordLog>;
+  const std::string& name = options.name;
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return R(Errno(name, ("open " + path).c_str()));
+  if (!existed) {
+    // Make the directory entry durable before any append relies on it.
+    if (Status st = FsyncParentDir(path, name); !st) {
+      ::close(fd);
+      return R(st);
+    }
+  }
+
+  struct stat sb;
+  if (::fstat(fd, &sb) < 0) {
+    const Status st = Errno(name, "fstat");
+    ::close(fd);
+    return R(st);
+  }
+  const std::uint64_t file_size = static_cast<std::uint64_t>(sb.st_size);
+
+  std::vector<std::uint64_t> offsets;
+  std::uint64_t pos = 0;
+  bool recovered = false;
+  while (pos + kRecordHeaderSize <= file_size) {
+    std::uint8_t header[kRecordHeaderSize];
+    if (!ReadAt(fd, header, kRecordHeaderSize, pos)) {
+      recovered = true;
+      break;
+    }
+    const std::uint32_t magic = DecodeU32(header);
+    const std::uint32_t length = DecodeU32(header + 4);
+    const std::uint32_t crc = DecodeU32(header + 8);
+    if (magic != kRecordMagic || pos + kRecordHeaderSize + length > file_size) {
+      recovered = true;
+      break;
+    }
+    Bytes payload(length);
+    if (!ReadAt(fd, payload.data(), length, pos + kRecordHeaderSize) ||
+        Crc32(payload) != crc) {
+      recovered = true;
+      break;
+    }
+    offsets.push_back(pos);
+    pos += kRecordHeaderSize + length;
+  }
+  if (pos < file_size && !recovered) recovered = true;  // trailing partial header
+  if (recovered) {
+    // Physically truncate the torn tail and make the truncation durable
+    // before trusting subsequent appends — without the fsync, a second crash
+    // could resurrect the dropped tail and corrupt the record stream.
+    if (::ftruncate(fd, static_cast<off_t>(pos)) < 0) {
+      const Status st = Errno(name, "truncate torn tail");
+      ::close(fd);
+      return R(st);
+    }
+    if (::fsync(fd) < 0) {
+      const Status st = Errno(name, "fsync after truncation");
+      ::close(fd);
+      return R(st);
+    }
+  }
+  return RecordLog(path, std::move(options), fd, std::move(offsets), pos,
+                   recovered);
+}
+
+Status RecordLog::Append(ByteView payload) {
+  if (fd_ < 0) return Status::Error(options_.name + ": log is closed");
+  Bytes record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  AppendU32(record, kRecordMagic);
+  AppendU32(record, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(record, Crc32(payload));
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  auto& crash = CrashPoints::Global();
+  crash.Hit((options_.name + ".append.before").c_str());
+  if (crash.FireNow((options_.name + ".append.torn").c_str())) {
+    // Simulated power loss mid-write: leave a torn record (header plus part
+    // of the payload) on disk, exactly what a real crash can produce.
+    const std::size_t torn = kRecordHeaderSize + payload.size() / 2;
+    if (::lseek(fd_, static_cast<off_t>(end_offset_), SEEK_SET) >= 0) {
+      (void)WriteAll(fd_, record.data(), torn);
+    }
+    CrashPoints::Throw((options_.name + ".append.torn").c_str());
+  }
+
+  if (::lseek(fd_, static_cast<off_t>(end_offset_), SEEK_SET) < 0) {
+    return Errno(options_.name, "seek to end");
+  }
+  if (!WriteAll(fd_, record.data(), record.size())) {
+    return Errno(options_.name, "write");
+  }
+  if (options_.fsync_on_append && ::fsync(fd_) < 0) {
+    return Errno(options_.name, "fsync");
+  }
+  crash.Hit((options_.name + ".append.after").c_str());
+  offsets_.push_back(end_offset_);
+  end_offset_ += record.size();
+  return Status::Ok();
+}
+
+Result<Bytes> RecordLog::Get(std::uint64_t index) const {
+  using R = Result<Bytes>;
+  if (index >= offsets_.size()) {
+    return R::Error(options_.name + ": record " + std::to_string(index) +
+                    " beyond stored count " + std::to_string(offsets_.size()));
+  }
+  if (fd_ < 0) return R::Error(options_.name + ": log is closed");
+  const std::uint64_t pos = offsets_[static_cast<std::size_t>(index)];
+  std::uint8_t header[kRecordHeaderSize];
+  if (!ReadAt(fd_, header, kRecordHeaderSize, pos)) {
+    return R::Error(options_.name + ": short header read");
+  }
+  const std::uint32_t length = DecodeU32(header + 4);
+  const std::uint32_t crc = DecodeU32(header + 8);
+  Bytes payload(length);
+  if (!ReadAt(fd_, payload.data(), length, pos + kRecordHeaderSize)) {
+    return R::Error(options_.name + ": short read");
+  }
+  if (Crc32(payload) != crc) {
+    return R::Error(options_.name + ": CRC mismatch on read");
+  }
+  return payload;
+}
+
+Status RecordLog::TruncateTo(std::uint64_t count) {
+  if (count > offsets_.size()) {
+    return Status::Error(options_.name + ": cannot truncate to " +
+                         std::to_string(count) + ", only " +
+                         std::to_string(offsets_.size()) + " records");
+  }
+  if (count == offsets_.size()) return Status::Ok();
+  const std::uint64_t new_end =
+      count == 0 ? 0 : offsets_[static_cast<std::size_t>(count)];
+  if (::ftruncate(fd_, static_cast<off_t>(new_end)) < 0) {
+    return Errno(options_.name, "truncate");
+  }
+  if (::fsync(fd_) < 0) return Errno(options_.name, "fsync after truncate");
+  offsets_.resize(static_cast<std::size_t>(count));
+  end_offset_ = new_end;
+  return Status::Ok();
+}
+
+Status RecordLog::Fsync() {
+  if (fd_ < 0) return Status::Error(options_.name + ": log is closed");
+  if (::fsync(fd_) < 0) return Errno(options_.name, "fsync");
+  return Status::Ok();
+}
+
+}  // namespace dcert::common

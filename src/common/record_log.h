@@ -1,0 +1,94 @@
+// Reusable append-only record log: the length-prefixed CRC-checked record
+// format BlockStore pioneered, generalized so the block log and the durable
+// certificate log share one recovery-hardened implementation. One file, an
+// in-memory offset index built by a verifying scan on open, and torn-tail
+// recovery: a crash mid-append leaves a partial or corrupt last record, which
+// Open() detects, physically truncates away, and fsyncs — so a tail that was
+// dropped once can never resurrect after a second crash.
+//
+// Durability contract:
+//  * Open() fsyncs the parent directory after creating the file, and fsyncs
+//    the file after any torn-tail truncation, before trusting appends.
+//  * Append() optionally fsyncs (SetFsyncOnAppend) before reporting success,
+//    so an acknowledged record survives power loss; a torn in-flight record
+//    is still possible and is what recovery handles.
+//  * TruncateTo() (reconciliation) physically truncates and fsyncs.
+//
+// Crash injection: Append() carries named kill sites (`<name>.append.before`,
+// `<name>.append.torn`, `<name>.append.after`, where `name` comes from
+// Options) so the crash soak can kill the process-equivalent at every
+// durability-relevant instant, including mid-write with a torn record on
+// disk. Disarmed sites are a single relaxed load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dcert::common {
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte buffer.
+std::uint32_t Crc32(ByteView data);
+
+class RecordLog {
+ public:
+  struct Options {
+    /// Crash-site scope and error-message prefix ("blocklog", "certlog").
+    std::string name = "recordlog";
+    /// When on, every Append fsyncs before reporting success.
+    bool fsync_on_append = false;
+  };
+
+  ~RecordLog();
+  RecordLog(RecordLog&& other) noexcept;
+  RecordLog& operator=(RecordLog&& other) noexcept;
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  /// Opens (creating if absent) the log at `path`. Scans existing records
+  /// verifying magic + CRC; a corrupt or torn tail is truncated and fsynced
+  /// (records before it stay readable) and reported via
+  /// RecoveredFromTornTail().
+  static Result<RecordLog> Open(const std::string& path, Options options);
+  static Result<RecordLog> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  /// Appends one record. Every I/O step is errno-checked; on failure (or an
+  /// injected crash) nothing is indexed.
+  Status Append(ByteView payload);
+
+  /// Reads record `index` back, re-verifying its CRC.
+  Result<Bytes> Get(std::uint64_t index) const;
+
+  std::uint64_t Count() const { return offsets_.size(); }
+
+  /// Drops records [count, Count()): physical truncation + fsync. Used by
+  /// reconciliation when this log ran ahead of its sibling.
+  Status TruncateTo(std::uint64_t count);
+
+  /// Explicit durability barrier.
+  Status Fsync();
+
+  bool RecoveredFromTornTail() const { return recovered_; }
+  const std::string& Path() const { return path_; }
+  void SetFsyncOnAppend(bool on) { options_.fsync_on_append = on; }
+  bool FsyncOnAppend() const { return options_.fsync_on_append; }
+
+ private:
+  RecordLog(std::string path, Options options, int fd,
+            std::vector<std::uint64_t> offsets, std::uint64_t end_offset,
+            bool recovered);
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  std::vector<std::uint64_t> offsets_;  // file offset of each record header
+  std::uint64_t end_offset_ = 0;        // file offset where the next record goes
+  bool recovered_ = false;
+};
+
+}  // namespace dcert::common

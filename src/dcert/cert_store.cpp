@@ -1,0 +1,27 @@
+#include "dcert/cert_store.h"
+
+#include <utility>
+
+namespace dcert::core {
+
+Result<CertificateStore> CertificateStore::Open(const std::string& path) {
+  using R = Result<CertificateStore>;
+  common::RecordLog::Options options;
+  options.name = "certlog";
+  auto log = common::RecordLog::Open(path, std::move(options));
+  if (!log) return R(log.status());
+  return CertificateStore(std::move(log.value()));
+}
+
+Status CertificateStore::Append(const BlockCertificate& cert) {
+  return log_.Append(cert.Serialize());
+}
+
+Result<BlockCertificate> CertificateStore::Get(std::uint64_t index) const {
+  using R = Result<BlockCertificate>;
+  auto payload = log_.Get(index);
+  if (!payload) return R(payload.status());
+  return BlockCertificate::Deserialize(payload.value());
+}
+
+}  // namespace dcert::core

@@ -1,0 +1,52 @@
+// Durable certificate log: the CI's append-only record of every block
+// certificate it has issued, stored in the same length-prefixed CRC-checked
+// RecordLog format as the block store. Record i holds the certificate for
+// block height i+1 (genesis carries no certificate), so after reconciliation
+// Count() == block store Count() - 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/record_log.h"
+#include "common/status.h"
+#include "dcert/certificate.h"
+
+namespace dcert::core {
+
+class CertificateStore {
+ public:
+  CertificateStore(CertificateStore&&) noexcept = default;
+  CertificateStore& operator=(CertificateStore&&) noexcept = default;
+  CertificateStore(const CertificateStore&) = delete;
+  CertificateStore& operator=(const CertificateStore&) = delete;
+
+  /// Opens (creating if absent) the store at `path`. A torn or corrupt tail
+  /// — a crash mid-append — is truncated, fsynced, and reported via
+  /// RecoveredFromTornTail().
+  static Result<CertificateStore> Open(const std::string& path);
+
+  /// Appends the certificate for block height Count()+1.
+  Status Append(const BlockCertificate& cert);
+
+  /// Certificate for block height `index + 1`.
+  Result<BlockCertificate> Get(std::uint64_t index) const;
+
+  std::uint64_t Count() const { return log_.Count(); }
+
+  /// Drops certificates [count, Count()) — reconciliation only (the cert log
+  /// ran ahead of the block log across a crash).
+  Status TruncateTo(std::uint64_t count) { return log_.TruncateTo(count); }
+
+  void SetFsyncOnAppend(bool on) { log_.SetFsyncOnAppend(on); }
+  bool FsyncOnAppend() const { return log_.FsyncOnAppend(); }
+  bool RecoveredFromTornTail() const { return log_.RecoveredFromTornTail(); }
+  const std::string& Path() const { return log_.Path(); }
+
+ private:
+  explicit CertificateStore(common::RecordLog log) : log_(std::move(log)) {}
+
+  common::RecordLog log_;
+};
+
+}  // namespace dcert::core

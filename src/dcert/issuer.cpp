@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/crash_point.h"
 #include "common/thread_pool.h"
 #include "common/timing.h"
 #include "obs/metrics.h"
@@ -59,6 +60,30 @@ CertificateIssuer::CertificateIssuer(
       program_(MakeEnclaveConfig(config, *registry), registry, StrBytes(key_seed)),
       report_(sgxsim::AttestationService::Attest(program_.MakeKeyQuote(enclave_))),
       node_(config, std::move(registry)) {}
+
+CertificateIssuer::CertificateIssuer(
+    chain::ChainConfig config,
+    std::shared_ptr<const chain::ContractRegistry> registry,
+    sgxsim::Enclave enclave, CertEnclaveProgram program)
+    : config_(config),
+      enclave_(std::move(enclave)),
+      program_(std::move(program)),
+      report_(sgxsim::AttestationService::Attest(program_.MakeKeyQuote(enclave_))),
+      node_(config, std::move(registry)) {}
+
+Result<CertificateIssuer> CertificateIssuer::Restore(
+    chain::ChainConfig config,
+    std::shared_ptr<const chain::ContractRegistry> registry,
+    ByteView sealed_key, sgxsim::CostModelParams cost_model) {
+  using R = Result<CertificateIssuer>;
+  sgxsim::Enclave enclave(kEnclaveProgramName, kEnclaveProgramVersion,
+                          cost_model);
+  auto program = CertEnclaveProgram::RestoreFromSealed(
+      MakeEnclaveConfig(config, *registry), registry, enclave, sealed_key);
+  if (!program) return R(program.status().WithContext("restore issuer"));
+  return CertificateIssuer(config, std::move(registry), std::move(enclave),
+                           std::move(program.value()));
+}
 
 void CertificateIssuer::AttachIndex(std::shared_ptr<CertifiedIndexHost> index) {
   if (!index) throw std::invalid_argument("AttachIndex: null index");
@@ -139,6 +164,7 @@ Result<BlockCertificate> CertificateIssuer::ProcessBlock(const chain::Block& blk
   const chain::BlockHeader prev_hdr = node_.Tip().header;
   const std::optional<BlockCertificate> prev_cert = latest_cert_;
 
+  common::CrashPoints::Global().Hit("issuer.process.ecall");
   const sgxsim::CostAccounting before = enclave_.Costs();
   auto sig = enclave_.Ecall(prepared.value().input_bytes, [&] {
     return program_.SigGen(prev_hdr, prev_cert, blk, prepared.value().proof);
@@ -210,7 +236,8 @@ Result<BlockCertificate> CertificateIssuer::ProcessBlockBatch(
 }
 
 Result<std::vector<BlockCertificate>> CertificateIssuer::ProcessBlocksPipelined(
-    const std::vector<chain::Block>& blocks) {
+    const std::vector<chain::Block>& blocks,
+    const std::function<Status(std::size_t, const BlockCertificate&)>& on_cert) {
   using R = Result<std::vector<BlockCertificate>>;
   timing_ = CertTiming{};
   timing_.blocks = blocks.size();
@@ -291,6 +318,7 @@ Result<std::vector<BlockCertificate>> CertificateIssuer::ProcessBlocksPipelined(
       }
 
       const std::optional<BlockCertificate> prev_cert = latest_cert_;
+      common::CrashPoints::Global().Hit("issuer.pipeline.ecall");
       const sgxsim::CostAccounting before = enclave_.Costs();
       auto sig = enclave_.Ecall(slot.prepared.input_bytes, [&] {
         return program_.SigGen(slot.prev_hdr, prev_cert, blocks[i],
@@ -306,6 +334,13 @@ Result<std::vector<BlockCertificate>> CertificateIssuer::ProcessBlocksPipelined(
         break;
       }
       BlockCertificate cert = AssembleCert(blocks[i].header.Hash(), sig.value());
+      if (on_cert) {
+        if (Status st = on_cert(i, cert); !st) {
+          failure = st.WithContext("pipelined cert sink, block " +
+                                   std::to_string(i));
+          break;
+        }
+      }
       latest_cert_ = cert;
       block_certs_.push_back(cert);
       certs.push_back(std::move(cert));

@@ -5,6 +5,7 @@
 // hierarchical (Alg. 5) scheme.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -82,6 +83,19 @@ class CertificateIssuer {
                     sgxsim::CostModelParams cost_model = {},
                     std::string key_seed = "dcert-ci-key");
 
+  /// Restart path (Sec. 3.3 sealing): rebuilds an issuer from the signing key
+  /// a previous instance sealed (SealSigningKey). The restored issuer has the
+  /// same pk_enc — clients keep their cached attestation — and its node is at
+  /// genesis, ready for replay. Fails (Status) when the blob was sealed by a
+  /// different enclave identity or tampered with.
+  static Result<CertificateIssuer> Restore(
+      chain::ChainConfig config,
+      std::shared_ptr<const chain::ContractRegistry> registry,
+      ByteView sealed_key, sgxsim::CostModelParams cost_model = {});
+
+  /// Seals the enclave signing key for Restore() after a restart.
+  Bytes SealSigningKey() const { return program_.SealSigningKey(enclave_); }
+
   chain::FullNode& Node() { return node_; }
   const chain::FullNode& Node() const { return node_; }
   const sgxsim::Enclave& EnclaveHandle() const { return enclave_; }
@@ -114,8 +128,17 @@ class CertificateIssuer {
   /// LastTiming() with stage-overlap accounting (span_wall_ns, occupancy).
   /// On an Ecall failure the node may already have committed ahead of the
   /// last certificate (a production CI would snapshot and roll back).
+  ///
+  /// `on_cert`, when set, runs on the calling thread right after block i's
+  /// certificate is assembled and *before* it becomes LatestCert() — the
+  /// durability hook: a durable issuer appends block and certificate to its
+  /// logs (and announces) here, so a crash inside the sink leaves the
+  /// in-memory chain ahead of the logs, which recovery reconciles. A sink
+  /// error aborts the span like an Ecall failure would.
   Result<std::vector<BlockCertificate>> ProcessBlocksPipelined(
-      const std::vector<chain::Block>& blocks);
+      const std::vector<chain::Block>& blocks,
+      const std::function<Status(std::size_t, const BlockCertificate&)>&
+          on_cert = nullptr);
 
   /// Adopts a block certified by *another* CI (decentralization: any CI
   /// running the same measured enclave can extend the chain). Fully
@@ -161,6 +184,10 @@ class CertificateIssuer {
   const CertTiming& LastTiming() const { return timing_; }
 
  private:
+  CertificateIssuer(chain::ChainConfig config,
+                    std::shared_ptr<const chain::ContractRegistry> registry,
+                    sgxsim::Enclave enclave, CertEnclaveProgram program);
+
   struct IndexSlot {
     std::shared_ptr<CertifiedIndexHost> host;
     Hash256 digest;  // certified digest as of the CI's tip

@@ -195,6 +195,66 @@ Status SpServer::Announce(const AnnounceRequest& req) {
   return AnnounceLocked(req);
 }
 
+Status SpServer::Rehydrate(const chain::BlockStore& blocks,
+                           const core::CertificateStore& certs) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  if (next_height_ != 1 || tip_) {
+    return Status::Error("rehydrate: server has already applied blocks");
+  }
+  if (blocks.Count() == 0) {
+    return Status::Error("rehydrate: empty block store");
+  }
+  if (certs.Count() + 1 < blocks.Count()) {
+    return Status::Error(
+        "rehydrate: cert store behind block store (reopen the durable "
+        "issuer to reconcile first)");
+  }
+  auto genesis = blocks.Get(0);
+  if (!genesis) return genesis.status();
+  chain::BlockHeader prev_hdr = genesis.value().header;
+  for (std::uint64_t h = 1; h < blocks.Count(); ++h) {
+    auto blk = blocks.Get(h);
+    if (!blk) return blk.status();
+    auto cert = certs.Get(h - 1);
+    if (!cert) return cert.status();
+    const chain::BlockHeader& hdr = blk.value().header;
+    if (hdr.height != h || hdr.prev_hash != prev_hdr.Hash()) {
+      return Status::Error("rehydrate: stored chain broken at height " +
+                           std::to_string(h));
+    }
+    // Trust nothing in the store blindly: the same certificate validation a
+    // live announcement gets.
+    if (cert.value().digest != hdr.Hash()) {
+      return Status::Error(
+          "rehydrate: certificate does not sign stored block at height " +
+          std::to_string(h));
+    }
+    if (Status st = core::VerifyCertificateEnvelope(
+            cert.value(), config_.expected_measurement);
+        !st) {
+      return st.WithContext("rehydrate height " + std::to_string(h));
+    }
+    index_.ApplyBlockCapturingAux(blk.value());
+    TipInfo tip;
+    tip.header = hdr;
+    tip.block_cert = cert.value();
+    tip.index_digest = index_.CurrentDigest();
+    // The durable stores hold block certificates only, so the restored tip
+    // carries the block certificate in the index slot as a placeholder: it
+    // wire-encodes (a default certificate cannot), and a client's
+    // AcceptIndexCert rejects it (its digest signs the header, not
+    // H(header || index digest)) — fail-safe until the next live
+    // announcement brings a real index certificate.
+    tip.index_cert = cert.value();
+    tip_ = std::move(tip);
+    ++next_height_;
+    blocks_applied_->Add(1);
+    prev_hdr = hdr;
+  }
+  cache_.InvalidateAll();
+  return Status::Ok();
+}
+
 Status SpServer::AnnounceLocked(const AnnounceRequest& req) {
   const chain::BlockHeader& hdr = req.block.header;
   auto reject = [this](Status st) {

@@ -23,7 +23,9 @@
 #include <optional>
 #include <shared_mutex>
 
+#include "chain/block_store.h"
 #include "common/thread_pool.h"
+#include "dcert/cert_store.h"
 #include "dcert/enclave_program.h"
 #include "obs/metrics.h"
 #include "query/historical_index.h"
@@ -76,6 +78,19 @@ class SpServer {
   /// In-process announcement path (setup rigs, benches). Same validation as
   /// announcements arriving over the wire.
   Status Announce(const AnnounceRequest& req);
+
+  /// Bootstraps a FRESH server from a CI's durable stores after a restart:
+  /// validates every stored block certificate (digest + envelope, pinned
+  /// measurement) and the chain linkage, and rebuilds the live
+  /// HistoricalIndex by applying the stored blocks in order. The restored
+  /// tip carries the stored block certificate; the index-certificate slot
+  /// holds it too as a fail-safe placeholder (clients reject it as an index
+  /// cert) until the next live announcement refreshes it — the durable
+  /// stores hold block certs only, so certified index serving resumes then.
+  /// Fails without touching state when the server has already applied
+  /// blocks.
+  Status Rehydrate(const chain::BlockStore& blocks,
+                   const core::CertificateStore& certs);
 
   SpServerStats Stats() const;
 

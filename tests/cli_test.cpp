@@ -4,6 +4,8 @@
 // from the build system via DCERTCTL_PATH ($<TARGET_FILE:dcertctl>).
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <string>
 
@@ -101,6 +103,48 @@ TEST(Cli, KeygenSucceedsAndRejectsMissingSeed) {
   const CliResult bad = RunCli("keygen");
   EXPECT_EQ(bad.exit_code, 2);
   EXPECT_TRUE(PrintsUsage(bad)) << bad.output;
+}
+
+TEST(Cli, FsckAndRecoverRejectMalformedArgs) {
+  for (const char* bad : {"fsck", "recover", "recover /tmp/x notanum"}) {
+    const CliResult r = RunCli(bad);
+    EXPECT_EQ(r.exit_code, 2) << bad << ": " << r.output;
+    EXPECT_TRUE(PrintsUsage(r)) << bad << ": " << r.output;
+  }
+  // A missing block log is a runtime failure (exit 1), not a usage error.
+  const CliResult gone = RunCli("fsck /nonexistent/blocks.log");
+  EXPECT_EQ(gone.exit_code, 1) << gone.output;
+  EXPECT_FALSE(PrintsUsage(gone));
+}
+
+TEST(Cli, RecoverFreshThenResumeThenFsck) {
+  const std::string dir = ::testing::TempDir() + "cli_recover";
+  mkdir(dir.c_str(), 0755);
+  for (const char* f : {"/blocks.log", "/certs.log", "/key.sealed"}) {
+    std::remove((dir + f).c_str());
+  }
+
+  // First run creates the durable state and mines 2 blocks…
+  const CliResult fresh = RunCli("recover " + dir + " 2");
+  EXPECT_EQ(fresh.exit_code, 0) << fresh.output;
+  EXPECT_NE(fresh.output.find("fresh start"), std::string::npos) << fresh.output;
+
+  // …the second resumes from it, replaying the stored certified blocks under
+  // the same sealed key, and extends the chain.
+  const CliResult resumed = RunCli("recover " + dir + " 2");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("resumed"), std::string::npos) << resumed.output;
+  EXPECT_NE(resumed.output.find("replayed 2 certified block(s)"),
+            std::string::npos)
+      << resumed.output;
+
+  // fsck cross-checks every stored certificate against its block.
+  const CliResult fsck =
+      RunCli("fsck " + dir + "/blocks.log " + dir + "/certs.log");
+  EXPECT_EQ(fsck.exit_code, 0) << fsck.output;
+  EXPECT_NE(fsck.output.find("fsck OK (4 cert(s) cross-checked)"),
+            std::string::npos)
+      << fsck.output;
 }
 
 }  // namespace

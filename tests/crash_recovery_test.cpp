@@ -1,0 +1,489 @@
+// Crash-recoverable Certificate Issuer: seeded crash soak across every named
+// kill site, reconcile paths (cert log ahead / block log ahead / both logs
+// torn), issuer-level sealed-key negatives, and the announced-implies-durable
+// invariant. The central claim under test: after ANY injected crash and
+// recovery, the durable cert sequence is byte-identical to a crash-free run
+// (deterministic signing + the commit order make recovery exact, not just
+// plausible).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/crash_point.h"
+#include "common/rng.h"
+#include "dcert/durable_issuer.h"
+#include "workloads/workloads.h"
+
+namespace dcert::core {
+namespace {
+
+using common::CrashInjected;
+using common::CrashPoints;
+
+struct CrashGuard {
+  ~CrashGuard() { CrashPoints::Global().Disarm(); }
+};
+
+/// The shared reference chain every test certifies: mined once.
+struct ChainRig {
+  chain::ChainConfig config;
+  std::shared_ptr<const chain::ContractRegistry> registry;
+  std::vector<chain::Block> blocks;  // heights 1..blocks.size()
+};
+
+const ChainRig& ReferenceChain() {
+  static const ChainRig* rig = [] {
+    auto* r = new ChainRig();
+    r->config.difficulty_bits = 2;
+    r->registry = workloads::MakeBlockbenchRegistry(1);
+    chain::FullNode miner_node(r->config, r->registry);
+    chain::Miner miner(miner_node);
+    workloads::AccountPool pool(4, 66);
+    workloads::WorkloadGenerator::Params params;
+    params.kind = workloads::Workload::kKvStore;
+    params.instances_per_workload = 1;
+    workloads::WorkloadGenerator gen(params, pool);
+    for (int i = 0; i < 10; ++i) {
+      auto block = miner.MineBlock(gen.NextBlockTxs(4), 100 + miner_node.Height());
+      if (!block.ok() || !miner_node.SubmitBlock(block.value())) {
+        throw std::runtime_error("reference chain mining failed");
+      }
+      r->blocks.push_back(block.value());
+    }
+    return r;
+  }();
+  return *rig;
+}
+
+struct LogPaths {
+  std::string blocks;
+  std::string certs;
+  std::string key;
+};
+
+LogPaths FreshPaths(const std::string& tag) {
+  LogPaths p;
+  p.blocks = ::testing::TempDir() + tag + "_blocks.log";
+  p.certs = ::testing::TempDir() + tag + "_certs.log";
+  p.key = ::testing::TempDir() + tag + "_key.sealed";
+  std::remove(p.blocks.c_str());
+  std::remove(p.certs.c_str());
+  std::remove(p.key.c_str());
+  return p;
+}
+
+DurableIssuerOptions MakeOptions(const LogPaths& p, AnnounceFn announce = {},
+                                 bool fsync = false) {
+  DurableIssuerOptions options;
+  options.block_log_path = p.blocks;
+  options.cert_log_path = p.certs;
+  options.sealed_key_path = p.key;
+  options.fsync_on_append = fsync;
+  options.announce = std::move(announce);
+  return options;
+}
+
+/// Certificate bytes from a crash-free durable run over the reference chain.
+const std::vector<Bytes>& ReferenceCerts() {
+  static const std::vector<Bytes>* certs = [] {
+    const ChainRig& rig = ReferenceChain();
+    LogPaths paths = FreshPaths("reference");
+    auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                             MakeOptions(paths));
+    if (!ci.ok()) throw std::runtime_error(ci.message());
+    for (const chain::Block& blk : rig.blocks) {
+      if (Status st = ci.value().CertifyBlock(blk); !st) {
+        throw std::runtime_error(st.message());
+      }
+    }
+    auto* out = new std::vector<Bytes>();
+    for (std::uint64_t i = 0; i < ci.value().Certs().Count(); ++i) {
+      out->push_back(ci.value().Certs().Get(i).value().Serialize());
+    }
+    return out;
+  }();
+  return *certs;
+}
+
+/// Asserts the durable logs hold EXACTLY the reference chain and certs,
+/// byte for byte.
+void ExpectLogsMatchReference(const DurableCertificateIssuer& ci) {
+  const ChainRig& rig = ReferenceChain();
+  const std::vector<Bytes>& ref = ReferenceCerts();
+  ASSERT_EQ(ci.Blocks().Count(), rig.blocks.size() + 1);
+  for (std::size_t h = 1; h <= rig.blocks.size(); ++h) {
+    EXPECT_EQ(ci.Blocks().Get(h).value().Serialize(),
+              rig.blocks[h - 1].Serialize())
+        << "block " << h;
+  }
+  ASSERT_EQ(ci.Certs().Count(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ci.Certs().Get(i).value().Serialize(), ref[i]) << "cert " << i;
+  }
+}
+
+void FlipLastByte(const std::string& path) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f) << path;
+  f.seekp(-1, std::ios::end);
+  f.put('\xA5');
+}
+
+TEST(CrashRecoveryTest, CleanRestartResumesByteIdentical) {
+  const ChainRig& rig = ReferenceChain();
+  LogPaths paths = FreshPaths("clean_restart");
+  Bytes pk_before;
+  {
+    auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                             MakeOptions(paths));
+    ASSERT_TRUE(ci.ok()) << ci.message();
+    EXPECT_FALSE(ci.value().Recovery().resumed);
+    for (std::size_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ci.value().CertifyBlock(rig.blocks[i]).ok());
+    }
+    pk_before = ci.value().Issuer().EnclaveKey().Serialize();
+  }
+  auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                           MakeOptions(paths));
+  ASSERT_TRUE(ci.ok()) << ci.message();
+  const RecoveryReport& rec = ci.value().Recovery();
+  EXPECT_TRUE(rec.resumed);
+  EXPECT_EQ(rec.blocks_replayed, 5u);
+  EXPECT_EQ(rec.blocks_recertified, 0u);
+  EXPECT_EQ(rec.certs_truncated, 0u);
+  // Same sealed key, same pk_enc: clients keep their cached attestation.
+  EXPECT_EQ(ci.value().Issuer().EnclaveKey().Serialize(), pk_before);
+  for (std::size_t i = 5; i < rig.blocks.size(); ++i) {
+    ASSERT_TRUE(ci.value().CertifyBlock(rig.blocks[i]).ok());
+  }
+  ExpectLogsMatchReference(ci.value());
+}
+
+TEST(CrashRecoveryTest, CertLogAheadIsTruncatedAndReissuedIdentically) {
+  const ChainRig& rig = ReferenceChain();
+  LogPaths paths = FreshPaths("cert_ahead");
+  {
+    auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                             MakeOptions(paths));
+    ASSERT_TRUE(ci.ok());
+    for (const chain::Block& blk : rig.blocks) {
+      ASSERT_TRUE(ci.value().CertifyBlock(blk).ok());
+    }
+  }
+  // External corruption of the block log tail (the one case the in-process
+  // commit order cannot produce): the last block record dies, its already
+  // durable certificate dangles.
+  FlipLastByte(paths.blocks);
+  auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                           MakeOptions(paths));
+  ASSERT_TRUE(ci.ok()) << ci.message();
+  const RecoveryReport& rec = ci.value().Recovery();
+  EXPECT_TRUE(rec.block_log_torn);
+  EXPECT_EQ(rec.certs_truncated, 1u);
+  EXPECT_EQ(ci.value().Issuer().Node().Height(), rig.blocks.size() - 1);
+  // Re-certifying the block re-issues the SAME certificate bytes
+  // (deterministic signing): a client that saw the pre-crash announcement
+  // observes no equivocation.
+  ASSERT_TRUE(ci.value().CertifyBlock(rig.blocks.back()).ok());
+  ExpectLogsMatchReference(ci.value());
+}
+
+TEST(CrashRecoveryTest, BlockLogAheadGapIsRecertifiedAndAnnounced) {
+  const ChainRig& rig = ReferenceChain();
+  LogPaths paths = FreshPaths("block_ahead");
+  CrashGuard guard;
+  {
+    auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                             MakeOptions(paths));
+    ASSERT_TRUE(ci.ok());
+    for (std::size_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(ci.value().CertifyBlock(rig.blocks[i]).ok());
+    }
+    // Crash inside certificate construction for block 7: its block record is
+    // durable, its certificate never happens.
+    CrashPoints::Global().Arm("issuer.process.ecall", 1);
+    EXPECT_THROW(ci.value().CertifyBlock(rig.blocks[6]), CrashInjected);
+  }
+  std::vector<std::uint64_t> announced;
+  auto sink = [&](const chain::Block& blk, const BlockCertificate&) {
+    announced.push_back(blk.header.height);
+    return Status::Ok();
+  };
+  auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                           MakeOptions(paths, sink));
+  ASSERT_TRUE(ci.ok()) << ci.message();
+  const RecoveryReport& rec = ci.value().Recovery();
+  EXPECT_EQ(rec.blocks_replayed, 6u);
+  EXPECT_EQ(rec.blocks_recertified, 1u);
+  EXPECT_EQ(rec.certs_truncated, 0u);
+  // The gap block was never announced before the crash (announce follows the
+  // cert append), so recovery announces the re-issued certificate.
+  ASSERT_EQ(announced.size(), 1u);
+  EXPECT_EQ(announced[0], 7u);
+  for (std::size_t i = 7; i < rig.blocks.size(); ++i) {
+    ASSERT_TRUE(ci.value().CertifyBlock(rig.blocks[i]).ok());
+  }
+  ExpectLogsMatchReference(ci.value());
+}
+
+TEST(CrashRecoveryTest, BothLogsTornRecoverTogether) {
+  const ChainRig& rig = ReferenceChain();
+  LogPaths paths = FreshPaths("both_torn");
+  {
+    auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                             MakeOptions(paths));
+    ASSERT_TRUE(ci.ok());
+    for (const chain::Block& blk : rig.blocks) {
+      ASSERT_TRUE(ci.value().CertifyBlock(blk).ok());
+    }
+  }
+  FlipLastByte(paths.blocks);
+  FlipLastByte(paths.certs);
+  auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                           MakeOptions(paths));
+  ASSERT_TRUE(ci.ok()) << ci.message();
+  const RecoveryReport& rec = ci.value().Recovery();
+  EXPECT_TRUE(rec.block_log_torn);
+  EXPECT_TRUE(rec.cert_log_torn);
+  // Both logs lost their last record: consistent again at N-1.
+  EXPECT_EQ(rec.certs_truncated, 0u);
+  EXPECT_EQ(rec.blocks_replayed, rig.blocks.size() - 1);
+  ASSERT_TRUE(ci.value().CertifyBlock(rig.blocks.back()).ok());
+  ExpectLogsMatchReference(ci.value());
+}
+
+TEST(CrashRecoveryTest, PipelinedSpanCrashRecoversByteIdentical) {
+  const ChainRig& rig = ReferenceChain();
+  LogPaths paths = FreshPaths("pipelined_crash");
+  CrashGuard guard;
+  {
+    auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                             MakeOptions(paths));
+    ASSERT_TRUE(ci.ok());
+    // Crash on the 4th Ecall of the span: blocks 1-3 fully durable, the
+    // prepare thread likely committed further ahead in memory — all of
+    // which dies with the process, leaving only the logs.
+    CrashPoints::Global().Arm("issuer.pipeline.ecall", 4);
+    EXPECT_THROW(ci.value().CertifyBlocksPipelined(rig.blocks), CrashInjected);
+  }
+  auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                           MakeOptions(paths));
+  ASSERT_TRUE(ci.ok()) << ci.message();
+  EXPECT_EQ(ci.value().Issuer().Node().Height(), 3u);
+  std::vector<chain::Block> rest(rig.blocks.begin() + 3, rig.blocks.end());
+  ASSERT_TRUE(ci.value().CertifyBlocksPipelined(rest).ok());
+  ExpectLogsMatchReference(ci.value());
+}
+
+TEST(CrashRecoveryTest, AnnounceSinkErrorAbortsButLogsStayConsistent) {
+  const ChainRig& rig = ReferenceChain();
+  LogPaths paths = FreshPaths("announce_error");
+  int calls = 0;
+  auto sink = [&](const chain::Block&, const BlockCertificate&) {
+    return ++calls >= 3 ? Status::Error("subscriber down") : Status::Ok();
+  };
+  {
+    auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                             MakeOptions(paths, sink));
+    ASSERT_TRUE(ci.ok());
+    ASSERT_TRUE(ci.value().CertifyBlock(rig.blocks[0]).ok());
+    ASSERT_TRUE(ci.value().CertifyBlock(rig.blocks[1]).ok());
+    Status st = ci.value().CertifyBlock(rig.blocks[2]);
+    EXPECT_FALSE(st.ok());
+    // The certificate went durable BEFORE the failed announce.
+    EXPECT_EQ(ci.value().Certs().Count(), 3u);
+  }
+  auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                           MakeOptions(paths));
+  ASSERT_TRUE(ci.ok()) << ci.message();
+  EXPECT_EQ(ci.value().Recovery().blocks_replayed, 3u);
+}
+
+TEST(CrashRecoveryTest, MissingSealedKeyWithNonEmptyStoresFails) {
+  const ChainRig& rig = ReferenceChain();
+  LogPaths paths = FreshPaths("missing_key");
+  {
+    auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                             MakeOptions(paths));
+    ASSERT_TRUE(ci.ok());
+    ASSERT_TRUE(ci.value().CertifyBlock(rig.blocks[0]).ok());
+  }
+  std::remove(paths.key.c_str());
+  auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                           MakeOptions(paths));
+  EXPECT_FALSE(ci.ok());
+  EXPECT_NE(ci.message().find("sealed key"), std::string::npos);
+}
+
+// Issuer-level sealed-key negatives: every tampering is a Status error, never
+// a crash, and never a usable issuer under a wrong key.
+TEST(SealedIssuerTest, RestoreRejectsTamperedTruncatedAndForeignBlobs) {
+  const ChainRig& rig = ReferenceChain();
+  CertificateIssuer original(rig.config, rig.registry, {}, "sealed-neg-key");
+  const Bytes sealed = original.SealSigningKey();
+
+  // Bit flip anywhere in the blob: MAC check fails.
+  Bytes flipped = sealed;
+  flipped[flipped.size() / 2] ^= 0x01;
+  EXPECT_FALSE(CertificateIssuer::Restore(rig.config, rig.registry, flipped).ok());
+
+  // Truncation: decode/MAC fails, no crash.
+  Bytes truncated(sealed.begin(), sealed.begin() + sealed.size() / 2);
+  EXPECT_FALSE(
+      CertificateIssuer::Restore(rig.config, rig.registry, truncated).ok());
+  EXPECT_FALSE(CertificateIssuer::Restore(rig.config, rig.registry, Bytes{}).ok());
+
+  // Sealed under a DIFFERENT enclave identity (wrong measurement): the
+  // sealing key differs, unsealing fails.
+  sgxsim::Enclave other("not-the-dcert-enclave", "9.9.9");
+  const Bytes foreign = other.Seal(sealed);
+  EXPECT_FALSE(
+      CertificateIssuer::Restore(rig.config, rig.registry, foreign).ok());
+}
+
+TEST(SealedIssuerTest, RestoredIssuerProducesByteIdenticalCerts) {
+  const ChainRig& rig = ReferenceChain();
+  CertificateIssuer original(rig.config, rig.registry, {}, "sealed-twin-key");
+  auto restored = CertificateIssuer::Restore(rig.config, rig.registry,
+                                             original.SealSigningKey());
+  ASSERT_TRUE(restored.ok()) << restored.message();
+  EXPECT_EQ(restored.value().EnclaveKey().Serialize(),
+            original.EnclaveKey().Serialize());
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto a = original.ProcessBlock(rig.blocks[i]);
+    auto b = restored.value().ProcessBlock(rig.blocks[i]);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().Serialize(), b.value().Serialize()) << "block " << i;
+  }
+}
+
+// The soak: many seeded cycles, each arming a random kill site with a random
+// hit countdown, crashing a durable issuer mid-chain (serial or pipelined,
+// fsync on or off), recovering, finishing the chain, and asserting the final
+// logs are byte-identical to the crash-free reference — with every announced
+// certificate present verbatim in the durable log (announced => durable).
+TEST(CrashSoakTest, SeededCrashRecoverCyclesAreExact) {
+  const ChainRig& rig = ReferenceChain();
+  const std::vector<Bytes>& ref_certs = ReferenceCerts();
+  CrashGuard guard;
+
+  std::uint64_t cycles = 200;
+  if (const char* env = std::getenv("DCERT_CRASH_SOAK_CYCLES")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) cycles = v;
+  }
+  const std::vector<std::string> sites = {
+      "blocklog.append.before",
+      "blocklog.append.torn",
+      "blocklog.append.after",
+      "certlog.append.before",
+      "certlog.append.torn",
+      "certlog.append.after",
+      "issuer.process.ecall",
+      "issuer.pipeline.ecall",
+      "issuer.durable.begin",
+      "issuer.durable.after_block_append",
+      "issuer.durable.before_announce",
+      "issuer.durable.after_announce",
+  };
+
+  Rng rng(0xDCE47C4A54ull);
+  std::map<std::string, std::uint64_t> fired_at;
+  std::uint64_t crashed_cycles = 0;
+
+  for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
+    SCOPED_TRACE("cycle " + std::to_string(cycle));
+    LogPaths paths = FreshPaths("soak");
+    const std::string& site = sites[rng.NextBelow(sites.size())];
+    const std::uint64_t countdown = 1 + rng.NextBelow(rig.blocks.size());
+    const bool pipelined = rng.NextBelow(2) == 1;
+    const bool fsync = rng.NextBelow(2) == 1;
+    SCOPED_TRACE(site + " countdown=" + std::to_string(countdown) +
+                 (pipelined ? " pipelined" : " serial") +
+                 (fsync ? " fsync" : ""));
+
+    // (height, cert bytes) of every announcement that reached a client.
+    std::vector<std::pair<std::uint64_t, Bytes>> announced;
+    auto sink = [&](const chain::Block& blk, const BlockCertificate& cert) {
+      announced.emplace_back(blk.header.height, cert.Serialize());
+      return Status::Ok();
+    };
+
+    // Phase 1: drive until the armed site kills the issuer (or the chain
+    // completes because the site was never reached often enough).
+    bool crashed = false;
+    {
+      auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                               MakeOptions(paths, sink, fsync));
+      ASSERT_TRUE(ci.ok()) << ci.message();
+      CrashPoints::Global().Arm(site, countdown);
+      try {
+        if (pipelined) {
+          Status st = ci.value().CertifyBlocksPipelined(rig.blocks);
+          ASSERT_TRUE(st.ok()) << st.message();
+        } else {
+          for (const chain::Block& blk : rig.blocks) {
+            Status st = ci.value().CertifyBlock(blk);
+            ASSERT_TRUE(st.ok()) << st.message();
+          }
+        }
+      } catch (const CrashInjected& e) {
+        crashed = true;
+        ++fired_at[e.site];
+      }
+      CrashPoints::Global().Disarm();
+    }
+    if (crashed) ++crashed_cycles;
+
+    // Phase 2: recover and finish the chain.
+    {
+      auto ci = DurableCertificateIssuer::Open(rig.config, rig.registry,
+                                               MakeOptions(paths, sink, fsync));
+      ASSERT_TRUE(ci.ok()) << ci.message();
+      for (std::uint64_t h = ci.value().Issuer().Node().Height();
+           h < rig.blocks.size(); ++h) {
+        Status st = ci.value().CertifyBlock(rig.blocks[h]);
+        ASSERT_TRUE(st.ok()) << st.message();
+      }
+
+      // Exactness: logs byte-identical to the crash-free reference.
+      ASSERT_EQ(ci.value().Blocks().Count(), rig.blocks.size() + 1);
+      ASSERT_EQ(ci.value().Certs().Count(), ref_certs.size());
+      for (std::size_t i = 0; i < ref_certs.size(); ++i) {
+        ASSERT_EQ(ci.value().Certs().Get(i).value().Serialize(), ref_certs[i])
+            << "cert " << i;
+      }
+
+      // Announced => durable: every certificate a client ever saw is in the
+      // final log verbatim, each height announced at most once (a client can
+      // never observe equivocation or an unrecoverable cert).
+      std::set<std::uint64_t> seen;
+      for (const auto& [height, bytes] : announced) {
+        EXPECT_TRUE(seen.insert(height).second)
+            << "height " << height << " announced twice";
+        ASSERT_GE(height, 1u);
+        ASSERT_LE(height, ref_certs.size());
+        EXPECT_EQ(bytes, ref_certs[height - 1]) << "announced cert " << height;
+      }
+    }
+  }
+
+  // The seeded schedule must actually exercise the machinery: most cycles
+  // crash, and (at full cycle count) every site fires at least once.
+  EXPECT_GE(crashed_cycles, cycles / 2) << "soak barely crashed";
+  if (cycles >= 200) {
+    for (const std::string& site : sites) {
+      EXPECT_GE(fired_at[site], 1u) << site << " never fired";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcert::core

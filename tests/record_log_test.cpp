@@ -1,0 +1,253 @@
+// common::RecordLog: the shared durable record format under the block and
+// certificate logs — round trips, torn-tail recovery, truncation, and the
+// seeded crash-injection sites.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/crash_point.h"
+#include "common/record_log.h"
+
+namespace dcert::common {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+Bytes Payload(std::size_t n, std::uint8_t tag) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(tag + i);
+  return b;
+}
+
+std::uint64_t FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return static_cast<std::uint64_t>(in.tellg());
+}
+
+class CrashGuard {
+ public:
+  ~CrashGuard() { CrashPoints::Global().Disarm(); }
+};
+
+TEST(RecordLogTest, AppendGetRoundTrip) {
+  const std::string path = TempPath("rlog_roundtrip.bin");
+  std::remove(path.c_str());
+  auto log = RecordLog::Open(path);
+  ASSERT_TRUE(log.ok()) << log.message();
+  EXPECT_EQ(log.value().Count(), 0u);
+  EXPECT_FALSE(log.value().RecoveredFromTornTail());
+
+  ASSERT_TRUE(log.value().Append(Payload(10, 1)).ok());
+  ASSERT_TRUE(log.value().Append(Payload(0, 0)).ok());  // empty payload is legal
+  ASSERT_TRUE(log.value().Append(Payload(300, 7)).ok());
+  EXPECT_EQ(log.value().Count(), 3u);
+  EXPECT_EQ(log.value().Get(0).value(), Payload(10, 1));
+  EXPECT_EQ(log.value().Get(1).value(), Bytes{});
+  EXPECT_EQ(log.value().Get(2).value(), Payload(300, 7));
+  EXPECT_FALSE(log.value().Get(3).ok());
+}
+
+TEST(RecordLogTest, ReopenRestoresIndex) {
+  const std::string path = TempPath("rlog_reopen.bin");
+  std::remove(path.c_str());
+  {
+    auto log = RecordLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value().Append(Payload(20, 3)).ok());
+    ASSERT_TRUE(log.value().Append(Payload(40, 9)).ok());
+  }
+  auto reopened = RecordLog::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().Count(), 2u);
+  EXPECT_FALSE(reopened.value().RecoveredFromTornTail());
+  EXPECT_EQ(reopened.value().Get(1).value(), Payload(40, 9));
+}
+
+TEST(RecordLogTest, TornTailIsTruncatedOnOpenAndStaysGone) {
+  const std::string path = TempPath("rlog_torn.bin");
+  std::remove(path.c_str());
+  {
+    auto log = RecordLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value().Append(Payload(16, 1)).ok());
+    ASSERT_TRUE(log.value().Append(Payload(16, 2)).ok());
+  }
+  const std::uint64_t intact_size = FileSize(path);
+  {
+    // A crash mid-append: header + part of the payload.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char torn[] = "TRCD\x10\x00\x00\x00garbage";
+    out.write(torn, sizeof(torn) - 1);
+  }
+  {
+    auto log = RecordLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    EXPECT_TRUE(log.value().RecoveredFromTornTail());
+    EXPECT_EQ(log.value().Count(), 2u);
+    EXPECT_EQ(log.value().Get(1).value(), Payload(16, 2));
+    // The tail was PHYSICALLY truncated, not just skipped: a second reopen
+    // must see a clean file.
+    EXPECT_EQ(FileSize(path), intact_size);
+    ASSERT_TRUE(log.value().Append(Payload(16, 3)).ok());
+  }
+  auto again = RecordLog::Open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().RecoveredFromTornTail());
+  EXPECT_EQ(again.value().Count(), 3u);
+}
+
+TEST(RecordLogTest, CorruptedPayloadTailIsDropped) {
+  const std::string path = TempPath("rlog_corrupt.bin");
+  std::remove(path.c_str());
+  {
+    auto log = RecordLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log.value().Append(Payload(32, 5)).ok());
+    ASSERT_TRUE(log.value().Append(Payload(32, 6)).ok());
+  }
+  {
+    // Flip one byte in the LAST record's payload (CRC now fails).
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put('\xFF');
+  }
+  auto log = RecordLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log.value().RecoveredFromTornTail());
+  EXPECT_EQ(log.value().Count(), 1u);
+  EXPECT_EQ(log.value().Get(0).value(), Payload(32, 5));
+}
+
+TEST(RecordLogTest, TruncateToDropsTailRecords) {
+  const std::string path = TempPath("rlog_trunc.bin");
+  std::remove(path.c_str());
+  auto log = RecordLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.value().Append(Payload(8, static_cast<std::uint8_t>(i))).ok());
+  }
+  EXPECT_FALSE(log.value().TruncateTo(6).ok());  // beyond count
+  ASSERT_TRUE(log.value().TruncateTo(5).ok());   // no-op
+  ASSERT_TRUE(log.value().TruncateTo(2).ok());
+  EXPECT_EQ(log.value().Count(), 2u);
+  EXPECT_FALSE(log.value().Get(2).ok());
+  // Appends continue cleanly after truncation, and survive reopen.
+  ASSERT_TRUE(log.value().Append(Payload(8, 9)).ok());
+  auto reopened = RecordLog::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().Count(), 3u);
+  EXPECT_EQ(reopened.value().Get(2).value(), Payload(8, 9));
+}
+
+TEST(RecordLogTest, FsyncOnAppendTogglesAndFsyncWorks) {
+  const std::string path = TempPath("rlog_fsync.bin");
+  std::remove(path.c_str());
+  RecordLog::Options options;
+  options.name = "fslog";
+  options.fsync_on_append = true;
+  auto log = RecordLog::Open(path, options);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log.value().FsyncOnAppend());
+  ASSERT_TRUE(log.value().Append(Payload(4, 1)).ok());
+  log.value().SetFsyncOnAppend(false);
+  ASSERT_TRUE(log.value().Append(Payload(4, 2)).ok());
+  ASSERT_TRUE(log.value().Fsync().ok());
+  EXPECT_EQ(log.value().Count(), 2u);
+}
+
+TEST(RecordLogTest, ArmedCrashSiteFiresOnceWithCountdown) {
+  const std::string path = TempPath("rlog_crash_after.bin");
+  std::remove(path.c_str());
+  CrashGuard guard;
+  RecordLog::Options options;
+  options.name = "tlog";
+  auto log = RecordLog::Open(path, options);
+  ASSERT_TRUE(log.ok());
+
+  // Fire on the SECOND append, after the bytes hit the file but before the
+  // record is indexed.
+  CrashPoints::Global().Arm("tlog.append.after", 2);
+  ASSERT_TRUE(log.value().Append(Payload(8, 1)).ok());
+  EXPECT_THROW(log.value().Append(Payload(8, 2)), CrashInjected);
+  EXPECT_TRUE(CrashPoints::Global().Fired());
+  EXPECT_EQ(CrashPoints::Global().HitCount("tlog.append.after"), 2u);
+  // The site self-disarms when it fires: recovery-time appends run through.
+  EXPECT_FALSE(CrashPoints::Global().Armed());
+
+  // The in-memory index never saw record 2, but its bytes are on disk — a
+  // reopen (recovery) finds the complete record and keeps it.
+  auto reopened = RecordLog::Open(path, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().Count(), 2u);
+  EXPECT_FALSE(reopened.value().RecoveredFromTornTail());
+}
+
+TEST(RecordLogTest, TornCrashSiteLeavesTornRecordForRecovery) {
+  const std::string path = TempPath("rlog_crash_torn.bin");
+  std::remove(path.c_str());
+  CrashGuard guard;
+  RecordLog::Options options;
+  options.name = "tlog";
+  auto log = RecordLog::Open(path, options);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log.value().Append(Payload(64, 1)).ok());
+
+  CrashPoints::Global().Arm("tlog.append.torn", 1);
+  EXPECT_THROW(log.value().Append(Payload(64, 2)), CrashInjected);
+  // Header plus half the payload made it to disk: exactly a power loss
+  // mid-write. Recovery truncates it.
+  auto reopened = RecordLog::Open(path, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value().RecoveredFromTornTail());
+  EXPECT_EQ(reopened.value().Count(), 1u);
+  EXPECT_EQ(reopened.value().Get(0).value(), Payload(64, 1));
+}
+
+TEST(RecordLogTest, BeforeCrashSiteLeavesFileUntouched) {
+  const std::string path = TempPath("rlog_crash_before.bin");
+  std::remove(path.c_str());
+  CrashGuard guard;
+  RecordLog::Options options;
+  options.name = "tlog";
+  auto log = RecordLog::Open(path, options);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log.value().Append(Payload(8, 1)).ok());
+  const std::uint64_t size_before = FileSize(path);
+
+  CrashPoints::Global().Arm("tlog.append.before", 1);
+  EXPECT_THROW(log.value().Append(Payload(8, 2)), CrashInjected);
+  EXPECT_EQ(FileSize(path), size_before);
+}
+
+TEST(RecordLogTest, DisarmedSitesAreFree) {
+  // No Arm(): every Hit is an early return; behavior identical to no sites.
+  const std::string path = TempPath("rlog_disarmed.bin");
+  std::remove(path.c_str());
+  auto log = RecordLog::Open(path);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(log.value().Append(Payload(8, static_cast<std::uint8_t>(i))).ok());
+  }
+  EXPECT_EQ(log.value().Count(), 100u);
+  EXPECT_FALSE(CrashPoints::Global().Fired());
+}
+
+TEST(CrashPointsTest, ArmReplacesAndHitCountsTrack) {
+  CrashGuard guard;
+  auto& cp = CrashPoints::Global();
+  cp.Arm("site.a", 3);
+  EXPECT_FALSE(cp.FireNow("site.b"));  // counted, not armed
+  EXPECT_FALSE(cp.FireNow("site.a"));  // 2 remaining
+  EXPECT_EQ(cp.HitCount("site.a"), 1u);
+  EXPECT_EQ(cp.HitCount("site.b"), 1u);
+  cp.Arm("site.b", 1);  // re-arm resets counters
+  EXPECT_EQ(cp.HitCount("site.a"), 0u);
+  EXPECT_TRUE(cp.FireNow("site.b"));
+  EXPECT_TRUE(cp.Fired());
+  EXPECT_FALSE(cp.FireNow("site.b"));  // fired once; disarmed
+}
+
+}  // namespace
+}  // namespace dcert::common

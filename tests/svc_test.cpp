@@ -14,12 +14,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "chain/node.h"
 #include "common/rng.h"
+#include "dcert/durable_issuer.h"
 #include "dcert/issuer.h"
 #include "dcert/superlight.h"
 #include "obs/metrics.h"
@@ -789,6 +791,146 @@ TEST(SvcStatsTest, EncodeDecodeRejectsMalformedBodies) {
     Bytes truncated(env.value().body.begin(), env.value().body.begin() + cut);
     auto bad = DecodeStatsBody(truncated);
     EXPECT_FALSE(bad.ok()) << "decoded a truncated body at " << cut;
+  }
+}
+
+/// Durable-issuer stores on disk for the Rehydrate tests: certifies `blocks`
+/// kv-store blocks through a DurableCertificateIssuer and leaves the block
+/// log, cert log, and sealed key behind (the issuer itself is torn down, as
+/// after a CI restart).
+struct DurableStoresRig {
+  chain::ChainConfig config;
+  std::shared_ptr<const chain::ContractRegistry> registry;
+  std::string block_log_path;
+  std::string cert_log_path;
+  std::uint64_t hot_account = 0;
+  std::uint64_t tip_height = 0;
+
+  DurableStoresRig(const std::string& tag, int blocks) {
+    config.difficulty_bits = 2;
+    registry = workloads::MakeBlockbenchRegistry(1);
+    block_log_path = ::testing::TempDir() + tag + "_blocks.log";
+    cert_log_path = ::testing::TempDir() + tag + "_certs.log";
+    const std::string key_path = ::testing::TempDir() + tag + "_key.sealed";
+    std::remove(block_log_path.c_str());
+    std::remove(cert_log_path.c_str());
+    std::remove(key_path.c_str());
+
+    core::DurableIssuerOptions options;
+    options.block_log_path = block_log_path;
+    options.cert_log_path = cert_log_path;
+    options.sealed_key_path = key_path;
+    auto ci = core::DurableCertificateIssuer::Open(config, registry, options);
+    if (!ci.ok()) throw std::runtime_error("open: " + ci.message());
+
+    chain::FullNode node(config, registry);
+    chain::Miner miner(node);
+    workloads::AccountPool pool(4, 91);
+    workloads::WorkloadGenerator::Params params;
+    params.kind = workloads::Workload::kKvStore;
+    params.instances_per_workload = 1;
+    params.kv_keys = 8;
+    workloads::WorkloadGenerator gen(params, pool);
+    for (int i = 0; i < blocks; ++i) {
+      auto block =
+          miner.MineBlock(gen.NextBlockTxs(6), 1700000000 + node.Height() * 15);
+      if (!block.ok()) throw std::runtime_error("mine: " + block.message());
+      if (Status st = node.SubmitBlock(block.value()); !st) {
+        throw std::runtime_error("submit: " + st.message());
+      }
+      if (Status st = ci.value().CertifyBlock(block.value()); !st) {
+        throw std::runtime_error("certify: " + st.message());
+      }
+      if (hot_account == 0) {
+        auto writes = query::ExtractHistoricalWrites(block.value());
+        if (!writes.empty()) hot_account = writes.front().account_word;
+      }
+    }
+    tip_height = static_cast<std::uint64_t>(blocks);
+  }
+};
+
+TEST(SvcRehydrateTest, RebuildsIndexFromDurableStoresAndServesCertifiedTip) {
+  const DurableStoresRig rig("rehydrate_ok", 4);
+  auto blocks = chain::BlockStore::Open(rig.block_log_path);
+  auto certs = core::CertificateStore::Open(rig.cert_log_path);
+  ASSERT_TRUE(blocks.ok()) << blocks.message();
+  ASSERT_TRUE(certs.ok()) << certs.message();
+
+  SpServer server(SpServerConfig{});
+  ASSERT_TRUE(server.Rehydrate(blocks.value(), certs.value()).ok());
+  SpServerStats stats = server.Stats();
+  EXPECT_EQ(stats.blocks_applied, rig.tip_height);
+  EXPECT_EQ(stats.tip_height, rig.tip_height);
+
+  // Rehydrate is a bootstrap, not a merge: a second call must refuse.
+  EXPECT_FALSE(server.Rehydrate(blocks.value(), certs.value()).ok());
+
+  // The restored tip serves and its BLOCK certificate validates exactly as a
+  // superlight client would check it. The index-certificate slot holds a
+  // placeholder that clients must REJECT (fail-safe: the durable stores hold
+  // block certs only; certified-index trust resumes with the next live
+  // announcement).
+  LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+  SpClient client(loopback.Connect());
+  auto tip = client.FetchTip();
+  ASSERT_TRUE(tip.ok()) << tip.message();
+  EXPECT_EQ(tip.value().header.height, rig.tip_height);
+  core::SuperlightClient light(core::ExpectedEnclaveMeasurement());
+  EXPECT_TRUE(
+      light.ValidateAndAccept(tip.value().header, tip.value().block_cert).ok());
+  EXPECT_FALSE(light
+                   .AcceptIndexCert(tip.value().header, tip.value().index_cert,
+                                    tip.value().index_digest, "historical")
+                   .ok());
+
+  // The rebuilt historical index serves proofs that verify against the
+  // served index digest.
+  auto r = client.Historical(rig.hot_account, 1, rig.tip_height);
+  ASSERT_TRUE(r.ok()) << r.message();
+  EXPECT_TRUE(query::HistoricalIndex::VerifyQuery(
+                  tip.value().index_digest, rig.hot_account, 1, rig.tip_height,
+                  r.value().proof)
+                  .ok());
+  server.Shutdown();
+}
+
+TEST(SvcRehydrateTest, RefusesUnreconciledOrMismatchedStores) {
+  const DurableStoresRig rig("rehydrate_bad", 3);
+  auto blocks = chain::BlockStore::Open(rig.block_log_path);
+  ASSERT_TRUE(blocks.ok());
+
+  // A certificate that does not bind its block (wrong digest) is rejected —
+  // rehydration validates like an announcement, it does not trust the disk.
+  {
+    const std::string path = ::testing::TempDir() + "rehydrate_swapped_certs.log";
+    std::remove(path.c_str());
+    auto good = core::CertificateStore::Open(rig.cert_log_path);
+    auto swapped = core::CertificateStore::Open(path);
+    ASSERT_TRUE(good.ok());
+    ASSERT_TRUE(swapped.ok());
+    // Cert for block 2 filed under block 1 (and vice versa).
+    ASSERT_TRUE(swapped.value().Append(good.value().Get(1).value()).ok());
+    ASSERT_TRUE(swapped.value().Append(good.value().Get(0).value()).ok());
+    ASSERT_TRUE(swapped.value().Append(good.value().Get(2).value()).ok());
+    SpServer server(SpServerConfig{});
+    EXPECT_FALSE(server.Rehydrate(blocks.value(), swapped.value()).ok());
+    EXPECT_EQ(server.Stats().blocks_applied, 0u);
+  }
+
+  // Cert log more than one record behind the block log: the CI must
+  // reconcile (re-certify the gap) before a server can trust the stores.
+  // (Runs last: the truncation physically shortens the rig's cert log.)
+  {
+    auto certs = core::CertificateStore::Open(rig.cert_log_path);
+    ASSERT_TRUE(certs.ok());
+    ASSERT_TRUE(certs.value().TruncateTo(1).ok());
+    SpServer server(SpServerConfig{});
+    Status st = server.Rehydrate(blocks.value(), certs.value());
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("reconcile"), std::string::npos) << st.message();
+    EXPECT_EQ(server.Stats().blocks_applied, 0u);
   }
 }
 

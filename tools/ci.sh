@@ -14,6 +14,14 @@
 # counters/histograms from many threads — the TSan leg is what certifies
 # the lock-free recording paths.
 #
+# Both sanitizer legs also run the crash-recovery suite (CrashRecovery +
+# CrashSoak): the soak repeatedly tears the pipelined issuer down mid-span
+# (thread cancel/join under an injected exception) and recovers, which is
+# exactly where TSan finds teardown races and ASan finds use-after-frees in
+# the store/issuer lifecycles. The seeded cycle count is bounded via
+# DCERT_CRASH_SOAK_CYCLES so the sanitizer runs stay inside the per-test
+# timeout (the Release leg runs the full default of 200 cycles).
+#
 # Every ctest invocation carries a per-test --timeout so a hung soak or a
 # deadlocked reader fails the run instead of wedging CI.
 #
@@ -34,19 +42,22 @@ ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}" \
 echo "=== [2/3] TSan build + threaded tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
-  thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test obs_test
+  thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test \
+  obs_test record_log_test crash_recovery_test
+DCERT_CRASH_SOAK_CYCLES=50 \
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}" \
-  -R 'ThreadPool|ParallelEquivalence|Smt|Svc|Counter|Gauge|Histogram|Registry|Trace|Enabled'
+  -R 'ThreadPool|ParallelEquivalence|Smt|Svc|Counter|Gauge|Histogram|Registry|Trace|Enabled|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer'
   # Svc matches SvcFaultTest/SvcTcpTest/SvcStatsTest; the obs suites cover
   # the concurrent counter/histogram/trace hammering.
 
 echo "=== [3/3] ASan build + serving/transport tests ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target \
-  svc_test net_test thread_pool_test obs_test
+  svc_test net_test thread_pool_test obs_test record_log_test crash_recovery_test
+DCERT_CRASH_SOAK_CYCLES=50 \
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}" \
-  -R 'Svc|SimNet|ThreadPool|Counter|Gauge|Histogram|Registry|Trace|Enabled|Export|Overhead'
+  -R 'Svc|SimNet|ThreadPool|Counter|Gauge|Histogram|Registry|Trace|Enabled|Export|Overhead|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer'
 
 echo "CI OK"
