@@ -219,8 +219,14 @@ class MetricsDelta {
  public:
   MetricsDelta() : base_(obs::MetricsRegistry::Global().Snapshot()) {}
   std::string Json() const {
-    return obs::ToJson(
-        obs::MetricsRegistry::Global().Snapshot().DeltaFrom(base_));
+    obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::Global().Snapshot().DeltaFrom(base_);
+    // A histogram no code path fed during this run is noise in a committed
+    // artifact (and reads as dead instrumentation) — drop it. Stages the
+    // bench *does* exercise must show up with real counts.
+    std::erase_if(delta.histograms,
+                  [](const auto& kv) { return kv.second.count == 0; });
+    return obs::ToJson(delta);
   }
 
  private:

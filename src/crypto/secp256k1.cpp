@@ -1,6 +1,7 @@
 #include "crypto/secp256k1.h"
 
 #include <stdexcept>
+#include <vector>
 
 namespace dcert::crypto {
 
@@ -204,6 +205,46 @@ JacobianPoint DoubleScalarMul(const U256& a, const U256& b, const AffinePoint& p
   if (p.infinity || b.IsZero()) return ScalarMulBase(a);
   WindowTable table_p = BuildWindowTable(p);
   return WindowedMul(&a, &GeneratorTable(), &b, &table_p);
+}
+
+JacobianPoint MultiScalarMul(const MsmTerm* terms, std::size_t n) {
+  // One table per live term, then a single shared doubling ladder.
+  std::vector<WindowTable> tables;
+  std::vector<const U256*> scalars;
+  tables.reserve(n);
+  scalars.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (terms[i].scalar.IsZero() || terms[i].point.infinity) continue;
+    tables.push_back(BuildWindowTable(terms[i].point));
+    scalars.push_back(&terms[i].scalar);
+  }
+  JacobianPoint acc = JacobianPoint::Infinity();
+  for (int w = 63; w >= 0; --w) {
+    if (w != 63) {
+      acc = Double(acc);
+      acc = Double(acc);
+      acc = Double(acc);
+      acc = Double(acc);
+    }
+    for (std::size_t i = 0; i < scalars.size(); ++i) {
+      unsigned nib = Nibble(*scalars[i], w);
+      if (nib != 0) acc = AddJacobian(acc, tables[i][nib]);
+    }
+  }
+  return acc;
+}
+
+std::optional<AffinePoint> LiftX(const U256& x) {
+  if (x >= kP) return std::nullopt;
+  const ModArith& fp = FpArith();
+  U256 rhs = fp.Add(fp.Mul(fp.Sqr(x), x), U256(7));
+  // sqrt via a^((p+1)/4) — valid because p ≡ 3 (mod 4).
+  static const U256 kSqrtExp = U256::FromHex(
+      "3fffffffffffffffffffffffffffffffffffffffffffffffffffffffbfffff0c");
+  U256 y = fp.Pow(rhs, kSqrtExp);
+  if (fp.Sqr(y) != rhs) return std::nullopt;
+  if (y.IsOdd()) y = fp.Neg(y);
+  return AffinePoint{x, y, false};
 }
 
 }  // namespace dcert::crypto

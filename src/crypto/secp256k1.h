@@ -59,6 +59,21 @@ JacobianPoint ScalarMulBase(const U256& k);
 /// a*G + b*P — the verifier's workhorse (Shamir's trick).
 JacobianPoint DoubleScalarMul(const U256& a, const U256& b, const AffinePoint& p);
 
+/// One term of a multi-scalar multiplication.
+struct MsmTerm {
+  U256 scalar;
+  AffinePoint point;
+};
+
+/// Σ scalar_i * point_i with one shared doubling ladder (Strauss): 256
+/// doublings total regardless of n, plus ~64 windowed additions per term.
+/// The batch verifier's workhorse.
+JacobianPoint MultiScalarMul(const MsmTerm* terms, std::size_t n);
+
+/// The even-Y curve point with x-coordinate `x`, or nullopt when x is not on
+/// the curve (or >= p). BIP340-style x-only decompression.
+std::optional<AffinePoint> LiftX(const U256& x);
+
 const AffinePoint& Generator();
 
 }  // namespace dcert::crypto

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "crypto/sha256_batch.h"
 #include "crypto/sha256_compress.h"
 
 namespace dcert::crypto {
@@ -77,7 +78,11 @@ void CompressScalar(std::uint32_t state[8], const std::uint8_t* blocks,
 }
 
 CompressFn GetCompressFn() {
-  static const CompressFn fn = ShaNiSupported() ? &CompressShaNi : &CompressScalar;
+  // ActiveStreamBackend() folds in CPU support and the DCERT_FORCE_* env
+  // overrides; it never names a backend this CPU cannot run.
+  static const CompressFn fn =
+      ActiveStreamBackend() == ShaBackend::kShaNi ? &CompressShaNi
+                                                  : &CompressScalar;
   return fn;
 }
 
@@ -110,6 +115,9 @@ void Sha256::ProcessBlock(const std::uint8_t* block) {
 
 void Sha256::Update(ByteView data) {
   if (finalized_) throw std::logic_error("Sha256::Update after Finalize");
+  // An empty view may carry a null data(); bail before handing that to
+  // memcpy (UB even for zero lengths).
+  if (data.empty()) return;
   bit_count_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -1,0 +1,208 @@
+// AVX2 8-lane multi-buffer SHA-256: eight independent messages advance in
+// lockstep, with the hash state held transposed across ymm registers — vector
+// slot i of every register belongs to lane i, so one scalar round expressed in
+// 32-bit vector ops performs the round for all eight lanes at once. The state
+// is transposed once on entry and once on exit; message words are transposed
+// per block with the classic unpack/permute2x128 8x8 network.
+//
+// This is the only translation unit compiled with -mavx2; callers must check
+// Avx2Supported() before using CompressAvx2x8.
+#include "crypto/sha256_compress.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+
+namespace dcert::crypto::internal {
+
+bool Avx2Supported() { return __builtin_cpu_supports("avx2"); }
+
+namespace {
+
+// Transposes an 8x8 matrix of 32-bit words held row-major in r[0..7].
+inline void Transpose8x8(__m256i r[8]) {
+  const __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+  const __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+  const __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+  const __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+  const __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+  const __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+  const __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+  const __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+  const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+  r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+  r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+  r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+  r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+  r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+  r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+  r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+  r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+inline __m256i Ror(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+
+inline __m256i BigSigma0(__m256i x) {
+  return _mm256_xor_si256(_mm256_xor_si256(Ror(x, 2), Ror(x, 13)), Ror(x, 22));
+}
+inline __m256i BigSigma1(__m256i x) {
+  return _mm256_xor_si256(_mm256_xor_si256(Ror(x, 6), Ror(x, 11)), Ror(x, 25));
+}
+inline __m256i SmallSigma0(__m256i x) {
+  return _mm256_xor_si256(_mm256_xor_si256(Ror(x, 7), Ror(x, 18)),
+                          _mm256_srli_epi32(x, 3));
+}
+inline __m256i SmallSigma1(__m256i x) {
+  return _mm256_xor_si256(_mm256_xor_si256(Ror(x, 17), Ror(x, 19)),
+                          _mm256_srli_epi32(x, 10));
+}
+// Ch(e,f,g) = (e & f) ^ (~e & g), as g ^ (e & (f ^ g)) to save an op.
+inline __m256i Ch(__m256i e, __m256i f, __m256i g) {
+  return _mm256_xor_si256(g, _mm256_and_si256(e, _mm256_xor_si256(f, g)));
+}
+// Maj(a,b,c) = (a & b) | (c & (a | b)).
+inline __m256i Maj(__m256i a, __m256i b, __m256i c) {
+  return _mm256_or_si256(_mm256_and_si256(a, b),
+                         _mm256_and_si256(c, _mm256_or_si256(a, b)));
+}
+
+}  // namespace
+
+void CompressAvx2x8(std::uint32_t* states, const std::uint8_t* const* blocks,
+                    std::size_t n) {
+  // Byte-swap each 32-bit word (big-endian message load), per 128-bit lane.
+  const __m256i kBswap = _mm256_set_epi8(
+      12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3,
+      12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3);
+
+  // Load lane-major state and transpose so s[w] holds word w of all lanes.
+  __m256i s[8];
+  for (int lane = 0; lane < 8; ++lane) {
+    s[lane] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(states + 8 * lane));
+  }
+  Transpose8x8(s);
+
+  for (std::size_t blk = 0; blk < n; ++blk) {
+    const std::uint8_t* const* lane_blocks = blocks + blk * 8;
+
+    __m256i w[16];
+    for (int half = 0; half < 2; ++half) {
+      __m256i r[8];
+      for (int lane = 0; lane < 8; ++lane) {
+        r[lane] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(lane_blocks[lane] + 32 * half));
+      }
+      Transpose8x8(r);
+      for (int word = 0; word < 8; ++word) {
+        w[8 * half + word] = _mm256_shuffle_epi8(r[word], kBswap);
+      }
+    }
+
+    __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+    __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+
+// One round for all 8 lanes; callers rotate the argument list instead of
+// shifting registers (H receives T1+T2, D receives D+T1).
+#define DCERT_AVX2_RND(A, B, C, D, E, F, G, H, W, K)                      \
+  do {                                                                    \
+    const __m256i t1 = _mm256_add_epi32(                                  \
+        _mm256_add_epi32(_mm256_add_epi32(H, BigSigma1(E)),               \
+                         _mm256_add_epi32(Ch(E, F, G),                    \
+                                          _mm256_set1_epi32(              \
+                                              static_cast<int>(K)))),     \
+        W);                                                               \
+    const __m256i t2 = _mm256_add_epi32(BigSigma0(A), Maj(A, B, C));      \
+    D = _mm256_add_epi32(D, t1);                                          \
+    H = _mm256_add_epi32(t1, t2);                                         \
+  } while (0)
+
+// Eight rounds = one full cycle of the argument rotation.
+#define DCERT_AVX2_RND8(W0, W1, W2, W3, W4, W5, W6, W7, KBASE)            \
+  DCERT_AVX2_RND(a, b, c, d, e, f, g, h, W0, kSha256K[(KBASE) + 0]);      \
+  DCERT_AVX2_RND(h, a, b, c, d, e, f, g, W1, kSha256K[(KBASE) + 1]);      \
+  DCERT_AVX2_RND(g, h, a, b, c, d, e, f, W2, kSha256K[(KBASE) + 2]);      \
+  DCERT_AVX2_RND(f, g, h, a, b, c, d, e, W3, kSha256K[(KBASE) + 3]);      \
+  DCERT_AVX2_RND(e, f, g, h, a, b, c, d, W4, kSha256K[(KBASE) + 4]);      \
+  DCERT_AVX2_RND(d, e, f, g, h, a, b, c, W5, kSha256K[(KBASE) + 5]);      \
+  DCERT_AVX2_RND(c, d, e, f, g, h, a, b, W6, kSha256K[(KBASE) + 6]);      \
+  DCERT_AVX2_RND(b, c, d, e, f, g, h, a, W7, kSha256K[(KBASE) + 7]);
+
+// Message-schedule step on the 16-entry ring: w[j] corresponds to w[i-16]
+// for round i with j = i mod 16.
+#define DCERT_AVX2_WUPD(J)                                                \
+  w[(J)] = _mm256_add_epi32(                                              \
+      _mm256_add_epi32(w[(J)], SmallSigma0(w[((J) + 1) & 15])),           \
+      _mm256_add_epi32(w[((J) + 9) & 15], SmallSigma1(w[((J) + 14) & 15])))
+
+#define DCERT_AVX2_WUPD8(BASE)                                            \
+  DCERT_AVX2_WUPD((BASE) + 0); DCERT_AVX2_WUPD((BASE) + 1);               \
+  DCERT_AVX2_WUPD((BASE) + 2); DCERT_AVX2_WUPD((BASE) + 3);               \
+  DCERT_AVX2_WUPD((BASE) + 4); DCERT_AVX2_WUPD((BASE) + 5);               \
+  DCERT_AVX2_WUPD((BASE) + 6); DCERT_AVX2_WUPD((BASE) + 7)
+
+    DCERT_AVX2_RND8(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], 0);
+    DCERT_AVX2_RND8(w[8], w[9], w[10], w[11], w[12], w[13], w[14], w[15], 8);
+    DCERT_AVX2_WUPD8(0);
+    DCERT_AVX2_RND8(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], 16);
+    DCERT_AVX2_WUPD8(8);
+    DCERT_AVX2_RND8(w[8], w[9], w[10], w[11], w[12], w[13], w[14], w[15], 24);
+    DCERT_AVX2_WUPD8(0);
+    DCERT_AVX2_RND8(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], 32);
+    DCERT_AVX2_WUPD8(8);
+    DCERT_AVX2_RND8(w[8], w[9], w[10], w[11], w[12], w[13], w[14], w[15], 40);
+    DCERT_AVX2_WUPD8(0);
+    DCERT_AVX2_RND8(w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], 48);
+    DCERT_AVX2_WUPD8(8);
+    DCERT_AVX2_RND8(w[8], w[9], w[10], w[11], w[12], w[13], w[14], w[15], 56);
+
+#undef DCERT_AVX2_WUPD8
+#undef DCERT_AVX2_WUPD
+#undef DCERT_AVX2_RND8
+#undef DCERT_AVX2_RND
+
+    s[0] = _mm256_add_epi32(s[0], a);
+    s[1] = _mm256_add_epi32(s[1], b);
+    s[2] = _mm256_add_epi32(s[2], c);
+    s[3] = _mm256_add_epi32(s[3], d);
+    s[4] = _mm256_add_epi32(s[4], e);
+    s[5] = _mm256_add_epi32(s[5], f);
+    s[6] = _mm256_add_epi32(s[6], g);
+    s[7] = _mm256_add_epi32(s[7], h);
+  }
+
+  Transpose8x8(s);
+  for (int lane = 0; lane < 8; ++lane) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(states + 8 * lane),
+                        s[lane]);
+  }
+}
+
+}  // namespace dcert::crypto::internal
+
+#else  // non-x86 fallback
+
+namespace dcert::crypto::internal {
+
+bool Avx2Supported() { return false; }
+
+void CompressAvx2x8(std::uint32_t* states, const std::uint8_t* const* blocks,
+                    std::size_t n) {
+  for (std::size_t blk = 0; blk < n; ++blk) {
+    for (int lane = 0; lane < 8; ++lane) {
+      CompressScalar(states + 8 * lane, blocks[blk * 8 + lane], 1);
+    }
+  }
+}
+
+}  // namespace dcert::crypto::internal
+
+#endif

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/bytes.h"
 #include "crypto/secp256k1.h"
@@ -64,5 +65,20 @@ class SecretKey {
 
 /// Verifies a signature on a 32-byte digest. Constant work (two scalar mults).
 bool Verify(const PublicKey& pk, const Hash256& digest32, const Signature& sig);
+
+/// One verification job; all pointers must outlive the VerifyBatch call.
+struct VerifyJob {
+  const PublicKey* pk = nullptr;
+  const Hash256* digest = nullptr;
+  const Signature* sig = nullptr;
+};
+
+/// Batched Schnorr verification. Combines all jobs into one random-linear-
+/// combination equation evaluated by a shared-doubling multi-scalar
+/// multiplication, merging challenge scalars per distinct public key (an
+/// announcement flood signed by a handful of validators collapses to a few
+/// point terms). When the combined equation fails, the batch is bisected to
+/// isolate the offenders. Returns exactly what per-job Verify would return.
+std::vector<bool> VerifyBatch(const VerifyJob* jobs, std::size_t n);
 
 }  // namespace dcert::crypto

@@ -63,4 +63,40 @@ Status VerifyCertificateEnvelope(const BlockCertificate& cert,
   return Status::Ok();
 }
 
+std::vector<Status> VerifyCertificateEnvelopesBatch(
+    const BlockCertificate* const* certs, std::size_t n,
+    const Hash256& expected_measurement) {
+  const crypto::PublicKey& ias_pk = sgxsim::AttestationService::IasPublicKey();
+  std::vector<Hash256> quote_digests(n);
+  std::vector<crypto::VerifyJob> jobs(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BlockCertificate& cert = *certs[i];
+    quote_digests[i] = cert.report.quote.Digest();
+    jobs[2 * i] = {&ias_pk, &quote_digests[i], &cert.report.ias_signature};
+    jobs[2 * i + 1] = {&cert.pk_enc, &cert.digest, &cert.sig};
+  }
+  std::vector<bool> sig_ok = crypto::VerifyBatch(jobs.data(), jobs.size());
+
+  // Same check cascade (and messages) as VerifyCertificateEnvelope, with the
+  // signature verdicts read from the batch.
+  std::vector<Status> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BlockCertificate& cert = *certs[i];
+    if (!sig_ok[2 * i]) {
+      out.push_back(Status::Error("attestation report is not signed by the IAS"));
+    } else if (cert.report.quote.measurement != expected_measurement) {
+      out.push_back(Status::Error("certificate enclave measurement mismatch"));
+    } else if (cert.report.quote.report_data != KeyBindingReportData(cert.pk_enc)) {
+      out.push_back(
+          Status::Error("enclave key does not match the attestation report"));
+    } else if (!sig_ok[2 * i + 1]) {
+      out.push_back(Status::Error("certificate signature invalid"));
+    } else {
+      out.push_back(Status::Ok());
+    }
+  }
+  return out;
+}
+
 }  // namespace dcert::core

@@ -6,6 +6,8 @@
 //    block it reflects.
 #pragma once
 
+#include <vector>
+
 #include "common/bytes.h"
 #include "common/serialize.h"
 #include "common/status.h"
@@ -46,5 +48,15 @@ Hash256 KeyBindingReportData(const crypto::PublicKey& pk_enc);
 /// The caller then compares cert.digest against its expected value.
 Status VerifyCertificateEnvelope(const BlockCertificate& cert,
                                  const Hash256& expected_measurement);
+
+/// Batched VerifyCertificateEnvelope: structural checks run per certificate,
+/// while every signature in the batch (the IAS report signature and the
+/// enclave digest signature of each cert) goes through one
+/// crypto::VerifyBatch — the n IAS checks share a single point term. The
+/// returned statuses (order, messages) are exactly what the single-cert call
+/// would produce for each certificate.
+std::vector<Status> VerifyCertificateEnvelopesBatch(
+    const BlockCertificate* const* certs, std::size_t n,
+    const Hash256& expected_measurement);
 
 }  // namespace dcert::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/sha256.h"
+#include "crypto/sha256_batch.h"
 #include "mht/node_hash.h"
 
 namespace dcert::mht {
@@ -83,7 +84,7 @@ struct MbTree::Node {
   std::vector<Bytes> values;
   std::vector<Hash256> value_hashes;
   // Internal payload (children sorted by min key).
-  std::vector<std::unique_ptr<Node>> children;
+  std::vector<common::ArenaPtr<Node>> children;
 
   Hash256 hash;
   std::uint64_t min = 0;
@@ -122,10 +123,20 @@ struct MbTree::Node {
   }
 };
 
-MbTree::MbTree() = default;
+MbTree::MbTree() : arena_(std::make_unique<common::Arena<Node>>()) {}
 MbTree::~MbTree() = default;
 MbTree::MbTree(MbTree&&) noexcept = default;
-MbTree& MbTree::operator=(MbTree&&) noexcept = default;
+MbTree& MbTree::operator=(MbTree&& o) noexcept {
+  if (this != &o) {
+    root_.reset();  // our nodes must die before our arena (member-wise
+                    // assignment would free the arena first)
+    arena_ = std::move(o.arena_);
+    root_ = std::move(o.root_);
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+  return *this;
+}
 
 Hash256 MbTree::EmptyRoot() { return LeafHash({}); }
 
@@ -142,27 +153,49 @@ std::optional<std::uint64_t> MbTree::MaxKey() const {
 
 namespace {
 
+using MbNodePtr = common::ArenaPtr<MbTree::Node>;
+using MbArena = common::Arena<MbTree::Node>;
+
 /// Recursive insert; returns the split-off right sibling if the node overflowed.
-std::unique_ptr<MbTree::Node> InsertRec(MbTree::Node* node, std::uint64_t key,
-                                        Bytes value, Hash256 value_hash);
+MbNodePtr InsertRec(MbArena& arena, MbTree::Node* node, std::uint64_t key,
+                    Bytes value, Hash256 value_hash);
 
 }  // namespace
 
 void MbTree::Insert(std::uint64_t key, Bytes value) {
   Hash256 vh = crypto::Sha256::Digest(value);
+  InsertWithHash(key, std::move(value), vh);
+}
+
+void MbTree::InsertBatch(std::vector<MbEntry> entries) {
+  // One multi-buffer dispatch for every value digest, then the structural
+  // inserts reuse the precomputed hashes. Identical to sequential Inserts.
+  std::vector<Hash256> hashes(entries.size());
+  std::vector<crypto::HashJob> jobs(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    jobs[i] = {entries[i].value.data(), entries[i].value.size(), &hashes[i]};
+  }
+  crypto::HashMany(jobs.data(), jobs.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    InsertWithHash(entries[i].key, std::move(entries[i].value), hashes[i]);
+  }
+}
+
+void MbTree::InsertWithHash(std::uint64_t key, Bytes value,
+                            const Hash256& value_hash) {
   if (!root_) {
-    root_ = std::make_unique<Node>();
+    root_ = common::MakeArenaPtr(*arena_);
     root_->is_leaf = true;
     root_->keys.push_back(key);
     root_->values.push_back(std::move(value));
-    root_->value_hashes.push_back(vh);
+    root_->value_hashes.push_back(value_hash);
     root_->Recompute();
     size_ = 1;
     return;
   }
-  auto sibling = InsertRec(root_.get(), key, std::move(value), vh);
+  auto sibling = InsertRec(*arena_, root_.get(), key, std::move(value), value_hash);
   if (sibling) {
-    auto new_root = std::make_unique<Node>();
+    auto new_root = common::MakeArenaPtr(*arena_);
     new_root->is_leaf = false;
     new_root->children.push_back(std::move(root_));
     new_root->children.push_back(std::move(sibling));
@@ -174,7 +207,7 @@ void MbTree::Insert(std::uint64_t key, Bytes value) {
 
 namespace {
 
-std::unique_ptr<MbTree::Node> SplitIfNeeded(MbTree::Node* node) {
+MbNodePtr SplitIfNeeded(MbArena& arena, MbTree::Node* node) {
   const std::size_t count = node->is_leaf ? node->keys.size() : node->children.size();
   if (count <= MbTree::kFanout) {
     node->Recompute();
@@ -182,7 +215,7 @@ std::unique_ptr<MbTree::Node> SplitIfNeeded(MbTree::Node* node) {
   }
   // Deterministic split: left keeps ceil(n/2). ApplyAppend mirrors this rule.
   const std::size_t left_count = (count + 1) / 2;
-  auto right = std::make_unique<MbTree::Node>();
+  auto right = common::MakeArenaPtr(arena);
   right->is_leaf = node->is_leaf;
   if (node->is_leaf) {
     right->keys.assign(node->keys.begin() + static_cast<std::ptrdiff_t>(left_count),
@@ -209,8 +242,8 @@ std::unique_ptr<MbTree::Node> SplitIfNeeded(MbTree::Node* node) {
   return right;
 }
 
-std::unique_ptr<MbTree::Node> InsertRec(MbTree::Node* node, std::uint64_t key,
-                                        Bytes value, Hash256 value_hash) {
+MbNodePtr InsertRec(MbArena& arena, MbTree::Node* node, std::uint64_t key,
+                    Bytes value, Hash256 value_hash) {
   if (node->is_leaf) {
     auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
     if (it != node->keys.end() && *it == key) {
@@ -222,19 +255,20 @@ std::unique_ptr<MbTree::Node> InsertRec(MbTree::Node* node, std::uint64_t key,
                         std::move(value));
     node->value_hashes.insert(
         node->value_hashes.begin() + static_cast<std::ptrdiff_t>(idx), value_hash);
-    return SplitIfNeeded(node);
+    return SplitIfNeeded(arena, node);
   }
   // Descend into the last child whose min does not exceed the key.
   std::size_t idx = 0;
   for (std::size_t i = 0; i < node->children.size(); ++i) {
     if (node->children[i]->min <= key) idx = i;
   }
-  auto sibling = InsertRec(node->children[idx].get(), key, std::move(value), value_hash);
+  auto sibling =
+      InsertRec(arena, node->children[idx].get(), key, std::move(value), value_hash);
   if (sibling) {
     node->children.insert(node->children.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
                           std::move(sibling));
   }
-  return SplitIfNeeded(node);
+  return SplitIfNeeded(arena, node);
 }
 
 MbProofNode::Child StubOf(const MbTree::Node& child) {

@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "common/serialize.h"
 #include "common/status.h"
@@ -121,6 +122,10 @@ class MbTree {
   /// one timestamp).
   void Insert(std::uint64_t key, Bytes value);
 
+  /// Bulk insert: identical to calling Insert per entry in order, but all
+  /// value digests are computed in one multi-buffer hash dispatch first.
+  void InsertBatch(std::vector<MbEntry> entries);
+
   Hash256 Root() const;
   std::size_t Size() const { return size_; }
   std::optional<std::uint64_t> MaxKey() const;
@@ -186,7 +191,12 @@ class MbTree {
   struct Node;
 
  private:
-  std::unique_ptr<Node> root_;
+  void InsertWithHash(std::uint64_t key, Bytes value, const Hash256& value_hash);
+
+  // The arena outlives root_ (declared first => destroyed last); see
+  // common/arena.h for the lifetime rules.
+  std::unique_ptr<common::Arena<Node>> arena_;
+  common::ArenaPtr<Node> root_;
   std::size_t size_ = 0;
 };
 

@@ -35,22 +35,32 @@ Hash256 MerkleTree::LeafHash(const Hash256& item_digest) {
 
 MerkleTree::MerkleTree(std::vector<Hash256> leaf_hashes)
     : leaf_count_(leaf_hashes.size()) {
-  std::vector<Hash256> level;
-  level.reserve(leaf_hashes.size());
-  for (const Hash256& h : leaf_hashes) level.push_back(LeafHash(h));
-  if (level.empty()) {
+  if (leaf_hashes.empty()) {
     root_ = TaggedDigest(NodeTag::kMerkleInternal, {});
     return;
   }
-  levels_.push_back(level);
+  // Every level is hashed in one multi-buffer dispatch: all leaf tags first,
+  // then all sibling pairs of each internal level.
+  std::vector<Hash256> level(leaf_hashes.size());
+  {
+    std::vector<NodeLeafJob> jobs(leaf_hashes.size());
+    for (std::size_t i = 0; i < leaf_hashes.size(); ++i) {
+      jobs[i] = {&leaf_hashes[i], &level[i]};
+    }
+    TaggedDigestMany32(NodeTag::kMerkleLeaf, jobs.data(), jobs.size());
+  }
+  levels_.push_back(std::move(level));
+  std::vector<NodePairJob> jobs;
   while (levels_.back().size() > 1) {
     const std::vector<Hash256>& prev = levels_.back();
-    std::vector<Hash256> next;
-    next.reserve((prev.size() + 1) / 2);
+    std::vector<Hash256> next((prev.size() + 1) / 2);
+    jobs.clear();
+    jobs.reserve(prev.size() / 2);
     for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
-      next.push_back(TaggedDigest2(NodeTag::kMerkleInternal, prev[i], prev[i + 1]));
+      jobs.push_back({&prev[i], &prev[i + 1], &next[i / 2]});
     }
-    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote odd node
+    TaggedDigest2Many(NodeTag::kMerkleInternal, jobs.data(), jobs.size());
+    if (prev.size() % 2 == 1) next.back() = prev.back();  // promote odd node
     levels_.push_back(std::move(next));
   }
   root_ = levels_.back().front();

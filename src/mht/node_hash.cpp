@@ -1,6 +1,44 @@
 #include "mht/node_hash.h"
 
+#include <cstring>
+#include <vector>
+
+#include "crypto/sha256_batch.h"
+
 namespace dcert::mht {
+
+namespace {
+
+// Messages are materialized pre-padded into chunked scratch so a batch of any
+// size stays inside a few pages of working memory while the hasher runs.
+constexpr std::size_t kChunkJobs = 256;
+
+// The scratch slots have fixed geometry, so the constant suffix of every
+// padded message — tag byte, 0x80 terminator, zeros, big-endian bit length —
+// is written once per slot up front; the per-job loops then only copy the
+// hash payload bytes.
+
+// Slot prefix for H(tag || payload32): 33 bytes of message in one block,
+// 264-bit length.
+inline void PrePadLeaf(std::uint8_t* buf, NodeTag tag) {
+  buf[0] = static_cast<std::uint8_t>(tag);
+  buf[33] = 0x80;
+  std::memset(buf + 34, 0, 28);
+  buf[62] = 0x01;  // 33 * 8 = 264 = 0x0108 bits
+  buf[63] = 0x08;
+}
+
+// Slot prefix for H(tag || left || right): 65 bytes of message in two
+// blocks, 520-bit length.
+inline void PrePadPair(std::uint8_t* buf, NodeTag tag) {
+  buf[0] = static_cast<std::uint8_t>(tag);
+  buf[65] = 0x80;
+  std::memset(buf + 66, 0, 60);
+  buf[126] = 0x02;  // 65 * 8 = 520 = 0x0208 bits
+  buf[127] = 0x08;
+}
+
+}  // namespace
 
 Hash256 TaggedDigest(NodeTag tag, ByteView payload) {
   crypto::Sha256 ctx;
@@ -18,5 +56,65 @@ Hash256 TaggedDigest2(NodeTag tag, const Hash256& left, const Hash256& right) {
   ctx.Update(right.View());
   return ctx.Finalize();
 }
+
+void TaggedDigest2Many(NodeTag tag, const NodePairJob* jobs, std::size_t n) {
+  // Scratch persists across calls (the SMT fold loop issues one call per
+  // tree level); the constant padding is only rewritten when the tag
+  // changes. Thread-local keeps the sharded path race-free.
+  thread_local std::vector<std::uint8_t> scratch;
+  thread_local std::vector<crypto::PaddedJob> padded;
+  thread_local int padded_tag = -1;
+  if (scratch.size() < kChunkJobs * 128) {
+    scratch.resize(kChunkJobs * 128);
+    padded.resize(kChunkJobs);
+    padded_tag = -1;
+  }
+  if (padded_tag != static_cast<int>(tag)) {
+    for (std::size_t i = 0; i < kChunkJobs; ++i) {
+      PrePadPair(scratch.data() + i * 128, tag);
+    }
+    padded_tag = static_cast<int>(tag);
+  }
+  for (std::size_t start = 0; start < n; start += kChunkJobs) {
+    const std::size_t take = std::min(kChunkJobs, n - start);
+    for (std::size_t i = 0; i < take; ++i) {
+      const NodePairJob& job = jobs[start + i];
+      std::uint8_t* buf = scratch.data() + i * 128;
+      std::memcpy(buf + 1, job.left->data().data(), 32);
+      std::memcpy(buf + 33, job.right->data().data(), 32);
+      padded[i] = {buf, job.out->begin()};
+    }
+    crypto::HashPadded(padded.data(), take, /*m=*/2);
+  }
+}
+
+void TaggedDigestMany32(NodeTag tag, const NodeLeafJob* jobs, std::size_t n) {
+  thread_local std::vector<std::uint8_t> scratch;
+  thread_local std::vector<crypto::PaddedJob> padded;
+  thread_local int padded_tag = -1;
+  if (scratch.size() < kChunkJobs * 64) {
+    scratch.resize(kChunkJobs * 64);
+    padded.resize(kChunkJobs);
+    padded_tag = -1;
+  }
+  if (padded_tag != static_cast<int>(tag)) {
+    for (std::size_t i = 0; i < kChunkJobs; ++i) {
+      PrePadLeaf(scratch.data() + i * 64, tag);
+    }
+    padded_tag = static_cast<int>(tag);
+  }
+  for (std::size_t start = 0; start < n; start += kChunkJobs) {
+    const std::size_t take = std::min(kChunkJobs, n - start);
+    for (std::size_t i = 0; i < take; ++i) {
+      const NodeLeafJob& job = jobs[start + i];
+      std::uint8_t* buf = scratch.data() + i * 64;
+      std::memcpy(buf + 1, job.payload->data().data(), 32);
+      padded[i] = {buf, job.out->begin()};
+    }
+    crypto::HashPadded(padded.data(), take, /*m=*/1);
+  }
+}
+
+void PrePadPairSlot(std::uint8_t* slot, NodeTag tag) { PrePadPair(slot, tag); }
 
 }  // namespace dcert::mht

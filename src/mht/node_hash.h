@@ -29,4 +29,36 @@ Hash256 TaggedDigest(NodeTag tag, ByteView payload);
 /// H(tag || left || right) — the two-child internal node idiom.
 Hash256 TaggedDigest2(NodeTag tag, const Hash256& left, const Hash256& right);
 
+/// One sibling-pair hash job for the batched internal-node idiom. `out` may
+/// alias `left` or `right`: the message is materialized before any digest is
+/// written back.
+struct NodePairJob {
+  const Hash256* left = nullptr;
+  const Hash256* right = nullptr;
+  Hash256* out = nullptr;
+};
+
+/// Batched TaggedDigest2: out[i] = H(tag || *left[i] || *right[i]), fed
+/// through the multi-buffer SHA-256 backend (the 65-byte message is exactly
+/// two padded blocks). Byte-identical to calling TaggedDigest2 per job.
+void TaggedDigest2Many(NodeTag tag, const NodePairJob* jobs, std::size_t n);
+
+/// One 32-byte-payload hash job (the leaf idiom over a digest).
+struct NodeLeafJob {
+  const Hash256* payload = nullptr;
+  Hash256* out = nullptr;
+};
+
+/// Batched TaggedDigest over 32-byte payloads: out[i] = H(tag || *payload[i])
+/// (a 33-byte message, exactly one padded block).
+void TaggedDigestMany32(NodeTag tag, const NodeLeafJob* jobs, std::size_t n);
+
+/// Writes the constant bytes of the 128-byte pre-padded H(tag || l || r)
+/// message into `slot`: tag at 0, 0x80 terminator, zeros, and the 520-bit
+/// length. The caller fills bytes [1,33) and [33,65) with the operands and
+/// hands the slot to crypto::HashPadded with m=2. Lets long fold chains keep
+/// one persistent slot per chain and store each level's digest directly into
+/// the next message (see SMT batch rehash).
+void PrePadPairSlot(std::uint8_t* slot, NodeTag tag);
+
 }  // namespace dcert::mht

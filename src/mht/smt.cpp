@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <cstring>
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "crypto/sha256_batch.h"
 #include "mht/node_hash.h"
 
 namespace dcert::mht {
@@ -62,15 +64,31 @@ struct SparseMerkleTree::Node {
   // Leaf payload (singleton subtree).
   Hash256 key;
   Hash256 value_hash;
-  // Branch children (either may be null = all-default subtree).
-  std::unique_ptr<Node> left;
-  std::unique_ptr<Node> right;
+  // Branch children (either may be null = all-default subtree). Arena-owned:
+  // the tree's arena outlives every node.
+  NodePtr left;
+  NodePtr right;
 };
 
-SparseMerkleTree::SparseMerkleTree() = default;
+SparseMerkleTree::SparseMerkleTree()
+    : arena_(std::make_unique<common::Arena<Node>>()) {}
 SparseMerkleTree::~SparseMerkleTree() = default;
 SparseMerkleTree::SparseMerkleTree(SparseMerkleTree&&) noexcept = default;
-SparseMerkleTree& SparseMerkleTree::operator=(SparseMerkleTree&&) noexcept = default;
+SparseMerkleTree& SparseMerkleTree::operator=(SparseMerkleTree&& o) noexcept {
+  if (this != &o) {
+    root_.reset();  // our nodes must die before our arena (member-wise
+                    // assignment would free the arena first)
+    arena_ = std::move(o.arena_);
+    root_ = std::move(o.root_);
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+SparseMerkleTree::NodePtr SparseMerkleTree::MakeNode() {
+  return common::MakeArenaPtr(*arena_);
+}
 
 const Hash256& SparseMerkleTree::DefaultHash(int level) {
   static const std::vector<Hash256> defaults = [] {
@@ -111,11 +129,11 @@ Hash256 FoldLeaf(const Hash256& key, const Hash256& vh, int level) {
 
 }  // namespace
 
-std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::InsertRec(
-    std::unique_ptr<Node> node, int level, const Hash256& key,
-    const Hash256& value_hash, bool defer_hash) {
+SparseMerkleTree::NodePtr SparseMerkleTree::InsertRec(
+    NodePtr node, int level, const Hash256& key, const Hash256& value_hash,
+    bool defer_hash) {
   if (!node) {
-    auto leaf = std::make_unique<Node>();
+    NodePtr leaf = MakeNode();
     leaf->is_leaf = true;
     leaf->key = key;
     leaf->value_hash = value_hash;
@@ -140,7 +158,7 @@ std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::InsertRec(
     }
     // Split the singleton: push the existing leaf one level down and insert
     // the new key into the same branch.
-    auto branch = std::make_unique<Node>();
+    NodePtr branch = MakeNode();
     bool old_bit = node->key.Bit(static_cast<std::size_t>(level));
     if (defer_hash) {
       node->dirty = true;  // leaf folds from a deeper level now
@@ -174,8 +192,8 @@ std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::InsertRec(
   return node;
 }
 
-std::unique_ptr<SparseMerkleTree::Node> SparseMerkleTree::RemoveRec(
-    std::unique_ptr<Node> node, int level, const Hash256& key, bool& removed,
+SparseMerkleTree::NodePtr SparseMerkleTree::RemoveRec(
+    NodePtr node, int level, const Hash256& key, bool& removed,
     bool defer_hash) {
   if (!node) return nullptr;
   if (node->is_leaf) {
@@ -253,8 +271,179 @@ void SparseMerkleTree::RehashRec(Node* node, int level, common::ThreadPool* pool
   node->dirty = false;
 }
 
+namespace {
+
+/// Hashes sibling-pair jobs, sharding across the pool when the level is
+/// large enough for the task handoff to pay for itself. Jobs are disjoint
+/// (each writes only its own out), so sharding cannot change any result.
+void HashPairsSharded(NodeTag tag, std::vector<NodePairJob>& jobs,
+                      common::ThreadPool* pool) {
+  constexpr std::size_t kMinJobsPerShard = 512;
+  if (jobs.empty()) return;
+  const std::size_t shards =
+      pool == nullptr ? 1
+                      : std::min<std::size_t>(pool->WorkerCount() + 1,
+                                              jobs.size() / kMinJobsPerShard);
+  if (shards <= 1) {
+    TaggedDigest2Many(tag, jobs.data(), jobs.size());
+    return;
+  }
+  pool->ParallelFor(shards, [&](std::size_t s) {
+    const std::size_t begin = jobs.size() * s / shards;
+    const std::size_t end = jobs.size() * (s + 1) / shards;
+    TaggedDigest2Many(tag, jobs.data() + begin, end - begin);
+  });
+}
+
+/// One leaf whose singleton-subtree hash is being folded up the default
+/// chain: `h` starts at LeafNodeHash(key, vh) and merges with level-default
+/// siblings until `stop_level` is reached.
+struct LeafFold {
+  const Hash256* key;
+  const Hash256* value_hash;
+  int stop_level;
+  Hash256* out;  // receives the completed fold
+  Hash256 h;     // working value while the chain runs
+};
+
+/// Runs every fold to completion, batching across folds level by level (one
+/// multi-buffer dispatch per level instead of one streaming hash per step).
+/// Computes exactly the chain FoldLeaf computes for each entry.
+///
+/// Each fold owns one persistent pre-padded 128-byte message slot. A level's
+/// digest is stored directly into the position the next level reads it from
+/// (left or right half, by the key's next path bit), so the per-level work
+/// beyond the hash itself is a single 32-byte default-sibling copy.
+void BatchFolds(std::vector<LeafFold>& folds, common::ThreadPool* pool) {
+  if (folds.empty()) return;
+  // Seed every fold with its leaf hash (same 65-byte geometry as a pair).
+  {
+    std::vector<NodePairJob> jobs(folds.size());
+    for (std::size_t i = 0; i < folds.size(); ++i) {
+      jobs[i] = {folds[i].key, folds[i].value_hash, &folds[i].h};
+    }
+    HashPairsSharded(NodeTag::kSmtLeaf, jobs, pool);
+  }
+  // Ascending stop level => the active set is a shrinking prefix as the fold
+  // walks from the bottom of the tree toward the root.
+  std::sort(folds.begin(), folds.end(),
+            [](const LeafFold& a, const LeafFold& b) {
+              return a.stop_level < b.stop_level;
+            });
+  // At level l the working value sits in the left half when the key's bit l
+  // is 0 and the right half when it is 1 (the default sibling takes the
+  // other half) — the same orientation FoldLeaf uses.
+  const auto pos = [](const LeafFold& f, int l) {
+    return f.key->Bit(static_cast<std::size_t>(l)) ? 33 : 1;
+  };
+  std::vector<std::uint8_t> slots(folds.size() * 128);
+  std::vector<crypto::PaddedJob> jobs(folds.size());
+  // cur_pos[i] caches pos(folds[i], l) for the level about to be hashed, so
+  // the hot loop reads one byte instead of re-deriving two key bits.
+  std::vector<std::uint8_t> cur_pos(folds.size());
+  for (std::size_t i = 0; i < folds.size(); ++i) {
+    std::uint8_t* slot = slots.data() + i * 128;
+    PrePadPairSlot(slot, NodeTag::kSmtInternal);
+    jobs[i].blocks = slot;  // never changes; only .out moves per level
+    if (folds[i].stop_level >= kDepth) {
+      *folds[i].out = folds[i].h;  // no chain: the seed is the result
+    } else {
+      cur_pos[i] = static_cast<std::uint8_t>(pos(folds[i], kDepth - 1));
+      std::memcpy(slot + cur_pos[i], folds[i].h.data().data(), 32);
+    }
+  }
+  std::size_t active = folds.size();
+  for (int l = kDepth - 1; l >= 0 && active > 0; --l) {
+    while (active > 0 && folds[active - 1].stop_level > l) --active;
+    if (active == 0) break;
+    const Hash256& def = SparseMerkleTree::DefaultHash(l + 1);
+    for (std::size_t i = 0; i < active; ++i) {
+      LeafFold& f = folds[i];
+      std::uint8_t* slot = slots.data() + i * 128;
+      std::memcpy(slot + (34 - cur_pos[i]), def.data().data(), 32);
+      if (l == f.stop_level) {
+        jobs[i].out = f.out->begin();
+      } else {
+        cur_pos[i] = static_cast<std::uint8_t>(pos(f, l - 1));
+        jobs[i].out = slot + cur_pos[i];
+      }
+    }
+    constexpr std::size_t kMinJobsPerShard = 512;
+    const std::size_t shards =
+        pool == nullptr ? 1
+                        : std::min<std::size_t>(pool->WorkerCount() + 1,
+                                                active / kMinJobsPerShard);
+    if (shards <= 1) {
+      crypto::HashPadded(jobs.data(), active, /*m=*/2);
+    } else {
+      pool->ParallelFor(shards, [&](std::size_t s) {
+        const std::size_t begin = active * s / shards;
+        const std::size_t end = active * (s + 1) / shards;
+        crypto::HashPadded(jobs.data() + begin, end - begin, /*m=*/2);
+      });
+    }
+  }
+}
+
+}  // namespace
+
+void SparseMerkleTree::RehashBatched(Node* root, common::ThreadPool* pool) {
+  if (root == nullptr || !root->dirty) return;
+  // Phase 1: collect the dirty frontier — leaves (with their levels) and
+  // branches bucketed by depth. Only dirty nodes are visited; Insert/Remove
+  // marked every ancestor of a change dirty, so this reaches all stale
+  // hashes.
+  std::vector<std::pair<Node*, int>> leaves;
+  std::vector<std::vector<Node*>> branches(static_cast<std::size_t>(kDepth));
+  std::vector<std::pair<Node*, int>> stack{{root, 0}};
+  while (!stack.empty()) {
+    auto [node, level] = stack.back();
+    stack.pop_back();
+    if (node->is_leaf) {
+      leaves.emplace_back(node, level);
+      continue;
+    }
+    branches[static_cast<std::size_t>(level)].push_back(node);
+    if (node->left && node->left->dirty) {
+      stack.emplace_back(node->left.get(), level + 1);
+    }
+    if (node->right && node->right->dirty) {
+      stack.emplace_back(node->right.get(), level + 1);
+    }
+  }
+
+  // Phase 2: fold all dirty leaves level-by-level across the batch; each
+  // fold writes straight into its node's hash.
+  std::vector<LeafFold> leaf_folds;
+  leaf_folds.reserve(leaves.size());
+  for (const auto& [node, level] : leaves) {
+    leaf_folds.push_back(
+        {&node->key, &node->value_hash, level, &node->hash, Hash256()});
+    node->dirty = false;
+  }
+  BatchFolds(leaf_folds, pool);
+
+  // Phase 3: dirty branches, deepest level first; children (dirty or not)
+  // have final hashes by the time their parents are batched.
+  std::vector<NodePairJob> jobs;
+  for (int level = kDepth - 1; level >= 0; --level) {
+    auto& bucket = branches[static_cast<std::size_t>(level)];
+    if (bucket.empty()) continue;
+    jobs.resize(bucket.size());
+    const Hash256& def = DefaultHash(level + 1);
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      Node* node = bucket[i];
+      jobs[i] = {node->left ? &node->left->hash : &def,
+                 node->right ? &node->right->hash : &def, &node->hash};
+    }
+    HashPairsSharded(NodeTag::kSmtInternal, jobs, pool);
+    for (Node* node : bucket) node->dirty = false;
+  }
+}
+
 void SparseMerkleTree::UpdateBatchWith(const std::map<Hash256, Hash256>& entries,
-                                       common::ThreadPool& pool) {
+                                       common::ThreadPool& pool,
+                                       RehashMode mode) {
   for (const auto& [key, value_hash] : entries) {
     if (value_hash.IsZero()) {
       bool removed = false;
@@ -263,16 +452,20 @@ void SparseMerkleTree::UpdateBatchWith(const std::map<Hash256, Hash256>& entries
       root_ = InsertRec(std::move(root_), 0, key, value_hash, /*defer_hash=*/true);
     }
   }
-  RehashRec(root_.get(), 0, pool.WorkerCount() > 1 ? &pool : nullptr,
-            /*par_levels=*/4);
+  common::ThreadPool* pool_ptr = pool.WorkerCount() > 1 ? &pool : nullptr;
+  if (mode == RehashMode::kBatched) {
+    RehashBatched(root_.get(), pool_ptr);
+  } else {
+    RehashRec(root_.get(), 0, pool_ptr, /*par_levels=*/4);
+  }
 }
 
 void SparseMerkleTree::UpdateBatch(const std::map<Hash256, Hash256>& entries) {
-  // Below this size the deferred pass + task handoff costs more than it
-  // saves; the cutover keeps single-tx blocks on the straight path.
-  constexpr std::size_t kParallelThreshold = 32;
-  if (entries.size() < kParallelThreshold ||
-      common::ThreadPool::Shared().WorkerCount() <= 1) {
+  // Below this size the deferred pass costs more than it saves (the
+  // multi-buffer hasher needs a few lanes' worth of independent work); the
+  // cutover keeps single-tx blocks on the straight path.
+  constexpr std::size_t kBatchThreshold = 8;
+  if (entries.size() < kBatchThreshold) {
     for (const auto& [key, value_hash] : entries) Update(key, value_hash);
     return;
   }
@@ -315,9 +508,28 @@ bool CoveredBy(const std::vector<Hash256>& paths, const SmtNodeId& id) {
 
 }  // namespace
 
+void SparseMerkleTree::ResolveFolds(std::vector<PendingFold>& folds,
+                                    std::map<SmtNodeId, Hash256>& sink) {
+  if (folds.empty()) return;
+  std::vector<Hash256> results(folds.size());
+  std::vector<LeafFold> chains;
+  chains.reserve(folds.size());
+  for (std::size_t i = 0; i < folds.size(); ++i) {
+    chains.push_back({&folds[i].key, &folds[i].value_hash, folds[i].id.level,
+                      &results[i], Hash256()});
+  }
+  BatchFolds(chains, nullptr);
+  // emplace keeps the first value per id, matching the eager-hash behaviour
+  // (duplicate ids come from the same resident leaf, so values agree anyway).
+  for (std::size_t i = 0; i < folds.size(); ++i) {
+    sink.emplace(folds[i].id, results[i]);
+  }
+}
+
 void SparseMerkleTree::CollectSiblings(
     const Hash256& key, const std::vector<Hash256>& paths,
-    std::map<SmtNodeId, Hash256>& sink) const {
+    std::map<SmtNodeId, Hash256>& sink,
+    std::vector<PendingFold>& folds) const {
   const Node* node = root_.get();
   int level = 0;
   while (node != nullptr) {
@@ -325,11 +537,12 @@ void SparseMerkleTree::CollectSiblings(
       if (SamePath(node->key, key)) break;  // siblings below are all default
       int diff = FirstDiffBit(node->key, key, level);
       if (diff < 0) break;
-      // The resident leaf's subtree becomes the sibling at the divergence.
+      // The resident leaf's subtree becomes the sibling at the divergence;
+      // its default-chain fold is deferred so all folds batch together.
       SmtNodeId id{static_cast<std::uint16_t>(diff + 1),
                    PrefixAt(node->key, diff + 1)};
       if (!CoveredBy(paths, id)) {
-        sink.emplace(id, FoldLeaf(node->key, node->value_hash, diff + 1));
+        folds.push_back({id, node->key, node->value_hash});
       }
       break;
     }
@@ -349,7 +562,11 @@ SmtMultiProof SparseMerkleTree::ProveKeysSerial(
     const std::vector<Hash256>& keys) const {
   const std::vector<Hash256> paths = CanonicalPaths(keys);
   SmtMultiProof proof;
-  for (const Hash256& key : keys) CollectSiblings(key, paths, proof.siblings);
+  std::vector<PendingFold> folds;
+  for (const Hash256& key : keys) {
+    CollectSiblings(key, paths, proof.siblings, folds);
+  }
+  ResolveFolds(folds, proof.siblings);
   return proof;
 }
 
@@ -367,9 +584,11 @@ SmtMultiProof SparseMerkleTree::ProveKeysParallel(
   pool.ParallelFor(chunks, [&](std::size_t c) {
     const std::size_t begin = keys.size() * c / chunks;
     const std::size_t end = keys.size() * (c + 1) / chunks;
+    std::vector<PendingFold> folds;
     for (std::size_t i = begin; i < end; ++i) {
-      CollectSiblings(keys[i], paths, partial[c]);
+      CollectSiblings(keys[i], paths, partial[c], folds);
     }
+    ResolveFolds(folds, partial[c]);
   });
   SmtMultiProof proof;
   proof.siblings = std::move(partial[0]);
@@ -394,11 +613,16 @@ Hash256 SparseMerkleTree::ComputeRootFromProof(
   // caller's leaves always take precedence over proof entries, so a
   // malicious proof cannot override a covered subtree.
   std::vector<std::pair<Hash256, Hash256>> frontier;
-  frontier.reserve(leaves.size());
+  frontier.reserve(leaves.size());  // reserved: jobs point into the vector
+  std::vector<NodePairJob> leaf_jobs;
   for (const auto& [key, vh] : leaves) {
-    frontier.emplace_back(PrefixAt(key, kDepth),
-                          vh.IsZero() ? DefaultHash(kDepth) : LeafNodeHash(key, vh));
+    frontier.emplace_back(PrefixAt(key, kDepth), DefaultHash(kDepth));
+    if (!vh.IsZero()) {
+      // LeafNodeHash(key, vh) == H(kSmtLeaf || key || vh): pair geometry.
+      leaf_jobs.push_back({&key, &vh, &frontier.back().second});
+    }
   }
+  TaggedDigest2Many(NodeTag::kSmtLeaf, leaf_jobs.data(), leaf_jobs.size());
   // leaves is an ordered map and PrefixAt preserves order, except that two
   // keys sharing a path collapse; dedupe defensively.
   frontier.erase(std::unique(frontier.begin(), frontier.end(),
@@ -408,22 +632,29 @@ Hash256 SparseMerkleTree::ComputeRootFromProof(
                  frontier.end());
   if (frontier.empty()) return DefaultHash(0);
 
+  // Per level: gather every parent's (left, right) pair, then hash the whole
+  // level in one multi-buffer dispatch instead of one streaming hash per node.
   std::vector<std::pair<Hash256, Hash256>> next;
+  std::vector<Hash256> lefts, rights;
+  std::vector<NodePairJob> jobs;
   for (int level = kDepth; level > 0; --level) {
     next.clear();
     next.reserve(frontier.size());
+    lefts.clear();
+    rights.clear();
+    lefts.reserve(frontier.size());
+    rights.reserve(frontier.size());
     const int bit_index = level - 1;
     for (std::size_t i = 0; i < frontier.size();) {
       const Hash256& prefix = frontier[i].first;
       bool bit = prefix.Bit(static_cast<std::size_t>(bit_index));
       Hash256 parent = PrefixAt(prefix, bit_index);
 
-      Hash256 left, right;
       if (!bit && i + 1 < frontier.size() &&
           frontier[i + 1].first == FlipBit(prefix, bit_index)) {
         // Both children are on the frontier (keys diverging here).
-        left = frontier[i].second;
-        right = frontier[i + 1].second;
+        lefts.push_back(frontier[i].second);
+        rights.push_back(frontier[i + 1].second);
         i += 2;
       } else {
         Hash256 partner = FlipBit(prefix, bit_index);
@@ -431,12 +662,17 @@ Hash256 SparseMerkleTree::ComputeRootFromProof(
             SmtNodeId{static_cast<std::uint16_t>(level), partner});
         const Hash256& sibling_hash =
             sib != proof.siblings.end() ? sib->second : DefaultHash(level);
-        left = bit ? sibling_hash : frontier[i].second;
-        right = bit ? frontier[i].second : sibling_hash;
+        lefts.push_back(bit ? sibling_hash : frontier[i].second);
+        rights.push_back(bit ? frontier[i].second : sibling_hash);
         i += 1;
       }
-      next.emplace_back(parent, TaggedDigest2(NodeTag::kSmtInternal, left, right));
+      next.emplace_back(parent, Hash256());
     }
+    jobs.resize(next.size());
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      jobs[i] = {&lefts[i], &rights[i], &next[i].second};
+    }
+    TaggedDigest2Many(NodeTag::kSmtInternal, jobs.data(), jobs.size());
     frontier.swap(next);
   }
   return frontier.front().second;

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "common/serialize.h"
 #include "common/status.h"
@@ -69,6 +70,13 @@ class SparseMerkleTree {
   /// key (an empty slot and a zero-valued slot are the same thing).
   void Update(const Hash256& key, const Hash256& value_hash);
 
+  /// Deferred-rehash strategy for bulk updates. kBatched collects dirty
+  /// nodes per level and feeds sibling-pair jobs through the multi-buffer
+  /// hasher (crypto::HashMany lanes); kPerNode is the legacy recursive
+  /// per-node walk, kept as the equivalence baseline for tests and A/B
+  /// benches. Both produce byte-identical trees.
+  enum class RehashMode { kBatched, kPerNode };
+
   /// Bulk update: applies every (key, value-hash) entry (zero value hash =
   /// delete), deferring internal-node hashing to one bottom-up pass at the
   /// end; large batches fan independent dirty subtrees out across `pool`.
@@ -76,7 +84,8 @@ class SparseMerkleTree {
   /// per entry in map order.
   void UpdateBatch(const std::map<Hash256, Hash256>& entries);
   void UpdateBatchWith(const std::map<Hash256, Hash256>& entries,
-                       common::ThreadPool& pool);
+                       common::ThreadPool& pool,
+                       RehashMode mode = RehashMode::kBatched);
 
   /// Returns the stored value hash, or the zero hash when absent.
   Hash256 Get(const Hash256& key) const;
@@ -110,29 +119,50 @@ class SparseMerkleTree {
 
  private:
   struct Node;
-  struct LeafNode;
-  struct BranchNode;
+  using NodePtr = common::ArenaPtr<Node>;
 
   /// Smallest per-thread share of a multiproof key set worth a task handoff.
   static constexpr std::size_t kMinKeysPerChunk = 16;
 
-  /// Appends the proof siblings for one key to `sink` (ids covered by other
-  /// proof keys, per `paths`, are skipped).
-  void CollectSiblings(const Hash256& key, const std::vector<Hash256>& paths,
-                       std::map<SmtNodeId, Hash256>& sink) const;
+  /// A deferred sibling fold discovered during proof collection; the actual
+  /// hash chain runs batched across all pending folds afterwards.
+  struct PendingFold {
+    SmtNodeId id;
+    Hash256 key;
+    Hash256 value_hash;
+  };
 
-  std::unique_ptr<Node> InsertRec(std::unique_ptr<Node> node, int level,
-                                  const Hash256& key, const Hash256& value_hash,
-                                  bool defer_hash);
-  std::unique_ptr<Node> RemoveRec(std::unique_ptr<Node> node, int level,
-                                  const Hash256& key, bool& removed,
-                                  bool defer_hash);
-  /// Recomputes the hashes of dirty subtrees bottom-up. With a pool, dirty
-  /// sibling subtrees in the top `par_levels` levels run concurrently.
+  /// Appends the proof siblings for one key to `sink`; resident-leaf
+  /// siblings that need a default-fold are deferred into `folds` (ids
+  /// covered by other proof keys, per `paths`, are skipped).
+  void CollectSiblings(const Hash256& key, const std::vector<Hash256>& paths,
+                       std::map<SmtNodeId, Hash256>& sink,
+                       std::vector<PendingFold>& folds) const;
+
+  /// Batch-resolves deferred folds into `sink` (multi-buffer hashing across
+  /// all pending chains), preserving the first-insertion-wins map semantics.
+  static void ResolveFolds(std::vector<PendingFold>& folds,
+                           std::map<SmtNodeId, Hash256>& sink);
+
+  NodePtr MakeNode();
+  NodePtr InsertRec(NodePtr node, int level, const Hash256& key,
+                    const Hash256& value_hash, bool defer_hash);
+  NodePtr RemoveRec(NodePtr node, int level, const Hash256& key, bool& removed,
+                    bool defer_hash);
+  /// Recomputes the hashes of dirty subtrees bottom-up, per-node (legacy).
+  /// With a pool, dirty sibling subtrees in the top `par_levels` levels run
+  /// concurrently.
   static void RehashRec(Node* node, int level, common::ThreadPool* pool,
                         int par_levels);
+  /// Level-batched rehash: dirty leaves fold level-by-level across the whole
+  /// batch, dirty branches hash per depth, all through the multi-buffer
+  /// hasher; large levels shard over `pool`.
+  static void RehashBatched(Node* root, common::ThreadPool* pool);
 
-  std::unique_ptr<Node> root_;
+  // The arena outlives root_ (declared first => destroyed last), which is
+  // what makes the ArenaPtr-based tree safe to tear down member-wise.
+  std::unique_ptr<common::Arena<Node>> arena_;
+  NodePtr root_;
   std::size_t size_ = 0;
 };
 

@@ -212,44 +212,62 @@ Status SpServer::Rehydrate(const chain::BlockStore& blocks,
   auto genesis = blocks.Get(0);
   if (!genesis) return genesis.status();
   chain::BlockHeader prev_hdr = genesis.value().header;
-  for (std::uint64_t h = 1; h < blocks.Count(); ++h) {
-    auto blk = blocks.Get(h);
-    if (!blk) return blk.status();
-    auto cert = certs.Get(h - 1);
-    if (!cert) return cert.status();
-    const chain::BlockHeader& hdr = blk.value().header;
-    if (hdr.height != h || hdr.prev_hash != prev_hdr.Hash()) {
-      return Status::Error("rehydrate: stored chain broken at height " +
-                           std::to_string(h));
+  // Envelope signatures are checked in chunked crypto::VerifyBatch dispatches
+  // (every chunk shares one IAS point term); chain-linkage and digest checks
+  // stay per height, in order, with the same error statuses as before.
+  constexpr std::uint64_t kRehydrateChunk = 64;
+  std::vector<core::BlockCertificate> chunk_certs;
+  std::vector<const core::BlockCertificate*> chunk_ptrs;
+  for (std::uint64_t chunk = 1; chunk < blocks.Count(); chunk += kRehydrateChunk) {
+    const std::uint64_t chunk_end =
+        std::min(blocks.Count(), chunk + kRehydrateChunk);
+    chunk_certs.clear();
+    for (std::uint64_t h = chunk; h < chunk_end; ++h) {
+      auto cert = certs.Get(h - 1);
+      if (!cert) return cert.status();
+      chunk_certs.push_back(std::move(cert.value()));
     }
-    // Trust nothing in the store blindly: the same certificate validation a
-    // live announcement gets.
-    if (cert.value().digest != hdr.Hash()) {
-      return Status::Error(
-          "rehydrate: certificate does not sign stored block at height " +
-          std::to_string(h));
+    chunk_ptrs.clear();
+    for (const auto& c : chunk_certs) chunk_ptrs.push_back(&c);
+    std::vector<Status> env = core::VerifyCertificateEnvelopesBatch(
+        chunk_ptrs.data(), chunk_ptrs.size(), config_.expected_measurement);
+    for (std::uint64_t h = chunk; h < chunk_end; ++h) {
+      auto blk = blocks.Get(h);
+      if (!blk) return blk.status();
+      const core::BlockCertificate& cert = chunk_certs[h - chunk];
+      const chain::BlockHeader& hdr = blk.value().header;
+      if (hdr.height != h || hdr.prev_hash != prev_hdr.Hash()) {
+        return Status::Error("rehydrate: stored chain broken at height " +
+                             std::to_string(h));
+      }
+      // Trust nothing in the store blindly: the same certificate validation a
+      // live announcement gets.
+      if (cert.digest != hdr.Hash()) {
+        return Status::Error(
+            "rehydrate: certificate does not sign stored block at height " +
+            std::to_string(h));
+      }
+      if (!env[h - chunk]) {
+        return env[h - chunk].WithContext("rehydrate height " +
+                                          std::to_string(h));
+      }
+      index_.ApplyBlockCapturingAux(blk.value());
+      TipInfo tip;
+      tip.header = hdr;
+      tip.block_cert = cert;
+      tip.index_digest = index_.CurrentDigest();
+      // The durable stores hold block certificates only, so the restored tip
+      // carries the block certificate in the index slot as a placeholder: it
+      // wire-encodes (a default certificate cannot), and a client's
+      // AcceptIndexCert rejects it (its digest signs the header, not
+      // H(header || index digest)) — fail-safe until the next live
+      // announcement brings a real index certificate.
+      tip.index_cert = cert;
+      tip_ = std::move(tip);
+      ++next_height_;
+      blocks_applied_->Add(1);
+      prev_hdr = hdr;
     }
-    if (Status st = core::VerifyCertificateEnvelope(
-            cert.value(), config_.expected_measurement);
-        !st) {
-      return st.WithContext("rehydrate height " + std::to_string(h));
-    }
-    index_.ApplyBlockCapturingAux(blk.value());
-    TipInfo tip;
-    tip.header = hdr;
-    tip.block_cert = cert.value();
-    tip.index_digest = index_.CurrentDigest();
-    // The durable stores hold block certificates only, so the restored tip
-    // carries the block certificate in the index slot as a placeholder: it
-    // wire-encodes (a default certificate cannot), and a client's
-    // AcceptIndexCert rejects it (its digest signs the header, not
-    // H(header || index digest)) — fail-safe until the next live
-    // announcement brings a real index certificate.
-    tip.index_cert = cert.value();
-    tip_ = std::move(tip);
-    ++next_height_;
-    blocks_applied_->Add(1);
-    prev_hdr = hdr;
   }
   cache_.InvalidateAll();
   return Status::Ok();
@@ -271,19 +289,22 @@ Status SpServer::AnnounceLocked(const AnnounceRequest& req) {
   if (req.block_cert.digest != hdr.Hash()) {
     return reject(Status::Error("announce: block cert does not sign header"));
   }
-  if (Status st = core::VerifyCertificateEnvelope(req.block_cert,
-                                                  config_.expected_measurement);
-      !st) {
-    return reject(st.WithContext("announce: block cert"));
+  // Both certificate envelopes (four Schnorr signatures) verify in one
+  // crypto::VerifyBatch dispatch; error precedence matches the sequential
+  // per-certificate checks.
+  const core::BlockCertificate* certs[2] = {&req.block_cert, &req.index_cert};
+  std::vector<Status> env =
+      core::VerifyCertificateEnvelopesBatch(certs, 2,
+                                            config_.expected_measurement);
+  if (!env[0]) {
+    return reject(env[0].WithContext("announce: block cert"));
   }
   if (req.index_cert.digest !=
       core::IndexCertDigest(hdr.Hash(), req.index_digest)) {
     return reject(Status::Error("announce: index cert does not bind digest"));
   }
-  if (Status st = core::VerifyCertificateEnvelope(req.index_cert,
-                                                  config_.expected_measurement);
-      !st) {
-    return reject(st.WithContext("announce: index cert"));
+  if (!env[1]) {
+    return reject(env[1].WithContext("announce: index cert"));
   }
   if (pending_.size() >= kMaxPendingAnnouncements) {
     return reject(Status::Error("announce: too many out-of-order blocks"));

@@ -5,9 +5,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+#include "crypto/sha256_batch.h"
 #include "crypto/sha256_compress.h"
 
 namespace dcert::crypto {
@@ -119,12 +124,20 @@ TEST(HmacSha256Test, DifferentKeysDiffer) {
 }
 
 // Dispatch: on SHA-NI hardware the resolved compress function must be the
-// hardware path (otherwise every digest silently takes the scalar road).
+// hardware path (otherwise every digest silently takes the scalar road) —
+// unless a runtime override (DCERT_FORCE_SCALAR_HASH / _SHA_BACKEND) forces
+// the fallback, which is exactly how the CI forced-scalar leg runs this
+// whole suite.
 TEST(Sha256DispatchTest, ResolvesHardwarePathWhenSupported) {
-  if (internal::ShaNiSupported()) {
+  if (ActiveStreamBackend() == ShaBackend::kShaNi) {
     EXPECT_EQ(internal::GetCompressFn(), &internal::CompressShaNi);
   } else {
     EXPECT_EQ(internal::GetCompressFn(), &internal::CompressScalar);
+  }
+  if (internal::ShaNiSupported() &&
+      std::getenv("DCERT_FORCE_SCALAR_HASH") == nullptr &&
+      std::getenv("DCERT_FORCE_SHA_BACKEND") == nullptr) {
+    EXPECT_EQ(ActiveStreamBackend(), ShaBackend::kShaNi);
   }
 }
 
@@ -153,6 +166,124 @@ TEST(Sha256DispatchTest, CompressImplementationsAgreeOnMultiBlockInputs) {
           << "word " << w << ", blocks " << nblocks;
     }
   }
+}
+
+// --- multi-buffer backend equivalence -------------------------------------
+
+std::vector<ShaBackend> SupportedBackends() {
+  std::vector<ShaBackend> v{ShaBackend::kScalar};
+  if (ShaBackendSupported(ShaBackend::kShaNi)) v.push_back(ShaBackend::kShaNi);
+  if (ShaBackendSupported(ShaBackend::kAvx2)) v.push_back(ShaBackend::kAvx2);
+  return v;
+}
+
+// Every supported multi-buffer backend must reproduce the streaming digest
+// bit-for-bit over random message lengths (padding boundaries included),
+// batch sizes covering partial and multiple SIMD lane groups, and ragged
+// tails where lanes carry different block counts.
+TEST(Sha256BatchTest, BackendFuzzEquivalence) {
+  Rng rng(20260809);
+  constexpr std::size_t kBoundary[] = {0,  1,  31,  32,  33,  55,  56,
+                                       63, 64, 65,  119, 120, 127, 128,
+                                       129, 191, 192, 300};
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 1 + rng.NextBelow(17);  // 1..17 jobs per batch
+    std::vector<Bytes> msgs(n);
+    std::vector<Hash256> outs(n);
+    std::vector<Hash256> expected(n);
+    std::vector<HashJob> jobs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t len =
+          rng.NextBelow(2) == 0
+              ? kBoundary[rng.NextBelow(std::size(kBoundary))]
+              : rng.NextBelow(301);
+      msgs[i] = rng.NextBytes(len);
+      expected[i] = Sha256::Digest(msgs[i]);
+      jobs[i] = {msgs[i].data(), msgs[i].size(), &outs[i]};
+    }
+    for (ShaBackend backend : SupportedBackends()) {
+      std::fill(outs.begin(), outs.end(), Hash256());
+      internal::HashManyWith(backend, jobs.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(outs[i], expected[i])
+            << "backend " << ShaBackendName(backend) << ", round " << round
+            << ", job " << i << ", len " << msgs[i].size();
+      }
+    }
+  }
+}
+
+// HashPadded is the fold-loop entry: pre-padded fixed-geometry messages. It
+// must match the streaming digest, including when a job's output aliases its
+// own message bytes (the in-place chaining idiom in the SMT batch rehash).
+TEST(Sha256BatchTest, HashPaddedMatchesOneShotIncludingAliasedOutput) {
+  Rng rng(7);
+  constexpr std::size_t kJobs = 37;  // exercises quad, pair, and tail paths
+  std::vector<std::uint8_t> slots(kJobs * 128);
+  std::vector<std::uint8_t> outs(kJobs * 32);
+  std::vector<Hash256> expected(kJobs);
+  std::vector<PaddedJob> jobs(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    std::uint8_t* slot = slots.data() + i * 128;
+    const Bytes msg = rng.NextBytes(65);
+    std::memcpy(slot, msg.data(), 65);
+    slot[65] = 0x80;
+    std::memset(slot + 66, 0, 60);
+    slot[126] = 0x02;  // 65 * 8 = 520 = 0x0208 bits
+    slot[127] = 0x08;
+    expected[i] = Sha256::Digest(msg);
+    jobs[i] = {slot, outs.data() + i * 32};
+  }
+  HashPadded(jobs.data(), kJobs, /*m=*/2);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(std::memcmp(outs.data() + i * 32, expected[i].begin(), 32), 0)
+        << "job " << i;
+  }
+  // Aliased: each digest lands on bytes [1,33) of its own message slot.
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    jobs[i].out = slots.data() + i * 128 + 1;
+  }
+  HashPadded(jobs.data(), kJobs, /*m=*/2);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(std::memcmp(slots.data() + i * 128 + 1, expected[i].begin(), 32),
+              0)
+        << "aliased job " << i;
+  }
+}
+
+// Runtime dispatch must never hand out a backend the CPU cannot run, no
+// matter what the override string says.
+TEST(Sha256DispatchTest, ResolveNeverSelectsUnsupportedBackend) {
+  const char* overrides[] = {nullptr, "",     "scalar", "shani",
+                             "sha-ni", "avx2", "AVX2",   "bogus"};
+  for (const char* ov : overrides) {
+    for (bool batch : {false, true}) {
+      const ShaBackend b = internal::ResolveShaBackend(ov, batch);
+      EXPECT_TRUE(ShaBackendSupported(b))
+          << "override '" << (ov == nullptr ? "<null>" : ov) << "' batch "
+          << batch << " resolved to unsupported "
+          << ShaBackendName(b);
+    }
+  }
+  // Scalar is always honored; AVX2 is batch-only so the stream path must
+  // fall back to something else.
+  EXPECT_EQ(internal::ResolveShaBackend("scalar", true), ShaBackend::kScalar);
+  EXPECT_EQ(internal::ResolveShaBackend("scalar", false), ShaBackend::kScalar);
+  EXPECT_NE(internal::ResolveShaBackend("avx2", false), ShaBackend::kAvx2);
+  // Whatever is live right now must be runnable here.
+  EXPECT_TRUE(ShaBackendSupported(ActiveBatchBackend()));
+  EXPECT_TRUE(ShaBackendSupported(ActiveStreamBackend()));
+}
+
+TEST(Sha256DispatchTest, HashManyWithRejectsUnsupportedBackend) {
+  if (ShaBackendSupported(ShaBackend::kAvx2)) {
+    GTEST_SKIP() << "every backend is supported on this host";
+  }
+  Hash256 out;
+  const std::uint8_t byte = 0x42;
+  HashJob job{&byte, 1, &out};
+  EXPECT_THROW(internal::HashManyWith(ShaBackend::kAvx2, &job, 1),
+               std::runtime_error);
 }
 
 }  // namespace

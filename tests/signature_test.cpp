@@ -122,5 +122,93 @@ TEST_P(SignatureSweep, RoundTripAndCrossRejection) {
 
 INSTANTIATE_TEST_SUITE_P(ManySeeds, SignatureSweep, ::testing::Range(0, 8));
 
+// --- batched verification --------------------------------------------------
+
+// A valid flood signed by a handful of signers: one VerifyJob per message,
+// signers repeating so the batch path exercises its per-pk challenge merge.
+struct BatchFixture {
+  std::vector<SecretKey> signers;
+  std::vector<Hash256> digests;
+  std::vector<Signature> sigs;
+  std::vector<VerifyJob> jobs;
+
+  explicit BatchFixture(std::size_t n, std::size_t n_signers = 4) {
+    for (std::size_t s = 0; s < n_signers; ++s) {
+      signers.push_back(
+          SecretKey::FromSeed(StrBytes("batch-signer-" + std::to_string(s))));
+    }
+    digests.reserve(n);
+    sigs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      digests.push_back(Msg("batch-msg-" + std::to_string(i)));
+      sigs.push_back(signers[i % n_signers].Sign(digests[i]));
+    }
+    jobs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      jobs[i] = {&signers[i % n_signers].Public(), &digests[i], &sigs[i]};
+    }
+  }
+};
+
+TEST(VerifyBatchTest, AllValidMatchesSingleShot) {
+  BatchFixture fx(12);
+  const std::vector<bool> batch = VerifyBatch(fx.jobs.data(), fx.jobs.size());
+  ASSERT_EQ(batch.size(), fx.jobs.size());
+  for (std::size_t i = 0; i < fx.jobs.size(); ++i) {
+    EXPECT_TRUE(batch[i]) << "index " << i;
+    EXPECT_EQ(batch[i], Verify(*fx.jobs[i].pk, *fx.jobs[i].digest,
+                               *fx.jobs[i].sig));
+  }
+}
+
+TEST(VerifyBatchTest, IdentifiesEachCorruptedIndex) {
+  for (std::size_t corrupt_at : {0u, 3u, 7u}) {
+    BatchFixture fx(8);
+    fx.sigs[corrupt_at].s = Curve().Fn().Add(fx.sigs[corrupt_at].s, U256(1));
+    const std::vector<bool> batch = VerifyBatch(fx.jobs.data(), fx.jobs.size());
+    ASSERT_EQ(batch.size(), fx.jobs.size());
+    for (std::size_t i = 0; i < fx.jobs.size(); ++i) {
+      EXPECT_EQ(batch[i], i != corrupt_at) << "index " << i << " with "
+                                           << corrupt_at << " corrupted";
+    }
+  }
+}
+
+TEST(VerifyBatchTest, MultipleCorruptionsAllIsolated) {
+  BatchFixture fx(10);
+  fx.sigs[1].r = Curve().Fp().Add(fx.sigs[1].r, U256(1));  // tampered r
+  fx.digests[4] = Msg("substituted-message");              // wrong digest
+  fx.sigs[8] = fx.sigs[0];                                 // sig/msg mismatch
+  const std::vector<bool> batch = VerifyBatch(fx.jobs.data(), fx.jobs.size());
+  ASSERT_EQ(batch.size(), fx.jobs.size());
+  for (std::size_t i = 0; i < fx.jobs.size(); ++i) {
+    const bool expect_ok = i != 1 && i != 4 && i != 8;
+    EXPECT_EQ(batch[i], expect_ok) << "index " << i;
+    EXPECT_EQ(batch[i], Verify(*fx.jobs[i].pk, *fx.jobs[i].digest,
+                               *fx.jobs[i].sig))
+        << "batch disagrees with single-shot at " << i;
+  }
+}
+
+TEST(VerifyBatchTest, EmptyAndSingleElementBatches) {
+  EXPECT_TRUE(VerifyBatch(nullptr, 0).empty());
+
+  BatchFixture fx(1);
+  EXPECT_EQ(VerifyBatch(fx.jobs.data(), 1), std::vector<bool>{true});
+  fx.sigs[0].s = Curve().Fn().Add(fx.sigs[0].s, U256(1));
+  EXPECT_EQ(VerifyBatch(fx.jobs.data(), 1), std::vector<bool>{false});
+}
+
+TEST(VerifyBatchTest, SingleSignerFloodMergesAndStillIsolatesFailures) {
+  BatchFixture fx(16, /*n_signers=*/1);
+  fx.sigs[5].s = Curve().Fn().Add(fx.sigs[5].s, U256(1));
+  fx.sigs[11].s = Curve().Fn().Add(fx.sigs[11].s, U256(1));
+  const std::vector<bool> batch = VerifyBatch(fx.jobs.data(), fx.jobs.size());
+  ASSERT_EQ(batch.size(), fx.jobs.size());
+  for (std::size_t i = 0; i < fx.jobs.size(); ++i) {
+    EXPECT_EQ(batch[i], i != 5 && i != 11) << "index " << i;
+  }
+}
+
 }  // namespace
 }  // namespace dcert::crypto

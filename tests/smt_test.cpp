@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "crypto/sha256.h"
 
 namespace dcert::mht {
@@ -237,6 +238,47 @@ TEST_P(SmtRandomSweep, MatchesShadowModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SmtRandomSweep,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// The batched (multi-buffer hash) rehash and the legacy per-node rehash must
+// be observationally identical: same roots, byte-identical serialized
+// multiproofs, across rounds of overlapping inserts, overwrites, and
+// deletes — with and without a thread pool sharding the levels.
+TEST(SmtTest, BatchedAndPerNodeRehashAreByteIdentical) {
+  Rng rng(0xD0CE);
+  common::ThreadPool pool(2);
+  SparseMerkleTree per_node;
+  SparseMerkleTree batched;
+  SparseMerkleTree batched_pooled;
+  std::vector<Hash256> universe;
+  for (int i = 0; i < 120; ++i) universe.push_back(Key("eq" + std::to_string(i)));
+
+  for (int round = 0; round < 6; ++round) {
+    std::map<Hash256, Hash256> entries;
+    const std::size_t writes = 10 + rng.NextBelow(60);
+    for (std::size_t w = 0; w < writes; ++w) {
+      const Hash256& k = universe[rng.NextBelow(universe.size())];
+      // A third of the writes are deletes (zero value tombstones).
+      entries[k] = rng.NextBelow(3) == 0
+                       ? Hash256()
+                       : Val("eqv" + std::to_string(rng.NextU64()));
+    }
+    per_node.UpdateBatchWith(entries, pool,
+                             SparseMerkleTree::RehashMode::kPerNode);
+    batched.UpdateBatch(entries);
+    batched_pooled.UpdateBatchWith(entries, pool,
+                                   SparseMerkleTree::RehashMode::kBatched);
+    ASSERT_EQ(per_node.Root(), batched.Root()) << "round " << round;
+    ASSERT_EQ(per_node.Root(), batched_pooled.Root()) << "round " << round;
+
+    std::vector<Hash256> subset;
+    for (int i = 0; i < 12; ++i) {
+      subset.push_back(universe[rng.NextBelow(universe.size())]);
+    }
+    EXPECT_EQ(per_node.ProveKeys(subset).Serialize(),
+              batched.ProveKeys(subset).Serialize())
+        << "round " << round;
+  }
+}
 
 }  // namespace
 }  // namespace dcert::mht

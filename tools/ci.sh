@@ -4,7 +4,13 @@
 # that exercise the pipeline/thread-pool/SMT parallel paths, the serving
 # subsystem, and the obs metrics hammering, then an AddressSanitizer build
 # (DCERT_SANITIZE=address) running the server/transport/obs tests (socket
-# and buffer handling).
+# and buffer handling), then two legs for the SIMD hashing dispatch: the
+# TSan suite re-run under DCERT_FORCE_SCALAR_HASH=1 (the scalar fallback
+# must be just as race-free as the hardware paths — and this is the only
+# way the fallback gets sanitizer coverage on SHA-NI machines), and a
+# UBSanitizer build (DCERT_SANITIZE=undefined) running the crypto/tree
+# suites over the multi-buffer SHA-256 backends, the batch verifier, and
+# the arena allocator (pointer/alignment/shift UB in kernel and pool code).
 #
 # The Svc selection deliberately includes SvcFaultTest (the seeded
 # fault-injection soak and busy-shedding retry tests) and SvcTcpTest
@@ -33,13 +39,13 @@ PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 TEST_TIMEOUT=300  # seconds per test; the slowest soak is ~10s on a dev box
 
-echo "=== [1/3] Release build + full test suite ==="
+echo "=== [1/5] Release build + full test suite ==="
 cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}-release" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}"
 
-echo "=== [2/3] TSan build + threaded tests ==="
+echo "=== [2/5] TSan build + threaded tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
   thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test \
@@ -51,7 +57,7 @@ ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   # Svc matches SvcFaultTest/SvcTcpTest/SvcStatsTest; the obs suites cover
   # the concurrent counter/histogram/trace hammering.
 
-echo "=== [3/3] ASan build + serving/transport tests ==="
+echo "=== [3/5] ASan build + serving/transport tests ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target \
   svc_test net_test thread_pool_test obs_test record_log_test crash_recovery_test
@@ -59,5 +65,27 @@ DCERT_CRASH_SOAK_CYCLES=50 \
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}" \
   -R 'Svc|SimNet|ThreadPool|Counter|Gauge|Histogram|Registry|Trace|Enabled|Export|Overhead|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer'
+
+echo "=== [4/5] TSan + forced-scalar hashing (dispatch fallback path) ==="
+# Same TSan build, but every digest takes the portable scalar road. The
+# threaded SMT/pipeline tests then certify that the batch-hash sharding and
+# the thread_local scratch in the fallback are race-free; the Sha256 suite
+# (incl. the dispatch tests) runs to pin the resolved backends.
+DCERT_FORCE_SCALAR_HASH=1 DCERT_CRASH_SOAK_CYCLES=50 \
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  --timeout "${TEST_TIMEOUT}" \
+  -R 'ThreadPool|ParallelEquivalence|Smt|Sha256|Svc'
+
+echo "=== [5/5] UBSan build + SIMD/crypto/tree tests ==="
+cmake -B "${PREFIX}-ubsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=undefined
+cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target \
+  sha256_test signature_test secp256k1_test smt_test merkle_tree_test \
+  mbtree_test common_test dcert_test
+ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}" \
+  --timeout "${TEST_TIMEOUT}" \
+  -R 'Sha256|HmacSha256|Signature|VerifyBatch|Secp256k1|Curve|Smt|Merkle|Mb|Arena|Dcert'
+  # Sha256BatchTest exercises every supported multi-buffer backend (AVX2
+  # lane loads, SHA-NI interleaves); VerifyBatchTest covers the combined
+  # verification equation; ArenaTest covers the placement-new pool.
 
 echo "CI OK"
