@@ -1,0 +1,341 @@
+#include "fleet/fleet_client.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "dcert/superlight.h"
+
+namespace dcert::fleet {
+
+FleetClient::FleetClient(ShardMap map, BackendConnector backends,
+                         FleetClientConfig config)
+    : backends_(std::move(backends)),
+      config_(config),
+      map_(std::move(map)),
+      queries_(std::make_shared<obs::Counter>()),
+      subqueries_(std::make_shared<obs::Counter>()),
+      verified_(std::make_shared<obs::Counter>()),
+      verify_failures_(std::make_shared<obs::Counter>()),
+      failovers_(std::make_shared<obs::Counter>()),
+      map_refreshes_(std::make_shared<obs::Counter>()),
+      cross_checks_(std::make_shared<obs::Counter>()),
+      cross_check_mismatches_(std::make_shared<obs::Counter>()),
+      giveups_(std::make_shared<obs::Counter>()) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Register("fleet.client.queries", queries_);
+  reg.Register("fleet.client.subqueries", subqueries_);
+  reg.Register("fleet.client.verified", verified_);
+  reg.Register("fleet.client.verify_failures", verify_failures_);
+  reg.Register("fleet.client.failovers", failovers_);
+  reg.Register("fleet.client.map_refreshes", map_refreshes_);
+  reg.Register("fleet.client.cross_checks", cross_checks_);
+  reg.Register("fleet.client.cross_check_mismatches", cross_check_mismatches_);
+  reg.Register("fleet.client.giveups", giveups_);
+}
+
+ShardMap FleetClient::Map() const {
+  std::shared_lock<std::shared_mutex> lk(map_mu_);
+  return map_;
+}
+
+std::unique_ptr<svc::SpClient> FleetClient::Borrow(std::uint32_t shard,
+                                                   std::uint32_t replica) {
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    auto it = pool_.find({shard, replica});
+    if (it != pool_.end() && !it->second.empty()) {
+      auto client = std::move(it->second.back());
+      it->second.pop_back();
+      return client;
+    }
+  }
+  // Decorrelate backoff jitter across backends so a fleet-wide incident does
+  // not retry in lockstep.
+  svc::RetryPolicy policy = config_.retry;
+  policy.jitter_seed ^= std::uint64_t{shard} * 1009 + replica * 101 + 1;
+  return std::make_unique<svc::SpClient>(backends_(shard, replica), policy);
+}
+
+void FleetClient::Return(std::uint32_t shard, std::uint32_t replica,
+                         std::unique_ptr<svc::SpClient> client) {
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  pool_[{shard, replica}].push_back(std::move(client));
+}
+
+Result<FleetClient::Slice> FleetClient::QueryReplica(
+    const ShardMap& map, svc::Op op, const ShardMap::SubQuery& sub,
+    std::uint64_t account, std::uint32_t replica, bool* stale) {
+  using R = Result<Slice>;
+  auto client = Borrow(sub.shard_id, replica);
+  // Whatever happens below, the client goes back to the pool: SpClient owns
+  // reconnection, so even after a transport fault it is reusable.
+  struct Returner {
+    FleetClient* self;
+    std::uint32_t shard, replica;
+    std::unique_ptr<svc::SpClient>& client;
+    ~Returner() { self->Return(shard, replica, std::move(client)); }
+  } returner{this, sub.shard_id, replica, client};
+
+  const int races = std::max(1, config_.max_tip_races);
+  for (int attempt = 0; attempt < races; ++attempt) {
+    auto reply = op == svc::Op::kHistorical
+                     ? client->HistoricalSharded(map.Version(), sub.shard_id,
+                                                 account, sub.from_height,
+                                                 sub.to_height)
+                     : client->AggregateSharded(map.Version(), sub.shard_id,
+                                                account, sub.from_height,
+                                                sub.to_height);
+    if (!reply.ok()) {
+      if (client->LastReplyStaleShard()) *stale = true;
+      return R(reply.status());
+    }
+    auto tip = client->FetchTipSharded(map.Version(), sub.shard_id);
+    if (!tip.ok()) {
+      if (client->LastReplyStaleShard()) *stale = true;
+      return R(tip.status());
+    }
+    if (tip.value().header.height != reply.value().tip_height) {
+      if (tip.value().header.height < reply.value().tip_height) {
+        // A tip can only advance; going backwards between two calls on the
+        // same connection means the replica is lying or broken.
+        verify_failures_->Add(1);
+        return R::Error("fleet: replica tip went backwards");
+      }
+      continue;  // a block landed between query and tip fetch; retry at it
+    }
+
+    // Verify exactly as a standalone superlight client would: certificates
+    // first (block cert signs the header, index cert binds the digest, both
+    // from the pinned enclave), then the proof against the certified digest.
+    core::SuperlightClient verifier(config_.expected_measurement);
+    if (Status st = verifier.ValidateAndAccept(tip.value().header,
+                                               tip.value().block_cert);
+        !st) {
+      verify_failures_->Add(1);
+      return R(st.WithContext("fleet: block cert"));
+    }
+    if (Status st = verifier.AcceptIndexCert(
+            tip.value().header, tip.value().index_cert,
+            tip.value().index_digest, "historical");
+        !st) {
+      verify_failures_->Add(1);
+      return R(st.WithContext("fleet: index cert"));
+    }
+    Slice out;
+    out.tip_height = tip.value().header.height;
+    if (op == svc::Op::kHistorical) {
+      auto versions = query::HistoricalIndex::VerifyQuery(
+          tip.value().index_digest, account, sub.from_height, sub.to_height,
+          reply.value().proof);
+      if (!versions.ok()) {
+        verify_failures_->Add(1);
+        return R(versions.status().WithContext("fleet: query proof"));
+      }
+      out.versions = std::move(versions.value());
+    } else {
+      auto agg = query::HistoricalIndex::VerifyAggregateQuery(
+          tip.value().index_digest, account, sub.from_height, sub.to_height,
+          reply.value().proof);
+      if (!agg.ok()) {
+        verify_failures_->Add(1);
+        return R(agg.status().WithContext("fleet: aggregate proof"));
+      }
+      out.aggregate = agg.value();
+    }
+    verified_->Add(1);
+    return out;
+  }
+  return R::Error("fleet: tip kept advancing during query");
+}
+
+Result<FleetClient::Slice> FleetClient::QueryShard(
+    const ShardMap& map, svc::Op op, const ShardMap::SubQuery& sub,
+    std::uint64_t account, bool* stale) {
+  using R = Result<Slice>;
+  const std::uint32_t replicas = map.Replicas();
+  std::uint32_t start;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    start = static_cast<std::uint32_t>(rr_++ % replicas);
+  }
+  Status last = Status::Error("fleet: no replicas configured");
+  for (std::uint32_t i = 0; i < replicas; ++i) {
+    const std::uint32_t replica = (start + i) % replicas;
+    auto slice = QueryReplica(map, op, sub, account, replica, stale);
+    if (*stale) return slice;  // caller refreshes the map and re-splits
+    if (!slice.ok()) {
+      last = slice.status();
+      if (i + 1 < replicas) failovers_->Add(1);
+      continue;
+    }
+    if (config_.cross_check && replicas > 1) {
+      // Paranoid mode: the same subquery must verify identically on a second
+      // replica. Both results passed cryptographic verification already, so
+      // a mismatch means the replicas serve divergent certified views (e.g.
+      // one lags the announcement stream) — surface it, don't pick one.
+      cross_checks_->Add(1);
+      const std::uint32_t other = (replica + 1) % replicas;
+      auto check = QueryReplica(map, op, sub, account, other, stale);
+      if (*stale) return check;
+      if (!check.ok()) {
+        return R(check.status().WithContext("fleet: cross-check replica"));
+      }
+      const bool same =
+          op == svc::Op::kHistorical
+              ? check.value().versions == slice.value().versions
+              : (check.value().aggregate.count ==
+                     slice.value().aggregate.count &&
+                 check.value().aggregate.sum == slice.value().aggregate.sum);
+      if (!same) {
+        cross_check_mismatches_->Add(1);
+        return R::Error(
+            "fleet: cross-check mismatch between replicas " +
+            std::to_string(replica) + " and " + std::to_string(other) +
+            " of shard " + std::to_string(sub.shard_id) + " (tips " +
+            std::to_string(slice.value().tip_height) + " vs " +
+            std::to_string(check.value().tip_height) + ")");
+      }
+    }
+    return slice;
+  }
+  return R(last);
+}
+
+Result<FleetClient::Slice> FleetClient::Run(svc::Op op, std::uint64_t account,
+                                            std::uint64_t from_height,
+                                            std::uint64_t to_height) {
+  using R = Result<Slice>;
+  queries_->Add(1);
+  if (from_height > to_height) {
+    giveups_->Add(1);
+    return R::Error("fleet: empty query window");
+  }
+  for (int refresh = 0;; ++refresh) {
+    const ShardMap map = Map();
+    const auto subs = map.Split(account, from_height, to_height);
+    Slice merged;
+    bool stale = false;
+    Status failure = Status::Ok();
+    for (const auto& sub : subs) {
+      subqueries_->Add(1);
+      auto piece = QueryShard(map, op, sub, account, &stale);
+      if (stale) break;
+      if (!piece.ok()) {
+        failure = piece.status();
+        break;
+      }
+      // Bands are disjoint and ascending, so concatenation preserves
+      // block-height order without a sort.
+      merged.versions.insert(merged.versions.end(),
+                             piece.value().versions.begin(),
+                             piece.value().versions.end());
+      merged.aggregate += piece.value().aggregate;
+      merged.tip_height = std::max(merged.tip_height,
+                                   piece.value().tip_height);
+    }
+    if (stale) {
+      if (refresh >= config_.max_map_refreshes) {
+        giveups_->Add(1);
+        return R::Error("fleet: shard map still stale after " +
+                        std::to_string(refresh) + " refreshes");
+      }
+      if (Status st = RefreshMap(); !st) {
+        giveups_->Add(1);
+        return R(st.WithContext("fleet: map refresh"));
+      }
+      continue;
+    }
+    if (!failure) {
+      giveups_->Add(1);
+      return R(failure);
+    }
+    return merged;
+  }
+}
+
+Result<std::vector<query::HistoricalVersion>> FleetClient::Historical(
+    std::uint64_t account, std::uint64_t from_height,
+    std::uint64_t to_height) {
+  auto slice = Run(svc::Op::kHistorical, account, from_height, to_height);
+  if (!slice.ok()) {
+    return Result<std::vector<query::HistoricalVersion>>(slice.status());
+  }
+  return std::move(slice.value().versions);
+}
+
+Result<mht::MbAggregate> FleetClient::Aggregate(std::uint64_t account,
+                                                std::uint64_t from_height,
+                                                std::uint64_t to_height) {
+  auto slice = Run(svc::Op::kAggregate, account, from_height, to_height);
+  if (!slice.ok()) return Result<mht::MbAggregate>(slice.status());
+  return slice.value().aggregate;
+}
+
+std::vector<Result<std::vector<query::HistoricalVersion>>>
+FleetClient::HistoricalMany(const std::vector<QuerySpec>& specs) {
+  using Item = Result<std::vector<query::HistoricalVersion>>;
+  std::vector<Item> results(specs.size(), Item(Status::Error("not run")));
+  if (specs.empty()) return results;
+  const std::size_t workers =
+      std::min(std::max<std::size_t>(1, config_.fanout_threads), specs.size());
+  std::atomic<std::size_t> next{0};
+  auto work = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) break;
+      results[i] = Historical(specs[i].account, specs[i].from_height,
+                              specs[i].to_height);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(work);
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+Status FleetClient::RefreshMap() {
+  map_refreshes_->Add(1);
+  const ShardMap cur = Map();
+  Status last = Status::Error("fleet: no backend answered a map fetch");
+  for (std::uint32_t shard = 0; shard < cur.TotalShards(); ++shard) {
+    for (std::uint32_t replica = 0; replica < cur.Replicas(); ++replica) {
+      auto client = Borrow(shard, replica);
+      auto bytes = client->FetchShardMap();
+      Return(shard, replica, std::move(client));
+      if (!bytes.ok()) {
+        last = bytes.status();
+        continue;
+      }
+      auto fresh = ShardMap::Deserialize(bytes.value());
+      if (!fresh.ok()) {
+        last = fresh.status();
+        continue;
+      }
+      std::unique_lock<std::shared_mutex> lk(map_mu_);
+      if (fresh.value().Version() >= map_.Version()) {
+        map_ = std::move(fresh.value());
+      }
+      return Status::Ok();
+    }
+  }
+  return last;
+}
+
+FleetClientStats FleetClient::Stats() const {
+  FleetClientStats s;
+  s.queries = queries_->Value();
+  s.subqueries = subqueries_->Value();
+  s.verified = verified_->Value();
+  s.verify_failures = verify_failures_->Value();
+  s.failovers = failovers_->Value();
+  s.map_refreshes = map_refreshes_->Value();
+  s.cross_checks = cross_checks_->Value();
+  s.cross_check_mismatches = cross_check_mismatches_->Value();
+  s.giveups = giveups_->Value();
+  return s;
+}
+
+}  // namespace dcert::fleet

@@ -1,0 +1,165 @@
+// Client-side verified scatter-gather over a shard fleet. A query window is
+// Split() at band boundaries; each subquery is answered by one shard and
+// verified INDEPENDENTLY before merging — per subquery the client fetches
+// the shard's certified tip, validates the block + index certificates with a
+// fresh SuperlightClient (pinned enclave measurement), and checks the query
+// proof against the certified index digest. Nothing on the path — router,
+// shard, network — is trusted; a corrupt or fabricated reply fails
+// verification and the client fails over to another replica instead of
+// accepting it.
+//
+// Failure handling per subquery:
+//  * transport faults / kBusy   — retried inside SpClient (PR 3 policy),
+//                                 then failed over to the next replica;
+//  * verification failures      — counted, failed over (a lying replica must
+//                                 not poison the merged result);
+//  * kStaleShard                — the whole query refreshes the shard map
+//                                 (bounded times) and re-splits/re-routes.
+//
+// Paranoid mode (cross_check): each subquery is independently verified on a
+// second replica and the two verified results compared; a mismatch (e.g. a
+// replica serving a divergent-but-certified view) fails the query loudly
+// rather than silently picking one.
+//
+// Backends are addressed as (shard, replica). Through a router both map to
+// the router's endpoint (the router picks real backends; set replicas to 1,
+// the router fails over internally); in direct mode the connector dials the
+// actual replica and the client fails over itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "dcert/enclave_program.h"
+#include "fleet/shard_map.h"
+#include "mht/mbtree.h"
+#include "obs/metrics.h"
+#include "query/historical_index.h"
+#include "svc/sp_client.h"
+
+namespace dcert::fleet {
+
+struct FleetClientConfig {
+  /// Enclave identity replies must be certified by.
+  Hash256 expected_measurement = core::ExpectedEnclaveMeasurement();
+  /// Per-backend-call retry policy (transport faults, kBusy sheds).
+  svc::RetryPolicy retry;
+  /// kStaleShard-triggered map refreshes allowed per logical query.
+  int max_map_refreshes = 2;
+  /// Tip-advanced races (proof tip != fetched tip) retried per replica.
+  int max_tip_races = 3;
+  /// Paranoid cross-replica cross-check (see header comment).
+  bool cross_check = false;
+  /// Worker threads for HistoricalMany fan-out.
+  std::size_t fanout_threads = 4;
+};
+
+struct FleetClientStats {
+  std::uint64_t queries = 0;             // logical client queries
+  std::uint64_t subqueries = 0;          // per-shard pieces issued
+  std::uint64_t verified = 0;            // subquery replies fully verified
+  std::uint64_t verify_failures = 0;     // replies rejected by verification
+  std::uint64_t failovers = 0;           // replica switches
+  std::uint64_t map_refreshes = 0;       // kStaleShard-triggered refreshes
+  std::uint64_t cross_checks = 0;        // paranoid double-verifications
+  std::uint64_t cross_check_mismatches = 0;
+  std::uint64_t giveups = 0;             // logical queries that failed
+};
+
+class FleetClient {
+ public:
+  using BackendConnector =
+      std::function<svc::Connector(std::uint32_t shard, std::uint32_t replica)>;
+
+  FleetClient(ShardMap map, BackendConnector backends,
+              FleetClientConfig config = {});
+
+  struct QuerySpec {
+    std::uint64_t account = 0;
+    std::uint64_t from_height = 0;
+    std::uint64_t to_height = 0;
+  };
+
+  /// Verified historical window query: merged per-shard pieces, ascending by
+  /// block height (bands are disjoint and processed in order).
+  Result<std::vector<query::HistoricalVersion>> Historical(
+      std::uint64_t account, std::uint64_t from_height,
+      std::uint64_t to_height);
+
+  /// Verified aggregate (count, wrapping sum) over the window; per-band
+  /// aggregates verify independently and sum.
+  Result<mht::MbAggregate> Aggregate(std::uint64_t account,
+                                     std::uint64_t from_height,
+                                     std::uint64_t to_height);
+
+  /// Parallel scatter-gather over many queries (fanout_threads workers);
+  /// results align with `specs` by index.
+  std::vector<Result<std::vector<query::HistoricalVersion>>> HistoricalMany(
+      const std::vector<QuerySpec>& specs);
+
+  /// Fetches a fresh map from the fleet (any backend; falls back across
+  /// shards/replicas) and installs it if its version is newer.
+  Status RefreshMap();
+
+  /// Current map (copied under lock; the map is small).
+  ShardMap Map() const;
+  FleetClientStats Stats() const;
+
+ private:
+  /// One verified subquery result (versions for kHistorical, aggregate for
+  /// kAggregate).
+  struct Slice {
+    std::vector<query::HistoricalVersion> versions;
+    mht::MbAggregate aggregate;
+    std::uint64_t tip_height = 0;
+  };
+
+  /// Whole-query driver: split, per-subquery replica loop, merge; refreshes
+  /// the map and restarts on kStaleShard.
+  Result<Slice> Run(svc::Op op, std::uint64_t account,
+                    std::uint64_t from_height, std::uint64_t to_height);
+  /// Replica failover loop for one subquery. Sets *stale when the shard
+  /// rejected our map version (caller refreshes and re-splits).
+  Result<Slice> QueryShard(const ShardMap& map, svc::Op op,
+                           const ShardMap::SubQuery& sub,
+                           std::uint64_t account, bool* stale);
+  /// One fully verified attempt against one replica.
+  Result<Slice> QueryReplica(const ShardMap& map, svc::Op op,
+                             const ShardMap::SubQuery& sub,
+                             std::uint64_t account, std::uint32_t replica,
+                             bool* stale);
+
+  std::unique_ptr<svc::SpClient> Borrow(std::uint32_t shard,
+                                        std::uint32_t replica);
+  void Return(std::uint32_t shard, std::uint32_t replica,
+              std::unique_ptr<svc::SpClient> client);
+
+  BackendConnector backends_;
+  FleetClientConfig config_;
+
+  mutable std::shared_mutex map_mu_;
+  ShardMap map_;
+
+  std::mutex pool_mu_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::vector<std::unique_ptr<svc::SpClient>>>
+      pool_;
+  std::uint64_t rr_ = 0;  // replica round-robin start, guarded by pool_mu_
+
+  std::shared_ptr<obs::Counter> queries_;
+  std::shared_ptr<obs::Counter> subqueries_;
+  std::shared_ptr<obs::Counter> verified_;
+  std::shared_ptr<obs::Counter> verify_failures_;
+  std::shared_ptr<obs::Counter> failovers_;
+  std::shared_ptr<obs::Counter> map_refreshes_;
+  std::shared_ptr<obs::Counter> cross_checks_;
+  std::shared_ptr<obs::Counter> cross_check_mismatches_;
+  std::shared_ptr<obs::Counter> giveups_;
+};
+
+}  // namespace dcert::fleet

@@ -1,0 +1,150 @@
+#include "fleet/shard_map.h"
+
+#include <algorithm>
+
+#include "common/serialize.h"
+
+namespace dcert::fleet {
+
+Result<ShardMap> ShardMap::Create(
+    const ShardMapConfig& cfg, std::vector<std::vector<std::string>> endpoints) {
+  using R = Result<ShardMap>;
+  if (cfg.version == 0) {
+    return R::Error("shard map: version 0 is reserved for unsharded servers");
+  }
+  if (cfg.key_shards == 0 || cfg.height_bands == 0) {
+    return R::Error("shard map: key_shards and height_bands must be >= 1");
+  }
+  if (cfg.height_bands > 1 && cfg.band_blocks == 0) {
+    return R::Error("shard map: band_blocks required with multiple bands");
+  }
+  if (cfg.replicas == 0) {
+    return R::Error("shard map: at least one replica per shard");
+  }
+  // Keep the grid small enough that shard_id arithmetic cannot overflow and
+  // fan-out stays sane.
+  if (cfg.key_shards > 4096 || cfg.height_bands > 4096 ||
+      cfg.replicas > 64) {
+    return R::Error("shard map: implausible shard/replica counts");
+  }
+  const std::size_t total =
+      static_cast<std::size_t>(cfg.key_shards) * cfg.height_bands;
+  if (endpoints.empty()) {
+    endpoints.assign(total, std::vector<std::string>(cfg.replicas));
+  }
+  if (endpoints.size() != total) {
+    return R::Error("shard map: endpoint rows != total shards");
+  }
+  for (const auto& row : endpoints) {
+    if (row.size() != cfg.replicas) {
+      return R::Error("shard map: endpoint row size != replicas");
+    }
+  }
+  ShardMap map;
+  map.cfg_ = cfg;
+  map.endpoints_ = std::move(endpoints);
+  return map;
+}
+
+std::uint32_t ShardMap::KeyShardOf(std::uint64_t account) const {
+  const unsigned __int128 prod =
+      static_cast<unsigned __int128>(account) * cfg_.key_shards;
+  return static_cast<std::uint32_t>(prod >> 64);
+}
+
+std::uint64_t ShardMap::KeyLo(std::uint32_t ks) const {
+  if (ks == 0) return 0;
+  const unsigned __int128 num = static_cast<unsigned __int128>(ks) << 64;
+  return static_cast<std::uint64_t>((num + cfg_.key_shards - 1) /
+                                    cfg_.key_shards);
+}
+
+std::uint32_t ShardMap::BandOf(std::uint64_t height) const {
+  if (cfg_.height_bands == 1) return 0;
+  const std::uint64_t band = height / cfg_.band_blocks;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(band, cfg_.height_bands - 1));
+}
+
+std::uint64_t ShardMap::HeightLo(std::uint32_t band) const {
+  return cfg_.height_bands == 1 ? 0 : band * cfg_.band_blocks;
+}
+
+std::uint64_t ShardMap::HeightHi(std::uint32_t band) const {
+  if (band + 1 >= cfg_.height_bands) return ~std::uint64_t{0};
+  return (band + 1) * cfg_.band_blocks - 1;
+}
+
+std::vector<ShardMap::SubQuery> ShardMap::Split(
+    std::uint64_t account, std::uint64_t from_height,
+    std::uint64_t to_height) const {
+  std::vector<SubQuery> out;
+  if (from_height > to_height) return out;
+  const std::uint32_t ks = KeyShardOf(account);
+  std::uint64_t cursor = from_height;
+  std::uint32_t band = BandOf(from_height);
+  while (true) {
+    const std::uint64_t end = std::min(to_height, HeightHi(band));
+    out.push_back({ks * cfg_.height_bands + band, cursor, end});
+    if (end >= to_height) break;
+    cursor = end + 1;
+    ++band;
+  }
+  return out;
+}
+
+svc::ShardAssignment ShardMap::AssignmentFor(std::uint32_t shard_id) const {
+  const std::uint32_t ks = shard_id / cfg_.height_bands;
+  const std::uint32_t band = shard_id % cfg_.height_bands;
+  svc::ShardAssignment a;
+  a.map_version = cfg_.version;
+  a.shard_id = shard_id;
+  a.total_shards = TotalShards();
+  a.key_lo = KeyLo(ks);
+  a.key_hi = ks + 1 == cfg_.key_shards ? ~std::uint64_t{0} : KeyLo(ks + 1) - 1;
+  a.height_lo = HeightLo(band);
+  a.height_hi = HeightHi(band);
+  return a;
+}
+
+Bytes ShardMap::Serialize() const {
+  Encoder enc;
+  enc.U64(cfg_.version);
+  enc.U32(cfg_.key_shards);
+  enc.U32(cfg_.height_bands);
+  enc.U64(cfg_.band_blocks);
+  enc.U32(cfg_.replicas);
+  for (const auto& row : endpoints_) {
+    for (const auto& ep : row) enc.Str(ep);
+  }
+  return enc.Take();
+}
+
+Result<ShardMap> ShardMap::Deserialize(ByteView bytes) {
+  using R = Result<ShardMap>;
+  try {
+    Decoder dec(bytes);
+    ShardMapConfig cfg;
+    cfg.version = dec.U64();
+    cfg.key_shards = dec.U32();
+    cfg.height_bands = dec.U32();
+    cfg.band_blocks = dec.U64();
+    cfg.replicas = dec.U32();
+    // Validate the grid before sizing allocations from untrusted counts.
+    auto probe = Create(cfg);
+    if (!probe.ok()) return probe;
+    const std::size_t total =
+        static_cast<std::size_t>(cfg.key_shards) * cfg.height_bands;
+    std::vector<std::vector<std::string>> endpoints(total);
+    for (auto& row : endpoints) {
+      row.reserve(cfg.replicas);
+      for (std::uint32_t r = 0; r < cfg.replicas; ++r) row.push_back(dec.Str());
+    }
+    dec.ExpectEnd();
+    return Create(cfg, std::move(endpoints));
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("shard map: ") + e.what());
+  }
+}
+
+}  // namespace dcert::fleet

@@ -1,0 +1,103 @@
+// Versioned, deterministic partition of the historical index over
+// key_shards × height_bands logical shards, each served by `replicas`
+// interchangeable servers. The map is pure arithmetic — no lookup tables —
+// so every party (router, client, shard server) derives identical routing
+// from the same serialized bytes:
+//
+//  * Accounts partition by range: account word `a` belongs to key-shard
+//    floor(a * K / 2^64), i.e. K equal slices of the 64-bit key space.
+//  * Heights partition into bands of `band_blocks` blocks; the last band is
+//    open-ended so the map never expires as the chain grows.
+//  * shard_id = key_shard * height_bands + band.
+//
+// Shards partition LOAD, not storage: every shard applies all announcements
+// (so its proofs verify against the certified full-index digest) but serves
+// only queries inside its slice. A client window that crosses band
+// boundaries is Split() into per-band subqueries, answered by different
+// shards and merged after each piece verifies independently.
+//
+// The version stamps every shard-scoped request; resharding bumps it, and
+// servers reject stale-version requests with kStaleShard so clients refresh
+// before re-routing (no silently misrouted queries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "svc/protocol.h"
+
+namespace dcert::fleet {
+
+struct ShardMapConfig {
+  /// Must be non-zero: svc::ShardAssignment treats version 0 as "unsharded".
+  std::uint64_t version = 1;
+  std::uint32_t key_shards = 1;
+  std::uint32_t height_bands = 1;
+  /// Blocks per height band (required > 0 when height_bands > 1); the last
+  /// band extends to infinity.
+  std::uint64_t band_blocks = 0;
+  std::uint32_t replicas = 1;
+};
+
+class ShardMap {
+ public:
+  /// One piece of a client query after splitting at band boundaries.
+  struct SubQuery {
+    std::uint32_t shard_id = 0;
+    std::uint64_t from_height = 0;
+    std::uint64_t to_height = 0;
+  };
+
+  /// Validates the config and takes endpoints[shard][replica] (host:port
+  /// strings; may be empty for in-process topologies — it is then sized to
+  /// the shard/replica grid with empty strings).
+  static Result<ShardMap> Create(
+      const ShardMapConfig& cfg,
+      std::vector<std::vector<std::string>> endpoints = {});
+
+  std::uint64_t Version() const { return cfg_.version; }
+  std::uint32_t KeyShards() const { return cfg_.key_shards; }
+  std::uint32_t HeightBands() const { return cfg_.height_bands; }
+  std::uint32_t Replicas() const { return cfg_.replicas; }
+  std::uint32_t TotalShards() const {
+    return cfg_.key_shards * cfg_.height_bands;
+  }
+
+  std::uint32_t KeyShardOf(std::uint64_t account) const;
+  std::uint32_t BandOf(std::uint64_t height) const;
+  std::uint32_t ShardOf(std::uint64_t account, std::uint64_t height) const {
+    return KeyShardOf(account) * cfg_.height_bands + BandOf(height);
+  }
+
+  /// Splits [from_height, to_height] at band boundaries; each piece names
+  /// the shard owning it. Pieces are disjoint, ascending, and cover the
+  /// window exactly. Empty when from > to.
+  std::vector<SubQuery> Split(std::uint64_t account, std::uint64_t from_height,
+                              std::uint64_t to_height) const;
+
+  /// The assignment shard `shard_id` enforces (svc::SpServerConfig::shard).
+  svc::ShardAssignment AssignmentFor(std::uint32_t shard_id) const;
+
+  const std::vector<std::string>& Endpoints(std::uint32_t shard_id) const {
+    return endpoints_[shard_id];
+  }
+
+  Bytes Serialize() const;
+  static Result<ShardMap> Deserialize(ByteView bytes);
+
+ private:
+  ShardMap() = default;
+
+  /// First account word of key-shard `ks`: ceil(ks * 2^64 / K).
+  std::uint64_t KeyLo(std::uint32_t ks) const;
+  std::uint64_t HeightLo(std::uint32_t band) const;
+  std::uint64_t HeightHi(std::uint32_t band) const;
+
+  ShardMapConfig cfg_;
+  std::vector<std::vector<std::string>> endpoints_;  // [shard][replica]
+};
+
+}  // namespace dcert::fleet

@@ -107,6 +107,34 @@ HistogramSnapshot HistogramSnapshot::DeltaFrom(const HistogramSnapshot& base) co
   return out;
 }
 
+HistogramSnapshot HistogramSnapshot::MergedWith(
+    const HistogramSnapshot& other) const {
+  if (count == 0) return other;
+  if (other.count == 0) return *this;
+  HistogramSnapshot out;
+  out.count = count + other.count;
+  out.sum = sum + other.sum;
+  out.min = std::min(min, other.min);
+  out.max = std::max(max, other.max);
+  std::map<std::uint64_t, std::uint64_t> merged(buckets.begin(),
+                                                buckets.end());
+  for (const auto& [bound, n] : other.buckets) merged[bound] += n;
+  out.buckets.assign(merged.begin(), merged.end());
+  return out;
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) {
+    auto it = gauges.find(name);
+    gauges[name] = it == gauges.end() ? v : std::max(it->second, v);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    auto it = histograms.find(name);
+    histograms[name] = it == histograms.end() ? h : it->second.MergedWith(h);
+  }
+}
+
 MetricsSnapshot MetricsSnapshot::DeltaFrom(const MetricsSnapshot& base) const {
   MetricsSnapshot out;
   for (const auto& [name, v] : counters) {

@@ -116,6 +116,9 @@ struct HistogramSnapshot {
   /// Bucket-wise (this - base); min/max stay this snapshot's (they are
   /// since-construction extremes, not differentiable).
   HistogramSnapshot DeltaFrom(const HistogramSnapshot& base) const;
+  /// Bucket-wise (this + other): count/sum add, min/max widen. Quantiles of
+  /// the merge are exact to bucket resolution, same as a single histogram.
+  HistogramSnapshot MergedWith(const HistogramSnapshot& other) const;
 };
 
 /// Log-linear histogram of non-negative 64-bit samples (latencies in ns,
@@ -189,6 +192,13 @@ struct MetricsSnapshot {
   /// snapshot's value (deltas of levels are not meaningful). Names missing
   /// from `base` are treated as starting at zero.
   MetricsSnapshot DeltaFrom(const MetricsSnapshot& base) const;
+
+  /// Folds `other` into this snapshot, fleet-style: counters sum (total work
+  /// across servers), gauges take the max (a level like queue depth is most
+  /// useful at its worst), histograms merge bucket-wise (so fleet-wide
+  /// percentiles come from the combined distribution, never from averaging
+  /// per-server quantiles).
+  void MergeFrom(const MetricsSnapshot& other);
 };
 
 class MetricsRegistry {

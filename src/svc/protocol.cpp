@@ -8,7 +8,7 @@ namespace {
 
 bool ValidOp(std::uint8_t op) {
   return op >= static_cast<std::uint8_t>(Op::kTipFetch) &&
-         op <= static_cast<std::uint8_t>(Op::kStats);
+         op <= static_cast<std::uint8_t>(Op::kShardScoped);
 }
 
 /// Caps on the decoded snapshot so a malicious stats reply cannot balloon
@@ -27,6 +27,22 @@ Bytes EncodeTipFetchRequest() {
 Bytes EncodeStatsRequest() {
   Encoder enc;
   enc.U8(static_cast<std::uint8_t>(Op::kStats));
+  return enc.Take();
+}
+
+Bytes EncodeShardMapRequest() {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Op::kShardMap));
+  return enc.Take();
+}
+
+Bytes EncodeShardScopedRequest(std::uint64_t map_version,
+                               std::uint32_t shard_id, ByteView inner) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Op::kShardScoped));
+  enc.U64(map_version);
+  enc.U32(shard_id);
+  enc.Blob(inner);
   return enc.Take();
 }
 
@@ -106,6 +122,27 @@ Result<AnnounceRequest> DecodeAnnounceRequest(ByteView frame) {
   }
 }
 
+Result<ShardScopedRequest> DecodeShardScopedRequest(ByteView frame) {
+  using R = Result<ShardScopedRequest>;
+  try {
+    Decoder dec(frame);
+    if (dec.U8() != static_cast<std::uint8_t>(Op::kShardScoped)) {
+      return R::Error("shard-scoped request: wrong op");
+    }
+    ShardScopedRequest req;
+    req.map_version = dec.U64();
+    req.shard_id = dec.U32();
+    req.inner = dec.Blob();
+    dec.ExpectEnd();
+    if (req.inner.empty()) {
+      return R::Error("shard-scoped request: empty inner frame");
+    }
+    return req;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("shard-scoped request: ") + e.what());
+  }
+}
+
 Bytes EncodeStatusReply(Code code, const std::string& message) {
   Encoder enc;
   enc.U8(static_cast<std::uint8_t>(code));
@@ -139,13 +176,33 @@ Bytes EncodeAckReply(std::uint64_t tip_height) {
   return enc.Take();
 }
 
+Bytes EncodeShardMapReply(ByteView map_bytes) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Code::kOk));
+  enc.Blob(map_bytes);
+  return enc.Take();
+}
+
+Result<Bytes> DecodeShardMapBody(ByteView body) {
+  using R = Result<Bytes>;
+  try {
+    Decoder dec(body);
+    Bytes map_bytes = dec.Blob();
+    dec.ExpectEnd();
+    if (map_bytes.empty()) return R::Error("shard map reply: empty map");
+    return map_bytes;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("shard map reply: ") + e.what());
+  }
+}
+
 Result<ReplyEnvelope> DecodeReplyEnvelope(ByteView frame) {
   using R = Result<ReplyEnvelope>;
   try {
     Decoder dec(frame);
     ReplyEnvelope env;
     const std::uint8_t code = dec.U8();
-    if (code > static_cast<std::uint8_t>(Code::kError)) {
+    if (code > static_cast<std::uint8_t>(Code::kStaleShard)) {
       return R::Error("reply: unknown status code");
     }
     env.code = static_cast<Code>(code);

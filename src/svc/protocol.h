@@ -24,12 +24,18 @@ enum class Op : std::uint8_t {
   kAggregate = 3,   // count/sum query -> QueryReply
   kAnnounce = 4,    // certified block announcement -> AckReply
   kStats = 5,       // live metrics snapshot -> StatsReply
+  kShardMap = 6,    // fetch the fleet shard map -> opaque map bytes
+  kShardScoped = 7,  // shard-addressed envelope around tip/query requests
 };
 
 enum class Code : std::uint8_t {
   kOk = 0,
   kBusy = 1,   // admission control shed the request; retry later
   kError = 2,  // malformed request or server-side failure
+  /// The request named a shard-map version or shard this server does not
+  /// hold (resharding happened, or the router misrouted). Retryable after
+  /// the client refreshes its shard map — never a permanent failure.
+  kStaleShard = 3,
 };
 
 /// Everything a superlight client needs to trust replies from this server:
@@ -47,6 +53,41 @@ struct QueryRequest {
   std::uint64_t account = 0;
   std::uint64_t from_height = 0;
   std::uint64_t to_height = 0;
+};
+
+/// The slice of a fleet shard map one server enforces: which keys and block
+/// heights it owns, under which map version. Plain data so svc needs no
+/// dependency on the fleet layer that computes it (fleet::ShardMap does).
+/// map_version 0 means "unsharded": the server owns everything.
+struct ShardAssignment {
+  std::uint64_t map_version = 0;
+  std::uint32_t shard_id = 0;
+  std::uint32_t total_shards = 1;
+  std::uint64_t key_lo = 0;  // inclusive account-word range
+  std::uint64_t key_hi = ~std::uint64_t{0};
+  std::uint64_t height_lo = 0;  // inclusive block-height band
+  std::uint64_t height_hi = ~std::uint64_t{0};
+
+  bool Sharded() const { return map_version != 0; }
+  bool OwnsKey(std::uint64_t account) const {
+    return account >= key_lo && account <= key_hi;
+  }
+  /// The whole query window must sit inside this shard's height band;
+  /// clients split windows at band boundaries before asking.
+  bool OwnsWindow(std::uint64_t from, std::uint64_t to) const {
+    return from >= height_lo && to <= height_hi;
+  }
+  bool OwnsWrite(std::uint64_t account, std::uint64_t height) const {
+    return OwnsKey(account) && height >= height_lo && height <= height_hi;
+  }
+};
+
+/// Decoded kShardScoped envelope: the addressed shard plus the inner request
+/// frame (tip fetch or query) the shard should process after ownership checks.
+struct ShardScopedRequest {
+  std::uint64_t map_version = 0;
+  std::uint32_t shard_id = 0;
+  Bytes inner;
 };
 
 struct AnnounceRequest {
@@ -68,10 +109,17 @@ Bytes EncodeTipFetchRequest();
 Bytes EncodeStatsRequest();
 Bytes EncodeQueryRequest(const QueryRequest& req);
 Bytes EncodeAnnounceRequest(const AnnounceRequest& req);
+Bytes EncodeShardMapRequest();
+/// Wraps a complete inner request frame in a shard-addressed envelope; the
+/// router routes on the header without touching the inner frame, and the
+/// shard checks (map_version, shard_id) before processing it.
+Bytes EncodeShardScopedRequest(std::uint64_t map_version,
+                               std::uint32_t shard_id, ByteView inner);
 /// The op byte of a request frame (without consuming the body).
 Result<Op> PeekOp(ByteView frame);
 Result<QueryRequest> DecodeQueryRequest(ByteView frame);
 Result<AnnounceRequest> DecodeAnnounceRequest(ByteView frame);
+Result<ShardScopedRequest> DecodeShardScopedRequest(ByteView frame);
 
 // Replies.
 Bytes EncodeStatusReply(Code code, const std::string& message);
@@ -80,7 +128,11 @@ Bytes EncodeTipReply(const TipInfo& tip);
 Bytes EncodeQueryReply(std::uint64_t tip_height,
                        const query::HistoricalQueryProof& proof);
 Bytes EncodeAckReply(std::uint64_t tip_height);
+/// OK body is the opaque serialized fleet shard map (fleet::ShardMap bytes);
+/// svc carries it without interpreting it so the dependency stays one-way.
+Bytes EncodeShardMapReply(ByteView map_bytes);
 Result<ReplyEnvelope> DecodeReplyEnvelope(ByteView frame);
+Result<Bytes> DecodeShardMapBody(ByteView body);
 Result<TipInfo> DecodeTipBody(ByteView body);
 Result<std::pair<std::uint64_t, query::HistoricalQueryProof>> DecodeQueryBody(
     ByteView body);

@@ -11,7 +11,8 @@ ResponseCache::ResponseCache(std::size_t shards,
       hits_(std::make_shared<obs::Counter>()),
       misses_(std::make_shared<obs::Counter>()),
       evictions_(std::make_shared<obs::Counter>()),
-      invalidations_(std::make_shared<obs::Counter>()) {
+      invalidations_(std::make_shared<obs::Counter>()),
+      invalidations_skipped_(std::make_shared<obs::Counter>()) {
   if (shards == 0) shards = 1;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
@@ -22,6 +23,7 @@ ResponseCache::ResponseCache(std::size_t shards,
   reg.Register("svc.cache.misses", misses_);
   reg.Register("svc.cache.evictions", evictions_);
   reg.Register("svc.cache.invalidations", invalidations_);
+  reg.Register("svc.cache.invalidations_skipped", invalidations_skipped_);
 }
 
 Hash256 ResponseCache::Key(Op op, std::uint64_t account,
@@ -80,12 +82,17 @@ void ResponseCache::InvalidateAll() {
   invalidations_->Add(1);
 }
 
+void ResponseCache::NoteInvalidationSkipped() {
+  invalidations_skipped_->Add(1);
+}
+
 CacheStats ResponseCache::Stats() const {
   CacheStats s;
   s.hits = hits_->Value();
   s.misses = misses_->Value();
   s.evictions = evictions_->Value();
   s.invalidations = invalidations_->Value();
+  s.invalidations_skipped = invalidations_skipped_->Value();
   return s;
 }
 

@@ -26,6 +26,10 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t invalidations = 0;  // whole-cache flushes
+  /// Flushes a shard-assigned server skipped because the announced block
+  /// wrote nothing this shard owns (keys embed the tip height, so stale
+  /// hits are impossible either way — the flush only returns memory).
+  std::uint64_t invalidations_skipped = 0;
 
   double HitRate() const {
     const std::uint64_t total = hits + misses;
@@ -48,6 +52,9 @@ class ResponseCache {
   void Insert(const Hash256& key, Bytes reply);
   /// Drops every entry (a new certified block arrived).
   void InvalidateAll();
+  /// Records that a flush was deliberately not performed (shard-local
+  /// invalidation decided the announcement was out-of-shard).
+  void NoteInvalidationSkipped();
 
   /// Thin view over this instance's registry-backed counters (`svc.cache.*`
   /// in the metrics registry; exact for this cache instance).
@@ -72,6 +79,7 @@ class ResponseCache {
   std::shared_ptr<obs::Counter> misses_;
   std::shared_ptr<obs::Counter> evictions_;
   std::shared_ptr<obs::Counter> invalidations_;
+  std::shared_ptr<obs::Counter> invalidations_skipped_;
 };
 
 }  // namespace dcert::svc

@@ -20,6 +20,7 @@ struct ClientMetrics {
   std::shared_ptr<obs::Counter> timeouts;
   std::shared_ptr<obs::Counter> transport_errors;
   std::shared_ptr<obs::Counter> busy_replies;
+  std::shared_ptr<obs::Counter> stale_shard_replies;
   std::shared_ptr<obs::Counter> giveups;
 
   static ClientMetrics& Get() {
@@ -31,6 +32,7 @@ struct ClientMetrics {
         reg.GetCounter("svc.client.timeouts"),
         reg.GetCounter("svc.client.transport_errors"),
         reg.GetCounter("svc.client.busy_replies"),
+        reg.GetCounter("svc.client.stale_shard_replies"),
         reg.GetCounter("svc.client.giveups")};
     return *m;
   }
@@ -82,6 +84,7 @@ Result<Bytes> SpClient::Roundtrip(const Bytes& request,
     ++stats_.attempts;
     ClientMetrics::Get().attempts->Add(1);
     last_busy_ = false;
+    last_stale_shard_ = false;
 
     if (Status st = EnsureConnected(); !st) {
       last_error = st;
@@ -127,6 +130,17 @@ Result<Bytes> SpClient::Roundtrip(const Bytes& request,
       last_busy_ = true;
       last_error = Status::Error("busy: " + env.value().message);
       continue;  // the connection is fine; the server shed us — back off
+    }
+    if (env.value().code == Code::kStaleShard) {
+      // The *map* is wrong, not the connection — blind retries against the
+      // same shard cannot succeed. Fail fast; the caller refreshes its shard
+      // map (LastReplyStaleShard()) and re-routes.
+      ++stats_.stale_shard_replies;
+      ClientMetrics::Get().stale_shard_replies->Add(1);
+      last_stale_shard_ = true;
+      ++stats_.giveups;
+      ClientMetrics::Get().giveups->Add(1);
+      return Result<Bytes>::Error("stale shard: " + env.value().message);
     }
     if (env.value().code == Code::kError) {
       return Result<Bytes>::Error("server: " + env.value().message);
@@ -175,6 +189,18 @@ Result<obs::MetricsSnapshot> SpClient::FetchStats() {
   return std::move(*snap);
 }
 
+Result<Bytes> SpClient::FetchShardMap() {
+  std::optional<Bytes> map;
+  auto body = Roundtrip(EncodeShardMapRequest(), [&map](const Bytes& b) {
+    auto decoded = DecodeShardMapBody(b);
+    if (!decoded.ok()) return decoded.status();
+    map = std::move(decoded.value());
+    return Status::Ok();
+  });
+  if (!body.ok()) return Result<Bytes>(body.status());
+  return std::move(*map);
+}
+
 Result<SpClient::QueryResult> SpClient::Query(Op op, std::uint64_t account,
                                               std::uint64_t from_height,
                                               std::uint64_t to_height) {
@@ -201,6 +227,54 @@ Result<SpClient::QueryResult> SpClient::Aggregate(std::uint64_t account,
                                                   std::uint64_t from_height,
                                                   std::uint64_t to_height) {
   return Query(Op::kAggregate, account, from_height, to_height);
+}
+
+Result<TipInfo> SpClient::FetchTipSharded(std::uint64_t map_version,
+                                          std::uint32_t shard_id) {
+  std::optional<TipInfo> tip;
+  auto body = Roundtrip(
+      EncodeShardScopedRequest(map_version, shard_id, EncodeTipFetchRequest()),
+      [&tip](const Bytes& b) {
+        auto decoded = DecodeTipBody(b);
+        if (!decoded.ok()) return decoded.status();
+        tip = std::move(decoded.value());
+        return Status::Ok();
+      });
+  if (!body.ok()) return Result<TipInfo>(body.status());
+  return std::move(*tip);
+}
+
+Result<SpClient::QueryResult> SpClient::QuerySharded(
+    Op op, std::uint64_t map_version, std::uint32_t shard_id,
+    std::uint64_t account, std::uint64_t from_height, std::uint64_t to_height) {
+  using R = Result<QueryResult>;
+  QueryRequest req{op, account, from_height, to_height};
+  std::optional<QueryResult> out;
+  auto body = Roundtrip(
+      EncodeShardScopedRequest(map_version, shard_id, EncodeQueryRequest(req)),
+      [&out](const Bytes& b) {
+        auto decoded = DecodeQueryBody(b);
+        if (!decoded.ok()) return decoded.status();
+        out = QueryResult{decoded.value().first,
+                          std::move(decoded.value().second)};
+        return Status::Ok();
+      });
+  if (!body.ok()) return R(body.status());
+  return std::move(*out);
+}
+
+Result<SpClient::QueryResult> SpClient::HistoricalSharded(
+    std::uint64_t map_version, std::uint32_t shard_id, std::uint64_t account,
+    std::uint64_t from_height, std::uint64_t to_height) {
+  return QuerySharded(Op::kHistorical, map_version, shard_id, account,
+                      from_height, to_height);
+}
+
+Result<SpClient::QueryResult> SpClient::AggregateSharded(
+    std::uint64_t map_version, std::uint32_t shard_id, std::uint64_t account,
+    std::uint64_t from_height, std::uint64_t to_height) {
+  return QuerySharded(Op::kAggregate, map_version, shard_id, account,
+                      from_height, to_height);
 }
 
 Result<std::uint64_t> SpClient::Announce(const AnnounceRequest& req) {

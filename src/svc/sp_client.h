@@ -51,6 +51,7 @@ struct SpClientStats {
   std::uint64_t timeouts = 0;          // attempts lost to deadlines
   std::uint64_t transport_errors = 0;  // broken connections, garbled replies
   std::uint64_t busy_replies = 0;      // kBusy sheds observed
+  std::uint64_t stale_shard_replies = 0;  // kStaleShard rejections observed
   std::uint64_t giveups = 0;           // logical calls that exhausted retries
   std::uint64_t backoff_ms_total = 0;  // wall clock spent backing off
 };
@@ -79,6 +80,9 @@ class SpClient {
   Result<TipInfo> FetchTip();
   /// Live metrics snapshot from the server's registry (Op::kStats).
   Result<obs::MetricsSnapshot> FetchStats();
+  /// Serialized fleet shard map (Op::kShardMap); decode with
+  /// fleet::ShardMap::Deserialize.
+  Result<Bytes> FetchShardMap();
   Result<QueryResult> Historical(std::uint64_t account,
                                  std::uint64_t from_height,
                                  std::uint64_t to_height);
@@ -87,9 +91,29 @@ class SpClient {
                                 std::uint64_t to_height);
   Result<std::uint64_t> Announce(const AnnounceRequest& req);
 
+  // Shard-addressed variants: the request carries (map_version, shard_id) so
+  // a shard server can reject misrouted or stale-map calls with kStaleShard.
+  // A kStaleShard reply fails the call without retrying (blind retries
+  // cannot help — the *map* is wrong); LastReplyStaleShard() tells callers
+  // to refresh their shard map and re-route.
+  Result<TipInfo> FetchTipSharded(std::uint64_t map_version,
+                                  std::uint32_t shard_id);
+  Result<QueryResult> HistoricalSharded(std::uint64_t map_version,
+                                        std::uint32_t shard_id,
+                                        std::uint64_t account,
+                                        std::uint64_t from_height,
+                                        std::uint64_t to_height);
+  Result<QueryResult> AggregateSharded(std::uint64_t map_version,
+                                       std::uint32_t shard_id,
+                                       std::uint64_t account,
+                                       std::uint64_t from_height,
+                                       std::uint64_t to_height);
+
   /// True when the last failed call ended on a kBusy shed by admission
   /// control rather than a transport/protocol error.
   bool LastReplyBusy() const { return last_busy_; }
+  /// True when the last failed call was rejected with kStaleShard.
+  bool LastReplyStaleShard() const { return last_stale_shard_; }
 
   const SpClientStats& Stats() const { return stats_; }
 
@@ -100,6 +124,11 @@ class SpClient {
 
   Result<QueryResult> Query(Op op, std::uint64_t account,
                             std::uint64_t from_height, std::uint64_t to_height);
+  Result<QueryResult> QuerySharded(Op op, std::uint64_t map_version,
+                                   std::uint32_t shard_id,
+                                   std::uint64_t account,
+                                   std::uint64_t from_height,
+                                   std::uint64_t to_height);
   /// One logical call: attempt/backoff/reconnect loop around the transport.
   Result<Bytes> Roundtrip(const Bytes& request, const BodyDecoder& decode_body);
   /// Ensures conn_ is live, dialing through connector_ if present.
@@ -111,6 +140,7 @@ class SpClient {
   Rng jitter_rng_;
   SpClientStats stats_;
   bool last_busy_ = false;
+  bool last_stale_shard_ = false;
   bool ever_connected_ = false;
 };
 

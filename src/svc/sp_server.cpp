@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/trace.h"
+#include "query/extraction.h"
 
 namespace dcert::svc {
 
@@ -25,6 +26,7 @@ SpServer::SpServer(SpServerConfig config)
       errors_(std::make_shared<obs::Counter>()),
       blocks_applied_(std::make_shared<obs::Counter>()),
       announce_rejected_(std::make_shared<obs::Counter>()),
+      shard_rejects_(std::make_shared<obs::Counter>()),
       inflight_gauge_(std::make_shared<obs::Gauge>()),
       lat_tip_ns_(std::make_shared<obs::Histogram>()),
       lat_historical_ns_(std::make_shared<obs::Histogram>()),
@@ -37,6 +39,7 @@ SpServer::SpServer(SpServerConfig config)
   reg.Register("svc.server.errors", errors_);
   reg.Register("svc.server.blocks_applied", blocks_applied_);
   reg.Register("svc.server.announce_rejected", announce_rejected_);
+  reg.Register("svc.server.shard_rejects", shard_rejects_);
   reg.Register("svc.server.inflight", inflight_gauge_);
   reg.Register("svc.latency.tip_ns", lat_tip_ns_);
   reg.Register("svc.latency.historical_ns", lat_historical_ns_);
@@ -120,6 +123,20 @@ Bytes SpServer::Process(const Bytes& request) {
         errors_->Add(1);
         return EncodeStatusReply(Code::kError, req.message());
       }
+      // A sharded server serves only what it owns, even for plain (router-
+      // forwarded) queries; the rejection is retryable because the client's
+      // routing data, not the query, is what's wrong.
+      if (config_.shard.Sharded()) {
+        if (!config_.shard.OwnsKey(req.value().account)) {
+          return RejectShard("query key " + std::to_string(req.value().account) +
+                             " not owned by shard " +
+                             std::to_string(config_.shard.shard_id));
+        }
+        if (!config_.shard.OwnsWindow(req.value().from_height,
+                                      req.value().to_height)) {
+          return RejectShard("query window outside shard height band");
+        }
+      }
       obs::TraceSpan span(
           req.value().op == Op::kHistorical ? "svc.historical" : "svc.aggregate",
           req.value().op == Op::kHistorical ? lat_historical_ns_
@@ -147,9 +164,91 @@ Bytes SpServer::Process(const Bytes& request) {
       served_->Add(1);
       return EncodeStatsReply(obs::MetricsRegistry::Global().Snapshot());
     }
+    case Op::kShardMap: {
+      if (config_.shard_map.empty()) {
+        errors_->Add(1);
+        return EncodeStatusReply(Code::kError, "no shard map configured");
+      }
+      served_->Add(1);
+      return EncodeShardMapReply(config_.shard_map);
+    }
+    case Op::kShardScoped: {
+      auto req = DecodeShardScopedRequest(request);
+      if (!req.ok()) {
+        errors_->Add(1);
+        return EncodeStatusReply(Code::kError, req.message());
+      }
+      return ProcessShardScoped(req.value());
+    }
   }
   errors_->Add(1);
   return EncodeStatusReply(Code::kError, "unhandled op");
+}
+
+Bytes SpServer::RejectShard(const std::string& message) {
+  shard_rejects_->Add(1);
+  return EncodeStatusReply(Code::kStaleShard, message);
+}
+
+Bytes SpServer::ProcessShardScoped(const ShardScopedRequest& req) {
+  if (!config_.shard.Sharded()) {
+    errors_->Add(1);
+    return EncodeStatusReply(Code::kError,
+                             "shard-scoped request to unsharded server");
+  }
+  if (req.map_version != config_.shard.map_version) {
+    return RejectShard("stale shard map: client v" +
+                       std::to_string(req.map_version) + ", server v" +
+                       std::to_string(config_.shard.map_version));
+  }
+  if (req.shard_id != config_.shard.shard_id) {
+    return RejectShard("misrouted: addressed shard " +
+                       std::to_string(req.shard_id) + ", this is shard " +
+                       std::to_string(config_.shard.shard_id));
+  }
+  auto inner_op = PeekOp(req.inner);
+  if (!inner_op.ok()) {
+    errors_->Add(1);
+    return EncodeStatusReply(Code::kError, "shard-scoped: " + inner_op.message());
+  }
+  switch (inner_op.value()) {
+    case Op::kTipFetch: {
+      obs::TraceSpan span("svc.tip_fetch", lat_tip_ns_);
+      return ProcessTipFetch();
+    }
+    case Op::kHistorical:
+    case Op::kAggregate: {
+      auto inner = DecodeQueryRequest(req.inner);
+      if (!inner.ok()) {
+        errors_->Add(1);
+        return EncodeStatusReply(Code::kError, inner.message());
+      }
+      if (!config_.shard.OwnsKey(inner.value().account)) {
+        return RejectShard("query key " +
+                           std::to_string(inner.value().account) +
+                           " not owned by shard " +
+                           std::to_string(config_.shard.shard_id));
+      }
+      if (!config_.shard.OwnsWindow(inner.value().from_height,
+                                    inner.value().to_height)) {
+        return RejectShard("query window outside shard height band");
+      }
+      obs::TraceSpan span(inner.value().op == Op::kHistorical
+                              ? "svc.historical"
+                              : "svc.aggregate",
+                          inner.value().op == Op::kHistorical
+                              ? lat_historical_ns_
+                              : lat_aggregate_ns_);
+      return ProcessQuery(inner.value());
+    }
+    default: {
+      // Announce/stats/map fetches are process-global concerns; scoping them
+      // to a shard would only mask routing bugs.
+      errors_->Add(1);
+      return EncodeStatusReply(Code::kError,
+                               "shard-scoped: inner op not shardable");
+    }
+  }
 }
 
 Bytes SpServer::ProcessTipFetch() {
@@ -312,6 +411,7 @@ Status SpServer::AnnounceLocked(const AnnounceRequest& req) {
   pending_[hdr.height] = req;
 
   bool applied_any = false;
+  bool wrote_in_shard = false;
   while (true) {
     auto it = pending_.find(next_height_);
     if (it == pending_.end()) break;
@@ -319,6 +419,22 @@ Status SpServer::AnnounceLocked(const AnnounceRequest& req) {
     if (tip_ && r.block.header.prev_hash != tip_->header.Hash()) {
       pending_.erase(it);
       return reject(Status::Error("announce: block does not extend tip"));
+    }
+    // Shard-local invalidation: announcements fan out to every shard of a
+    // fleet, but only blocks that write keys this shard owns (inside its
+    // height band) can affect replies it would serve. Deciding here, per
+    // applied block, keeps the flush decision independent of how many other
+    // shards share the process or the fleet.
+    if (config_.shard.Sharded()) {
+      for (const query::HistEntry& e :
+           query::ExtractHistoricalWrites(r.block)) {
+        if (config_.shard.OwnsWrite(e.account_word, r.block.header.height)) {
+          wrote_in_shard = true;
+          break;
+        }
+      }
+    } else {
+      wrote_in_shard = true;  // unsharded servers own everything
     }
     index_.ApplyBlockCapturingAux(r.block);
     if (index_.CurrentDigest() != r.index_digest) {
@@ -340,8 +456,17 @@ Status SpServer::AnnounceLocked(const AnnounceRequest& req) {
     blocks_applied_->Add(1);
     applied_any = true;
   }
-  // Every cached proof refers to an older tip once a block applies.
-  if (applied_any) cache_.InvalidateAll();
+  // Every cached proof refers to an older tip once a block applies. Cache
+  // keys embed the tip height, so skipping the flush for out-of-shard blocks
+  // can never serve a stale hit — old entries just age out via LRU instead
+  // of being dropped eagerly.
+  if (applied_any) {
+    if (wrote_in_shard) {
+      cache_.InvalidateAll();
+    } else {
+      cache_.NoteInvalidationSkipped();
+    }
+  }
   return Status::Ok();
 }
 
@@ -352,6 +477,7 @@ SpServerStats SpServer::Stats() const {
   s.errors = errors_->Value();
   s.blocks_applied = blocks_applied_->Value();
   s.announce_rejected = announce_rejected_->Value();
+  s.shard_rejects = shard_rejects_->Value();
   s.cache = cache_.Stats();
   std::shared_lock<std::shared_mutex> lk(state_mu_);
   s.tip_height = tip_ ? tip_->header.height : 0;

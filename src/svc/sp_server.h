@@ -45,6 +45,15 @@ struct SpServerConfig {
   std::size_t cache_capacity_per_shard = 256;
   /// Enclave identity announcements must be certified by.
   Hash256 expected_measurement = core::ExpectedEnclaveMeasurement();
+  /// Fleet shard assignment (map_version != 0 makes the server sharded):
+  /// queries for keys or height windows outside it are rejected with
+  /// kStaleShard (retryable — the client refreshes its map and re-routes),
+  /// and reply-cache invalidation turns shard-local (announcements writing
+  /// nothing this shard owns skip the flush).
+  ShardAssignment shard;
+  /// Serialized fleet::ShardMap served verbatim on Op::kShardMap; empty
+  /// means this server cannot answer shard-map fetches.
+  Bytes shard_map;
   /// Test hook: artificial per-request processing delay, to make admission
   /// control and drain observable in fast unit tests.
   std::uint64_t debug_process_delay_ms = 0;
@@ -56,6 +65,7 @@ struct SpServerStats {
   std::uint64_t errors = 0;             // kError replies
   std::uint64_t blocks_applied = 0;     // announcements accepted into the index
   std::uint64_t announce_rejected = 0;  // announcements failing validation
+  std::uint64_t shard_rejects = 0;      // kStaleShard replies (wrong shard/map)
   std::uint64_t tip_height = 0;
   CacheStats cache;
 };
@@ -101,6 +111,10 @@ class SpServer {
   Bytes Process(const Bytes& request);
   Bytes ProcessQuery(const QueryRequest& req);
   Bytes ProcessTipFetch();
+  /// Ownership + map-version checks, then the inner tip/query request.
+  Bytes ProcessShardScoped(const ShardScopedRequest& req);
+  /// kStaleShard reply helper (counts shard_rejects).
+  Bytes RejectShard(const std::string& message);
   /// Applies announcements contiguously (out-of-order ones wait in
   /// pending_); caller must hold state_mu_ exclusively.
   Status AnnounceLocked(const AnnounceRequest& req);
@@ -131,6 +145,7 @@ class SpServer {
   std::shared_ptr<obs::Counter> errors_;
   std::shared_ptr<obs::Counter> blocks_applied_;
   std::shared_ptr<obs::Counter> announce_rejected_;
+  std::shared_ptr<obs::Counter> shard_rejects_;
   std::shared_ptr<obs::Gauge> inflight_gauge_;  // mirrors in_flight_
   std::shared_ptr<obs::Histogram> lat_tip_ns_;
   std::shared_ptr<obs::Histogram> lat_historical_ns_;

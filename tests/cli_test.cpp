@@ -91,6 +91,51 @@ TEST(Cli, ServeRejectsMalformedPort) {
   }
 }
 
+TEST(Cli, ServeRejectsMalformedShardSpec) {
+  // --shard wants i/N with i < N; --map-version must be a positive number.
+  for (const char* bad :
+       {"serve 0 --shard", "serve 0 --shard 4", "serve 0 --shard a/b",
+        "serve 0 --shard 2/2", "serve 0 --shard 3/2", "serve 0 --shard 0/0",
+        "serve 0 --shard 0/2 --map-version 0",
+        "serve 0 --shard 0/2 --map-version abc"}) {
+    const CliResult r = RunCli(bad);
+    EXPECT_EQ(r.exit_code, 2) << bad << ": " << r.output;
+    EXPECT_TRUE(PrintsUsage(r)) << bad << ": " << r.output;
+  }
+}
+
+TEST(Cli, StatsAcceptsMultipleTargetsButRejectsAnyMalformedOne) {
+  // Multi-endpoint stats validates every target up front; one bad endpoint
+  // fails the whole invocation before anything is dialed.
+  for (const char* bad :
+       {"stats localhost:19999 localhost", "stats localhost:19999 bad:0",
+        "stats localhost:19999 localhost:19998 --yaml"}) {
+    const CliResult r = RunCli(bad);
+    EXPECT_EQ(r.exit_code, 2) << bad << ": " << r.output;
+    EXPECT_TRUE(PrintsUsage(r)) << bad << ": " << r.output;
+  }
+}
+
+TEST(Cli, FleetQueryRejectsMalformedEndpointListAndArgs) {
+  for (const char* bad :
+       {// missing everything / unknown op / malformed numerics
+        "fleet-query", "fleet-query localhost:19999 tip",
+        "fleet-query localhost:19999 hist abc 1 2",
+        "fleet-query localhost:19999 agg 1 2",
+        // endpoint list shape: bad target, empty group, ragged replicas
+        "fleet-query localhost hist 1 1 2",
+        "fleet-query localhost:19999,, hist 1 1 2",
+        "fleet-query localhost:19999+localhost:19998,localhost:19997 hist 1 1 2",
+        // paranoid mode needs at least two replicas per shard
+        "fleet-query localhost:19999,localhost:19998 hist 1 1 2 --paranoid",
+        // map version 0 is reserved for "unsharded"
+        "fleet-query localhost:19999 hist 1 1 2 --map-version 0"}) {
+    const CliResult r = RunCli(bad);
+    EXPECT_EQ(r.exit_code, 2) << bad << ": " << r.output;
+    EXPECT_TRUE(PrintsUsage(r)) << bad << ": " << r.output;
+  }
+}
+
 TEST(Cli, MeasureSucceeds) {
   const CliResult r = RunCli("measure");
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -1,0 +1,571 @@
+// Fleet subsystem: shard-map partition arithmetic (every key/height owned by
+// exactly one shard, exact window splitting, serialization), shard-scoped
+// serving (stale map versions rejected retryably, shard-local cache
+// invalidation), the untrusted router (forwarding, announce fan-out, local
+// shard-map serving), and the verified scatter-gather client — including a
+// seeded fault soak between the router and one shard replica proving zero
+// corrupt results are ever accepted, and the paranoid cross-check catching a
+// divergent (lagging) replica.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "chain/node.h"
+#include "dcert/issuer.h"
+#include "fleet/fleet_client.h"
+#include "fleet/fleet_router.h"
+#include "fleet/shard_map.h"
+#include "query/extraction.h"
+#include "query/historical_index.h"
+#include "svc/fault_transport.h"
+#include "svc/sp_client.h"
+#include "svc/sp_server.h"
+#include "workloads/workloads.h"
+
+namespace dcert::fleet {
+namespace {
+
+/// A small certified chain shared by the tests, plus one account known to be
+/// written in the LAST block (so a replica lagging one block serves a
+/// provably different answer for it).
+struct FleetChain {
+  std::vector<svc::AnnounceRequest> announcements;
+  std::uint64_t hot_account = 0;   // written in the last block
+  std::uint64_t tip_height = 0;
+
+  explicit FleetChain(int blocks, std::size_t txs = 8) {
+    chain::ChainConfig config;
+    config.difficulty_bits = 2;
+    auto registry = workloads::MakeBlockbenchRegistry(1);
+    core::CertificateIssuer ci(config, registry);
+    auto hist = std::make_shared<query::HistoricalIndex>("historical");
+    ci.AttachIndex(hist);
+    chain::FullNode node(config, registry);
+    chain::Miner miner(node);
+    workloads::AccountPool pool(4, 77);
+    workloads::WorkloadGenerator::Params params;
+    params.kind = workloads::Workload::kKvStore;
+    params.instances_per_workload = 1;
+    params.kv_keys = 8;
+    workloads::WorkloadGenerator gen(params, pool);
+
+    for (int i = 0; i < blocks; ++i) {
+      auto block = miner.MineBlock(gen.NextBlockTxs(txs),
+                                   1700000000 + node.Height() * 15);
+      if (!block.ok()) throw std::runtime_error("mine: " + block.message());
+      if (Status st = node.SubmitBlock(block.value()); !st) {
+        throw std::runtime_error("submit: " + st.message());
+      }
+      auto icerts = ci.ProcessBlockHierarchical(block.value());
+      if (!icerts.ok()) throw std::runtime_error("certify: " + icerts.message());
+      svc::AnnounceRequest ann;
+      ann.block = block.value();
+      ann.block_cert = *ci.LatestCert();
+      ann.index_digest = hist->CurrentDigest();
+      ann.index_cert = icerts.value()[0];
+      announcements.push_back(std::move(ann));
+    }
+    auto last_writes =
+        query::ExtractHistoricalWrites(announcements.back().block);
+    if (last_writes.empty()) {
+      throw std::runtime_error("last block produced no historical writes");
+    }
+    hot_account = last_writes.front().account_word;
+    tip_height = announcements.back().block.header.height;
+  }
+};
+
+const FleetChain& Chain() {
+  static FleetChain chain(6);
+  return chain;
+}
+
+ShardMap MustCreate(const ShardMapConfig& cfg) {
+  auto map = ShardMap::Create(cfg);
+  if (!map.ok()) throw std::runtime_error(map.message());
+  return map.value();
+}
+
+/// A live in-process shard fleet: one sharded SpServer per shard x replica,
+/// each holding the full chain, each on its own loopback transport.
+struct LiveFleet {
+  ShardMap map;
+  std::vector<std::vector<std::unique_ptr<svc::LoopbackTransport>>> transports;
+  std::vector<std::vector<std::unique_ptr<svc::SpServer>>> servers;
+
+  explicit LiveFleet(const ShardMapConfig& cfg,
+                     int lag_blocks_for_last_replica = 0)
+      : map(MustCreate(cfg)) {
+    const auto& chain = Chain();
+    transports.resize(map.TotalShards());
+    servers.resize(map.TotalShards());
+    for (std::uint32_t s = 0; s < map.TotalShards(); ++s) {
+      for (std::uint32_t r = 0; r < map.Replicas(); ++r) {
+        svc::SpServerConfig config;
+        config.shard = map.AssignmentFor(s);
+        config.shard_map = map.Serialize();
+        auto server = std::make_unique<svc::SpServer>(config);
+        auto transport = std::make_unique<svc::LoopbackTransport>();
+        Status st = server->Serve(*transport);
+        if (!st.ok()) throw std::runtime_error(st.message());
+        // The last replica may deliberately lag (divergence tests).
+        const bool lags = lag_blocks_for_last_replica > 0 &&
+                          r + 1 == map.Replicas();
+        const std::size_t count =
+            chain.announcements.size() -
+            (lags ? static_cast<std::size_t>(lag_blocks_for_last_replica) : 0);
+        for (std::size_t i = 0; i < count; ++i) {
+          if (Status ast = server->Announce(chain.announcements[i]); !ast) {
+            throw std::runtime_error(ast.message());
+          }
+        }
+        transports[s].push_back(std::move(transport));
+        servers[s].push_back(std::move(server));
+      }
+    }
+  }
+
+  ~LiveFleet() {
+    for (auto& per_shard : servers) {
+      for (auto& server : per_shard) server->Shutdown();
+    }
+  }
+
+  FleetClient::BackendConnector DirectConnector() {
+    return [this](std::uint32_t s, std::uint32_t r) -> svc::Connector {
+      svc::LoopbackTransport* lb = transports[s][r].get();
+      return [lb] {
+        return Result<std::unique_ptr<svc::ClientTransport>>(lb->Connect());
+      };
+    };
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shard-map arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapTest, EveryKeyAndHeightOwnedByExactlyOneShard) {
+  ShardMapConfig cfg;
+  cfg.version = 3;
+  cfg.key_shards = 4;
+  cfg.height_bands = 3;
+  cfg.band_blocks = 5;
+  const ShardMap map = MustCreate(cfg);
+  ASSERT_EQ(map.TotalShards(), 12u);
+
+  std::vector<svc::ShardAssignment> assignments;
+  for (std::uint32_t s = 0; s < map.TotalShards(); ++s) {
+    assignments.push_back(map.AssignmentFor(s));
+    EXPECT_TRUE(assignments.back().Sharded());
+    EXPECT_EQ(assignments.back().map_version, cfg.version);
+    EXPECT_EQ(assignments.back().shard_id, s);
+  }
+
+  // Accounts probe the key-shard boundaries (quarters of the 64-bit space)
+  // plus extremes; heights sweep every band including the open-ended last.
+  const std::uint64_t quarter = std::uint64_t{1} << 62;
+  const std::vector<std::uint64_t> accounts = {
+      0,       1,           quarter - 1,     quarter,      quarter + 1,
+      2 * quarter - 1,      2 * quarter,     3 * quarter,  3 * quarter + 7,
+      ~std::uint64_t{0} - 1, ~std::uint64_t{0}, 0x123456789abcdefULL};
+  std::vector<std::uint64_t> heights;
+  for (std::uint64_t h = 0; h <= 17; ++h) heights.push_back(h);
+  heights.push_back(1000000);
+
+  for (const std::uint64_t account : accounts) {
+    for (const std::uint64_t height : heights) {
+      const std::uint32_t owner = map.ShardOf(account, height);
+      ASSERT_LT(owner, map.TotalShards());
+      int owners = 0;
+      for (std::uint32_t s = 0; s < map.TotalShards(); ++s) {
+        if (assignments[s].OwnsWrite(account, height)) {
+          ++owners;
+          EXPECT_EQ(s, owner) << "account " << account << " height " << height;
+        }
+      }
+      EXPECT_EQ(owners, 1) << "account " << account << " height " << height;
+    }
+  }
+}
+
+TEST(ShardMapTest, SplitCoversWindowExactly) {
+  ShardMapConfig cfg;
+  cfg.version = 1;
+  cfg.key_shards = 2;
+  cfg.height_bands = 3;
+  cfg.band_blocks = 10;
+  const ShardMap map = MustCreate(cfg);
+
+  const std::uint64_t account = 42;
+  const auto subs = map.Split(account, 1, 35);
+  ASSERT_EQ(subs.size(), 3u);  // [1,9] [10,19] [20,35]
+  EXPECT_EQ(subs[0].from_height, 1u);
+  EXPECT_EQ(subs[0].to_height, 9u);
+  EXPECT_EQ(subs[1].from_height, 10u);
+  EXPECT_EQ(subs[1].to_height, 19u);
+  EXPECT_EQ(subs[2].from_height, 20u);
+  EXPECT_EQ(subs[2].to_height, 35u);
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    // Each piece sits entirely in one band and names the shard owning it.
+    EXPECT_EQ(subs[i].shard_id, map.ShardOf(account, subs[i].from_height));
+    EXPECT_EQ(subs[i].shard_id, map.ShardOf(account, subs[i].to_height));
+    if (i > 0) {
+      EXPECT_EQ(subs[i].from_height, subs[i - 1].to_height + 1);
+    }
+  }
+
+  // A window inside one band is a single piece; inverted windows are empty.
+  ASSERT_EQ(map.Split(account, 12, 17).size(), 1u);
+  EXPECT_TRUE(map.Split(account, 9, 3).empty());
+  // The open-ended last band swallows arbitrarily high windows.
+  const auto far = map.Split(account, 25, 1000000);
+  ASSERT_EQ(far.size(), 1u);
+  EXPECT_EQ(far[0].shard_id, map.ShardOf(account, 1000000));
+}
+
+TEST(ShardMapTest, SerializeRoundTripsAndRejectsGarbage) {
+  ShardMapConfig cfg;
+  cfg.version = 7;
+  cfg.key_shards = 2;
+  cfg.height_bands = 2;
+  cfg.band_blocks = 4;
+  cfg.replicas = 2;
+  std::vector<std::vector<std::string>> eps(4);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    eps[s] = {"127.0.0.1:" + std::to_string(9000 + 2 * s),
+              "127.0.0.1:" + std::to_string(9001 + 2 * s)};
+  }
+  auto map = ShardMap::Create(cfg, eps);
+  ASSERT_TRUE(map.ok()) << map.message();
+
+  const Bytes wire = map.value().Serialize();
+  auto back = ShardMap::Deserialize(wire);
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value().Version(), 7u);
+  EXPECT_EQ(back.value().KeyShards(), 2u);
+  EXPECT_EQ(back.value().HeightBands(), 2u);
+  EXPECT_EQ(back.value().Replicas(), 2u);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(back.value().Endpoints(s), eps[s]);
+  }
+
+  // Truncations and junk must fail cleanly, never crash or mis-size.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, wire.size() - 1}) {
+    Bytes trunc(wire.begin(), wire.begin() + cut);
+    EXPECT_FALSE(ShardMap::Deserialize(trunc).ok()) << "cut=" << cut;
+  }
+
+  // Config validation: version 0 is reserved for "unsharded", bands need a
+  // band size, and the endpoint grid must match the shard/replica shape.
+  ShardMapConfig bad = cfg;
+  bad.version = 0;
+  EXPECT_FALSE(ShardMap::Create(bad).ok());
+  bad = cfg;
+  bad.band_blocks = 0;
+  EXPECT_FALSE(ShardMap::Create(bad).ok());
+  bad = cfg;
+  bad.key_shards = 0;
+  EXPECT_FALSE(ShardMap::Create(bad).ok());
+  eps.pop_back();
+  EXPECT_FALSE(ShardMap::Create(cfg, eps).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Shard-scoped serving
+// ---------------------------------------------------------------------------
+
+TEST(ShardServingTest, StaleMapVersionRejectedRetryably) {
+  ShardMapConfig cfg;
+  cfg.version = 2;
+  cfg.key_shards = 1;
+  LiveFleet fleet(cfg);
+  svc::SpClient client(fleet.transports[0][0]->Connect());
+  const auto& chain = Chain();
+
+  // Correct version and shard: served and verifiable.
+  auto ok = client.HistoricalSharded(2, 0, chain.hot_account, 1,
+                                     chain.tip_height);
+  ASSERT_TRUE(ok.ok()) << ok.message();
+
+  // Stale version: rejected with the retryable kStaleShard status the client
+  // surfaces via LastReplyStaleShard (FleetClient's refresh trigger).
+  auto stale = client.HistoricalSharded(1, 0, chain.hot_account, 1,
+                                        chain.tip_height);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_TRUE(client.LastReplyStaleShard());
+  EXPECT_EQ(client.Stats().stale_shard_replies, 1u);
+
+  // Wrong shard id at the right version: same rejection (misrouted frame).
+  auto misrouted = client.HistoricalSharded(2, 5, chain.hot_account, 1,
+                                            chain.tip_height);
+  EXPECT_FALSE(misrouted.ok());
+  EXPECT_TRUE(client.LastReplyStaleShard());
+  EXPECT_GE(fleet.servers[0][0]->Stats().shard_rejects, 2u);
+
+  // The rejected client refreshes: the served map decodes to the live
+  // version, after which the query succeeds.
+  auto wire = client.FetchShardMap();
+  ASSERT_TRUE(wire.ok()) << wire.message();
+  auto fresh = ShardMap::Deserialize(wire.value());
+  ASSERT_TRUE(fresh.ok()) << fresh.message();
+  EXPECT_EQ(fresh.value().Version(), 2u);
+  auto retry = client.HistoricalSharded(fresh.value().Version(), 0,
+                                        chain.hot_account, 1, chain.tip_height);
+  EXPECT_TRUE(retry.ok()) << retry.message();
+}
+
+TEST(ShardServingTest, OutOfShardAnnouncementSkipsCacheInvalidation) {
+  // A shard owning only the first height band: announcements for later
+  // heights still apply (the index must stay full for proofs to verify) but
+  // must not flush the reply cache — nothing this shard serves changed.
+  ShardMapConfig cfg;
+  cfg.version = 1;
+  cfg.height_bands = 2;
+  cfg.band_blocks = 4;  // band 0 owns heights [0,3]
+  const ShardMap map = MustCreate(cfg);
+  svc::SpServerConfig config;
+  config.shard = map.AssignmentFor(0);
+  config.shard_map = map.Serialize();
+  svc::SpServer server(config);
+  svc::LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+
+  const auto& chain = Chain();
+  for (std::size_t i = 0; i < 3; ++i) {  // heights 1..3: in-band writes
+    ASSERT_TRUE(server.Announce(chain.announcements[i]).ok());
+  }
+  // Warm the cache with an owned-window query.
+  svc::SpClient client(loopback.Connect());
+  auto warm = client.HistoricalSharded(1, 0, chain.hot_account, 1, 3);
+  ASSERT_TRUE(warm.ok()) << warm.message();
+  const auto before = server.Stats().cache;
+
+  // Heights 4..6 write outside the owned band: applied, but the flush is
+  // skipped (satellite: out-of-shard announcements don't flush needlessly).
+  for (std::size_t i = 3; i < chain.announcements.size(); ++i) {
+    ASSERT_TRUE(server.Announce(chain.announcements[i]).ok());
+  }
+  const auto after = server.Stats().cache;
+  EXPECT_EQ(after.invalidations, before.invalidations);
+  EXPECT_GE(after.invalidations_skipped, before.invalidations_skipped + 3);
+  EXPECT_EQ(server.Stats().blocks_applied, chain.announcements.size());
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Router + verified scatter-gather
+// ---------------------------------------------------------------------------
+
+TEST(FleetRouterTest, RoutesAnnouncesAndServesMapEndToEnd) {
+  // Two height-band shards behind a router; the client's whole-window query
+  // splits across both shards and each piece verifies independently.
+  ShardMapConfig cfg;
+  cfg.version = 1;
+  cfg.height_bands = 2;
+  cfg.band_blocks = 4;
+  const auto& chain = Chain();
+
+  // Empty servers: the router's announce fan-out populates them.
+  const ShardMap map = MustCreate(cfg);
+  std::vector<std::unique_ptr<svc::LoopbackTransport>> transports;
+  std::vector<std::unique_ptr<svc::SpServer>> servers;
+  for (std::uint32_t s = 0; s < map.TotalShards(); ++s) {
+    svc::SpServerConfig config;
+    config.shard = map.AssignmentFor(s);
+    config.shard_map = map.Serialize();
+    servers.push_back(std::make_unique<svc::SpServer>(config));
+    transports.push_back(std::make_unique<svc::LoopbackTransport>());
+    ASSERT_TRUE(servers.back()->Serve(*transports.back()).ok());
+  }
+  FleetRouter router(
+      map,
+      [&transports](std::uint32_t s, std::uint32_t) -> svc::Connector {
+        svc::LoopbackTransport* lb = transports[s].get();
+        return [lb] {
+          return Result<std::unique_ptr<svc::ClientTransport>>(lb->Connect());
+        };
+      });
+  svc::LoopbackTransport front;
+  ASSERT_TRUE(router.Serve(front).ok());
+
+  // Announce through the router: every shard applies every block.
+  svc::SpClient announcer(front.Connect());
+  for (const auto& ann : chain.announcements) {
+    auto ack = announcer.Announce(ann);
+    ASSERT_TRUE(ack.ok()) << ack.message();
+  }
+  for (const auto& server : servers) {
+    EXPECT_EQ(server->Stats().blocks_applied, chain.announcements.size());
+  }
+
+  // Re-announcing is idempotent: the duplicates are rejected shard-side as
+  // stale but the fan-out still reports success.
+  auto dup = announcer.Announce(chain.announcements.back());
+  EXPECT_TRUE(dup.ok()) << dup.message();
+
+  // Scatter-gather through the router: the window spans both bands, and the
+  // merged result equals the single-server truth.
+  FleetClient client(map,
+                     [&front](std::uint32_t, std::uint32_t) -> svc::Connector {
+                       return [&front] {
+                         return Result<std::unique_ptr<svc::ClientTransport>>(
+                             front.Connect());
+                       };
+                     });
+  auto got = client.Historical(chain.hot_account, 1, chain.tip_height);
+  ASSERT_TRUE(got.ok()) << got.message();
+  EXPECT_EQ(client.Stats().subqueries, 2u);
+  EXPECT_EQ(client.Stats().verified, 2u);
+
+  LiveFleet direct(ShardMapConfig{});  // unsharded single server, same chain
+  FleetClient truth(direct.map, direct.DirectConnector());
+  auto want = truth.Historical(chain.hot_account, 1, chain.tip_height);
+  ASSERT_TRUE(want.ok()) << want.message();
+  EXPECT_EQ(got.value(), want.value());
+
+  auto agg = client.Aggregate(chain.hot_account, 1, chain.tip_height);
+  ASSERT_TRUE(agg.ok()) << agg.message();
+  EXPECT_EQ(agg.value().count, static_cast<std::uint64_t>(want.value().size()));
+
+  // The router serves its own map (RefreshMap goes through kShardMap) and
+  // refuses to merge multi-band plain queries it cannot verify.
+  EXPECT_TRUE(client.RefreshMap().ok());
+  auto plain = announcer.Historical(chain.hot_account, 1, chain.tip_height);
+  EXPECT_FALSE(plain.ok());
+  EXPECT_NE(plain.message().find("scatter-gather"), std::string::npos)
+      << plain.message();
+
+  const auto stats = router.Stats();
+  EXPECT_GT(stats.forwarded, 0u);
+  EXPECT_GE(stats.fanouts, chain.announcements.size());
+  EXPECT_GT(stats.shard_map_serves, 0u);
+  EXPECT_GT(stats.errors, 0u);  // the refused plain multi-band query
+
+  router.Shutdown();
+  for (auto& server : servers) server->Shutdown();
+}
+
+TEST(FleetRouterTest, SeededFaultSoakAcceptsZeroCorruptReplies) {
+  // A seeded FaultInjectingTransport sits between the router and replica 0
+  // of shard 0, corrupting/truncating/dropping backend replies. The client
+  // must never accept a reply that fails verification: every answer it does
+  // return equals the clean-fleet truth, and the damaged replies show up as
+  // verify failures + replica failovers instead of wrong data.
+  ShardMapConfig cfg;
+  cfg.version = 1;
+  cfg.height_bands = 2;
+  cfg.band_blocks = 4;
+  cfg.replicas = 2;
+  LiveFleet fleet(cfg);
+  const auto& chain = Chain();
+
+  auto counters = std::make_shared<svc::FaultCounters>();
+  svc::FaultConfig fc;
+  fc.corrupt_rate = 0.6;
+  fc.truncate_rate = 0.2;
+  fc.seed = 0xF1EE7;
+  FleetRouterConfig rc;
+  rc.backend_deadline = std::chrono::milliseconds(500);
+  FleetRouter router(
+      fleet.map,
+      [&fleet, &fc, &counters](std::uint32_t s,
+                               std::uint32_t r) -> svc::Connector {
+        svc::LoopbackTransport* lb = fleet.transports[s][r].get();
+        svc::Connector dial = [lb] {
+          return Result<std::unique_ptr<svc::ClientTransport>>(lb->Connect());
+        };
+        if (s == 0 && r == 0) {
+          return svc::FaultyConnector(std::move(dial), fc, counters);
+        }
+        return dial;
+      },
+      rc);
+  svc::LoopbackTransport front;
+  ASSERT_TRUE(router.Serve(front).ok());
+
+  // Ground truth from the same fleet over clean direct connections.
+  FleetClient truth(fleet.map, fleet.DirectConnector());
+  FleetClient client(fleet.map,
+                     [&front](std::uint32_t, std::uint32_t) -> svc::Connector {
+                       return [&front] {
+                         return Result<std::unique_ptr<svc::ClientTransport>>(
+                             front.Connect());
+                       };
+                     });
+
+  int answered = 0;
+  for (int round = 0; round < 20; ++round) {
+    auto want = truth.Historical(chain.hot_account, 1, chain.tip_height);
+    ASSERT_TRUE(want.ok()) << want.message();
+    auto got = client.Historical(chain.hot_account, 1, chain.tip_height);
+    if (!got.ok()) continue;  // denial is allowed; wrong data never is
+    ++answered;
+    EXPECT_EQ(got.value(), want.value()) << "round " << round;
+  }
+  const auto stats = client.Stats();
+  EXPECT_GT(answered, 0);
+  EXPECT_GT(counters->Total(), 0u);          // the soak really injected faults
+  EXPECT_GT(stats.verify_failures, 0u);      // damaged replies were rejected
+  EXPECT_GT(stats.failovers, 0u);            // ... and retried on a replica
+  EXPECT_EQ(stats.cross_check_mismatches, 0u);
+
+  router.Shutdown();
+}
+
+TEST(FleetClientTest, ParanoidCrossCheckCatchesLaggingReplica) {
+  // Replica 1 is one certified block behind. Both replicas' replies verify
+  // (each against its own certified tip), so only the paranoid cross-check
+  // can notice the divergence — and it must fail loudly, not pick one.
+  ShardMapConfig cfg;
+  cfg.version = 1;
+  cfg.replicas = 2;
+  LiveFleet fleet(cfg, /*lag_blocks_for_last_replica=*/1);
+  const auto& chain = Chain();
+
+  FleetClientConfig paranoid;
+  paranoid.cross_check = true;
+  FleetClient client(fleet.map, fleet.DirectConnector(), paranoid);
+  auto got = client.Historical(chain.hot_account, 1, chain.tip_height);
+  EXPECT_FALSE(got.ok());
+  EXPECT_GE(client.Stats().cross_checks, 1u);
+  EXPECT_GE(client.Stats().cross_check_mismatches, 1u);
+
+  // Control: identical replicas cross-check clean.
+  LiveFleet healthy(cfg);
+  FleetClient control(healthy.map, healthy.DirectConnector(), paranoid);
+  auto ok = control.Historical(chain.hot_account, 1, chain.tip_height);
+  ASSERT_TRUE(ok.ok()) << ok.message();
+  EXPECT_GE(control.Stats().cross_checks, 1u);
+  EXPECT_EQ(control.Stats().cross_check_mismatches, 0u);
+}
+
+TEST(FleetClientTest, StaleClientRefreshesMapAndRecovers) {
+  // The fleet reshards (version 2) while the client still holds version 1:
+  // the first shard reply is kStaleShard, the client refreshes its map from
+  // the fleet and the query succeeds without surfacing an error.
+  ShardMapConfig live_cfg;
+  live_cfg.version = 2;
+  live_cfg.height_bands = 2;
+  live_cfg.band_blocks = 4;
+  LiveFleet fleet(live_cfg);
+  const auto& chain = Chain();
+
+  ShardMapConfig stale_cfg;
+  stale_cfg.version = 1;  // single shard, pre-reshard view
+  FleetClient client(MustCreate(stale_cfg), fleet.DirectConnector());
+  auto got = client.Historical(chain.hot_account, 1, chain.tip_height);
+  ASSERT_TRUE(got.ok()) << got.message();
+  EXPECT_EQ(client.Map().Version(), 2u);
+  EXPECT_GE(client.Stats().map_refreshes, 1u);
+
+  FleetClient truth(fleet.map, fleet.DirectConnector());
+  auto want = truth.Historical(chain.hot_account, 1, chain.tip_height);
+  ASSERT_TRUE(want.ok()) << want.message();
+  EXPECT_EQ(got.value(), want.value());
+}
+
+}  // namespace
+}  // namespace dcert::fleet

@@ -140,6 +140,44 @@ TEST(Histogram, EmptySnapshot) {
   EXPECT_TRUE(snap.buckets.empty());
 }
 
+TEST(Snapshot, MergeFromCombinesFleetMembers) {
+  // The fleet-stats merge rule: counters sum, gauges keep the max, and
+  // histograms bucket-merge so fleet percentiles come from the combined
+  // distribution rather than an average of per-member percentiles.
+  MetricsRegistry a, b;
+  a.GetCounter("served")->Add(10);
+  b.GetCounter("served")->Add(32);
+  b.GetCounter("only.b")->Add(7);
+  a.GetGauge("inflight")->Set(3);
+  b.GetGauge("inflight")->Set(9);
+  for (std::uint64_t v = 1; v <= 100; ++v) a.GetHistogram("lat")->Record(v);
+  for (std::uint64_t v = 901; v <= 1000; ++v) b.GetHistogram("lat")->Record(v);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  EXPECT_EQ(merged.counters.at("served"), 42u);
+  EXPECT_EQ(merged.counters.at("only.b"), 7u);
+  EXPECT_EQ(merged.gauges.at("inflight"), 9);
+
+  const HistogramSnapshot& lat = merged.histograms.at("lat");
+  EXPECT_EQ(lat.count, 200u);
+  EXPECT_EQ(lat.min, 1u);
+  EXPECT_EQ(lat.max, 1000u);
+  // Half the samples are ~[1,100], half ~[901,1000]: the median falls in the
+  // gap between the two members' ranges, p90 in the slow member's range —
+  // values no single member's histogram could produce.
+  EXPECT_GT(lat.Quantile(0.9), 850.0);
+  EXPECT_LT(lat.Quantile(0.25), 150.0);
+
+  // Merging an empty snapshot is the identity in both directions.
+  MetricsSnapshot empty;
+  empty.MergeFrom(merged);
+  EXPECT_EQ(empty.counters.at("served"), 42u);
+  EXPECT_EQ(empty.histograms.at("lat").count, 200u);
+  merged.MergeFrom(MetricsSnapshot{});
+  EXPECT_EQ(merged.histograms.at("lat").count, 200u);
+}
+
 TEST(Registry, SnapshotIsIsolatedFromLaterWrites) {
   MetricsRegistry reg;
   auto c = reg.GetCounter("test.counter");

@@ -45,26 +45,36 @@ cmake --build "${PREFIX}-release" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}"
 
+echo "=== [1b/5] bench_serving --fleet 1x1 smoke (multi-process topology) ==="
+# The smallest fleet: one re-exec'd shard-server child over TCP, plus the
+# verified scatter-gather pass. Pins the fork/exec/PORT-handshake/shutdown
+# machinery and the sharded request framing without benchmarking anything.
+"${PREFIX}-release/bench/bench_serving" --fleet 1x1 \
+  --requests 200 --rps 4000 --blocks 4 --txs 8 >/dev/null
+
 echo "=== [2/5] TSan build + threaded tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
   thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test \
-  obs_test record_log_test crash_recovery_test
+  fleet_test obs_test record_log_test crash_recovery_test
 DCERT_CRASH_SOAK_CYCLES=50 \
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}" \
-  -R 'ThreadPool|ParallelEquivalence|Smt|Svc|Counter|Gauge|Histogram|Registry|Trace|Enabled|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer'
+  -R 'ThreadPool|ParallelEquivalence|Smt|Svc|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer'
   # Svc matches SvcFaultTest/SvcTcpTest/SvcStatsTest; the obs suites cover
-  # the concurrent counter/histogram/trace hammering.
+  # the concurrent counter/histogram/trace hammering. Fleet|ShardMap|
+  # ShardServing run the router fan-out, scatter-gather fan-out threads, and
+  # the pooled-connection paths — the fleet's concurrency lives there.
 
 echo "=== [3/5] ASan build + serving/transport tests ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target \
-  svc_test net_test thread_pool_test obs_test record_log_test crash_recovery_test
+  svc_test net_test thread_pool_test fleet_test obs_test record_log_test \
+  crash_recovery_test
 DCERT_CRASH_SOAK_CYCLES=50 \
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}" \
-  -R 'Svc|SimNet|ThreadPool|Counter|Gauge|Histogram|Registry|Trace|Enabled|Export|Overhead|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer'
+  -R 'Svc|SimNet|ThreadPool|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|Export|Overhead|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer'
 
 echo "=== [4/5] TSan + forced-scalar hashing (dispatch fallback path) ==="
 # Same TSan build, but every digest takes the portable scalar road. The

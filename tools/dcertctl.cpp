@@ -10,12 +10,16 @@
 //                                        then extend the chain
 //   dcertctl inspect-cert <hex>          decode + envelope-check a certificate
 //   dcertctl serve <port> [blocks] [txs] mine + certify a chain, serve it over TCP
+//                                        (--shard i/N joins an N-shard fleet)
 //   dcertctl query <host:port> ...       query a running server, verify replies
-//   dcertctl stats <host:port>           live metrics snapshot from a server
+//   dcertctl fleet-query <eplist> ...    verified scatter-gather across a fleet
+//   dcertctl stats <host:port>...        live metrics from one server, or a
+//                                        merged fleet table from several
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "chain/block_store.h"
 #include "chain/node.h"
@@ -23,6 +27,8 @@
 #include "dcert/durable_issuer.h"
 #include "dcert/issuer.h"
 #include "dcert/superlight.h"
+#include "fleet/fleet_client.h"
+#include "fleet/shard_map.h"
 #include "obs/export.h"
 #include "query/historical_index.h"
 #include "sgxsim/attestation.h"
@@ -73,18 +79,30 @@ int Usage() {
                "                               state in <dir>, then mine + certify\n"
                "                               <blocks> more\n"
                "  inspect-cert <hex>           decode and check a certificate\n"
-               "  serve <port> [blocks=20] [txs=8]\n"
+               "  serve <port> [blocks=20] [txs=8] [--shard i/N] [--map-version V]\n"
                "                               mine + certify a chain, serve it over TCP\n"
-               "                               (port 0 = ephemeral; Ctrl-D stops)\n"
+               "                               (port 0 = ephemeral; Ctrl-D stops).\n"
+               "                               --shard i/N serves only key-shard i of an\n"
+               "                               N-shard fleet (map version V, default 1)\n"
                "  query <host:port> tip        fetch + validate the served tip\n"
                "  query <host:port> hist <account> <from> <to>\n"
                "                               verified historical window query\n"
                "  query <host:port> agg <account> <from> <to>\n"
                "                               verified count/sum aggregate query\n"
-               "  stats <host:port> [--json|--prom]\n"
+               "  fleet-query <eplist> hist|agg <account> <from> <to>\n"
+               "              [--paranoid] [--map-version V]\n"
+               "                               verified scatter-gather across a fleet.\n"
+               "                               <eplist> is comma-separated shards, each\n"
+               "                               '+'-separated replicas, shard order =\n"
+               "                               shard id: h:p+h:p,h:p+h:p ...\n"
+               "                               --paranoid cross-checks every subquery\n"
+               "                               on a second replica\n"
+               "  stats <host:port>... [--json|--prom]\n"
                "                               live metrics snapshot (latency\n"
                "                               percentiles, cache, shed/retry,\n"
-               "                               pool, sgx) from a running server\n");
+               "                               pool, sgx); several endpoints merge\n"
+               "                               into one fleet view (counters sum,\n"
+               "                               gauges max, histograms merge)\n");
   return 2;
 }
 
@@ -97,6 +115,55 @@ std::optional<std::pair<std::string, std::uint16_t>> ParseTarget(
   if (!port) return std::nullopt;
   return std::make_pair(target.substr(0, colon),
                         static_cast<std::uint16_t>(*port));
+}
+
+/// "i/N" — serve shard i of an N-shard fleet.
+struct ShardSpec {
+  std::uint32_t shard_id = 0;
+  std::uint32_t total = 1;
+};
+
+std::optional<ShardSpec> ParseShardSpec(const std::string& s) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  const auto id = ParseU64(s.substr(0, slash).c_str());
+  const auto total = ParseU64(s.substr(slash + 1).c_str());
+  if (!id || !total || *total == 0 || *total > 4096 || *id >= *total) {
+    return std::nullopt;
+  }
+  return ShardSpec{static_cast<std::uint32_t>(*id),
+                   static_cast<std::uint32_t>(*total)};
+}
+
+/// "h:p+h:p,h:p" — comma-separated shards, '+'-separated replicas. Every
+/// shard must list the same number of replicas; every endpoint must parse.
+std::optional<std::vector<std::vector<std::string>>> ParseEndpointList(
+    const std::string& s) {
+  std::vector<std::vector<std::string>> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string shard = s.substr(start, comma - start);
+    std::vector<std::string> replicas;
+    std::size_t rs = 0;
+    while (rs <= shard.size()) {
+      std::size_t plus = shard.find('+', rs);
+      if (plus == std::string::npos) plus = shard.size();
+      const std::string ep = shard.substr(rs, plus - rs);
+      if (!ParseTarget(ep)) return std::nullopt;
+      replicas.push_back(ep);
+      rs = plus + 1;
+    }
+    if (!out.empty() && replicas.size() != out.front().size()) {
+      return std::nullopt;  // ragged replica counts
+    }
+    out.push_back(std::move(replicas));
+    start = comma + 1;
+  }
+  return out;
 }
 
 /// Retry policy for interactive commands against a possibly flaky server:
@@ -451,10 +518,34 @@ int CmdInspectCert(const std::string& hex) {
   return envelope ? 0 : 1;
 }
 
-int CmdServe(int port, int blocks, int txs) {
+int CmdServe(int port, int blocks, int txs, const std::string& shard_spec,
+             std::uint64_t map_version) {
   // Mine + certify a fresh chain with an attached historical index, feed the
   // certified blocks to an SpServer, then serve it over real TCP until stdin
   // closes. `dcertctl query` is the matching client.
+  //
+  // With --shard i/N every process mines the SAME deterministic chain (fixed
+  // seeds) and applies every block, but serves only key-shard i; start N of
+  // these on distinct ports and point `dcertctl fleet-query` at them.
+  svc::SpServerConfig server_config;
+  if (!shard_spec.empty()) {
+    const auto spec = ParseShardSpec(shard_spec);
+    if (!spec) {
+      std::fprintf(stderr, "--shard must be i/N with i < N, got %s\n",
+                   shard_spec.c_str());
+      return Usage();
+    }
+    fleet::ShardMapConfig map_config;
+    map_config.version = map_version;
+    map_config.key_shards = spec->total;
+    auto map = fleet::ShardMap::Create(map_config);
+    if (!map.ok()) {
+      std::fprintf(stderr, "%s\n", map.message().c_str());
+      return 1;
+    }
+    server_config.shard = map.value().AssignmentFor(spec->shard_id);
+    server_config.shard_map = map.value().Serialize();
+  }
   chain::ChainConfig config;
   config.difficulty_bits = 2;
   auto registry = workloads::MakeBlockbenchRegistry(1);
@@ -470,7 +561,7 @@ int CmdServe(int port, int blocks, int txs) {
   params.kv_keys = 10;
   workloads::WorkloadGenerator gen(params, pool);
 
-  svc::SpServer server(svc::SpServerConfig{});
+  svc::SpServer server(server_config);
   for (int i = 0; i < blocks; ++i) {
     auto block = miner.MineBlock(gen.NextBlockTxs(static_cast<std::size_t>(txs)),
                                  1700000000 + miner_node.Height() * 15);
@@ -504,6 +595,15 @@ int CmdServe(int port, int blocks, int txs) {
   std::printf("serving %d certified blocks on 127.0.0.1:%u (max %zu "
               "connections, dead peers reaped)\n",
               blocks, transport.Port(), tcp_config.max_connections);
+  if (server_config.shard.Sharded()) {
+    std::printf("shard %u/%u (map v%llu): serving account words [%llu, %llu]\n",
+                server_config.shard.shard_id,
+                server_config.shard.total_shards,
+                static_cast<unsigned long long>(
+                    server_config.shard.map_version),
+                static_cast<unsigned long long>(server_config.shard.key_lo),
+                static_cast<unsigned long long>(server_config.shard.key_hi));
+  }
   std::printf("try: dcertctl query 127.0.0.1:%u tip   (Ctrl-D here stops)\n",
               transport.Port());
   std::fflush(stdout);
@@ -514,37 +614,162 @@ int CmdServe(int port, int blocks, int txs) {
   return 0;
 }
 
-int CmdStats(const std::string& target, const std::string& format) {
-  auto parsed = ParseTarget(target);
-  if (!parsed) {
-    std::fprintf(stderr, "target must be host:port, got %s\n", target.c_str());
-    return Usage();
+int CmdStats(const std::vector<std::string>& targets,
+             const std::string& format) {
+  for (const auto& target : targets) {
+    if (!ParseTarget(target)) {
+      std::fprintf(stderr, "target must be host:port, got %s\n",
+                   target.c_str());
+      return Usage();
+    }
   }
   if (!format.empty() && format != "--json" && format != "--prom") {
     std::fprintf(stderr, "unknown stats flag %s\n", format.c_str());
     return Usage();
   }
-  const auto [host, port] = *parsed;
-  svc::SpClient client(
-      [host = host, port = port] {
-        return svc::TcpClientTransport::Connect(host, port);
-      },
-      CliRetryPolicy());
-  auto snap = client.FetchStats();
-  if (!snap.ok()) {
-    std::fprintf(stderr, "stats fetch failed: %s\n", snap.message().c_str());
-    return 1;
+  // One endpoint prints that server's snapshot; several merge into a fleet
+  // view: counters sum (total work), gauges take the max (worst level),
+  // histograms merge bucket-wise (fleet percentiles from the combined
+  // distribution, not averaged quantiles).
+  obs::MetricsSnapshot merged;
+  for (const auto& target : targets) {
+    const auto [host, port] = *ParseTarget(target);
+    svc::SpClient client(
+        [host = host, port = port] {
+          return svc::TcpClientTransport::Connect(host, port);
+        },
+        CliRetryPolicy());
+    auto snap = client.FetchStats();
+    if (!snap.ok()) {
+      std::fprintf(stderr, "stats fetch from %s failed: %s\n", target.c_str(),
+                   snap.message().c_str());
+      return 1;
+    }
+    merged.MergeFrom(snap.value());
   }
   std::string out;
   if (format == "--json") {
-    out = obs::ToJson(snap.value());
+    out = obs::ToJson(merged);
     out += '\n';
   } else if (format == "--prom") {
-    out = obs::ToPrometheusText(snap.value());
+    out = obs::ToPrometheusText(merged);
   } else {
-    out = obs::RenderTable(snap.value());
+    if (targets.size() > 1) {
+      std::printf("fleet stats merged from %zu servers (counters summed, "
+                  "gauges max, histograms merged)\n",
+                  targets.size());
+    }
+    out = obs::RenderTable(merged);
   }
   std::fputs(out.c_str(), stdout);
+  return 0;
+}
+
+int CmdFleetQuery(int argc, char** argv) {
+  std::vector<std::string> pos;
+  bool paranoid = false;
+  std::uint64_t map_version = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--paranoid") {
+      paranoid = true;
+    } else if (arg == "--map-version" && i + 1 < argc) {
+      const auto v = ParseU64(argv[++i]);
+      if (!v || *v == 0) return Usage();
+      map_version = *v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown fleet-query flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.size() < 5) return Usage();
+  const auto endpoints = ParseEndpointList(pos[0]);
+  if (!endpoints) {
+    std::fprintf(stderr,
+                 "endpoint list must be h:p+h:p,... with equal replica "
+                 "counts, got %s\n",
+                 pos[0].c_str());
+    return Usage();
+  }
+  const std::string what = pos[1];
+  const auto account = ParseU64(pos[2].c_str());
+  const auto from = ParseU64(pos[3].c_str());
+  const auto to = ParseU64(pos[4].c_str());
+  if ((what != "hist" && what != "agg") || !account || !from || !to) {
+    return Usage();
+  }
+
+  fleet::ShardMapConfig map_config;
+  map_config.version = map_version;
+  map_config.key_shards = static_cast<std::uint32_t>(endpoints->size());
+  map_config.replicas = static_cast<std::uint32_t>(endpoints->front().size());
+  auto map = fleet::ShardMap::Create(map_config, *endpoints);
+  if (!map.ok()) {
+    std::fprintf(stderr, "%s\n", map.message().c_str());
+    return 1;
+  }
+  if (paranoid && map_config.replicas < 2) {
+    std::fprintf(stderr, "--paranoid needs at least 2 replicas per shard\n");
+    return Usage();
+  }
+
+  fleet::FleetClientConfig client_config;
+  client_config.retry = CliRetryPolicy();
+  client_config.cross_check = paranoid;
+  fleet::FleetClient client(
+      map.value(),
+      [endpoints = *endpoints](std::uint32_t shard,
+                               std::uint32_t replica) -> svc::Connector {
+        const auto target = *ParseTarget(endpoints[shard][replica]);
+        return [target] {
+          return svc::TcpClientTransport::Connect(target.first, target.second);
+        };
+      },
+      client_config);
+
+  if (what == "hist") {
+    auto versions = client.Historical(*account, *from, *to);
+    if (!versions.ok()) {
+      std::fprintf(stderr, "fleet query failed: %s\n",
+                   versions.message().c_str());
+      return 1;
+    }
+    std::printf("account %llu, blocks [%llu, %llu]: %zu version(s), every "
+                "shard reply VERIFIED%s\n",
+                static_cast<unsigned long long>(*account),
+                static_cast<unsigned long long>(*from),
+                static_cast<unsigned long long>(*to),
+                versions.value().size(),
+                paranoid ? " + cross-checked" : "");
+    for (const auto& v : versions.value()) {
+      std::printf("  block %6llu  value %llu\n",
+                  static_cast<unsigned long long>(v.block_height),
+                  static_cast<unsigned long long>(v.value));
+    }
+  } else {
+    auto agg = client.Aggregate(*account, *from, *to);
+    if (!agg.ok()) {
+      std::fprintf(stderr, "fleet query failed: %s\n", agg.message().c_str());
+      return 1;
+    }
+    std::printf("account %llu, blocks [%llu, %llu]: count=%llu sum=%llu, "
+                "every shard reply VERIFIED%s\n",
+                static_cast<unsigned long long>(*account),
+                static_cast<unsigned long long>(*from),
+                static_cast<unsigned long long>(*to),
+                static_cast<unsigned long long>(agg.value().count),
+                static_cast<unsigned long long>(agg.value().sum),
+                paranoid ? " + cross-checked" : "");
+  }
+  const auto stats = client.Stats();
+  std::printf("fleet: %llu subquery(ies), %llu verified, %llu failover(s), "
+              "%llu cross-check(s)\n",
+              static_cast<unsigned long long>(stats.subqueries),
+              static_cast<unsigned long long>(stats.verified),
+              static_cast<unsigned long long>(stats.failovers),
+              static_cast<unsigned long long>(stats.cross_checks));
   return 0;
 }
 
@@ -698,17 +923,49 @@ int main(int argc, char** argv) {
   }
   if (cmd == "inspect-cert" && argc >= 3) return CmdInspectCert(argv[2]);
   if (cmd == "serve" && argc >= 3) {
-    const auto port = ParseInt(argv[2], 0, 65535);
-    const auto blocks = argc >= 4 ? ParseInt(argv[3], 1, 1 << 20)
-                                  : std::optional<int>(20);
-    const auto txs = argc >= 5 ? ParseInt(argv[4], 1, 1 << 20)
-                               : std::optional<int>(8);
+    std::vector<const char*> pos;
+    std::string shard_spec;
+    std::uint64_t map_version = 1;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--shard" && i + 1 < argc) {
+        shard_spec = argv[++i];
+      } else if (arg == "--map-version" && i + 1 < argc) {
+        const auto v = ParseU64(argv[++i]);
+        if (!v || *v == 0) return Usage();
+        map_version = *v;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown serve flag %s\n", arg.c_str());
+        return Usage();
+      } else {
+        pos.push_back(argv[i]);
+      }
+    }
+    if (pos.empty()) return Usage();
+    const auto port = ParseInt(pos[0], 0, 65535);
+    const auto blocks =
+        pos.size() >= 2 ? ParseInt(pos[1], 1, 1 << 20) : std::optional<int>(20);
+    const auto txs =
+        pos.size() >= 3 ? ParseInt(pos[2], 1, 1 << 20) : std::optional<int>(8);
     if (!port || !blocks || !txs) return Usage();
-    return CmdServe(*port, *blocks, *txs);
+    return CmdServe(*port, *blocks, *txs, shard_spec, map_version);
   }
   if (cmd == "query" && argc >= 3) return CmdQuery(argv[2], argc, argv);
+  if (cmd == "fleet-query") return CmdFleetQuery(argc, argv);
   if (cmd == "stats" && argc >= 3) {
-    return CmdStats(argv[2], argc >= 4 ? argv[3] : "");
+    std::vector<std::string> targets;
+    std::string format;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (!arg.empty() && arg[0] == '-') {
+        if (!format.empty()) return Usage();
+        format = arg;
+      } else {
+        targets.push_back(arg);
+      }
+    }
+    if (targets.empty()) return Usage();
+    return CmdStats(targets, format);
   }
   return Usage();
 }
