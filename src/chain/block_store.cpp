@@ -7,9 +7,15 @@
 namespace dcert::chain {
 
 Result<BlockStore> BlockStore::Open(const std::string& path) {
+  return Open(path, 0);
+}
+
+Result<BlockStore> BlockStore::Open(const std::string& path,
+                                    std::uint64_t segment_max_records) {
   using R = Result<BlockStore>;
   common::RecordLog::Options options;
   options.name = "blocklog";
+  options.segment_max_records = segment_max_records;
   auto log = common::RecordLog::Open(path, std::move(options));
   if (!log) return R(log.status());
   return BlockStore(std::move(log.value()));
@@ -40,6 +46,11 @@ Result<FullNode> ReplayFromStore(const BlockStore& store, ChainConfig config,
   using R = Result<FullNode>;
   FullNode node(config, std::move(registry));
   if (store.Count() == 0) return R::Error("ReplayFromStore: empty store");
+  if (store.BaseHeight() > 0) {
+    return R::Error("ReplayFromStore: history below height " +
+                    std::to_string(store.BaseHeight()) +
+                    " was compacted; recover from a checkpoint instead");
+  }
   auto genesis = store.Get(0);
   if (!genesis) return R(genesis.status());
   if (genesis.value().header.Hash() != node.GetBlock(0).header.Hash()) {

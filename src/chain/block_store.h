@@ -34,6 +34,11 @@ class BlockStore {
   /// recovered flag.
   static Result<BlockStore> Open(const std::string& path);
 
+  /// Same, with segment rotation: the log rolls to a new sealed segment
+  /// every `segment_max_records` blocks, enabling CompactBelow.
+  static Result<BlockStore> Open(const std::string& path,
+                                 std::uint64_t segment_max_records);
+
   /// When on, every Append fsyncs the file before reporting success, so a
   /// power loss cannot lose an acknowledged block (a torn in-flight record
   /// is still possible and handled by recovery on reopen). Off by default:
@@ -49,8 +54,18 @@ class BlockStore {
   /// Reads the block at `height` back from the file.
   Result<Block> Get(std::uint64_t height) const;
 
-  /// Number of stored blocks.
+  /// Number of stored blocks (compacted ones still count; they existed).
   std::uint64_t Count() const { return log_.Count(); }
+
+  /// First retained height (> 0 once pre-checkpoint history was compacted).
+  std::uint64_t BaseHeight() const { return log_.BaseIndex(); }
+
+  /// Removes whole sealed segments entirely below `height` (crash-safe
+  /// tombstone protocol; see common::RecordLog::CompactBelow).
+  Status CompactBelow(std::uint64_t height) { return log_.CompactBelow(height); }
+
+  /// True when a sealed segment's sidecar offset index had to be rebuilt.
+  bool SidecarRebuilt() const { return log_.SidecarRebuilt(); }
 
   /// Drops blocks [count, Count()) — reconciliation/fsck repair only.
   Status TruncateTo(std::uint64_t count) { return log_.TruncateTo(count); }

@@ -58,6 +58,38 @@ Status FullNode::SubmitBlock(const Block& block) {
   return Status::Ok();
 }
 
+Status FullNode::InstallSnapshot(const Block& tip, const StateMap& state) {
+  if (blocks_.size() != 1 || base_height_ != 0 || Height() != 0) {
+    return Status::Error("snapshot install requires a node still at genesis");
+  }
+  const BlockHeader& hdr = tip.header;
+  if (hdr.height == 0) {
+    return Status::Error("snapshot tip must be above genesis");
+  }
+  if (hdr.difficulty_bits != config_.difficulty_bits) {
+    return Status::Error("snapshot tip has unexpected difficulty");
+  }
+  if (Status st = VerifyConsensus(hdr); !st) {
+    return st.WithContext("snapshot tip consensus");
+  }
+  if (hdr.tx_root != Block::ComputeTxRoot(tip.txs)) {
+    return Status::Error("snapshot tip transaction root mismatch");
+  }
+  // Rebuild the committed state and require the SMT root the snapshot's
+  // entries produce to be the root the (certified) tip header claims: a
+  // snapshot with any entry added, dropped, or altered cannot match.
+  StateDB rebuilt;
+  rebuilt.ApplyWrites(state);
+  if (rebuilt.Root() != hdr.state_root) {
+    return Status::Error("snapshot state does not hash to the tip's state root");
+  }
+  state_ = std::move(rebuilt);
+  blocks_.clear();
+  blocks_.push_back(tip);
+  base_height_ = hdr.height;
+  return Status::Ok();
+}
+
 std::size_t FullNode::StorageBytes() const {
   std::size_t total = 0;
   for (const Block& b : blocks_) total += b.ByteSize();

@@ -31,12 +31,33 @@ class FullNode {
 
   const Block& Tip() const { return blocks_.back(); }
   std::uint64_t Height() const { return Tip().header.height; }
-  const Block& GetBlock(std::uint64_t height) const { return blocks_.at(height); }
+  /// Throws std::out_of_range for heights above the tip or below BaseHeight()
+  /// (history a snapshot-started node never held).
+  const Block& GetBlock(std::uint64_t height) const {
+    return blocks_.at(height - base_height_);
+  }
   const StateDB& State() const { return state_; }
+
+  /// First height this node holds a block for: 0 for a genesis-grown node,
+  /// the snapshot height after InstallSnapshot.
+  std::uint64_t BaseHeight() const { return base_height_; }
+  bool HasBlock(std::uint64_t height) const {
+    return height >= base_height_ && height - base_height_ < blocks_.size();
+  }
 
   /// Full validation: header linkage, consensus proof, tx root, re-execution,
   /// and state-root check — then append.
   Status SubmitBlock(const Block& block);
+
+  /// Re-bases a node still at genesis onto a state snapshot: after this the
+  /// node's tip is `tip` (height >= 1), its state is `state`, and blocks
+  /// below the tip are unavailable. Verifies everything the snapshot claims
+  /// that can be checked locally — consensus proof, tx root, and that the
+  /// rebuilt SMT root equals tip.header.state_root — so a tampered snapshot
+  /// never installs. Trust in the *chain position* (that this tip really is
+  /// the certified chain's block at that height) comes from the certificate
+  /// the caller verified against the tip header.
+  Status InstallSnapshot(const Block& tip, const StateMap& state);
 
   /// Bytes a full node stores for the whole chain (headers + bodies).
   std::size_t StorageBytes() const;
@@ -44,7 +65,8 @@ class FullNode {
  private:
   ChainConfig config_;
   std::shared_ptr<const ContractRegistry> registry_;
-  std::vector<Block> blocks_;
+  std::vector<Block> blocks_;  // blocks_[i] holds height base_height_ + i
+  std::uint64_t base_height_ = 0;
   StateDB state_;
 };
 

@@ -46,6 +46,11 @@ class StateDB final : public StateReader {
   void Store(const StateKey& key, std::uint64_t value);
   void ApplyWrites(const StateMap& writes);
 
+  /// Every set (non-zero) key -> value, in key order: the canonical snapshot
+  /// a checkpoint serializes. Rebuilding a StateDB via ApplyWrites(Snapshot())
+  /// reproduces Root() exactly.
+  StateMap Snapshot() const { return StateMap(values_.begin(), values_.end()); }
+
   Hash256 Root() const { return smt_.Root(); }
   std::size_t Size() const { return values_.size(); }
   mht::SmtMultiProof ProveKeys(const std::vector<StateKey>& keys) const {

@@ -1,0 +1,447 @@
+#include "ckpt/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "chain/consensus.h"
+#include "common/crash_point.h"
+#include "common/record_log.h"
+#include "common/serialize.h"
+#include "obs/metrics.h"
+
+namespace dcert::ckpt {
+
+namespace {
+
+constexpr std::uint32_t kCkptMagic = 0x44434B50;  // "DCKP"
+constexpr std::uint32_t kCkptVersion = 1;
+constexpr const char* kFilePrefix = "ckpt-";
+constexpr const char* kFileSuffix = ".dcp";
+
+/// Process-wide checkpoint metrics (the ci.ckpt.* family).
+struct CkptMetrics {
+  std::shared_ptr<obs::Counter> written;
+  std::shared_ptr<obs::Counter> bytes_written;
+  std::shared_ptr<obs::Counter> loaded;
+  std::shared_ptr<obs::Counter> load_skipped;
+  std::shared_ptr<obs::Counter> pruned;
+  std::shared_ptr<obs::Gauge> latest_height;
+
+  static CkptMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static CkptMetrics* m = new CkptMetrics{
+        reg.GetCounter("ci.ckpt.written"),
+        reg.GetCounter("ci.ckpt.bytes_written"),
+        reg.GetCounter("ci.ckpt.loaded"),
+        reg.GetCounter("ci.ckpt.load_skipped"),
+        reg.GetCounter("ci.ckpt.pruned"),
+        reg.GetGauge("ci.ckpt.latest_height")};
+    return *m;
+  }
+};
+
+Status FsyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return Status::Error("checkpoint: open dir " + dir + ": " +
+                         std::strerror(errno));
+  }
+  if (::fsync(dfd) < 0) {
+    const Status st = Status::Error("checkpoint: fsync dir " + dir + ": " +
+                                    std::strerror(errno));
+    ::close(dfd);
+    return st;
+  }
+  ::close(dfd);
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, ByteView data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t w = ::write(fd, data.data() + done, data.size() - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(std::string("checkpoint: write: ") +
+                           std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadWholeFile(const std::string& path) {
+  using R = Result<Bytes>;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return R::Error("checkpoint: open " + path + ": " + std::strerror(errno));
+  }
+  struct stat sb;
+  if (::fstat(fd, &sb) < 0) {
+    const Status st = Status::Error("checkpoint: stat " + path + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return R(st);
+  }
+  Bytes data(static_cast<std::size_t>(sb.st_size));
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t r = ::read(fd, data.data() + done, data.size() - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status st =
+          Status::Error(std::string("checkpoint: read: ") + std::strerror(errno));
+      ::close(fd);
+      return R(st);
+    }
+    if (r == 0) break;
+    done += static_cast<std::size_t>(r);
+  }
+  ::close(fd);
+  if (done != data.size()) {
+    return R::Error("checkpoint: short read of " + path);
+  }
+  return data;
+}
+
+/// Parses "ckpt-<height>.dcp"; nullopt for anything else.
+std::optional<std::uint64_t> ParseHeight(const std::string& name) {
+  const std::size_t plen = std::strlen(kFilePrefix);
+  const std::size_t slen = std::strlen(kFileSuffix);
+  if (name.size() <= plen + slen) return std::nullopt;
+  if (name.compare(0, plen, kFilePrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - slen, slen, kFileSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t h = 0;
+  for (std::size_t i = plen; i < name.size() - slen; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    h = h * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return h;
+}
+
+}  // namespace
+
+Bytes Checkpoint::Serialize() const {
+  Encoder enc;
+  enc.U32(kCkptMagic);
+  enc.U32(kCkptVersion);
+  enc.U64(height);
+  enc.Blob(header.Serialize());
+  enc.Blob(block_cert.Serialize());
+  enc.Bool(has_body);
+  if (has_body) {
+    enc.U32(static_cast<std::uint32_t>(txs.size()));
+    for (const chain::Transaction& tx : txs) enc.Blob(tx.Serialize());
+  }
+  enc.Bool(has_state);
+  if (has_state) {
+    enc.U64(state.size());
+    for (const auto& [key, value] : state) {  // std::map: key order, canonical
+      enc.HashField(key);
+      enc.U64(value);
+    }
+  }
+  enc.Bool(has_index);
+  if (has_index) {
+    enc.HashField(index_digest);
+    enc.Blob(index_content);
+  }
+  enc.Bool(has_index_cert);
+  if (has_index_cert) enc.Blob(index_cert.Serialize());
+
+  Bytes out = enc.Take();
+  const std::uint32_t crc = common::Crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+Result<Checkpoint> Checkpoint::Deserialize(ByteView data) {
+  using R = Result<Checkpoint>;
+  if (data.size() < 4) return R::Error("checkpoint: truncated file");
+  const ByteView body = data.subspan(0, data.size() - 4);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(data[data.size() - 4 + i]) << (8 * i);
+  }
+  if (common::Crc32(body) != stored) {
+    return R::Error("checkpoint: CRC mismatch (torn or corrupt file)");
+  }
+  try {
+    Decoder dec(body);
+    if (dec.U32() != kCkptMagic) return R::Error("checkpoint: bad magic");
+    if (const std::uint32_t v = dec.U32(); v != kCkptVersion) {
+      return R::Error("checkpoint: unknown version " + std::to_string(v));
+    }
+    Checkpoint ck;
+    ck.height = dec.U64();
+    {
+      const Bytes hdr = dec.Blob();
+      auto header = chain::BlockHeader::Deserialize(hdr);
+      if (!header) return R(header.status());
+      ck.header = header.value();
+    }
+    {
+      const Bytes cert = dec.Blob();
+      auto bc = core::BlockCertificate::Deserialize(cert);
+      if (!bc) return R(bc.status());
+      ck.block_cert = std::move(bc.value());
+    }
+    ck.has_body = dec.Bool();
+    if (ck.has_body) {
+      const std::uint32_t n = dec.U32();
+      ck.txs.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Bytes raw = dec.Blob();
+        auto tx = chain::Transaction::Deserialize(raw);
+        if (!tx) return R(tx.status());
+        ck.txs.push_back(std::move(tx.value()));
+      }
+    }
+    ck.has_state = dec.Bool();
+    if (ck.has_state) {
+      const std::uint64_t n = dec.U64();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const Hash256 key = dec.HashField();
+        const std::uint64_t value = dec.U64();
+        ck.state.emplace(key, value);
+      }
+    }
+    ck.has_index = dec.Bool();
+    if (ck.has_index) {
+      ck.index_digest = dec.HashField();
+      ck.index_content = dec.Blob();
+    }
+    ck.has_index_cert = dec.Bool();
+    if (ck.has_index_cert) {
+      const Bytes cert = dec.Blob();
+      auto ic = core::IndexCertificate::Deserialize(cert);
+      if (!ic) return R(ic.status());
+      ck.index_cert = std::move(ic.value());
+    }
+    dec.ExpectEnd();
+    return ck;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("checkpoint: ") + e.what());
+  }
+}
+
+Status VerifyCheckpoint(const Checkpoint& ck,
+                        const Hash256& expected_measurement) {
+  if (ck.height == 0) return Status::Error("checkpoint: height must be >= 1");
+  if (ck.header.height != ck.height) {
+    return Status::Error("checkpoint: header height does not match file height");
+  }
+  if (Status st = core::VerifyCertificateEnvelope(ck.block_cert,
+                                                  expected_measurement);
+      !st) {
+    return st.WithContext("checkpoint block certificate");
+  }
+  if (ck.block_cert.digest != ck.header.Hash()) {
+    return Status::Error(
+        "checkpoint: certificate does not bind the tip header");
+  }
+  if (Status st = chain::VerifyConsensus(ck.header); !st) {
+    return st.WithContext("checkpoint tip header");
+  }
+  if (ck.has_body) {
+    if (chain::Block::ComputeTxRoot(ck.txs) != ck.header.tx_root) {
+      return Status::Error(
+          "checkpoint: body does not hash to the certified tx root");
+    }
+  }
+  if (ck.has_state) {
+    chain::StateDB rebuilt;
+    rebuilt.ApplyWrites(ck.state);
+    if (rebuilt.Root() != ck.header.state_root) {
+      return Status::Error(
+          "checkpoint: state snapshot does not hash to the certified state "
+          "root");
+    }
+  }
+  if (ck.has_index_cert) {
+    if (!ck.has_index) {
+      return Status::Error("checkpoint: index certificate without index");
+    }
+    if (Status st = core::VerifyCertificateEnvelope(ck.index_cert,
+                                                    expected_measurement);
+        !st) {
+      return st.WithContext("checkpoint index certificate");
+    }
+    if (ck.index_cert.digest !=
+        core::IndexCertDigest(ck.header.Hash(), ck.index_digest)) {
+      return Status::Error(
+          "checkpoint: index certificate does not bind (header, digest)");
+    }
+  }
+  return Status::Ok();
+}
+
+Status BootstrapSuperlight(core::SuperlightClient& client, const Checkpoint& ck,
+                           const std::string& index_id) {
+  if (Status st = client.ValidateAndAccept(ck.header, ck.block_cert); !st) {
+    return st.WithContext("superlight checkpoint bootstrap");
+  }
+  if (ck.has_index_cert) {
+    if (Status st = client.AcceptIndexCert(ck.header, ck.index_cert,
+                                           ck.index_digest, index_id);
+        !st) {
+      return st.WithContext("superlight checkpoint index cert");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<CheckpointStore> CheckpointStore::Open(std::string dir) {
+  using R = Result<CheckpointStore>;
+  if (::mkdir(dir.c_str(), 0777) < 0 && errno != EEXIST) {
+    return R::Error("checkpoint: mkdir " + dir + ": " + std::strerror(errno));
+  }
+  // Clean up torn tmp files a crashed seal left behind; they were never
+  // renamed into place, so unlinking them is always safe.
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return R::Error("checkpoint: opendir " + dir + ": " + std::strerror(errno));
+  }
+  bool removed = false;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      ::unlink((dir + "/" + name).c_str());
+      removed = true;
+    }
+  }
+  ::closedir(d);
+  if (removed) {
+    if (Status st = FsyncDir(dir); !st) return R(st);
+  }
+  return CheckpointStore(std::move(dir));
+}
+
+std::string CheckpointStore::FilePath(std::uint64_t height) const {
+  return dir_ + "/" + kFilePrefix + std::to_string(height) + kFileSuffix;
+}
+
+Status CheckpointStore::Write(const Checkpoint& ck) {
+  auto& crash = common::CrashPoints::Global();
+  crash.Hit("ckpt.seal.begin");
+  const Bytes bytes = ck.Serialize();
+  const std::string final_path = FilePath(ck.height);
+  const std::string tmp_path = final_path + ".tmp";
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Error("checkpoint: open " + tmp_path + ": " +
+                         std::strerror(errno));
+  }
+  if (crash.FireNow("ckpt.seal.torn")) {
+    // Torn seal: half the bytes land in the tmp file, then the "process
+    // dies". The tmp file never shadows the final name; Open() unlinks it.
+    (void)!WriteAll(fd, ByteView(bytes.data(), bytes.size() / 2));
+    ::close(fd);
+    common::CrashPoints::Throw("ckpt.seal.torn");
+  }
+  if (Status st = WriteAll(fd, bytes); !st) {
+    ::close(fd);
+    return st;
+  }
+  if (::fsync(fd) < 0) {
+    const Status st =
+        Status::Error(std::string("checkpoint: fsync: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) < 0) {
+    return Status::Error("checkpoint: rename " + tmp_path + ": " +
+                         std::strerror(errno));
+  }
+  if (Status st = FsyncDir(dir_); !st) return st;
+  crash.Hit("ckpt.seal.commit");
+
+  auto& m = CkptMetrics::Get();
+  m.written->Add(1);
+  m.bytes_written->Add(bytes.size());
+  m.latest_height->Set(static_cast<std::int64_t>(ck.height));
+  return Status::Ok();
+}
+
+Result<Checkpoint> CheckpointStore::Load(std::uint64_t height) const {
+  using R = Result<Checkpoint>;
+  auto data = ReadWholeFile(FilePath(height));
+  if (!data) return R(data.status());
+  auto ck = Checkpoint::Deserialize(data.value());
+  if (!ck) return ck;
+  if (ck.value().height != height) {
+    return R::Error("checkpoint: file " + FilePath(height) +
+                    " contains height " + std::to_string(ck.value().height));
+  }
+  return ck;
+}
+
+std::vector<std::uint64_t> CheckpointStore::Heights() const {
+  std::vector<std::uint64_t> heights;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return heights;
+  while (struct dirent* ent = ::readdir(d)) {
+    if (auto h = ParseHeight(ent->d_name)) heights.push_back(*h);
+  }
+  ::closedir(d);
+  std::sort(heights.begin(), heights.end());
+  return heights;
+}
+
+Result<std::optional<Checkpoint>> CheckpointStore::LoadLatestValid(
+    std::uint64_t max_height, const Hash256& expected_measurement) const {
+  using R = Result<std::optional<Checkpoint>>;
+  std::vector<std::uint64_t> heights = Heights();
+  auto& m = CkptMetrics::Get();
+  for (auto it = heights.rbegin(); it != heights.rend(); ++it) {
+    if (*it > max_height) continue;
+    auto ck = Load(*it);
+    if (!ck) {
+      m.load_skipped->Add(1);
+      continue;  // torn/corrupt file: fall back to the previous checkpoint
+    }
+    if (Status st = VerifyCheckpoint(ck.value(), expected_measurement); !st) {
+      m.load_skipped->Add(1);
+      continue;
+    }
+    m.loaded->Add(1);
+    return R(std::optional<Checkpoint>(std::move(ck.value())));
+  }
+  return R(std::optional<Checkpoint>());
+}
+
+Status CheckpointStore::Prune(std::size_t keep) {
+  if (keep == 0) return Status::Error("checkpoint: prune must keep >= 1");
+  std::vector<std::uint64_t> heights = Heights();
+  if (heights.size() <= keep) return Status::Ok();
+  auto& crash = common::CrashPoints::Global();
+  crash.Hit("ckpt.prune.unlink");
+  std::uint64_t removed = 0;
+  for (std::size_t i = 0; i + keep < heights.size(); ++i) {
+    if (::unlink(FilePath(heights[i]).c_str()) < 0 && errno != ENOENT) {
+      return Status::Error("checkpoint: unlink " + FilePath(heights[i]) + ": " +
+                           std::strerror(errno));
+    }
+    ++removed;
+  }
+  if (Status st = FsyncDir(dir_); !st) return st;
+  CkptMetrics::Get().pruned->Add(removed);
+  return Status::Ok();
+}
+
+}  // namespace dcert::ckpt

@@ -1,0 +1,131 @@
+// Certified checkpoints: a sealed, CRC'd snapshot of everything a recovering
+// issuer or service needs at one height H — the tip header (optionally with
+// its body), its block certificate, the full SMT state, and the historical
+// index's raw content with its certified digest — so recovery replays only
+// the tail above H and a superlight client bootstraps from (checkpoint, cert)
+// instead of walking from genesis.
+//
+// Trust argument: nothing in a checkpoint is trusted on its own. The block
+// certificate signs the tip header; the header commits the state root and the
+// tx root; VerifyCheckpoint rebuilds the SMT from the snapshot entries and
+// requires its root to equal the certified header's state root (and the body,
+// when present, to hash to the tx root). Index content is restored through
+// the same deterministic insert path the live index used, so the restored
+// digest either reproduces the certified index digest exactly or the
+// comparison fails — a tampered checkpoint cannot produce a verifying state.
+//
+// File format (one checkpoint per file, `ckpt-<height>.dcp`):
+//   u32 magic "DCKP" | u32 version | payload | u32 CRC-32 over all preceding
+// written via tmp + fsync + rename + dir-fsync, so a torn write never
+// shadows the final name. Crash sites: ckpt.seal.begin (before any write),
+// ckpt.seal.torn (leaves a torn tmp file behind), ckpt.seal.commit (after
+// the rename is durable), ckpt.prune.unlink (before pruning unlinks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/state.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dcert/certificate.h"
+#include "dcert/superlight.h"
+
+namespace dcert::ckpt {
+
+/// One certified checkpoint. Two flavors share the format:
+///  * issuer checkpoints carry the tip body and the SMT state (has_body,
+///    has_state) — enough to re-base a CertificateIssuer;
+///  * service (SP) checkpoints carry the index content plus the *real* index
+///    certificate the SP received with its last announcement (has_index,
+///    has_index_cert) — enough to rehydrate a query server whose queries
+///    verify immediately.
+struct Checkpoint {
+  std::uint64_t height = 0;      // == header.height, named for the file
+  chain::BlockHeader header;     // certified tip header at `height`
+  core::BlockCertificate block_cert;
+
+  bool has_body = false;         // tip transactions present
+  std::vector<chain::Transaction> txs;
+
+  bool has_state = false;        // full SMT snapshot present
+  chain::StateMap state;
+
+  bool has_index = false;        // historical-index content present
+  Hash256 index_digest{};        // index digest at `height`
+  Bytes index_content;           // query::HistoricalIndex::SerializeContent
+
+  bool has_index_cert = false;   // certified index digest (SP checkpoints)
+  core::IndexCertificate index_cert;
+
+  /// The tip block (requires has_body).
+  chain::Block TipBlock() const { return chain::Block{header, txs}; }
+
+  /// Full file bytes: magic + version + payload + trailing CRC.
+  Bytes Serialize() const;
+  static Result<Checkpoint> Deserialize(ByteView data);
+};
+
+/// Verifies everything verifiable without replay: the certificate envelope
+/// against the pinned enclave measurement, the digest binding to the header,
+/// the header's consensus proof, the body against the tx root (when
+/// present), the state snapshot against the state root (when present), and
+/// the index certificate's binding to (header, index_digest) (when present).
+/// Index *content* is deliberately not checked here — restoring it is the
+/// check (see file comment); callers compare the restored digest.
+Status VerifyCheckpoint(const Checkpoint& ck, const Hash256& expected_measurement);
+
+/// O(1) superlight bootstrap (the paper's light-client claim made portable
+/// across restarts): feeds the checkpoint's (header, cert) — and index cert,
+/// when carried — to the client, which verifies them exactly as live
+/// announcements. Constant cost regardless of chain length.
+Status BootstrapSuperlight(core::SuperlightClient& client, const Checkpoint& ck,
+                           const std::string& index_id = "historical");
+
+/// Directory of sealed checkpoint files. Open() cleans up torn tmp files a
+/// crashed seal left behind; Write() is atomic (see file comment); readers
+/// skip files that fail CRC or verification, so one corrupt checkpoint
+/// degrades to the previous one instead of wedging recovery.
+class CheckpointStore {
+ public:
+  CheckpointStore(CheckpointStore&&) noexcept = default;
+  CheckpointStore& operator=(CheckpointStore&&) noexcept = default;
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Opens (creating if absent) the checkpoint directory.
+  static Result<CheckpointStore> Open(std::string dir);
+
+  /// Seals `ck` durably under its height's file name (tmp + fsync + rename +
+  /// dir fsync). Overwrites an existing checkpoint at the same height.
+  Status Write(const Checkpoint& ck);
+
+  /// Loads and CRC-validates the checkpoint at `height`.
+  Result<Checkpoint> Load(std::uint64_t height) const;
+
+  /// Heights with a checkpoint file, ascending (rescans the directory).
+  std::vector<std::uint64_t> Heights() const;
+
+  /// Newest checkpoint with height <= max_height that decodes, CRC-checks,
+  /// and passes VerifyCheckpoint; invalid ones are skipped (counted in
+  /// ci.ckpt.load_skipped). nullopt when none qualifies.
+  Result<std::optional<Checkpoint>> LoadLatestValid(
+      std::uint64_t max_height, const Hash256& expected_measurement) const;
+
+  /// Unlinks all but the newest `keep` checkpoints (keep >= 1).
+  Status Prune(std::size_t keep);
+
+  const std::string& Dir() const { return dir_; }
+
+ private:
+  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string FilePath(std::uint64_t height) const;
+
+  std::string dir_;
+};
+
+}  // namespace dcert::ckpt

@@ -1,22 +1,31 @@
 #include "common/record_log.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "common/crash_point.h"
+#include "common/serialize.h"
 
 namespace dcert::common {
 
 namespace {
 
-constexpr std::uint32_t kRecordMagic = 0x44435254;  // "DCRT"
-constexpr std::size_t kRecordHeaderSize = 12;       // magic + length + crc
+constexpr std::uint32_t kRecordMagic = 0x44435254;   // "DCRT"
+constexpr std::size_t kRecordHeaderSize = 12;        // magic + length + crc
+constexpr std::uint32_t kSidecarMagic = 0x44435349;  // "DCSI"
+constexpr std::uint32_t kManifestMagic = 0x4443534D; // "DCSM"
+constexpr std::uint32_t kSidecarVersion = 1;
+constexpr std::uint32_t kManifestVersion = 1;
 
 const std::array<std::uint32_t, 256>& CrcTable() {
   static const std::array<std::uint32_t, 256> table = [] {
@@ -43,7 +52,7 @@ std::uint32_t DecodeU32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
-Status Errno(const std::string& name, const char* what) {
+Status Errno(const std::string& name, const std::string& what) {
   return Status::Error(name + ": " + what + ": " + std::strerror(errno));
 }
 
@@ -77,21 +86,207 @@ bool WriteAll(int fd, const std::uint8_t* buf, std::size_t n) {
   return true;
 }
 
-/// fsyncs the directory containing `path` so a freshly created file's
-/// directory entry is durable (a crash right after create must not lose the
-/// empty log, or recovery could mistake "log never existed" for "log empty").
-Status FsyncParentDir(const std::string& path, const std::string& name) {
+std::string ParentDir(const std::string& path) {
   const std::size_t slash = path.rfind('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd < 0) return Errno(name, "open parent dir");
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string BaseName(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+Status FsyncDir(const std::string& dir, const std::string& name) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return Errno(name, "open dir " + dir);
   if (::fsync(dfd) < 0) {
-    const Status st = Errno(name, "fsync parent dir");
+    const Status st = Errno(name, "fsync dir " + dir);
     ::close(dfd);
     return st;
   }
   ::close(dfd);
   return Status::Ok();
+}
+
+/// fsyncs the directory containing `path` so a freshly created file's
+/// directory entry is durable (a crash right after create must not lose the
+/// empty log, or recovery could mistake "log never existed" for "log empty").
+Status FsyncParentDir(const std::string& path, const std::string& name) {
+  return FsyncDir(ParentDir(path), name);
+}
+
+/// write tmp + fsync + rename + dir fsync: the file at `path` is atomically
+/// either its old content or `data`, never torn.
+Status AtomicWriteDurable(const std::string& path, ByteView data,
+                          const std::string& name) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno(name, "open " + tmp);
+  if (!WriteAll(fd, data.data(), data.size())) {
+    const Status st = Errno(name, "write " + tmp);
+    ::close(fd);
+    return st;
+  }
+  if (::fsync(fd) < 0) {
+    const Status st = Errno(name, "fsync " + tmp);
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    return Errno(name, "rename " + tmp);
+  }
+  return FsyncParentDir(path, name);
+}
+
+std::optional<Bytes> ReadWholeFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  struct stat sb;
+  if (::fstat(fd, &sb) < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  Bytes data(static_cast<std::size_t>(sb.st_size));
+  if (!data.empty() && !ReadAt(fd, data.data(), data.size(), 0)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  ::close(fd);
+  return data;
+}
+
+/// Verifying scan of a record file: offsets of every intact record plus the
+/// clean end position. `clean` is false when a torn/corrupt tail follows.
+struct ScanResult {
+  std::vector<std::uint64_t> offsets;
+  std::uint64_t end = 0;
+  bool clean = true;
+};
+
+Result<ScanResult> ScanRecords(int fd, std::uint64_t file_size) {
+  ScanResult out;
+  std::uint64_t pos = 0;
+  while (pos + kRecordHeaderSize <= file_size) {
+    std::uint8_t header[kRecordHeaderSize];
+    if (!ReadAt(fd, header, kRecordHeaderSize, pos)) {
+      out.clean = false;
+      break;
+    }
+    const std::uint32_t magic = DecodeU32(header);
+    const std::uint32_t length = DecodeU32(header + 4);
+    const std::uint32_t crc = DecodeU32(header + 8);
+    if (magic != kRecordMagic || pos + kRecordHeaderSize + length > file_size) {
+      out.clean = false;
+      break;
+    }
+    Bytes payload(length);
+    if (!ReadAt(fd, payload.data(), length, pos + kRecordHeaderSize) ||
+        Crc32(payload) != crc) {
+      out.clean = false;
+      break;
+    }
+    out.offsets.push_back(pos);
+    pos += kRecordHeaderSize + length;
+  }
+  if (pos < file_size) out.clean = false;  // trailing partial header
+  out.end = pos;
+  return out;
+}
+
+// --- sidecar offset index -------------------------------------------------
+
+Bytes EncodeSidecar(std::uint64_t first, std::uint64_t file_size,
+                    const std::vector<std::uint64_t>& offsets) {
+  Encoder enc;
+  enc.U32(kSidecarMagic);
+  enc.U32(kSidecarVersion);
+  enc.U64(first);
+  enc.U64(file_size);
+  enc.U64(offsets.size());
+  for (std::uint64_t o : offsets) enc.U64(o);
+  Bytes body = enc.Take();
+  Bytes out = body;
+  AppendU32(out, Crc32(body));
+  return out;
+}
+
+struct SidecarIndex {
+  std::uint64_t first = 0;
+  std::uint64_t file_size = 0;
+  std::vector<std::uint64_t> offsets;
+};
+
+std::optional<SidecarIndex> DecodeSidecar(ByteView data) {
+  if (data.size() < 4) return std::nullopt;
+  const ByteView body(data.data(), data.size() - 4);
+  if (Crc32(body) != DecodeU32(data.data() + body.size())) return std::nullopt;
+  try {
+    Decoder dec(body);
+    if (dec.U32() != kSidecarMagic) return std::nullopt;
+    if (dec.U32() != kSidecarVersion) return std::nullopt;
+    SidecarIndex idx;
+    idx.first = dec.U64();
+    idx.file_size = dec.U64();
+    const std::uint64_t count = dec.U64();
+    idx.offsets.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) idx.offsets.push_back(dec.U64());
+    dec.ExpectEnd();
+    return idx;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+// --- compaction manifest --------------------------------------------------
+
+struct Manifest {
+  std::uint64_t base = 0;
+  std::uint64_t active_first = 0;
+};
+
+Bytes EncodeManifest(const Manifest& m) {
+  Encoder enc;
+  enc.U32(kManifestMagic);
+  enc.U32(kManifestVersion);
+  enc.U64(m.base);
+  enc.U64(m.active_first);
+  Bytes body = enc.Take();
+  Bytes out = body;
+  AppendU32(out, Crc32(body));
+  return out;
+}
+
+std::optional<Manifest> DecodeManifest(ByteView data) {
+  if (data.size() < 4) return std::nullopt;
+  const ByteView body(data.data(), data.size() - 4);
+  if (Crc32(body) != DecodeU32(data.data() + body.size())) return std::nullopt;
+  try {
+    Decoder dec(body);
+    if (dec.U32() != kManifestMagic) return std::nullopt;
+    if (dec.U32() != kManifestVersion) return std::nullopt;
+    Manifest m;
+    m.base = dec.U64();
+    m.active_first = dec.U64();
+    dec.ExpectEnd();
+    return m;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+/// Parses the "<first>" suffix of a segment file name; nullopt when the
+/// suffix is not a bare decimal number (e.g. a ".idx" sidecar).
+std::optional<std::uint64_t> ParseSegmentFirst(const std::string& suffix) {
+  if (suffix.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : suffix) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
 }
 
 }  // namespace
@@ -102,40 +297,53 @@ std::uint32_t Crc32(ByteView data) {
   return c ^ 0xFFFFFFFFu;
 }
 
-RecordLog::RecordLog(std::string path, Options options, int fd,
-                     std::vector<std::uint64_t> offsets, std::uint64_t end_offset,
-                     bool recovered)
-    : path_(std::move(path)),
-      options_(std::move(options)),
-      fd_(fd),
-      offsets_(std::move(offsets)),
-      end_offset_(end_offset),
-      recovered_(recovered) {}
-
-RecordLog::~RecordLog() {
+void RecordLog::CloseAll() {
   if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  for (Segment& seg : segments_) {
+    if (seg.map != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(seg.map),
+               static_cast<std::size_t>(seg.file_size));
+      seg.map = nullptr;
+    }
+    if (seg.fd >= 0) ::close(seg.fd);
+    seg.fd = -1;
+  }
+  segments_.clear();
 }
+
+RecordLog::~RecordLog() { CloseAll(); }
 
 RecordLog::RecordLog(RecordLog&& other) noexcept
     : path_(std::move(other.path_)),
       options_(std::move(other.options_)),
       fd_(other.fd_),
+      segments_(std::move(other.segments_)),
       offsets_(std::move(other.offsets_)),
       end_offset_(other.end_offset_),
-      recovered_(other.recovered_) {
+      active_first_(other.active_first_),
+      base_(other.base_),
+      recovered_(other.recovered_),
+      sidecar_rebuilt_(other.sidecar_rebuilt_) {
   other.fd_ = -1;
+  other.segments_.clear();
 }
 
 RecordLog& RecordLog::operator=(RecordLog&& other) noexcept {
   if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
+    CloseAll();
     path_ = std::move(other.path_);
     options_ = std::move(other.options_);
     fd_ = other.fd_;
+    segments_ = std::move(other.segments_);
     offsets_ = std::move(other.offsets_);
     end_offset_ = other.end_offset_;
+    active_first_ = other.active_first_;
+    base_ = other.base_;
     recovered_ = other.recovered_;
+    sidecar_rebuilt_ = other.sidecar_rebuilt_;
     other.fd_ = -1;
+    other.segments_.clear();
   }
   return *this;
 }
@@ -143,13 +351,164 @@ RecordLog& RecordLog::operator=(RecordLog&& other) noexcept {
 Result<RecordLog> RecordLog::Open(const std::string& path, Options options) {
   using R = Result<RecordLog>;
   const std::string& name = options.name;
+  const std::string dir = ParentDir(path);
+  const std::string base_name = BaseName(path);
+  const std::string seg_prefix = base_name + ".seg.";
+
+  // Enumerate this log's on-disk family: sealed segments, sidecars, the
+  // manifest, and any ".tmp" leftovers of an interrupted atomic write.
+  std::vector<std::uint64_t> seg_firsts;
+  std::vector<std::uint64_t> sidecar_firsts;
+  {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return R(Errno(name, "opendir " + dir));
+    while (struct dirent* ent = ::readdir(d)) {
+      const std::string entry = ent->d_name;
+      if (entry.rfind(base_name + ".", 0) == 0 &&
+          entry.size() > 4 && entry.compare(entry.size() - 4, 4, ".tmp") == 0) {
+        ::unlink((dir + "/" + entry).c_str());  // torn atomic write: roll back
+        continue;
+      }
+      if (entry.rfind(seg_prefix, 0) != 0) continue;
+      std::string suffix = entry.substr(seg_prefix.size());
+      if (suffix.size() > 4 && suffix.compare(suffix.size() - 4, 4, ".idx") == 0) {
+        if (auto first = ParseSegmentFirst(suffix.substr(0, suffix.size() - 4))) {
+          sidecar_firsts.push_back(*first);
+        }
+        continue;
+      }
+      if (auto first = ParseSegmentFirst(suffix)) seg_firsts.push_back(*first);
+    }
+    ::closedir(d);
+  }
+  std::sort(seg_firsts.begin(), seg_firsts.end());
+
+  Manifest manifest;  // absent manifest == {0, 0}: the legacy single-file log
+  if (auto bytes = ReadWholeFile(path + ".manifest")) {
+    auto decoded = DecodeManifest(*bytes);
+    if (!decoded) {
+      return R::Error(name + ": corrupt manifest " + path + ".manifest");
+    }
+    manifest = *decoded;
+  }
+
+  RecordLog log;
+  log.path_ = path;
+  log.options_ = options;
+  log.base_ = manifest.base;
+
+  // Resume an interrupted compaction: the manifest commit made records below
+  // `base` dead, so any segment still on disk below it is unlinked now.
+  // (Segment boundaries align with `base` by construction, so first < base
+  // identifies exactly the segments the crashed compaction meant to remove.)
+  for (std::uint64_t first : seg_firsts) {
+    if (first >= manifest.base) continue;
+    const std::string seg_path = path + ".seg." + std::to_string(first);
+    ::unlink(seg_path.c_str());
+    ::unlink((seg_path + ".idx").c_str());
+  }
+  seg_firsts.erase(std::remove_if(seg_firsts.begin(), seg_firsts.end(),
+                                  [&](std::uint64_t f) { return f < manifest.base; }),
+                   seg_firsts.end());
+  // Orphan sidecars (their segment is gone) are stale; drop them.
+  for (std::uint64_t first : sidecar_firsts) {
+    if (std::binary_search(seg_firsts.begin(), seg_firsts.end(), first)) continue;
+    ::unlink((path + ".seg." + std::to_string(first) + ".idx").c_str());
+  }
+
+  // Load every sealed segment, preferring its sidecar index; a missing or
+  // CRC-failing sidecar falls back to one verifying scan and is rewritten.
+  for (std::uint64_t first : seg_firsts) {
+    Segment seg;
+    seg.first = first;
+    seg.path = path + ".seg." + std::to_string(first);
+    seg.fd = ::open(seg.path.c_str(), O_RDONLY);
+    if (seg.fd < 0) {
+      const Status st = Errno(name, "open segment " + seg.path);
+      log.CloseAll();
+      return R(st);
+    }
+    struct stat sb;
+    if (::fstat(seg.fd, &sb) < 0) {
+      const Status st = Errno(name, "fstat segment " + seg.path);
+      ::close(seg.fd);
+      log.CloseAll();
+      return R(st);
+    }
+    seg.file_size = static_cast<std::uint64_t>(sb.st_size);
+
+    bool loaded = false;
+    if (auto bytes = ReadWholeFile(seg.path + ".idx")) {
+      if (auto idx = DecodeSidecar(*bytes);
+          idx && idx->first == first && idx->file_size == seg.file_size) {
+        seg.offsets = std::move(idx->offsets);
+        loaded = true;
+      }
+    }
+    if (!loaded) {
+      auto scan = ScanRecords(seg.fd, seg.file_size);
+      if (!scan) {
+        ::close(seg.fd);
+        log.CloseAll();
+        return R(scan.status());
+      }
+      if (!scan.value().clean) {
+        // Sealed segments were fsynced before the rename that sealed them;
+        // a torn one is real corruption, not a crash artifact.
+        ::close(seg.fd);
+        log.CloseAll();
+        return R::Error(name + ": sealed segment " + seg.path +
+                        " is corrupt (torn record inside immutable history)");
+      }
+      seg.offsets = std::move(scan.value().offsets);
+      if (Status st = AtomicWriteDurable(
+              seg.path + ".idx", EncodeSidecar(first, seg.file_size, seg.offsets),
+              name);
+          !st) {
+        ::close(seg.fd);
+        log.CloseAll();
+        return R(st.WithContext("rebuild sidecar"));
+      }
+      log.sidecar_rebuilt_ = true;
+    }
+
+    if (options.mmap_sealed && seg.file_size > 0) {
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(seg.file_size),
+                         PROT_READ, MAP_PRIVATE, seg.fd, 0);
+      if (map != MAP_FAILED) seg.map = static_cast<const std::uint8_t*>(map);
+    }
+    log.segments_.push_back(std::move(seg));
+  }
+
+  // Contiguity: segments tile [base, active_first) exactly.
+  std::uint64_t expect = manifest.base;
+  for (const Segment& seg : log.segments_) {
+    if (seg.first != expect) {
+      log.CloseAll();
+      return R::Error(name + ": segment gap: expected first index " +
+                      std::to_string(expect) + ", found segment at " +
+                      std::to_string(seg.first));
+    }
+    expect += seg.offsets.size();
+  }
+  log.active_first_ =
+      log.segments_.empty() ? manifest.active_first
+                            : log.segments_.back().first +
+                                  log.segments_.back().offsets.size();
+
+  // Open (or recreate, after a crash between rotation's rename and the new
+  // active file's creation) the active segment.
   const bool existed = ::access(path.c_str(), F_OK) == 0;
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) return R(Errno(name, ("open " + path).c_str()));
+  if (fd < 0) {
+    log.CloseAll();
+    return R(Errno(name, "open " + path));
+  }
+  log.fd_ = fd;
   if (!existed) {
     // Make the directory entry durable before any append relies on it.
     if (Status st = FsyncParentDir(path, name); !st) {
-      ::close(fd);
+      log.CloseAll();
       return R(st);
     }
   }
@@ -157,58 +516,110 @@ Result<RecordLog> RecordLog::Open(const std::string& path, Options options) {
   struct stat sb;
   if (::fstat(fd, &sb) < 0) {
     const Status st = Errno(name, "fstat");
-    ::close(fd);
+    log.CloseAll();
     return R(st);
   }
-  const std::uint64_t file_size = static_cast<std::uint64_t>(sb.st_size);
-
-  std::vector<std::uint64_t> offsets;
-  std::uint64_t pos = 0;
-  bool recovered = false;
-  while (pos + kRecordHeaderSize <= file_size) {
-    std::uint8_t header[kRecordHeaderSize];
-    if (!ReadAt(fd, header, kRecordHeaderSize, pos)) {
-      recovered = true;
-      break;
-    }
-    const std::uint32_t magic = DecodeU32(header);
-    const std::uint32_t length = DecodeU32(header + 4);
-    const std::uint32_t crc = DecodeU32(header + 8);
-    if (magic != kRecordMagic || pos + kRecordHeaderSize + length > file_size) {
-      recovered = true;
-      break;
-    }
-    Bytes payload(length);
-    if (!ReadAt(fd, payload.data(), length, pos + kRecordHeaderSize) ||
-        Crc32(payload) != crc) {
-      recovered = true;
-      break;
-    }
-    offsets.push_back(pos);
-    pos += kRecordHeaderSize + length;
+  auto scan = ScanRecords(fd, static_cast<std::uint64_t>(sb.st_size));
+  if (!scan) {
+    log.CloseAll();
+    return R(scan.status());
   }
-  if (pos < file_size && !recovered) recovered = true;  // trailing partial header
-  if (recovered) {
+  log.offsets_ = std::move(scan.value().offsets);
+  log.end_offset_ = scan.value().end;
+  log.recovered_ = !scan.value().clean;
+  if (log.recovered_) {
     // Physically truncate the torn tail and make the truncation durable
     // before trusting subsequent appends — without the fsync, a second crash
     // could resurrect the dropped tail and corrupt the record stream.
-    if (::ftruncate(fd, static_cast<off_t>(pos)) < 0) {
+    if (::ftruncate(fd, static_cast<off_t>(log.end_offset_)) < 0) {
       const Status st = Errno(name, "truncate torn tail");
-      ::close(fd);
+      log.CloseAll();
       return R(st);
     }
     if (::fsync(fd) < 0) {
       const Status st = Errno(name, "fsync after truncation");
-      ::close(fd);
+      log.CloseAll();
       return R(st);
     }
   }
-  return RecordLog(path, std::move(options), fd, std::move(offsets), pos,
-                   recovered);
+  return log;
+}
+
+Status RecordLog::Rotate() {
+  auto& crash = CrashPoints::Global();
+  const std::string& name = options_.name;
+  // Drop stray bytes past the indexed records (a failed write can leave
+  // them), then make every sealed-to-be record durable.
+  if (::ftruncate(fd_, static_cast<off_t>(end_offset_)) < 0) {
+    return Errno(name, "rotate: truncate stray tail");
+  }
+  if (::fsync(fd_) < 0) return Errno(name, "rotate: fsync active");
+  crash.Hit((name + ".rotate.begin").c_str());
+
+  const std::string seg_path = path_ + ".seg." + std::to_string(active_first_);
+  if (::rename(path_.c_str(), seg_path.c_str()) < 0) {
+    return Errno(name, "rotate: rename to " + seg_path);
+  }
+  if (Status st = FsyncParentDir(path_, name); !st) {
+    fd_ = -1;  // on-disk layout moved under us; force a reopen
+    return st.WithContext("rotate");
+  }
+  crash.Hit((name + ".rotate.rename").c_str());
+  // fd_ now refers to the renamed (sealed) file; it stays the object's fd —
+  // so a crash-site throw below still closes it via the destructor — until
+  // the final commit hands it to the Segment.
+
+  if (Status st = AtomicWriteDurable(
+          seg_path + ".idx",
+          EncodeSidecar(active_first_, end_offset_, offsets_), name);
+      !st) {
+    fd_ = -1;  // on-disk layout moved under us; force a reopen
+    return st.WithContext("rotate: sidecar");
+  }
+  crash.Hit((name + ".rotate.sidecar").c_str());
+
+  const int new_fd = ::open(path_.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (new_fd < 0) {
+    fd_ = -1;
+    return Errno(name, "rotate: create fresh active " + path_);
+  }
+  try {
+    if (Status st = FsyncParentDir(path_, name); !st) {
+      ::close(new_fd);
+      fd_ = -1;
+      return st.WithContext("rotate");
+    }
+    crash.Hit((name + ".rotate.newfile").c_str());
+  } catch (...) {
+    ::close(new_fd);
+    throw;
+  }
+
+  Segment seg;
+  seg.path = seg_path;
+  seg.first = active_first_;
+  seg.file_size = end_offset_;
+  seg.offsets = std::move(offsets_);
+  seg.fd = fd_;
+  if (options_.mmap_sealed && seg.file_size > 0) {
+    void* map = ::mmap(nullptr, static_cast<std::size_t>(seg.file_size),
+                       PROT_READ, MAP_PRIVATE, seg.fd, 0);
+    if (map != MAP_FAILED) seg.map = static_cast<const std::uint8_t*>(map);
+  }
+  active_first_ += seg.offsets.size();
+  segments_.push_back(std::move(seg));
+  offsets_.clear();
+  end_offset_ = 0;
+  fd_ = new_fd;
+  return Status::Ok();
 }
 
 Status RecordLog::Append(ByteView payload) {
   if (fd_ < 0) return Status::Error(options_.name + ": log is closed");
+  if (options_.segment_max_records > 0 &&
+      offsets_.size() >= options_.segment_max_records) {
+    if (Status st = Rotate(); !st) return st;
+  }
   Bytes record;
   record.reserve(kRecordHeaderSize + payload.size());
   AppendU32(record, kRecordMagic);
@@ -243,44 +654,140 @@ Status RecordLog::Append(ByteView payload) {
   return Status::Ok();
 }
 
-Result<Bytes> RecordLog::Get(std::uint64_t index) const {
-  using R = Result<Bytes>;
-  if (index >= offsets_.size()) {
-    return R::Error(options_.name + ": record " + std::to_string(index) +
-                    " beyond stored count " + std::to_string(offsets_.size()));
-  }
-  if (fd_ < 0) return R::Error(options_.name + ": log is closed");
-  const std::uint64_t pos = offsets_[static_cast<std::size_t>(index)];
+Status RecordLog::ReadRecordAt(int fd, const std::uint8_t* map,
+                               std::uint64_t file_size, std::uint64_t offset,
+                               Bytes& out) const {
   std::uint8_t header[kRecordHeaderSize];
-  if (!ReadAt(fd_, header, kRecordHeaderSize, pos)) {
-    return R::Error(options_.name + ": short header read");
+  if (map != nullptr) {
+    if (offset + kRecordHeaderSize > file_size) {
+      return Status::Error(options_.name + ": record header beyond segment end");
+    }
+    std::memcpy(header, map + offset, kRecordHeaderSize);
+  } else if (!ReadAt(fd, header, kRecordHeaderSize, offset)) {
+    return Status::Error(options_.name + ": short header read");
   }
   const std::uint32_t length = DecodeU32(header + 4);
   const std::uint32_t crc = DecodeU32(header + 8);
-  Bytes payload(length);
-  if (!ReadAt(fd_, payload.data(), length, pos + kRecordHeaderSize)) {
-    return R::Error(options_.name + ": short read");
+  out.assign(length, 0);
+  if (map != nullptr) {
+    if (offset + kRecordHeaderSize + length > file_size) {
+      return Status::Error(options_.name + ": record payload beyond segment end");
+    }
+    std::memcpy(out.data(), map + offset + kRecordHeaderSize, length);
+  } else if (!ReadAt(fd, out.data(), length, offset + kRecordHeaderSize)) {
+    return Status::Error(options_.name + ": short read");
   }
-  if (Crc32(payload) != crc) {
-    return R::Error(options_.name + ": CRC mismatch on read");
+  if (Crc32(out) != crc) {
+    return Status::Error(options_.name + ": CRC mismatch on read");
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> RecordLog::Get(std::uint64_t index) const {
+  using R = Result<Bytes>;
+  if (index < base_) {
+    return R::Error(options_.name + ": record " + std::to_string(index) +
+                    " was compacted (first retained: " + std::to_string(base_) +
+                    ")");
+  }
+  if (index >= Count()) {
+    return R::Error(options_.name + ": record " + std::to_string(index) +
+                    " beyond stored count " + std::to_string(Count()));
+  }
+  Bytes payload;
+  if (index >= active_first_) {
+    if (fd_ < 0) return R::Error(options_.name + ": log is closed");
+    const std::uint64_t pos =
+        offsets_[static_cast<std::size_t>(index - active_first_)];
+    if (Status st = ReadRecordAt(fd_, nullptr, end_offset_, pos, payload); !st) {
+      return R(st);
+    }
+    return payload;
+  }
+  // Sealed history: binary search the segment covering `index`.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), index,
+      [](std::uint64_t i, const Segment& s) { return i < s.first; });
+  const Segment& seg = *std::prev(it);
+  const std::uint64_t pos =
+      seg.offsets[static_cast<std::size_t>(index - seg.first)];
+  if (Status st = ReadRecordAt(seg.fd, seg.map, seg.file_size, pos, payload);
+      !st) {
+    return R(st);
   }
   return payload;
 }
 
+Status RecordLog::CompactBelow(std::uint64_t floor) {
+  if (floor > Count()) {
+    return Status::Error(options_.name + ": compaction floor " +
+                         std::to_string(floor) + " beyond count " +
+                         std::to_string(Count()));
+  }
+  // Only whole sealed segments can go; they are a prefix of the history.
+  std::size_t removable = 0;
+  std::uint64_t new_base = base_;
+  for (const Segment& seg : segments_) {
+    const std::uint64_t seg_end = seg.first + seg.offsets.size();
+    if (seg_end > floor) break;
+    ++removable;
+    new_base = seg_end;
+  }
+  if (removable == 0) return Status::Ok();
+
+  auto& crash = CrashPoints::Global();
+  crash.Hit((options_.name + ".compact.manifest").c_str());
+  // The manifest write is the commit point (the tombstone): once durable,
+  // reopen treats every segment below `new_base` as dead and unlinks it, so
+  // crashing anywhere past this line merely resumes the compaction.
+  Manifest m{new_base, active_first_};
+  if (Status st = AtomicWriteDurable(path_ + ".manifest", EncodeManifest(m),
+                                     options_.name);
+      !st) {
+    return st.WithContext("compaction manifest");
+  }
+  crash.Hit((options_.name + ".compact.unlink").c_str());
+  for (std::size_t i = 0; i < removable; ++i) {
+    Segment& seg = segments_[i];
+    if (seg.map != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(seg.map),
+               static_cast<std::size_t>(seg.file_size));
+      seg.map = nullptr;
+    }
+    if (seg.fd >= 0) ::close(seg.fd);
+    seg.fd = -1;
+    ::unlink(seg.path.c_str());
+    ::unlink((seg.path + ".idx").c_str());
+  }
+  if (Status st = FsyncParentDir(path_, options_.name); !st) {
+    return st.WithContext("compaction");
+  }
+  segments_.erase(segments_.begin(),
+                  segments_.begin() + static_cast<std::ptrdiff_t>(removable));
+  base_ = new_base;
+  return Status::Ok();
+}
+
 Status RecordLog::TruncateTo(std::uint64_t count) {
-  if (count > offsets_.size()) {
+  if (count > Count()) {
     return Status::Error(options_.name + ": cannot truncate to " +
                          std::to_string(count) + ", only " +
-                         std::to_string(offsets_.size()) + " records");
+                         std::to_string(Count()) + " records");
   }
-  if (count == offsets_.size()) return Status::Ok();
-  const std::uint64_t new_end =
-      count == 0 ? 0 : offsets_[static_cast<std::size_t>(count)];
+  if (count == Count()) return Status::Ok();
+  if (count < active_first_) {
+    return Status::Error(options_.name + ": cannot truncate to " +
+                         std::to_string(count) +
+                         " inside sealed history (active segment starts at " +
+                         std::to_string(active_first_) + ")");
+  }
+  const std::size_t local = static_cast<std::size_t>(count - active_first_);
+  const std::uint64_t new_end = local == 0 ? 0 : offsets_[local];
   if (::ftruncate(fd_, static_cast<off_t>(new_end)) < 0) {
     return Errno(options_.name, "truncate");
   }
   if (::fsync(fd_) < 0) return Errno(options_.name, "fsync after truncate");
-  offsets_.resize(static_cast<std::size_t>(count));
+  offsets_.resize(local);
   end_offset_ = new_end;
   return Status::Ok();
 }

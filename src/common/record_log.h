@@ -1,24 +1,48 @@
 // Reusable append-only record log: the length-prefixed CRC-checked record
 // format BlockStore pioneered, generalized so the block log and the durable
-// certificate log share one recovery-hardened implementation. One file, an
-// in-memory offset index built by a verifying scan on open, and torn-tail
-// recovery: a crash mid-append leaves a partial or corrupt last record, which
-// Open() detects, physically truncates away, and fsyncs — so a tail that was
-// dropped once can never resurrect after a second crash.
+// certificate log share one recovery-hardened implementation — now a
+// *segmented* log so pre-checkpoint history can be compacted away.
+//
+// Layout on disk (for a log opened at `path`):
+//   path                 the ACTIVE segment: the only file ever appended to,
+//                        with torn-tail recovery exactly as before.
+//   path.seg.<first>     a SEALED segment holding records starting at logical
+//                        index <first>. Immutable once renamed into place;
+//                        cold reads go through an mmap of the file (pread
+//                        fallback when mmap is unavailable).
+//   path.seg.<first>.idx the sealed segment's sidecar offset index (magic +
+//                        CRC). Lets a cold open skip the verifying scan; on a
+//                        CRC/shape mismatch the sidecar is rebuilt by
+//                        scanning the segment once.
+//   path.manifest        CRC'd compaction manifest: the first retained
+//                        logical index (base) and the active segment's first
+//                        logical index. Written atomically (tmp + rename);
+//                        only compaction updates it.
+//
+// Rotation (Append when the active segment holds segment_max_records):
+//   fsync active -> rename it to path.seg.<first> -> write its sidecar ->
+//   create a fresh active file. Every step is re-derivable on reopen: a
+//   segment without a sidecar is rescanned, a missing active file is
+//   recreated, so a crash anywhere inside rotation loses nothing.
+//
+// Compaction (CompactBelow): whole sealed segments entirely below the floor
+// are removed. The manifest write is the commit point (the tombstone): once
+// base is durable, reopen unlinks any segment still on disk below it, so a
+// crash between manifest and unlink merely resumes the compaction.
 //
 // Durability contract:
-//  * Open() fsyncs the parent directory after creating the file, and fsyncs
-//    the file after any torn-tail truncation, before trusting appends.
-//  * Append() optionally fsyncs (SetFsyncOnAppend) before reporting success,
-//    so an acknowledged record survives power loss; a torn in-flight record
-//    is still possible and is what recovery handles.
-//  * TruncateTo() (reconciliation) physically truncates and fsyncs.
+//  * Open() fsyncs the parent directory after creating files, and fsyncs the
+//    active file after any torn-tail truncation, before trusting appends.
+//  * Append() optionally fsyncs (SetFsyncOnAppend) before reporting success.
+//  * TruncateTo() (reconciliation) physically truncates and fsyncs. It only
+//    reaches into the active segment — sealed history is immutable.
 //
-// Crash injection: Append() carries named kill sites (`<name>.append.before`,
-// `<name>.append.torn`, `<name>.append.after`, where `name` comes from
-// Options) so the crash soak can kill the process-equivalent at every
-// durability-relevant instant, including mid-write with a torn record on
-// disk. Disarmed sites are a single relaxed load.
+// Crash injection: Append() carries the original kill sites
+// (`<name>.append.before/.torn/.after`); rotation adds
+// `<name>.rotate.begin/.rename/.sidecar/.newfile` and compaction
+// `<name>.compact.manifest/.unlink`, so the crash soak can kill the
+// process-equivalent inside every step of the rename/tombstone protocol.
+// Disarmed sites are a single relaxed load.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +64,12 @@ class RecordLog {
     std::string name = "recordlog";
     /// When on, every Append fsyncs before reporting success.
     bool fsync_on_append = false;
+    /// Records per segment before the active file is sealed and a fresh one
+    /// started. 0 (default) never rotates — the original single-file log.
+    std::uint64_t segment_max_records = 0;
+    /// mmap sealed segments for cold reads (pread fallback when off or when
+    /// the mapping fails).
+    bool mmap_sealed = true;
   };
 
   ~RecordLog();
@@ -48,47 +78,89 @@ class RecordLog {
   RecordLog(const RecordLog&) = delete;
   RecordLog& operator=(const RecordLog&) = delete;
 
-  /// Opens (creating if absent) the log at `path`. Scans existing records
-  /// verifying magic + CRC; a corrupt or torn tail is truncated and fsynced
-  /// (records before it stay readable) and reported via
-  /// RecoveredFromTornTail().
+  /// Opens (creating if absent) the log at `path`. Sealed segments load via
+  /// their sidecar index (rebuilt by a verifying scan on CRC mismatch); the
+  /// active segment is scanned verifying magic + CRC, and a corrupt or torn
+  /// tail is truncated and fsynced (records before it stay readable) and
+  /// reported via RecoveredFromTornTail(). Leftovers of an interrupted
+  /// rotation or compaction are rolled forward.
   static Result<RecordLog> Open(const std::string& path, Options options);
   static Result<RecordLog> Open(const std::string& path) {
     return Open(path, Options());
   }
 
-  /// Appends one record. Every I/O step is errno-checked; on failure (or an
-  /// injected crash) nothing is indexed.
+  /// Appends one record, sealing the active segment first when full. Every
+  /// I/O step is errno-checked; on failure (or an injected crash) nothing is
+  /// indexed.
   Status Append(ByteView payload);
 
-  /// Reads record `index` back, re-verifying its CRC.
+  /// Reads logical record `index` back, re-verifying its CRC. Fails for
+  /// compacted records (index < BaseIndex()).
   Result<Bytes> Get(std::uint64_t index) const;
 
-  std::uint64_t Count() const { return offsets_.size(); }
+  /// Logical record count: compacted records still count (they existed).
+  std::uint64_t Count() const { return active_first_ + offsets_.size(); }
+
+  /// First retained logical index (> 0 after compaction).
+  std::uint64_t BaseIndex() const { return base_; }
+
+  /// Sealed (immutable) segments currently on disk.
+  std::size_t SegmentCount() const { return segments_.size(); }
+
+  /// Removes whole sealed segments entirely below logical index `floor`
+  /// (records [base, floor) become unreadable; partial segments stay). The
+  /// manifest write commits the compaction; unlinks are resumable on reopen.
+  Status CompactBelow(std::uint64_t floor);
 
   /// Drops records [count, Count()): physical truncation + fsync. Used by
-  /// reconciliation when this log ran ahead of its sibling.
+  /// reconciliation when this log ran ahead of its sibling; only reaches
+  /// into the active segment (sealed history is immutable).
   Status TruncateTo(std::uint64_t count);
 
-  /// Explicit durability barrier.
+  /// Explicit durability barrier (active segment; sealed ones are already
+  /// durable).
   Status Fsync();
 
   bool RecoveredFromTornTail() const { return recovered_; }
+  /// True when a sealed segment's sidecar index was missing or failed its
+  /// CRC on open and had to be rebuilt by scanning the segment.
+  bool SidecarRebuilt() const { return sidecar_rebuilt_; }
   const std::string& Path() const { return path_; }
   void SetFsyncOnAppend(bool on) { options_.fsync_on_append = on; }
   bool FsyncOnAppend() const { return options_.fsync_on_append; }
 
  private:
-  RecordLog(std::string path, Options options, int fd,
-            std::vector<std::uint64_t> offsets, std::uint64_t end_offset,
-            bool recovered);
+  /// One sealed segment: records [first, first + offsets.size()).
+  struct Segment {
+    std::string path;
+    std::uint64_t first = 0;
+    std::uint64_t file_size = 0;
+    std::vector<std::uint64_t> offsets;  // record-header offsets in the file
+    int fd = -1;
+    const std::uint8_t* map = nullptr;  // mmap base (nullptr = use pread)
+
+    Result<Bytes> Read(std::uint64_t offset, const std::string& name) const;
+  };
+
+  RecordLog() = default;
+
+  /// Seals the full active segment and starts a fresh one (the rotation
+  /// protocol above).
+  Status Rotate();
+  Status ReadRecordAt(int fd, const std::uint8_t* map, std::uint64_t file_size,
+                      std::uint64_t offset, Bytes& out) const;
+  void CloseAll();
 
   std::string path_;
   Options options_;
-  int fd_ = -1;
-  std::vector<std::uint64_t> offsets_;  // file offset of each record header
-  std::uint64_t end_offset_ = 0;        // file offset where the next record goes
+  int fd_ = -1;  // active segment
+  std::vector<Segment> segments_;
+  std::vector<std::uint64_t> offsets_;  // active records' header offsets
+  std::uint64_t end_offset_ = 0;        // active-file offset of the next record
+  std::uint64_t active_first_ = 0;      // logical index of active record 0
+  std::uint64_t base_ = 0;              // first retained logical index
   bool recovered_ = false;
+  bool sidecar_rebuilt_ = false;
 };
 
 }  // namespace dcert::common

@@ -5,9 +5,15 @@
 namespace dcert::core {
 
 Result<CertificateStore> CertificateStore::Open(const std::string& path) {
+  return Open(path, 0);
+}
+
+Result<CertificateStore> CertificateStore::Open(
+    const std::string& path, std::uint64_t segment_max_records) {
   using R = Result<CertificateStore>;
   common::RecordLog::Options options;
   options.name = "certlog";
+  options.segment_max_records = segment_max_records;
   auto log = common::RecordLog::Open(path, std::move(options));
   if (!log) return R(log.status());
   return CertificateStore(std::move(log.value()));

@@ -26,6 +26,11 @@ class CertificateStore {
   /// RecoveredFromTornTail().
   static Result<CertificateStore> Open(const std::string& path);
 
+  /// Same, with segment rotation every `segment_max_records` certificates,
+  /// enabling CompactBelow.
+  static Result<CertificateStore> Open(const std::string& path,
+                                       std::uint64_t segment_max_records);
+
   /// Appends the certificate for block height Count()+1.
   Status Append(const BlockCertificate& cert);
 
@@ -33,6 +38,14 @@ class CertificateStore {
   Result<BlockCertificate> Get(std::uint64_t index) const;
 
   std::uint64_t Count() const { return log_.Count(); }
+
+  /// First retained record index (certificate for height BaseIndex() + 1).
+  std::uint64_t BaseIndex() const { return log_.BaseIndex(); }
+
+  /// Removes whole sealed segments entirely below record `index`.
+  Status CompactBelow(std::uint64_t index) { return log_.CompactBelow(index); }
+
+  bool SidecarRebuilt() const { return log_.SidecarRebuilt(); }
 
   /// Drops certificates [count, Count()) — reconciliation only (the cert log
   /// ran ahead of the block log across a crash).

@@ -131,10 +131,12 @@ Result<DurableCertificateIssuer> DurableCertificateIssuer::Open(
   using R = Result<DurableCertificateIssuer>;
   auto& crash = common::CrashPoints::Global();
 
-  auto blocks = chain::BlockStore::Open(options.block_log_path);
+  auto blocks =
+      chain::BlockStore::Open(options.block_log_path, options.segment_records);
   if (!blocks) return R(blocks.status());
   blocks.value().SetFsyncOnAppend(options.fsync_on_append);
-  auto certs = CertificateStore::Open(options.cert_log_path);
+  auto certs =
+      CertificateStore::Open(options.cert_log_path, options.segment_records);
   if (!certs) return R(certs.status());
   certs.value().SetFsyncOnAppend(options.fsync_on_append);
 
@@ -191,11 +193,14 @@ Result<DurableCertificateIssuer> DurableCertificateIssuer::Open(
     }
     issuer.emplace(std::move(restored.value()));
 
-    auto genesis = blocks.value().Get(0);
-    if (!genesis) return R(genesis.status());
-    if (genesis.value().header.Hash() !=
-        issuer->Node().GetBlock(0).header.Hash()) {
-      return R::Error("durable issuer: stored genesis does not match the config");
+    if (blocks.value().BaseHeight() == 0) {
+      auto genesis = blocks.value().Get(0);
+      if (!genesis) return R(genesis.status());
+      if (genesis.value().header.Hash() !=
+          issuer->Node().GetBlock(0).header.Hash()) {
+        return R::Error(
+            "durable issuer: stored genesis does not match the config");
+      }
     }
 
     // Reconcile: the commit order keeps the logs at most one record apart,
@@ -208,8 +213,55 @@ Result<DurableCertificateIssuer> DurableCertificateIssuer::Open(
       }
     }
 
+    // Checkpoint bootstrap: let the hook re-base the issuer onto a certified
+    // snapshot, then cross-check it against the retained log suffix so a
+    // checkpoint that diverged from the durable chain cannot be resumed.
+    std::uint64_t boot_height = 0;
+    if (options.bootstrap) {
+      auto boot = options.bootstrap(*issuer, blocks.value());
+      if (!boot) return R(boot.status().WithContext("checkpoint bootstrap"));
+      boot_height = boot.value();
+      report.bootstrap_height = boot_height;
+    }
+    if (boot_height == 0) {
+      if (blocks.value().BaseHeight() > 0) {
+        return R::Error(
+            "durable issuer: block history below height " +
+            std::to_string(blocks.value().BaseHeight()) +
+            " was compacted and no valid checkpoint covers it; recovery "
+            "requires a checkpoint");
+      }
+    } else {
+      if (boot_height >= block_count) {
+        return R::Error("durable issuer: checkpoint height " +
+                        std::to_string(boot_height) +
+                        " is beyond the durable chain (" +
+                        std::to_string(block_count) + " blocks)");
+      }
+      if (blocks.value().BaseHeight() > boot_height) {
+        return R::Error("durable issuer: log history was compacted above the "
+                        "checkpoint height " + std::to_string(boot_height));
+      }
+      auto anchor = blocks.value().Get(boot_height);
+      if (!anchor) return R(anchor.status().WithContext("checkpoint anchor"));
+      if (anchor.value().header.Hash() != issuer->Node().Tip().header.Hash()) {
+        return R::Error("durable issuer: checkpoint tip does not match the "
+                        "stored block at height " + std::to_string(boot_height));
+      }
+      auto anchor_cert = certs.value().Get(boot_height - 1);
+      if (!anchor_cert) {
+        return R(anchor_cert.status().WithContext("checkpoint anchor cert"));
+      }
+      if (!issuer->LatestCert() ||
+          !(anchor_cert.value() == *issuer->LatestCert())) {
+        return R::Error("durable issuer: checkpoint certificate does not "
+                        "match the stored certificate at height " +
+                        std::to_string(boot_height));
+      }
+    }
+
     const std::uint64_t cert_count = certs.value().Count();
-    for (std::uint64_t h = 1; h < block_count; ++h) {
+    for (std::uint64_t h = boot_height + 1; h < block_count; ++h) {
       auto blk = blocks.value().Get(h);
       if (!blk) return R(blk.status());
       if (h - 1 < cert_count) {
@@ -257,6 +309,19 @@ Result<DurableCertificateIssuer> DurableCertificateIssuer::Open(
                                   std::move(blocks.value()),
                                   std::move(certs.value()),
                                   std::move(options.announce), report);
+}
+
+Status DurableCertificateIssuer::CompactBelow(std::uint64_t height) {
+  if (height == 0) return Status::Ok();
+  if (Status st = blocks_.CompactBelow(height); !st) {
+    return st.WithContext("compact block log");
+  }
+  // Cert record for height h lives at index h-1: keep the checkpoint
+  // anchor's certificate alongside its block.
+  if (Status st = certs_.CompactBelow(height - 1); !st) {
+    return st.WithContext("compact cert log");
+  }
+  return Status::Ok();
 }
 
 Status DurableCertificateIssuer::LogAndAnnounce(const chain::Block& blk,

@@ -49,6 +49,18 @@ namespace dcert::core {
 using AnnounceFn =
     std::function<Status(const chain::Block&, const BlockCertificate&)>;
 
+/// Checkpoint bootstrap hook, invoked on resume after the signing key is
+/// restored and the logs are reconciled, before replay. Given the restored
+/// issuer (node still at genesis) and the block log, it may install a
+/// certified snapshot (CertificateIssuer::InstallSnapshot) and return its
+/// height; returning 0 means "no snapshot, replay from genesis". Open()
+/// cross-checks the snapshot against the retained log suffix (stored block
+/// and certificate at the snapshot height must match) and replays only the
+/// tail above it. The hook must never return a height >= the block count —
+/// a checkpoint beyond the durable chain cannot be reconciled.
+using BootstrapFn = std::function<Result<std::uint64_t>(
+    CertificateIssuer& issuer, const chain::BlockStore& blocks)>;
+
 struct DurableIssuerOptions {
   std::string block_log_path;
   std::string cert_log_path;
@@ -64,6 +76,14 @@ struct DurableIssuerOptions {
   /// Announce sink, also invoked for gap blocks re-certified during
   /// recovery (provably never announced before the crash).
   AnnounceFn announce;
+  /// Segment rotation for both logs: roll to a new sealed segment every
+  /// `segment_records` records (0 = legacy single-file logs). Required for
+  /// CompactBelow — only whole sealed segments are ever dropped.
+  std::uint64_t segment_records = 0;
+  /// Checkpoint bootstrap hook (see BootstrapFn). When unset and the block
+  /// log was compacted, Open() fails: pre-checkpoint history is gone and
+  /// only a checkpoint can stand in for it.
+  BootstrapFn bootstrap;
 };
 
 /// What Open() found and did. All counters are zero on a fresh start.
@@ -74,6 +94,8 @@ struct RecoveryReport {
   std::uint64_t certs_truncated = 0;    // cert-log-ahead reconciliation
   std::uint64_t blocks_recertified = 0; // block-log-ahead gap re-certification
   std::uint64_t blocks_replayed = 0;    // stored blocks re-validated via replay
+  std::uint64_t bootstrap_height = 0;   // checkpoint height replay resumed from
+                                        // (0 = replayed from genesis)
 };
 
 class DurableCertificateIssuer {
@@ -100,6 +122,14 @@ class DurableCertificateIssuer {
   /// Pipelined span certification (ProcessBlocksPipelined) with the same
   /// per-block commit order, applied from the pipeline's cert sink.
   Status CertifyBlocksPipelined(const std::vector<chain::Block>& blocks);
+
+  /// Drops log history strictly below checkpoint height `height`: block
+  /// records below `height` and certificate records below `height - 1`, so
+  /// the checkpointed block and its certificate stay retained as the
+  /// recovery anchors. Whole-segment granularity (requires segment_records);
+  /// a no-op floor compacts nothing. Only call with a height covered by a
+  /// durable checkpoint — recovery below the new base needs one.
+  Status CompactBelow(std::uint64_t height);
 
   CertificateIssuer& Issuer() { return issuer_; }
   const CertificateIssuer& Issuer() const { return issuer_; }

@@ -368,6 +368,27 @@ Result<std::vector<BlockCertificate>> CertificateIssuer::ProcessBlocksPipelined(
   return certs;
 }
 
+Status CertificateIssuer::InstallSnapshot(const chain::Block& tip,
+                                          const chain::StateMap& state,
+                                          const BlockCertificate& tip_cert) {
+  if (node_.Height() != 0 || latest_cert_.has_value()) {
+    return Status::Error("snapshot install requires an issuer still at genesis");
+  }
+  if (Status st =
+          VerifyCertificateEnvelope(tip_cert, ExpectedEnclaveMeasurement());
+      !st) {
+    return st.WithContext("snapshot certificate");
+  }
+  if (tip_cert.digest != tip.header.Hash()) {
+    return Status::Error("snapshot certificate does not cover the snapshot tip");
+  }
+  if (Status st = node_.InstallSnapshot(tip, state); !st) {
+    return st.WithContext("snapshot install");
+  }
+  latest_cert_ = tip_cert;
+  return Status::Ok();
+}
+
 Status CertificateIssuer::AcceptBlockWithCert(const chain::Block& blk,
                                               const BlockCertificate& cert) {
   if (Status st = CheckExtendsTip(blk); !st) return st;

@@ -96,6 +96,20 @@ class CertificateIssuer {
   /// Seals the enclave signing key for Restore() after a restart.
   Bytes SealSigningKey() const { return program_.SealSigningKey(enclave_); }
 
+  /// Checkpoint resume: re-bases a freshly constructed/Restore()'d issuer
+  /// (node still at genesis) onto a certified snapshot, so replay starts at
+  /// the snapshot height instead of genesis. Verifies the certificate
+  /// envelope against the pinned measurement and its digest binding to the
+  /// tip header, then installs the state (which must hash to the header's
+  /// state root — FullNode::InstallSnapshot). The certificate becomes the
+  /// recursive predecessor for future issuance, which is sound because the
+  /// enclave's SigGen needs only (prev_hdr, prev_cert), never pre-snapshot
+  /// history. Late index attachment via AttachIndexWithBackfill is
+  /// unavailable after a snapshot install (the blocks to backfill from are
+  /// gone).
+  Status InstallSnapshot(const chain::Block& tip, const chain::StateMap& state,
+                         const BlockCertificate& tip_cert);
+
   chain::FullNode& Node() { return node_; }
   const chain::FullNode& Node() const { return node_; }
   const sgxsim::Enclave& EnclaveHandle() const { return enclave_; }

@@ -151,6 +151,28 @@ std::optional<std::uint64_t> MbTree::MaxKey() const {
   return root_->max;
 }
 
+std::vector<MbEntry> MbTree::Entries() const {
+  std::vector<MbEntry> out;
+  out.reserve(size_);
+  if (!root_) return out;
+  // Iterative in-order walk; children and leaf keys are already sorted.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf) {
+      for (std::size_t i = 0; i < node->keys.size(); ++i) {
+        out.push_back({node->keys[i], node->values[i]});
+      }
+    } else {
+      for (auto it = node->children.rbegin(); it != node->children.rend(); ++it) {
+        stack.push_back(it->get());
+      }
+    }
+  }
+  return out;
+}
+
 namespace {
 
 using MbNodePtr = common::ArenaPtr<MbTree::Node>;

@@ -130,6 +130,11 @@ class MbTree {
   std::size_t Size() const { return size_; }
   std::optional<std::uint64_t> MaxKey() const;
 
+  /// Every stored entry in key order (an in-order leaf walk, no proofs):
+  /// the raw content a checkpoint serializes. Re-inserting the returned
+  /// entries into a fresh tree (InsertBatch) reproduces Root() exactly.
+  std::vector<MbEntry> Entries() const;
+
   /// Authenticated range query: all entries with key in [lo, hi].
   MbRangeProof RangeQueryWithProof(std::uint64_t lo, std::uint64_t hi) const;
 

@@ -100,6 +100,59 @@ Bytes HistoricalIndex::ApplyBlockCapturingAux(const chain::Block& blk) {
   return SerializeSteps(steps);
 }
 
+Bytes HistoricalIndex::SerializeContent() const {
+  Encoder enc;
+  enc.U32(1);  // content format version
+  enc.U64(trees_.size());
+  for (const auto& [key, tree] : trees_) {  // std::map: key order, canonical
+    enc.HashField(key);
+    const std::vector<mht::MbEntry> entries = tree.Entries();
+    enc.U64(entries.size());
+    for (const mht::MbEntry& e : entries) {
+      enc.U64(e.key);
+      enc.Blob(e.value);
+    }
+  }
+  return enc.Take();
+}
+
+Status HistoricalIndex::RestoreContent(ByteView data) {
+  if (!trees_.empty() || mpt_.Root() != mht::MptTrie::EmptyRoot()) {
+    return Status::Error("historical index restore requires a fresh index");
+  }
+  try {
+    Decoder dec(data);
+    if (const std::uint32_t version = dec.U32(); version != 1) {
+      return Status::Error("historical index content: unknown version " +
+                           std::to_string(version));
+    }
+    const std::uint64_t accounts = dec.U64();
+    for (std::uint64_t a = 0; a < accounts; ++a) {
+      const Hash256 key = dec.HashField();
+      const std::uint64_t count = dec.U64();
+      std::vector<mht::MbEntry> entries;
+      entries.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        mht::MbEntry e;
+        e.key = dec.U64();
+        e.value = dec.Blob();
+        entries.push_back(std::move(e));
+      }
+      mht::MbTree tree;
+      tree.InsertBatch(std::move(entries));
+      mpt_.Put(key, tree.Root());
+      trees_.emplace(key, std::move(tree));
+    }
+    dec.ExpectEnd();
+  } catch (const DecodeError& e) {
+    return Status::Error(std::string("historical index content: ") + e.what());
+  } catch (const std::invalid_argument& e) {
+    // Duplicate version keys in tampered content surface here.
+    return Status::Error(std::string("historical index content: ") + e.what());
+  }
+  return Status::Ok();
+}
+
 HistoricalQueryProof HistoricalIndex::Query(std::uint64_t account_word,
                                             std::uint64_t from_height,
                                             std::uint64_t to_height) const {

@@ -90,6 +90,21 @@ class HistoricalIndex final : public core::CertifiedIndexHost {
 
   std::size_t AccountCount() const { return trees_.size(); }
 
+  /// Serializes the index's raw content — per account, the key-ordered
+  /// version entries — for a checkpoint. Deliberately *content*, not tree
+  /// structure: RestoreContent re-inserts through the same deterministic
+  /// code path, so the restored digest either reproduces CurrentDigest()
+  /// exactly or (if the bytes were tampered with) fails the caller's digest
+  /// check against the certified value.
+  Bytes SerializeContent() const;
+
+  /// Rebuilds a *fresh* index (fails if anything was already applied) from
+  /// SerializeContent bytes. Bulk-inserts per account (multi-buffer hashing),
+  /// so restoring is far cheaper than replaying the blocks that produced the
+  /// content. Callers must compare CurrentDigest() against a certified
+  /// digest afterwards — this function checks shape, not authenticity.
+  Status RestoreContent(ByteView data);
+
  private:
   std::string id_;
   HistoricalIndexVerifier verifier_;

@@ -308,16 +308,29 @@ Status SpServer::Rehydrate(const chain::BlockStore& blocks,
         "rehydrate: cert store behind block store (reopen the durable "
         "issuer to reconcile first)");
   }
+  if (blocks.BaseHeight() > 0) {
+    return Status::Error(
+        "rehydrate: history below height " +
+        std::to_string(blocks.BaseHeight()) +
+        " was compacted; rehydrate from a checkpoint instead");
+  }
   auto genesis = blocks.Get(0);
   if (!genesis) return genesis.status();
-  chain::BlockHeader prev_hdr = genesis.value().header;
+  return RehydrateRange(blocks, certs, 1, genesis.value().header);
+}
+
+Status SpServer::RehydrateRange(const chain::BlockStore& blocks,
+                                const core::CertificateStore& certs,
+                                std::uint64_t from,
+                                chain::BlockHeader prev_hdr) {
   // Envelope signatures are checked in chunked crypto::VerifyBatch dispatches
   // (every chunk shares one IAS point term); chain-linkage and digest checks
   // stay per height, in order, with the same error statuses as before.
   constexpr std::uint64_t kRehydrateChunk = 64;
   std::vector<core::BlockCertificate> chunk_certs;
   std::vector<const core::BlockCertificate*> chunk_ptrs;
-  for (std::uint64_t chunk = 1; chunk < blocks.Count(); chunk += kRehydrateChunk) {
+  for (std::uint64_t chunk = from; chunk < blocks.Count();
+       chunk += kRehydrateChunk) {
     const std::uint64_t chunk_end =
         std::min(blocks.Count(), chunk + kRehydrateChunk);
     chunk_certs.clear();
@@ -370,6 +383,113 @@ Status SpServer::Rehydrate(const chain::BlockStore& blocks,
   }
   cache_.InvalidateAll();
   return Status::Ok();
+}
+
+Status SpServer::RestoreFromCheckpointLocked(const ckpt::Checkpoint& ck) {
+  if (next_height_ != 1 || tip_) {
+    return Status::Error("rehydrate: server has already applied blocks");
+  }
+  if (Status st = ckpt::VerifyCheckpoint(ck, config_.expected_measurement);
+      !st) {
+    return st.WithContext("rehydrate checkpoint");
+  }
+  if (!ck.has_index) {
+    return Status::Error("rehydrate: checkpoint carries no index content");
+  }
+  if (Status st = index_.RestoreContent(ck.index_content); !st) {
+    return st.WithContext("rehydrate index content");
+  }
+  if (index_.CurrentDigest() != ck.index_digest) {
+    return Status::Error(
+        "rehydrate: restored index content does not reproduce the "
+        "checkpoint's certified digest");
+  }
+  TipInfo tip;
+  tip.header = ck.header;
+  tip.block_cert = ck.block_cert;
+  tip.index_digest = ck.index_digest;
+  // When the checkpoint carries a real index certificate (SP-written ones
+  // do) and no tail follows, serve it directly — queries verify
+  // immediately. RehydrateRange overwrites this with the fail-safe
+  // placeholder per replayed block: a stale index cert cannot cover an
+  // advanced index.
+  tip.index_cert = ck.has_index_cert ? ck.index_cert : ck.block_cert;
+  tip_ = std::move(tip);
+  next_height_ = ck.height + 1;
+  blocks_applied_->Add(1);  // the checkpoint stands in for its whole prefix
+  return Status::Ok();
+}
+
+Status SpServer::RehydrateFromCheckpoint(const ckpt::Checkpoint& ck) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  if (Status st = RestoreFromCheckpointLocked(ck); !st) return st;
+  cache_.InvalidateAll();
+  return Status::Ok();
+}
+
+Status SpServer::RehydrateFromCheckpoint(const ckpt::Checkpoint& ck,
+                                         const chain::BlockStore& blocks,
+                                         const core::CertificateStore& certs) {
+  std::unique_lock<std::shared_mutex> lk(state_mu_);
+  if (next_height_ != 1 || tip_) {
+    return Status::Error("rehydrate: server has already applied blocks");
+  }
+  if (blocks.Count() <= ck.height) {
+    return Status::Error("rehydrate: block store (" +
+                         std::to_string(blocks.Count()) +
+                         " blocks) is behind checkpoint height " +
+                         std::to_string(ck.height));
+  }
+  if (blocks.BaseHeight() > ck.height) {
+    return Status::Error(
+        "rehydrate: log history was compacted above checkpoint height " +
+        std::to_string(ck.height));
+  }
+  if (certs.Count() + 1 < blocks.Count()) {
+    return Status::Error(
+        "rehydrate: cert store behind block store (reopen the durable "
+        "issuer to reconcile first)");
+  }
+  // Anchor the checkpoint to the durable chain: the stored block at its
+  // height must be the certified tip it claims.
+  auto anchor = blocks.Get(ck.height);
+  if (!anchor) return anchor.status();
+  if (anchor.value().header.Hash() != ck.header.Hash()) {
+    return Status::Error(
+        "rehydrate: checkpoint tip does not match the stored block at "
+        "height " + std::to_string(ck.height));
+  }
+  if (Status st = RestoreFromCheckpointLocked(ck); !st) return st;
+  if (Status st = RehydrateRange(blocks, certs, ck.height + 1, ck.header);
+      !st) {
+    return st;
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("ci.ckpt.sp_tail_replayed")
+      ->Set(static_cast<std::int64_t>(blocks.Count() - 1 - ck.height));
+  return Status::Ok();
+}
+
+Result<ckpt::Checkpoint> SpServer::ExportCheckpoint() const {
+  using R = Result<ckpt::Checkpoint>;
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  if (!tip_) return R::Error("export checkpoint: no certified tip yet");
+  ckpt::Checkpoint ck;
+  ck.height = tip_->header.height;
+  ck.header = tip_->header;
+  ck.block_cert = tip_->block_cert;
+  ck.has_index = true;
+  ck.index_digest = tip_->index_digest;
+  ck.index_content = index_.SerializeContent();
+  // The rehydrate placeholder is the block certificate in the index slot;
+  // a real index certificate signs H(header || digest) instead. Only carry
+  // the real thing — a checkpointed placeholder would verify-fail on load.
+  if (tip_->index_cert.digest ==
+      core::IndexCertDigest(tip_->header.Hash(), tip_->index_digest)) {
+    ck.has_index_cert = true;
+    ck.index_cert = tip_->index_cert;
+  }
+  return ck;
 }
 
 Status SpServer::AnnounceLocked(const AnnounceRequest& req) {

@@ -24,6 +24,7 @@
 #include <shared_mutex>
 
 #include "chain/block_store.h"
+#include "ckpt/checkpoint.h"
 #include "common/thread_pool.h"
 #include "dcert/cert_store.h"
 #include "dcert/enclave_program.h"
@@ -102,6 +103,35 @@ class SpServer {
   Status Rehydrate(const chain::BlockStore& blocks,
                    const core::CertificateStore& certs);
 
+  /// O(delta) bootstrap of a FRESH server: verifies the checkpoint
+  /// (certificate envelope, digest binding, index-cert binding), restores
+  /// the index from its content (the restored digest must reproduce the
+  /// certified one), cross-checks the checkpoint tip against the stored
+  /// block at its height, then replays only the stored tail above it — so
+  /// rehydration cost depends on the checkpoint delta, not chain length.
+  /// When the tail is empty and the checkpoint carries an index
+  /// certificate (SP-written checkpoints do), the restored tip serves it
+  /// directly: queries verify immediately, no placeholder. A non-empty
+  /// tail advances the index past the checkpoint's certified digest, so
+  /// the fail-safe placeholder applies until the next live announcement.
+  Status RehydrateFromCheckpoint(const ckpt::Checkpoint& ck,
+                                 const chain::BlockStore& blocks,
+                                 const core::CertificateStore& certs);
+
+  /// Store-free variant for servers fed by live announcements (fleet shard
+  /// warm start): restores tip + index from the checkpoint alone — O(1) in
+  /// chain length — and resumes accepting announcements at the next height.
+  /// The tail is empty by construction, so a carried index certificate
+  /// serves immediately.
+  Status RehydrateFromCheckpoint(const ckpt::Checkpoint& ck);
+
+  /// Snapshot of this server's serving state as an SP-flavor checkpoint:
+  /// tip header + block certificate, index content + certified digest, and
+  /// the tip's index certificate when it is a real one (fresh from an
+  /// announcement, not a rehydrate placeholder). No body/state — a query
+  /// server holds neither. Fails before the first certified tip.
+  Result<ckpt::Checkpoint> ExportCheckpoint() const;
+
   SpServerStats Stats() const;
 
  private:
@@ -118,6 +148,15 @@ class SpServer {
   /// Applies announcements contiguously (out-of-order ones wait in
   /// pending_); caller must hold state_mu_ exclusively.
   Status AnnounceLocked(const AnnounceRequest& req);
+  /// Chunk-batched certificate validation + index apply of stored blocks
+  /// [from, blocks.Count()); caller must hold state_mu_ exclusively and
+  /// have next_height_ == from with `prev_hdr` the header at from - 1.
+  Status RehydrateRange(const chain::BlockStore& blocks,
+                        const core::CertificateStore& certs,
+                        std::uint64_t from, chain::BlockHeader prev_hdr);
+  /// Checkpoint verify + index restore + tip install; caller must hold
+  /// state_mu_ exclusively on a fresh server.
+  Status RestoreFromCheckpointLocked(const ckpt::Checkpoint& ck);
 
   SpServerConfig config_;
   common::ThreadPool pool_;

@@ -234,6 +234,247 @@ TEST(RecordLogTest, DisarmedSitesAreFree) {
   EXPECT_FALSE(CrashPoints::Global().Fired());
 }
 
+// ---------------------------------------------------------------------------
+// Segmented log: rotation, sidecar indexes, compaction, and the crash sites
+// inside the rename/tombstone protocols.
+
+RecordLog::Options SegOptions(std::uint64_t max_records,
+                              bool mmap_sealed = true) {
+  RecordLog::Options options;
+  options.name = "seglog";
+  options.segment_max_records = max_records;
+  options.mmap_sealed = mmap_sealed;
+  return options;
+}
+
+/// Removes the log and every per-segment/manifest file a prior run left.
+void RemoveLogFamily(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".manifest").c_str());
+  for (int first = 0; first < 64; ++first) {
+    const std::string seg = path + ".seg." + std::to_string(first);
+    std::remove(seg.c_str());
+    std::remove((seg + ".idx").c_str());
+  }
+}
+
+TEST(SegmentedRecordLogTest, RotationPreservesLogicalIndexing) {
+  const std::string path = TempPath("rlog_seg_rotate.bin");
+  RemoveLogFamily(path);
+  {
+    auto log = RecordLog::Open(path, SegOptions(4));
+    ASSERT_TRUE(log.ok()) << log.message();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(log.value().Append(Payload(24, static_cast<std::uint8_t>(i))).ok());
+    }
+    // Rotation is lazy (on the append that overflows): 10 records with max 4
+    // seal [0,3] and [4,7], leaving 8-9 active.
+    EXPECT_EQ(log.value().Count(), 10u);
+    EXPECT_EQ(log.value().SegmentCount(), 2u);
+    EXPECT_EQ(log.value().BaseIndex(), 0u);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(log.value().Get(i).value(), Payload(24, static_cast<std::uint8_t>(i)))
+          << "record " << i;
+    }
+  }
+  auto reopened = RecordLog::Open(path, SegOptions(4));
+  ASSERT_TRUE(reopened.ok()) << reopened.message();
+  EXPECT_EQ(reopened.value().Count(), 10u);
+  EXPECT_EQ(reopened.value().SegmentCount(), 2u);
+  EXPECT_FALSE(reopened.value().SidecarRebuilt());  // sidecars loaded clean
+  EXPECT_FALSE(reopened.value().RecoveredFromTornTail());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(reopened.value().Get(i).value(),
+              Payload(24, static_cast<std::uint8_t>(i)));
+  }
+  // Appends keep flowing across the reopen, sealing further segments.
+  for (int i = 10; i < 14; ++i) {
+    ASSERT_TRUE(
+        reopened.value().Append(Payload(24, static_cast<std::uint8_t>(i))).ok());
+  }
+  EXPECT_EQ(reopened.value().Count(), 14u);
+  EXPECT_EQ(reopened.value().Get(13).value(), Payload(24, 13));
+}
+
+TEST(SegmentedRecordLogTest, PreadFallbackMatchesMmapReads) {
+  const std::string path = TempPath("rlog_seg_pread.bin");
+  RemoveLogFamily(path);
+  {
+    auto log = RecordLog::Open(path, SegOptions(3));
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(log.value().Append(Payload(50, static_cast<std::uint8_t>(i))).ok());
+    }
+  }
+  auto mapped = RecordLog::Open(path, SegOptions(3, /*mmap_sealed=*/true));
+  auto pread = RecordLog::Open(path, SegOptions(3, /*mmap_sealed=*/false));
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(pread.ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(mapped.value().Get(i).value(), pread.value().Get(i).value())
+        << "record " << i;
+  }
+}
+
+TEST(SegmentedRecordLogTest, CorruptSidecarIsRebuiltOnceAndRepairPersists) {
+  const std::string path = TempPath("rlog_seg_sidecar.bin");
+  RemoveLogFamily(path);
+  {
+    auto log = RecordLog::Open(path, SegOptions(4));
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(log.value().Append(Payload(16, static_cast<std::uint8_t>(i))).ok());
+    }
+  }
+  {
+    // Flip a byte in the sealed segment's sidecar: its CRC now fails.
+    std::fstream f(path + ".seg.0.idx",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(-1, std::ios::end);
+    f.put('\xAA');
+  }
+  {
+    auto log = RecordLog::Open(path, SegOptions(4));
+    ASSERT_TRUE(log.ok()) << log.message();
+    EXPECT_TRUE(log.value().SidecarRebuilt());
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_EQ(log.value().Get(i).value(),
+                Payload(16, static_cast<std::uint8_t>(i)));
+    }
+  }
+  // The rebuild rewrote the sidecar durably: the next open loads it clean.
+  auto again = RecordLog::Open(path, SegOptions(4));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().SidecarRebuilt());
+
+  // A deleted sidecar is the same story.
+  ASSERT_EQ(std::remove((path + ".seg.0.idx").c_str()), 0);
+  auto rebuilt = RecordLog::Open(path, SegOptions(4));
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt.value().SidecarRebuilt());
+  EXPECT_EQ(rebuilt.value().Get(3).value(), Payload(16, 3));
+}
+
+TEST(SegmentedRecordLogTest, CompactBelowDropsOnlyWholeSealedSegments) {
+  const std::string path = TempPath("rlog_seg_compact.bin");
+  RemoveLogFamily(path);
+  auto log = RecordLog::Open(path, SegOptions(4));
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(log.value().Append(Payload(16, static_cast<std::uint8_t>(i))).ok());
+  }
+  ASSERT_EQ(log.value().SegmentCount(), 2u);  // [0,3], [4,7]; 8-11 active
+
+  // Floor 6 cuts through segment [4,7]: only [0,3] is removable.
+  ASSERT_TRUE(log.value().CompactBelow(6).ok());
+  EXPECT_EQ(log.value().BaseIndex(), 4u);
+  EXPECT_EQ(log.value().SegmentCount(), 1u);
+  EXPECT_EQ(log.value().Count(), 12u);  // logical count includes compacted
+  EXPECT_FALSE(log.value().Get(3).ok());
+  EXPECT_EQ(log.value().Get(4).value(), Payload(16, 4));
+
+  // Floor beyond the count is a caller bug; floor at the count compacts all
+  // sealed history but never touches the active segment.
+  EXPECT_FALSE(log.value().CompactBelow(13).ok());
+  ASSERT_TRUE(log.value().CompactBelow(12).ok());
+  EXPECT_EQ(log.value().BaseIndex(), 8u);
+  EXPECT_EQ(log.value().SegmentCount(), 0u);
+  EXPECT_EQ(log.value().Get(11).value(), Payload(16, 11));
+
+  // The manifest commits the compaction across reopens.
+  auto reopened = RecordLog::Open(path, SegOptions(4));
+  ASSERT_TRUE(reopened.ok()) << reopened.message();
+  EXPECT_EQ(reopened.value().BaseIndex(), 8u);
+  EXPECT_EQ(reopened.value().Count(), 12u);
+  EXPECT_FALSE(reopened.value().Get(7).ok());
+  EXPECT_EQ(reopened.value().Get(8).value(), Payload(16, 8));
+}
+
+TEST(SegmentedRecordLogTest, RotationCrashSitesLoseNoRecords) {
+  const char* sites[] = {"seglog.rotate.begin", "seglog.rotate.rename",
+                         "seglog.rotate.sidecar", "seglog.rotate.newfile"};
+  int variant = 0;
+  for (const char* site : sites) {
+    SCOPED_TRACE(site);
+    const std::string path =
+        TempPath("rlog_seg_crash_rot" + std::to_string(variant++) + ".bin");
+    RemoveLogFamily(path);
+    CrashGuard guard;
+    {
+      auto log = RecordLog::Open(path, SegOptions(4));
+      ASSERT_TRUE(log.ok());
+      for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(
+            log.value().Append(Payload(32, static_cast<std::uint8_t>(i))).ok());
+      }
+      // The 5th append must rotate first; the armed site kills it mid-protocol.
+      CrashPoints::Global().Arm(site, 1);
+      EXPECT_THROW(log.value().Append(Payload(32, 4)), CrashInjected);
+    }
+    // Recovery rolls the interrupted rotation forward: nothing sealed is
+    // lost, record 4 (never written) is simply absent, and appends resume.
+    auto reopened = RecordLog::Open(path, SegOptions(4));
+    ASSERT_TRUE(reopened.ok()) << reopened.message();
+    EXPECT_EQ(reopened.value().Count(), 4u);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(reopened.value().Get(i).value(),
+                Payload(32, static_cast<std::uint8_t>(i)));
+    }
+    ASSERT_TRUE(reopened.value().Append(Payload(32, 4)).ok());
+    EXPECT_EQ(reopened.value().Count(), 5u);
+    EXPECT_EQ(reopened.value().Get(4).value(), Payload(32, 4));
+  }
+}
+
+TEST(SegmentedRecordLogTest, CompactionCrashBeforeManifestChangesNothing) {
+  const std::string path = TempPath("rlog_seg_crash_manifest.bin");
+  RemoveLogFamily(path);
+  CrashGuard guard;
+  {
+    auto log = RecordLog::Open(path, SegOptions(4));
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 9; ++i) {
+      ASSERT_TRUE(log.value().Append(Payload(16, static_cast<std::uint8_t>(i))).ok());
+    }
+    CrashPoints::Global().Arm("seglog.compact.manifest", 1);
+    EXPECT_THROW(log.value().CompactBelow(8), CrashInjected);
+  }
+  // The tombstone never committed: the full history is still readable.
+  auto reopened = RecordLog::Open(path, SegOptions(4));
+  ASSERT_TRUE(reopened.ok()) << reopened.message();
+  EXPECT_EQ(reopened.value().BaseIndex(), 0u);
+  EXPECT_EQ(reopened.value().SegmentCount(), 2u);
+  EXPECT_EQ(reopened.value().Get(0).value(), Payload(16, 0));
+}
+
+TEST(SegmentedRecordLogTest, CompactionCrashAfterManifestResumesOnReopen) {
+  const std::string path = TempPath("rlog_seg_crash_unlink.bin");
+  RemoveLogFamily(path);
+  CrashGuard guard;
+  {
+    auto log = RecordLog::Open(path, SegOptions(4));
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 9; ++i) {
+      ASSERT_TRUE(log.value().Append(Payload(16, static_cast<std::uint8_t>(i))).ok());
+    }
+    CrashPoints::Global().Arm("seglog.compact.unlink", 1);
+    EXPECT_THROW(log.value().CompactBelow(8), CrashInjected);
+  }
+  // The manifest was durable before the crash: reopen finishes the unlink
+  // and the log comes up compacted, with the dead segment files gone.
+  auto reopened = RecordLog::Open(path, SegOptions(4));
+  ASSERT_TRUE(reopened.ok()) << reopened.message();
+  EXPECT_EQ(reopened.value().BaseIndex(), 8u);
+  EXPECT_EQ(reopened.value().SegmentCount(), 0u);
+  EXPECT_FALSE(reopened.value().Get(7).ok());
+  EXPECT_EQ(reopened.value().Get(8).value(), Payload(16, 8));
+  std::ifstream seg0(path + ".seg.0", std::ios::binary);
+  std::ifstream seg4(path + ".seg.4", std::ios::binary);
+  EXPECT_FALSE(seg0.good());
+  EXPECT_FALSE(seg4.good());
+}
+
 TEST(CrashPointsTest, ArmReplacesAndHitCountsTrack) {
   CrashGuard guard;
   auto& cp = CrashPoints::Global();

@@ -28,6 +28,13 @@
 # DCERT_CRASH_SOAK_CYCLES so the sanitizer runs stay inside the per-test
 # timeout (the Release leg runs the full default of 200 cycles).
 #
+# The checkpoint subsystem gets three angles of coverage: the ckpt_test
+# suites and the checkpointed crash soak run under both TSan and ASan
+# (bounded by DCERT_CRASH_SOAK_CYCLES like the original soak), and a
+# Release-only bench_recovery --verify leg proves the O(delta) recovery
+# claim end-to-end on a 10k-block chain — recovery must go through a
+# checkpoint and replay at most one interval of tail, or CI fails.
+#
 # Every ctest invocation carries a per-test --timeout so a hung soak or a
 # deadlocked reader fails the run instead of wedging CI.
 #
@@ -52,29 +59,46 @@ echo "=== [1b/5] bench_serving --fleet 1x1 smoke (multi-process topology) ==="
 "${PREFIX}-release/bench/bench_serving" --fleet 1x1 \
   --requests 200 --rps 4000 --blocks 4 --txs 8 >/dev/null
 
+echo "=== [1c/5] bench_recovery --verify (10k-chain tail-only replay) ==="
+# Builds a 10k-block chain under checkpoint cadence and recovers it: exits
+# nonzero unless recovery went through a checkpoint (ci.ckpt.loaded advanced,
+# bootstrap height > 0) and replayed at most one interval of tail — i.e. the
+# O(delta) recovery claim holds at a chain length where full replay would
+# take ~25x longer. Also times the O(1) superlight bootstrap from the same
+# checkpoint. Release-only: the chain build dominates and sanitizers would
+# triple it without covering any new code (the soaks cover crash paths).
+"${PREFIX}-release/bench/bench_recovery" --verify --blocks 10000
+
 echo "=== [2/5] TSan build + threaded tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
   thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test \
-  fleet_test obs_test record_log_test crash_recovery_test
+  fleet_test obs_test record_log_test crash_recovery_test ckpt_test
 DCERT_CRASH_SOAK_CYCLES=50 \
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}" \
-  -R 'ThreadPool|ParallelEquivalence|Smt|Svc|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer'
+  -R 'ThreadPool|ParallelEquivalence|Smt|Svc|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer|Checkpoint|SuperlightBootstrap'
   # Svc matches SvcFaultTest/SvcTcpTest/SvcStatsTest; the obs suites cover
   # the concurrent counter/histogram/trace hammering. Fleet|ShardMap|
   # ShardServing run the router fan-out, scatter-gather fan-out threads, and
   # the pooled-connection paths — the fleet's concurrency lives there.
+  # CrashSoak includes the checkpointed seeded soak (crash sites inside
+  # rotation, compaction rename, and checkpoint seal); Checkpoint matches
+  # the ckpt format/store/issuer/SP-export suites, incl. the pipelined
+  # span-boundary cadence that TSan watches for teardown races.
 
 echo "=== [3/5] ASan build + serving/transport tests ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target \
   svc_test net_test thread_pool_test fleet_test obs_test record_log_test \
-  crash_recovery_test
+  crash_recovery_test ckpt_test
 DCERT_CRASH_SOAK_CYCLES=50 \
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}" \
-  -R 'Svc|SimNet|ThreadPool|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|Export|Overhead|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer'
+  -R 'Svc|SimNet|ThreadPool|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|Export|Overhead|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer|Checkpoint|SuperlightBootstrap'
+  # The checkpoint legs under ASan pin the mmap'd sealed-segment reads and
+  # the serialize/deserialize buffer handling in the .dcp codec; the soak's
+  # torn-seal site leaves half-written tmp files for Open() to clean up.
 
 echo "=== [4/5] TSan + forced-scalar hashing (dispatch fallback path) ==="
 # Same TSan build, but every digest takes the portable scalar road. The

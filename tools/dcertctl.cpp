@@ -8,6 +8,11 @@
 //   dcertctl fsck <block-log> [cert-log] verify/repair durable logs, cross-check
 //   dcertctl recover <dir> [blocks]      open or crash-recover a durable CI,
 //                                        then extend the chain
+//   dcertctl checkpoint <dir> [blocks]   checkpointed durable CI: recover
+//                                        through the newest checkpoint
+//                                        (tail-only replay), extend, write
+//                                        checkpoints on cadence, compact
+//                                        logs, superlight-bootstrap demo
 //   dcertctl inspect-cert <hex>          decode + envelope-check a certificate
 //   dcertctl serve <port> [blocks] [txs] mine + certify a chain, serve it over TCP
 //                                        (--shard i/N joins an N-shard fleet)
@@ -15,6 +20,9 @@
 //   dcertctl fleet-query <eplist> ...    verified scatter-gather across a fleet
 //   dcertctl stats <host:port>...        live metrics from one server, or a
 //                                        merged fleet table from several
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -23,6 +31,8 @@
 
 #include "chain/block_store.h"
 #include "chain/node.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpointed_issuer.h"
 #include "dcert/cert_store.h"
 #include "dcert/durable_issuer.h"
 #include "dcert/issuer.h"
@@ -78,12 +88,26 @@ int Usage() {
                "  recover <dir> [blocks=5]     open or crash-recover the durable CI\n"
                "                               state in <dir>, then mine + certify\n"
                "                               <blocks> more\n"
+               "  checkpoint <dir> [blocks=5] [--interval N=4]\n"
+               "                               checkpointed durable CI in <dir>:\n"
+               "                               recover through the newest valid\n"
+               "                               checkpoint (replaying only the tail),\n"
+               "                               mine + certify <blocks> more, sealing\n"
+               "                               a checkpoint every N blocks and\n"
+               "                               compacting pre-checkpoint log\n"
+               "                               segments; ends with a superlight\n"
+               "                               client bootstrap from the newest\n"
+               "                               checkpoint\n"
                "  inspect-cert <hex>           decode and check a certificate\n"
                "  serve <port> [blocks=20] [txs=8] [--shard i/N] [--map-version V]\n"
+               "        [--ckpt-dir D]\n"
                "                               mine + certify a chain, serve it over TCP\n"
                "                               (port 0 = ephemeral; Ctrl-D stops).\n"
                "                               --shard i/N serves only key-shard i of an\n"
-               "                               N-shard fleet (map version V, default 1)\n"
+               "                               N-shard fleet (map version V, default 1).\n"
+               "                               --ckpt-dir warm-starts the server from\n"
+               "                               the newest checkpoint in D and seals a\n"
+               "                               fresh one there on shutdown\n"
                "  query <host:port> tip        fetch + validate the served tip\n"
                "  query <host:port> hist <account> <from> <to>\n"
                "                               verified historical window query\n"
@@ -341,12 +365,21 @@ int CmdFsck(const std::string& block_path, const std::string& cert_path) {
     std::fprintf(stderr, "%s\n", blocks.message().c_str());
     return 1;
   }
-  std::printf("block log: %llu record(s)%s\n",
+  std::printf("block log: %llu record(s)%s%s\n",
               static_cast<unsigned long long>(blocks.value().Count()),
               blocks.value().RecoveredFromTornTail()
                   ? " (REPAIRED: torn tail truncated)"
+                  : "",
+              blocks.value().SidecarRebuilt()
+                  ? " (REPAIRED: segment sidecar index rebuilt)"
                   : "");
-  for (std::uint64_t h = 0; h < blocks.value().Count(); ++h) {
+  if (blocks.value().BaseHeight() > 0) {
+    std::printf("block log: heights below %llu compacted (checkpointed "
+                "history)\n",
+                static_cast<unsigned long long>(blocks.value().BaseHeight()));
+  }
+  for (std::uint64_t h = blocks.value().BaseHeight();
+       h < blocks.value().Count(); ++h) {
     auto blk = blocks.value().Get(h);
     if (!blk.ok()) {
       std::fprintf(stderr, "block %llu unreadable: %s\n",
@@ -370,11 +403,19 @@ int CmdFsck(const std::string& block_path, const std::string& cert_path) {
     std::fprintf(stderr, "%s\n", certs.message().c_str());
     return 1;
   }
-  std::printf("cert log:  %llu record(s)%s\n",
+  std::printf("cert log:  %llu record(s)%s%s\n",
               static_cast<unsigned long long>(certs.value().Count()),
               certs.value().RecoveredFromTornTail()
                   ? " (REPAIRED: torn tail truncated)"
+                  : "",
+              certs.value().SidecarRebuilt()
+                  ? " (REPAIRED: segment sidecar index rebuilt)"
                   : "");
+  if (certs.value().BaseIndex() > 0) {
+    std::printf("cert log:  records below %llu compacted (checkpointed "
+                "history)\n",
+                static_cast<unsigned long long>(certs.value().BaseIndex()));
+  }
   const std::uint64_t expected =
       blocks.value().Count() == 0 ? 0 : blocks.value().Count() - 1;
   if (certs.value().Count() != expected) {
@@ -385,7 +426,14 @@ int CmdFsck(const std::string& block_path, const std::string& cert_path) {
   }
   const std::uint64_t checkable =
       certs.value().Count() < expected ? certs.value().Count() : expected;
-  for (std::uint64_t i = 0; i < checkable; ++i) {
+  // Cross-checking cert i needs block i+1: start above both compaction
+  // floors (compaction keeps them aligned — block H and cert H-1 survive).
+  std::uint64_t first = certs.value().BaseIndex();
+  if (blocks.value().BaseHeight() > 0 &&
+      blocks.value().BaseHeight() - 1 > first) {
+    first = blocks.value().BaseHeight() - 1;
+  }
+  for (std::uint64_t i = first; i < checkable; ++i) {
     auto cert = certs.value().Get(i);
     if (!cert.ok()) {
       std::fprintf(stderr, "cert %llu unreadable: %s\n",
@@ -408,7 +456,8 @@ int CmdFsck(const std::string& block_path, const std::string& cert_path) {
     }
   }
   std::printf("fsck OK (%llu cert(s) cross-checked)\n",
-              static_cast<unsigned long long>(checkable));
+              static_cast<unsigned long long>(
+                  checkable > first ? checkable - first : 0));
   return 0;
 }
 
@@ -492,6 +541,130 @@ int CmdRecover(const std::string& dir, int blocks) {
   return 0;
 }
 
+int CmdCheckpoint(const std::string& dir, int blocks, std::uint64_t interval) {
+  // Checkpointed durable CI: recovery goes through the newest valid
+  // checkpoint (issuer snapshot install + tail-only replay), issuance seals
+  // new checkpoints on cadence and compacts pre-checkpoint log segments, and
+  // a superlight client bootstrap from the newest checkpoint closes the loop.
+  constexpr std::size_t kTxPerBlock = 10;
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "mkdir %s: %s\n", dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  chain::ChainConfig config;
+  config.difficulty_bits = 6;
+  auto registry = workloads::MakeBlockbenchRegistry(2);
+  core::DurableIssuerOptions options;
+  options.block_log_path = dir + "/blocks.log";
+  options.cert_log_path = dir + "/certs.log";
+  options.sealed_key_path = dir + "/key.sealed";
+  options.segment_records = 8;
+  ckpt::CheckpointConfig ck_config;
+  ck_config.dir = dir + "/ckpt";
+  ck_config.interval = interval;
+  auto opened =
+      ckpt::CheckpointedIssuer::Open(config, registry, options, ck_config);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", opened.message().c_str());
+    return 1;
+  }
+  auto& ci = opened.value();
+  const auto& rec = ci.Durable().Recovery();
+  std::printf("%s: height %llu\n", rec.resumed ? "resumed" : "fresh start",
+              static_cast<unsigned long long>(
+                  ci.Durable().Issuer().Node().Height()));
+  if (rec.bootstrap_height > 0) {
+    std::printf("  bootstrapped from checkpoint at height %llu, replayed "
+                "%llu tail block(s)\n",
+                static_cast<unsigned long long>(rec.bootstrap_height),
+                static_cast<unsigned long long>(rec.blocks_replayed +
+                                                rec.blocks_recertified));
+  } else if (rec.resumed) {
+    std::printf("  no usable checkpoint: replayed %llu block(s) from "
+                "genesis\n",
+                static_cast<unsigned long long>(rec.blocks_replayed));
+  }
+  if (ci.Durable().Blocks().BaseHeight() > 0) {
+    std::printf("  block log compacted below height %llu\n",
+                static_cast<unsigned long long>(
+                    ci.Durable().Blocks().BaseHeight()));
+  }
+
+  // Miner node from the issuer's in-memory snapshot — pre-checkpoint blocks
+  // may be compacted away, so replay-from-store cannot build it.
+  chain::FullNode miner_node(config, registry);
+  const chain::FullNode& ci_node = ci.Durable().Issuer().Node();
+  if (ci_node.Height() > 0) {
+    if (Status st = miner_node.InstallSnapshot(ci_node.Tip(),
+                                               ci_node.State().Snapshot());
+        !st) {
+      std::fprintf(stderr, "miner snapshot failed: %s\n", st.message().c_str());
+      return 1;
+    }
+  }
+  chain::Miner miner(miner_node);
+  workloads::AccountPool pool(8, 7);
+  workloads::WorkloadGenerator::Params params;
+  params.kind = workloads::Workload::kSmallBank;
+  params.instances_per_workload = 2;
+  workloads::WorkloadGenerator gen(params, pool);
+  // This command always mines kTxPerBlock txs per block, so the
+  // deterministic generator fast-forwards from the logical block count alone
+  // — no need to read (possibly compacted) stored blocks.
+  for (std::uint64_t h = 1; h < ci.Durable().Blocks().Count(); ++h) {
+    (void)gen.NextBlockTxs(kTxPerBlock);
+  }
+  for (int i = 0; i < blocks; ++i) {
+    auto block = miner.MineBlock(gen.NextBlockTxs(kTxPerBlock),
+                                 1700000000 + miner_node.Height() * 15);
+    if (!block.ok() || !miner_node.SubmitBlock(block.value())) {
+      std::fprintf(stderr, "mining failed at block %d\n", i + 1);
+      return 1;
+    }
+    if (Status st = ci.CertifyBlock(block.value()); !st) {
+      std::fprintf(stderr, "certification failed: %s\n", st.message().c_str());
+      return 1;
+    }
+  }
+  std::printf("extended by %d block(s): height %llu, last checkpoint at "
+              "height %llu, block log base %llu\n",
+              blocks,
+              static_cast<unsigned long long>(
+                  ci.Durable().Issuer().Node().Height()),
+              static_cast<unsigned long long>(ci.LastCheckpointHeight()),
+              static_cast<unsigned long long>(
+                  ci.Durable().Blocks().BaseHeight()));
+  std::printf("checkpoints on disk:");
+  for (std::uint64_t h : ci.Store().Heights()) {
+    std::printf(" %llu", static_cast<unsigned long long>(h));
+  }
+  std::printf("\n");
+
+  // Superlight bootstrap: (checkpoint, cert) instead of genesis — constant
+  // cost regardless of chain length.
+  auto latest = ci.Store().LoadLatestValid(~std::uint64_t{0},
+                                           core::ExpectedEnclaveMeasurement());
+  if (!latest.ok()) {
+    std::fprintf(stderr, "checkpoint load failed: %s\n",
+                 latest.message().c_str());
+    return 1;
+  }
+  if (latest.value().has_value()) {
+    core::SuperlightClient client(core::ExpectedEnclaveMeasurement());
+    if (Status st = ckpt::BootstrapSuperlight(client, *latest.value()); !st) {
+      std::fprintf(stderr, "superlight bootstrap failed: %s\n",
+                   st.message().c_str());
+      return 1;
+    }
+    std::printf("superlight bootstrap: accepted certified tip at height %llu "
+                "from the checkpoint (client stores %zu bytes)\n",
+                static_cast<unsigned long long>(client.Height()),
+                client.StorageBytes());
+  }
+  return 0;
+}
+
 int CmdInspectCert(const std::string& hex) {
   Bytes raw;
   try {
@@ -519,7 +692,7 @@ int CmdInspectCert(const std::string& hex) {
 }
 
 int CmdServe(int port, int blocks, int txs, const std::string& shard_spec,
-             std::uint64_t map_version) {
+             std::uint64_t map_version, const std::string& ckpt_dir) {
   // Mine + certify a fresh chain with an attached historical index, feed the
   // certified blocks to an SpServer, then serve it over real TCP until stdin
   // closes. `dcertctl query` is the matching client.
@@ -527,6 +700,13 @@ int CmdServe(int port, int blocks, int txs, const std::string& shard_spec,
   // With --shard i/N every process mines the SAME deterministic chain (fixed
   // seeds) and applies every block, but serves only key-shard i; start N of
   // these on distinct ports and point `dcertctl fleet-query` at them.
+  //
+  // With --ckpt-dir the server warm-starts from the newest valid SP
+  // checkpoint in that directory (tip + index restored without replaying
+  // announcements — the mined chain is deterministic, so a checkpoint from a
+  // previous run of the same command matches), and seals a fresh checkpoint
+  // there after the graceful drain. Works per shard: give each shard process
+  // its own directory.
   svc::SpServerConfig server_config;
   if (!shard_spec.empty()) {
     const auto spec = ParseShardSpec(shard_spec);
@@ -562,6 +742,40 @@ int CmdServe(int port, int blocks, int txs, const std::string& shard_spec,
   workloads::WorkloadGenerator gen(params, pool);
 
   svc::SpServer server(server_config);
+
+  // Warm start: restore tip + index from the newest valid checkpoint, then
+  // announce only the blocks above it. The chain below is still mined (the
+  // miner/CI need the state), but the server skips re-validating it.
+  std::optional<ckpt::CheckpointStore> ckpt_store;
+  std::uint64_t warm_height = 0;
+  if (!ckpt_dir.empty()) {
+    auto store = ckpt::CheckpointStore::Open(ckpt_dir);
+    if (!store.ok()) {
+      std::fprintf(stderr, "checkpoint dir open failed: %s\n",
+                   store.message().c_str());
+      return 1;
+    }
+    ckpt_store.emplace(std::move(store.value()));
+    auto latest = ckpt_store->LoadLatestValid(
+        static_cast<std::uint64_t>(blocks), server_config.expected_measurement);
+    if (!latest.ok()) {
+      std::fprintf(stderr, "checkpoint load failed: %s\n",
+                   latest.message().c_str());
+      return 1;
+    }
+    if (latest.value().has_value()) {
+      if (Status st = server.RehydrateFromCheckpoint(*latest.value()); !st) {
+        std::fprintf(stderr, "checkpoint rehydrate failed: %s\n",
+                     st.message().c_str());
+        return 1;
+      }
+      warm_height = latest.value()->height;
+      std::printf("warm start: serving state restored from checkpoint at "
+                  "height %llu (announcements resume above it)\n",
+                  static_cast<unsigned long long>(warm_height));
+    }
+  }
+
   for (int i = 0; i < blocks; ++i) {
     auto block = miner.MineBlock(gen.NextBlockTxs(static_cast<std::size_t>(txs)),
                                  1700000000 + miner_node.Height() * 15);
@@ -574,6 +788,7 @@ int CmdServe(int port, int blocks, int txs, const std::string& shard_spec,
       std::fprintf(stderr, "certification failed: %s\n", icerts.message().c_str());
       return 1;
     }
+    if (block.value().header.height <= warm_height) continue;
     svc::AnnounceRequest ann;
     ann.block = block.value();
     ann.block_cert = *ci.LatestCert();
@@ -610,6 +825,21 @@ int CmdServe(int port, int blocks, int txs, const std::string& shard_spec,
   while (std::getchar() != EOF) {
   }
   server.Shutdown();
+  if (ckpt_store) {
+    auto ck = server.ExportCheckpoint();
+    if (!ck.ok()) {
+      std::fprintf(stderr, "checkpoint export failed: %s\n",
+                   ck.message().c_str());
+    } else if (Status st = ckpt_store->Write(ck.value()); !st) {
+      std::fprintf(stderr, "checkpoint write failed: %s\n",
+                   st.message().c_str());
+    } else {
+      (void)ckpt_store->Prune(2);
+      std::printf("checkpoint sealed at height %llu in %s\n",
+                  static_cast<unsigned long long>(ck.value().height),
+                  ckpt_store->Dir().c_str());
+    }
+  }
   std::printf("drained and stopped\n");
   return 0;
 }
@@ -921,10 +1151,33 @@ int main(int argc, char** argv) {
     if (!blocks) return Usage();
     return CmdRecover(argv[2], *blocks);
   }
+  if (cmd == "checkpoint" && argc >= 3) {
+    std::vector<const char*> pos;
+    std::uint64_t interval = 4;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--interval" && i + 1 < argc) {
+        const auto v = ParseU64(argv[++i]);
+        if (!v || *v == 0) return Usage();
+        interval = *v;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown checkpoint flag %s\n", arg.c_str());
+        return Usage();
+      } else {
+        pos.push_back(argv[i]);
+      }
+    }
+    if (pos.empty()) return Usage();
+    const auto blocks =
+        pos.size() >= 2 ? ParseInt(pos[1], 0, 1 << 20) : std::optional<int>(5);
+    if (!blocks) return Usage();
+    return CmdCheckpoint(pos[0], *blocks, interval);
+  }
   if (cmd == "inspect-cert" && argc >= 3) return CmdInspectCert(argv[2]);
   if (cmd == "serve" && argc >= 3) {
     std::vector<const char*> pos;
     std::string shard_spec;
+    std::string ckpt_dir;
     std::uint64_t map_version = 1;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -934,6 +1187,8 @@ int main(int argc, char** argv) {
         const auto v = ParseU64(argv[++i]);
         if (!v || *v == 0) return Usage();
         map_version = *v;
+      } else if (arg == "--ckpt-dir" && i + 1 < argc) {
+        ckpt_dir = argv[++i];
       } else if (!arg.empty() && arg[0] == '-') {
         std::fprintf(stderr, "unknown serve flag %s\n", arg.c_str());
         return Usage();
@@ -948,7 +1203,7 @@ int main(int argc, char** argv) {
     const auto txs =
         pos.size() >= 3 ? ParseInt(pos[2], 1, 1 << 20) : std::optional<int>(8);
     if (!port || !blocks || !txs) return Usage();
-    return CmdServe(*port, *blocks, *txs, shard_spec, map_version);
+    return CmdServe(*port, *blocks, *txs, shard_spec, map_version, ckpt_dir);
   }
   if (cmd == "query" && argc >= 3) return CmdQuery(argv[2], argc, argv);
   if (cmd == "fleet-query") return CmdFleetQuery(argc, argv);
