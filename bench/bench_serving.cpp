@@ -61,6 +61,11 @@ struct Options {
   // disabled and re-enabled, reporting the observability overhead (the
   // acceptance budget is ≤5% throughput cost under this bench's load).
   bool obs_ab = false;
+  // --hedge-ab drives a verified FleetClient against a 1-shard, 2-replica
+  // in-process fleet whose second replica suffers seeded injected delays,
+  // once with hedged requests off and once on, reporting the tail-latency
+  // rescue plus the hedge-rate / wasted-work cost.
+  bool hedge_ab = false;
   std::string json_path;
   // --fleet KxR: multi-process sharded fleet section (see header comment).
   std::string fleet;
@@ -811,6 +816,167 @@ std::string RunFleetSection(const Options& opt, const ServingFixture& fixture,
   return fo.Str();
 }
 
+// ---------------------------------------------------------------------------
+// --hedge-ab: hedged requests vs. a straggling replica.
+// ---------------------------------------------------------------------------
+
+struct HedgeArm {
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  fleet::FleetClientStats stats;
+
+  std::string Json() const {
+    JsonObject o;
+    o.Put("ok", ok)
+        .Put("failed", failed)
+        .Put("p50_ms", p50_ms)
+        .Put("p95_ms", p95_ms)
+        .Put("p99_ms", p99_ms)
+        .Put("hedges", stats.hedges)
+        .Put("hedge_wins", stats.hedge_wins)
+        .Put("hedge_wasted", stats.hedge_wasted)
+        .Put("breaker_skips", stats.breaker_skips)
+        .Put("verified", stats.verified);
+    return o.Str();
+  }
+};
+
+/// A/B of hedged requests: a 1-shard x 2-replica in-process fleet where
+/// replica 1's wire suffers seeded delays (no corruption — this measures the
+/// latency policy, not quarantine). Round-robin replica choice means roughly
+/// half the queries pick the straggler as primary; with hedging on, those
+/// queries launch a secondary on the clean replica after an adaptive delay
+/// and the first *verified* reply wins, so the straggler's delays should
+/// vanish from the hedged tail while hedge_wasted quantifies the extra work.
+std::string RunHedgeAbSection(const Options& opt,
+                              const ServingFixture& fixture) {
+  fleet::ShardMapConfig mc;
+  mc.version = 1;
+  mc.key_shards = 1;
+  mc.replicas = 2;
+  auto map = fleet::ShardMap::Create(mc);
+  if (!map.ok()) throw std::runtime_error(map.message());
+
+  std::vector<std::unique_ptr<svc::LoopbackTransport>> transports;
+  std::vector<std::unique_ptr<svc::SpServer>> servers;
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    svc::SpServerConfig config;
+    config.workers = 4;
+    config.shard = map.value().AssignmentFor(0);
+    config.shard_map = map.value().Serialize();
+    auto server = std::make_unique<svc::SpServer>(config);
+    auto transport = std::make_unique<svc::LoopbackTransport>();
+    if (Status st = server->Serve(*transport); !st) {
+      throw std::runtime_error("hedge-ab serve: " + st.message());
+    }
+    for (const auto& ann : fixture.announcements) {
+      if (Status st = server->Announce(ann); !st) {
+        throw std::runtime_error("hedge-ab announce: " + st.message());
+      }
+    }
+    transports.push_back(std::move(transport));
+    servers.push_back(std::move(server));
+  }
+
+  auto fault_counters = std::make_shared<svc::FaultCounters>();
+  auto backends = [&](std::uint32_t, std::uint32_t r) -> svc::Connector {
+    svc::LoopbackTransport* lb = transports[r].get();
+    svc::Connector dial = [lb] {
+      return Result<std::unique_ptr<svc::ClientTransport>>(lb->Connect());
+    };
+    if (r == 1) {
+      svc::FaultConfig fc;
+      fc.delay_rate = 0.25;
+      fc.delay_ms_max = 30;
+      fc.seed = opt.seed ^ 0x4ed6e;
+      dial = svc::FaultyConnector(std::move(dial), fc, fault_counters);
+    }
+    return dial;
+  };
+
+  const std::size_t kQueries = std::min<std::size_t>(opt.requests, 400);
+  const auto run_arm = [&](bool hedge) {
+    fleet::FleetClientConfig fc;
+    fc.hedge = hedge;
+    fc.hedge_min_delay_us = 200;
+    // Cap the adaptive delay well below the straggler's worst case so the
+    // hedge fires while the primary is still stuck in the injected sleep.
+    fc.hedge_max_delay_us = 5000;
+    fleet::FleetClient client(map.value(), backends, fc);
+    HedgeArm arm;
+    std::vector<double> latencies;
+    Rng rng(0x5eed);
+    using Clock = std::chrono::steady_clock;
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      const svc::QueryRequest& q = fixture.query_pool[rng.NextRange(
+          0, fixture.query_pool.size() - 1)];
+      const auto t0 = Clock::now();
+      bool ok;
+      if (q.op == svc::Op::kHistorical) {
+        ok = client.Historical(q.account, q.from_height, q.to_height).ok();
+      } else {
+        ok = client.Aggregate(q.account, q.from_height, q.to_height).ok();
+      }
+      const auto t1 = Clock::now();
+      if (ok) {
+        ++arm.ok;
+        latencies.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      } else {
+        ++arm.failed;
+      }
+    }
+    arm.p50_ms = Percentile(latencies, 0.50);
+    arm.p95_ms = Percentile(latencies, 0.95);
+    arm.p99_ms = Percentile(latencies, 0.99);
+    arm.stats = client.Stats();
+    return arm;
+  };
+
+  // Same seeded workload and the same seeded delay schedule per arm: the
+  // FaultyConnector re-derives per-connection fault streams from fc.seed, so
+  // the straggler misbehaves identically with hedging off and on.
+  const HedgeArm off = run_arm(false);
+  const HedgeArm on = run_arm(true);
+  for (auto& server : servers) server->Shutdown();
+
+  std::printf("\nhedged requests A/B (1x2 fleet, replica 1 delayed at rate "
+              "0.25 up to 30 ms, %zu verified queries per arm):\n",
+              kQueries);
+  std::printf("%9s | %8s %8s %8s | %7s %7s %7s\n", "hedge", "p50 ms", "p95 ms",
+              "p99 ms", "hedges", "wins", "wasted");
+  std::printf("----------+----------------------------+------------------------\n");
+  for (const auto* a : {&off, &on}) {
+    std::printf("%9s | %8.2f %8.2f %8.2f | %7llu %7llu %7llu\n",
+                a == &off ? "off" : "on", a->p50_ms, a->p95_ms, a->p99_ms,
+                static_cast<unsigned long long>(a->stats.hedges),
+                static_cast<unsigned long long>(a->stats.hedge_wins),
+                static_cast<unsigned long long>(a->stats.hedge_wasted));
+  }
+  const double rescue =
+      off.p99_ms > 0 ? (off.p99_ms - on.p99_ms) / off.p99_ms : 0.0;
+  const double hedge_rate =
+      on.stats.subqueries > 0 ? static_cast<double>(on.stats.hedges) /
+                                    static_cast<double>(on.stats.subqueries)
+                              : 0.0;
+  std::printf("hedging cut p99 by %.0f%% (hedge rate %.1f%%, %llu wasted "
+              "replies; every accepted reply verified client-side)\n",
+              100.0 * rescue, 100.0 * hedge_rate,
+              static_cast<unsigned long long>(on.stats.hedge_wasted));
+
+  JsonObject o;
+  o.Put("queries_per_arm", static_cast<std::uint64_t>(kQueries))
+      .Put("delay_rate", 0.25)
+      .Put("delay_ms_max", static_cast<std::uint64_t>(30))
+      .PutRaw("hedge_off", off.Json())
+      .PutRaw("hedge_on", on.Json())
+      .Put("p99_rescue", rescue)
+      .Put("hedge_rate", hedge_rate)
+      .Put("faults_injected", fault_counters->Total());
+  return o.Str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -827,6 +993,7 @@ int main(int argc, char** argv) {
   opt.fault_rate = ParseDoubleFlag(argc, argv, "fault-rate", opt.fault_rate);
   opt.seed = ParseU64Flag(argc, argv, "seed", opt.seed);
   opt.obs_ab = HasFlag(argc, argv, "obs-ab");
+  opt.hedge_ab = HasFlag(argc, argv, "hedge-ab");
   opt.fleet = ParseStrFlag(argc, argv, "fleet", opt.fleet);
 
   // Hidden child mode: we were re-exec'd by a --fleet parent to serve one
@@ -862,7 +1029,8 @@ int main(int argc, char** argv) {
                  "usage: bench_serving [--clients N] [--requests N] [--rps R]\n"
                  "                     [--transport loopback|tcp] [--blocks B]\n"
                  "                     [--txs T] [--fault-rate F] [--seed S]\n"
-                 "                     [--obs-ab] [--fleet KxR] [--json path]\n");
+                 "                     [--obs-ab] [--hedge-ab] [--fleet KxR]\n"
+                 "                     [--json path]\n");
     return 2;
   }
   const MetricsDelta metrics_delta;
@@ -943,6 +1111,11 @@ int main(int argc, char** argv) {
     obs_ab_json = ab.Str();
   }
 
+  std::string hedge_ab_json;
+  if (opt.hedge_ab) {
+    hedge_ab_json = RunHedgeAbSection(opt, fixture);
+  }
+
   std::string fleet_json;
   if (fleet_spec) {
     fleet_json = RunFleetSection(opt, fixture, *fleet_spec);
@@ -964,6 +1137,7 @@ int main(int argc, char** argv) {
         .PutRaw("cache_enabled", on.Json())
         .Put("cache_speedup", speedup);
     if (!obs_ab_json.empty()) doc.PutRaw("obs_ab", obs_ab_json);
+    if (!hedge_ab_json.empty()) doc.PutRaw("hedge_ab", hedge_ab_json);
     if (!fleet_json.empty()) doc.PutRaw("fleet", fleet_json);
     doc.PutRaw("metrics", metrics_delta.Json());
     WriteJsonFile(opt.json_path, doc.Str());

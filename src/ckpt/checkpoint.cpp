@@ -13,6 +13,7 @@
 
 #include "chain/consensus.h"
 #include "common/crash_point.h"
+#include "common/io_fault.h"
 #include "common/record_log.h"
 #include "common/serialize.h"
 #include "obs/metrics.h"
@@ -353,9 +354,29 @@ Status CheckpointStore::Write(const Checkpoint& ck) {
     ::close(fd);
     common::CrashPoints::Throw("ckpt.seal.torn");
   }
+  switch (common::IoFaultInjector::Global().OnWrite("ckpt.write")) {
+    case common::IoFaultDecision::kFailWrite:
+      ::close(fd);
+      return Status::Error("checkpoint: write " + tmp_path +
+                           ": injected I/O error");
+    case common::IoFaultDecision::kShortWrite:
+      // Half the bytes land in the tmp file, then the write "fails". The
+      // torn tmp never shadows the final name; Open() unlinks it.
+      (void)!WriteAll(fd, ByteView(bytes.data(), bytes.size() / 2));
+      ::close(fd);
+      return Status::Error("checkpoint: write " + tmp_path +
+                           ": injected short write");
+    case common::IoFaultDecision::kNone:
+      break;
+  }
   if (Status st = WriteAll(fd, bytes); !st) {
     ::close(fd);
     return st;
+  }
+  if (common::IoFaultInjector::Global().OnFsync("ckpt.write")) {
+    ::close(fd);
+    return Status::Error("checkpoint: fsync " + tmp_path +
+                         ": injected I/O error");
   }
   if (::fsync(fd) < 0) {
     const Status st =

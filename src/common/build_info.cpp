@@ -1,0 +1,69 @@
+#include "common/build_info.h"
+
+#include <cctype>
+#include <memory>
+
+#include "obs/metrics.h"
+
+#ifndef DCERT_GIT_SHA
+#define DCERT_GIT_SHA "unknown"
+#endif
+#ifndef DCERT_SANITIZE_NAME
+#define DCERT_SANITIZE_NAME "none"
+#endif
+#ifndef DCERT_BUILD_TYPE
+#define DCERT_BUILD_TYPE "unknown"
+#endif
+
+namespace dcert::common {
+
+const std::string& GitSha() {
+  static const std::string sha = DCERT_GIT_SHA;
+  return sha;
+}
+
+const std::string& SanitizerName() {
+  static const std::string name = DCERT_SANITIZE_NAME;
+  return name;
+}
+
+const std::string& BuildType() {
+  static const std::string type = DCERT_BUILD_TYPE;
+  return type;
+}
+
+const std::string& BuildString() {
+  static const std::string line =
+      GitSha() + " " + BuildType() + " san=" + SanitizerName();
+  return line;
+}
+
+std::int64_t GitShaGauge() {
+  std::int64_t v = 0;
+  int digits = 0;
+  for (char c : GitSha()) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return 0;
+    const int nibble = (c >= '0' && c <= '9') ? c - '0'
+                       : (c >= 'a' && c <= 'f') ? c - 'a' + 10
+                                                : c - 'A' + 10;
+    v = (v << 4) | nibble;
+    if (++digits == 8) break;
+  }
+  return digits == 8 ? v : 0;
+}
+
+std::int64_t SanitizerGauge() {
+  const std::string& name = SanitizerName();
+  if (name == "thread") return 1;
+  if (name == "address") return 2;
+  if (name == "undefined") return 3;
+  return 0;
+}
+
+void RegisterBuildInfoMetrics() {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("build.git_sha")->Set(GitShaGauge());
+  reg.GetGauge("build.sanitizer")->Set(SanitizerGauge());
+}
+
+}  // namespace dcert::common

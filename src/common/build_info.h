@@ -1,0 +1,38 @@
+// Build identity for version-skew detection across a fleet: the git SHA,
+// sanitizer, and build type are baked in as compile definitions by the root
+// CMakeLists and surfaced both as strings (for the kHealth wire reply and
+// operator tools) and as numeric gauges (so `dcertctl stats` merges can spot
+// replicas running different binaries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcert::common {
+
+/// The abbreviated git commit SHA the binary was built from ("unknown" when
+/// built outside a git checkout).
+const std::string& GitSha();
+
+/// The sanitizer the binary was built with ("none", "thread", "address",
+/// "undefined").
+const std::string& SanitizerName();
+
+/// CMAKE_BUILD_TYPE at configure time ("Release", "RelWithDebInfo", ...).
+const std::string& BuildType();
+
+/// One human-readable line: "<sha> <build-type> san=<sanitizer>".
+const std::string& BuildString();
+
+/// The first 8 hex digits of the git SHA as an integer gauge value (0 when
+/// the SHA is unknown), so snapshots from different builds disagree numerically.
+std::int64_t GitShaGauge();
+
+/// Sanitizer as a small enum gauge: 0=none, 1=thread, 2=address, 3=undefined.
+std::int64_t SanitizerGauge();
+
+/// Registers `build.git_sha` and `build.sanitizer` gauges in the global
+/// metrics registry (idempotent; latest registration wins, values identical).
+void RegisterBuildInfoMetrics();
+
+}  // namespace dcert::common

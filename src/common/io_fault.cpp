@@ -1,0 +1,50 @@
+#include "common/io_fault.h"
+
+namespace dcert::common {
+
+IoFaultInjector& IoFaultInjector::Global() {
+  static IoFaultInjector injector;
+  return injector;
+}
+
+void IoFaultInjector::Arm(const IoFaultConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  rng_ = Rng(config.seed);
+  failed_writes_.store(0);
+  short_writes_.store(0);
+  failed_fsyncs_.store(0);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void IoFaultInjector::Disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+IoFaultDecision IoFaultInjector::OnWrite(const char* site) {
+  (void)site;
+  if (!armed_.load(std::memory_order_relaxed)) return IoFaultDecision::kNone;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Short-write first so both faults stay reachable when both rates are set:
+  // a single draw per class keeps the stream deterministic per call order.
+  if (rng_.Chance(config_.short_write_rate)) {
+    short_writes_.fetch_add(1);
+    return IoFaultDecision::kShortWrite;
+  }
+  if (rng_.Chance(config_.fail_write_rate)) {
+    failed_writes_.fetch_add(1);
+    return IoFaultDecision::kFailWrite;
+  }
+  return IoFaultDecision::kNone;
+}
+
+bool IoFaultInjector::OnFsync(const char* site) {
+  (void)site;
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rng_.Chance(config_.fail_fsync_rate)) {
+    failed_fsyncs_.fetch_add(1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dcert::common

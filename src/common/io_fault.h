@@ -1,0 +1,76 @@
+// Deterministic, seeded disk-fault injection for durability testing. The
+// write/fsync paths of RecordLog and CheckpointStore consult the process-wide
+// injector at named sites; a chaos test arms it with seeded failure rates and
+// the hooks then return EIO-style errors or perform deliberate short writes
+// (leaving a torn-but-recoverable artifact) on a reproducible schedule.
+//
+// Mirrors the CrashPoints contract: disarmed, every hook is a mutex-free
+// early return on one relaxed atomic, so shipping the hooks in production
+// code costs nothing measurable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+
+namespace dcert::common {
+
+/// Seeded failure rates for the armed injector. Rates are per-hook-call
+/// probabilities in [0, 1]; a zero rate never draws from the stream.
+struct IoFaultConfig {
+  std::uint64_t seed = 1;
+  double fail_write_rate = 0;   // whole write fails with an EIO-style error
+  double short_write_rate = 0;  // half the payload lands, then the error
+  double fail_fsync_rate = 0;   // fsync reports failure after data was queued
+};
+
+/// What a write hook decided for this call.
+enum class IoFaultDecision : std::uint8_t {
+  kNone = 0,
+  kFailWrite = 1,   // fail before writing anything
+  kShortWrite = 2,  // write a prefix, then fail
+};
+
+class IoFaultInjector {
+ public:
+  static IoFaultInjector& Global();
+
+  /// Arms the injector with seeded rates; replaces any previous arming and
+  /// resets counters.
+  void Arm(const IoFaultConfig& config);
+
+  /// Disarms all fault injection (the default state).
+  void Disarm();
+
+  bool Armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Consulted by write paths before a WriteAll; `site` names the caller for
+  /// diagnostics (e.g. "record_log.append", "ckpt.write").
+  IoFaultDecision OnWrite(const char* site);
+
+  /// Consulted by fsync paths; true means "inject an fsync failure".
+  bool OnFsync(const char* site);
+
+  std::uint64_t FailedWrites() const { return failed_writes_.load(); }
+  std::uint64_t ShortWrites() const { return short_writes_.load(); }
+  std::uint64_t FailedFsyncs() const { return failed_fsyncs_.load(); }
+  std::uint64_t TotalInjected() const {
+    return FailedWrites() + ShortWrites() + FailedFsyncs();
+  }
+
+ private:
+  IoFaultInjector() : rng_(1) {}
+
+  std::atomic<bool> armed_{false};
+  std::mutex mu_;
+  IoFaultConfig config_;
+  Rng rng_;
+  std::atomic<std::uint64_t> failed_writes_{0};
+  std::atomic<std::uint64_t> short_writes_{0};
+  std::atomic<std::uint64_t> failed_fsyncs_{0};
+};
+
+}  // namespace dcert::common

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/crash_point.h"
+#include "common/io_fault.h"
 #include "common/serialize.h"
 
 namespace dcert::common {
@@ -642,11 +643,27 @@ Status RecordLog::Append(ByteView payload) {
   if (::lseek(fd_, static_cast<off_t>(end_offset_), SEEK_SET) < 0) {
     return Errno(options_.name, "seek to end");
   }
+  switch (IoFaultInjector::Global().OnWrite("record_log.append")) {
+    case IoFaultDecision::kFailWrite:
+      return Status::Error(options_.name + ": write: injected I/O error");
+    case IoFaultDecision::kShortWrite:
+      // A torn tail: part of the record lands, the append reports failure,
+      // and offsets_/end_offset_ stay unchanged so reopen-time recovery must
+      // truncate the tail — the same artifact a real short write leaves.
+      (void)WriteAll(fd_, record.data(),
+                     kRecordHeaderSize + payload.size() / 2);
+      return Status::Error(options_.name + ": write: injected short write");
+    case IoFaultDecision::kNone:
+      break;
+  }
   if (!WriteAll(fd_, record.data(), record.size())) {
     return Errno(options_.name, "write");
   }
-  if (options_.fsync_on_append && ::fsync(fd_) < 0) {
-    return Errno(options_.name, "fsync");
+  if (options_.fsync_on_append) {
+    if (IoFaultInjector::Global().OnFsync("record_log.append")) {
+      return Status::Error(options_.name + ": fsync: injected I/O error");
+    }
+    if (::fsync(fd_) < 0) return Errno(options_.name, "fsync");
   }
   crash.Hit((options_.name + ".append.after").c_str());
   offsets_.push_back(end_offset_);
@@ -794,6 +811,9 @@ Status RecordLog::TruncateTo(std::uint64_t count) {
 
 Status RecordLog::Fsync() {
   if (fd_ < 0) return Status::Error(options_.name + ": log is closed");
+  if (IoFaultInjector::Global().OnFsync("record_log.fsync")) {
+    return Status::Error(options_.name + ": fsync: injected I/O error");
+  }
   if (::fsync(fd_) < 0) return Errno(options_.name, "fsync");
   return Status::Ok();
 }

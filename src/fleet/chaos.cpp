@@ -1,0 +1,62 @@
+#include "fleet/chaos.h"
+
+namespace dcert::fleet {
+
+namespace {
+
+/// Distinct sub-seeds per plane so tweaking one plane's rate never shifts
+/// another plane's deterministic schedule (splitmix-style mix).
+std::uint64_t PlaneSeed(std::uint64_t seed, std::uint64_t plane) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (plane + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kNetPlane = 1;
+constexpr std::uint64_t kDiskPlane = 2;
+constexpr std::uint64_t kCrashPlane = 3;
+
+}  // namespace
+
+ChaosPlan::ChaosPlan(ChaosPlanConfig config)
+    : config_(config), crash_rng_(PlaneSeed(config.seed, kCrashPlane)) {}
+
+svc::FaultConfig ChaosPlan::NetworkFaults(std::uint64_t stream_id) const {
+  const double r = config_.net_fault_rate;
+  svc::FaultConfig net;
+  // Drops dominate (they exercise the timeout/redial path); payload damage
+  // and reordering are rarer so most cycles still complete work.
+  net.drop_rate = r;
+  net.delay_rate = r;
+  net.truncate_rate = r / 2;
+  net.duplicate_rate = r / 2;
+  net.corrupt_rate = r / 2;
+  net.reorder_rate = r / 2;
+  net.refuse_connect_rate = r / 2;
+  net.delay_ms_max = 5;
+  net.seed = PlaneSeed(config_.seed, kNetPlane) ^ stream_id;
+  return net;
+}
+
+common::IoFaultConfig ChaosPlan::DiskFaults() const {
+  const double r = config_.disk_fault_rate;
+  common::IoFaultConfig disk;
+  disk.fail_write_rate = r;
+  disk.short_write_rate = r / 2;
+  disk.fail_fsync_rate = r / 2;
+  disk.seed = PlaneSeed(config_.seed, kDiskPlane);
+  return disk;
+}
+
+ChaosPlan::CrashChoice ChaosPlan::NextCrash(
+    const std::vector<std::string>& sites) {
+  CrashChoice choice;
+  if (sites.empty() || !crash_rng_.Chance(config_.crash_rate)) return choice;
+  choice.arm = true;
+  choice.site = sites[crash_rng_.NextBelow(sites.size())];
+  choice.countdown = crash_rng_.NextRange(1, 3);
+  return choice;
+}
+
+}  // namespace dcert::fleet

@@ -1,0 +1,63 @@
+// One seed, three fault planes. A ChaosPlan derives deterministic
+// per-plane fault configurations — network (svc::FaultInjectingTransport),
+// disk (common::IoFaultInjector), and process crash (common::CrashPoints) —
+// from a single master seed, so a chaos soak is a pure function of
+// (seed, workload) and any failure it finds replays exactly.
+//
+// The plan only *derives* configurations; arming the injectors stays with
+// the test harness, which knows when each plane should be live. Derivations
+// are stateless given (seed, inputs): the same plan object hands out the
+// same network config for the same stream id, and crash-site choices advance
+// an internal seeded stream so consecutive cycles differ but the sequence
+// replays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/io_fault.h"
+#include "common/rng.h"
+#include "svc/fault_transport.h"
+
+namespace dcert::fleet {
+
+struct ChaosPlanConfig {
+  std::uint64_t seed = 1;
+  /// Per-call probability scale of the network plane (drives every
+  /// FaultConfig rate derived from this plan).
+  double net_fault_rate = 0.05;
+  /// Per-hook probability scale of the disk plane.
+  double disk_fault_rate = 0.05;
+  /// Per-cycle probability that NextCrash arms a crash site.
+  double crash_rate = 0.1;
+};
+
+class ChaosPlan {
+ public:
+  explicit ChaosPlan(ChaosPlanConfig config);
+
+  /// Network faults for one transport stream: all six fault kinds at rates
+  /// scaled from net_fault_rate, seeded deterministically per stream.
+  svc::FaultConfig NetworkFaults(std::uint64_t stream_id) const;
+
+  /// Disk faults for the IoFaultInjector: EIO on write/fsync plus short
+  /// writes at rates scaled from disk_fault_rate.
+  common::IoFaultConfig DiskFaults() const;
+
+  /// The crash plane's per-cycle decision: whether to arm, which site, and
+  /// the hit countdown. Draws from the plan's seeded stream (stateful so
+  /// consecutive cycles pick different sites deterministically).
+  struct CrashChoice {
+    bool arm = false;
+    std::string site;
+    std::uint64_t countdown = 1;
+  };
+  CrashChoice NextCrash(const std::vector<std::string>& sites);
+
+ private:
+  ChaosPlanConfig config_;
+  Rng crash_rng_;
+};
+
+}  // namespace dcert::fleet

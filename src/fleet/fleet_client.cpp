@@ -1,19 +1,38 @@
 #include "fleet/fleet_client.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "crypto/sha256.h"
 #include "dcert/superlight.h"
 
 namespace dcert::fleet {
+
+/// Shared between a hedge worker thread and the caller: the worker fills its
+/// result, flips `done` under the mutex, and notifies. `winner_taken` tells a
+/// late-finishing loser its work was wasted (for the counter).
+struct FleetClient::HedgeAttempt {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool stale = false;
+  bool winner_taken = false;
+  std::optional<Result<Slice>> result;
+};
 
 FleetClient::FleetClient(ShardMap map, BackendConnector backends,
                          FleetClientConfig config)
     : backends_(std::move(backends)),
       config_(config),
       map_(std::move(map)),
+      health_(config.health ? config.health
+                            : std::make_shared<FleetHealth>(
+                                  config.health_policy)),
       queries_(std::make_shared<obs::Counter>()),
       subqueries_(std::make_shared<obs::Counter>()),
       verified_(std::make_shared<obs::Counter>()),
@@ -22,7 +41,11 @@ FleetClient::FleetClient(ShardMap map, BackendConnector backends,
       map_refreshes_(std::make_shared<obs::Counter>()),
       cross_checks_(std::make_shared<obs::Counter>()),
       cross_check_mismatches_(std::make_shared<obs::Counter>()),
-      giveups_(std::make_shared<obs::Counter>()) {
+      giveups_(std::make_shared<obs::Counter>()),
+      breaker_skips_(std::make_shared<obs::Counter>()),
+      hedges_(std::make_shared<obs::Counter>()),
+      hedge_wins_(std::make_shared<obs::Counter>()),
+      hedge_wasted_(std::make_shared<obs::Counter>()) {
   auto& reg = obs::MetricsRegistry::Global();
   reg.Register("fleet.client.queries", queries_);
   reg.Register("fleet.client.subqueries", subqueries_);
@@ -33,6 +56,35 @@ FleetClient::FleetClient(ShardMap map, BackendConnector backends,
   reg.Register("fleet.client.cross_checks", cross_checks_);
   reg.Register("fleet.client.cross_check_mismatches", cross_check_mismatches_);
   reg.Register("fleet.client.giveups", giveups_);
+  reg.Register("fleet.client.breaker_skips", breaker_skips_);
+  reg.Register("fleet.client.hedges", hedges_);
+  reg.Register("fleet.client.hedge_wins", hedge_wins_);
+  reg.Register("fleet.client.hedge_wasted", hedge_wasted_);
+}
+
+FleetClient::~FleetClient() { ReapHedges(/*join_all=*/true); }
+
+void FleetClient::ReapHedges(bool join_all) {
+  std::vector<std::pair<std::thread, std::shared_ptr<HedgeAttempt>>> joinable;
+  {
+    std::lock_guard<std::mutex> lk(hedge_mu_);
+    for (auto it = hedge_reap_.begin(); it != hedge_reap_.end();) {
+      bool done;
+      {
+        std::lock_guard<std::mutex> slk(it->second->mu);
+        done = it->second->done;
+      }
+      if (done || join_all) {
+        joinable.push_back(std::move(*it));
+        it = hedge_reap_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& [t, state] : joinable) {
+    if (t.joinable()) t.join();
+  }
 }
 
 ShardMap FleetClient::Map() const {
@@ -68,6 +120,7 @@ Result<FleetClient::Slice> FleetClient::QueryReplica(
     const ShardMap& map, svc::Op op, const ShardMap::SubQuery& sub,
     std::uint64_t account, std::uint32_t replica, bool* stale) {
   using R = Result<Slice>;
+  const auto started = std::chrono::steady_clock::now();
   auto client = Borrow(sub.shard_id, replica);
   // Whatever happens below, the client goes back to the pool: SpClient owns
   // reconnection, so even after a transport fault it is reusable.
@@ -78,6 +131,37 @@ Result<FleetClient::Slice> FleetClient::QueryReplica(
     ~Returner() { self->Return(shard, replica, std::move(client)); }
   } returner{this, sub.shard_id, replica, client};
 
+  // A reply that fails cryptographic verification is EVIDENCE of misbehavior
+  // (not bad luck): record the query, a digest of what was served, and the
+  // certificate the replica presented, then quarantine it fleet-wide.
+  auto misbehave = [&](const Status& verdict, ByteView reply_payload,
+                       const core::BlockCertificate* cert) -> R {
+    verify_failures_->Add(1);
+    MisbehaviorEvidence ev;
+    ev.map_version = map.Version();
+    ev.shard_id = sub.shard_id;
+    ev.replica = replica;
+    ev.op = static_cast<std::uint8_t>(op);
+    ev.account = account;
+    ev.from_height = sub.from_height;
+    ev.to_height = sub.to_height;
+    ev.reply_digest = crypto::Sha256::Digest(reply_payload);
+    if (cert != nullptr) ev.offending_cert = cert->Serialize();
+    ev.verdict = verdict.message();
+    health_->ReportMisbehavior(ev);
+    return R(verdict);
+  };
+  // Benign transport-level failure (or kBusy exhaustion): feed the breaker.
+  // kStaleShard is the MAP being stale, not the replica failing — no report.
+  auto benign = [&](const Status& st) -> R {
+    if (client->LastReplyStaleShard()) {
+      *stale = true;
+    } else {
+      health_->ReportFailure(sub.shard_id, replica);
+    }
+    return R(st);
+  };
+
   const int races = std::max(1, config_.max_tip_races);
   for (int attempt = 0; attempt < races; ++attempt) {
     auto reply = op == svc::Op::kHistorical
@@ -87,21 +171,16 @@ Result<FleetClient::Slice> FleetClient::QueryReplica(
                      : client->AggregateSharded(map.Version(), sub.shard_id,
                                                 account, sub.from_height,
                                                 sub.to_height);
-    if (!reply.ok()) {
-      if (client->LastReplyStaleShard()) *stale = true;
-      return R(reply.status());
-    }
+    if (!reply.ok()) return benign(reply.status());
+    const Bytes proof_bytes = reply.value().proof.Serialize();
     auto tip = client->FetchTipSharded(map.Version(), sub.shard_id);
-    if (!tip.ok()) {
-      if (client->LastReplyStaleShard()) *stale = true;
-      return R(tip.status());
-    }
+    if (!tip.ok()) return benign(tip.status());
     if (tip.value().header.height != reply.value().tip_height) {
       if (tip.value().header.height < reply.value().tip_height) {
         // A tip can only advance; going backwards between two calls on the
         // same connection means the replica is lying or broken.
-        verify_failures_->Add(1);
-        return R::Error("fleet: replica tip went backwards");
+        return misbehave(Status::Error("fleet: replica tip went backwards"),
+                         proof_bytes, &tip.value().block_cert);
       }
       continue;  // a block landed between query and tip fetch; retry at it
     }
@@ -113,15 +192,15 @@ Result<FleetClient::Slice> FleetClient::QueryReplica(
     if (Status st = verifier.ValidateAndAccept(tip.value().header,
                                                tip.value().block_cert);
         !st) {
-      verify_failures_->Add(1);
-      return R(st.WithContext("fleet: block cert"));
+      return misbehave(st.WithContext("fleet: block cert"), proof_bytes,
+                       &tip.value().block_cert);
     }
     if (Status st = verifier.AcceptIndexCert(
             tip.value().header, tip.value().index_cert,
             tip.value().index_digest, "historical");
         !st) {
-      verify_failures_->Add(1);
-      return R(st.WithContext("fleet: index cert"));
+      return misbehave(st.WithContext("fleet: index cert"), proof_bytes,
+                       &tip.value().index_cert);
     }
     Slice out;
     out.tip_height = tip.value().header.height;
@@ -130,8 +209,8 @@ Result<FleetClient::Slice> FleetClient::QueryReplica(
           tip.value().index_digest, account, sub.from_height, sub.to_height,
           reply.value().proof);
       if (!versions.ok()) {
-        verify_failures_->Add(1);
-        return R(versions.status().WithContext("fleet: query proof"));
+        return misbehave(versions.status().WithContext("fleet: query proof"),
+                         proof_bytes, &tip.value().block_cert);
       }
       out.versions = std::move(versions.value());
     } else {
@@ -139,15 +218,126 @@ Result<FleetClient::Slice> FleetClient::QueryReplica(
           tip.value().index_digest, account, sub.from_height, sub.to_height,
           reply.value().proof);
       if (!agg.ok()) {
-        verify_failures_->Add(1);
-        return R(agg.status().WithContext("fleet: aggregate proof"));
+        return misbehave(agg.status().WithContext("fleet: aggregate proof"),
+                         proof_bytes, &tip.value().block_cert);
       }
       out.aggregate = agg.value();
     }
     verified_->Add(1);
+    health_->ReportSuccess(
+        sub.shard_id, replica,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count()));
     return out;
   }
+  // The tip kept advancing — contention, not a fault of this replica; leave
+  // its breaker untouched and let the caller fail over.
   return R::Error("fleet: tip kept advancing during query");
+}
+
+Result<FleetClient::Slice> FleetClient::QueryReplicaHedged(
+    const ShardMap& map, svc::Op op, const ShardMap::SubQuery& sub,
+    std::uint64_t account, std::uint32_t primary, std::uint32_t secondary,
+    bool* stale) {
+  using R = Result<Slice>;
+  ReapHedges(/*join_all=*/false);
+
+  // Everything a worker touches is either captured by value or owned by
+  // `this` (pool, counters, health) — and the destructor joins stragglers
+  // before any of that dies.
+  auto spawn = [this, map, op, sub, account](std::uint32_t replica)
+      -> std::pair<std::thread, std::shared_ptr<HedgeAttempt>> {
+    auto state = std::make_shared<HedgeAttempt>();
+    std::thread t([this, map, op, sub, account, replica, state] {
+      bool attempt_stale = false;
+      auto result = QueryReplica(map, op, sub, account, replica,
+                                 &attempt_stale);
+      std::lock_guard<std::mutex> lk(state->mu);
+      state->stale = attempt_stale;
+      state->result = std::move(result);
+      state->done = true;
+      if (state->winner_taken) hedge_wasted_->Add(1);
+      state->cv.notify_all();
+    });
+    return {std::move(t), std::move(state)};
+  };
+
+  auto [t1, s1] = spawn(primary);
+  const auto delay = std::chrono::microseconds(health_->HedgeDelayUs(
+      config_.hedge_min_delay_us, config_.hedge_max_delay_us));
+  bool primary_done;
+  {
+    std::unique_lock<std::mutex> lk(s1->mu);
+    primary_done = s1->cv.wait_for(lk, delay, [&] { return s1->done; });
+  }
+  if (primary_done) {
+    t1.join();
+    if (s1->stale) *stale = true;
+    return std::move(*s1->result);
+  }
+
+  // Primary is past the adaptive delay: hedge on the secondary and take the
+  // first finisher (both results are verified before they count, so "first"
+  // never trades latency for trust).
+  hedges_->Add(1);
+  auto [t2, s2] = spawn(secondary);
+  // First VERIFIED reply wins; a finished failure never preempts the other
+  // attempt while it is still running (a failed primary must not discard a
+  // secondary about to deliver the answer). Both failed -> primary's error.
+  int winner = -1;
+  while (winner < 0) {
+    bool done0, done1, ok0 = false, ok1 = false;
+    {
+      std::lock_guard<std::mutex> lk(s1->mu);
+      done0 = s1->done;
+      if (done0) ok0 = s1->result->ok();
+    }
+    {
+      std::lock_guard<std::mutex> lk(s2->mu);
+      done1 = s2->done;
+      if (done1) ok1 = s2->result->ok();
+    }
+    if (done0 && ok0) {
+      winner = 0;
+    } else if (done1 && ok1) {
+      winner = 1;
+    } else if (done0 && done1) {
+      winner = 0;
+    } else {
+      // Short tick on the secondary's cv: either finisher is observed within
+      // a millisecond without sharing one condition variable across both.
+      std::unique_lock<std::mutex> lk(s2->mu);
+      s2->cv.wait_for(lk, std::chrono::milliseconds(1),
+                      [&] { return s2->done; });
+    }
+  }
+  if (winner == 1) hedge_wins_->Add(1);
+  // Mark the loser's state so its late completion counts as wasted work,
+  // then hand the thread(s) to the reaper: the loser must not delay the
+  // winner's reply.
+  std::thread threads[2] = {std::move(t1), std::move(t2)};
+  std::shared_ptr<HedgeAttempt> shared[2] = {s1, s2};
+  R out = R(Status::Error("fleet: hedge lost state"));
+  for (int i = 0; i < 2; ++i) {
+    std::unique_lock<std::mutex> lk(shared[i]->mu);
+    if (i == winner) {
+      if (shared[i]->stale) *stale = true;
+      out = std::move(*shared[i]->result);
+      lk.unlock();
+      threads[i].join();
+    } else if (shared[i]->done) {
+      lk.unlock();
+      threads[i].join();
+    } else {
+      shared[i]->winner_taken = true;
+      lk.unlock();
+      std::lock_guard<std::mutex> rlk(hedge_mu_);
+      hedge_reap_.emplace_back(std::move(threads[i]), shared[i]);
+    }
+  }
+  return out;
 }
 
 Result<FleetClient::Slice> FleetClient::QueryShard(
@@ -160,14 +350,46 @@ Result<FleetClient::Slice> FleetClient::QueryShard(
     std::lock_guard<std::mutex> lk(pool_mu_);
     start = static_cast<std::uint32_t>(rr_++ % replicas);
   }
-  Status last = Status::Error("fleet: no replicas configured");
+  // Route only to replicas the breaker admits (which includes at most one
+  // half-open probe). If every breaker is open, fall back to trying them
+  // anyway — an open breaker is advisory backoff, and total unavailability
+  // is worse than a doomed attempt. Quarantine is NEVER overridden: a
+  // replica with misbehavior evidence gets no traffic until operator
+  // release, even if it is the last one standing.
+  std::vector<std::uint32_t> candidates;
   for (std::uint32_t i = 0; i < replicas; ++i) {
     const std::uint32_t replica = (start + i) % replicas;
-    auto slice = QueryReplica(map, op, sub, account, replica, stale);
+    if (health_->AllowRequest(sub.shard_id, replica)) {
+      candidates.push_back(replica);
+    } else {
+      breaker_skips_->Add(1);
+    }
+  }
+  if (candidates.empty()) {
+    for (std::uint32_t i = 0; i < replicas; ++i) {
+      const std::uint32_t replica = (start + i) % replicas;
+      if (!health_->Quarantined(replica)) candidates.push_back(replica);
+    }
+    if (candidates.empty()) {
+      return R::Error("fleet: every replica of shard " +
+                      std::to_string(sub.shard_id) +
+                      " is quarantined for misbehavior; operator release "
+                      "required");
+    }
+  }
+  Status last = Status::Error("fleet: no replicas configured");
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::uint32_t replica = candidates[i];
+    // Hedge only the first attempt (failovers are already the slow path) and
+    // only when a distinct second replica is admissible.
+    const bool hedge = config_.hedge && i == 0 && candidates.size() > 1;
+    auto slice = hedge ? QueryReplicaHedged(map, op, sub, account, replica,
+                                            candidates[1], stale)
+                       : QueryReplica(map, op, sub, account, replica, stale);
     if (*stale) return slice;  // caller refreshes the map and re-splits
     if (!slice.ok()) {
       last = slice.status();
-      if (i + 1 < replicas) failovers_->Add(1);
+      if (i + 1 < candidates.size()) failovers_->Add(1);
       continue;
     }
     if (config_.cross_check && replicas > 1) {
@@ -335,6 +557,10 @@ FleetClientStats FleetClient::Stats() const {
   s.cross_checks = cross_checks_->Value();
   s.cross_check_mismatches = cross_check_mismatches_->Value();
   s.giveups = giveups_->Value();
+  s.breaker_skips = breaker_skips_->Value();
+  s.hedges = hedges_->Value();
+  s.hedge_wins = hedge_wins_->Value();
+  s.hedge_wasted = hedge_wasted_->Value();
   return s;
 }
 

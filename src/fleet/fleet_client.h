@@ -33,9 +33,11 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 #include <vector>
 
 #include "dcert/enclave_program.h"
+#include "fleet/health.h"
 #include "fleet/shard_map.h"
 #include "mht/mbtree.h"
 #include "obs/metrics.h"
@@ -57,6 +59,19 @@ struct FleetClientConfig {
   bool cross_check = false;
   /// Worker threads for HistoricalMany fan-out.
   std::size_t fanout_threads = 4;
+  /// Shared per-backend health (circuit breakers + evidence quarantine);
+  /// created internally when null. Share one instance with a FleetRouter or
+  /// an operator thread to see/steer the same breaker state.
+  std::shared_ptr<FleetHealth> health;
+  HealthPolicy health_policy;
+  /// Hedged subqueries: after an adaptive delay (p95 of verified-reply
+  /// latencies clamped to [hedge_min_delay_us, hedge_max_delay_us]) the same
+  /// subquery is launched on the next allowed replica and the first VERIFIED
+  /// reply wins; the loser is discarded. Cuts tail latency when one replica
+  /// is slow; costs duplicate work when the hedge fires needlessly.
+  bool hedge = false;
+  std::uint64_t hedge_min_delay_us = 500;
+  std::uint64_t hedge_max_delay_us = 100000;
 };
 
 struct FleetClientStats {
@@ -69,6 +84,10 @@ struct FleetClientStats {
   std::uint64_t cross_checks = 0;        // paranoid double-verifications
   std::uint64_t cross_check_mismatches = 0;
   std::uint64_t giveups = 0;             // logical queries that failed
+  std::uint64_t breaker_skips = 0;       // replicas skipped on an open breaker
+  std::uint64_t hedges = 0;              // secondary attempts launched
+  std::uint64_t hedge_wins = 0;          // secondary delivered first
+  std::uint64_t hedge_wasted = 0;        // losers that completed anyway
 };
 
 class FleetClient {
@@ -78,6 +97,9 @@ class FleetClient {
 
   FleetClient(ShardMap map, BackendConnector backends,
               FleetClientConfig config = {});
+  ~FleetClient();
+  FleetClient(const FleetClient&) = delete;
+  FleetClient& operator=(const FleetClient&) = delete;
 
   struct QuerySpec {
     std::uint64_t account = 0;
@@ -109,6 +131,8 @@ class FleetClient {
   /// Current map (copied under lock; the map is small).
   ShardMap Map() const;
   FleetClientStats Stats() const;
+  /// The shared per-backend health state (breakers, quarantine, evidence).
+  const std::shared_ptr<FleetHealth>& Health() const { return health_; }
 
  private:
   /// One verified subquery result (versions for kHistorical, aggregate for
@@ -128,16 +152,31 @@ class FleetClient {
   Result<Slice> QueryShard(const ShardMap& map, svc::Op op,
                            const ShardMap::SubQuery& sub,
                            std::uint64_t account, bool* stale);
-  /// One fully verified attempt against one replica.
+  /// One fully verified attempt against one replica. Reports the outcome
+  /// (success latency / benign failure / misbehavior evidence) to health_.
   Result<Slice> QueryReplica(const ShardMap& map, svc::Op op,
                              const ShardMap::SubQuery& sub,
                              std::uint64_t account, std::uint32_t replica,
                              bool* stale);
+  /// Hedged attempt: primary starts immediately; after the adaptive delay
+  /// the same subquery launches on `secondary` and the first verified reply
+  /// wins. The loser keeps running detached-in-spirit (reaped later) so the
+  /// winner's latency is what the caller sees.
+  Result<Slice> QueryReplicaHedged(const ShardMap& map, svc::Op op,
+                                   const ShardMap::SubQuery& sub,
+                                   std::uint64_t account, std::uint32_t primary,
+                                   std::uint32_t secondary, bool* stale);
 
   std::unique_ptr<svc::SpClient> Borrow(std::uint32_t shard,
                                         std::uint32_t replica);
   void Return(std::uint32_t shard, std::uint32_t replica,
               std::unique_ptr<svc::SpClient> client);
+
+  /// One in-flight hedge attempt's slot: the worker writes its result and
+  /// flips `done` as its last action before exiting.
+  struct HedgeAttempt;
+  /// Joins finished loser threads (opportunistic sweep + destructor drain).
+  void ReapHedges(bool join_all);
 
   BackendConnector backends_;
   FleetClientConfig config_;
@@ -151,6 +190,14 @@ class FleetClient {
       pool_;
   std::uint64_t rr_ = 0;  // replica round-robin start, guarded by pool_mu_
 
+  std::shared_ptr<FleetHealth> health_;
+
+  /// Loser threads from hedged attempts, joined once their slot reports
+  /// done (swept on later hedges, drained by the destructor).
+  std::mutex hedge_mu_;
+  std::vector<std::pair<std::thread, std::shared_ptr<HedgeAttempt>>>
+      hedge_reap_;
+
   std::shared_ptr<obs::Counter> queries_;
   std::shared_ptr<obs::Counter> subqueries_;
   std::shared_ptr<obs::Counter> verified_;
@@ -160,6 +207,10 @@ class FleetClient {
   std::shared_ptr<obs::Counter> cross_checks_;
   std::shared_ptr<obs::Counter> cross_check_mismatches_;
   std::shared_ptr<obs::Counter> giveups_;
+  std::shared_ptr<obs::Counter> breaker_skips_;
+  std::shared_ptr<obs::Counter> hedges_;
+  std::shared_ptr<obs::Counter> hedge_wins_;
+  std::shared_ptr<obs::Counter> hedge_wasted_;
 };
 
 }  // namespace dcert::fleet

@@ -23,6 +23,9 @@ FleetRouter::FleetRouter(ShardMap map, BackendConnector backends,
     : map_(std::move(map)),
       backends_(std::move(backends)),
       config_(config),
+      health_(config.health ? config.health
+                            : std::make_shared<FleetHealth>(
+                                  config.health_policy)),
       forwarded_(std::make_shared<obs::Counter>()),
       fanouts_(std::make_shared<obs::Counter>()),
       failovers_(std::make_shared<obs::Counter>()),
@@ -88,10 +91,21 @@ Result<Bytes> FleetRouter::CallReplica(std::uint32_t shard,
     if (!dialed.ok()) return Result<Bytes>(dialed.status());
     conn = std::move(dialed.value());
   }
+  const auto started = std::chrono::steady_clock::now();
   auto reply = conn->Call(frame, config_.backend_deadline);
   if (reply.ok()) {
+    health_->ReportSuccess(
+        shard, replica,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count()));
     std::lock_guard<std::mutex> lk(pool_mu_);
     pool_[key].push_back(std::move(conn));
+  } else {
+    // The router sees only the transport plane, so every failure feeds the
+    // benign breaker; Byzantine detection lives with verifying clients.
+    health_->ReportFailure(shard, replica);
   }
   // On failure the connection may be desynced: drop it, the next call dials
   // fresh.
@@ -106,14 +120,26 @@ Result<Bytes> FleetRouter::CallBackend(std::uint32_t shard,
     std::lock_guard<std::mutex> lk(pool_mu_);
     start = static_cast<std::uint32_t>(round_robin_++ % replicas);
   }
-  Status last = Status::Error("fleet router: no replicas");
+  // Breaker-admitted replicas first; when every breaker is open, try them
+  // all anyway — the breaker is backoff advice, and a router that answers
+  // "unreachable" while a backend just recovered helps nobody.
+  std::vector<std::uint32_t> candidates;
   for (std::uint32_t i = 0; i < replicas; ++i) {
     const std::uint32_t replica = (start + i) % replicas;
-    auto reply = CallReplica(shard, replica, frame);
+    if (health_->AllowRequest(shard, replica)) candidates.push_back(replica);
+  }
+  if (candidates.empty()) {
+    for (std::uint32_t i = 0; i < replicas; ++i) {
+      candidates.push_back((start + i) % replicas);
+    }
+  }
+  Status last = Status::Error("fleet router: no replicas");
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    auto reply = CallReplica(shard, candidates[i], frame);
     if (reply.ok()) return reply;
     last = reply.status();
     if (!svc::IsTransientTransportError(last)) break;
-    if (i + 1 < replicas) failovers_->Add(1);
+    if (i + 1 < candidates.size()) failovers_->Add(1);
   }
   return Result<Bytes>(last);
 }
@@ -211,6 +237,10 @@ Bytes FleetRouter::Process(const Bytes& request) {
       break;
     case svc::Op::kTipFetch:
     case svc::Op::kStats:
+    case svc::Op::kHealth:
+      // Any shard can answer these; kHealth reports the chosen replica's
+      // own liveness (a router-level fleet view comes from asking each
+      // endpoint, which dcertctl fleet-health does).
       shard = NextRoundRobin();
       break;
     case svc::Op::kHistorical:

@@ -34,6 +34,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fleet/health.h"
 #include "fleet/shard_map.h"
 #include "obs/metrics.h"
 #include "svc/transport.h"
@@ -43,6 +44,12 @@ namespace dcert::fleet {
 struct FleetRouterConfig {
   /// Deadline for each backend round trip.
   std::chrono::milliseconds backend_deadline{5000};
+  /// Shared per-backend health (circuit breakers); created internally when
+  /// null. The router only observes transport-level outcomes — it cannot
+  /// verify proofs, so it never quarantines; breakers here are purely the
+  /// benign (crash/slow) plane, and CallBackend skips open ones.
+  std::shared_ptr<FleetHealth> health;
+  HealthPolicy health_policy;
 };
 
 struct FleetRouterStats {
@@ -73,6 +80,8 @@ class FleetRouter {
 
   const ShardMap& Map() const { return map_; }
   FleetRouterStats Stats() const;
+  /// The shared per-backend health state (breakers; see config note).
+  const std::shared_ptr<FleetHealth>& Health() const { return health_; }
 
  private:
   /// Transport-thread entry; routing runs inline (the router is a thin
@@ -91,6 +100,7 @@ class FleetRouter {
   ShardMap map_;
   BackendConnector backends_;
   FleetRouterConfig config_;
+  std::shared_ptr<FleetHealth> health_;
   svc::ServerTransport* transport_ = nullptr;
 
   std::mutex pool_mu_;

@@ -1,0 +1,304 @@
+#include "fleet/health.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace dcert::fleet {
+
+namespace {
+
+constexpr std::size_t kMaxEvidenceRecords = 65536;
+constexpr std::size_t kMaxEvidenceFileBytes = std::size_t{64} << 20;
+
+}  // namespace
+
+Bytes MisbehaviorEvidence::Serialize() const {
+  Encoder enc;
+  enc.U64(map_version);
+  enc.U32(shard_id);
+  enc.U32(replica);
+  enc.U8(op);
+  enc.U64(account);
+  enc.U64(from_height);
+  enc.U64(to_height);
+  enc.HashField(reply_digest);
+  enc.Blob(offending_cert);
+  enc.Str(verdict);
+  return enc.Take();
+}
+
+Result<MisbehaviorEvidence> MisbehaviorEvidence::Deserialize(ByteView bytes) {
+  using R = Result<MisbehaviorEvidence>;
+  try {
+    Decoder dec(bytes);
+    MisbehaviorEvidence e;
+    e.map_version = dec.U64();
+    e.shard_id = dec.U32();
+    e.replica = dec.U32();
+    e.op = dec.U8();
+    e.account = dec.U64();
+    e.from_height = dec.U64();
+    e.to_height = dec.U64();
+    e.reply_digest = dec.HashField();
+    e.offending_cert = dec.Blob();
+    e.verdict = dec.Str();
+    dec.ExpectEnd();
+    return e;
+  } catch (const DecodeError& err) {
+    return R::Error(std::string("misbehavior evidence: ") + err.what());
+  }
+}
+
+Result<std::vector<MisbehaviorEvidence>> LoadEvidenceFile(
+    const std::string& path) {
+  using R = Result<std::vector<MisbehaviorEvidence>>;
+  std::vector<MisbehaviorEvidence> records;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return records;  // no file yet: zero records
+  Bytes data;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+    if (data.size() > kMaxEvidenceFileBytes) {
+      std::fclose(f);
+      return R::Error("evidence file " + path + ": too large");
+    }
+  }
+  std::fclose(f);
+  try {
+    Decoder dec(data);
+    while (dec.Remaining() > 0) {
+      Bytes frame = dec.Blob();
+      auto rec = MisbehaviorEvidence::Deserialize(frame);
+      if (!rec.ok()) return R(rec.status());
+      records.push_back(std::move(rec.value()));
+      if (records.size() > kMaxEvidenceRecords) {
+        return R::Error("evidence file " + path + ": too many records");
+      }
+    }
+  } catch (const DecodeError& err) {
+    return R::Error("evidence file " + path + ": " + err.what());
+  }
+  return records;
+}
+
+Status WriteEvidenceFile(const std::string& path,
+                         const std::vector<MisbehaviorEvidence>& records) {
+  Encoder enc;
+  for (const auto& rec : records) enc.Blob(rec.Serialize());
+  const Bytes data = enc.Take();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("evidence file " + path + ": open for write failed");
+  }
+  const bool ok =
+      data.empty() || std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::Error("evidence file " + path + ": write failed");
+  }
+  return Status::Ok();
+}
+
+FleetHealth::FleetHealth(HealthPolicy policy)
+    : policy_(policy),
+      jitter_rng_(policy.jitter_seed),
+      breaker_opens_(std::make_shared<obs::Counter>()),
+      probes_(std::make_shared<obs::Counter>()),
+      quarantines_(std::make_shared<obs::Counter>()),
+      blocked_(std::make_shared<obs::Counter>()),
+      open_breakers_(std::make_shared<obs::Gauge>()),
+      quarantined_gauge_(std::make_shared<obs::Gauge>()) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Register("fleet.health.breaker_opens", breaker_opens_);
+  reg.Register("fleet.health.probes", probes_);
+  reg.Register("fleet.health.quarantines", quarantines_);
+  reg.Register("fleet.health.blocked", blocked_);
+  reg.Register("fleet.health.open_breakers", open_breakers_);
+  reg.Register("fleet.health.quarantined", quarantined_gauge_);
+}
+
+void FleetHealth::OpenLocked(BackendState& b) {
+  const bool was_routable = b.state == BreakerState::kClosed;
+  b.state = BreakerState::kOpen;
+  b.probe_inflight = false;
+  // Jittered exponential backoff: base * 2^doublings clamped, then sleep in
+  // [backoff/2, backoff] so a fleet-wide incident does not probe in lockstep.
+  auto backoff = policy_.open_base_backoff;
+  for (int i = 0; i < b.backoff_doublings && backoff < policy_.open_max_backoff;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, policy_.open_max_backoff);
+  const std::uint64_t ms = static_cast<std::uint64_t>(backoff.count());
+  const std::uint64_t jittered = ms / 2 + jitter_rng_.NextBelow(ms / 2 + 1);
+  b.open_until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(jittered);
+  breaker_opens_->Add(1);
+  if (was_routable) open_breakers_->Add(1);
+}
+
+bool FleetHealth::AllowRequest(std::uint32_t shard, std::uint32_t replica) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (quarantined_.count(replica) != 0) {
+    blocked_->Add(1);
+    return false;
+  }
+  auto it = backends_.find({shard, replica});
+  if (it == backends_.end()) return true;  // unseen backend: closed
+  BackendState& b = it->second;
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (std::chrono::steady_clock::now() >= b.open_until) {
+        b.state = BreakerState::kHalfOpen;
+        b.probe_inflight = true;
+        probes_->Add(1);
+        return true;
+      }
+      blocked_->Add(1);
+      return false;
+    case BreakerState::kHalfOpen:
+      if (!b.probe_inflight) {
+        // The previous probe's outcome was never reported (e.g. the caller
+        // abandoned it); allow another rather than wedging the backend.
+        b.probe_inflight = true;
+        probes_->Add(1);
+        return true;
+      }
+      blocked_->Add(1);
+      return false;
+  }
+  return true;
+}
+
+void FleetHealth::ReportSuccess(std::uint32_t shard, std::uint32_t replica,
+                                std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  BackendState& b = backends_[{shard, replica}];
+  if (b.state != BreakerState::kClosed) open_breakers_->Sub(1);
+  b.state = BreakerState::kClosed;
+  b.consecutive_failures = 0;
+  b.backoff_doublings = 0;
+  b.probe_inflight = false;
+  if (policy_.latency_window > 0) {
+    if (b.latencies.size() < policy_.latency_window) {
+      b.latencies.push_back(latency_us);
+    } else {
+      b.latencies[b.latency_next] = latency_us;
+    }
+    b.latency_next = (b.latency_next + 1) % policy_.latency_window;
+  }
+}
+
+void FleetHealth::ReportFailure(std::uint32_t shard, std::uint32_t replica) {
+  std::lock_guard<std::mutex> lk(mu_);
+  BackendState& b = backends_[{shard, replica}];
+  ++b.consecutive_failures;
+  switch (b.state) {
+    case BreakerState::kHalfOpen:
+      // The probe failed: back to open with doubled backoff.
+      ++b.backoff_doublings;
+      OpenLocked(b);
+      break;
+    case BreakerState::kClosed:
+      if (b.consecutive_failures >= policy_.failure_threshold) OpenLocked(b);
+      break;
+    case BreakerState::kOpen:
+      // A straggler failure from a request admitted before the open (or a
+      // breaker-ignoring last-resort attempt); the deadline stands.
+      break;
+  }
+}
+
+void FleetHealth::ReportMisbehavior(const MisbehaviorEvidence& evidence) {
+  std::lock_guard<std::mutex> lk(mu_);
+  quarantines_->Add(1);
+  const bool fresh = quarantined_.insert(evidence.replica).second;
+  if (fresh) {
+    quarantined_gauge_->Set(static_cast<std::int64_t>(quarantined_.size()));
+  }
+  if (evidence_.size() < kMaxEvidenceRecords) {
+    evidence_.push_back(evidence);
+    if (!evidence_path_.empty()) {
+      // Best-effort append; the in-memory record is authoritative for this
+      // process and the whole file is rewritten from it.
+      (void)WriteEvidenceFile(evidence_path_, evidence_);
+    }
+  }
+}
+
+bool FleetHealth::Quarantined(std::uint32_t replica) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quarantined_.count(replica) != 0;
+}
+
+void FleetHealth::Release(std::uint32_t replica) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (quarantined_.erase(replica) == 0) return;
+  quarantined_gauge_->Set(static_cast<std::int64_t>(quarantined_.size()));
+  // Restart the released replica's breakers closed: the operator vouched for
+  // it, so it earns a clean slate rather than an inherited open deadline.
+  for (auto& [key, b] : backends_) {
+    if (key.second != replica) continue;
+    if (b.state != BreakerState::kClosed) open_breakers_->Sub(1);
+    b = BackendState{};
+  }
+}
+
+BreakerState FleetHealth::State(std::uint32_t shard,
+                                std::uint32_t replica) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = backends_.find({shard, replica});
+  return it == backends_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+bool FleetHealth::AllClosed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [key, b] : backends_) {
+    if (quarantined_.count(key.second) != 0) continue;
+    if (b.state != BreakerState::kClosed) return false;
+  }
+  return true;
+}
+
+std::vector<MisbehaviorEvidence> FleetHealth::Evidence() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evidence_;
+}
+
+std::uint64_t FleetHealth::HedgeDelayUs(std::uint64_t min_us,
+                                        std::uint64_t max_us) const {
+  std::vector<std::uint64_t> all;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [key, b] : backends_) {
+      all.insert(all.end(), b.latencies.begin(), b.latencies.end());
+    }
+  }
+  if (all.empty()) return max_us;
+  const std::size_t idx = all.size() * 95 / 100;
+  std::nth_element(all.begin(), all.begin() + idx, all.end());
+  return std::min(max_us, std::max(min_us, all[idx]));
+}
+
+Status FleetHealth::AttachEvidenceFile(const std::string& path) {
+  auto existing = LoadEvidenceFile(path);
+  if (!existing.ok()) return existing.status();
+  std::lock_guard<std::mutex> lk(mu_);
+  evidence_path_ = path;
+  for (auto& rec : existing.value()) {
+    const bool fresh = quarantined_.insert(rec.replica).second;
+    if (fresh) {
+      quarantined_gauge_->Set(static_cast<std::int64_t>(quarantined_.size()));
+    }
+    evidence_.push_back(std::move(rec));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dcert::fleet

@@ -1,0 +1,160 @@
+// Per-backend health state for a shard fleet: rolling error/latency windows
+// feeding a three-state circuit breaker, plus evidence-based quarantine for
+// replicas that serve replies failing cryptographic verification.
+//
+// The two failure classes DCert's trust model distinguishes get different
+// treatment:
+//  * benign (crash, timeout, kBusy, refused dial) — the breaker opens after
+//    `failure_threshold` consecutive failures and stops routing to the
+//    replica; after a seeded-jittered backoff ONE half-open probe is allowed
+//    through, and a verified success re-closes the breaker (a failed probe
+//    re-opens it with doubled backoff). Fully automatic.
+//  * Byzantine (a reply whose certificate or proof does not verify) — the
+//    failed verification IS cryptographic evidence of misbehavior, so the
+//    replica is quarantined across ALL shards and a serialized
+//    MisbehaviorEvidence record is retained (optionally appended to an
+//    evidence file) until an operator releases it via `dcertctl
+//    fleet-health`. No probe ever re-admits a quarantined replica.
+//
+// FleetHealth is shared between a FleetClient and/or FleetRouter and their
+// callers; all methods are thread-safe behind one mutex (the fleet's hot
+// path is network-bound, a breaker check is a map lookup).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace dcert::fleet {
+
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,    // healthy; requests flow
+  kOpen = 1,      // failing; requests blocked until the backoff deadline
+  kHalfOpen = 2,  // deadline passed; exactly one probe request is in flight
+};
+
+struct HealthPolicy {
+  /// Consecutive benign failures before the breaker opens.
+  int failure_threshold = 3;
+  /// First open interval; doubles per failed probe, clamped to the max.
+  std::chrono::milliseconds open_base_backoff{100};
+  std::chrono::milliseconds open_max_backoff{5000};
+  /// Seed for backoff jitter (sleep in [backoff/2, backoff]).
+  std::uint64_t jitter_seed = 0x4ea1;
+  /// Rolling per-backend latency samples kept for the hedge-delay estimate.
+  std::size_t latency_window = 64;
+};
+
+/// Everything needed to audit a quarantine decision offline: which query was
+/// asked, a digest of the reply the replica served, the certificate it
+/// claimed covered the reply, and the verifier's verdict. Serialized records
+/// are what `dcertctl fleet-health --evidence` lists and releases.
+struct MisbehaviorEvidence {
+  std::uint64_t map_version = 0;
+  std::uint32_t shard_id = 0;
+  std::uint32_t replica = 0;
+  std::uint8_t op = 0;  // svc::Op of the query that exposed the misbehavior
+  std::uint64_t account = 0;
+  std::uint64_t from_height = 0;
+  std::uint64_t to_height = 0;
+  Hash256 reply_digest{};     // SHA-256 of the offending reply payload
+  Bytes offending_cert;       // serialized certificate the replica presented
+  std::string verdict;        // the verification error message
+
+  Bytes Serialize() const;
+  static Result<MisbehaviorEvidence> Deserialize(ByteView bytes);
+};
+
+/// Reads/writes an evidence file: concatenated length-prefixed serialized
+/// records. A missing file reads as zero records (not an error).
+Result<std::vector<MisbehaviorEvidence>> LoadEvidenceFile(
+    const std::string& path);
+Status WriteEvidenceFile(const std::string& path,
+                         const std::vector<MisbehaviorEvidence>& records);
+
+class FleetHealth {
+ public:
+  explicit FleetHealth(HealthPolicy policy = {});
+
+  /// Gate before routing to (shard, replica). False while quarantined or the
+  /// breaker is open; the call that flips an expired open breaker to
+  /// half-open returns true exactly once (the probe).
+  bool AllowRequest(std::uint32_t shard, std::uint32_t replica);
+
+  /// A fully verified reply: closes the breaker, resets failure/backoff
+  /// state, and records the observed latency for the hedge estimate.
+  void ReportSuccess(std::uint32_t shard, std::uint32_t replica,
+                     std::uint64_t latency_us);
+
+  /// A benign failure (transport fault, kBusy, timeout). Opens the breaker
+  /// at the threshold; a failed half-open probe re-opens with doubled
+  /// backoff.
+  void ReportFailure(std::uint32_t shard, std::uint32_t replica);
+
+  /// A verification failure: quarantines `evidence.replica` for every shard
+  /// and retains the record (appending to the evidence file when attached).
+  void ReportMisbehavior(const MisbehaviorEvidence& evidence);
+
+  bool Quarantined(std::uint32_t replica) const;
+  /// Operator release: the replica may serve again (its breaker restarts
+  /// closed). Retained evidence records are kept for the audit trail.
+  void Release(std::uint32_t replica);
+
+  BreakerState State(std::uint32_t shard, std::uint32_t replica) const;
+  /// True when no breaker is open or half-open. Quarantined replicas are
+  /// excluded: they receive no traffic, so their last breaker state is
+  /// meaningless for convergence.
+  bool AllClosed() const;
+
+  std::vector<MisbehaviorEvidence> Evidence() const;
+
+  /// Adaptive hedge delay: the p95 of the rolling verified-reply latencies
+  /// across all backends, clamped to [min_us, max_us] (max_us when no
+  /// samples exist yet — never hedge eagerly without data).
+  std::uint64_t HedgeDelayUs(std::uint64_t min_us, std::uint64_t max_us) const;
+
+  /// Mirrors quarantine records to `path`: loads existing records first (so
+  /// quarantines survive a client restart), then appends new ones as they
+  /// happen. Returns the load status; appends are best-effort.
+  Status AttachEvidenceFile(const std::string& path);
+
+ private:
+  struct BackendState {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    int backoff_doublings = 0;
+    std::chrono::steady_clock::time_point open_until{};
+    bool probe_inflight = false;
+    std::vector<std::uint64_t> latencies;  // ring buffer
+    std::size_t latency_next = 0;
+  };
+
+  void OpenLocked(BackendState& b);  // sets state/deadline, bumps metrics
+
+  HealthPolicy policy_;
+  mutable std::mutex mu_;
+  Rng jitter_rng_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, BackendState> backends_;
+  std::set<std::uint32_t> quarantined_;
+  std::vector<MisbehaviorEvidence> evidence_;
+  std::string evidence_path_;  // empty = not attached
+
+  std::shared_ptr<obs::Counter> breaker_opens_;
+  std::shared_ptr<obs::Counter> probes_;
+  std::shared_ptr<obs::Counter> quarantines_;
+  std::shared_ptr<obs::Counter> blocked_;
+  std::shared_ptr<obs::Gauge> open_breakers_;
+  std::shared_ptr<obs::Gauge> quarantined_gauge_;
+};
+
+}  // namespace dcert::fleet

@@ -65,6 +65,25 @@ Result<Bytes> FaultInjectingTransport::Call(ByteView request,
     body[rng_.NextBelow(body.size())] ^=
         static_cast<std::uint8_t>(1u << rng_.NextBelow(8));
   }
+  if (rng_.Chance(config_.reorder_rate)) {
+    // Frame reorder at the call boundary: hold this reply back and deliver
+    // the previously held one instead, so two consecutive calls observe each
+    // other's replies. With nothing held yet, the swap degenerates into
+    // answering this call with its own reply (nothing earlier to reorder
+    // with), but the hold still shifts the stream for the next call.
+    Bump(counters_, &FaultCounters::reorders);
+    std::optional<Bytes> released = std::move(held_reply_);
+    held_reply_ = std::move(body);
+    if (released) return std::move(*released);
+    return Bytes(*held_reply_);  // copy: it's the only reply we have
+  }
+  if (held_reply_) {
+    // A previous call's reply was held: deliver it now and hold the current
+    // one, completing the swap.
+    Bytes released = std::move(*held_reply_);
+    held_reply_ = std::move(body);
+    return released;
+  }
   return body;
 }
 

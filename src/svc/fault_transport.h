@@ -9,11 +9,27 @@
 // them anyway: a dropped frame *is* a timeout, a mid-frame disconnect *is* a
 // short read. Truncation and corruption deliver the damaged bytes so the
 // decode + proof-verification layers above get exercised, not bypassed.
+//
+// Deterministic composition order per Call, each drawing from the stream's
+// seeded Rng in this exact sequence (so a run is a pure function of seed,
+// stream id, and call order):
+//   1. drop      — swallow the request, surface a timeout
+//   2. delay     — sleep 1..delay_ms_max before the round trip
+//   3. duplicate — send twice, keep the second reply
+//   4. truncate  — deliver a strict prefix of the reply
+//   5. corrupt   — flip one bit of the (possibly truncated) reply
+//   6. reorder   — hold this reply back and deliver the previously held one
+//                  instead (the next call on this stream gets this one), the
+//                  call-boundary analogue of frame reordering on the wire
+// Later faults compose on the output of earlier ones: a truncated reply can
+// also be corrupted, and a reordered reply carries whatever damage it
+// received when it was first produced.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "common/rng.h"
 #include "svc/transport.h"
@@ -26,6 +42,7 @@ struct FaultConfig {
   double truncate_rate = 0.0;   // deliver only a prefix of the reply
   double duplicate_rate = 0.0;  // send the request twice, keep the 2nd reply
   double corrupt_rate = 0.0;    // flip one bit of the reply
+  double reorder_rate = 0.0;    // swap this reply with the next one
   double refuse_connect_rate = 0.0;  // FaultyConnector refuses the dial
   std::uint64_t delay_ms_max = 10;
   std::uint64_t seed = 1;
@@ -39,11 +56,13 @@ struct FaultCounters {
   std::atomic<std::uint64_t> truncations{0};
   std::atomic<std::uint64_t> duplicates{0};
   std::atomic<std::uint64_t> corruptions{0};
+  std::atomic<std::uint64_t> reorders{0};
   std::atomic<std::uint64_t> refused_connects{0};
 
   std::uint64_t Total() const {
     return drops.load() + delays.load() + truncations.load() +
-           duplicates.load() + corruptions.load() + refused_connects.load();
+           duplicates.load() + corruptions.load() + reorders.load() +
+           refused_connects.load();
   }
 };
 
@@ -65,6 +84,8 @@ class FaultInjectingTransport final : public ClientTransport {
   std::mutex mu_;  // connections are per-thread by contract; stay safe anyway
   Rng rng_;
   std::shared_ptr<FaultCounters> counters_;
+  /// A reply held back by the reorder fault, delivered on the next call.
+  std::optional<Bytes> held_reply_;
 };
 
 /// Wraps `dial` so every connection it produces is fault-injected (with a

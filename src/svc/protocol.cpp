@@ -8,7 +8,7 @@ namespace {
 
 bool ValidOp(std::uint8_t op) {
   return op >= static_cast<std::uint8_t>(Op::kTipFetch) &&
-         op <= static_cast<std::uint8_t>(Op::kShardScoped);
+         op <= static_cast<std::uint8_t>(Op::kHealth);
 }
 
 /// Caps on the decoded snapshot so a malicious stats reply cannot balloon
@@ -269,6 +269,42 @@ Result<std::uint64_t> DecodeAckBody(ByteView body) {
     return tip_height;
   } catch (const DecodeError& e) {
     return R::Error(std::string("ack reply: ") + e.what());
+  }
+}
+
+Bytes EncodeHealthRequest() {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Op::kHealth));
+  return enc.Take();
+}
+
+Bytes EncodeHealthReply(const HealthInfo& info) {
+  Encoder enc;
+  enc.U8(static_cast<std::uint8_t>(Code::kOk));
+  enc.U64(info.tip_height);
+  enc.U64(info.uptime_ms);
+  enc.U64(info.inflight);
+  enc.U64(info.served);
+  enc.U64(info.shed);
+  enc.Str(info.build);
+  return enc.Take();
+}
+
+Result<HealthInfo> DecodeHealthBody(ByteView body) {
+  using R = Result<HealthInfo>;
+  try {
+    Decoder dec(body);
+    HealthInfo info;
+    info.tip_height = dec.U64();
+    info.uptime_ms = dec.U64();
+    info.inflight = dec.U64();
+    info.served = dec.U64();
+    info.shed = dec.U64();
+    info.build = dec.Str();
+    dec.ExpectEnd();
+    return info;
+  } catch (const DecodeError& e) {
+    return R::Error(std::string("health reply: ") + e.what());
   }
 }
 

@@ -26,6 +26,7 @@ enum class Op : std::uint8_t {
   kStats = 5,       // live metrics snapshot -> StatsReply
   kShardMap = 6,    // fetch the fleet shard map -> opaque map bytes
   kShardScoped = 7,  // shard-addressed envelope around tip/query requests
+  kHealth = 8,       // lightweight liveness/health probe -> HealthReply
 };
 
 enum class Code : std::uint8_t {
@@ -137,6 +138,23 @@ Result<TipInfo> DecodeTipBody(ByteView body);
 Result<std::pair<std::uint64_t, query::HistoricalQueryProof>> DecodeQueryBody(
     ByteView body);
 Result<std::uint64_t> DecodeAckBody(ByteView body);
+
+/// A lightweight health probe reply: enough for a router or operator to
+/// judge replica liveness, load, and version skew without pulling the full
+/// metrics snapshot. `shed` vs `served` gives the shed rate; `build` is the
+/// human-readable build string (git SHA + sanitizer + build type).
+struct HealthInfo {
+  std::uint64_t tip_height = 0;
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::string build;
+};
+
+Bytes EncodeHealthRequest();
+Bytes EncodeHealthReply(const HealthInfo& info);
+Result<HealthInfo> DecodeHealthBody(ByteView body);
 
 /// Metrics snapshots cross the wire as counters/gauges plus full sparse
 /// histogram buckets, so the client can compute any percentile (and render

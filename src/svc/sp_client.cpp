@@ -189,6 +189,18 @@ Result<obs::MetricsSnapshot> SpClient::FetchStats() {
   return std::move(*snap);
 }
 
+Result<HealthInfo> SpClient::FetchHealth() {
+  std::optional<HealthInfo> info;
+  auto body = Roundtrip(EncodeHealthRequest(), [&info](const Bytes& b) {
+    auto decoded = DecodeHealthBody(b);
+    if (!decoded.ok()) return decoded.status();
+    info = std::move(decoded.value());
+    return Status::Ok();
+  });
+  if (!body.ok()) return Result<HealthInfo>(body.status());
+  return std::move(*info);
+}
+
 Result<Bytes> SpClient::FetchShardMap() {
   std::optional<Bytes> map;
   auto body = Roundtrip(EncodeShardMapRequest(), [&map](const Bytes& b) {

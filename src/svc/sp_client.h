@@ -80,6 +80,8 @@ class SpClient {
   Result<TipInfo> FetchTip();
   /// Live metrics snapshot from the server's registry (Op::kStats).
   Result<obs::MetricsSnapshot> FetchStats();
+  /// Lightweight liveness/health probe (Op::kHealth).
+  Result<HealthInfo> FetchHealth();
   /// Serialized fleet shard map (Op::kShardMap); decode with
   /// fleet::ShardMap::Deserialize.
   Result<Bytes> FetchShardMap();

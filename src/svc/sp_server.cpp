@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/build_info.h"
 #include "obs/trace.h"
 #include "query/extraction.h"
 
@@ -18,6 +19,7 @@ constexpr std::size_t kMaxPendingAnnouncements = 1024;
 
 SpServer::SpServer(SpServerConfig config)
     : config_(config),
+      start_time_(std::chrono::steady_clock::now()),
       pool_(config.workers),
       cache_(config.cache_shards, config.cache_capacity_per_shard),
       index_("historical"),
@@ -46,6 +48,17 @@ SpServer::SpServer(SpServerConfig config)
   reg.Register("svc.latency.aggregate_ns", lat_aggregate_ns_);
   reg.Register("svc.latency.announce_ns", lat_announce_ns_);
   reg.Register("svc.latency.stats_ns", lat_stats_ns_);
+  // Build identity + uptime gauges so fleet stats merges can spot version
+  // skew and per-replica age (`svc.server.uptime_ms` updates on kStats).
+  common::RegisterBuildInfoMetrics();
+  uptime_gauge_ = reg.GetGauge("svc.server.uptime_ms");
+}
+
+std::uint64_t SpServer::UptimeMs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
 }
 
 SpServer::~SpServer() { Shutdown(); }
@@ -162,7 +175,11 @@ Bytes SpServer::Process(const Bytes& request) {
     case Op::kStats: {
       obs::TraceSpan span("svc.stats", lat_stats_ns_);
       served_->Add(1);
+      uptime_gauge_->Set(static_cast<std::int64_t>(UptimeMs()));
       return EncodeStatsReply(obs::MetricsRegistry::Global().Snapshot());
+    }
+    case Op::kHealth: {
+      return ProcessHealth();
     }
     case Op::kShardMap: {
       if (config_.shard_map.empty()) {
@@ -249,6 +266,24 @@ Bytes SpServer::ProcessShardScoped(const ShardScopedRequest& req) {
                                "shard-scoped: inner op not shardable");
     }
   }
+}
+
+Bytes SpServer::ProcessHealth() {
+  // Deliberately cheap: one shared lock for the tip height, the rest from
+  // lock-free counters — health probes must stay serviceable under load.
+  HealthInfo info;
+  {
+    std::shared_lock<std::shared_mutex> lk(state_mu_);
+    info.tip_height = tip_ ? tip_->header.height : 0;
+  }
+  info.uptime_ms = UptimeMs();
+  uptime_gauge_->Set(static_cast<std::int64_t>(info.uptime_ms));
+  info.inflight = static_cast<std::uint64_t>(inflight_gauge_->Value());
+  info.served = served_->Value();
+  info.shed = shed_->Value();
+  info.build = common::BuildString();
+  served_->Add(1);
+  return EncodeHealthReply(info);
 }
 
 Bytes SpServer::ProcessTipFetch() {

@@ -15,6 +15,7 @@
 // ones to finish (graceful drain), then stops the transport.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -141,6 +142,8 @@ class SpServer {
   Bytes Process(const Bytes& request);
   Bytes ProcessQuery(const QueryRequest& req);
   Bytes ProcessTipFetch();
+  Bytes ProcessHealth();
+  std::uint64_t UptimeMs() const;
   /// Ownership + map-version checks, then the inner tip/query request.
   Bytes ProcessShardScoped(const ShardScopedRequest& req);
   /// kStaleShard reply helper (counts shard_rejects).
@@ -159,6 +162,9 @@ class SpServer {
   Status RestoreFromCheckpointLocked(const ckpt::Checkpoint& ck);
 
   SpServerConfig config_;
+  /// Process start for the kHealth uptime field (per-server is the closest
+  /// observable proxy; servers are constructed at process start in practice).
+  std::chrono::steady_clock::time_point start_time_;
   common::ThreadPool pool_;
   ResponseCache cache_;
   ServerTransport* transport_ = nullptr;
@@ -186,6 +192,7 @@ class SpServer {
   std::shared_ptr<obs::Counter> announce_rejected_;
   std::shared_ptr<obs::Counter> shard_rejects_;
   std::shared_ptr<obs::Gauge> inflight_gauge_;  // mirrors in_flight_
+  std::shared_ptr<obs::Gauge> uptime_gauge_;    // refreshed on kStats/kHealth
   std::shared_ptr<obs::Histogram> lat_tip_ns_;
   std::shared_ptr<obs::Histogram> lat_historical_ns_;
   std::shared_ptr<obs::Histogram> lat_aggregate_ns_;

@@ -9,10 +9,13 @@
 // exact certified chain the crash-free run had.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckpt/checkpoint.h"
@@ -537,6 +540,87 @@ TEST(SpCheckpointTest, RehydrateRejectsForeignOrMisalignedStores) {
     EXPECT_FALSE(server.RehydrateFromCheckpoint(bad).ok());
     EXPECT_EQ(server.Stats().blocks_applied, 0u);
   }
+}
+
+TEST(CheckpointStoreTest, LoadLatestValidRacesConcurrentSealAndPrune) {
+  // A reader bootstrapping from the store while a writer seals fresh
+  // checkpoints and prunes old ones: LoadLatestValid must never error and
+  // never hand back anything but a fully verified checkpoint — a file
+  // unlinked or half-renamed under its feet reads as "skip", not "fail".
+  IssuerPaths p = FreshIssuerPaths("ckpt_race_src", 0, 2);
+  p.ckpt.keep = 8;  // retain every sealed height so the race has variety
+  auto ci = OpenIssuer(p);
+  ASSERT_TRUE(ci.ok()) << ci.message();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ci.value().CertifyBlock(Rig().blocks[i]).ok());
+  }
+  // Genuine checkpoints at several heights (interval 2 over 8 blocks).
+  std::vector<Checkpoint> checkpoints;
+  for (std::uint64_t h : ci.value().Store().Heights()) {
+    auto ck = ci.value().Store().Load(h);
+    ASSERT_TRUE(ck.ok()) << ck.message();
+    checkpoints.push_back(ck.value());
+  }
+  ASSERT_GE(checkpoints.size(), 2u);
+
+  const std::string dir = ::testing::TempDir() + "ckpt_race_store";
+  for (int h = 0; h < 64; ++h) {
+    std::remove((dir + "/ckpt-" + std::to_string(h) + ".dcp").c_str());
+  }
+  auto store = CheckpointStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.message();
+  ASSERT_TRUE(store.value().Write(checkpoints.front()).ok());
+
+  const Hash256 measurement = core::ExpectedEnclaveMeasurement();
+  std::vector<std::uint64_t> valid_heights;
+  for (const Checkpoint& ck : checkpoints) valid_heights.push_back(ck.height);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<bool> reader_failed{false};
+  std::string reader_error;
+  std::mutex reader_mu;
+
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto best = store.value().LoadLatestValid(~std::uint64_t{0}, measurement);
+      ++reads;
+      if (!best.ok()) {
+        std::lock_guard<std::mutex> lk(reader_mu);
+        reader_failed.store(true);
+        reader_error = best.message();
+        return;
+      }
+      if (best.value().has_value()) {
+        ++hits;
+        const std::uint64_t h = best.value()->height;
+        bool known = false;
+        for (std::uint64_t v : valid_heights) known |= v == h;
+        if (!known) {
+          std::lock_guard<std::mutex> lk(reader_mu);
+          reader_failed.store(true);
+          reader_error = "unknown height " + std::to_string(h);
+          return;
+        }
+      }
+    }
+  });
+
+  // The writer churns: seal every height round-robin, prune down to 2 files
+  // between rounds, so the reader races renames and unlinks constantly.
+  for (int round = 0; round < 30; ++round) {
+    for (const Checkpoint& ck : checkpoints) {
+      ASSERT_TRUE(store.value().Write(ck).ok());
+    }
+    ASSERT_TRUE(store.value().Prune(2).ok());
+  }
+  stop.store(true);
+  reader.join();
+
+  EXPECT_FALSE(reader_failed.load()) << reader_error;
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GT(hits.load(), 0u);
 }
 
 }  // namespace

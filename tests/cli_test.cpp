@@ -136,6 +136,63 @@ TEST(Cli, FleetQueryRejectsMalformedEndpointListAndArgs) {
   }
 }
 
+TEST(Cli, StatsReportsUnreachableEndpointsInlineAndFailsOnlyIfAllDo) {
+  // Ports 1 and 2 are never listening; with every endpoint down the merged
+  // table is impossible, so the exit is a runtime failure (1, not a usage 2)
+  // and each endpoint's failure is named in the output.
+  const CliResult r = RunCli("stats 127.0.0.1:1 127.0.0.1:2");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_FALSE(PrintsUsage(r)) << r.output;
+  EXPECT_NE(r.output.find("stats fetch from 127.0.0.1:1 failed"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("stats fetch from 127.0.0.1:2 failed"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("no endpoint reachable (2 tried)"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, FleetHealthRejectsMalformedArgs) {
+  for (const char* bad :
+       {// nothing to do: no endpoints and no evidence file
+        "fleet-health",
+        // malformed targets fail validation before any dial
+        "fleet-health localhost", "fleet-health localhost:0",
+        "fleet-health localhost:19999 bad:port",
+        // --release only makes sense against an evidence file
+        "fleet-health localhost:19999 --release 2",
+        "fleet-health --release 2",
+        // flag argument shape
+        "fleet-health localhost:19999 --evidence",
+        "fleet-health localhost:19999 --release",
+        "fleet-health localhost:19999 --release abc",
+        "fleet-health localhost:19999 --bogus-flag"}) {
+    const CliResult r = RunCli(bad);
+    EXPECT_EQ(r.exit_code, 2) << bad << ": " << r.output;
+    EXPECT_TRUE(PrintsUsage(r)) << bad << ": " << r.output;
+  }
+}
+
+TEST(Cli, FleetHealthUnreachableEndpointIsRuntimeFailure) {
+  const CliResult r = RunCli("fleet-health 127.0.0.1:1");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_FALSE(PrintsUsage(r)) << r.output;
+  EXPECT_NE(r.output.find("UNREACHABLE"), std::string::npos) << r.output;
+}
+
+TEST(Cli, FleetHealthListsEmptyEvidenceFileWithoutDialing) {
+  // A missing evidence file reads as "no quarantines"; with no endpoints to
+  // probe this is a pure local operation and succeeds.
+  const std::string path = ::testing::TempDir() + "cli_no_evidence.bin";
+  std::remove(path.c_str());
+  const CliResult r = RunCli("fleet-health --evidence " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_FALSE(PrintsUsage(r)) << r.output;
+  EXPECT_NE(r.output.find("0 misbehavior record(s)"), std::string::npos)
+      << r.output;
+}
+
 TEST(Cli, MeasureSucceeds) {
   const CliResult r = RunCli("measure");
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -934,5 +934,120 @@ TEST(SvcRehydrateTest, RefusesUnreconciledOrMismatchedStores) {
   }
 }
 
+TEST(SvcHealthTest, HealthProbeReportsTipLoadAndBuild) {
+  const CertifiedChain& chain = Chain();
+  SpServer server(SpServerConfig{});
+  LoopbackTransport loopback;
+  ASSERT_TRUE(server.Serve(loopback).ok());
+  AnnounceAll(server, chain);
+
+  SpClient client(loopback.Connect());
+  // Drive some traffic first so `served` has something to count.
+  ASSERT_TRUE(client.Historical(chain.hot_account, 1, chain.tip_height).ok());
+  auto health = client.FetchHealth();
+  ASSERT_TRUE(health.ok()) << health.message();
+  EXPECT_EQ(health.value().tip_height, chain.tip_height);
+  EXPECT_GE(health.value().served, 1u);
+  EXPECT_EQ(health.value().shed, 0u);
+  EXPECT_FALSE(health.value().build.empty());
+
+  // The probe is monotone where it must be: uptime and served never regress.
+  auto again = client.FetchHealth();
+  ASSERT_TRUE(again.ok()) << again.message();
+  EXPECT_GE(again.value().uptime_ms, health.value().uptime_ms);
+  EXPECT_GT(again.value().served, health.value().served);
+
+  // Encode/decode rejects malformed bodies cleanly.
+  const Bytes reply = EncodeHealthReply(health.value());
+  auto env = DecodeReplyEnvelope(reply);
+  ASSERT_TRUE(env.ok());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{7}}) {
+    Bytes trunc(env.value().body.begin(), env.value().body.begin() + cut);
+    EXPECT_FALSE(DecodeHealthBody(trunc).ok()) << cut;
+  }
+  server.Shutdown();
+}
+
+TEST(SvcTcpTest, RestartUnderLoadReconnectsWithZeroCorruptAccepted) {
+  // An SpServer dies mid-load and a replacement comes up on a fresh port.
+  // Clients dial through a Connector reading the current port, so their
+  // retry/redial machinery must carry them across the outage; every reply
+  // accepted on either side of the restart must verify against the certified
+  // digest.
+  const CertifiedChain& chain = Chain();
+
+  auto server = std::make_unique<SpServer>(SpServerConfig{});
+  auto tcp = std::make_unique<TcpServerTransport>(/*port=*/0);
+  ASSERT_TRUE(server->Serve(*tcp).ok());
+  AnnounceAll(*server, chain);
+  std::atomic<std::uint16_t> port{tcp->Port()};
+
+  RetryPolicy policy;
+  policy.max_attempts = 30;
+  policy.call_deadline = std::chrono::seconds(2);
+  policy.initial_backoff = std::chrono::milliseconds(2);
+  policy.max_backoff = std::chrono::milliseconds(50);
+  policy.retry_budget = std::chrono::seconds(30);
+
+  constexpr int kThreads = 3;
+  constexpr int kQueriesPerThread = 30;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<bool> restarted{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      RetryPolicy p = policy;
+      p.jitter_seed = 0x4e57a47 + static_cast<std::uint64_t>(t);
+      SpClient client(
+          [&port] { return TcpClientTransport::Connect("127.0.0.1", port.load()); },
+          p);
+      const Hash256 digest = TrustedDigest(client);
+      auto one_query = [&] {
+        auto r = client.Historical(chain.hot_account, 1, chain.tip_height);
+        if (!r.ok()) return;  // outage windows may exhaust the budget
+        auto v = query::HistoricalIndex::VerifyQuery(
+            digest, chain.hot_account, 1, chain.tip_height, r.value().proof);
+        if (v.ok()) {
+          ++accepted;
+        } else {
+          ++rejected;
+        }
+      };
+      // Phase 1: keep load on the wire until the restart lands, so every
+      // worker is guaranteed to straddle the outage…
+      while (!restarted.load()) one_query();
+      // …phase 2: the same client (same redial machinery) must then take
+      // real traffic through the replacement server.
+      for (int i = 0; i < kQueriesPerThread; ++i) one_query();
+      reconnects += client.Stats().reconnects;
+    });
+  }
+
+  // Let the load ramp, then kill and replace the server.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server->Shutdown();
+  tcp.reset();
+  server = std::make_unique<SpServer>(SpServerConfig{});
+  tcp = std::make_unique<TcpServerTransport>(/*port=*/0);
+  ASSERT_TRUE(server->Serve(*tcp).ok());
+  AnnounceAll(*server, chain);
+  port.store(tcp->Port());
+  restarted.store(true);
+
+  for (auto& w : workers) w.join();
+
+  // The replacement took real traffic, the outage forced redials, and not a
+  // single unverified reply slipped into the accepted set.
+  EXPECT_TRUE(restarted.load());
+  EXPECT_GT(accepted.load(), kThreads * kQueriesPerThread / 2);
+  EXPECT_EQ(rejected.load(), 0);
+  EXPECT_GT(reconnects.load(), 0u);
+  EXPECT_GT(server->Stats().served, 0u);
+  server->Shutdown();
+}
+
 }  // namespace
 }  // namespace dcert::svc

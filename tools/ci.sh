@@ -35,6 +35,13 @@
 # claim end-to-end on a 10k-block chain — recovery must go through a
 # checkpoint and replay at most one interval of tail, or CI fails.
 #
+# Seeded soaks (gtest names containing "Soak") carry the `soak` ctest label
+# and run on their own Release leg (-L soak) so the fast suite stays fast:
+# the composed chaos harness runs DCERT_CHAOS_SOAK_CYCLES cycles there
+# (default 500, env-overridable), and both sanitizer legs rerun it bounded
+# to 40 cycles (TSan's interceptors make the full count blow the timeout
+# without covering any new interleavings).
+#
 # Every ctest invocation carries a per-test --timeout so a hung soak or a
 # deadlocked reader fails the run instead of wedging CI.
 #
@@ -50,7 +57,17 @@ echo "=== [1/5] Release build + full test suite ==="
 cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}-release" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}" \
-  --timeout "${TEST_TIMEOUT}"
+  --timeout "${TEST_TIMEOUT}" -LE soak
+
+echo "=== [1a/5] Release chaos/crash soak leg (-L soak) ==="
+# The seeded soaks run on their own leg so the fast suite above stays fast:
+# the composed chaos harness (network + disk + crash planes against a live
+# fleet, zero unverified replies accepted, convergence to all-breakers-
+# closed) at DCERT_CHAOS_SOAK_CYCLES cycles (default 500, env-overridable),
+# plus the crash-recovery soak at its full Release default.
+DCERT_CHAOS_SOAK_CYCLES="${DCERT_CHAOS_SOAK_CYCLES:-500}" \
+ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}" \
+  --timeout "${TEST_TIMEOUT}" -L soak
 
 echo "=== [1b/5] bench_serving --fleet 1x1 smoke (multi-process topology) ==="
 # The smallest fleet: one re-exec'd shard-server child over TCP, plus the
@@ -73,11 +90,11 @@ echo "=== [2/5] TSan build + threaded tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
   thread_pool_test parallel_equivalence_test smt_test dcert_test svc_test \
-  fleet_test obs_test record_log_test crash_recovery_test ckpt_test
-DCERT_CRASH_SOAK_CYCLES=50 \
+  fleet_test obs_test record_log_test crash_recovery_test ckpt_test chaos_test
+DCERT_CRASH_SOAK_CYCLES=50 DCERT_CHAOS_SOAK_CYCLES=40 \
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}" \
-  -R 'ThreadPool|ParallelEquivalence|Smt|Svc|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer|Checkpoint|SuperlightBootstrap'
+  -R 'ThreadPool|ParallelEquivalence|Smt|Svc|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer|Checkpoint|SuperlightBootstrap|Chaos'
   # Svc matches SvcFaultTest/SvcTcpTest/SvcStatsTest; the obs suites cover
   # the concurrent counter/histogram/trace hammering. Fleet|ShardMap|
   # ShardServing run the router fan-out, scatter-gather fan-out threads, and
@@ -91,11 +108,11 @@ echo "=== [3/5] ASan build + serving/transport tests ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCERT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target \
   svc_test net_test thread_pool_test fleet_test obs_test record_log_test \
-  crash_recovery_test ckpt_test
-DCERT_CRASH_SOAK_CYCLES=50 \
+  crash_recovery_test ckpt_test chaos_test
+DCERT_CRASH_SOAK_CYCLES=50 DCERT_CHAOS_SOAK_CYCLES=40 \
 ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
   --timeout "${TEST_TIMEOUT}" \
-  -R 'Svc|SimNet|ThreadPool|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|Export|Overhead|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer|Checkpoint|SuperlightBootstrap'
+  -R 'Svc|SimNet|ThreadPool|Fleet|ShardMap|ShardServing|Counter|Gauge|Histogram|Registry|Snapshot|Trace|Enabled|Export|Overhead|RecordLog|CrashPoints|CrashRecovery|CrashSoak|SealedIssuer|Checkpoint|SuperlightBootstrap|Chaos'
   # The checkpoint legs under ASan pin the mmap'd sealed-segment reads and
   # the serialize/deserialize buffer handling in the .dcp codec; the soak's
   # torn-seal site leaves half-written tmp files for Open() to clean up.

@@ -20,12 +20,15 @@
 //   dcertctl fleet-query <eplist> ...    verified scatter-gather across a fleet
 //   dcertctl stats <host:port>...        live metrics from one server, or a
 //                                        merged fleet table from several
+//   dcertctl fleet-health <host:port>... per-replica liveness table; inspect
+//                                        and release misbehavior quarantines
 #include <sys/stat.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -38,6 +41,7 @@
 #include "dcert/issuer.h"
 #include "dcert/superlight.h"
 #include "fleet/fleet_client.h"
+#include "fleet/health.h"
 #include "fleet/shard_map.h"
 #include "obs/export.h"
 #include "query/historical_index.h"
@@ -126,7 +130,19 @@ int Usage() {
                "                               percentiles, cache, shed/retry,\n"
                "                               pool, sgx); several endpoints merge\n"
                "                               into one fleet view (counters sum,\n"
-               "                               gauges max, histograms merge)\n");
+               "                               gauges max, histograms merge);\n"
+               "                               unreachable endpoints are reported\n"
+               "                               inline and the rest still merge\n"
+               "  fleet-health <host:port>... [--evidence FILE] [--release R]\n"
+               "                               per-endpoint liveness table (tip\n"
+               "                               height, uptime, inflight, shed\n"
+               "                               rate, build) with version-skew\n"
+               "                               detection. --evidence lists the\n"
+               "                               misbehavior records a verifying\n"
+               "                               client serialized to FILE;\n"
+               "                               --release R drops replica R's\n"
+               "                               records from FILE (operator\n"
+               "                               quarantine release)\n");
   return 2;
 }
 
@@ -860,8 +876,12 @@ int CmdStats(const std::vector<std::string>& targets,
   // One endpoint prints that server's snapshot; several merge into a fleet
   // view: counters sum (total work), gauges take the max (worst level),
   // histograms merge bucket-wise (fleet percentiles from the combined
-  // distribution, not averaged quantiles).
+  // distribution, not averaged quantiles). A down endpoint is exactly when
+  // an operator reaches for this command, so an unreachable server is
+  // reported inline and the reachable ones still merge; only an empty merge
+  // (every endpoint down) is a hard failure.
   obs::MetricsSnapshot merged;
+  std::size_t reached = 0;
   for (const auto& target : targets) {
     const auto [host, port] = *ParseTarget(target);
     svc::SpClient client(
@@ -873,9 +893,15 @@ int CmdStats(const std::vector<std::string>& targets,
     if (!snap.ok()) {
       std::fprintf(stderr, "stats fetch from %s failed: %s\n", target.c_str(),
                    snap.message().c_str());
-      return 1;
+      continue;
     }
     merged.MergeFrom(snap.value());
+    ++reached;
+  }
+  if (reached == 0) {
+    std::fprintf(stderr, "stats: no endpoint reachable (%zu tried)\n",
+                 targets.size());
+    return 1;
   }
   std::string out;
   if (format == "--json") {
@@ -885,14 +911,145 @@ int CmdStats(const std::vector<std::string>& targets,
     out = obs::ToPrometheusText(merged);
   } else {
     if (targets.size() > 1) {
-      std::printf("fleet stats merged from %zu servers (counters summed, "
-                  "gauges max, histograms merged)\n",
-                  targets.size());
+      std::printf("fleet stats merged from %zu of %zu servers (counters "
+                  "summed, gauges max, histograms merged)\n",
+                  reached, targets.size());
     }
     out = obs::RenderTable(merged);
   }
   std::fputs(out.c_str(), stdout);
   return 0;
+}
+
+const char* OpName(std::uint8_t op) {
+  switch (static_cast<svc::Op>(op)) {
+    case svc::Op::kTipFetch: return "tip";
+    case svc::Op::kHistorical: return "hist";
+    case svc::Op::kAggregate: return "agg";
+    case svc::Op::kAnnounce: return "announce";
+    case svc::Op::kStats: return "stats";
+    case svc::Op::kShardMap: return "shard-map";
+    case svc::Op::kShardScoped: return "shard-scoped";
+    case svc::Op::kHealth: return "health";
+  }
+  return "?";
+}
+
+int ListEvidence(const std::string& path) {
+  auto records = fleet::LoadEvidenceFile(path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "evidence file %s: %s\n", path.c_str(),
+                 records.message().c_str());
+    return 1;
+  }
+  std::printf("%zu misbehavior record(s) in %s\n", records.value().size(),
+              path.c_str());
+  for (const auto& e : records.value()) {
+    std::printf(
+        "  replica %u shard %u (map v%llu): op=%s account=%llu "
+        "window=[%llu,%llu]\n"
+        "    reply digest %s\n"
+        "    verdict: %s\n",
+        e.replica, e.shard_id, static_cast<unsigned long long>(e.map_version),
+        OpName(e.op), static_cast<unsigned long long>(e.account),
+        static_cast<unsigned long long>(e.from_height),
+        static_cast<unsigned long long>(e.to_height),
+        e.reply_digest.ToHex().c_str(), e.verdict.c_str());
+  }
+  return 0;
+}
+
+int ReleaseQuarantine(const std::string& path, std::uint32_t replica) {
+  auto records = fleet::LoadEvidenceFile(path);
+  if (!records.ok()) {
+    std::fprintf(stderr, "evidence file %s: %s\n", path.c_str(),
+                 records.message().c_str());
+    return 1;
+  }
+  std::vector<fleet::MisbehaviorEvidence> kept;
+  for (auto& e : records.value()) {
+    if (e.replica != replica) kept.push_back(std::move(e));
+  }
+  const std::size_t dropped = records.value().size() - kept.size();
+  if (Status st = fleet::WriteEvidenceFile(path, kept); !st) {
+    std::fprintf(stderr, "%s\n", st.message().c_str());
+    return 1;
+  }
+  std::printf("released replica %u: dropped %zu record(s), %zu remain in %s\n",
+              replica, dropped, kept.size(), path.c_str());
+  std::printf("(clients that attach this evidence file will re-admit the "
+              "replica on next start)\n");
+  return 0;
+}
+
+int CmdFleetHealth(const std::vector<std::string>& targets,
+                   const std::string& evidence_path,
+                   std::optional<std::uint32_t> release) {
+  // Quarantine release is a pure evidence-file edit — the quarantine lives
+  // with the verifying clients, not the servers — so it works (and must be
+  // validated) before any endpoint is dialed.
+  if (release && evidence_path.empty()) {
+    std::fprintf(stderr, "--release requires --evidence FILE\n");
+    return Usage();
+  }
+  if (targets.empty() && evidence_path.empty()) return Usage();
+  for (const auto& target : targets) {
+    if (!ParseTarget(target)) {
+      std::fprintf(stderr, "target must be host:port, got %s\n",
+                   target.c_str());
+      return Usage();
+    }
+  }
+  if (release) return ReleaseQuarantine(evidence_path, *release);
+
+  int rc = 0;
+  if (!targets.empty()) {
+    std::printf("%-22s %10s %10s %8s %9s  %s\n", "endpoint", "tip",
+                "uptime_s", "inflight", "shed%", "build");
+    std::size_t reached = 0;
+    std::set<std::string> builds;
+    for (const auto& target : targets) {
+      const auto [host, port] = *ParseTarget(target);
+      svc::SpClient client(
+          [host = host, port = port] {
+            return svc::TcpClientTransport::Connect(host, port);
+          },
+          CliRetryPolicy());
+      auto health = client.FetchHealth();
+      if (!health.ok()) {
+        std::printf("%-22s UNREACHABLE: %s\n", target.c_str(),
+                    health.message().c_str());
+        continue;
+      }
+      const auto& h = health.value();
+      const std::uint64_t total = h.served + h.shed;
+      const double shed_pct =
+          total == 0 ? 0.0 : 100.0 * static_cast<double>(h.shed) /
+                                 static_cast<double>(total);
+      std::printf("%-22s %10llu %10llu %8llu %8.2f%%  %s\n", target.c_str(),
+                  static_cast<unsigned long long>(h.tip_height),
+                  static_cast<unsigned long long>(h.uptime_ms / 1000),
+                  static_cast<unsigned long long>(h.inflight), shed_pct,
+                  h.build.c_str());
+      builds.insert(h.build);
+      ++reached;
+    }
+    if (builds.size() > 1) {
+      std::printf("WARNING: version skew — %zu distinct builds across the "
+                  "fleet\n",
+                  builds.size());
+    }
+    if (reached == 0) {
+      std::fprintf(stderr, "fleet-health: no endpoint reachable (%zu tried)\n",
+                   targets.size());
+      rc = 1;
+    }
+  }
+  if (!evidence_path.empty()) {
+    const int erc = ListEvidence(evidence_path);
+    if (erc != 0) rc = erc;
+  }
+  return rc;
 }
 
 int CmdFleetQuery(int argc, char** argv) {
@@ -1221,6 +1378,27 @@ int main(int argc, char** argv) {
     }
     if (targets.empty()) return Usage();
     return CmdStats(targets, format);
+  }
+  if (cmd == "fleet-health") {
+    std::vector<std::string> targets;
+    std::string evidence;
+    std::optional<std::uint32_t> release;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--evidence" && i + 1 < argc) {
+        evidence = argv[++i];
+      } else if (arg == "--release" && i + 1 < argc) {
+        const auto r = ParseU64(argv[++i]);
+        if (!r || *r > 0xffffffffULL) return Usage();
+        release = static_cast<std::uint32_t>(*r);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown fleet-health flag %s\n", arg.c_str());
+        return Usage();
+      } else {
+        targets.push_back(arg);
+      }
+    }
+    return CmdFleetHealth(targets, evidence, release);
   }
   return Usage();
 }
