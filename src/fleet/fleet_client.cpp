@@ -25,6 +25,20 @@ struct FleetClient::HedgeAttempt {
   std::optional<Result<Slice>> result;
 };
 
+namespace {
+
+/// One waker shared by both attempts of a hedged call, so the caller can
+/// sleep on "either attempt newly finished" instead of polling. Workers bump
+/// `completions` after publishing their result; the caller re-examines both
+/// attempts whenever the count moves past what it last saw.
+struct HedgeWake {
+  std::mutex mu;
+  std::condition_variable cv;
+  int completions = 0;
+};
+
+}  // namespace
+
 FleetClient::FleetClient(ShardMap map, BackendConnector backends,
                          FleetClientConfig config)
     : backends_(std::move(backends)),
@@ -240,26 +254,33 @@ Result<FleetClient::Slice> FleetClient::QueryReplica(
 Result<FleetClient::Slice> FleetClient::QueryReplicaHedged(
     const ShardMap& map, svc::Op op, const ShardMap::SubQuery& sub,
     std::uint64_t account, std::uint32_t primary, std::uint32_t secondary,
-    bool* stale) {
+    bool* stale, bool* used_secondary) {
   using R = Result<Slice>;
+  *used_secondary = false;
   ReapHedges(/*join_all=*/false);
 
   // Everything a worker touches is either captured by value or owned by
   // `this` (pool, counters, health) — and the destructor joins stragglers
   // before any of that dies.
-  auto spawn = [this, map, op, sub, account](std::uint32_t replica)
+  auto wake = std::make_shared<HedgeWake>();
+  auto spawn = [this, map, op, sub, account, wake](std::uint32_t replica)
       -> std::pair<std::thread, std::shared_ptr<HedgeAttempt>> {
     auto state = std::make_shared<HedgeAttempt>();
-    std::thread t([this, map, op, sub, account, replica, state] {
+    std::thread t([this, map, op, sub, account, replica, state, wake] {
       bool attempt_stale = false;
       auto result = QueryReplica(map, op, sub, account, replica,
                                  &attempt_stale);
-      std::lock_guard<std::mutex> lk(state->mu);
-      state->stale = attempt_stale;
-      state->result = std::move(result);
-      state->done = true;
-      if (state->winner_taken) hedge_wasted_->Add(1);
-      state->cv.notify_all();
+      {
+        std::lock_guard<std::mutex> lk(state->mu);
+        state->stale = attempt_stale;
+        state->result = std::move(result);
+        state->done = true;
+        if (state->winner_taken) hedge_wasted_->Add(1);
+        state->cv.notify_all();
+      }
+      std::lock_guard<std::mutex> wlk(wake->mu);
+      ++wake->completions;
+      wake->cv.notify_all();
     });
     return {std::move(t), std::move(state)};
   };
@@ -272,7 +293,16 @@ Result<FleetClient::Slice> FleetClient::QueryReplicaHedged(
     std::unique_lock<std::mutex> lk(s1->mu);
     primary_done = s1->cv.wait_for(lk, delay, [&] { return s1->done; });
   }
-  if (primary_done) {
+  // Admit the secondary only now, immediately before actually querying it —
+  // admitting it up front would consume a half-open probe slot for a request
+  // that may never happen (a fast primary), wedging that backend's breaker.
+  if (primary_done || !health_->AllowRequest(sub.shard_id, secondary)) {
+    if (!primary_done) {
+      // Secondary inadmissible (e.g. its probe slot was just taken): no
+      // hedge, just ride the primary out.
+      std::unique_lock<std::mutex> lk(s1->mu);
+      s1->cv.wait(lk, [&] { return s1->done; });
+    }
     t1.join();
     if (s1->stale) *stale = true;
     return std::move(*s1->result);
@@ -282,12 +312,18 @@ Result<FleetClient::Slice> FleetClient::QueryReplicaHedged(
   // first finisher (both results are verified before they count, so "first"
   // never trades latency for trust).
   hedges_->Add(1);
+  *used_secondary = true;
   auto [t2, s2] = spawn(secondary);
   // First VERIFIED reply wins; a finished failure never preempts the other
   // attempt while it is still running (a failed primary must not discard a
   // secondary about to deliver the answer). Both failed -> primary's error.
   int winner = -1;
   while (winner < 0) {
+    int seen;
+    {
+      std::lock_guard<std::mutex> wlk(wake->mu);
+      seen = wake->completions;
+    }
     bool done0, done1, ok0 = false, ok1 = false;
     {
       std::lock_guard<std::mutex> lk(s1->mu);
@@ -306,11 +342,11 @@ Result<FleetClient::Slice> FleetClient::QueryReplicaHedged(
     } else if (done0 && done1) {
       winner = 0;
     } else {
-      // Short tick on the secondary's cv: either finisher is observed within
-      // a millisecond without sharing one condition variable across both.
-      std::unique_lock<std::mutex> lk(s2->mu);
-      s2->cv.wait_for(lk, std::chrono::milliseconds(1),
-                      [&] { return s2->done; });
+      // Sleep until either attempt newly completes. A completion that lands
+      // between the snapshot above and this wait bumps `completions` past
+      // `seen`, so the predicate is already true and we never miss it.
+      std::unique_lock<std::mutex> wlk(wake->mu);
+      wake->cv.wait(wlk, [&] { return wake->completions != seen; });
     }
   }
   if (winner == 1) hedge_wins_->Add(1);
@@ -350,22 +386,26 @@ Result<FleetClient::Slice> FleetClient::QueryShard(
     std::lock_guard<std::mutex> lk(pool_mu_);
     start = static_cast<std::uint32_t>(rr_++ % replicas);
   }
-  // Route only to replicas the breaker admits (which includes at most one
-  // half-open probe). If every breaker is open, fall back to trying them
-  // anyway — an open breaker is advisory backoff, and total unavailability
-  // is worse than a doomed attempt. Quarantine is NEVER overridden: a
-  // replica with misbehavior evidence gets no traffic until operator
-  // release, even if it is the last one standing.
+  // Route only to replicas whose breaker looks admissible (non-mutating
+  // Routable check — the actual probe-consuming AllowRequest happens
+  // immediately before each attempt, so candidates that are never queried
+  // cannot strand a half-open probe slot). If every breaker is open, fall
+  // back to trying them anyway — an open breaker is advisory backoff, and
+  // total unavailability is worse than a doomed attempt. Quarantine is NEVER
+  // overridden: a replica with misbehavior evidence gets no traffic until
+  // operator release, even if it is the last one standing.
+  bool breakers_bypassed = false;
   std::vector<std::uint32_t> candidates;
   for (std::uint32_t i = 0; i < replicas; ++i) {
     const std::uint32_t replica = (start + i) % replicas;
-    if (health_->AllowRequest(sub.shard_id, replica)) {
+    if (health_->Routable(sub.shard_id, replica)) {
       candidates.push_back(replica);
     } else {
       breaker_skips_->Add(1);
     }
   }
   if (candidates.empty()) {
+    breakers_bypassed = true;
     for (std::uint32_t i = 0; i < replicas; ++i) {
       const std::uint32_t replica = (start + i) % replicas;
       if (!health_->Quarantined(replica)) candidates.push_back(replica);
@@ -377,15 +417,32 @@ Result<FleetClient::Slice> FleetClient::QueryShard(
                       "required");
     }
   }
+  // Admission gate used at attempt time (and for cross-check partners): in
+  // bypass mode breakers are ignored but quarantine still holds.
+  auto admit = [&](std::uint32_t replica) {
+    return breakers_bypassed ? !health_->Quarantined(replica)
+                             : health_->AllowRequest(sub.shard_id, replica);
+  };
   Status last = Status::Error("fleet: no replicas configured");
+  bool hedge_tried_secondary = false;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const std::uint32_t replica = candidates[i];
+    if (i == 1 && hedge_tried_secondary) continue;  // hedge already tried it
+    if (!admit(replica)) {
+      // State moved between the Routable scan and now (another thread took
+      // the probe slot, or new evidence quarantined the replica): skip.
+      breaker_skips_->Add(1);
+      continue;
+    }
     // Hedge only the first attempt (failovers are already the slow path) and
-    // only when a distinct second replica is admissible.
-    const bool hedge = config_.hedge && i == 0 && candidates.size() > 1;
-    auto slice = hedge ? QueryReplicaHedged(map, op, sub, account, replica,
-                                            candidates[1], stale)
-                       : QueryReplica(map, op, sub, account, replica, stale);
+    // only when a distinct second replica exists; the secondary's own
+    // admission happens inside QueryReplicaHedged at hedge-fire time.
+    const bool hedge = config_.hedge && !breakers_bypassed && i == 0 &&
+                       candidates.size() > 1;
+    auto slice =
+        hedge ? QueryReplicaHedged(map, op, sub, account, replica,
+                                   candidates[1], stale, &hedge_tried_secondary)
+              : QueryReplica(map, op, sub, account, replica, stale);
     if (*stale) return slice;  // caller refreshes the map and re-splits
     if (!slice.ok()) {
       last = slice.status();
@@ -398,8 +455,23 @@ Result<FleetClient::Slice> FleetClient::QueryShard(
       // a mismatch means the replicas serve divergent certified views (e.g.
       // one lags the announcement stream) — surface it, don't pick one.
       cross_checks_->Add(1);
-      const std::uint32_t other = (replica + 1) % replicas;
-      auto check = QueryReplica(map, op, sub, account, other, stale);
+      // The partner comes from the admitted candidate list (never a
+      // quarantined or breaker-blocked replica); no admissible partner fails
+      // the cross-check rather than silently skipping it.
+      std::optional<std::uint32_t> other;
+      for (const std::uint32_t cand : candidates) {
+        if (cand != replica && admit(cand)) {
+          other = cand;
+          break;
+        }
+      }
+      if (!other.has_value()) {
+        return R::Error(
+            "fleet: cross-check impossible: no admissible second replica for "
+            "shard " +
+            std::to_string(sub.shard_id));
+      }
+      auto check = QueryReplica(map, op, sub, account, *other, stale);
       if (*stale) return check;
       if (!check.ok()) {
         return R(check.status().WithContext("fleet: cross-check replica"));
@@ -414,7 +486,7 @@ Result<FleetClient::Slice> FleetClient::QueryShard(
         cross_check_mismatches_->Add(1);
         return R::Error(
             "fleet: cross-check mismatch between replicas " +
-            std::to_string(replica) + " and " + std::to_string(other) +
+            std::to_string(replica) + " and " + std::to_string(*other) +
             " of shard " + std::to_string(sub.shard_id) + " (tips " +
             std::to_string(slice.value().tip_height) + " vs " +
             std::to_string(check.value().tip_height) + ")");

@@ -159,13 +159,17 @@ class FleetClient {
                              std::uint64_t account, std::uint32_t replica,
                              bool* stale);
   /// Hedged attempt: primary starts immediately; after the adaptive delay
-  /// the same subquery launches on `secondary` and the first verified reply
-  /// wins. The loser keeps running detached-in-spirit (reaped later) so the
-  /// winner's latency is what the caller sees.
+  /// the same subquery launches on `secondary` — admitted through the
+  /// breaker only at that moment, and only if AllowRequest agrees — and the
+  /// first verified reply wins. The loser keeps running detached-in-spirit
+  /// (reaped later) so the winner's latency is what the caller sees. Sets
+  /// *used_secondary when the secondary was actually queried, so the caller
+  /// does not re-attempt it during failover.
   Result<Slice> QueryReplicaHedged(const ShardMap& map, svc::Op op,
                                    const ShardMap::SubQuery& sub,
                                    std::uint64_t account, std::uint32_t primary,
-                                   std::uint32_t secondary, bool* stale);
+                                   std::uint32_t secondary, bool* stale,
+                                   bool* used_secondary);
 
   std::unique_ptr<svc::SpClient> Borrow(std::uint32_t shard,
                                         std::uint32_t replica);

@@ -120,21 +120,30 @@ Result<Bytes> FleetRouter::CallBackend(std::uint32_t shard,
     std::lock_guard<std::mutex> lk(pool_mu_);
     start = static_cast<std::uint32_t>(round_robin_++ % replicas);
   }
-  // Breaker-admitted replicas first; when every breaker is open, try them
-  // all anyway — the breaker is backoff advice, and a router that answers
-  // "unreachable" while a backend just recovered helps nobody.
+  // Breaker-routable replicas first (the non-mutating check: the actual
+  // probe-consuming AllowRequest happens right before each attempt, so a
+  // candidate that is never tried cannot strand a half-open probe slot);
+  // when every breaker is open, try them all anyway — the breaker is
+  // backoff advice, and a router that answers "unreachable" while a backend
+  // just recovered helps nobody. Quarantine still holds even then.
+  bool breakers_bypassed = false;
   std::vector<std::uint32_t> candidates;
   for (std::uint32_t i = 0; i < replicas; ++i) {
     const std::uint32_t replica = (start + i) % replicas;
-    if (health_->AllowRequest(shard, replica)) candidates.push_back(replica);
+    if (health_->Routable(shard, replica)) candidates.push_back(replica);
   }
   if (candidates.empty()) {
+    breakers_bypassed = true;
     for (std::uint32_t i = 0; i < replicas; ++i) {
-      candidates.push_back((start + i) % replicas);
+      const std::uint32_t replica = (start + i) % replicas;
+      if (!health_->Quarantined(replica)) candidates.push_back(replica);
     }
   }
   Status last = Status::Error("fleet router: no replicas");
   for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!breakers_bypassed && !health_->AllowRequest(shard, candidates[i])) {
+      continue;  // probe slot taken / quarantined since the Routable scan
+    }
     auto reply = CallReplica(shard, candidates[i], frame);
     if (reply.ok()) return reply;
     last = reply.status();

@@ -1,7 +1,12 @@
 #include "fleet/health.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "common/serialize.h"
@@ -91,14 +96,41 @@ Status WriteEvidenceFile(const std::string& path,
   Encoder enc;
   for (const auto& rec : records) enc.Blob(rec.Serialize());
   const Bytes data = enc.Take();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Error("evidence file " + path + ": open for write failed");
+  // tmp + fsync + rename (mirroring CheckpointStore::Write): the evidence
+  // file is rewritten on every new record, and a crash mid-rewrite must not
+  // truncate the quarantine history it exists to retain.
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Error("evidence file " + tmp_path + ": open: " +
+                         std::strerror(errno));
   }
-  const bool ok =
-      data.empty() || std::fwrite(data.data(), 1, data.size(), f) == data.size();
-  if (std::fclose(f) != 0 || !ok) {
-    return Status::Error("evidence file " + path + ": write failed");
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::Error("evidence file " + tmp_path +
+                                      ": write: " + std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return st;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) < 0) {
+    const Status st = Status::Error("evidence file " + tmp_path +
+                                    ": fsync: " + std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return st;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), path.c_str()) < 0) {
+    const Status st = Status::Error("evidence file " + path + ": rename: " +
+                                    std::strerror(errno));
+    ::unlink(tmp_path.c_str());
+    return st;
   }
   return Status::Ok();
 }
@@ -150,28 +182,50 @@ bool FleetHealth::AllowRequest(std::uint32_t shard, std::uint32_t replica) {
   auto it = backends_.find({shard, replica});
   if (it == backends_.end()) return true;  // unseen backend: closed
   BackendState& b = it->second;
+  const auto now = std::chrono::steady_clock::now();
   switch (b.state) {
     case BreakerState::kClosed:
       return true;
     case BreakerState::kOpen:
-      if (std::chrono::steady_clock::now() >= b.open_until) {
+      if (now >= b.open_until) {
         b.state = BreakerState::kHalfOpen;
         b.probe_inflight = true;
+        b.probe_deadline = now + policy_.probe_timeout;
         probes_->Add(1);
         return true;
       }
       blocked_->Add(1);
       return false;
     case BreakerState::kHalfOpen:
-      if (!b.probe_inflight) {
-        // The previous probe's outcome was never reported (e.g. the caller
-        // abandoned it); allow another rather than wedging the backend.
+      if (!b.probe_inflight || now >= b.probe_deadline) {
+        // The previous probe's outcome was never reported (the caller
+        // abandoned it, or it has been in flight past the probe timeout);
+        // admit another rather than wedging the backend half-open forever.
         b.probe_inflight = true;
+        b.probe_deadline = now + policy_.probe_timeout;
         probes_->Add(1);
         return true;
       }
       blocked_->Add(1);
       return false;
+  }
+  return true;
+}
+
+bool FleetHealth::Routable(std::uint32_t shard, std::uint32_t replica) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (quarantined_.count(replica) != 0) return false;
+  auto it = backends_.find({shard, replica});
+  if (it == backends_.end()) return true;  // unseen backend: closed
+  const BackendState& b = it->second;
+  const auto now = std::chrono::steady_clock::now();
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return now >= b.open_until;
+    case BreakerState::kHalfOpen:
+      return !b.probe_inflight || now >= b.probe_deadline;
   }
   return true;
 }

@@ -53,6 +53,11 @@ struct HealthPolicy {
   std::uint64_t jitter_seed = 0x4ea1;
   /// Rolling per-backend latency samples kept for the hedge-delay estimate.
   std::size_t latency_window = 64;
+  /// How long an admitted half-open probe may go unreported before another
+  /// probe is allowed. Backstop against a caller that consumed the probe
+  /// admission but never attempted the request (or died mid-attempt): without
+  /// it the backend would stay half-open-and-blocked forever.
+  std::chrono::milliseconds probe_timeout{10000};
 };
 
 /// Everything needed to audit a quarantine decision offline: which query was
@@ -76,7 +81,9 @@ struct MisbehaviorEvidence {
 };
 
 /// Reads/writes an evidence file: concatenated length-prefixed serialized
-/// records. A missing file reads as zero records (not an error).
+/// records. A missing file reads as zero records (not an error). Writes are
+/// atomic (tmp + fsync + rename) so a crash mid-rewrite never loses the
+/// previously persisted records.
 Result<std::vector<MisbehaviorEvidence>> LoadEvidenceFile(
     const std::string& path);
 Status WriteEvidenceFile(const std::string& path,
@@ -86,10 +93,18 @@ class FleetHealth {
  public:
   explicit FleetHealth(HealthPolicy policy = {});
 
-  /// Gate before routing to (shard, replica). False while quarantined or the
-  /// breaker is open; the call that flips an expired open breaker to
-  /// half-open returns true exactly once (the probe).
+  /// Gate IMMEDIATELY before actually attempting (shard, replica) — never
+  /// speculatively, because the call that flips an expired open breaker to
+  /// half-open consumes the single probe admission (re-armed only after
+  /// `probe_timeout` if the outcome is never reported). False while
+  /// quarantined or the breaker is open. Use Routable() to build candidate
+  /// lists without consuming probes.
   bool AllowRequest(std::uint32_t shard, std::uint32_t replica);
+
+  /// Non-mutating routing check: would AllowRequest plausibly admit this
+  /// backend right now? Never consumes the half-open probe admission, so it
+  /// is safe to call for replicas that may never be queried.
+  bool Routable(std::uint32_t shard, std::uint32_t replica) const;
 
   /// A fully verified reply: closes the breaker, resets failure/backoff
   /// state, and records the observed latency for the hedge estimate.
@@ -135,6 +150,7 @@ class FleetHealth {
     int backoff_doublings = 0;
     std::chrono::steady_clock::time_point open_until{};
     bool probe_inflight = false;
+    std::chrono::steady_clock::time_point probe_deadline{};
     std::vector<std::uint64_t> latencies;  // ring buffer
     std::size_t latency_next = 0;
   };

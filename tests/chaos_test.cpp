@@ -10,11 +10,13 @@
 // converges back to all-breakers-closed.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chain/node.h"
@@ -219,6 +221,46 @@ TEST(ChaosPlanTest, SameSeedSamePlanDifferentPlanesDiffer) {
     EXPECT_EQ(cc.site, dc.site);
     EXPECT_EQ(cc.countdown, dc.countdown);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Breaker probe admission
+// ---------------------------------------------------------------------------
+
+TEST(ChaosHarnessTest, RoutableNeverConsumesProbeAndAbandonedProbeReadmits) {
+  HealthPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_base_backoff = std::chrono::milliseconds(1);
+  policy.open_max_backoff = std::chrono::milliseconds(1);
+  policy.probe_timeout = std::chrono::milliseconds(20);
+  FleetHealth health(policy);
+
+  health.ReportFailure(0, 0);
+  EXPECT_EQ(health.State(0, 0), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // past open_until
+
+  // Routable is how candidate lists are built: it may be called any number
+  // of times for replicas that are never queried without consuming the
+  // single half-open probe admission.
+  EXPECT_TRUE(health.Routable(0, 0));
+  EXPECT_TRUE(health.Routable(0, 0));
+  EXPECT_EQ(health.State(0, 0), BreakerState::kOpen);  // unchanged
+
+  // AllowRequest consumes the probe; a second caller is blocked.
+  EXPECT_TRUE(health.AllowRequest(0, 0));
+  EXPECT_EQ(health.State(0, 0), BreakerState::kHalfOpen);
+  EXPECT_FALSE(health.AllowRequest(0, 0));
+  EXPECT_FALSE(health.Routable(0, 0));
+
+  // The probe outcome is never reported (caller abandoned it). After the
+  // probe timeout another probe is admitted instead of the backend staying
+  // wedged half-open forever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(health.Routable(0, 0));
+  EXPECT_TRUE(health.AllowRequest(0, 0));
+  health.ReportSuccess(0, 0, 100);
+  EXPECT_EQ(health.State(0, 0), BreakerState::kClosed);
+  EXPECT_TRUE(health.AllClosed());
 }
 
 // ---------------------------------------------------------------------------

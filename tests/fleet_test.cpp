@@ -542,6 +542,41 @@ TEST(FleetClientTest, ParanoidCrossCheckCatchesLaggingReplica) {
   EXPECT_EQ(control.Stats().cross_check_mismatches, 0u);
 }
 
+TEST(FleetClientTest, CrossCheckPartnerSkipsQuarantinedReplica) {
+  // Replica 1 of 3 carries misbehavior evidence. Quarantine is absolute: it
+  // must receive NO traffic — not as a primary, and not as the cross-check
+  // partner (which used to be the fixed (replica+1)%replicas) — while the
+  // paranoid query still succeeds via the two healthy replicas.
+  ShardMapConfig cfg;
+  cfg.version = 1;
+  cfg.replicas = 3;
+  LiveFleet fleet(cfg);
+  const auto& chain = Chain();
+
+  FleetClientConfig paranoid;
+  paranoid.cross_check = true;
+  FleetClient client(fleet.map, fleet.DirectConnector(), paranoid);
+  MisbehaviorEvidence ev;
+  ev.replica = 1;
+  ev.verdict = "test: simulated misbehavior";
+  client.Health()->ReportMisbehavior(ev);
+
+  std::vector<std::uint64_t> served_before;
+  for (const auto& per_shard : fleet.servers) {
+    served_before.push_back(per_shard[1]->Stats().served);
+  }
+  for (int round = 0; round < 4; ++round) {
+    auto got = client.Historical(chain.hot_account, 1, chain.tip_height);
+    ASSERT_TRUE(got.ok()) << got.message();
+  }
+  EXPECT_GE(client.Stats().cross_checks, 4u);
+  EXPECT_EQ(client.Stats().cross_check_mismatches, 0u);
+  for (std::size_t s = 0; s < fleet.servers.size(); ++s) {
+    EXPECT_EQ(fleet.servers[s][1]->Stats().served, served_before[s])
+        << "quarantined replica of shard " << s << " received traffic";
+  }
+}
+
 TEST(FleetClientTest, StaleClientRefreshesMapAndRecovers) {
   // The fleet reshards (version 2) while the client still holds version 1:
   // the first shard reply is kStaleShard, the client refreshes its map from
